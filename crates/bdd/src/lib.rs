@@ -1,0 +1,599 @@
+//! # fmperf-bdd
+//!
+//! A reduced ordered binary decision diagram (ROBDD) engine with exact
+//! probability evaluation.
+//!
+//! The DSN 2002 paper evaluates system configurations by enumerating all
+//! `2^N` up/down combinations of the fallible components (§5, step 4) and
+//! notes in its conclusion that "much more efficient pruning appears to be
+//! possible, using a non-state-space-based approach".  This crate is that
+//! approach: the Boolean *structure function* of each configuration (which
+//! combinations of component states produce it) is compiled to a BDD, and
+//! its probability is obtained in a single bottom-up pass — linear in the
+//! size of the diagram instead of exponential in the number of components.
+//!
+//! The engine is a conventional hash-consed ROBDD:
+//!
+//! * terminal nodes `FALSE` and `TRUE`;
+//! * decision nodes `(var, lo, hi)` unique per manager, with `lo != hi`
+//!   (reduction) and `var` strictly increasing along every path (ordering);
+//! * all operators derived from a memoised `ite` (if-then-else).
+//!
+//! ```
+//! use fmperf_bdd::Bdd;
+//!
+//! let mut bdd = Bdd::new(3);
+//! let a = bdd.var(0);
+//! let b = bdd.var(1);
+//! let c = bdd.var(2);
+//! let ab = bdd.and(a, b);
+//! let f = bdd.or(ab, c); // (a ∧ b) ∨ c
+//!
+//! // Pr[f] with independent Pr[a]=Pr[b]=Pr[c]=0.9:
+//! let p = bdd.probability(f, &[0.9, 0.9, 0.9]);
+//! assert!((p - (1.0 - (1.0 - 0.81) * 0.1)).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+/// Reference to a BDD node inside a [`Bdd`] manager.
+///
+/// Because the manager hash-conses nodes, two `NodeRef`s from the same
+/// manager are equal **iff** they denote the same Boolean function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeRef(u32);
+
+impl NodeRef {
+    /// The constant `false` function.
+    pub const FALSE: NodeRef = NodeRef(0);
+    /// The constant `true` function.
+    pub const TRUE: NodeRef = NodeRef(1);
+
+    /// Is this the constant `false` node?
+    pub fn is_false(self) -> bool {
+        self == Self::FALSE
+    }
+    /// Is this the constant `true` node?
+    pub fn is_true(self) -> bool {
+        self == Self::TRUE
+    }
+    /// Is this a terminal (constant) node?
+    pub fn is_terminal(self) -> bool {
+        self.0 < 2
+    }
+}
+
+/// A decision node: tests `var`, follows `lo` when the variable is 0 and
+/// `hi` when it is 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Node {
+    var: u32,
+    lo: NodeRef,
+    hi: NodeRef,
+}
+
+/// Sentinel variable index for terminals: larger than any real variable so
+/// that terminals sort last in the variable order.
+const TERMINAL_VAR: u32 = u32::MAX;
+
+/// A BDD manager: owns the node arena, the unique table and operation
+/// caches for one variable ordering.
+///
+/// Variables are `0..var_count`, ordered by index (smaller index closer to
+/// the root).  All functions built by one manager share structure.
+#[derive(Debug, Clone)]
+pub struct Bdd {
+    nodes: Vec<Node>,
+    unique: HashMap<Node, NodeRef>,
+    ite_cache: HashMap<(NodeRef, NodeRef, NodeRef), NodeRef>,
+    var_count: u32,
+}
+
+impl Bdd {
+    /// Creates a manager for `var_count` Boolean variables.
+    pub fn new(var_count: usize) -> Self {
+        let nodes = vec![
+            // Index 0: FALSE, index 1: TRUE.  The lo/hi of terminals are
+            // self-loops and never followed.
+            Node {
+                var: TERMINAL_VAR,
+                lo: NodeRef::FALSE,
+                hi: NodeRef::FALSE,
+            },
+            Node {
+                var: TERMINAL_VAR,
+                lo: NodeRef::TRUE,
+                hi: NodeRef::TRUE,
+            },
+        ];
+        Bdd {
+            nodes,
+            unique: HashMap::new(),
+            ite_cache: HashMap::new(),
+            var_count: var_count as u32,
+        }
+    }
+
+    /// Number of variables this manager was created with.
+    pub fn var_count(&self) -> usize {
+        self.var_count as usize
+    }
+
+    /// Total number of live nodes (including the two terminals).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The constant function with the given truth value.
+    pub fn constant(&self, value: bool) -> NodeRef {
+        if value {
+            NodeRef::TRUE
+        } else {
+            NodeRef::FALSE
+        }
+    }
+
+    /// The single-variable function `x_var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= var_count`.
+    pub fn var(&mut self, var: usize) -> NodeRef {
+        assert!((var as u32) < self.var_count, "variable {var} out of range");
+        self.mk(var as u32, NodeRef::FALSE, NodeRef::TRUE)
+    }
+
+    /// The negated single-variable function `¬x_var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= var_count`.
+    pub fn nvar(&mut self, var: usize) -> NodeRef {
+        assert!((var as u32) < self.var_count, "variable {var} out of range");
+        self.mk(var as u32, NodeRef::TRUE, NodeRef::FALSE)
+    }
+
+    fn var_of(&self, n: NodeRef) -> u32 {
+        self.nodes[n.0 as usize].var
+    }
+
+    fn lo(&self, n: NodeRef) -> NodeRef {
+        self.nodes[n.0 as usize].lo
+    }
+
+    fn hi(&self, n: NodeRef) -> NodeRef {
+        self.nodes[n.0 as usize].hi
+    }
+
+    /// Hash-consed node constructor maintaining reduction (`lo == hi`
+    /// collapses) and canonicity.
+    fn mk(&mut self, var: u32, lo: NodeRef, hi: NodeRef) -> NodeRef {
+        if lo == hi {
+            return lo;
+        }
+        let node = Node { var, lo, hi };
+        if let Some(&r) = self.unique.get(&node) {
+            return r;
+        }
+        let r = NodeRef(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.unique.insert(node, r);
+        r
+    }
+
+    /// If-then-else: `ite(f, g, h) = (f ∧ g) ∨ (¬f ∧ h)`.
+    ///
+    /// All binary operators are derived from this.
+    pub fn ite(&mut self, f: NodeRef, g: NodeRef, h: NodeRef) -> NodeRef {
+        // Terminal cases.
+        if f.is_true() {
+            return g;
+        }
+        if f.is_false() {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g.is_true() && h.is_false() {
+            return f;
+        }
+        let key = (f, g, h);
+        if let Some(&r) = self.ite_cache.get(&key) {
+            return r;
+        }
+        let top = self.var_of(f).min(self.var_of(g)).min(self.var_of(h));
+        let (f0, f1) = self.cofactors(f, top);
+        let (g0, g1) = self.cofactors(g, top);
+        let (h0, h1) = self.cofactors(h, top);
+        let lo = self.ite(f0, g0, h0);
+        let hi = self.ite(f1, g1, h1);
+        let r = self.mk(top, lo, hi);
+        self.ite_cache.insert(key, r);
+        r
+    }
+
+    fn cofactors(&self, n: NodeRef, var: u32) -> (NodeRef, NodeRef) {
+        if self.var_of(n) == var {
+            (self.lo(n), self.hi(n))
+        } else {
+            (n, n)
+        }
+    }
+
+    /// Logical negation.
+    pub fn not(&mut self, f: NodeRef) -> NodeRef {
+        self.ite(f, NodeRef::FALSE, NodeRef::TRUE)
+    }
+
+    /// Logical conjunction.
+    pub fn and(&mut self, f: NodeRef, g: NodeRef) -> NodeRef {
+        self.ite(f, g, NodeRef::FALSE)
+    }
+
+    /// Logical disjunction.
+    pub fn or(&mut self, f: NodeRef, g: NodeRef) -> NodeRef {
+        self.ite(f, NodeRef::TRUE, g)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, f: NodeRef, g: NodeRef) -> NodeRef {
+        let ng = self.not(g);
+        self.ite(f, ng, g)
+    }
+
+    /// Implication `f → g`.
+    pub fn implies(&mut self, f: NodeRef, g: NodeRef) -> NodeRef {
+        self.ite(f, g, NodeRef::TRUE)
+    }
+
+    /// Conjunction of many functions (`TRUE` for an empty iterator).
+    pub fn and_all<I: IntoIterator<Item = NodeRef>>(&mut self, items: I) -> NodeRef {
+        let mut acc = NodeRef::TRUE;
+        for f in items {
+            acc = self.and(acc, f);
+            if acc.is_false() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Disjunction of many functions (`FALSE` for an empty iterator).
+    pub fn or_all<I: IntoIterator<Item = NodeRef>>(&mut self, items: I) -> NodeRef {
+        let mut acc = NodeRef::FALSE;
+        for f in items {
+            acc = self.or(acc, f);
+            if acc.is_true() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Restriction (cofactor): `f` with variable `var` fixed to `value`.
+    pub fn restrict(&mut self, f: NodeRef, var: usize, value: bool) -> NodeRef {
+        let var = var as u32;
+        let mut cache: HashMap<NodeRef, NodeRef> = HashMap::new();
+        self.restrict_rec(f, var, value, &mut cache)
+    }
+
+    fn restrict_rec(
+        &mut self,
+        f: NodeRef,
+        var: u32,
+        value: bool,
+        cache: &mut HashMap<NodeRef, NodeRef>,
+    ) -> NodeRef {
+        if f.is_terminal() || self.var_of(f) > var {
+            return f;
+        }
+        if let Some(&r) = cache.get(&f) {
+            return r;
+        }
+        let r = if self.var_of(f) == var {
+            if value {
+                self.hi(f)
+            } else {
+                self.lo(f)
+            }
+        } else {
+            let lo0 = self.lo(f);
+            let hi0 = self.hi(f);
+            let lo = self.restrict_rec(lo0, var, value, cache);
+            let hi = self.restrict_rec(hi0, var, value, cache);
+            self.mk(self.var_of(f), lo, hi)
+        };
+        cache.insert(f, r);
+        r
+    }
+
+    /// Evaluates `f` under a complete variable assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() < var_count`.
+    pub fn evaluate(&self, f: NodeRef, assignment: &[bool]) -> bool {
+        assert!(
+            assignment.len() >= self.var_count as usize,
+            "assignment too short"
+        );
+        let mut n = f;
+        while !n.is_terminal() {
+            let v = self.var_of(n) as usize;
+            n = if assignment[v] {
+                self.hi(n)
+            } else {
+                self.lo(n)
+            };
+        }
+        n.is_true()
+    }
+
+    /// Exact probability that `f` is true when variable `v` is
+    /// independently true with probability `p[v]`.
+    ///
+    /// Runs in time linear in the number of nodes reachable from `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p.len() < var_count` or any probability is outside
+    /// `[0, 1]`.
+    pub fn probability(&self, f: NodeRef, p: &[f64]) -> f64 {
+        assert!(
+            p.len() >= self.var_count as usize,
+            "probability vector too short"
+        );
+        assert!(
+            p.iter().all(|&x| (0.0..=1.0).contains(&x)),
+            "probabilities must lie in [0, 1]"
+        );
+        let mut cache: HashMap<NodeRef, f64> = HashMap::new();
+        self.prob_rec(f, p, &mut cache)
+    }
+
+    fn prob_rec(&self, f: NodeRef, p: &[f64], cache: &mut HashMap<NodeRef, f64>) -> f64 {
+        if f.is_false() {
+            return 0.0;
+        }
+        if f.is_true() {
+            return 1.0;
+        }
+        if let Some(&x) = cache.get(&f) {
+            return x;
+        }
+        let v = self.var_of(f) as usize;
+        let lo = self.prob_rec(self.lo(f), p, cache);
+        let hi = self.prob_rec(self.hi(f), p, cache);
+        let x = (1.0 - p[v]) * lo + p[v] * hi;
+        cache.insert(f, x);
+        x
+    }
+
+    /// Number of satisfying assignments of `f` over all `var_count`
+    /// variables, as an `f64` (exact below 2^53 solutions).
+    pub fn sat_count(&self, f: NodeRef) -> f64 {
+        let p = vec![0.5; self.var_count as usize];
+        self.probability(f, &p) * 2f64.powi(self.var_count as i32)
+    }
+
+    /// The set of variables `f` actually depends on, in increasing order.
+    pub fn support(&self, f: NodeRef) -> Vec<usize> {
+        let mut seen = std::collections::HashSet::new();
+        let mut vars = std::collections::BTreeSet::new();
+        let mut stack = vec![f];
+        while let Some(n) = stack.pop() {
+            if n.is_terminal() || !seen.insert(n) {
+                continue;
+            }
+            vars.insert(self.var_of(n) as usize);
+            stack.push(self.lo(n));
+            stack.push(self.hi(n));
+        }
+        vars.into_iter().collect()
+    }
+
+    /// Number of decision nodes reachable from `f` (diagram size).
+    pub fn size(&self, f: NodeRef) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        let mut count = 0;
+        while let Some(n) = stack.pop() {
+            if n.is_terminal() || !seen.insert(n) {
+                continue;
+            }
+            count += 1;
+            stack.push(self.lo(n));
+            stack.push(self.hi(n));
+        }
+        count
+    }
+
+    /// Birnbaum importance of variable `var` for function `f`:
+    /// `Pr[f | x_var = 1] − Pr[f | x_var = 0]`.
+    ///
+    /// For a coherent structure function this is the classic component
+    /// importance measure; the performability engine uses it for
+    /// sensitivity analysis of the expected reward.
+    pub fn birnbaum(&mut self, f: NodeRef, var: usize, p: &[f64]) -> f64 {
+        let f1 = self.restrict(f, var, true);
+        let f0 = self.restrict(f, var, false);
+        self.probability(f1, p) - self.probability(f0, p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals_are_fixed() {
+        let bdd = Bdd::new(2);
+        assert!(NodeRef::FALSE.is_false());
+        assert!(NodeRef::TRUE.is_true());
+        assert_eq!(bdd.constant(true), NodeRef::TRUE);
+        assert_eq!(bdd.constant(false), NodeRef::FALSE);
+    }
+
+    #[test]
+    fn canonicity_same_function_same_ref() {
+        let mut bdd = Bdd::new(3);
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        // a ∧ b built two different ways.
+        let f1 = bdd.and(a, b);
+        let na = bdd.not(a);
+        let nb = bdd.not(b);
+        let nor = bdd.or(na, nb);
+        let f2 = bdd.not(nor); // ¬(¬a ∨ ¬b)
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn evaluate_matches_semantics() {
+        let mut bdd = Bdd::new(3);
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let c = bdd.var(2);
+        let ab = bdd.and(a, b);
+        let f = bdd.or(ab, c);
+        for bits in 0..8u32 {
+            let asg = [(bits & 1) != 0, (bits & 2) != 0, (bits & 4) != 0];
+            let expect = (asg[0] && asg[1]) || asg[2];
+            assert_eq!(bdd.evaluate(f, &asg), expect, "assignment {asg:?}");
+        }
+    }
+
+    #[test]
+    fn xor_and_implies() {
+        let mut bdd = Bdd::new(2);
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let x = bdd.xor(a, b);
+        let imp = bdd.implies(a, b);
+        for bits in 0..4u32 {
+            let asg = [(bits & 1) != 0, (bits & 2) != 0];
+            assert_eq!(bdd.evaluate(x, &asg), asg[0] ^ asg[1]);
+            assert_eq!(bdd.evaluate(imp, &asg), !asg[0] || asg[1]);
+        }
+    }
+
+    #[test]
+    fn probability_series_parallel() {
+        // Two components in series, in parallel with a third:
+        // f = (x0 ∧ x1) ∨ x2, all up with prob 0.9.
+        let mut bdd = Bdd::new(3);
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let c = bdd.var(2);
+        let ab = bdd.and(a, b);
+        let f = bdd.or(ab, c);
+        let p = bdd.probability(f, &[0.9, 0.9, 0.9]);
+        let expect = 1.0 - (1.0 - 0.81) * (1.0 - 0.9);
+        assert!((p - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probability_of_negation_complements() {
+        let mut bdd = Bdd::new(4);
+        let vars: Vec<_> = (0..4).map(|i| bdd.var(i)).collect();
+        let f = bdd.and_all(vars.clone());
+        let g = bdd.not(f);
+        let p = [0.1, 0.5, 0.9, 0.3];
+        let pf = bdd.probability(f, &p);
+        let pg = bdd.probability(g, &p);
+        assert!((pf + pg - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn restrict_fixes_a_variable() {
+        let mut bdd = Bdd::new(2);
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let f = bdd.and(a, b);
+        assert_eq!(bdd.restrict(f, 0, true), b);
+        assert_eq!(bdd.restrict(f, 0, false), NodeRef::FALSE);
+        assert_eq!(bdd.restrict(f, 1, true), a);
+    }
+
+    #[test]
+    fn sat_count_small_functions() {
+        let mut bdd = Bdd::new(3);
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let f = bdd.or(a, b); // 6 of 8 assignments
+        assert_eq!(bdd.sat_count(f), 6.0);
+        assert_eq!(bdd.sat_count(NodeRef::TRUE), 8.0);
+        assert_eq!(bdd.sat_count(NodeRef::FALSE), 0.0);
+    }
+
+    #[test]
+    fn support_reports_dependencies() {
+        let mut bdd = Bdd::new(5);
+        let a = bdd.var(1);
+        let b = bdd.var(3);
+        let f = bdd.xor(a, b);
+        assert_eq!(bdd.support(f), vec![1, 3]);
+        assert_eq!(bdd.support(NodeRef::TRUE), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn birnbaum_importance_series_system() {
+        // Series system x0 ∧ x1 with p = (0.9, 0.5):
+        // importance of x0 = Pr[x1] = 0.5; of x1 = 0.9.
+        let mut bdd = Bdd::new(2);
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let f = bdd.and(a, b);
+        let p = [0.9, 0.5];
+        assert!((bdd.birnbaum(f, 0, &p) - 0.5).abs() < 1e-12);
+        assert!((bdd.birnbaum(f, 1, &p) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nvar_is_negated_var() {
+        let mut bdd = Bdd::new(1);
+        let a = bdd.var(0);
+        let na1 = bdd.nvar(0);
+        let na2 = bdd.not(a);
+        assert_eq!(na1, na2);
+    }
+
+    #[test]
+    fn and_or_all_shortcut() {
+        let mut bdd = Bdd::new(4);
+        let lits: Vec<_> = (0..4).map(|i| bdd.var(i)).collect();
+        let f = bdd.and_all(lits.iter().copied());
+        let g = bdd.or_all(lits.iter().copied());
+        assert_eq!(bdd.sat_count(f), 1.0);
+        assert_eq!(bdd.sat_count(g), 15.0);
+        assert_eq!(bdd.and_all(std::iter::empty()), NodeRef::TRUE);
+        assert_eq!(bdd.or_all(std::iter::empty()), NodeRef::FALSE);
+    }
+
+    #[test]
+    fn size_counts_decision_nodes() {
+        let mut bdd = Bdd::new(3);
+        let a = bdd.var(0);
+        assert_eq!(bdd.size(a), 1);
+        assert_eq!(bdd.size(NodeRef::TRUE), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn var_out_of_range_panics() {
+        let mut bdd = Bdd::new(2);
+        bdd.var(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in")]
+    fn probability_validates_inputs() {
+        let mut bdd = Bdd::new(1);
+        let a = bdd.var(0);
+        bdd.probability(a, &[1.5]);
+    }
+}

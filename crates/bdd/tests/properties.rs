@@ -1,0 +1,172 @@
+//! Property-based tests for the ROBDD engine: random Boolean expression
+//! trees are compiled to BDDs and checked against direct evaluation,
+//! truth-table probability, and algebraic laws.
+
+use fmperf_bdd::{Bdd, NodeRef};
+use proptest::prelude::*;
+
+/// A random Boolean expression over `VARS` variables.
+#[derive(Debug, Clone)]
+enum Expr {
+    Var(usize),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+    Const(bool),
+}
+
+const VARS: usize = 6;
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0..VARS).prop_map(Expr::Var),
+        any::<bool>().prop_map(Expr::Const),
+    ];
+    leaf.prop_recursive(5, 64, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn eval(e: &Expr, asg: &[bool]) -> bool {
+    match e {
+        Expr::Var(v) => asg[*v],
+        Expr::Not(a) => !eval(a, asg),
+        Expr::And(a, b) => eval(a, asg) && eval(b, asg),
+        Expr::Or(a, b) => eval(a, asg) || eval(b, asg),
+        Expr::Xor(a, b) => eval(a, asg) ^ eval(b, asg),
+        Expr::Const(c) => *c,
+    }
+}
+
+fn compile(e: &Expr, bdd: &mut Bdd) -> NodeRef {
+    match e {
+        Expr::Var(v) => bdd.var(*v),
+        Expr::Not(a) => {
+            let x = compile(a, bdd);
+            bdd.not(x)
+        }
+        Expr::And(a, b) => {
+            let (x, y) = (compile(a, bdd), compile(b, bdd));
+            bdd.and(x, y)
+        }
+        Expr::Or(a, b) => {
+            let (x, y) = (compile(a, bdd), compile(b, bdd));
+            bdd.or(x, y)
+        }
+        Expr::Xor(a, b) => {
+            let (x, y) = (compile(a, bdd), compile(b, bdd));
+            bdd.xor(x, y)
+        }
+        Expr::Const(c) => bdd.constant(*c),
+    }
+}
+
+fn assignments() -> impl Iterator<Item = Vec<bool>> {
+    (0..(1u32 << VARS)).map(|m| (0..VARS).map(|i| m & (1 << i) != 0).collect())
+}
+
+proptest! {
+    /// The compiled BDD agrees with direct evaluation on every
+    /// assignment.
+    #[test]
+    fn bdd_matches_truth_table(e in expr_strategy()) {
+        let mut bdd = Bdd::new(VARS);
+        let f = compile(&e, &mut bdd);
+        for asg in assignments() {
+            prop_assert_eq!(bdd.evaluate(f, &asg), eval(&e, &asg));
+        }
+    }
+
+    /// Exact probability equals the truth-table sum of state
+    /// probabilities.
+    #[test]
+    fn probability_matches_enumeration(e in expr_strategy(), probs in proptest::collection::vec(0.0f64..=1.0, VARS)) {
+        let mut bdd = Bdd::new(VARS);
+        let f = compile(&e, &mut bdd);
+        let symbolic = bdd.probability(f, &probs);
+        let mut brute = 0.0;
+        for asg in assignments() {
+            if eval(&e, &asg) {
+                let mut p = 1.0;
+                for (i, &b) in asg.iter().enumerate() {
+                    p *= if b { probs[i] } else { 1.0 - probs[i] };
+                }
+                brute += p;
+            }
+        }
+        prop_assert!((symbolic - brute).abs() < 1e-9, "{symbolic} vs {brute}");
+    }
+
+    /// Canonicity: two expressions with identical truth tables compile
+    /// to the same node.
+    #[test]
+    fn canonicity(e in expr_strategy()) {
+        let mut bdd = Bdd::new(VARS);
+        let f = compile(&e, &mut bdd);
+        // Double negation and De Morgan detours must land on the same node.
+        let nf = bdd.not(f);
+        let nnf = bdd.not(nf);
+        prop_assert_eq!(f, nnf);
+        // f ∨ f == f ∧ f == f
+        let ff = bdd.or(f, f);
+        prop_assert_eq!(f, ff);
+        let ff = bdd.and(f, f);
+        prop_assert_eq!(f, ff);
+    }
+
+    /// Shannon expansion: f == ite(x, f|x=1, f|x=0) for every variable.
+    #[test]
+    fn shannon_expansion(e in expr_strategy(), v in 0..VARS) {
+        let mut bdd = Bdd::new(VARS);
+        let f = compile(&e, &mut bdd);
+        let f1 = bdd.restrict(f, v, true);
+        let f0 = bdd.restrict(f, v, false);
+        let x = bdd.var(v);
+        let rebuilt = bdd.ite(x, f1, f0);
+        prop_assert_eq!(f, rebuilt);
+    }
+
+    /// The support never contains a variable whose restriction is a
+    /// no-op, and always contains variables whose restrictions differ.
+    #[test]
+    fn support_is_exact(e in expr_strategy()) {
+        let mut bdd = Bdd::new(VARS);
+        let f = compile(&e, &mut bdd);
+        let support = bdd.support(f);
+        for v in 0..VARS {
+            let f1 = bdd.restrict(f, v, true);
+            let f0 = bdd.restrict(f, v, false);
+            prop_assert_eq!(support.contains(&v), f1 != f0, "variable {}", v);
+        }
+    }
+
+    /// Probability is monotone in the probability of a positive literal:
+    /// raising p(v) cannot decrease Pr[f ∨ v].
+    #[test]
+    fn probability_monotone_in_or(e in expr_strategy(), v in 0..VARS) {
+        let mut bdd = Bdd::new(VARS);
+        let f = compile(&e, &mut bdd);
+        let x = bdd.var(v);
+        let g = bdd.or(f, x);
+        let mut lo = vec![0.5; VARS];
+        let mut hi = vec![0.5; VARS];
+        lo[v] = 0.2;
+        hi[v] = 0.8;
+        prop_assert!(bdd.probability(g, &hi) >= bdd.probability(g, &lo) - 1e-12);
+    }
+
+    /// sat_count is consistent with probability at p = 1/2.
+    #[test]
+    fn sat_count_consistent(e in expr_strategy()) {
+        let mut bdd = Bdd::new(VARS);
+        let f = compile(&e, &mut bdd);
+        let count = assignments().filter(|a| eval(&e, a)).count();
+        prop_assert!((bdd.sat_count(f) - count as f64).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,41 @@
+//! Benchmark for the paper's §6.3 in-text experiment: the cost of
+//! obtaining the distinct operational configurations and their
+//! probabilities for each of the five cases (state spaces 256, 16384,
+//! 65536, 262144, 65536).
+//!
+//! The paper reports ~0.2/2/8/35/8 seconds for a Java prototype on a
+//! Pentium III; the quantity to reproduce is the relative growth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fmperf_core::Analysis;
+use fmperf_ftlqn::examples::das_woodside_system;
+use fmperf_mama::{arch, ComponentSpace, KnowTable};
+
+fn enumeration(c: &mut Criterion) {
+    let sys = das_woodside_system();
+    let graph = sys.fault_graph().unwrap();
+    let mut group = c.benchmark_group("enumerate");
+    group.sample_size(10);
+
+    {
+        let space = ComponentSpace::app_only(&sys.model);
+        let analysis = Analysis::new(&graph, &space);
+        group.bench_function(BenchmarkId::new("case", "perfect-256"), |b| {
+            b.iter(|| analysis.enumerate())
+        });
+    }
+    for kind in arch::ArchKind::ALL {
+        let mama = arch::build(kind, &sys, 0.1);
+        let space = ComponentSpace::build(&sys.model, &mama);
+        let table = KnowTable::build(&graph, &mama, &space);
+        let analysis = Analysis::new(&graph, &space).with_knowledge(&table);
+        let label = format!("{}-{}", kind.name(), analysis.state_space_size());
+        group.bench_function(BenchmarkId::new("case", label), |b| {
+            b.iter(|| analysis.enumerate())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, enumeration);
+criterion_main!(benches);

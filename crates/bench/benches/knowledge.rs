@@ -1,0 +1,37 @@
+//! Micro-benchmarks for the knowledge-propagation machinery (paper §4):
+//! building the knowledge graph, enumerating constrained minpaths, and
+//! assembling the full know table for each architecture.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fmperf_ftlqn::examples::das_woodside_system;
+use fmperf_mama::{arch, ComponentSpace, KnowTable, KnowledgeGraph};
+
+fn knowledge(c: &mut Criterion) {
+    let sys = das_woodside_system();
+    let graph = sys.fault_graph().unwrap();
+
+    let mut group = c.benchmark_group("knowledge");
+    for kind in arch::ArchKind::ALL {
+        let mama = arch::build(kind, &sys, 0.1);
+        let space = ComponentSpace::build(&sys.model, &mama);
+        group.bench_function(BenchmarkId::new("know-table", kind.name()), |b| {
+            b.iter(|| KnowTable::build(&graph, &mama, &space))
+        });
+    }
+
+    // Single-pair minpath enumeration on the centralized architecture —
+    // the paper's §6.1 worked example (Server1 -> AppA).
+    let mama = arch::centralized(&sys, 0.1);
+    let server1 = mama.component_by_name("Server1").unwrap();
+    let app_a = mama.component_by_name("AppA").unwrap();
+    group.bench_function("minpaths-server1-appa", |b| {
+        b.iter(|| {
+            let kg = KnowledgeGraph::build(&mama);
+            kg.minpaths(server1, app_a)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, knowledge);
+criterion_main!(benches);

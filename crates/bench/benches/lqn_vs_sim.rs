@@ -1,0 +1,53 @@
+//! Ablation: the analytic LQN solver (replacing the paper's LQNS tool)
+//! versus the discrete-event simulator, on the Figure 1 system's C5
+//! configuration (both user groups sharing Server1).
+//!
+//! The analytic solver is what makes step 5 of the performability
+//! algorithm affordable for all distinct configurations; this bench
+//! shows the cost gap against simulating each configuration instead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fmperf_core::Analysis;
+use fmperf_ftlqn::examples::das_woodside_system;
+use fmperf_ftlqn::lower::lower;
+use fmperf_lqn::solve;
+use fmperf_mama::ComponentSpace;
+use fmperf_sim::{simulate, SimOptions};
+
+fn lqn_vs_sim(c: &mut Criterion) {
+    let sys = das_woodside_system();
+    let graph = sys.fault_graph().unwrap();
+    let space = ComponentSpace::app_only(&sys.model);
+    let dist = Analysis::new(&graph, &space).enumerate();
+    // The all-up configuration (C5).
+    let c5 = dist
+        .configurations()
+        .into_iter()
+        .find(|cfg| cfg.user_chains.len() == 2 && cfg.used_services[&sys.service_a] == sys.e_a1)
+        .expect("C5 present");
+    let lowered = lower(&sys.model, &c5).unwrap();
+
+    let mut group = c.benchmark_group("lqn-vs-sim-C5");
+    group.sample_size(10);
+    group.bench_function("analytic-mol", |b| {
+        b.iter(|| solve(&lowered.model).unwrap())
+    });
+    group.bench_function("simulate-5k-s", |b| {
+        b.iter(|| {
+            simulate(
+                &lowered.model,
+                SimOptions {
+                    horizon: 5_000.0,
+                    warmup: 500.0,
+                    seed: 1,
+                    ..SimOptions::default()
+                },
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, lqn_vs_sim);
+criterion_main!(benches);

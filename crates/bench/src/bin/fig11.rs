@@ -1,0 +1,44 @@
+//! Regenerates the paper's **Figure 11**: expected steady-state reward
+//! rate of the Figure 1 system for the four management architectures, as
+//! the weight of the UserB group grows relative to UserA
+//! (`R_i = w_A f_A + w_B f_B`, `w_A = 1`).
+//!
+//! The paper's observation to reproduce: with growing `w_B` the reward
+//! ranking becomes distributed > network > centralized > hierarchical.
+
+use fmperf_bench::{paper_system, run_all_cases};
+
+fn main() {
+    let sys = paper_system();
+    let cases = run_all_cases(&sys);
+
+    println!("Figure 11: expected steady-state reward rate vs weight of UserB (w_A = 1)");
+    print!("{:>6}", "w_B");
+    for case in &cases[1..] {
+        print!(" {:>13}", case.name);
+    }
+    println!(" {:>13}", "perfect");
+    let steps = 17;
+    for k in 0..steps {
+        let w_b = 0.25 * k as f64;
+        print!("{w_b:>6.2}");
+        for case in &cases[1..] {
+            print!(" {:>13.3}", case.expected_reward(&sys, 1.0, w_b));
+        }
+        println!(" {:>13.3}", cases[0].expected_reward(&sys, 1.0, w_b));
+    }
+
+    // The headline ordering at the right edge of the figure.
+    let w_b = 4.0;
+    let mut ranked: Vec<(&str, f64)> = cases[1..]
+        .iter()
+        .map(|c| (c.name, c.expected_reward(&sys, 1.0, w_b)))
+        .collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!();
+    println!("Ranking at w_B = {w_b}:");
+    for (name, r) in &ranked {
+        println!("  {name:<13} {r:.3}");
+    }
+    println!("(paper: distributed > network > centralized > hierarchical)");
+}

@@ -1,0 +1,64 @@
+//! Regenerates the paper's **Table 2**: distinct operational
+//! configurations of the Figure 1 system, their probabilities under the
+//! five knowledge cases, the per-group throughputs, and the average
+//! user-group throughputs.
+
+use fmperf_bench::{paper_system, run_all_cases, short_label};
+
+fn main() {
+    let sys = paper_system();
+    let cases = run_all_cases(&sys);
+    let perfect = &cases[0];
+
+    println!("Table 2: Distinct operational configurations, probabilities for the five cases,");
+    println!("and the associated throughputs of the two user groups");
+    println!(
+        "{:<8} {:>9} {:>12} {:>12} {:>13} {:>9} {:>16}",
+        "Config", "perfect", "centralized", "distributed", "hierarchical", "network", "(fA, fB)"
+    );
+
+    let mut order: Vec<usize> = (0..perfect.configs.len()).collect();
+    order.sort_by_key(|&i| short_label(&sys, &perfect.configs[i]));
+    for &i in &order {
+        let config = &perfect.configs[i];
+        if config.is_failed() {
+            continue;
+        }
+        let label = short_label(&sys, config);
+        let probs: Vec<f64> = cases
+            .iter()
+            .map(|case| case.dist.probability(config))
+            .collect();
+        let fa = perfect.perfs[i].throughput(sys.user_a);
+        let fb = perfect.perfs[i].throughput(sys.user_b);
+        println!(
+            "{label:<8} {:>9.3} {:>12.3} {:>12.3} {:>13.3} {:>9.3} {:>16}",
+            probs[0],
+            probs[1],
+            probs[2],
+            probs[3],
+            probs[4],
+            format!("({fa:.2}, {fb:.2})"),
+        );
+    }
+    let failed: Vec<f64> = cases.iter().map(|c| c.dist.failed_probability()).collect();
+    println!(
+        "{:<8} {:>9.3} {:>12.3} {:>12.3} {:>13.3} {:>9.3} {:>16}",
+        "failed", failed[0], failed[1], failed[2], failed[3], failed[4], "(0, 0)"
+    );
+
+    println!();
+    print!("{:<28}", "Average UserA throughput");
+    for case in &cases {
+        print!(" {:>12.3}", case.average_throughput(sys.user_a));
+    }
+    println!();
+    print!("{:<28}", "Average UserB throughput");
+    for case in &cases {
+        print!(" {:>12.3}", case.average_throughput(sys.user_b));
+    }
+    println!();
+    println!();
+    println!("(paper row order: Case1=perfect, Case2=centralized, Case3=distributed,");
+    println!(" Case4=hierarchical, Case5=network)");
+}

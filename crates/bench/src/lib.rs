@@ -1,0 +1,184 @@
+//! # fmperf-bench
+//!
+//! Shared harness for regenerating every table and figure of the DSN
+//! 2002 evaluation (§6) and for the criterion benchmarks.
+//!
+//! Binaries:
+//!
+//! * `table1` — Table 1: configuration probabilities (perfect knowledge
+//!   vs centralized management) and per-configuration rewards.
+//! * `table2` — Table 2: configuration probabilities for all five cases
+//!   plus per-group throughputs and average user throughputs.
+//! * `fig11` — Figure 11: expected steady-state reward rate vs the
+//!   weight of UserB, for the four architectures.
+//! * `statespace` — the in-text state-space sizes and solution times,
+//!   for both the paper's enumeration and our symbolic engine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use fmperf_core::{
+    solve_configurations, Analysis, ConfigDistribution, ConfigPerformance, RewardSpec,
+};
+use fmperf_ftlqn::examples::{das_woodside_system, DasWoodsideSystem};
+use fmperf_ftlqn::Configuration;
+use fmperf_mama::{arch, ComponentSpace, KnowTable};
+
+/// One analysed case: perfect knowledge or one of the four architectures.
+pub struct CaseResult {
+    /// Case name (paper's "Case 1" … "Case 5" labels).
+    pub name: &'static str,
+    /// Number of fallible components.
+    pub fallible: usize,
+    /// Configuration distribution.
+    pub dist: ConfigDistribution,
+    /// Solved performance aligned with `dist.configurations()`.
+    pub perfs: Vec<ConfigPerformance>,
+    /// The configurations, aligned with `perfs`.
+    pub configs: Vec<Configuration>,
+}
+
+impl CaseResult {
+    /// Expected reward `R = Σ w_j f_j` for given group weights.
+    pub fn expected_reward(&self, sys: &DasWoodsideSystem, w_a: f64, w_b: f64) -> f64 {
+        let spec = RewardSpec::new()
+            .weight(sys.user_a, w_a)
+            .weight(sys.user_b, w_b);
+        fmperf_core::expected_reward(&self.dist, &self.perfs, &spec)
+    }
+
+    /// Probability-weighted mean throughput of one user group (the
+    /// paper's "Average UserX throughput" rows).
+    pub fn average_throughput(&self, chain: fmperf_ftlqn::FtTaskId) -> f64 {
+        self.configs
+            .iter()
+            .zip(&self.perfs)
+            .map(|(c, p)| self.dist.probability(c) * p.throughput(chain))
+            .sum()
+    }
+}
+
+/// The five §6.3 cases in the paper's order: perfect knowledge, then the
+/// four architectures.
+pub fn case_names() -> [&'static str; 5] {
+    [
+        "perfect",
+        "centralized",
+        "distributed",
+        "hierarchical",
+        "network",
+    ]
+}
+
+/// Runs one case end-to-end (enumeration engine).
+///
+/// # Panics
+///
+/// Panics if the canonical model fails to build or solve — that is a
+/// programming error, not an input condition.
+pub fn run_case(sys: &DasWoodsideSystem, case: &'static str) -> CaseResult {
+    let graph = sys.fault_graph().expect("canonical model");
+    let (dist, fallible) = match case {
+        "perfect" => {
+            let space = ComponentSpace::app_only(&sys.model);
+            let analysis = Analysis::new(&graph, &space);
+            (analysis.enumerate(), space.fallible_indices().len())
+        }
+        _ => {
+            // "distributed" follows the paper's published numbers:
+            // isolated domains + unmonitored-exempt semantics (see
+            // `arch::distributed_as_published`).  The figure-faithful
+            // variant is available as "distributed-as-drawn".
+            let mama = match case {
+                "centralized" => arch::centralized(sys, 0.1),
+                "distributed" => arch::distributed_as_published(sys, 0.1),
+                "distributed-as-drawn" => arch::distributed(sys, 0.1),
+                "hierarchical" => arch::hierarchical(sys, 0.1),
+                "network" => arch::network(sys, 0.1),
+                other => panic!("unknown case {other}"),
+            };
+            let space = ComponentSpace::build(&sys.model, &mama);
+            let table = KnowTable::build(&graph, &mama, &space);
+            let analysis = Analysis::new(&graph, &space)
+                .with_knowledge(&table)
+                .with_unmonitored_known(case == "distributed");
+            (analysis.enumerate(), space.fallible_indices().len())
+        }
+    };
+    let configs = dist.configurations();
+    let perfs = solve_configurations(&sys.model, &configs).expect("canonical model solves");
+    CaseResult {
+        name: case,
+        fallible,
+        dist,
+        perfs,
+        configs,
+    }
+}
+
+/// Runs all five cases.
+pub fn run_all_cases(sys: &DasWoodsideSystem) -> Vec<CaseResult> {
+    case_names().into_iter().map(|c| run_case(sys, c)).collect()
+}
+
+/// The canonical paper system (re-exported for binaries).
+pub fn paper_system() -> DasWoodsideSystem {
+    das_woodside_system()
+}
+
+/// Short, paper-style label (C1..C6 / failed) for a configuration of the
+/// paper system, based on which chains run and which server serves them.
+pub fn short_label(sys: &DasWoodsideSystem, c: &Configuration) -> String {
+    if c.is_failed() {
+        return "failed".to_string();
+    }
+    let a = c.user_chains.contains(&sys.user_a);
+    let b = c.user_chains.contains(&sys.user_b);
+    let on_backup = c
+        .used_services
+        .values()
+        .any(|&e| e == sys.e_a2 || e == sys.e_b2);
+    match (a, b, on_backup) {
+        (true, false, false) => "C1".into(),
+        (true, false, true) => "C2".into(),
+        (false, true, false) => "C3".into(),
+        (false, true, true) => "C4".into(),
+        (true, true, false) => "C5".into(),
+        (true, true, true) => "C6".into(),
+        _ => c.label(&sys.model),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_cases_run_and_normalise() {
+        let sys = paper_system();
+        for case in run_all_cases(&sys) {
+            assert!(
+                (case.dist.total_probability() - 1.0).abs() < 1e-9,
+                "{} does not normalise",
+                case.name
+            );
+            assert_eq!(case.configs.len(), case.perfs.len());
+        }
+    }
+
+    #[test]
+    fn fallible_counts_match_paper() {
+        let sys = paper_system();
+        let counts: Vec<usize> = run_all_cases(&sys).iter().map(|c| c.fallible).collect();
+        assert_eq!(counts, vec![8, 14, 16, 18, 16]);
+    }
+
+    #[test]
+    fn short_labels_cover_all_configs() {
+        let sys = paper_system();
+        let case = run_case(&sys, "perfect");
+        let mut labels: Vec<String> = case.configs.iter().map(|c| short_label(&sys, c)).collect();
+        labels.sort();
+        assert_eq!(labels, vec!["C1", "C2", "C3", "C4", "C5", "C6", "failed"]);
+    }
+}

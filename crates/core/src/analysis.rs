@@ -1,0 +1,349 @@
+//! The configured study and the exact state-enumeration engines.
+
+use crate::ccf::FailureDependencies;
+use crate::distribution::ConfigDistribution;
+use fmperf_ftlqn::{FaultGraph, KnowPolicy, PerfectKnowledge};
+use fmperf_mama::{ComponentSpace, KnowTable};
+
+/// Where `know` answers come from.
+#[derive(Debug, Clone, Copy)]
+pub enum Knowledge<'a> {
+    /// Every task knows everything (the paper's earlier IPDS'98 model).
+    Perfect,
+    /// Knowledge limited by a MAMA architecture.
+    Mama(&'a KnowTable),
+}
+
+/// One configured performability study: application fault graph,
+/// component space, knowledge source and know policy.
+#[derive(Debug, Clone, Copy)]
+pub struct Analysis<'a> {
+    pub(crate) graph: &'a FaultGraph<'a>,
+    pub(crate) space: &'a ComponentSpace,
+    pub(crate) knowledge: Knowledge<'a>,
+    pub(crate) policy: KnowPolicy,
+    pub(crate) unmonitored_known: bool,
+}
+
+impl<'a> Analysis<'a> {
+    /// Creates a perfect-knowledge study; attach a MAMA knowledge table
+    /// with [`with_knowledge`](Analysis::with_knowledge).
+    ///
+    /// The default know policy is [`KnowPolicy::AnyFailedComponent`]:
+    /// reproducing the paper's Table 1 pins down that reading (knowing
+    /// any one failed component of a skipped alternative suffices); the
+    /// stricter literal reading is available via
+    /// [`with_policy`](Analysis::with_policy).
+    pub fn new(graph: &'a FaultGraph<'a>, space: &'a ComponentSpace) -> Self {
+        Analysis {
+            graph,
+            space,
+            knowledge: Knowledge::Perfect,
+            policy: KnowPolicy::AnyFailedComponent,
+            unmonitored_known: false,
+        }
+    }
+
+    /// Uses a MAMA-derived knowledge table instead of perfect knowledge.
+    pub fn with_knowledge(mut self, table: &'a KnowTable) -> Self {
+        self.knowledge = Knowledge::Mama(table);
+        self
+    }
+
+    /// Sets the skipped-alternative knowledge policy (default:
+    /// [`KnowPolicy::AnyFailedComponent`], the reading that reproduces
+    /// the paper's Table 1).
+    pub fn with_policy(mut self, policy: KnowPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Treats components with **no** knowledge path to the decider as
+    /// vacuously known (exempt from the know requirement) instead of
+    /// never known.
+    ///
+    /// Default `false` — what was never monitored cannot be learned.
+    /// The paper's Table 2 *distributed* column is only reproducible
+    /// under `true` combined with
+    /// [`fmperf_mama::arch::distributed_as_published`]: the published
+    /// numbers imply cross-domain components were exempt from the
+    /// knowledge test rather than blocked by it.
+    pub fn with_unmonitored_known(mut self, known: bool) -> Self {
+        self.unmonitored_known = known;
+        self
+    }
+
+    /// Number of states the exact enumeration will visit
+    /// (`2^fallible-components`).
+    pub fn state_space_size(&self) -> u64 {
+        1u64 << self.space.fallible_indices().len()
+    }
+
+    fn configuration_of(&self, state: &[bool]) -> fmperf_ftlqn::Configuration {
+        match self.knowledge {
+            Knowledge::Perfect => self
+                .graph
+                .configuration(state, &PerfectKnowledge, self.policy),
+            Knowledge::Mama(table) => {
+                let oracle = table
+                    .oracle(state)
+                    .default_for_missing(self.unmonitored_known);
+                self.graph.configuration(state, &oracle, self.policy)
+            }
+        }
+    }
+
+    /// The paper's §5 step 4: enumerate all `2^N` up/down combinations of
+    /// the fallible components and accumulate configuration
+    /// probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 30 components are fallible (use
+    /// [`monte_carlo`](Analysis::monte_carlo) or
+    /// [`symbolic`](Analysis::symbolic) instead).
+    pub fn enumerate(&self) -> ConfigDistribution {
+        self.enumerate_masked(None)
+    }
+
+    /// [`enumerate`](Analysis::enumerate) with common-cause failure
+    /// dependencies: each group is an extra Bernoulli event that forces
+    /// all members down (see [`crate::ccf`]).
+    pub fn enumerate_with_dependencies(&self, deps: &FailureDependencies) -> ConfigDistribution {
+        self.enumerate_masked(Some(deps))
+    }
+
+    fn enumerate_masked(&self, deps: Option<&FailureDependencies>) -> ConfigDistribution {
+        let fallible = self.space.fallible_indices();
+        assert!(
+            fallible.len() <= 30,
+            "{} fallible components: exact enumeration is infeasible",
+            fallible.len()
+        );
+        let group_count = deps.map_or(0, |d| d.group_count());
+        assert!(
+            fallible.len() + group_count <= 30,
+            "too many components + groups"
+        );
+        let n_states: u64 = 1 << fallible.len();
+        let n_group_states: u64 = 1 << group_count;
+
+        let mut dist = ConfigDistribution::new();
+        let mut state = self.space.all_up();
+        for gmask in 0..n_group_states {
+            let gprob = deps.map_or(1.0, |d| d.mask_probability(gmask));
+            if gprob == 0.0 {
+                continue;
+            }
+            let forced: Vec<usize> = deps.map_or(Vec::new(), |d| d.forced_down(gmask));
+            for mask in 0..n_states {
+                let mut prob = gprob;
+                for (bit, &ix) in fallible.iter().enumerate() {
+                    let up = mask & (1 << bit) != 0;
+                    state[ix] = up;
+                    prob *= if up {
+                        self.space.up_prob(ix)
+                    } else {
+                        1.0 - self.space.up_prob(ix)
+                    };
+                }
+                if prob == 0.0 {
+                    continue;
+                }
+                // Common-cause events override the independent state.
+                for &ix in &forced {
+                    state[ix] = false;
+                }
+                let config = self.configuration_of(&state);
+                dist.add(config, prob);
+                for &ix in &forced {
+                    state[ix] = true; // restore for next iteration
+                }
+            }
+        }
+        // Reset state vector invariant (not strictly needed; state is local).
+        dist.set_states_explored(n_states * n_group_states);
+        dist
+    }
+
+    /// Multi-threaded exact enumeration: identical result to
+    /// [`enumerate`](Analysis::enumerate), mask range split across
+    /// `threads` workers.
+    pub fn enumerate_parallel(&self, threads: usize) -> ConfigDistribution {
+        let fallible = self.space.fallible_indices();
+        assert!(
+            fallible.len() <= 30,
+            "{} fallible components: exact enumeration is infeasible",
+            fallible.len()
+        );
+        let threads = threads.max(1);
+        let n_states: u64 = 1 << fallible.len();
+        let chunk = n_states.div_ceil(threads as u64);
+        let mut dist = ConfigDistribution::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let lo = chunk * t as u64;
+                let hi = (lo + chunk).min(n_states);
+                if lo >= hi {
+                    continue;
+                }
+                let fallible = &fallible;
+                let this = *self;
+                handles.push(scope.spawn(move || {
+                    let mut local = ConfigDistribution::new();
+                    let mut state = this.space.all_up();
+                    for mask in lo..hi {
+                        let mut prob = 1.0;
+                        for (bit, &ix) in fallible.iter().enumerate() {
+                            let up = mask & (1 << bit) != 0;
+                            state[ix] = up;
+                            prob *= if up {
+                                this.space.up_prob(ix)
+                            } else {
+                                1.0 - this.space.up_prob(ix)
+                            };
+                        }
+                        if prob == 0.0 {
+                            continue;
+                        }
+                        local.add(this.configuration_of(&state), prob);
+                    }
+                    local
+                }));
+            }
+            for h in handles {
+                dist.merge(h.join().expect("enumeration worker panicked"));
+            }
+        });
+        dist.set_states_explored(n_states);
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmperf_ftlqn::examples::das_woodside_system;
+    use fmperf_ftlqn::Configuration;
+    use fmperf_mama::arch;
+
+    /// The perfect-knowledge column of Table 1/2: probabilities the paper
+    /// reports to three decimals.
+    #[test]
+    fn perfect_knowledge_matches_paper_table() {
+        let sys = das_woodside_system();
+        let graph = sys.fault_graph().unwrap();
+        let space = ComponentSpace::app_only(&sys.model);
+        let analysis = Analysis::new(&graph, &space);
+        assert_eq!(analysis.state_space_size(), 256);
+        let dist = analysis.enumerate();
+        assert!((dist.total_probability() - 1.0).abs() < 1e-9);
+
+        // C5: both chains on Server1 = 0.81^3 = 0.531441.
+        let state = space.all_up();
+        let c5 = graph.configuration(&state, &PerfectKnowledge, KnowPolicy::AllFailedComponents);
+        assert!((dist.probability(&c5) - 0.531441).abs() < 1e-6);
+        // Failed probability ≈ 0.071.
+        assert!((dist.failed_probability() - 0.0708).abs() < 5e-4);
+        // Six distinct operational configurations + failed.
+        assert_eq!(dist.len(), 7);
+    }
+
+    #[test]
+    fn centralized_matches_paper_table1() {
+        let sys = das_woodside_system();
+        let graph = sys.fault_graph().unwrap();
+        let mama = arch::centralized(&sys, 0.1);
+        let space = ComponentSpace::build(&sys.model, &mama);
+        let table = KnowTable::build(&graph, &mama, &space);
+        let analysis = Analysis::new(&graph, &space).with_knowledge(&table);
+        assert_eq!(analysis.state_space_size(), 16384);
+        let dist = analysis.enumerate();
+        assert!((dist.total_probability() - 1.0).abs() < 1e-9);
+
+        // Paper Table 1 (centralized), all seven rows: C1..C6 + failed.
+        // Ranked by probability: C5 (0.314), C1 = C3 (0.117),
+        // C6 (0.057), C2 = C4 (0.021), failed (0.353).
+        let ranked = dist.ranked();
+        assert_eq!(ranked.len(), 6);
+        let expect = [0.314, 0.117, 0.117, 0.057, 0.021, 0.021];
+        for ((_, p), e) in ranked.iter().zip(expect) {
+            assert!((p - e).abs() < 0.002, "probability {p} should be ~{e}");
+        }
+        let pf = dist.failed_probability();
+        assert!(
+            (pf - 0.353).abs() < 0.002,
+            "failed probability {pf} should be ~0.353 (paper Table 1)"
+        );
+    }
+
+    /// The paper's Table 2 distributed column, reproduced bit-for-bit by
+    /// the as-published topology plus unmonitored-exempt semantics (see
+    /// `fmperf_mama::arch::distributed_as_published`).
+    #[test]
+    fn distributed_as_published_matches_paper_table2() {
+        let sys = das_woodside_system();
+        let graph = sys.fault_graph().unwrap();
+        let mama = arch::distributed_as_published(&sys, 0.1);
+        let space = ComponentSpace::build(&sys.model, &mama);
+        let table = KnowTable::build(&graph, &mama, &space);
+        let analysis = Analysis::new(&graph, &space)
+            .with_knowledge(&table)
+            .with_unmonitored_known(true);
+        assert_eq!(analysis.state_space_size(), 65536);
+        let dist = analysis.enumerate();
+        // Ranked: C5 0.349, C3 0.307, C1 0.082, C6 0.046, C2 0.041,
+        // C4 0.036; failed 0.139 (the paper rounds row-wise).
+        let ranked = dist.ranked();
+        let expect = [0.349, 0.307, 0.082, 0.046, 0.041, 0.036];
+        assert_eq!(ranked.len(), expect.len());
+        for ((_, p), e) in ranked.iter().zip(expect) {
+            assert!((p - e).abs() < 0.001, "probability {p} should be ~{e}");
+        }
+        assert!((dist.failed_probability() - 0.139).abs() < 0.002);
+    }
+
+    #[test]
+    fn parallel_enumeration_is_identical() {
+        let sys = das_woodside_system();
+        let graph = sys.fault_graph().unwrap();
+        let mama = arch::centralized(&sys, 0.1);
+        let space = ComponentSpace::build(&sys.model, &mama);
+        let table = KnowTable::build(&graph, &mama, &space);
+        let analysis = Analysis::new(&graph, &space).with_knowledge(&table);
+        let seq = analysis.enumerate();
+        let par = analysis.enumerate_parallel(4);
+        assert!(seq.max_abs_diff(&par) < 1e-12);
+        assert_eq!(seq.len(), par.len());
+    }
+
+    #[test]
+    fn know_policy_changes_coverage() {
+        let sys = das_woodside_system();
+        let graph = sys.fault_graph().unwrap();
+        let mama = arch::centralized(&sys, 0.1);
+        let space = ComponentSpace::build(&sys.model, &mama);
+        let table = KnowTable::build(&graph, &mama, &space);
+        let strict = Analysis::new(&graph, &space)
+            .with_knowledge(&table)
+            .with_policy(KnowPolicy::AllFailedComponents)
+            .enumerate();
+        let lax = Analysis::new(&graph, &space)
+            .with_knowledge(&table)
+            .with_policy(KnowPolicy::AnyFailedComponent)
+            .enumerate();
+        // The lax policy can only help coverage: failure probability must
+        // not increase.
+        assert!(lax.failed_probability() <= strict.failed_probability() + 1e-12);
+    }
+
+    #[test]
+    fn failed_state_always_has_failed_config_mass() {
+        let sys = das_woodside_system();
+        let graph = sys.fault_graph().unwrap();
+        let space = ComponentSpace::app_only(&sys.model);
+        let dist = Analysis::new(&graph, &space).enumerate();
+        assert!(dist.probability(&Configuration::default()) > 0.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Repair models: translating MTTF/MTTR figures into the steady-state
+//! failure probabilities the paper's analysis consumes.
+//!
+//! The paper works directly with steady-state failure probabilities
+//! (e.g. 0.1 per component).  Operational data usually arrives as mean
+//! time to failure and mean time to repair; for an alternating renewal
+//! process the long-run unavailability is `MTTR / (MTTF + MTTR)`,
+//! independently of the distributions' shapes.
+
+use std::fmt;
+
+/// An alternating failure/repair process for one component.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepairModel {
+    /// Mean time to failure, in seconds.
+    pub mttf: f64,
+    /// Mean time to repair, in seconds.
+    pub mttr: f64,
+}
+
+/// Errors constructing a [`RepairModel`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairModelError(String);
+
+impl fmt::Display for RepairModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid repair model: {}", self.0)
+    }
+}
+
+impl std::error::Error for RepairModelError {}
+
+impl RepairModel {
+    /// Creates a model from MTTF and MTTR (both in seconds).
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive or non-finite times.
+    pub fn new(mttf: f64, mttr: f64) -> Result<Self, RepairModelError> {
+        if !(mttf.is_finite() && mttf > 0.0) {
+            return Err(RepairModelError(format!(
+                "MTTF must be positive, got {mttf}"
+            )));
+        }
+        if !(mttr.is_finite() && mttr > 0.0) {
+            return Err(RepairModelError(format!(
+                "MTTR must be positive, got {mttr}"
+            )));
+        }
+        Ok(RepairModel { mttf, mttr })
+    }
+
+    /// Steady-state failure probability `MTTR / (MTTF + MTTR)` — what
+    /// [`fmperf_ftlqn::FtlqnModel`] and MAMA builders take as `fail_prob`.
+    pub fn fail_prob(&self) -> f64 {
+        self.mttr / (self.mttf + self.mttr)
+    }
+
+    /// Steady-state availability (1 − failure probability).
+    pub fn availability(&self) -> f64 {
+        self.mttf / (self.mttf + self.mttr)
+    }
+
+    /// Failure rate λ = 1/MTTF (events per second), as consumed by the
+    /// delay models.
+    pub fn failure_rate(&self) -> f64 {
+        1.0 / self.mttf
+    }
+
+    /// Repair rate μ = 1/MTTR (repairs per second).
+    pub fn repair_rate(&self) -> f64 {
+        1.0 / self.mttr
+    }
+
+    /// Reconstructs a model from a target steady-state failure
+    /// probability and a known MTTR.
+    ///
+    /// # Errors
+    ///
+    /// Rejects probabilities outside `(0, 1)` and non-positive MTTR.
+    pub fn from_fail_prob(fail_prob: f64, mttr: f64) -> Result<Self, RepairModelError> {
+        if !(0.0..1.0).contains(&fail_prob) || fail_prob == 0.0 {
+            return Err(RepairModelError(format!(
+                "failure probability must lie in (0, 1), got {fail_prob}"
+            )));
+        }
+        let mttf = mttr * (1.0 - fail_prob) / fail_prob;
+        RepairModel::new(mttf, mttr)
+    }
+
+    /// The matching [`crate::delay::ComponentDelayCycle`] for a given
+    /// detection+reconfiguration window.
+    pub fn delay_cycle(&self, delay: f64) -> crate::delay::ComponentDelayCycle {
+        crate::delay::ComponentDelayCycle {
+            failure_rate: self.failure_rate(),
+            repair_rate: self.repair_rate(),
+            delay,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unavailability_formula() {
+        // Fails monthly, repaired in ~3.3 days: p = 0.1 (the paper's
+        // number corresponds to quite slow repairs).
+        let m = RepairModel::new(30.0 * 86400.0, 80_000.0).unwrap();
+        assert!((m.fail_prob() - 80_000.0 / (30.0 * 86400.0 + 80_000.0)).abs() < 1e-12);
+        assert!((m.fail_prob() + m.availability() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn from_fail_prob_roundtrips() {
+        let m = RepairModel::from_fail_prob(0.1, 3_600.0).unwrap();
+        assert!((m.fail_prob() - 0.1).abs() < 1e-12);
+        assert!((m.mttr - 3_600.0).abs() < 1e-9);
+        assert!((m.mttf - 32_400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rates_are_reciprocals() {
+        let m = RepairModel::new(100.0, 4.0).unwrap();
+        assert!((m.failure_rate() - 0.01).abs() < 1e-15);
+        assert!((m.repair_rate() - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(RepairModel::new(0.0, 1.0).is_err());
+        assert!(RepairModel::new(1.0, -1.0).is_err());
+        assert!(RepairModel::new(f64::NAN, 1.0).is_err());
+        assert!(RepairModel::from_fail_prob(0.0, 1.0).is_err());
+        assert!(RepairModel::from_fail_prob(1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn delay_cycle_wiring() {
+        let m = RepairModel::new(1000.0, 10.0).unwrap();
+        let c = m.delay_cycle(5.0);
+        assert!((c.failure_rate - 1e-3).abs() < 1e-15);
+        assert!((c.repair_rate - 0.1).abs() < 1e-15);
+        assert_eq!(c.delay, 5.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Common-cause failure groups — the failure-dependency extension.
+//!
+//! The paper's earlier work (its reference \[10\]) generalises independent
+//! failures with "failure dependency factors".  We model the most common
+//! practical dependency: a *common-cause event* (power feed, rack switch,
+//! shared hypervisor) that takes down a whole group of components at
+//! once.  Each group `g` is an independent Bernoulli event with
+//! probability `π_g`; when it fires, every member is down regardless of
+//! its own state.  Between events, components fail independently as
+//! before.
+
+/// A set of common-cause failure groups over global component indices.
+#[derive(Debug, Clone, Default)]
+pub struct FailureDependencies {
+    groups: Vec<Group>,
+}
+
+#[derive(Debug, Clone)]
+struct Group {
+    name: String,
+    probability: f64,
+    members: Vec<usize>,
+}
+
+impl FailureDependencies {
+    /// Creates an empty dependency set (equivalent to independence).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a group: with probability `probability` the common cause
+    /// fires and every member component is forced down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probability` is outside `[0, 1]`.
+    pub fn add_group(
+        &mut self,
+        name: impl Into<String>,
+        probability: f64,
+        members: Vec<usize>,
+    ) -> &mut Self {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "group probability must lie in [0, 1]"
+        );
+        self.groups.push(Group {
+            name: name.into(),
+            probability,
+            members,
+        });
+        self
+    }
+
+    /// Number of groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Name of group `g`.
+    pub fn group_name(&self, g: usize) -> &str {
+        &self.groups[g].name
+    }
+
+    /// Probability of a particular fire/no-fire mask over the groups
+    /// (bit `g` set = group `g` fired).
+    pub fn mask_probability(&self, mask: u64) -> f64 {
+        self.groups
+            .iter()
+            .enumerate()
+            .map(|(g, grp)| {
+                if mask & (1 << g) != 0 {
+                    grp.probability
+                } else {
+                    1.0 - grp.probability
+                }
+            })
+            .product()
+    }
+
+    /// The union of members of all fired groups in `mask`.
+    pub fn forced_down(&self, mask: u64) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .groups
+            .iter()
+            .enumerate()
+            .filter(|(g, _)| mask & (1 << g) != 0)
+            .flat_map(|(_, grp)| grp.members.iter().copied())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::Analysis;
+    use fmperf_ftlqn::examples::das_woodside_system;
+    use fmperf_ftlqn::Component;
+    use fmperf_mama::ComponentSpace;
+
+    #[test]
+    fn mask_probability_is_product() {
+        let mut deps = FailureDependencies::new();
+        deps.add_group("rack1", 0.2, vec![0, 1]);
+        deps.add_group("rack2", 0.5, vec![2]);
+        assert!((deps.mask_probability(0b00) - 0.8 * 0.5).abs() < 1e-12);
+        assert!((deps.mask_probability(0b01) - 0.2 * 0.5).abs() < 1e-12);
+        assert!((deps.mask_probability(0b11) - 0.2 * 0.5).abs() < 1e-12);
+        let total: f64 = (0..4).map(|m| deps.mask_probability(m)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forced_down_unions_members() {
+        let mut deps = FailureDependencies::new();
+        deps.add_group("a", 0.1, vec![3, 1]);
+        deps.add_group("b", 0.1, vec![1, 7]);
+        assert_eq!(deps.forced_down(0b11), vec![1, 3, 7]);
+        assert_eq!(deps.forced_down(0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn common_cause_raises_failure_probability() {
+        let sys = das_woodside_system();
+        let graph = sys.fault_graph().unwrap();
+        let space = ComponentSpace::app_only(&sys.model);
+        let analysis = Analysis::new(&graph, &space);
+        let independent = analysis.enumerate();
+
+        // Both servers share a rack that dies with probability 0.2.
+        let mut deps = FailureDependencies::new();
+        deps.add_group(
+            "shared-rack",
+            0.2,
+            vec![
+                sys.model.component_index(Component::Processor(sys.proc3)),
+                sys.model.component_index(Component::Processor(sys.proc4)),
+            ],
+        );
+        let dependent = analysis.enumerate_with_dependencies(&deps);
+        assert!((dependent.total_probability() - 1.0).abs() < 1e-9);
+        assert!(
+            dependent.failed_probability() > independent.failed_probability() + 0.1,
+            "losing both servers at once must hurt: {} vs {}",
+            dependent.failed_probability(),
+            independent.failed_probability()
+        );
+    }
+
+    #[test]
+    fn zero_probability_group_changes_nothing() {
+        let sys = das_woodside_system();
+        let graph = sys.fault_graph().unwrap();
+        let space = ComponentSpace::app_only(&sys.model);
+        let analysis = Analysis::new(&graph, &space);
+        let independent = analysis.enumerate();
+        let mut deps = FailureDependencies::new();
+        deps.add_group("never", 0.0, vec![0, 1, 2]);
+        let dependent = analysis.enumerate_with_dependencies(&deps);
+        assert!(independent.max_abs_diff(&dependent) < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in")]
+    fn bad_group_probability_panics() {
+        FailureDependencies::new().add_group("bad", 1.5, vec![0]);
+    }
+}

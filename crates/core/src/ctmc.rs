@@ -1,0 +1,293 @@
+//! A small continuous-time Markov chain substrate.
+//!
+//! The paper's conclusion points to its reference \[29\] for extending the
+//! analysis with detection and reconfiguration *delays*, noting that the
+//! extension "leads to a serious increase in the number of states".  The
+//! delay extension in [`crate::delay`] uses this module: per-component
+//! failure/detection/repair cycles are small CTMCs whose stationary
+//! distributions weight the rewards of the intermediate (failed but not
+//! yet reconfigured) phases.
+//!
+//! The stationary distribution is computed with the
+//! Grassmann–Taksar–Heyman (GTH) elimination, which avoids subtraction
+//! entirely and is numerically stable even for stiff chains (failure
+//! rates of 1e-6/s against detection rates of 1/s are routine here).
+
+#![allow(clippy::needless_range_loop)] // index-parallel arrays: indices are the clearer idiom
+
+use std::fmt;
+
+/// A finite CTMC described by its off-diagonal transition rates.
+#[derive(Debug, Clone)]
+pub struct Ctmc {
+    n: usize,
+    /// Dense rate matrix; `rates[i][j]` = rate from `i` to `j`, diagonal
+    /// unused.
+    rates: Vec<Vec<f64>>,
+}
+
+/// Errors from CTMC analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CtmcError {
+    /// The chain is reducible (some state unreachable or absorbing
+    /// subclass): no unique stationary distribution exists.
+    Reducible {
+        /// A state involved in the reducibility.
+        state: usize,
+    },
+    /// A rate was negative or non-finite.
+    InvalidRate {
+        /// Source state.
+        from: usize,
+        /// Target state.
+        to: usize,
+    },
+}
+
+impl fmt::Display for CtmcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CtmcError::Reducible { state } => {
+                write!(f, "chain is reducible around state {state}")
+            }
+            CtmcError::InvalidRate { from, to } => {
+                write!(f, "invalid rate on transition {from} -> {to}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CtmcError {}
+
+impl Ctmc {
+    /// Creates a chain with `n` states and no transitions.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "a chain needs at least one state");
+        Ctmc {
+            n,
+            rates: vec![vec![0.0; n]; n],
+        }
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` for the trivial one-state chain... never: `n >= 1` and the
+    /// chain always has at least one state.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Adds (accumulates) a transition rate from `i` to `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i == j` or either index is out of bounds.
+    pub fn add_transition(&mut self, i: usize, j: usize, rate: f64) -> &mut Self {
+        assert!(i != j, "self transitions are meaningless in a CTMC");
+        assert!(i < self.n && j < self.n, "state out of bounds");
+        self.rates[i][j] += rate;
+        self
+    }
+
+    /// The current rate from `i` to `j`.
+    pub fn rate(&self, i: usize, j: usize) -> f64 {
+        self.rates[i][j]
+    }
+
+    /// Stationary distribution by GTH elimination.
+    ///
+    /// # Errors
+    ///
+    /// [`CtmcError::InvalidRate`] for negative or non-finite rates;
+    /// [`CtmcError::Reducible`] when no unique stationary distribution
+    /// exists.
+    pub fn stationary(&self) -> Result<Vec<f64>, CtmcError> {
+        for (i, row) in self.rates.iter().enumerate() {
+            for (j, &r) in row.iter().enumerate() {
+                if i != j && (r < 0.0 || !r.is_finite()) {
+                    return Err(CtmcError::InvalidRate { from: i, to: j });
+                }
+            }
+        }
+        let n = self.n;
+        if n == 1 {
+            return Ok(vec![1.0]);
+        }
+        // GTH works on the embedded structure directly; copy the rates.
+        let mut q = self.rates.clone();
+        // Forward elimination: fold states n-1 .. 1 into the rest.
+        for k in (1..n).rev() {
+            let s: f64 = q[k][..k].iter().sum();
+            if s <= 0.0 {
+                // State k cannot reach the remaining block: reducible.
+                return Err(CtmcError::Reducible { state: k });
+            }
+            for i in 0..k {
+                let factor = q[i][k] / s;
+                if factor == 0.0 {
+                    continue;
+                }
+                for j in 0..k {
+                    if i != j {
+                        q[i][j] += factor * q[k][j];
+                    }
+                }
+            }
+        }
+        // Back substitution.
+        let mut pi = vec![0.0f64; n];
+        pi[0] = 1.0;
+        for k in 1..n {
+            let s: f64 = q[k][..k].iter().sum();
+            let mut val = 0.0;
+            for i in 0..k {
+                val += pi[i] * q[i][k];
+            }
+            pi[k] = val / s;
+        }
+        let total: f64 = pi.iter().sum();
+        if !(total.is_finite() && total > 0.0) {
+            return Err(CtmcError::Reducible { state: 0 });
+        }
+        for p in &mut pi {
+            *p /= total;
+        }
+        // Reducibility the elimination cannot see: states never entered.
+        for (k, &p) in pi.iter().enumerate() {
+            if p == 0.0 && self.rates[k].iter().any(|&r| r > 0.0) {
+                // An unreachable transient state is tolerable only if it
+                // also receives nothing; then it deserves probability 0
+                // but the chain is still reducible by definition.
+                let receives = (0..n).any(|i| self.rates[i][k] > 0.0);
+                if !receives {
+                    return Err(CtmcError::Reducible { state: k });
+                }
+            }
+        }
+        Ok(pi)
+    }
+
+    /// Expected steady-state reward: `Σ π_i · reward[i]`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::stationary`] failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rewards.len() != len()`.
+    pub fn expected_reward(&self, rewards: &[f64]) -> Result<f64, CtmcError> {
+        assert_eq!(rewards.len(), self.n, "one reward per state");
+        let pi = self.stationary()?;
+        Ok(pi.iter().zip(rewards).map(|(p, r)| p * r).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_state_up_down() {
+        // Up -λ-> Down -μ-> Up: availability μ/(λ+μ).
+        let mut c = Ctmc::new(2);
+        c.add_transition(0, 1, 0.1).add_transition(1, 0, 0.9);
+        let pi = c.stationary().unwrap();
+        assert!((pi[0] - 0.9).abs() < 1e-12);
+        assert!((pi[1] - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn birth_death_matches_closed_form() {
+        // M/M/1/K with arrival λ, service μ: π_k ∝ (λ/μ)^k.
+        let (lambda, mu, k) = (2.0, 3.0, 5usize);
+        let mut c = Ctmc::new(k + 1);
+        for i in 0..k {
+            c.add_transition(i, i + 1, lambda);
+            c.add_transition(i + 1, i, mu);
+        }
+        let pi = c.stationary().unwrap();
+        let rho: f64 = lambda / mu;
+        let norm: f64 = (0..=k).map(|i| rho.powi(i as i32)).sum();
+        for (i, &p) in pi.iter().enumerate() {
+            let expect = rho.powi(i as i32) / norm;
+            assert!((p - expect).abs() < 1e-12, "state {i}: {p} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn stiff_rates_remain_stable() {
+        // Failure once a month vs detection in a second: 7 orders of
+        // magnitude apart.  GTH must not lose the small mass.
+        let mut c = Ctmc::new(3);
+        let lambda = 1.0 / (30.0 * 86400.0);
+        c.add_transition(0, 1, lambda); // fail
+        c.add_transition(1, 2, 1.0); // detect
+        c.add_transition(2, 0, 1.0 / 3600.0); // repair in an hour
+        let pi = c.stationary().unwrap();
+        assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // π1/π0 = λ/δ exactly.
+        assert!((pi[1] / pi[0] - lambda).abs() / lambda < 1e-9);
+        assert!(pi[0] > 0.998);
+    }
+
+    #[test]
+    fn cyclic_three_state() {
+        // 0 -> 1 -> 2 -> 0 with unit rates: uniform.
+        let mut c = Ctmc::new(3);
+        c.add_transition(0, 1, 1.0)
+            .add_transition(1, 2, 1.0)
+            .add_transition(2, 0, 1.0);
+        let pi = c.stationary().unwrap();
+        for &p in &pi {
+            assert!((p - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn reducible_chain_rejected() {
+        // Two disconnected states.
+        let c = Ctmc::new(2);
+        assert!(matches!(c.stationary(), Err(CtmcError::Reducible { .. })));
+        // One-way street into an absorbing state is fine for GTH
+        // (absorbing state has all the mass)... but state 0 then gets 0
+        // and the chain is technically absorbing; our detector flags the
+        // never-receiving source.
+        let mut c = Ctmc::new(2);
+        c.add_transition(0, 1, 1.0);
+        assert!(matches!(c.stationary(), Err(CtmcError::Reducible { .. })));
+    }
+
+    #[test]
+    fn invalid_rate_rejected() {
+        let mut c = Ctmc::new(2);
+        c.add_transition(0, 1, f64::NAN);
+        c.add_transition(1, 0, 1.0);
+        assert!(matches!(c.stationary(), Err(CtmcError::InvalidRate { .. })));
+    }
+
+    #[test]
+    fn expected_reward_weights_by_stationary() {
+        let mut c = Ctmc::new(2);
+        c.add_transition(0, 1, 1.0).add_transition(1, 0, 3.0);
+        // π = (0.75, 0.25)
+        let r = c.expected_reward(&[4.0, 0.0]).unwrap();
+        assert!((r - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_state_chain() {
+        let c = Ctmc::new(1);
+        assert_eq!(c.stationary().unwrap(), vec![1.0]);
+        assert_eq!(c.expected_reward(&[7.0]).unwrap(), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self transitions")]
+    fn self_transition_panics() {
+        Ctmc::new(2).add_transition(1, 1, 1.0);
+    }
+}

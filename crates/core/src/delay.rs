@@ -1,0 +1,329 @@
+//! First-order detection/reconfiguration delay penalty — the extension
+//! the paper's conclusion sketches via its reference \[29\].
+//!
+//! The steady-state analysis treats detection and reconfiguration as
+//! instantaneous (given coverage).  In reality every covered failure
+//! opens a window — heartbeat interval + decision + retargeting — during
+//! which the affected chains earn the *pre-reconfiguration* (degraded or
+//! zero) reward instead of the post-reconfiguration one.  A full model
+//! multiplies the state space (the paper notes this "leads to a serious
+//! increase in the number of states"); we implement the standard
+//! first-order correction instead:
+//!
+//! ```text
+//! R_adj = R_ss − Σ_c  rate_c · delay · [R(all-up) − R(all-up, c down)]⁺
+//! ```
+//!
+//! i.e. each component's failure rate times the expected reward deficit
+//! during one detection window, evaluated from the all-up configuration.
+//! This is accurate when failures are rare relative to repair and the
+//! delay is short relative to MTTF — exactly the regime where the
+//! steady-state probabilities of the paper are meaningful.
+
+use crate::analysis::{Analysis, Knowledge};
+use crate::reward::{solve_configurations, ConfigSolveError, RewardSpec};
+use fmperf_ftlqn::PerfectKnowledge;
+
+/// Failure-event rates and the detection/reconfiguration delay.
+#[derive(Debug, Clone)]
+pub struct DelayModel {
+    /// Mean detection + reconfiguration delay, in seconds.
+    pub delay: f64,
+    /// Failure events per second per global component index (length =
+    /// component-space size; entries for perfect components are ignored).
+    pub event_rate: Vec<f64>,
+}
+
+impl DelayModel {
+    /// A uniform model: every fallible component fails at `rate`
+    /// events/second and detection takes `delay` seconds.
+    pub fn uniform(space_len: usize, rate: f64, delay: f64) -> Self {
+        DelayModel {
+            delay,
+            event_rate: vec![rate; space_len],
+        }
+    }
+
+    /// The first-order reward penalty (see the [module docs](self)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates LQN solve failures.
+    pub fn penalty(
+        &self,
+        analysis: &Analysis<'_>,
+        spec: &RewardSpec,
+    ) -> Result<f64, ConfigSolveError> {
+        let space = analysis.space;
+        let ft = analysis.graph.model();
+        let reward_of_state = |state: &[bool]| -> Result<f64, ConfigSolveError> {
+            let config = match analysis.knowledge {
+                Knowledge::Perfect => {
+                    analysis
+                        .graph
+                        .configuration(state, &PerfectKnowledge, analysis.policy)
+                }
+                Knowledge::Mama(table) => {
+                    let oracle = table
+                        .oracle(state)
+                        .default_for_missing(analysis.unmonitored_known);
+                    analysis
+                        .graph
+                        .configuration(state, &oracle, analysis.policy)
+                }
+            };
+            let perfs = solve_configurations(ft, &[config])?;
+            Ok(spec.reward(&perfs[0]))
+        };
+        let all_up = space.all_up();
+        let r_up = reward_of_state(&all_up)?;
+        let mut penalty = 0.0;
+        for ix in space.fallible_indices() {
+            let rate = self.event_rate.get(ix).copied().unwrap_or(0.0);
+            if rate <= 0.0 {
+                continue;
+            }
+            let mut state = all_up.clone();
+            state[ix] = false;
+            let r_down = reward_of_state(&state)?;
+            penalty += rate * self.delay * (r_up - r_down).max(0.0);
+        }
+        Ok(penalty)
+    }
+}
+
+/// A per-component failure / detection / repair cycle, solved exactly as
+/// a three-state CTMC (the refined version of the first-order
+/// [`DelayModel`]):
+///
+/// ```text
+///   Up ──λ──> Down-undetected ──1/delay──> Down-covered ──μ──> Up
+/// ```
+///
+/// * **Up** earns the all-up reward.
+/// * **Down-undetected** earns the *frozen-routing* reward: requests keep
+///   flowing along the pre-failure paths, so every chain whose path
+///   touches the component fails (no reconfiguration has happened yet).
+/// * **Down-covered** earns the reward of the configuration the
+///   management architecture actually reaches for that failure (possibly
+///   still degraded, or failed when the failure is uncovered).
+#[derive(Debug, Clone, Copy)]
+pub struct ComponentDelayCycle {
+    /// Failure rate λ (events/second).
+    pub failure_rate: f64,
+    /// Repair rate μ (repairs/second).
+    pub repair_rate: f64,
+    /// Mean detection + reconfiguration delay (seconds).
+    pub delay: f64,
+}
+
+/// Result of [`ComponentDelayCycle::analyse`].
+#[derive(Debug, Clone)]
+pub struct ComponentDelayReport {
+    /// Global index of the component analysed.
+    pub component: usize,
+    /// Stationary probabilities of (up, down-undetected, down-covered).
+    pub stationary: [f64; 3],
+    /// Rewards of the three phases.
+    pub rewards: [f64; 3],
+    /// Expected reward of the cycle.
+    pub expected: f64,
+}
+
+impl ComponentDelayCycle {
+    /// Analyses the cycle of one component (all other components held
+    /// up), returning the exact CTMC-weighted reward.
+    ///
+    /// # Errors
+    ///
+    /// Propagates LQN solve failures (as [`ConfigSolveError`]) — CTMC
+    /// construction itself cannot fail for positive rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate or the delay is non-positive.
+    pub fn analyse(
+        &self,
+        analysis: &Analysis<'_>,
+        spec: &RewardSpec,
+        component: usize,
+    ) -> Result<ComponentDelayReport, ConfigSolveError> {
+        assert!(
+            self.failure_rate > 0.0 && self.repair_rate > 0.0 && self.delay > 0.0,
+            "rates and delay must be positive"
+        );
+        let space = analysis.space;
+        let ft = analysis.graph.model();
+        let all_up = space.all_up();
+        let mut down = all_up.clone();
+        down[component] = false;
+
+        let config_of = |state: &[bool]| match analysis.knowledge {
+            Knowledge::Perfect => {
+                analysis
+                    .graph
+                    .configuration(state, &PerfectKnowledge, analysis.policy)
+            }
+            Knowledge::Mama(table) => {
+                let oracle = table
+                    .oracle(state)
+                    .default_for_missing(analysis.unmonitored_known);
+                analysis
+                    .graph
+                    .configuration(state, &oracle, analysis.policy)
+            }
+        };
+        let reward_of = |config: &fmperf_ftlqn::Configuration| -> Result<f64, ConfigSolveError> {
+            if config.is_failed() {
+                return Ok(0.0);
+            }
+            let perfs = solve_configurations(ft, std::slice::from_ref(config))?;
+            Ok(spec.reward(&perfs[0]))
+        };
+
+        let c_up = config_of(&all_up);
+        let r_up = reward_of(&c_up)?;
+        let r_frozen = reward_of(&c_up.frozen_under(ft, &down))?;
+        let r_covered = reward_of(&config_of(&down))?;
+
+        let mut ctmc = crate::ctmc::Ctmc::new(3);
+        ctmc.add_transition(0, 1, self.failure_rate)
+            .add_transition(1, 2, 1.0 / self.delay)
+            .add_transition(2, 0, self.repair_rate);
+        let pi = ctmc.stationary().expect("three-state cycle is irreducible");
+        let rewards = [r_up, r_frozen, r_covered];
+        let expected = pi.iter().zip(rewards).map(|(p, r)| p * r).sum();
+        Ok(ComponentDelayReport {
+            component,
+            stationary: [pi[0], pi[1], pi[2]],
+            rewards,
+            expected,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::Analysis;
+    use crate::reward::expected_reward;
+    use fmperf_ftlqn::examples::das_woodside_system;
+    use fmperf_mama::ComponentSpace;
+
+    #[test]
+    fn zero_delay_means_zero_penalty() {
+        let sys = das_woodside_system();
+        let graph = sys.fault_graph().unwrap();
+        let space = ComponentSpace::app_only(&sys.model);
+        let analysis = Analysis::new(&graph, &space);
+        let spec = RewardSpec::new()
+            .weight(sys.user_a, 1.0)
+            .weight(sys.user_b, 1.0);
+        let model = DelayModel::uniform(space.len(), 1e-4, 0.0);
+        assert_eq!(model.penalty(&analysis, &spec).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn penalty_scales_linearly_with_delay_and_rate() {
+        let sys = das_woodside_system();
+        let graph = sys.fault_graph().unwrap();
+        let space = ComponentSpace::app_only(&sys.model);
+        let analysis = Analysis::new(&graph, &space);
+        let spec = RewardSpec::new()
+            .weight(sys.user_a, 1.0)
+            .weight(sys.user_b, 1.0);
+        let p1 = DelayModel::uniform(space.len(), 1e-4, 5.0)
+            .penalty(&analysis, &spec)
+            .unwrap();
+        let p2 = DelayModel::uniform(space.len(), 1e-4, 10.0)
+            .penalty(&analysis, &spec)
+            .unwrap();
+        let p3 = DelayModel::uniform(space.len(), 2e-4, 5.0)
+            .penalty(&analysis, &spec)
+            .unwrap();
+        assert!(p1 > 0.0, "single failures do cost reward here");
+        assert!((p2 - 2.0 * p1).abs() < 1e-9);
+        assert!((p3 - 2.0 * p1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ctmc_cycle_orders_phase_rewards_sensibly() {
+        use fmperf_ftlqn::Component;
+        let sys = das_woodside_system();
+        let graph = sys.fault_graph().unwrap();
+        let space = ComponentSpace::app_only(&sys.model);
+        let analysis = Analysis::new(&graph, &space);
+        let spec = RewardSpec::new()
+            .weight(sys.user_a, 1.0)
+            .weight(sys.user_b, 1.0);
+        let cycle = ComponentDelayCycle {
+            failure_rate: 1.0 / 86_400.0,
+            repair_rate: 1.0 / 3_600.0,
+            delay: 30.0,
+        };
+        // proc3 (the primary server's node): frozen routing loses both
+        // chains; covered reconfiguration recovers them on the backup.
+        let ix = sys.model.component_index(Component::Processor(sys.proc3));
+        let report = cycle.analyse(&analysis, &spec, ix).unwrap();
+        // The backup has the same demands as the primary, so the covered
+        // reward equals the all-up reward here.
+        assert!(report.rewards[0] >= report.rewards[2] - 1e-9);
+        assert!(
+            report.rewards[2] > report.rewards[1],
+            "covered beats frozen"
+        );
+        assert_eq!(
+            report.rewards[1], 0.0,
+            "frozen routing through proc3 fails all"
+        );
+        // Stationary mass ordering: up >> covered >> undetected window.
+        assert!(report.stationary[0] > 0.95);
+        assert!(report.stationary[1] < report.stationary[2]);
+        // Expected reward sits between the frozen and up rewards.
+        assert!(report.expected < report.rewards[0]);
+        assert!(report.expected > report.rewards[1]);
+    }
+
+    #[test]
+    fn ctmc_cycle_of_irrelevant_component_changes_little() {
+        use fmperf_ftlqn::Component;
+        let sys = das_woodside_system();
+        let graph = sys.fault_graph().unwrap();
+        let space = ComponentSpace::app_only(&sys.model);
+        let analysis = Analysis::new(&graph, &space);
+        let spec = RewardSpec::new()
+            .weight(sys.user_a, 1.0)
+            .weight(sys.user_b, 1.0);
+        let cycle = ComponentDelayCycle {
+            failure_rate: 1.0 / 86_400.0,
+            repair_rate: 1.0 / 3_600.0,
+            delay: 30.0,
+        };
+        // Server2 (the idle backup): frozen and covered rewards both stay
+        // at the all-up level because nothing routed through it.
+        let ix = sys.model.component_index(Component::Task(sys.server2));
+        let report = cycle.analyse(&analysis, &spec, ix).unwrap();
+        assert!((report.rewards[0] - report.rewards[1]).abs() < 1e-9);
+        assert!((report.expected - report.rewards[0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn penalty_stays_below_steady_state_reward_in_sane_regimes() {
+        let sys = das_woodside_system();
+        let graph = sys.fault_graph().unwrap();
+        let space = ComponentSpace::app_only(&sys.model);
+        let analysis = Analysis::new(&graph, &space);
+        let spec = RewardSpec::new()
+            .weight(sys.user_a, 1.0)
+            .weight(sys.user_b, 1.0);
+        let dist = analysis.enumerate();
+        let configs = dist.configurations();
+        let perfs = solve_configurations(&sys.model, &configs).unwrap();
+        let r_ss = expected_reward(&dist, &perfs, &spec);
+        // One failure a day, 10-second detection windows.
+        let penalty = DelayModel::uniform(space.len(), 1.0 / 86_400.0, 10.0)
+            .penalty(&analysis, &spec)
+            .unwrap();
+        assert!(penalty < 0.01 * r_ss, "penalty {penalty} vs reward {r_ss}");
+    }
+}

@@ -1,0 +1,204 @@
+//! The probability distribution over operational configurations — the
+//! paper's set `Z` with `Prob(C_i)` (§5, step 4).
+
+use fmperf_ftlqn::{Configuration, FtlqnModel};
+use std::collections::BTreeMap;
+
+/// A probability distribution over distinct operational configurations.
+///
+/// The *failed* configuration (no operational user chain) is stored like
+/// any other, under [`Configuration::default`]; use
+/// [`failed_probability`](ConfigDistribution::failed_probability) for
+/// direct access.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ConfigDistribution {
+    map: BTreeMap<Configuration, f64>,
+    states_explored: u64,
+}
+
+impl ConfigDistribution {
+    /// Creates an empty distribution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds probability mass to a configuration.
+    pub fn add(&mut self, config: Configuration, probability: f64) {
+        *self.map.entry(config).or_insert(0.0) += probability;
+    }
+
+    /// Merges another distribution into this one.
+    pub fn merge(&mut self, other: ConfigDistribution) {
+        for (c, p) in other.map {
+            self.add(c, p);
+        }
+        self.states_explored += other.states_explored;
+    }
+
+    /// Records how many raw states were examined (enumeration) or sampled
+    /// (Monte Carlo).
+    pub fn set_states_explored(&mut self, n: u64) {
+        self.states_explored = n;
+    }
+
+    /// Raw states examined or sampled.
+    pub fn states_explored(&self) -> u64 {
+        self.states_explored
+    }
+
+    /// Number of distinct configurations (including failed, if present).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when no mass has been added.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Probability of a specific configuration (0 if absent).
+    pub fn probability(&self, config: &Configuration) -> f64 {
+        self.map.get(config).copied().unwrap_or(0.0)
+    }
+
+    /// Probability that the system is failed.
+    pub fn failed_probability(&self) -> f64 {
+        self.map
+            .iter()
+            .filter(|(c, _)| c.is_failed())
+            .map(|(_, p)| *p)
+            .sum()
+    }
+
+    /// Total mass (≈ 1 for exact engines; Monte Carlo normalises).
+    pub fn total_probability(&self) -> f64 {
+        self.map.values().sum()
+    }
+
+    /// Iterates over `(configuration, probability)` in a deterministic
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Configuration, f64)> + '_ {
+        self.map.iter().map(|(c, &p)| (c, p))
+    }
+
+    /// The distinct configurations, in deterministic order.
+    pub fn configurations(&self) -> Vec<Configuration> {
+        self.map.keys().cloned().collect()
+    }
+
+    /// The operational (non-failed) configurations sorted by decreasing
+    /// probability — handy for reporting tables like the paper's.
+    pub fn ranked(&self) -> Vec<(&Configuration, f64)> {
+        let mut v: Vec<(&Configuration, f64)> = self
+            .map
+            .iter()
+            .filter(|(c, _)| !c.is_failed())
+            .map(|(c, &p)| (c, p))
+            .collect();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        v
+    }
+
+    /// Renders a small table of configurations and probabilities.
+    pub fn table(&self, model: &FtlqnModel) -> String {
+        let mut out = String::new();
+        for (c, p) in self.ranked() {
+            out.push_str(&format!("{:<60} {:.3}\n", c.label(model), p));
+        }
+        out.push_str(&format!(
+            "{:<60} {:.3}\n",
+            "{system failed}",
+            self.failed_probability()
+        ));
+        out
+    }
+
+    /// Largest absolute probability difference against another
+    /// distribution over the union of configurations.
+    pub fn max_abs_diff(&self, other: &ConfigDistribution) -> f64 {
+        let mut keys: Vec<&Configuration> = self.map.keys().collect();
+        keys.extend(other.map.keys());
+        keys.sort();
+        keys.dedup();
+        keys.into_iter()
+            .map(|k| (self.probability(k) - other.probability(k)).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmperf_ftlqn::FtTaskId;
+
+    fn cfg(chains: &[u32]) -> Configuration {
+        let mut c = Configuration::default();
+        for &t in chains {
+            // Construct FtTaskId through its public-ish surface: the
+            // crate exposes only index(); build via transparent helper.
+            c.user_chains.insert(task(t));
+        }
+        c
+    }
+
+    fn task(ix: u32) -> FtTaskId {
+        // FtTaskId is opaque; round-trip through a model would be heavy.
+        // Configuration ordering only needs distinct ids, which we can
+        // get from a tiny model.
+        use fmperf_ftlqn::FtlqnModel;
+        use fmperf_lqn::Multiplicity;
+        let mut m = FtlqnModel::new();
+        let p = m.add_processor("p", 0.0, Multiplicity::Infinite);
+        let mut last = None;
+        for i in 0..=ix {
+            let t = m.add_reference_task(format!("u{i}"), p, 0.0, 1, 0.0);
+            last = Some(t);
+        }
+        last.unwrap()
+    }
+
+    #[test]
+    fn add_and_merge_accumulate() {
+        let mut d1 = ConfigDistribution::new();
+        d1.add(cfg(&[0]), 0.25);
+        d1.add(cfg(&[0]), 0.25);
+        let mut d2 = ConfigDistribution::new();
+        d2.add(cfg(&[0]), 0.1);
+        d2.add(cfg(&[1]), 0.4);
+        d1.merge(d2);
+        assert!((d1.probability(&cfg(&[0])) - 0.6).abs() < 1e-12);
+        assert!((d1.probability(&cfg(&[1])) - 0.4).abs() < 1e-12);
+        assert_eq!(d1.len(), 2);
+        assert!((d1.total_probability() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failed_probability_separated() {
+        let mut d = ConfigDistribution::new();
+        d.add(Configuration::default(), 0.3);
+        d.add(cfg(&[0]), 0.7);
+        assert!((d.failed_probability() - 0.3).abs() < 1e-12);
+        assert_eq!(d.ranked().len(), 1, "failed config excluded from ranking");
+    }
+
+    #[test]
+    fn ranked_sorts_by_probability() {
+        let mut d = ConfigDistribution::new();
+        d.add(cfg(&[0]), 0.2);
+        d.add(cfg(&[1]), 0.5);
+        d.add(cfg(&[0, 1]), 0.3);
+        let ranked = d.ranked();
+        assert!((ranked[0].1 - 0.5).abs() < 1e-12);
+        assert!((ranked[2].1 - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_abs_diff_over_union() {
+        let mut d1 = ConfigDistribution::new();
+        d1.add(cfg(&[0]), 0.5);
+        let mut d2 = ConfigDistribution::new();
+        d2.add(cfg(&[1]), 0.2);
+        assert!((d1.max_abs_diff(&d2) - 0.5).abs() < 1e-12);
+        assert_eq!(d1.max_abs_diff(&d1), 0.0);
+    }
+}

@@ -1,0 +1,73 @@
+//! # fmperf-core
+//!
+//! The performability engines of the DSN 2002 reproduction: everything
+//! that combines the application model (`fmperf-ftlqn`), the management
+//! architecture (`fmperf-mama`) and the LQN solver (`fmperf-lqn`) into
+//! the paper's §5 algorithm — and its extensions.
+//!
+//! * [`Analysis`] — one configured study: fault graph + component space +
+//!   knowledge source + know policy.
+//! * [`enumerate`](Analysis::enumerate) — the paper's exact `2^N`
+//!   state-space scan (also a multi-threaded variant).
+//! * [`symbolic`](Analysis::symbolic) — the "non-state-space-based"
+//!   engine the paper's conclusion calls for: coverage conditions are
+//!   compiled to BDDs over the management components, making the cost
+//!   `2^(application components)` × small BDD work instead of
+//!   `2^(all components)`.
+//! * [`monte_carlo`](Analysis::monte_carlo) — sampling estimator for
+//!   models beyond exact reach.
+//! * [`solve_configurations`] / [`expected_reward`] — step 5/6: solve an
+//!   LQN per distinct configuration and fold with the probabilities.
+//! * [`sensitivity()`](sensitivity::sensitivity) — Birnbaum-style importance of every component for
+//!   the expected reward.
+//! * [`ccf`] — common-cause failure groups (failure-dependency extension
+//!   of the paper's reference \[10\]).
+//! * [`delay`] — first-order detection/reconfiguration delay penalty
+//!   (extension sketched in the paper's conclusion, reference \[29\]).
+//!
+//! ```no_run
+//! use fmperf_core::{Analysis, RewardSpec};
+//! use fmperf_ftlqn::{examples::das_woodside_system, KnowPolicy};
+//! use fmperf_mama::{arch, ComponentSpace, KnowTable};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let sys = das_woodside_system();
+//! let graph = sys.fault_graph()?;
+//! let mama = arch::centralized(&sys, 0.1);
+//! let space = ComponentSpace::build(&sys.model, &mama);
+//! let table = KnowTable::build(&graph, &mama, &space);
+//!
+//! let analysis = Analysis::new(&graph, &space).with_knowledge(&table);
+//! let dist = analysis.enumerate();
+//! let perf = fmperf_core::solve_configurations(&sys.model, &dist.configurations())?;
+//! let reward = RewardSpec::new().weight(sys.user_a, 1.0).weight(sys.user_b, 1.0);
+//! println!("R = {}", fmperf_core::expected_reward(&dist, &perf, &reward));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod availability;
+pub mod ccf;
+pub mod ctmc;
+pub mod delay;
+pub mod distribution;
+pub mod montecarlo;
+pub mod report;
+pub mod reward;
+pub mod sensitivity;
+pub mod symbolic;
+
+pub use analysis::{Analysis, Knowledge};
+pub use availability::{RepairModel, RepairModelError};
+pub use ccf::FailureDependencies;
+pub use ctmc::{Ctmc, CtmcError};
+pub use delay::{ComponentDelayCycle, ComponentDelayReport, DelayModel};
+pub use distribution::ConfigDistribution;
+pub use montecarlo::MonteCarloOptions;
+pub use report::{ReportRow, StudyReport};
+pub use reward::{expected_reward, solve_configurations, ConfigPerformance, RewardSpec};
+pub use sensitivity::sensitivity;

@@ -1,0 +1,133 @@
+//! Monte Carlo estimation of the configuration distribution.
+//!
+//! The paper's conclusion notes that the `2^N` scan "will limit the
+//! scalability of the approach ... to one or two dozen entities".  For
+//! larger systems the distribution can be estimated by sampling component
+//! states; each configuration's probability estimate is a binomial
+//! proportion with the usual normal-approximation confidence interval.
+
+use crate::analysis::{Analysis, Knowledge};
+use crate::distribution::ConfigDistribution;
+use fmperf_ftlqn::PerfectKnowledge;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Options for [`Analysis::monte_carlo`].
+#[derive(Debug, Clone, Copy)]
+pub struct MonteCarloOptions {
+    /// Number of independent state samples.
+    pub samples: u64,
+    /// RNG seed (identical seeds give identical estimates).
+    pub seed: u64,
+}
+
+impl Default for MonteCarloOptions {
+    fn default() -> Self {
+        MonteCarloOptions {
+            samples: 100_000,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Normal-approximation 95% half-width for a probability estimate `p`
+/// from `n` samples.
+pub fn proportion_half_width(p: f64, n: u64) -> f64 {
+    if n == 0 {
+        return f64::INFINITY;
+    }
+    1.96 * (p * (1.0 - p) / n as f64).sqrt()
+}
+
+impl Analysis<'_> {
+    /// Estimates the configuration distribution from random state
+    /// samples.  Works for any number of components.
+    pub fn monte_carlo(&self, options: MonteCarloOptions) -> ConfigDistribution {
+        let fallible = self.space.fallible_indices();
+        let mut rng = StdRng::seed_from_u64(options.seed);
+        let mut dist = ConfigDistribution::new();
+        let mut state = self.space.all_up();
+        let weight = 1.0 / options.samples as f64;
+        for _ in 0..options.samples {
+            for &ix in &fallible {
+                state[ix] = rng.gen::<f64>() < self.space.up_prob(ix);
+            }
+            let config = match self.knowledge {
+                Knowledge::Perfect => {
+                    self.graph
+                        .configuration(&state, &PerfectKnowledge, self.policy)
+                }
+                Knowledge::Mama(table) => {
+                    let oracle = table
+                        .oracle(&state)
+                        .default_for_missing(self.unmonitored_known);
+                    self.graph.configuration(&state, &oracle, self.policy)
+                }
+            };
+            dist.add(config, weight);
+        }
+        dist.set_states_explored(options.samples);
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmperf_ftlqn::examples::das_woodside_system;
+    use fmperf_mama::{arch, ComponentSpace, KnowTable};
+
+    #[test]
+    fn estimates_converge_to_exact() {
+        let sys = das_woodside_system();
+        let graph = sys.fault_graph().unwrap();
+        let mama = arch::centralized(&sys, 0.1);
+        let space = ComponentSpace::build(&sys.model, &mama);
+        let table = KnowTable::build(&graph, &mama, &space);
+        let analysis = Analysis::new(&graph, &space).with_knowledge(&table);
+        let exact = analysis.enumerate();
+        let mc = analysis.monte_carlo(MonteCarloOptions {
+            samples: 200_000,
+            seed: 7,
+        });
+        // Every configuration estimate within 4 standard errors.
+        for (c, p_exact) in exact.iter() {
+            let p_mc = mc.probability(c);
+            let tol = 2.1 * proportion_half_width(p_exact.max(1e-4), 200_000);
+            assert!(
+                (p_mc - p_exact).abs() <= tol,
+                "config {:?}: mc {p_mc} vs exact {p_exact} (tol {tol})",
+                c.label(&sys.model)
+            );
+        }
+        assert!((mc.total_probability() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let sys = das_woodside_system();
+        let graph = sys.fault_graph().unwrap();
+        let space = ComponentSpace::app_only(&sys.model);
+        let analysis = Analysis::new(&graph, &space);
+        let a = analysis.monte_carlo(MonteCarloOptions {
+            samples: 10_000,
+            seed: 1,
+        });
+        let b = analysis.monte_carlo(MonteCarloOptions {
+            samples: 10_000,
+            seed: 1,
+        });
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+        let c = analysis.monte_carlo(MonteCarloOptions {
+            samples: 10_000,
+            seed: 2,
+        });
+        assert!(a.max_abs_diff(&c) > 0.0);
+    }
+
+    #[test]
+    fn half_width_shrinks_with_samples() {
+        assert!(proportion_half_width(0.5, 10_000) < proportion_half_width(0.5, 100));
+        assert_eq!(proportion_half_width(0.5, 0), f64::INFINITY);
+    }
+}

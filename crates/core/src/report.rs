@@ -1,0 +1,167 @@
+//! Consolidated study reports: one printable artifact combining the
+//! configuration distribution, per-configuration rewards and the
+//! expected steady-state reward rate — the shape of the paper's result
+//! tables.
+
+use crate::distribution::ConfigDistribution;
+use crate::reward::{ConfigPerformance, RewardSpec};
+use fmperf_ftlqn::{Configuration, FtlqnModel};
+use std::fmt;
+
+/// One row of a [`StudyReport`].
+#[derive(Debug, Clone)]
+pub struct ReportRow {
+    /// Paper-style label of the configuration.
+    pub label: String,
+    /// Steady-state probability of the configuration.
+    pub probability: f64,
+    /// Reward rate the configuration earns.
+    pub reward: f64,
+    /// Probability × reward contribution to the expectation.
+    pub contribution: f64,
+}
+
+/// A printable summary of one performability study.
+#[derive(Debug, Clone)]
+pub struct StudyReport {
+    rows: Vec<ReportRow>,
+    failed_probability: f64,
+    expected_reward: f64,
+    states_explored: u64,
+}
+
+impl StudyReport {
+    /// Assembles a report from a solved study.
+    ///
+    /// `perfs` must align with `dist.configurations()` (the order
+    /// [`crate::solve_configurations`] consumes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices are misaligned.
+    pub fn new(
+        model: &FtlqnModel,
+        dist: &ConfigDistribution,
+        perfs: &[ConfigPerformance],
+        spec: &RewardSpec,
+    ) -> Self {
+        let configs: Vec<Configuration> = dist.configurations();
+        assert_eq!(configs.len(), perfs.len(), "performance results misaligned");
+        let mut rows: Vec<ReportRow> = configs
+            .iter()
+            .zip(perfs)
+            .filter(|(c, _)| !c.is_failed())
+            .map(|(c, p)| {
+                let probability = dist.probability(c);
+                let reward = spec.reward(p);
+                ReportRow {
+                    label: c.label(model),
+                    probability,
+                    reward,
+                    contribution: probability * reward,
+                }
+            })
+            .collect();
+        rows.sort_by(|a, b| b.probability.total_cmp(&a.probability));
+        let expected_reward = rows.iter().map(|r| r.contribution).sum();
+        StudyReport {
+            rows,
+            failed_probability: dist.failed_probability(),
+            expected_reward,
+            states_explored: dist.states_explored(),
+        }
+    }
+
+    /// The operational rows, most probable first.
+    pub fn rows(&self) -> &[ReportRow] {
+        &self.rows
+    }
+
+    /// Probability of total system failure.
+    pub fn failed_probability(&self) -> f64 {
+        self.failed_probability
+    }
+
+    /// The expected steady-state reward rate `R = Σ R_i · Prob(C_i)`.
+    pub fn expected_reward(&self) -> f64 {
+        self.expected_reward
+    }
+
+    /// Raw states examined by the engine that produced the distribution.
+    pub fn states_explored(&self) -> u64 {
+        self.states_explored
+    }
+}
+
+impl fmt::Display for StudyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<58} {:>8} {:>9} {:>9}",
+            "configuration", "prob", "reward", "contrib"
+        )?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "{:<58} {:>8.4} {:>9.4} {:>9.4}",
+                row.label, row.probability, row.reward, row.contribution
+            )?;
+        }
+        writeln!(
+            f,
+            "{:<58} {:>8.4} {:>9.4} {:>9.4}",
+            "{system failed}", self.failed_probability, 0.0, 0.0
+        )?;
+        writeln!(f)?;
+        writeln!(
+            f,
+            "expected steady-state reward rate: {:.4}/s",
+            self.expected_reward
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::Analysis;
+    use crate::reward::{expected_reward, solve_configurations};
+    use fmperf_ftlqn::examples::das_woodside_system;
+    use fmperf_mama::ComponentSpace;
+
+    #[test]
+    fn report_totals_match_direct_computation() {
+        let sys = das_woodside_system();
+        let graph = sys.fault_graph().unwrap();
+        let space = ComponentSpace::app_only(&sys.model);
+        let dist = Analysis::new(&graph, &space).enumerate();
+        let perfs = solve_configurations(&sys.model, &dist.configurations()).unwrap();
+        let spec = RewardSpec::new()
+            .weight(sys.user_a, 1.0)
+            .weight(sys.user_b, 1.0);
+        let report = StudyReport::new(&sys.model, &dist, &perfs, &spec);
+        let direct = expected_reward(&dist, &perfs, &spec);
+        assert!((report.expected_reward() - direct).abs() < 1e-12);
+        assert_eq!(report.rows().len(), 6);
+        assert!((report.failed_probability() - dist.failed_probability()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_rows_sorted_and_labelled() {
+        let sys = das_woodside_system();
+        let graph = sys.fault_graph().unwrap();
+        let space = ComponentSpace::app_only(&sys.model);
+        let dist = Analysis::new(&graph, &space).enumerate();
+        let perfs = solve_configurations(&sys.model, &dist.configurations()).unwrap();
+        let spec = RewardSpec::new().weight(sys.user_a, 1.0);
+        let report = StudyReport::new(&sys.model, &dist, &perfs, &spec);
+        let probs: Vec<f64> = report.rows().iter().map(|r| r.probability).collect();
+        for w in probs.windows(2) {
+            assert!(w[0] >= w[1], "rows must be sorted by probability");
+        }
+        assert!(report.rows()[0].label.contains("serviceA"));
+        let text = format!("{report}");
+        assert!(text.contains("expected steady-state reward rate"));
+        assert!(text.contains("{system failed}"));
+    }
+}

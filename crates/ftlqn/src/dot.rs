@@ -1,0 +1,106 @@
+//! Graphviz (DOT) export of fault propagation graphs.
+//!
+//! The rendering mirrors the paper's Figure 5: leaf components as plain
+//! ellipses, entries as boxes (AND), services and the root as diamonds
+//! (OR) with priority labels `#1`, `#2`, … on the alternative edges.
+
+use crate::faultgraph::{FaultGraph, FaultNode};
+use crate::model::Component;
+use fmperf_graph::andor::NodeKind;
+use std::fmt::Write as _;
+
+/// Renders the fault propagation graph as a DOT digraph.
+///
+/// ```
+/// use fmperf_ftlqn::examples::das_woodside_system;
+/// use fmperf_ftlqn::dot::fault_graph_dot;
+///
+/// let sys = das_woodside_system();
+/// let graph = sys.fault_graph().unwrap();
+/// let dot = fault_graph_dot(&graph);
+/// assert!(dot.starts_with("digraph fault_propagation"));
+/// assert!(dot.contains("serviceA"));
+/// ```
+pub fn fault_graph_dot(graph: &FaultGraph<'_>) -> String {
+    let model = graph.model();
+    let (andor, root) = graph.andor();
+    let mut out = String::from("digraph fault_propagation {\n");
+    out.push_str("  rankdir=TB;\n  node [fontname=\"Helvetica\"];\n");
+    for n in andor.node_ids() {
+        let (label, shape) = match andor.label(n) {
+            FaultNode::Component(c) => {
+                let shape = match c {
+                    Component::Task(_) => "ellipse",
+                    Component::Processor(_) => "ellipse, style=dashed",
+                    Component::Link(_) => "ellipse, style=dotted",
+                };
+                (model.component_name(*c).to_string(), shape)
+            }
+            FaultNode::Entry(e) => (model.entry_name(*e).to_string(), "box"),
+            FaultNode::Service(s) => (model.service_name(*s).to_string(), "diamond"),
+            FaultNode::Root => ("r".to_string(), "doublecircle"),
+        };
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\", shape={}];",
+            n.index(),
+            label,
+            shape
+        );
+    }
+    for n in andor.node_ids() {
+        let is_or = andor.kind(n) == NodeKind::Or && n != root;
+        for (rank, &c) in andor.children(n).iter().enumerate() {
+            if is_or {
+                let _ = writeln!(
+                    out,
+                    "  n{} -> n{} [label=\"#{}\"];",
+                    n.index(),
+                    c.index(),
+                    rank + 1
+                );
+            } else {
+                let _ = writeln!(out, "  n{} -> n{};", n.index(), c.index());
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::das_woodside_system;
+
+    #[test]
+    fn dot_is_balanced_and_complete() {
+        let sys = das_woodside_system();
+        let graph = sys.fault_graph().unwrap();
+        let dot = fault_graph_dot(&graph);
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+        // Every model element appears.
+        for name in ["UserA", "AppB", "Server1", "proc3", "serviceB", "eA-1"] {
+            assert!(dot.contains(name), "missing {name}");
+        }
+        // Priority labels on service alternatives.
+        assert!(dot.contains("#1") && dot.contains("#2"));
+    }
+
+    #[test]
+    fn entries_are_boxes_services_diamonds() {
+        let sys = das_woodside_system();
+        let graph = sys.fault_graph().unwrap();
+        let dot = fault_graph_dot(&graph);
+        let entry_line = dot
+            .lines()
+            .find(|l| l.contains("\"eA\"") && l.contains("label"))
+            .expect("entry node present");
+        assert!(entry_line.contains("shape=box"));
+        let svc_line = dot
+            .lines()
+            .find(|l| l.contains("\"serviceA\""))
+            .expect("service node present");
+        assert!(svc_line.contains("shape=diamond"));
+    }
+}

@@ -1,0 +1,233 @@
+//! Canonical example systems, including the paper's Figure 1 model.
+
+use crate::model::{FtEntryId, FtProcId, FtTaskId, FtlqnModel, RequestTarget, ServiceId};
+use fmperf_lqn::Multiplicity;
+
+/// The client-server system of the paper's Figure 1, with every id
+/// exposed for test and benchmark use.
+///
+/// Two user groups (`UserA` × 50, `UserB` × 100) access departmental
+/// applications (`AppA`, `AppB`), which read enterprise data through
+/// `serviceA`/`serviceB`: primary target `Server1` (entries `eA-1`,
+/// `eB-1`), backup `Server2` (entries `eA-2`, `eB-2`).
+#[derive(Debug, Clone)]
+pub struct DasWoodsideSystem {
+    /// The assembled model.
+    pub model: FtlqnModel,
+    /// UserA reference task (50 users, perfectly reliable).
+    pub user_a: FtTaskId,
+    /// UserB reference task (100 users, perfectly reliable).
+    pub user_b: FtTaskId,
+    /// Department A application task.
+    pub app_a: FtTaskId,
+    /// Department B application task.
+    pub app_b: FtTaskId,
+    /// Primary data server.
+    pub server1: FtTaskId,
+    /// Backup data server.
+    pub server2: FtTaskId,
+    /// Processor of UserA (perfectly reliable).
+    pub proc_a: FtProcId,
+    /// Processor of UserB (perfectly reliable).
+    pub proc_b: FtProcId,
+    /// Processor of AppA.
+    pub proc1: FtProcId,
+    /// Processor of AppB.
+    pub proc2: FtProcId,
+    /// Processor of Server1.
+    pub proc3: FtProcId,
+    /// Processor of Server2.
+    pub proc4: FtProcId,
+    /// UserA's entry.
+    pub e_user_a: FtEntryId,
+    /// UserB's entry.
+    pub e_user_b: FtEntryId,
+    /// AppA's entry (demand 1 s).
+    pub e_a: FtEntryId,
+    /// AppB's entry (demand 0.5 s).
+    pub e_b: FtEntryId,
+    /// Server1 entry serving A (demand 1 s).
+    pub e_a1: FtEntryId,
+    /// Server1 entry serving B (demand 0.5 s).
+    pub e_b1: FtEntryId,
+    /// Server2 entry serving A (demand 1 s).
+    pub e_a2: FtEntryId,
+    /// Server2 entry serving B (demand 0.5 s).
+    pub e_b2: FtEntryId,
+    /// Data service used by AppA (#1 = `eA-1`, #2 = `eA-2`).
+    pub service_a: ServiceId,
+    /// Data service used by AppB (#1 = `eB-1`, #2 = `eB-2`).
+    pub service_b: ServiceId,
+}
+
+/// Parameters for [`das_woodside_system_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct DasWoodsideParams {
+    /// Failure probability of AppA, AppB, Server1, Server2, proc1–proc4
+    /// (the paper uses 0.1).
+    pub fail_prob: f64,
+    /// UserA population (paper: 50).
+    pub users_a: u32,
+    /// UserB population (paper: 100).
+    pub users_b: u32,
+    /// User think time (paper: none given; 0 makes users saturate the
+    /// system, which matches the reported throughputs).
+    pub think_time: f64,
+}
+
+impl Default for DasWoodsideParams {
+    fn default() -> Self {
+        DasWoodsideParams {
+            fail_prob: 0.1,
+            users_a: 50,
+            users_b: 100,
+            think_time: 0.0,
+        }
+    }
+}
+
+/// Builds the paper's Figure 1 system with its Section 6.1 parameters.
+pub fn das_woodside_system() -> DasWoodsideSystem {
+    das_woodside_system_with(DasWoodsideParams::default())
+}
+
+/// Builds the Figure 1 system with custom parameters (for sweeps and
+/// sensitivity studies).
+pub fn das_woodside_system_with(params: DasWoodsideParams) -> DasWoodsideSystem {
+    let p = params.fail_prob;
+    let mut m = FtlqnModel::new();
+    let proc_a = m.add_processor("procA", 0.0, Multiplicity::Infinite);
+    let proc_b = m.add_processor("procB", 0.0, Multiplicity::Infinite);
+    let proc1 = m.add_processor("proc1", p, Multiplicity::Finite(1));
+    let proc2 = m.add_processor("proc2", p, Multiplicity::Finite(1));
+    let proc3 = m.add_processor("proc3", p, Multiplicity::Finite(1));
+    let proc4 = m.add_processor("proc4", p, Multiplicity::Finite(1));
+
+    let user_a = m.add_reference_task("UserA", proc_a, 0.0, params.users_a, params.think_time);
+    let user_b = m.add_reference_task("UserB", proc_b, 0.0, params.users_b, params.think_time);
+    let app_a = m.add_task("AppA", proc1, p, Multiplicity::Finite(1));
+    let app_b = m.add_task("AppB", proc2, p, Multiplicity::Finite(1));
+    let server1 = m.add_task("Server1", proc3, p, Multiplicity::Finite(1));
+    let server2 = m.add_task("Server2", proc4, p, Multiplicity::Finite(1));
+
+    let e_user_a = m.add_entry("userA", user_a, 0.0);
+    let e_user_b = m.add_entry("userB", user_b, 0.0);
+    let e_a = m.add_entry("eA", app_a, 1.0);
+    let e_b = m.add_entry("eB", app_b, 0.5);
+    let e_a1 = m.add_entry("eA-1", server1, 1.0);
+    let e_b1 = m.add_entry("eB-1", server1, 0.5);
+    let e_a2 = m.add_entry("eA-2", server2, 1.0);
+    let e_b2 = m.add_entry("eB-2", server2, 0.5);
+
+    let service_a = m.add_service("serviceA");
+    m.add_alternative(service_a, e_a1, None);
+    m.add_alternative(service_a, e_a2, None);
+    let service_b = m.add_service("serviceB");
+    m.add_alternative(service_b, e_b1, None);
+    m.add_alternative(service_b, e_b2, None);
+
+    m.add_request(e_user_a, RequestTarget::Entry(e_a), 1.0, None);
+    m.add_request(e_user_b, RequestTarget::Entry(e_b), 1.0, None);
+    m.add_request(e_a, RequestTarget::Service(service_a), 1.0, None);
+    m.add_request(e_b, RequestTarget::Service(service_b), 1.0, None);
+
+    debug_assert!(m.validate().is_ok());
+    DasWoodsideSystem {
+        model: m,
+        user_a,
+        user_b,
+        app_a,
+        app_b,
+        server1,
+        server2,
+        proc_a,
+        proc_b,
+        proc1,
+        proc2,
+        proc3,
+        proc4,
+        e_user_a,
+        e_user_b,
+        e_a,
+        e_b,
+        e_a1,
+        e_b1,
+        e_a2,
+        e_b2,
+        service_a,
+        service_b,
+    }
+}
+
+impl DasWoodsideSystem {
+    /// Convenience: the fault propagation graph of this system.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation failures (none for the canonical builders).
+    pub fn fault_graph(&self) -> Result<crate::faultgraph::FaultGraph<'_>, crate::FtlqnError> {
+        crate::faultgraph::FaultGraph::build(&self.model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faultgraph::{KnowPolicy, PerfectKnowledge};
+    use crate::model::Component;
+
+    #[test]
+    fn paper_system_validates() {
+        let s = das_woodside_system();
+        s.model.validate().unwrap();
+        assert_eq!(s.model.component_count(), 6 + 6); // 6 tasks + 6 procs
+    }
+
+    #[test]
+    fn fallible_component_count_matches_paper() {
+        // The paper's perfect-knowledge case enumerates 2^8 = 256 states:
+        // AppA, AppB, Server1, Server2, proc1..proc4 are fallible.
+        let s = das_woodside_system();
+        let fallible = s
+            .model
+            .components()
+            .filter(|&c| s.model.fail_prob(c) > 0.0)
+            .count();
+        assert_eq!(fallible, 8);
+    }
+
+    #[test]
+    fn all_up_gives_configuration_c5() {
+        let s = das_woodside_system();
+        let g = s.fault_graph().unwrap();
+        let state = vec![true; s.model.component_count()];
+        let cfg = g.configuration(&state, &PerfectKnowledge, KnowPolicy::AllFailedComponents);
+        assert_eq!(cfg.user_chains.len(), 2);
+        assert_eq!(cfg.used_services[&s.service_a], s.e_a1);
+        assert_eq!(cfg.used_services[&s.service_b], s.e_b1);
+    }
+
+    #[test]
+    fn proc3_down_gives_configuration_c6_under_perfect_knowledge() {
+        let s = das_woodside_system();
+        let g = s.fault_graph().unwrap();
+        let mut state = vec![true; s.model.component_count()];
+        state[s.model.component_index(Component::Processor(s.proc3))] = false;
+        let cfg = g.configuration(&state, &PerfectKnowledge, KnowPolicy::AllFailedComponents);
+        assert_eq!(cfg.used_services[&s.service_a], s.e_a2);
+        assert_eq!(cfg.used_services[&s.service_b], s.e_b2);
+        assert_eq!(cfg.user_chains.len(), 2);
+    }
+
+    #[test]
+    fn parameterised_builder_applies_params() {
+        let s = das_woodside_system_with(DasWoodsideParams {
+            fail_prob: 0.25,
+            users_a: 10,
+            users_b: 20,
+            think_time: 1.5,
+        });
+        assert_eq!(s.model.fail_prob(Component::Task(s.app_a)), 0.25);
+        assert_eq!(s.model.fail_prob(Component::Task(s.user_a)), 0.0);
+    }
+}

@@ -1,0 +1,995 @@
+//! The fault propagation graph and know-gated configuration evaluation.
+//!
+//! §3 of the paper represents the operational dependencies of an FTLQN as
+//! an AND-OR graph `G`: leaves are components (tasks, processors and — our
+//! extension — links), AND nodes are entries, OR nodes are the services
+//! and the root.  Definition 1 gives the basic semantics; the *service
+//! selection rule* additionally requires the deciding task `t(s)` to
+//! **know** the states of the relevant components through the management
+//! architecture:
+//!
+//! * the highest-priority operational alternative `e_p` is selected only
+//!   if `t(s)` knows the state of every component currently making `e_p`
+//!   operational, **and**
+//! * for every higher-priority alternative `e_j` (`j < p`), which must
+//!   have failed, `t(s)` knows of the failure through the components that
+//!   contributed to it.
+//!
+//! The paper's wording for the second clause is ambiguous between "knows
+//! *all* failed components" and "knows *at least one* failed component
+//! (which logically implies the failure)"; [`KnowPolicy`] exposes both
+//! readings, and the Table 1 reproduction pins down the one the authors
+//! used.
+//!
+//! Knowledge itself is abstracted behind [`KnowledgeOracle`], so this
+//! crate is independent of the management-architecture model: perfect
+//! knowledge is [`PerfectKnowledge`]; `fmperf-mama` derives oracles from
+//! MAMA architectures via minpath analysis.
+
+use crate::model::{
+    Component, FtEntryId, FtTaskId, FtlqnError, FtlqnModel, RequestTarget, ServiceId,
+};
+use fmperf_graph::andor::{AndOrGraph, AndOrNodeId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How strictly the deciding task must know about a skipped (failed)
+/// higher-priority alternative.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KnowPolicy {
+    /// The task must know the state of **every** failed component of the
+    /// alternative (literal reading of the paper).
+    AllFailedComponents,
+    /// Knowing **any one** failed component suffices (it logically implies
+    /// the alternative is down).
+    AnyFailedComponent,
+}
+
+/// Source of `know(component, task)` answers for one specific system
+/// state.
+///
+/// Implementations are consulted during service selection; they must be
+/// consistent within a single state evaluation.
+pub trait KnowledgeOracle {
+    /// Does `task` know the operational state of `component` in the
+    /// current system state?
+    fn knows(&self, component: Component, task: FtTaskId) -> bool;
+}
+
+/// The oracle of the paper's earlier work (IPDS'98): every task knows
+/// everything, instantly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PerfectKnowledge;
+
+impl KnowledgeOracle for PerfectKnowledge {
+    fn knows(&self, _component: Component, _task: FtTaskId) -> bool {
+        true
+    }
+}
+
+/// An operational configuration of the system: which user chains run,
+/// which entries are in use, and which alternative every in-use service
+/// selected (paper §3, Definition 2).
+///
+/// The empty configuration (`user_chains` empty) is the *system failed*
+/// state.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Configuration {
+    /// Operational reference tasks.
+    pub user_chains: BTreeSet<FtTaskId>,
+    /// Entries working and in use.
+    pub used_entries: BTreeSet<FtEntryId>,
+    /// In-use services and the alternative each selected.
+    pub used_services: BTreeMap<ServiceId, FtEntryId>,
+}
+
+impl Configuration {
+    /// `true` when no user chain is operational.
+    pub fn is_failed(&self) -> bool {
+        self.user_chains.is_empty()
+    }
+
+    /// The entries a specific chain uses in this configuration, walking
+    /// requests from the chain's user entry through the recorded service
+    /// choices.
+    pub fn chain_entries(&self, model: &FtlqnModel, chain: FtTaskId) -> BTreeSet<FtEntryId> {
+        let mut out = BTreeSet::new();
+        if !self.user_chains.contains(&chain) {
+            return out;
+        }
+        let Some(start) = model.entries_of(chain).next() else {
+            return out;
+        };
+        let mut stack = vec![start];
+        while let Some(e) = stack.pop() {
+            if !out.insert(e) {
+                continue;
+            }
+            for (target, _, _, _) in model.requests_of(e) {
+                match target {
+                    RequestTarget::Entry(te) => stack.push(te),
+                    RequestTarget::Service(s) => {
+                        if let Some(&chosen) = self.used_services.get(&s) {
+                            stack.push(chosen);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The configuration that results from keeping this configuration's
+    /// *routing* (service choices) frozen while the component states
+    /// change to `state`: chains whose frozen path touches a down
+    /// component simply fail; nothing re-routes.
+    ///
+    /// This models the window between a failure and its detection —
+    /// requests keep flowing along the old paths (paper §7 / ref \[29\]).
+    pub fn frozen_under(&self, model: &FtlqnModel, state: &[bool]) -> Configuration {
+        let mut out = Configuration::default();
+        for &chain in &self.user_chains {
+            let entries = self.chain_entries(model, chain);
+            let alive = entries.iter().all(|&e| {
+                let task = model.task_of(e);
+                let up = |c: Component| state[model.component_index(c)];
+                let mut ok =
+                    up(Component::Task(task)) && up(Component::Processor(model.processor_of(task)));
+                for (_, _, link, _) in model.requests_of(e) {
+                    if let Some(l) = link {
+                        ok &= up(Component::Link(l));
+                    }
+                }
+                ok
+            });
+            if !alive {
+                continue;
+            }
+            out.user_chains.insert(chain);
+            for e in entries {
+                out.used_entries.insert(e);
+                for (target, _, _, _) in model.requests_of(e) {
+                    if let RequestTarget::Service(s) = target {
+                        if let Some(&chosen) = self.used_services.get(&s) {
+                            out.used_services.insert(s, chosen);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Human-readable label in the paper's style, e.g.
+    /// `{userA, eA, serviceA, eA-1}`.
+    pub fn label(&self, model: &FtlqnModel) -> String {
+        if self.is_failed() {
+            return "{system failed}".to_string();
+        }
+        let mut parts: Vec<String> = Vec::new();
+        for &e in &self.used_entries {
+            parts.push(model.entry_name(e).to_string());
+        }
+        for &s in self.used_services.keys() {
+            parts.push(model.service_name(s).to_string());
+        }
+        format!("{{{}}}", parts.join(", "))
+    }
+}
+
+/// The know-gated service decision taken while evaluating one state; used
+/// by the symbolic (BDD) engine to build coverage conditions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceDecision {
+    /// The service decided.
+    pub service: ServiceId,
+    /// The task `t(s)` making the decision.
+    pub decider: FtTaskId,
+    /// The candidate alternative (highest-priority operational one).
+    pub candidate: FtEntryId,
+    /// Zero-based priority rank of the candidate.
+    pub priority: usize,
+    /// Components currently making the candidate operational — the task
+    /// must know all of them.
+    pub up_support: BTreeSet<Component>,
+    /// For every skipped higher-priority alternative: its entry and the
+    /// failed components that caused it to fail.
+    pub skipped: Vec<(FtEntryId, Vec<Component>)>,
+}
+
+/// The fault propagation graph of an FTLQN (paper Fig. 5), with
+/// evaluation machinery.
+#[derive(Debug, Clone)]
+pub struct FaultGraph<'m> {
+    model: &'m FtlqnModel,
+    /// Static leaf support `L(n)` per entry (includes all alternatives of
+    /// nested services and any links on the paths).
+    static_support: Vec<BTreeSet<Component>>,
+    /// Plain Definition-1 AND-OR graph (no know gating) for cross-checks
+    /// and inspection.
+    andor: AndOrGraph<FaultNode>,
+    root: AndOrNodeId,
+}
+
+/// Node labels of the exported AND-OR view of the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultNode {
+    /// Leaf: a fallible component.
+    Component(Component),
+    /// AND node: an entry.
+    Entry(FtEntryId),
+    /// OR node: a service.
+    Service(ServiceId),
+    /// OR node: the root.
+    Root,
+}
+
+impl<'m> FaultGraph<'m> {
+    /// Builds the fault propagation graph for `model`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`FtlqnError`] from [`FtlqnModel::validate`].
+    pub fn build(model: &'m FtlqnModel) -> Result<Self, FtlqnError> {
+        model.validate()?;
+        let static_support = compute_static_support(model);
+        let (andor, root) = build_andor(model);
+        Ok(FaultGraph {
+            model,
+            static_support,
+            andor,
+            root,
+        })
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &'m FtlqnModel {
+        self.model
+    }
+
+    /// The paper's `L(n)` for an entry node: all components the entry may
+    /// depend on (through every alternative).
+    pub fn static_support(&self, entry: FtEntryId) -> &BTreeSet<Component> {
+        &self.static_support[entry.index()]
+    }
+
+    /// The plain AND-OR view (Definition 1 without know gating) and its
+    /// root node.
+    pub fn andor(&self) -> (&AndOrGraph<FaultNode>, AndOrNodeId) {
+        (&self.andor, self.root)
+    }
+
+    /// Evaluates the system state under Definition 1 with **perfect**
+    /// knowledge semantics on the plain AND-OR graph; used as an
+    /// independent cross-check of the recursive evaluator.
+    pub fn root_working_plain(&self, state: &[bool]) -> bool {
+        let values = self.andor.evaluate(|label| match label {
+            FaultNode::Component(c) => state[self.model.component_index(*c)],
+            _ => false, // non-leaf labels never queried
+        });
+        values[self.root.index()]
+    }
+
+    /// Determines the operational configuration for `state` (indexed by
+    /// [`FtlqnModel::component_index`]) using a concrete knowledge oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.len() < component_count()`.
+    pub fn configuration(
+        &self,
+        state: &[bool],
+        oracle: &dyn KnowledgeOracle,
+        policy: KnowPolicy,
+    ) -> Configuration {
+        assert!(
+            state.len() >= self.model.component_count(),
+            "state vector too short"
+        );
+        let mut gate = OracleGate { oracle, policy };
+        self.configuration_inner(state, &mut gate)
+    }
+
+    /// Determines the configuration with externally supplied service
+    /// outcomes (`outcomes[s] = did the know-guard of service s pass?`),
+    /// returning the decisions taken so the caller can build symbolic
+    /// guard conditions.
+    ///
+    /// Decisions are `None` for services that were never consulted in
+    /// this state/outcome combination (not in use, or no operational
+    /// alternative existed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` or `outcomes` are too short.
+    pub fn configuration_with_outcomes(
+        &self,
+        state: &[bool],
+        outcomes: &[bool],
+    ) -> (Configuration, Vec<Option<ServiceDecision>>) {
+        assert!(
+            state.len() >= self.model.component_count(),
+            "state vector too short"
+        );
+        assert!(
+            outcomes.len() >= self.model.service_count(),
+            "outcome vector too short"
+        );
+        let mut gate = VectorGate {
+            outcomes,
+            decisions: vec![None; self.model.service_count()],
+        };
+        let config = self.configuration_inner(state, &mut gate);
+        (config, gate.decisions)
+    }
+
+    /// Shared recursive evaluation.
+    fn configuration_inner(&self, state: &[bool], gate: &mut dyn ServiceGate) -> Configuration {
+        let mut eval = Evaluator {
+            graph: self,
+            state,
+            gate,
+            entry_memo: vec![None; self.model.entry_count()],
+            service_memo: vec![None; self.model.service_count()],
+        };
+        // Evaluate every reference chain.
+        let mut chains: Vec<(FtTaskId, bool)> = Vec::new();
+        for t in self.model.reference_tasks() {
+            let entry = self.model.entries_of(t).next().expect("validated");
+            let up = eval.eval_entry(entry).is_some();
+            chains.push((t, up));
+        }
+        // In-use marking.
+        let mut config = Configuration::default();
+        let service_memo = eval.service_memo;
+        let entry_memo = eval.entry_memo;
+        for (t, up) in chains {
+            if !up {
+                continue;
+            }
+            config.user_chains.insert(t);
+            let entry = self.model.entries_of(t).next().expect("validated");
+            self.mark_in_use(entry, &entry_memo, &service_memo, &mut config);
+        }
+        config
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn mark_in_use(
+        &self,
+        entry: FtEntryId,
+        entry_memo: &[Option<Option<BTreeSet<Component>>>],
+        service_memo: &[Option<
+            Option<(FtEntryId, BTreeSet<Component>, Option<ServiceDecision>)>,
+        >],
+        config: &mut Configuration,
+    ) {
+        if !config.used_entries.insert(entry) {
+            return;
+        }
+        debug_assert!(
+            matches!(entry_memo[entry.index()], Some(Some(_))),
+            "in-use entry must have evaluated operational"
+        );
+        for r in &self.model.entries[entry.index()].requests {
+            match r.target {
+                RequestTarget::Entry(te) => {
+                    self.mark_in_use(te, entry_memo, service_memo, config);
+                }
+                RequestTarget::Service(s) => {
+                    if let Some(Some((chosen, _, _))) = &service_memo[s.index()] {
+                        config.used_services.insert(s, *chosen);
+                        self.mark_in_use(*chosen, entry_memo, service_memo, config);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Gate strategy: answers "does the know-guard of this decision pass?".
+trait ServiceGate {
+    fn pass(&mut self, decision: &ServiceDecision) -> bool;
+}
+
+struct OracleGate<'a> {
+    oracle: &'a dyn KnowledgeOracle,
+    policy: KnowPolicy,
+}
+
+impl ServiceGate for OracleGate<'_> {
+    fn pass(&mut self, decision: &ServiceDecision) -> bool {
+        let t = decision.decider;
+        // Clause 1: know the state of everything holding the candidate up.
+        for &c in &decision.up_support {
+            if !self.oracle.knows(c, t) {
+                return false;
+            }
+        }
+        // Clause 2: know of each skipped alternative's failure.  A
+        // failure with no down component (e.g. caused by an uncovered
+        // nested service) cannot be learned through component monitoring
+        // at all.
+        for (_, failed) in &decision.skipped {
+            let ok = !failed.is_empty()
+                && match self.policy {
+                    KnowPolicy::AllFailedComponents => {
+                        failed.iter().all(|&c| self.oracle.knows(c, t))
+                    }
+                    KnowPolicy::AnyFailedComponent => {
+                        failed.iter().any(|&c| self.oracle.knows(c, t))
+                    }
+                };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+struct VectorGate<'a> {
+    outcomes: &'a [bool],
+    decisions: Vec<Option<ServiceDecision>>,
+}
+
+impl ServiceGate for VectorGate<'_> {
+    fn pass(&mut self, decision: &ServiceDecision) -> bool {
+        let s = decision.service.index();
+        self.decisions[s] = Some(decision.clone());
+        self.outcomes[s]
+    }
+}
+
+/// Recursive evaluator with memoisation.
+struct Evaluator<'a, 'm> {
+    graph: &'a FaultGraph<'m>,
+    state: &'a [bool],
+    gate: &'a mut dyn ServiceGate,
+    /// `None` = unevaluated; `Some(None)` = failed; `Some(Some(support))`
+    /// = operational with the given up-support.
+    entry_memo: Vec<Option<Option<BTreeSet<Component>>>>,
+    /// Per service: unevaluated / failed / chosen (entry, support,
+    /// decision-if-gated).
+    #[allow(clippy::type_complexity)]
+    service_memo: Vec<Option<Option<(FtEntryId, BTreeSet<Component>, Option<ServiceDecision>)>>>,
+}
+
+impl Evaluator<'_, '_> {
+    fn up(&self, c: Component) -> bool {
+        self.state[self.graph.model.component_index(c)]
+    }
+
+    fn eval_entry(&mut self, e: FtEntryId) -> Option<BTreeSet<Component>> {
+        if let Some(v) = &self.entry_memo[e.index()] {
+            return v.clone();
+        }
+        let result = self.eval_entry_uncached(e);
+        self.entry_memo[e.index()] = Some(result.clone());
+        result
+    }
+
+    fn eval_entry_uncached(&mut self, e: FtEntryId) -> Option<BTreeSet<Component>> {
+        let model = self.graph.model;
+        let task = model.task_of(e);
+        let proc = model.processor_of(task);
+        let t_c = Component::Task(task);
+        let p_c = Component::Processor(proc);
+        if !self.up(t_c) || !self.up(p_c) {
+            return None;
+        }
+        let mut support = BTreeSet::from([t_c, p_c]);
+        let requests = model.entries[e.index()].requests.clone();
+        for r in &requests {
+            if let Some(link) = r.link {
+                let l_c = Component::Link(link);
+                if !self.up(l_c) {
+                    return None;
+                }
+                support.insert(l_c);
+            }
+            match r.target {
+                RequestTarget::Entry(te) => {
+                    let child = self.eval_entry(te)?;
+                    support.extend(child);
+                }
+                RequestTarget::Service(s) => {
+                    let (_, child_support, _) = self.eval_service(s)?;
+                    support.extend(child_support);
+                }
+            }
+        }
+        Some(support)
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn eval_service(
+        &mut self,
+        s: ServiceId,
+    ) -> Option<(FtEntryId, BTreeSet<Component>, Option<ServiceDecision>)> {
+        if let Some(v) = &self.service_memo[s.index()] {
+            return v.clone();
+        }
+        let result = self.eval_service_uncached(s);
+        self.service_memo[s.index()] = Some(result.clone());
+        result
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn eval_service_uncached(
+        &mut self,
+        s: ServiceId,
+    ) -> Option<(FtEntryId, BTreeSet<Component>, Option<ServiceDecision>)> {
+        let model = self.graph.model;
+        let decider = model.requiring_task(s).expect("validated: service in use");
+        let alternatives: Vec<_> = model.alternatives(s).collect();
+        let mut skipped: Vec<(FtEntryId, Vec<Component>)> = Vec::new();
+        for (rank, &(alt_entry, alt_link)) in alternatives.iter().enumerate() {
+            let link_up = alt_link.is_none_or(|l| self.up(Component::Link(l)));
+            let sub = if link_up {
+                self.eval_entry(alt_entry)
+            } else {
+                None
+            };
+            match sub {
+                Some(mut support) => {
+                    if let Some(l) = alt_link {
+                        support.insert(Component::Link(l));
+                    }
+                    let decision = ServiceDecision {
+                        service: s,
+                        decider,
+                        candidate: alt_entry,
+                        priority: rank,
+                        up_support: support.clone(),
+                        skipped: skipped.clone(),
+                    };
+                    if self.gate.pass(&decision) {
+                        return Some((alt_entry, support, Some(decision)));
+                    }
+                    // The deciding task cannot establish this candidate's
+                    // health (or a predecessor's failure): the service is
+                    // uncovered and fails — there is no further fallback,
+                    // because the task does not know it should fall back.
+                    return None;
+                }
+                None => {
+                    // Collect the components that contributed to this
+                    // alternative's failure: the down members of its
+                    // static support plus a down link if any.
+                    let mut failed: Vec<Component> = self
+                        .graph
+                        .static_support(alt_entry)
+                        .iter()
+                        .copied()
+                        .filter(|&c| !self.up(c))
+                        .collect();
+                    if let Some(l) = alt_link {
+                        let l_c = Component::Link(l);
+                        if !self.up(l_c) {
+                            failed.push(l_c);
+                        }
+                    }
+                    skipped.push((alt_entry, failed));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Static leaf support per entry, through every alternative of nested
+/// services (the paper's `L(n)`).
+fn compute_static_support(model: &FtlqnModel) -> Vec<BTreeSet<Component>> {
+    let n = model.entry_count();
+    let mut memo: Vec<Option<BTreeSet<Component>>> = vec![None; n];
+    fn rec(
+        model: &FtlqnModel,
+        e: FtEntryId,
+        memo: &mut Vec<Option<BTreeSet<Component>>>,
+    ) -> BTreeSet<Component> {
+        if let Some(s) = &memo[e.index()] {
+            return s.clone();
+        }
+        let task = model.task_of(e);
+        let mut support = BTreeSet::from([
+            Component::Task(task),
+            Component::Processor(model.processor_of(task)),
+        ]);
+        let requests = model.entries[e.index()].requests.clone();
+        for r in &requests {
+            if let Some(l) = r.link {
+                support.insert(Component::Link(l));
+            }
+            match r.target {
+                RequestTarget::Entry(te) => {
+                    support.extend(rec(model, te, memo));
+                }
+                RequestTarget::Service(s) => {
+                    for (alt, link) in model.alternatives(s) {
+                        if let Some(l) = link {
+                            support.insert(Component::Link(l));
+                        }
+                        support.extend(rec(model, alt, memo));
+                    }
+                }
+            }
+        }
+        memo[e.index()] = Some(support.clone());
+        support
+    }
+    (0..n)
+        .map(|ix| rec(model, FtEntryId(ix as u32), &mut memo))
+        .collect()
+}
+
+/// Builds the plain Definition-1 AND-OR graph (Fig. 5 shape).
+fn build_andor(model: &FtlqnModel) -> (AndOrGraph<FaultNode>, AndOrNodeId) {
+    let mut g: AndOrGraph<FaultNode> = AndOrGraph::new();
+    let mut comp_nodes: BTreeMap<Component, AndOrNodeId> = BTreeMap::new();
+    for c in model.components() {
+        comp_nodes.insert(c, g.add_leaf(FaultNode::Component(c)));
+    }
+    let mut entry_nodes: Vec<Option<AndOrNodeId>> = vec![None; model.entry_count()];
+    let mut service_nodes: Vec<Option<AndOrNodeId>> = vec![None; model.service_count()];
+
+    #[allow(clippy::too_many_arguments)]
+    fn entry_node(
+        model: &FtlqnModel,
+        e: FtEntryId,
+        g: &mut AndOrGraph<FaultNode>,
+        comp_nodes: &BTreeMap<Component, AndOrNodeId>,
+        entry_nodes: &mut Vec<Option<AndOrNodeId>>,
+        service_nodes: &mut Vec<Option<AndOrNodeId>>,
+    ) -> AndOrNodeId {
+        if let Some(n) = entry_nodes[e.index()] {
+            return n;
+        }
+        let task = model.task_of(e);
+        let mut children = vec![
+            comp_nodes[&Component::Task(task)],
+            comp_nodes[&Component::Processor(model.processor_of(task))],
+        ];
+        let requests = model.entries[e.index()].requests.clone();
+        for r in &requests {
+            if let Some(l) = r.link {
+                children.push(comp_nodes[&Component::Link(l)]);
+            }
+            match r.target {
+                RequestTarget::Entry(te) => {
+                    children.push(entry_node(
+                        model,
+                        te,
+                        g,
+                        comp_nodes,
+                        entry_nodes,
+                        service_nodes,
+                    ));
+                }
+                RequestTarget::Service(s) => {
+                    let sn = if let Some(n) = service_nodes[s.index()] {
+                        n
+                    } else {
+                        let mut alts = Vec::new();
+                        for (alt, link) in model.alternatives(s) {
+                            let an =
+                                entry_node(model, alt, g, comp_nodes, entry_nodes, service_nodes);
+                            let node = if let Some(l) = link {
+                                // Alternative via a link: AND of link and entry.
+                                g.add_and(
+                                    FaultNode::Entry(alt),
+                                    vec![comp_nodes[&Component::Link(l)], an],
+                                )
+                            } else {
+                                an
+                            };
+                            alts.push(node);
+                        }
+                        let sn = g.add_or(FaultNode::Service(s), alts);
+                        service_nodes[s.index()] = Some(sn);
+                        sn
+                    };
+                    children.push(sn);
+                }
+            }
+        }
+        let n = g.add_and(FaultNode::Entry(e), children);
+        entry_nodes[e.index()] = Some(n);
+        n
+    }
+
+    let mut roots = Vec::new();
+    for t in model.reference_tasks() {
+        let e = model.entries_of(t).next().expect("validated");
+        roots.push(entry_node(
+            model,
+            e,
+            &mut g,
+            &comp_nodes,
+            &mut entry_nodes,
+            &mut service_nodes,
+        ));
+    }
+    let root = g.add_or(FaultNode::Root, roots);
+    (g, root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::FtlqnModel;
+    use fmperf_lqn::Multiplicity;
+
+    /// users -> service{primary, backup}; all four fallible components.
+    struct Fixture {
+        model: FtlqnModel,
+        users: FtTaskId,
+        primary: FtTaskId,
+        backup: FtTaskId,
+        svc: ServiceId,
+        e1: FtEntryId,
+        e2: FtEntryId,
+    }
+
+    fn fixture() -> Fixture {
+        let mut m = FtlqnModel::new();
+        let pc = m.add_processor("pc", 0.0, Multiplicity::Infinite);
+        let p1 = m.add_processor("p1", 0.1, Multiplicity::Finite(1));
+        let p2 = m.add_processor("p2", 0.1, Multiplicity::Finite(1));
+        let users = m.add_reference_task("users", pc, 0.0, 10, 1.0);
+        let primary = m.add_task("primary", p1, 0.1, Multiplicity::Finite(1));
+        let backup = m.add_task("backup", p2, 0.1, Multiplicity::Finite(1));
+        let eu = m.add_entry("cycle", users, 0.0);
+        let e1 = m.add_entry("serve1", primary, 0.5);
+        let e2 = m.add_entry("serve2", backup, 0.5);
+        let svc = m.add_service("data");
+        m.add_alternative(svc, e1, None);
+        m.add_alternative(svc, e2, None);
+        m.add_request(eu, RequestTarget::Service(svc), 1.0, None);
+        Fixture {
+            model: m,
+            users,
+            primary,
+            backup,
+            svc,
+            e1,
+            e2,
+        }
+    }
+
+    fn all_up(model: &FtlqnModel) -> Vec<bool> {
+        vec![true; model.component_count()]
+    }
+
+    fn down(model: &FtlqnModel, state: &mut [bool], c: Component) {
+        state[model.component_index(c)] = false;
+    }
+
+    #[test]
+    fn all_up_selects_primary() {
+        let f = fixture();
+        let g = FaultGraph::build(&f.model).unwrap();
+        let cfg = g.configuration(
+            &all_up(&f.model),
+            &PerfectKnowledge,
+            KnowPolicy::AllFailedComponents,
+        );
+        assert!(!cfg.is_failed());
+        assert_eq!(cfg.used_services[&f.svc], f.e1);
+        assert!(cfg.user_chains.contains(&f.users));
+    }
+
+    #[test]
+    fn primary_down_falls_back_with_perfect_knowledge() {
+        let f = fixture();
+        let g = FaultGraph::build(&f.model).unwrap();
+        let mut state = all_up(&f.model);
+        down(&f.model, &mut state, Component::Task(f.primary));
+        let cfg = g.configuration(&state, &PerfectKnowledge, KnowPolicy::AllFailedComponents);
+        assert_eq!(cfg.used_services[&f.svc], f.e2);
+    }
+
+    #[test]
+    fn both_alternatives_down_fails_system() {
+        let f = fixture();
+        let g = FaultGraph::build(&f.model).unwrap();
+        let mut state = all_up(&f.model);
+        down(&f.model, &mut state, Component::Task(f.primary));
+        down(&f.model, &mut state, Component::Task(f.backup));
+        let cfg = g.configuration(&state, &PerfectKnowledge, KnowPolicy::AllFailedComponents);
+        assert!(cfg.is_failed());
+    }
+
+    /// An oracle that knows nothing: reconfiguration is impossible, but
+    /// the primary path needs no reconfiguration... except that the
+    /// selection rule also demands knowledge of the candidate's health.
+    struct KnowNothing;
+    impl KnowledgeOracle for KnowNothing {
+        fn knows(&self, _c: Component, _t: FtTaskId) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn ignorant_oracle_blocks_even_primary_selection() {
+        let f = fixture();
+        let g = FaultGraph::build(&f.model).unwrap();
+        let cfg = g.configuration(
+            &all_up(&f.model),
+            &KnowNothing,
+            KnowPolicy::AllFailedComponents,
+        );
+        assert!(cfg.is_failed());
+    }
+
+    /// Oracle knowing only the primary task's state.
+    struct KnowsOnly(Vec<Component>);
+    impl KnowledgeOracle for KnowsOnly {
+        fn knows(&self, c: Component, _t: FtTaskId) -> bool {
+            self.0.contains(&c)
+        }
+    }
+
+    #[test]
+    fn partial_knowledge_blocks_failover() {
+        let f = fixture();
+        let g = FaultGraph::build(&f.model).unwrap();
+        let mut state = all_up(&f.model);
+        down(&f.model, &mut state, Component::Task(f.primary));
+        // The user task knows everything about the primary but nothing
+        // about the backup: it cannot establish the backup's health.
+        let oracle = KnowsOnly(vec![
+            Component::Task(f.primary),
+            Component::Processor(f.model.processor_of(f.primary)),
+        ]);
+        let cfg = g.configuration(&state, &oracle, KnowPolicy::AllFailedComponents);
+        assert!(cfg.is_failed());
+    }
+
+    #[test]
+    fn policy_distinguishes_partially_known_failures() {
+        let f = fixture();
+        let g = FaultGraph::build(&f.model).unwrap();
+        let mut state = all_up(&f.model);
+        // Both the primary task and its processor are down; the oracle
+        // knows only the processor (plus everything about the backup).
+        down(&f.model, &mut state, Component::Task(f.primary));
+        down(
+            &f.model,
+            &mut state,
+            Component::Processor(f.model.processor_of(f.primary)),
+        );
+        let oracle = KnowsOnly(vec![
+            Component::Processor(f.model.processor_of(f.primary)),
+            Component::Task(f.backup),
+            Component::Processor(f.model.processor_of(f.backup)),
+        ]);
+        let strict = g.configuration(&state, &oracle, KnowPolicy::AllFailedComponents);
+        assert!(strict.is_failed(), "strict policy needs the task state too");
+        let lax = g.configuration(&state, &oracle, KnowPolicy::AnyFailedComponent);
+        assert_eq!(lax.used_services[&f.svc], f.e2);
+    }
+
+    #[test]
+    fn static_support_covers_all_alternatives() {
+        let f = fixture();
+        let g = FaultGraph::build(&f.model).unwrap();
+        let eu = f.model.entries_of(f.users).next().unwrap();
+        let sup = g.static_support(eu);
+        assert!(sup.contains(&Component::Task(f.primary)));
+        assert!(sup.contains(&Component::Task(f.backup)));
+        assert!(sup.contains(&Component::Task(f.users)));
+        assert_eq!(sup.len(), 6); // 3 tasks + 3 processors
+    }
+
+    #[test]
+    fn plain_andor_agrees_with_perfect_oracle() {
+        let f = fixture();
+        let g = FaultGraph::build(&f.model).unwrap();
+        let n = f.model.component_count();
+        for bits in 0..(1u32 << n) {
+            let state: Vec<bool> = (0..n).map(|i| bits & (1 << i) != 0).collect();
+            let cfg = g.configuration(&state, &PerfectKnowledge, KnowPolicy::AllFailedComponents);
+            assert_eq!(
+                !cfg.is_failed(),
+                g.root_working_plain(&state),
+                "divergence at state {bits:#b}"
+            );
+        }
+    }
+
+    #[test]
+    fn outcome_vector_matches_oracle_path() {
+        let f = fixture();
+        let g = FaultGraph::build(&f.model).unwrap();
+        let state = all_up(&f.model);
+        let (cfg_true, decisions) = g.configuration_with_outcomes(&state, &[true]);
+        assert_eq!(cfg_true.used_services[&f.svc], f.e1);
+        let d = decisions[f.svc.index()]
+            .as_ref()
+            .expect("service consulted");
+        assert_eq!(d.candidate, f.e1);
+        assert_eq!(d.priority, 0);
+        assert!(d.skipped.is_empty());
+        let (cfg_false, _) = g.configuration_with_outcomes(&state, &[false]);
+        assert!(cfg_false.is_failed());
+    }
+
+    #[test]
+    fn decision_reports_skipped_failures() {
+        let f = fixture();
+        let g = FaultGraph::build(&f.model).unwrap();
+        let mut state = all_up(&f.model);
+        down(&f.model, &mut state, Component::Task(f.primary));
+        let (_, decisions) = g.configuration_with_outcomes(&state, &[true]);
+        let d = decisions[f.svc.index()].as_ref().unwrap();
+        assert_eq!(d.candidate, f.e2);
+        assert_eq!(d.priority, 1);
+        assert_eq!(d.skipped.len(), 1);
+        assert_eq!(d.skipped[0].0, f.e1);
+        assert_eq!(d.skipped[0].1, vec![Component::Task(f.primary)]);
+    }
+
+    #[test]
+    fn label_formats_like_the_paper() {
+        let f = fixture();
+        let g = FaultGraph::build(&f.model).unwrap();
+        let cfg = g.configuration(
+            &all_up(&f.model),
+            &PerfectKnowledge,
+            KnowPolicy::AllFailedComponents,
+        );
+        let label = cfg.label(&f.model);
+        assert!(label.contains("cycle") && label.contains("data") && label.contains("serve1"));
+        let failed = Configuration::default();
+        assert_eq!(failed.label(&f.model), "{system failed}");
+    }
+
+    #[test]
+    fn chain_entries_follow_service_choice() {
+        let f = fixture();
+        let g = FaultGraph::build(&f.model).unwrap();
+        let cfg = g.configuration(
+            &all_up(&f.model),
+            &PerfectKnowledge,
+            KnowPolicy::AllFailedComponents,
+        );
+        let entries = cfg.chain_entries(&f.model, f.users);
+        assert_eq!(entries.len(), 2); // user entry + selected primary
+        assert!(entries.contains(&f.e1));
+        assert!(!entries.contains(&f.e2));
+    }
+
+    #[test]
+    fn frozen_routing_fails_instead_of_rerouting() {
+        let f = fixture();
+        let g = FaultGraph::build(&f.model).unwrap();
+        let cfg = g.configuration(
+            &all_up(&f.model),
+            &PerfectKnowledge,
+            KnowPolicy::AllFailedComponents,
+        );
+        // Primary dies: with frozen routing the chain fails even though a
+        // live reconfiguration would use the backup.
+        let mut state = all_up(&f.model);
+        down(&f.model, &mut state, Component::Task(f.primary));
+        let frozen = cfg.frozen_under(&f.model, &state);
+        assert!(frozen.is_failed());
+        let live = g.configuration(&state, &PerfectKnowledge, KnowPolicy::AllFailedComponents);
+        assert!(!live.is_failed());
+        // An unrelated component (the backup) dying changes nothing.
+        let mut state = all_up(&f.model);
+        down(&f.model, &mut state, Component::Task(f.backup));
+        let frozen = cfg.frozen_under(&f.model, &state);
+        assert_eq!(frozen, cfg);
+    }
+
+    #[test]
+    fn user_task_failure_kills_chain() {
+        let f = fixture();
+        let g = FaultGraph::build(&f.model).unwrap();
+        let mut state = all_up(&f.model);
+        down(&f.model, &mut state, Component::Task(f.users));
+        let cfg = g.configuration(&state, &PerfectKnowledge, KnowPolicy::AllFailedComponents);
+        assert!(cfg.is_failed());
+    }
+}

@@ -1,0 +1,54 @@
+//! # fmperf-ftlqn
+//!
+//! Fault-Tolerant Layered Queueing Network (FTLQN) models — the
+//! application-side notation of the DSN 2002 paper (§2, §3).
+//!
+//! An FTLQN is an ordinary layered client/server model (tasks with
+//! entries, blocking requests, processors) extended with:
+//!
+//! * per-component **failure probabilities** (tasks, processors and,
+//!   as an extension, network links);
+//! * **services** — redirection points with priority-ordered alternative
+//!   target entries (`#1`, `#2`, …), the paper's mechanism for modelling
+//!   backup servers.
+//!
+//! From an FTLQN this crate derives the **fault propagation graph** (§3,
+//! Fig. 5) — an AND-OR graph whose leaves are components, whose AND nodes
+//! are entries and whose OR nodes are the services and the root — and
+//! evaluates, for a given up/down state of every component and a given
+//! *knowledge oracle*, which **operational configuration** the system
+//! reaches (Definition 1 plus the `know`-gated service selection rule).
+//! A configuration can then be lowered to a plain [`fmperf_lqn::LqnModel`]
+//! and solved for throughput.
+//!
+//! The knowledge oracle abstracts the management architecture: the
+//! perfect-knowledge oracle reproduces the earlier IPDS'98 analysis, while
+//! `fmperf-mama` provides oracles derived from MAMA architectures.
+//!
+//! ```
+//! use fmperf_ftlqn::{examples, KnowledgeOracle, KnowPolicy, PerfectKnowledge};
+//!
+//! let system = examples::das_woodside_system();
+//! let graph = system.fault_graph().unwrap();
+//! // All components up: both user groups run on the primary server.
+//! let all_up = vec![true; system.model.component_count()];
+//! let cfg = graph.configuration(&all_up, &PerfectKnowledge, KnowPolicy::AllFailedComponents);
+//! assert!(!cfg.is_failed());
+//! assert_eq!(cfg.user_chains.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dot;
+pub mod examples;
+pub mod faultgraph;
+pub mod lower;
+pub mod model;
+
+pub use faultgraph::{Configuration, FaultGraph, KnowPolicy, KnowledgeOracle, PerfectKnowledge};
+pub use lower::LoweredLqn;
+pub use model::{
+    Component, FtEntryId, FtProcId, FtTaskId, FtlqnError, FtlqnModel, LinkId, RequestTarget,
+    ServiceId,
+};

@@ -1,0 +1,236 @@
+//! Lowering an operational configuration to a plain LQN.
+//!
+//! Step 5 of the paper's performability algorithm: "Each `C_i ∈ Z`
+//! determines the service alternatives, so it defines an ordinary Layered
+//! Queueing Network model."  This module materialises that LQN: only the
+//! tasks, processors and entries *in use* appear, and every service
+//! request is rewired to the alternative the configuration selected.
+
+use crate::faultgraph::Configuration;
+use crate::model::{FtEntryId, FtProcId, FtTaskId, FtTaskKind, FtlqnModel, RequestTarget};
+use fmperf_lqn::{EntryId, LqnModel, ModelError, ProcessorId, TaskId};
+use std::fmt;
+
+/// Errors from [`lower`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum LowerError {
+    /// The configuration has no operational user chain; there is no LQN to
+    /// build (its reward is zero by definition).
+    FailedConfiguration,
+    /// The generated LQN failed validation — indicates an inconsistent
+    /// configuration for this model (e.g. produced by a different model).
+    Inconsistent(ModelError),
+    /// The configuration references an entry (as a call target or service
+    /// choice) that it does not itself mark as used.
+    MissingEntry(FtEntryId),
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LowerError::FailedConfiguration => {
+                write!(f, "cannot lower the failed configuration to an LQN")
+            }
+            LowerError::Inconsistent(e) => {
+                write!(f, "configuration inconsistent with model: {e}")
+            }
+            LowerError::MissingEntry(e) => {
+                write!(f, "configuration references unused entry e{}", e.index())
+            }
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// An LQN generated from one operational configuration, with id mappings
+/// back to the FTLQN.
+#[derive(Debug, Clone)]
+pub struct LoweredLqn {
+    /// The generated model (validated).
+    pub model: LqnModel,
+    entry_map: Vec<Option<EntryId>>,
+    task_map: Vec<Option<TaskId>>,
+    proc_map: Vec<Option<ProcessorId>>,
+}
+
+impl LoweredLqn {
+    /// The LQN entry corresponding to an FTLQN entry, if in use.
+    pub fn entry(&self, e: FtEntryId) -> Option<EntryId> {
+        self.entry_map[e.index()]
+    }
+    /// The LQN task corresponding to an FTLQN task, if in use.
+    pub fn task(&self, t: FtTaskId) -> Option<TaskId> {
+        self.task_map[t.index()]
+    }
+    /// The LQN processor corresponding to an FTLQN processor, if in use.
+    pub fn processor(&self, p: FtProcId) -> Option<ProcessorId> {
+        self.proc_map[p.index()]
+    }
+}
+
+/// Builds the ordinary LQN defined by `config` (paper §5, step 5).
+///
+/// # Errors
+///
+/// [`LowerError::FailedConfiguration`] when `config.is_failed()`;
+/// [`LowerError::Inconsistent`] if the configuration does not fit `model`.
+pub fn lower(model: &FtlqnModel, config: &Configuration) -> Result<LoweredLqn, LowerError> {
+    if config.is_failed() {
+        return Err(LowerError::FailedConfiguration);
+    }
+    let mut lqn = LqnModel::new();
+    let mut entry_map: Vec<Option<EntryId>> = vec![None; model.entry_count()];
+    let mut task_map: Vec<Option<TaskId>> = vec![None; model.task_count()];
+    let mut proc_map: Vec<Option<ProcessorId>> = vec![None; model.processor_count()];
+
+    // Materialise processors and tasks hosting used entries.
+    for &e in &config.used_entries {
+        let t = model.task_of(e);
+        if task_map[t.index()].is_none() {
+            let p = model.processor_of(t);
+            if proc_map[p.index()].is_none() {
+                proc_map[p.index()] = Some(lqn.add_processor(
+                    model.processor_name(p),
+                    model.processors[p.index()].multiplicity,
+                ));
+            }
+            let lp = proc_map[p.index()].expect("just created");
+            let task = &model.tasks[t.index()];
+            let lt = match task.kind {
+                FtTaskKind::Reference {
+                    population,
+                    think_time,
+                } => lqn.add_reference_task(&task.name, lp, population, think_time),
+                FtTaskKind::Server => lqn.add_task(&task.name, lp, task.multiplicity),
+            };
+            task_map[t.index()] = Some(lt);
+        }
+    }
+    // Entries (both phases carried through).
+    for &e in &config.used_entries {
+        let t = model.task_of(e);
+        let lt = task_map[t.index()].expect("created above");
+        let le = lqn.add_entry(
+            model.entry_name(e),
+            lt,
+            model.entries[e.index()].host_demand,
+        );
+        let ph2 = model.entries[e.index()].second_phase_demand;
+        if ph2 > 0.0 {
+            lqn.set_second_phase_demand(le, ph2);
+        }
+        entry_map[e.index()] = Some(le);
+    }
+    // Calls, with services rewired to their selected alternative.
+    for &e in &config.used_entries {
+        let from = entry_map[e.index()].expect("created above");
+        for r in &model.entries[e.index()].requests {
+            let target_ft = match r.target {
+                RequestTarget::Entry(te) => te,
+                RequestTarget::Service(s) => match config.used_services.get(&s) {
+                    Some(&chosen) => chosen,
+                    None => return Err(LowerError::MissingEntry(e)),
+                },
+            };
+            let to = entry_map[target_ft.index()].ok_or(LowerError::MissingEntry(target_ft))?;
+            lqn.add_call_in_phase(from, to, r.mean_calls, r.phase)
+                .map_err(LowerError::Inconsistent)?;
+        }
+    }
+    lqn.validate().map_err(LowerError::Inconsistent)?;
+    Ok(LoweredLqn {
+        model: lqn,
+        entry_map,
+        task_map,
+        proc_map,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faultgraph::{FaultGraph, KnowPolicy, PerfectKnowledge};
+    use crate::model::{Component, FtlqnModel};
+    use fmperf_lqn::{solve, Multiplicity};
+
+    fn fixture() -> (FtlqnModel, FtTaskId, FtTaskId, FtTaskId) {
+        let mut m = FtlqnModel::new();
+        let pc = m.add_processor("pc", 0.0, Multiplicity::Infinite);
+        let p1 = m.add_processor("p1", 0.1, Multiplicity::Finite(1));
+        let p2 = m.add_processor("p2", 0.1, Multiplicity::Finite(1));
+        let users = m.add_reference_task("users", pc, 0.0, 10, 1.0);
+        let primary = m.add_task("primary", p1, 0.1, Multiplicity::Finite(1));
+        let backup = m.add_task("backup", p2, 0.1, Multiplicity::Finite(1));
+        let eu = m.add_entry("cycle", users, 0.0);
+        let e1 = m.add_entry("serve1", primary, 0.5);
+        let e2 = m.add_entry("serve2", backup, 0.4);
+        let svc = m.add_service("data");
+        m.add_alternative(svc, e1, None);
+        m.add_alternative(svc, e2, None);
+        m.add_request(eu, RequestTarget::Service(svc), 1.0, None);
+        (m, users, primary, backup)
+    }
+
+    #[test]
+    fn lowered_primary_configuration_solves() {
+        let (m, users, primary, backup) = fixture();
+        let g = FaultGraph::build(&m).unwrap();
+        let state = vec![true; m.component_count()];
+        let cfg = g.configuration(&state, &PerfectKnowledge, KnowPolicy::AllFailedComponents);
+        let lowered = lower(&m, &cfg).unwrap();
+        assert!(lowered.task(primary).is_some());
+        assert!(lowered.task(backup).is_none(), "backup not in use");
+        let sol = solve(&lowered.model).unwrap();
+        let lt = lowered.task(users).unwrap();
+        assert!(sol.task_throughput(lt) > 0.0);
+    }
+
+    #[test]
+    fn lowered_backup_configuration_uses_backup_demand() {
+        let (m, users, primary, backup) = fixture();
+        let g = FaultGraph::build(&m).unwrap();
+        let mut state = vec![true; m.component_count()];
+        state[m.component_index(Component::Task(primary))] = false;
+        let cfg = g.configuration(&state, &PerfectKnowledge, KnowPolicy::AllFailedComponents);
+        let lowered = lower(&m, &cfg).unwrap();
+        assert!(lowered.task(primary).is_none());
+        let bt = lowered.task(backup).unwrap();
+        let sol = solve(&lowered.model).unwrap();
+        assert!(sol.task_throughput(bt) > 0.0);
+        let ut = lowered.task(users).unwrap();
+        // Backup is faster (0.4 vs 0.5): users should do slightly better
+        // than the primary configuration under 10 users and 1s think.
+        let primary_cfg = {
+            let state = vec![true; m.component_count()];
+            let cfg = g.configuration(&state, &PerfectKnowledge, KnowPolicy::AllFailedComponents);
+            let l = lower(&m, &cfg).unwrap();
+            let s = solve(&l.model).unwrap();
+            s.task_throughput(l.task(users).unwrap())
+        };
+        assert!(sol.task_throughput(ut) >= primary_cfg);
+    }
+
+    #[test]
+    fn failed_configuration_rejected() {
+        let (m, ..) = fixture();
+        let cfg = Configuration::default();
+        assert_eq!(
+            lower(&m, &cfg).unwrap_err(),
+            LowerError::FailedConfiguration
+        );
+    }
+
+    #[test]
+    fn mappings_roundtrip_names() {
+        let (m, users, primary, _) = fixture();
+        let g = FaultGraph::build(&m).unwrap();
+        let state = vec![true; m.component_count()];
+        let cfg = g.configuration(&state, &PerfectKnowledge, KnowPolicy::AllFailedComponents);
+        let lowered = lower(&m, &cfg).unwrap();
+        let lt = lowered.task(users).unwrap();
+        assert_eq!(lowered.model.task(lt).name, "users");
+        let lp = lowered.task(primary).unwrap();
+        assert_eq!(lowered.model.task(lp).name, "primary");
+    }
+}

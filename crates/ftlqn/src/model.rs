@@ -1,0 +1,908 @@
+//! FTLQN model types and builder API.
+
+use fmperf_lqn::{Multiplicity, Phase};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Index of a processor in an [`FtlqnModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FtProcId(pub(crate) u32);
+
+/// Index of a task in an [`FtlqnModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FtTaskId(pub(crate) u32);
+
+/// Index of an entry in an [`FtlqnModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FtEntryId(pub(crate) u32);
+
+/// Index of a service (redirection point) in an [`FtlqnModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ServiceId(pub(crate) u32);
+
+/// Index of a network link in an [`FtlqnModel`] (extension: the paper
+/// notes "network failures are easily included").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LinkId(pub(crate) u32);
+
+impl FtProcId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+impl FtTaskId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+impl FtEntryId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+impl ServiceId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+impl LinkId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A fallible basic component of the application model: the leaves of the
+/// fault propagation graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Component {
+    /// An application task.
+    Task(FtTaskId),
+    /// A processor.
+    Processor(FtProcId),
+    /// A network link (extension).
+    Link(LinkId),
+}
+
+/// What a request from an entry points at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RequestTarget {
+    /// A fixed target entry.
+    Entry(FtEntryId),
+    /// A service with priority-ordered alternative targets.
+    Service(ServiceId),
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct FtProcessor {
+    pub name: String,
+    pub fail_prob: f64,
+    pub multiplicity: Multiplicity,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub(crate) enum FtTaskKind {
+    Reference { population: u32, think_time: f64 },
+    Server,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct FtTask {
+    pub name: String,
+    pub processor: FtProcId,
+    pub fail_prob: f64,
+    pub multiplicity: Multiplicity,
+    pub kind: FtTaskKind,
+}
+
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub(crate) struct FtRequest {
+    pub target: RequestTarget,
+    pub mean_calls: f64,
+    pub link: Option<LinkId>,
+    pub phase: Phase,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct FtEntry {
+    pub name: String,
+    pub task: FtTaskId,
+    pub host_demand: f64,
+    pub second_phase_demand: f64,
+    pub requests: Vec<FtRequest>,
+}
+
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub(crate) struct Alternative {
+    pub entry: FtEntryId,
+    pub link: Option<LinkId>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct Service {
+    pub name: String,
+    /// Priority order: index 0 is `#1`.
+    pub alternatives: Vec<Alternative>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct FtLink {
+    pub name: String,
+    pub fail_prob: f64,
+}
+
+/// Validation failure for an [`FtlqnModel`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FtlqnError {
+    /// A probability was outside `[0, 1]`.
+    BadProbability {
+        /// Which element.
+        what: String,
+    },
+    /// Negative demand, call count or think time.
+    NegativeValue {
+        /// Which quantity.
+        what: String,
+    },
+    /// A service has no alternatives.
+    EmptyService(ServiceId),
+    /// A service is requested by entries of more than one task; the paper
+    /// defines `t(s)` as *the* task requiring service `s`.
+    ServiceSharedByTasks(ServiceId),
+    /// A service is requested by no entry.
+    UnusedService(ServiceId),
+    /// The request structure (entries and service alternatives) has a
+    /// cycle.
+    CyclicRequests,
+    /// A reference task must have exactly one entry.
+    ReferenceEntryCount {
+        /// The task.
+        task: FtTaskId,
+        /// Entry count found.
+        count: usize,
+    },
+    /// The model has no reference task.
+    NoReferenceTask,
+    /// A request or alternative targets an entry of the same task.
+    SelfRequest(FtEntryId),
+    /// An alternative entry appears twice in one service.
+    DuplicateAlternative(ServiceId),
+}
+
+impl fmt::Display for FtlqnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FtlqnError::BadProbability { what } => {
+                write!(f, "probability outside [0, 1]: {what}")
+            }
+            FtlqnError::NegativeValue { what } => write!(f, "negative value: {what}"),
+            FtlqnError::EmptyService(s) => write!(f, "service s{} has no alternatives", s.0),
+            FtlqnError::ServiceSharedByTasks(s) => {
+                write!(f, "service s{} is required by more than one task", s.0)
+            }
+            FtlqnError::UnusedService(s) => write!(f, "service s{} is never requested", s.0),
+            FtlqnError::CyclicRequests => write!(f, "request structure has a cycle"),
+            FtlqnError::ReferenceEntryCount { task, count } => {
+                write!(
+                    f,
+                    "reference task t{} has {count} entries, expected 1",
+                    task.0
+                )
+            }
+            FtlqnError::NoReferenceTask => write!(f, "model has no reference task"),
+            FtlqnError::SelfRequest(e) => {
+                write!(f, "entry e{} requests an entry of its own task", e.0)
+            }
+            FtlqnError::DuplicateAlternative(s) => {
+                write!(f, "service s{} lists an alternative twice", s.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for FtlqnError {}
+
+/// A fault-tolerant layered queueing network model.
+///
+/// Build with the `add_*` methods, then call
+/// [`validate`](FtlqnModel::validate) (the fault-graph constructor does so
+/// too).  See the [crate docs](crate) for the concepts.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FtlqnModel {
+    pub(crate) processors: Vec<FtProcessor>,
+    pub(crate) tasks: Vec<FtTask>,
+    pub(crate) entries: Vec<FtEntry>,
+    pub(crate) services: Vec<Service>,
+    pub(crate) links: Vec<FtLink>,
+}
+
+impl FtlqnModel {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a processor with the given steady-state failure probability.
+    pub fn add_processor(
+        &mut self,
+        name: impl Into<String>,
+        fail_prob: f64,
+        multiplicity: Multiplicity,
+    ) -> FtProcId {
+        let id = FtProcId(self.processors.len() as u32);
+        self.processors.push(FtProcessor {
+            name: name.into(),
+            fail_prob,
+            multiplicity,
+        });
+        id
+    }
+
+    /// Adds a server task.
+    pub fn add_task(
+        &mut self,
+        name: impl Into<String>,
+        processor: FtProcId,
+        fail_prob: f64,
+        multiplicity: Multiplicity,
+    ) -> FtTaskId {
+        assert!(
+            processor.index() < self.processors.len(),
+            "processor out of bounds"
+        );
+        let id = FtTaskId(self.tasks.len() as u32);
+        self.tasks.push(FtTask {
+            name: name.into(),
+            processor,
+            fail_prob,
+            multiplicity,
+            kind: FtTaskKind::Server,
+        });
+        id
+    }
+
+    /// Adds a reference (user population) task.
+    pub fn add_reference_task(
+        &mut self,
+        name: impl Into<String>,
+        processor: FtProcId,
+        fail_prob: f64,
+        population: u32,
+        think_time: f64,
+    ) -> FtTaskId {
+        assert!(
+            processor.index() < self.processors.len(),
+            "processor out of bounds"
+        );
+        let id = FtTaskId(self.tasks.len() as u32);
+        self.tasks.push(FtTask {
+            name: name.into(),
+            processor,
+            fail_prob,
+            multiplicity: Multiplicity::Finite(population),
+            kind: FtTaskKind::Reference {
+                population,
+                think_time,
+            },
+        });
+        id
+    }
+
+    /// Adds an entry to `task`.
+    pub fn add_entry(
+        &mut self,
+        name: impl Into<String>,
+        task: FtTaskId,
+        host_demand: f64,
+    ) -> FtEntryId {
+        assert!(task.index() < self.tasks.len(), "task out of bounds");
+        let id = FtEntryId(self.entries.len() as u32);
+        self.entries.push(FtEntry {
+            name: name.into(),
+            task,
+            host_demand,
+            second_phase_demand: 0.0,
+            requests: Vec::new(),
+        });
+        id
+    }
+
+    /// Sets the second-phase (post-reply) demand of an entry; carried
+    /// through to the generated LQNs.  Phase-2 work is still an
+    /// availability dependency: its failure modes are identical to
+    /// phase-1 work in the fault propagation graph.
+    pub fn set_second_phase_demand(&mut self, entry: FtEntryId, demand: f64) {
+        assert!(entry.index() < self.entries.len(), "entry out of bounds");
+        self.entries[entry.index()].second_phase_demand = demand;
+    }
+
+    /// Second-phase demand of an entry.
+    pub fn second_phase_demand(&self, entry: FtEntryId) -> f64 {
+        self.entries[entry.index()].second_phase_demand
+    }
+
+    /// Adds a service (redirection point).  Attach alternatives with
+    /// [`add_alternative`](FtlqnModel::add_alternative).
+    pub fn add_service(&mut self, name: impl Into<String>) -> ServiceId {
+        let id = ServiceId(self.services.len() as u32);
+        self.services.push(Service {
+            name: name.into(),
+            alternatives: Vec::new(),
+        });
+        id
+    }
+
+    /// Appends the next-lower-priority alternative target to `service`,
+    /// optionally via a fallible network link.
+    pub fn add_alternative(&mut self, service: ServiceId, entry: FtEntryId, link: Option<LinkId>) {
+        assert!(
+            service.index() < self.services.len(),
+            "service out of bounds"
+        );
+        assert!(entry.index() < self.entries.len(), "entry out of bounds");
+        self.services[service.index()]
+            .alternatives
+            .push(Alternative { entry, link });
+    }
+
+    /// Adds a fallible network link component (extension).
+    pub fn add_link(&mut self, name: impl Into<String>, fail_prob: f64) -> LinkId {
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(FtLink {
+            name: name.into(),
+            fail_prob,
+        });
+        id
+    }
+
+    /// Adds a phase-1 request from `entry` to a fixed entry or a
+    /// service, optionally via a fallible link.
+    pub fn add_request(
+        &mut self,
+        entry: FtEntryId,
+        target: RequestTarget,
+        mean_calls: f64,
+        link: Option<LinkId>,
+    ) {
+        self.add_request_in_phase(entry, target, mean_calls, link, Phase::One);
+    }
+
+    /// Adds a request in an explicit [`Phase`] (phase 2 = after the
+    /// reply; performance-invisible to the caller but still an
+    /// availability dependency).
+    pub fn add_request_in_phase(
+        &mut self,
+        entry: FtEntryId,
+        target: RequestTarget,
+        mean_calls: f64,
+        link: Option<LinkId>,
+        phase: Phase,
+    ) {
+        assert!(entry.index() < self.entries.len(), "entry out of bounds");
+        match target {
+            RequestTarget::Entry(e) => {
+                assert!(e.index() < self.entries.len(), "target entry out of bounds")
+            }
+            RequestTarget::Service(s) => {
+                assert!(
+                    s.index() < self.services.len(),
+                    "target service out of bounds"
+                )
+            }
+        }
+        self.entries[entry.index()].requests.push(FtRequest {
+            target,
+            mean_calls,
+            link,
+            phase,
+        });
+    }
+
+    /// Number of processors.
+    pub fn processor_count(&self) -> usize {
+        self.processors.len()
+    }
+    /// Number of tasks.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+    /// Number of entries.
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+    /// Number of services.
+    pub fn service_count(&self) -> usize {
+        self.services.len()
+    }
+    /// Number of links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Total number of fallible application components (tasks, then
+    /// processors, then links — this is also the dense index order used by
+    /// [`component_index`](FtlqnModel::component_index)).
+    pub fn component_count(&self) -> usize {
+        self.tasks.len() + self.processors.len() + self.links.len()
+    }
+
+    /// Dense index of a component in `0..component_count()`.
+    pub fn component_index(&self, c: Component) -> usize {
+        match c {
+            Component::Task(t) => t.index(),
+            Component::Processor(p) => self.tasks.len() + p.index(),
+            Component::Link(l) => self.tasks.len() + self.processors.len() + l.index(),
+        }
+    }
+
+    /// The component at a dense index (inverse of
+    /// [`component_index`](FtlqnModel::component_index)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ix >= component_count()`.
+    pub fn component_at(&self, ix: usize) -> Component {
+        if ix < self.tasks.len() {
+            Component::Task(FtTaskId(ix as u32))
+        } else if ix < self.tasks.len() + self.processors.len() {
+            Component::Processor(FtProcId((ix - self.tasks.len()) as u32))
+        } else {
+            let l = ix - self.tasks.len() - self.processors.len();
+            assert!(l < self.links.len(), "component index out of bounds");
+            Component::Link(LinkId(l as u32))
+        }
+    }
+
+    /// Iterates over all components in dense-index order.
+    pub fn components(&self) -> impl Iterator<Item = Component> + '_ {
+        (0..self.component_count()).map(|ix| self.component_at(ix))
+    }
+
+    /// Steady-state failure probability of a component.
+    pub fn fail_prob(&self, c: Component) -> f64 {
+        match c {
+            Component::Task(t) => self.tasks[t.index()].fail_prob,
+            Component::Processor(p) => self.processors[p.index()].fail_prob,
+            Component::Link(l) => self.links[l.index()].fail_prob,
+        }
+    }
+
+    /// Human-readable name of a component.
+    pub fn component_name(&self, c: Component) -> &str {
+        match c {
+            Component::Task(t) => &self.tasks[t.index()].name,
+            Component::Processor(p) => &self.processors[p.index()].name,
+            Component::Link(l) => &self.links[l.index()].name,
+        }
+    }
+
+    /// Name of a task.
+    pub fn task_name(&self, t: FtTaskId) -> &str {
+        &self.tasks[t.index()].name
+    }
+    /// Name of an entry.
+    pub fn entry_name(&self, e: FtEntryId) -> &str {
+        &self.entries[e.index()].name
+    }
+    /// Name of a service.
+    pub fn service_name(&self, s: ServiceId) -> &str {
+        &self.services[s.index()].name
+    }
+    /// Name of a processor.
+    pub fn processor_name(&self, p: FtProcId) -> &str {
+        &self.processors[p.index()].name
+    }
+
+    /// The processor hosting `task`.
+    pub fn processor_of(&self, task: FtTaskId) -> FtProcId {
+        self.tasks[task.index()].processor
+    }
+
+    /// The task owning `entry`.
+    pub fn task_of(&self, entry: FtEntryId) -> FtTaskId {
+        self.entries[entry.index()].task
+    }
+
+    /// Is `task` a reference (user) task?
+    pub fn is_reference(&self, task: FtTaskId) -> bool {
+        matches!(self.tasks[task.index()].kind, FtTaskKind::Reference { .. })
+    }
+
+    /// Thread count of a task (population for reference tasks).
+    pub fn task_multiplicity(&self, task: FtTaskId) -> Multiplicity {
+        self.tasks[task.index()].multiplicity
+    }
+
+    /// `(population, think_time)` for a reference task, `None` for a
+    /// server task.
+    pub fn reference_params(&self, task: FtTaskId) -> Option<(u32, f64)> {
+        match self.tasks[task.index()].kind {
+            FtTaskKind::Reference {
+                population,
+                think_time,
+            } => Some((population, think_time)),
+            FtTaskKind::Server => None,
+        }
+    }
+
+    /// Mean host demand of an entry, in seconds.
+    pub fn entry_demand(&self, entry: FtEntryId) -> f64 {
+        self.entries[entry.index()].host_demand
+    }
+
+    /// The requests an entry makes, as `(target, mean_calls, link,
+    /// phase)`.
+    pub fn requests_of(
+        &self,
+        entry: FtEntryId,
+    ) -> impl Iterator<Item = (RequestTarget, f64, Option<LinkId>, Phase)> + '_ {
+        self.entries[entry.index()]
+            .requests
+            .iter()
+            .map(|r| (r.target, r.mean_calls, r.link, r.phase))
+    }
+
+    /// Core count of a processor.
+    pub fn processor_multiplicity(&self, proc: FtProcId) -> Multiplicity {
+        self.processors[proc.index()].multiplicity
+    }
+
+    /// All link ids.
+    pub fn link_ids(&self) -> impl Iterator<Item = LinkId> + '_ {
+        (0..self.links.len() as u32).map(LinkId)
+    }
+
+    /// All task ids.
+    pub fn task_ids(&self) -> impl Iterator<Item = FtTaskId> + '_ {
+        (0..self.tasks.len() as u32).map(FtTaskId)
+    }
+    /// All entry ids.
+    pub fn entry_ids(&self) -> impl Iterator<Item = FtEntryId> + '_ {
+        (0..self.entries.len() as u32).map(FtEntryId)
+    }
+    /// All service ids.
+    pub fn service_ids(&self) -> impl Iterator<Item = ServiceId> + '_ {
+        (0..self.services.len() as u32).map(ServiceId)
+    }
+    /// All processor ids.
+    pub fn processor_ids(&self) -> impl Iterator<Item = FtProcId> + '_ {
+        (0..self.processors.len() as u32).map(FtProcId)
+    }
+
+    /// Entries of a task, in insertion order.
+    pub fn entries_of(&self, task: FtTaskId) -> impl Iterator<Item = FtEntryId> + '_ {
+        self.entry_ids()
+            .filter(move |&e| self.entries[e.index()].task == task)
+    }
+
+    /// Reference task ids, in insertion order.
+    pub fn reference_tasks(&self) -> impl Iterator<Item = FtTaskId> + '_ {
+        self.task_ids().filter(|&t| self.is_reference(t))
+    }
+
+    /// The alternatives of a service, in priority order.
+    pub fn alternatives(
+        &self,
+        s: ServiceId,
+    ) -> impl Iterator<Item = (FtEntryId, Option<LinkId>)> + '_ {
+        self.services[s.index()]
+            .alternatives
+            .iter()
+            .map(|a| (a.entry, a.link))
+    }
+
+    /// The task `t(s)` that requires service `s` — the task whose entries
+    /// request it.  `None` if unused (validation rejects that).
+    pub fn requiring_task(&self, s: ServiceId) -> Option<FtTaskId> {
+        for e in &self.entries {
+            for r in &e.requests {
+                if r.target == RequestTarget::Service(s) {
+                    return Some(e.task);
+                }
+            }
+        }
+        None
+    }
+
+    /// Checks all structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found; see [`FtlqnError`].
+    pub fn validate(&self) -> Result<(), FtlqnError> {
+        if self.reference_tasks().next().is_none() {
+            return Err(FtlqnError::NoReferenceTask);
+        }
+        let prob_ok = |p: f64| (0.0..=1.0).contains(&p) && p.is_finite();
+        for t in &self.tasks {
+            if !prob_ok(t.fail_prob) {
+                return Err(FtlqnError::BadProbability {
+                    what: format!("task {}", t.name),
+                });
+            }
+            if let FtTaskKind::Reference { think_time, .. } = t.kind {
+                if think_time < 0.0 {
+                    return Err(FtlqnError::NegativeValue {
+                        what: format!("think time of {}", t.name),
+                    });
+                }
+            }
+        }
+        for t in self.reference_tasks() {
+            let count = self.entries_of(t).count();
+            if count != 1 {
+                return Err(FtlqnError::ReferenceEntryCount { task: t, count });
+            }
+        }
+        for p in &self.processors {
+            if !prob_ok(p.fail_prob) {
+                return Err(FtlqnError::BadProbability {
+                    what: format!("processor {}", p.name),
+                });
+            }
+        }
+        for l in &self.links {
+            if !prob_ok(l.fail_prob) {
+                return Err(FtlqnError::BadProbability {
+                    what: format!("link {}", l.name),
+                });
+            }
+        }
+        for (ix, e) in self.entries.iter().enumerate() {
+            if e.host_demand < 0.0 {
+                return Err(FtlqnError::NegativeValue {
+                    what: format!("host demand of {}", e.name),
+                });
+            }
+            for r in &e.requests {
+                if r.mean_calls < 0.0 {
+                    return Err(FtlqnError::NegativeValue {
+                        what: format!("call count from {}", e.name),
+                    });
+                }
+                if let RequestTarget::Entry(te) = r.target {
+                    if self.entries[te.index()].task == e.task {
+                        return Err(FtlqnError::SelfRequest(FtEntryId(ix as u32)));
+                    }
+                }
+            }
+        }
+        for (six, s) in self.services.iter().enumerate() {
+            let sid = ServiceId(six as u32);
+            if s.alternatives.is_empty() {
+                return Err(FtlqnError::EmptyService(sid));
+            }
+            let mut seen = BTreeSet::new();
+            for a in &s.alternatives {
+                if !seen.insert(a.entry) {
+                    return Err(FtlqnError::DuplicateAlternative(sid));
+                }
+            }
+            // Requiring tasks must be unique.
+            let mut tasks = BTreeSet::new();
+            for e in &self.entries {
+                for r in &e.requests {
+                    if r.target == RequestTarget::Service(sid) {
+                        tasks.insert(e.task);
+                    }
+                }
+            }
+            match tasks.len() {
+                0 => return Err(FtlqnError::UnusedService(sid)),
+                1 => {}
+                _ => return Err(FtlqnError::ServiceSharedByTasks(sid)),
+            }
+            // Alternatives must not target the requiring task itself.
+            let owner = *tasks.iter().next().expect("non-empty");
+            for a in &s.alternatives {
+                if self.entries[a.entry.index()].task == owner {
+                    return Err(FtlqnError::SelfRequest(a.entry));
+                }
+            }
+        }
+        if self.request_cycle() {
+            return Err(FtlqnError::CyclicRequests);
+        }
+        Ok(())
+    }
+
+    /// Does the entry/service request structure contain a cycle?  The
+    /// check is on tasks, counting every service alternative as a
+    /// potential edge.
+    fn request_cycle(&self) -> bool {
+        let n = self.tasks.len();
+        let mut adj: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+        for e in &self.entries {
+            for r in &e.requests {
+                match r.target {
+                    RequestTarget::Entry(te) => {
+                        adj[e.task.index()].insert(self.entries[te.index()].task.index());
+                    }
+                    RequestTarget::Service(s) => {
+                        for a in &self.services[s.index()].alternatives {
+                            adj[e.task.index()].insert(self.entries[a.entry.index()].task.index());
+                        }
+                    }
+                }
+            }
+        }
+        // Kahn.
+        let mut indeg = vec![0usize; n];
+        for outs in &adj {
+            for &t in outs {
+                indeg[t] += 1;
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut seen = 0;
+        while let Some(i) = queue.pop() {
+            seen += 1;
+            for &t in &adj[i] {
+                indeg[t] -= 1;
+                if indeg[t] == 0 {
+                    queue.push(t);
+                }
+            }
+        }
+        seen != n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal() -> (FtlqnModel, FtEntryId, FtEntryId, ServiceId) {
+        let mut m = FtlqnModel::new();
+        let pc = m.add_processor("pc", 0.0, Multiplicity::Infinite);
+        let p1 = m.add_processor("p1", 0.1, Multiplicity::Finite(1));
+        let p2 = m.add_processor("p2", 0.1, Multiplicity::Finite(1));
+        let u = m.add_reference_task("users", pc, 0.0, 10, 1.0);
+        let s1 = m.add_task("primary", p1, 0.1, Multiplicity::Finite(1));
+        let s2 = m.add_task("backup", p2, 0.1, Multiplicity::Finite(1));
+        let eu = m.add_entry("cycle", u, 0.0);
+        let e1 = m.add_entry("serve1", s1, 0.5);
+        let e2 = m.add_entry("serve2", s2, 0.5);
+        let svc = m.add_service("data");
+        m.add_alternative(svc, e1, None);
+        m.add_alternative(svc, e2, None);
+        m.add_request(eu, RequestTarget::Service(svc), 1.0, None);
+        (m, eu, e1, svc)
+    }
+
+    #[test]
+    fn minimal_model_validates() {
+        let (m, ..) = minimal();
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn component_index_roundtrip() {
+        let (mut m, ..) = minimal();
+        m.add_link("net", 0.05);
+        for ix in 0..m.component_count() {
+            let c = m.component_at(ix);
+            assert_eq!(m.component_index(c), ix);
+        }
+        assert_eq!(m.component_count(), 3 + 3 + 1);
+    }
+
+    #[test]
+    fn requiring_task_found() {
+        let (m, eu, _, svc) = minimal();
+        assert_eq!(m.requiring_task(svc), Some(m.task_of(eu)));
+    }
+
+    #[test]
+    fn alternatives_keep_priority_order() {
+        let (m, _, e1, svc) = minimal();
+        let alts: Vec<_> = m.alternatives(svc).map(|(e, _)| e).collect();
+        assert_eq!(alts[0], e1);
+        assert_eq!(alts.len(), 2);
+    }
+
+    #[test]
+    fn empty_service_rejected() {
+        let (mut m, eu, ..) = minimal();
+        let svc2 = m.add_service("empty");
+        m.add_request(eu, RequestTarget::Service(svc2), 1.0, None);
+        assert_eq!(m.validate(), Err(FtlqnError::EmptyService(svc2)));
+    }
+
+    #[test]
+    fn unused_service_rejected() {
+        let (mut m, _, e1, _) = minimal();
+        let svc2 = m.add_service("orphan");
+        m.add_alternative(svc2, e1, None);
+        assert_eq!(m.validate(), Err(FtlqnError::UnusedService(svc2)));
+    }
+
+    #[test]
+    fn shared_service_rejected() {
+        let (mut m, _, _, svc) = minimal();
+        // A second reference task also requests the same service.
+        let pc = m.add_processor("pc2", 0.0, Multiplicity::Infinite);
+        let u2 = m.add_reference_task("users2", pc, 0.0, 5, 1.0);
+        let eu2 = m.add_entry("cycle2", u2, 0.0);
+        m.add_request(eu2, RequestTarget::Service(svc), 1.0, None);
+        assert_eq!(m.validate(), Err(FtlqnError::ServiceSharedByTasks(svc)));
+    }
+
+    #[test]
+    fn duplicate_alternative_rejected() {
+        let (mut m, _, e1, svc) = minimal();
+        m.add_alternative(svc, e1, None);
+        assert_eq!(m.validate(), Err(FtlqnError::DuplicateAlternative(svc)));
+    }
+
+    #[test]
+    fn bad_probability_rejected() {
+        let mut m = FtlqnModel::new();
+        let pc = m.add_processor("pc", 1.5, Multiplicity::Infinite);
+        let u = m.add_reference_task("u", pc, 0.0, 1, 0.0);
+        m.add_entry("e", u, 0.0);
+        assert!(matches!(
+            m.validate(),
+            Err(FtlqnError::BadProbability { .. })
+        ));
+    }
+
+    #[test]
+    fn cyclic_requests_rejected() {
+        let mut m = FtlqnModel::new();
+        let pc = m.add_processor("pc", 0.0, Multiplicity::Infinite);
+        let u = m.add_reference_task("u", pc, 0.0, 1, 0.0);
+        let a = m.add_task("a", pc, 0.1, Multiplicity::Finite(1));
+        let b = m.add_task("b", pc, 0.1, Multiplicity::Finite(1));
+        let eu = m.add_entry("eu", u, 0.0);
+        let ea = m.add_entry("ea", a, 0.1);
+        let eb = m.add_entry("eb", b, 0.1);
+        m.add_request(eu, RequestTarget::Entry(ea), 1.0, None);
+        m.add_request(ea, RequestTarget::Entry(eb), 1.0, None);
+        m.add_request(eb, RequestTarget::Entry(ea), 1.0, None);
+        assert_eq!(m.validate(), Err(FtlqnError::CyclicRequests));
+    }
+
+    #[test]
+    fn self_request_rejected() {
+        let mut m = FtlqnModel::new();
+        let pc = m.add_processor("pc", 0.0, Multiplicity::Infinite);
+        let u = m.add_reference_task("u", pc, 0.0, 1, 0.0);
+        let a = m.add_task("a", pc, 0.1, Multiplicity::Finite(1));
+        let eu = m.add_entry("eu", u, 0.0);
+        let ea1 = m.add_entry("ea1", a, 0.1);
+        let ea2 = m.add_entry("ea2", a, 0.1);
+        m.add_request(eu, RequestTarget::Entry(ea1), 1.0, None);
+        m.add_request(ea1, RequestTarget::Entry(ea2), 1.0, None);
+        assert_eq!(m.validate(), Err(FtlqnError::SelfRequest(ea1)));
+    }
+
+    #[test]
+    fn component_names_resolve() {
+        let (m, ..) = minimal();
+        let t0 = m.task_ids().next().unwrap();
+        assert_eq!(m.component_name(Component::Task(t0)), "users");
+        let p0 = m.processor_ids().next().unwrap();
+        assert_eq!(m.component_name(Component::Processor(p0)), "pc");
+    }
+
+    #[test]
+    fn fail_prob_by_component() {
+        let (m, ..) = minimal();
+        let primary = m.task_by_name_for_tests("primary");
+        assert_eq!(m.fail_prob(Component::Task(primary)), 0.1);
+    }
+
+    impl FtlqnModel {
+        fn task_by_name_for_tests(&self, name: &str) -> FtTaskId {
+            self.task_ids()
+                .find(|&t| self.task_name(t) == name)
+                .unwrap()
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Serde round-trips for FTLQN models: the deserialised model must yield
+//! the identical fault-propagation analysis.
+
+use fmperf_ftlqn::examples::das_woodside_system;
+use fmperf_ftlqn::{FaultGraph, FtlqnModel, KnowPolicy, PerfectKnowledge};
+
+#[test]
+fn paper_system_roundtrips_through_json() {
+    let sys = das_woodside_system();
+    let json = serde_json::to_string(&sys.model).expect("serialises");
+    let back: FtlqnModel = serde_json::from_str(&json).expect("deserialises");
+
+    assert_eq!(back.task_count(), sys.model.task_count());
+    assert_eq!(back.entry_count(), sys.model.entry_count());
+    assert_eq!(back.service_count(), sys.model.service_count());
+    assert_eq!(back.component_count(), sys.model.component_count());
+    back.validate().unwrap();
+
+    // Identical configurations state by state over the whole space.
+    let g1 = FaultGraph::build(&sys.model).unwrap();
+    let g2 = FaultGraph::build(&back).unwrap();
+    let n = sys.model.component_count();
+    for mask in 0..(1u32 << n.min(16)) {
+        let state: Vec<bool> = (0..n).map(|i| mask & (1 << (i % 16)) != 0).collect();
+        let c1 = g1.configuration(&state, &PerfectKnowledge, KnowPolicy::AnyFailedComponent);
+        let c2 = g2.configuration(&state, &PerfectKnowledge, KnowPolicy::AnyFailedComponent);
+        assert_eq!(c1, c2, "state {mask:#x}");
+    }
+}
+
+#[test]
+fn fail_probs_survive_roundtrip() {
+    let sys = das_woodside_system();
+    let json = serde_json::to_string(&sys.model).unwrap();
+    let back: FtlqnModel = serde_json::from_str(&json).unwrap();
+    for c in sys.model.components() {
+        assert_eq!(sys.model.fail_prob(c), back.fail_prob(c));
+        assert_eq!(sys.model.component_name(c), back.component_name(c));
+    }
+}

@@ -1,0 +1,442 @@
+//! AND-OR graphs with prioritised OR alternatives.
+//!
+//! This is the shape of the paper's *fault propagation graph* (§3):
+//!
+//! * **leaf nodes** — tasks and processors (things that fail),
+//! * **AND nodes** — entries (working iff *all* children work),
+//! * **OR nodes** — the root and the "service" redirection points (working
+//!   iff *any* child works; OR children are kept in priority order `#1`,
+//!   `#2`, … so that higher layers can implement preference-ordered target
+//!   selection).
+//!
+//! This module implements the plain Boolean semantics of Definition 1.  The
+//! knowledge-gated selection rule (which additionally asks whether the
+//! deciding task can *know* the relevant component states) is layered on top
+//! in the `fmperf-ftlqn` crate; it reuses the node structure and the
+//! [`AndOrGraph::leaf_support`] sets computed here.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Index of a node in an [`AndOrGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AndOrNodeId(u32);
+
+impl AndOrNodeId {
+    /// Returns the raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The role a node plays in the AND-OR semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// A basic component whose state is an input to evaluation.
+    Leaf,
+    /// Working iff all children are working (paper: entry node).
+    And,
+    /// Working iff some child is working; children are in priority order
+    /// (paper: service node or root).
+    Or,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Node<L> {
+    kind: NodeKind,
+    label: L,
+    children: Vec<AndOrNodeId>,
+}
+
+/// An AND-OR graph over leaf labels `L`.
+///
+/// Nodes are created with [`add_leaf`](AndOrGraph::add_leaf),
+/// [`add_and`](AndOrGraph::add_and) and [`add_or`](AndOrGraph::add_or);
+/// children may be attached after creation with
+/// [`add_child`](AndOrGraph::add_child), which makes it possible to build
+/// graphs with shared subtrees.  Use [`validate`](AndOrGraph::validate)
+/// before evaluation.
+///
+/// ```
+/// use fmperf_graph::andor::{AndOrGraph, NodeKind};
+///
+/// let mut g: AndOrGraph<&str> = AndOrGraph::new();
+/// let s1 = g.add_leaf("server1");
+/// let s2 = g.add_leaf("server2");
+/// let service = g.add_or("service", vec![s1, s2]);
+/// let app = g.add_leaf("app");
+/// let entry = g.add_and("entry", vec![app, service]);
+/// g.validate().unwrap();
+///
+/// // The entry works when the app works and either server works.
+/// let up = g.evaluate(|&label| label != "server1");
+/// assert!(up[entry.index()]);
+/// let up = g.evaluate(|&label| label == "app");
+/// assert!(!up[entry.index()]);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AndOrGraph<L> {
+    nodes: Vec<Node<L>>,
+}
+
+/// Error returned by [`AndOrGraph::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AndOrError {
+    /// An AND or OR node has no children; its value would be ill-defined.
+    ChildlessGate(AndOrNodeId),
+    /// A leaf node was given children.
+    LeafWithChildren(AndOrNodeId),
+    /// The graph contains a directed cycle through the given node.
+    Cyclic(AndOrNodeId),
+}
+
+impl std::fmt::Display for AndOrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AndOrError::ChildlessGate(n) => {
+                write!(f, "AND/OR node {} has no children", n.index())
+            }
+            AndOrError::LeafWithChildren(n) => {
+                write!(f, "leaf node {} has children", n.index())
+            }
+            AndOrError::Cyclic(n) => {
+                write!(f, "cycle detected through node {}", n.index())
+            }
+        }
+    }
+}
+
+impl std::error::Error for AndOrError {}
+
+impl<L> Default for AndOrGraph<L> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<L> AndOrGraph<L> {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        AndOrGraph { nodes: Vec::new() }
+    }
+
+    /// Number of nodes of all kinds.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Adds a leaf node.
+    pub fn add_leaf(&mut self, label: L) -> AndOrNodeId {
+        self.push(NodeKind::Leaf, label, Vec::new())
+    }
+
+    /// Adds an AND node with the given children.
+    pub fn add_and(&mut self, label: L, children: Vec<AndOrNodeId>) -> AndOrNodeId {
+        self.push(NodeKind::And, label, children)
+    }
+
+    /// Adds an OR node whose children are in priority order (first =
+    /// highest priority).
+    pub fn add_or(&mut self, label: L, children: Vec<AndOrNodeId>) -> AndOrNodeId {
+        self.push(NodeKind::Or, label, children)
+    }
+
+    fn push(&mut self, kind: NodeKind, label: L, children: Vec<AndOrNodeId>) -> AndOrNodeId {
+        for &c in &children {
+            assert!(c.index() < self.nodes.len(), "child node out of bounds");
+        }
+        let id = AndOrNodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            kind,
+            label,
+            children,
+        });
+        id
+    }
+
+    /// Appends `child` to `parent`'s (priority-ordered) child list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of bounds.
+    pub fn add_child(&mut self, parent: AndOrNodeId, child: AndOrNodeId) {
+        assert!(child.index() < self.nodes.len(), "child node out of bounds");
+        self.nodes[parent.index()].children.push(child);
+    }
+
+    /// The kind of `node`.
+    pub fn kind(&self, node: AndOrNodeId) -> NodeKind {
+        self.nodes[node.index()].kind
+    }
+
+    /// The label of `node`.
+    pub fn label(&self, node: AndOrNodeId) -> &L {
+        &self.nodes[node.index()].label
+    }
+
+    /// The children of `node`, in priority order.
+    pub fn children(&self, node: AndOrNodeId) -> &[AndOrNodeId] {
+        &self.nodes[node.index()].children
+    }
+
+    /// All node ids, in insertion order.
+    pub fn node_ids(&self) -> impl Iterator<Item = AndOrNodeId> + '_ {
+        (0..self.nodes.len() as u32).map(AndOrNodeId)
+    }
+
+    /// All leaf node ids, in insertion order.
+    pub fn leaves(&self) -> impl Iterator<Item = AndOrNodeId> + '_ {
+        self.node_ids().filter(|&n| self.kind(n) == NodeKind::Leaf)
+    }
+
+    /// Checks structural invariants: acyclicity, no childless gates, no
+    /// leaves with children.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found (deterministically).
+    pub fn validate(&self) -> Result<(), AndOrError> {
+        for id in self.node_ids() {
+            let n = &self.nodes[id.index()];
+            match n.kind {
+                NodeKind::Leaf => {
+                    if !n.children.is_empty() {
+                        return Err(AndOrError::LeafWithChildren(id));
+                    }
+                }
+                NodeKind::And | NodeKind::Or => {
+                    if n.children.is_empty() {
+                        return Err(AndOrError::ChildlessGate(id));
+                    }
+                }
+            }
+        }
+        // Cycle detection by colouring.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Colour {
+            White,
+            Grey,
+            Black,
+        }
+        let mut colour = vec![Colour::White; self.nodes.len()];
+        for root in self.node_ids() {
+            if colour[root.index()] != Colour::White {
+                continue;
+            }
+            // Iterative DFS with explicit re-visit marker.
+            let mut stack = vec![(root, false)];
+            while let Some((n, processed)) = stack.pop() {
+                if processed {
+                    colour[n.index()] = Colour::Black;
+                    continue;
+                }
+                match colour[n.index()] {
+                    Colour::Black => continue,
+                    Colour::Grey => return Err(AndOrError::Cyclic(n)),
+                    Colour::White => {}
+                }
+                colour[n.index()] = Colour::Grey;
+                stack.push((n, true));
+                for &c in &self.nodes[n.index()].children {
+                    match colour[c.index()] {
+                        Colour::White => stack.push((c, false)),
+                        Colour::Grey => return Err(AndOrError::Cyclic(c)),
+                        Colour::Black => {}
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates every node under the plain Definition-1 semantics, given
+    /// the up/down state of each leaf.
+    ///
+    /// Returns a vector indexed by [`AndOrNodeId::index`]: `true` means
+    /// working.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is cyclic (call [`validate`](Self::validate)
+    /// first).
+    pub fn evaluate<F: Fn(&L) -> bool>(&self, leaf_up: F) -> Vec<bool> {
+        let mut value = vec![None::<bool>; self.nodes.len()];
+        for id in self.node_ids() {
+            self.eval_rec(id, &leaf_up, &mut value, 0);
+        }
+        value
+            .into_iter()
+            .map(|v| v.expect("all nodes evaluated"))
+            .collect()
+    }
+
+    fn eval_rec<F: Fn(&L) -> bool>(
+        &self,
+        node: AndOrNodeId,
+        leaf_up: &F,
+        value: &mut Vec<Option<bool>>,
+        depth: usize,
+    ) -> bool {
+        assert!(
+            depth <= self.nodes.len(),
+            "cycle in AND-OR graph; validate() first"
+        );
+        if let Some(v) = value[node.index()] {
+            return v;
+        }
+        let n = &self.nodes[node.index()];
+        let v = match n.kind {
+            NodeKind::Leaf => leaf_up(&n.label),
+            NodeKind::And => {
+                let children = n.children.clone();
+                children
+                    .iter()
+                    .all(|&c| self.eval_rec(c, leaf_up, value, depth + 1))
+            }
+            NodeKind::Or => {
+                let children = n.children.clone();
+                children
+                    .iter()
+                    .any(|&c| self.eval_rec(c, leaf_up, value, depth + 1))
+            }
+        };
+        value[node.index()] = Some(v);
+        v
+    }
+
+    /// The set of leaves in the subgraph rooted at `node` — the paper's
+    /// `L(n)` (§3, "Notations").
+    pub fn leaf_support(&self, node: AndOrNodeId) -> BTreeSet<AndOrNodeId> {
+        let mut out = BTreeSet::new();
+        let mut stack = vec![node];
+        let mut seen = vec![false; self.nodes.len()];
+        while let Some(n) = stack.pop() {
+            if seen[n.index()] {
+                continue;
+            }
+            seen[n.index()] = true;
+            if self.kind(n) == NodeKind::Leaf {
+                out.insert(n);
+            } else {
+                stack.extend(self.children(n).iter().copied());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the skeleton of the paper's Figure 5 service pattern:
+    /// entry = AND(app, service), service = OR(primary, backup).
+    fn service_pattern() -> (AndOrGraph<&'static str>, AndOrNodeId, AndOrNodeId) {
+        let mut g = AndOrGraph::new();
+        let app = g.add_leaf("app");
+        let primary = g.add_leaf("primary");
+        let backup = g.add_leaf("backup");
+        let service = g.add_or("service", vec![primary, backup]);
+        let entry = g.add_and("entry", vec![app, service]);
+        (g, entry, service)
+    }
+
+    #[test]
+    fn and_requires_all_children() {
+        let (g, entry, _) = service_pattern();
+        let up = g.evaluate(|_| true);
+        assert!(up[entry.index()]);
+        let up = g.evaluate(|&l| l != "app");
+        assert!(!up[entry.index()]);
+    }
+
+    #[test]
+    fn or_requires_any_child() {
+        let (g, entry, service) = service_pattern();
+        let up = g.evaluate(|&l| l != "primary");
+        assert!(up[service.index()] && up[entry.index()]);
+        let up = g.evaluate(|&l| l == "app");
+        assert!(!up[service.index()] && !up[entry.index()]);
+    }
+
+    #[test]
+    fn or_children_keep_priority_order() {
+        let (g, _, service) = service_pattern();
+        let labels: Vec<_> = g.children(service).iter().map(|&c| *g.label(c)).collect();
+        assert_eq!(labels, vec!["primary", "backup"]);
+    }
+
+    #[test]
+    fn leaf_support_matches_paper_l_of_n() {
+        let (g, entry, service) = service_pattern();
+        let support = g.leaf_support(entry);
+        let labels: Vec<_> = support.iter().map(|&n| *g.label(n)).collect();
+        assert_eq!(labels, vec!["app", "primary", "backup"]);
+        assert_eq!(g.leaf_support(service).len(), 2);
+    }
+
+    #[test]
+    fn shared_subtrees_evaluate_once_consistently() {
+        let mut g = AndOrGraph::new();
+        let shared = g.add_leaf("shared");
+        let a = g.add_and("a", vec![shared]);
+        let b = g.add_and("b", vec![shared]);
+        let root = g.add_or("root", vec![a, b]);
+        g.validate().unwrap();
+        let up = g.evaluate(|_| false);
+        assert!(!up[root.index()]);
+        let up = g.evaluate(|_| true);
+        assert!(up[root.index()]);
+    }
+
+    #[test]
+    fn validate_rejects_childless_gate() {
+        let mut g: AndOrGraph<&str> = AndOrGraph::new();
+        let bad = g.add_and("empty", vec![]);
+        assert_eq!(g.validate(), Err(AndOrError::ChildlessGate(bad)));
+    }
+
+    #[test]
+    fn validate_rejects_leaf_with_children() {
+        let mut g: AndOrGraph<&str> = AndOrGraph::new();
+        let l1 = g.add_leaf("l1");
+        let l2 = g.add_leaf("l2");
+        g.add_child(l1, l2);
+        assert_eq!(g.validate(), Err(AndOrError::LeafWithChildren(l1)));
+    }
+
+    #[test]
+    fn validate_rejects_cycle() {
+        let mut g: AndOrGraph<&str> = AndOrGraph::new();
+        let l = g.add_leaf("l");
+        let a = g.add_and("a", vec![l]);
+        let b = g.add_and("b", vec![a]);
+        g.add_child(a, b); // a <-> b cycle
+        assert!(matches!(g.validate(), Err(AndOrError::Cyclic(_))));
+    }
+
+    #[test]
+    fn deep_chain_evaluates_iteratively_enough() {
+        // A 10k-deep AND chain must not overflow the stack via recursion
+        // depth proportional to graph size... the recursive evaluator guards
+        // with a depth assert; keep the chain modest but non-trivial.
+        let mut g: AndOrGraph<u32> = AndOrGraph::new();
+        let mut prev = g.add_leaf(0);
+        for i in 1..500u32 {
+            prev = g.add_and(i, vec![prev]);
+        }
+        g.validate().unwrap();
+        let up = g.evaluate(|_| true);
+        assert!(up[prev.index()]);
+    }
+
+    #[test]
+    fn display_of_errors_is_informative() {
+        let mut g: AndOrGraph<&str> = AndOrGraph::new();
+        let bad = g.add_or("empty", vec![]);
+        let err = g.validate().unwrap_err();
+        let msg = format!("{err}");
+        assert!(msg.contains("no children"));
+        assert_eq!(err, AndOrError::ChildlessGate(bad));
+    }
+}

@@ -1,0 +1,395 @@
+//! Arena-based directed multigraph with stable, insertion-ordered indices.
+//!
+//! The graphs in this project are small (tens to a few hundred nodes) and
+//! built once, then queried many times, so the representation favours
+//! simplicity and determinism over asymptotic cleverness: nodes and edges
+//! live in `Vec` arenas and adjacency is a per-node `Vec<EdgeId>`.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Index of a node in a [`Digraph`].
+///
+/// Ids are dense, insertion-ordered and only meaningful for the graph that
+/// issued them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) u32);
+
+/// Index of an edge in a [`Digraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub(crate) u32);
+
+impl NodeId {
+    /// Returns the raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+    /// Builds a `NodeId` from a raw index.
+    ///
+    /// Intended for deserialisation and table-driven construction; using an
+    /// id that was never issued by the target graph causes panics on use.
+    pub fn from_index(ix: usize) -> Self {
+        NodeId(ix as u32)
+    }
+}
+
+impl EdgeId {
+    /// Returns the raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+    /// Builds an `EdgeId` from a raw index (see [`NodeId::from_index`]).
+    pub fn from_index(ix: usize) -> Self {
+        EdgeId(ix as u32)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct NodeSlot<N> {
+    weight: N,
+    /// Outgoing edges, in insertion order.
+    out: Vec<EdgeId>,
+    /// Incoming edges, in insertion order.
+    inc: Vec<EdgeId>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct EdgeSlot<E> {
+    weight: E,
+    src: NodeId,
+    dst: NodeId,
+}
+
+/// A directed multigraph with node weights `N` and edge weights `E`.
+///
+/// Self-loops and parallel edges are allowed; removal is not supported
+/// (models are built once).  All iteration orders are deterministic.
+///
+/// ```
+/// use fmperf_graph::digraph::Digraph;
+/// let mut g: Digraph<char, u32> = Digraph::new();
+/// let a = g.add_node('a');
+/// let b = g.add_node('b');
+/// let e = g.add_edge(a, b, 7);
+/// assert_eq!(g.edge_endpoints(e), (a, b));
+/// assert_eq!(*g.edge_weight(e), 7);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Digraph<N, E> {
+    nodes: Vec<NodeSlot<N>>,
+    edges: Vec<EdgeSlot<E>>,
+}
+
+impl<N, E> Default for Digraph<N, E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<N, E> Digraph<N, E> {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Digraph {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Creates an empty graph with preallocated capacity.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        Digraph {
+            nodes: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self, weight: N) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeSlot {
+            weight,
+            out: Vec::new(),
+            inc: Vec::new(),
+        });
+        id
+    }
+
+    /// Adds a directed edge `src -> dst` and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is not a node of this graph.
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, weight: E) -> EdgeId {
+        assert!(
+            src.index() < self.nodes.len(),
+            "source node {src} out of bounds"
+        );
+        assert!(
+            dst.index() < self.nodes.len(),
+            "target node {dst} out of bounds"
+        );
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(EdgeSlot { weight, src, dst });
+        self.nodes[src.index()].out.push(id);
+        self.nodes[dst.index()].inc.push(id);
+        id
+    }
+
+    /// Returns the weight of `node`.
+    pub fn node_weight(&self, node: NodeId) -> &N {
+        &self.nodes[node.index()].weight
+    }
+
+    /// Returns a mutable reference to the weight of `node`.
+    pub fn node_weight_mut(&mut self, node: NodeId) -> &mut N {
+        &mut self.nodes[node.index()].weight
+    }
+
+    /// Returns the weight of `edge`.
+    pub fn edge_weight(&self, edge: EdgeId) -> &E {
+        &self.edges[edge.index()].weight
+    }
+
+    /// Returns a mutable reference to the weight of `edge`.
+    pub fn edge_weight_mut(&mut self, edge: EdgeId) -> &mut E {
+        &mut self.edges[edge.index()].weight
+    }
+
+    /// Returns `(source, target)` of `edge`.
+    pub fn edge_endpoints(&self, edge: EdgeId) -> (NodeId, NodeId) {
+        let e = &self.edges[edge.index()];
+        (e.src, e.dst)
+    }
+
+    /// Source node of `edge`.
+    pub fn edge_source(&self, edge: EdgeId) -> NodeId {
+        self.edges[edge.index()].src
+    }
+
+    /// Target node of `edge`.
+    pub fn edge_target(&self, edge: EdgeId) -> NodeId {
+        self.edges[edge.index()].dst
+    }
+
+    /// Iterates over all node ids in insertion order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Iterates over all edge ids in insertion order.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edges.len() as u32).map(EdgeId)
+    }
+
+    /// Outgoing edges of `node`, in insertion order.
+    pub fn out_edges(&self, node: NodeId) -> &[EdgeId] {
+        &self.nodes[node.index()].out
+    }
+
+    /// Incoming edges of `node`, in insertion order.
+    pub fn in_edges(&self, node: NodeId) -> &[EdgeId] {
+        &self.nodes[node.index()].inc
+    }
+
+    /// Successor nodes of `node` (with multiplicity, in edge order).
+    pub fn successors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.out_edges(node)
+            .iter()
+            .map(move |&e| self.edge_target(e))
+    }
+
+    /// Predecessor nodes of `node` (with multiplicity, in edge order).
+    pub fn predecessors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.in_edges(node)
+            .iter()
+            .map(move |&e| self.edge_source(e))
+    }
+
+    /// Finds the first node whose weight satisfies `pred`.
+    pub fn find_node<F: FnMut(&N) -> bool>(&self, mut pred: F) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .position(|s| pred(&s.weight))
+            .map(|ix| NodeId(ix as u32))
+    }
+
+    /// Set of nodes reachable from `start` (including `start`) following
+    /// edge direction.
+    pub fn reachable_from(&self, start: NodeId) -> BTreeSet<NodeId> {
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![start];
+        while let Some(n) = stack.pop() {
+            if seen.insert(n) {
+                for &e in self.out_edges(n) {
+                    let t = self.edge_target(e);
+                    if !seen.contains(&t) {
+                        stack.push(t);
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// Returns `true` if the graph contains a directed cycle.
+    pub fn has_cycle(&self) -> bool {
+        self.topological_order().is_none()
+    }
+
+    /// Returns a topological order of the nodes, or `None` if the graph is
+    /// cyclic.  Ties are broken by node id, so the result is deterministic.
+    pub fn topological_order(&self) -> Option<Vec<NodeId>> {
+        let n = self.nodes.len();
+        let mut indeg: Vec<usize> = vec![0; n];
+        for e in &self.edges {
+            indeg[e.dst.index()] += 1;
+        }
+        // BTreeSet keeps the frontier ordered by id for determinism.
+        let mut ready: BTreeSet<NodeId> = (0..n)
+            .filter(|&i| indeg[i] == 0)
+            .map(|i| NodeId(i as u32))
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(&next) = ready.iter().next() {
+            ready.remove(&next);
+            order.push(next);
+            for &e in self.out_edges(next) {
+                let t = self.edge_target(e);
+                indeg[t.index()] -= 1;
+                if indeg[t.index()] == 0 {
+                    ready.insert(t);
+                }
+            }
+        }
+        if order.len() == n {
+            Some(order)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (Digraph<&'static str, u32>, [NodeId; 4]) {
+        let mut g = Digraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        let d = g.add_node("d");
+        g.add_edge(a, b, 1);
+        g.add_edge(a, c, 2);
+        g.add_edge(b, d, 3);
+        g.add_edge(c, d, 4);
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn counts_and_weights() {
+        let (g, [a, b, _, _]) = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(*g.node_weight(a), "a");
+        let e = g.out_edges(a)[0];
+        assert_eq!(g.edge_endpoints(e), (a, b));
+        assert_eq!(*g.edge_weight(e), 1);
+    }
+
+    #[test]
+    fn adjacency_is_insertion_ordered() {
+        let (g, [a, b, c, d]) = diamond();
+        let succ: Vec<_> = g.successors(a).collect();
+        assert_eq!(succ, vec![b, c]);
+        let pred: Vec<_> = g.predecessors(d).collect();
+        assert_eq!(pred, vec![b, c]);
+    }
+
+    #[test]
+    fn reachability() {
+        let (g, [a, b, c, d]) = diamond();
+        let r = g.reachable_from(a);
+        assert_eq!(r.len(), 4);
+        let r = g.reachable_from(b);
+        assert!(r.contains(&d) && !r.contains(&a) && !r.contains(&c));
+    }
+
+    #[test]
+    fn topological_order_of_dag() {
+        let (g, [a, b, c, d]) = diamond();
+        let order = g.topological_order().expect("diamond is acyclic");
+        let pos = |n: NodeId| order.iter().position(|&x| x == n).unwrap();
+        assert!(pos(a) < pos(b) && pos(a) < pos(c));
+        assert!(pos(b) < pos(d) && pos(c) < pos(d));
+        assert!(!g.has_cycle());
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut g: Digraph<(), ()> = Digraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(b, a, ());
+        assert!(g.has_cycle());
+        assert_eq!(g.topological_order(), None);
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let mut g: Digraph<(), ()> = Digraph::new();
+        let a = g.add_node(());
+        g.add_edge(a, a, ());
+        assert!(g.has_cycle());
+    }
+
+    #[test]
+    fn parallel_edges_supported() {
+        let mut g: Digraph<(), u8> = Digraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, 1);
+        g.add_edge(a, b, 2);
+        assert_eq!(g.out_edges(a).len(), 2);
+        assert_eq!(g.in_edges(b).len(), 2);
+    }
+
+    #[test]
+    fn find_node_by_weight() {
+        let (g, [_, b, _, _]) = diamond();
+        assert_eq!(g.find_node(|w| *w == "b"), Some(b));
+        assert_eq!(g.find_node(|w| *w == "zzz"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn edge_to_foreign_node_panics() {
+        let mut g: Digraph<(), ()> = Digraph::new();
+        let a = g.add_node(());
+        g.add_edge(a, NodeId::from_index(5), ());
+    }
+}

@@ -1,0 +1,40 @@
+//! # fmperf-graph
+//!
+//! Directed-graph substrate for the DSN 2002 reproduction.
+//!
+//! Three building blocks live here:
+//!
+//! * [`digraph::Digraph`] — a small arena-based directed multigraph with
+//!   typed node/edge indices, used for both the knowledge propagation graph
+//!   (paper §4) and internal dependency checks.
+//! * [`paths`] — enumeration of simple directed paths under positional
+//!   edge constraints.  The paper's *minpaths* ("first arc must be
+//!   alive-watch or status-watch, the rest component, status-watch or
+//!   notify") are exactly constrained simple paths in the knowledge
+//!   propagation graph.
+//! * [`andor`] — AND-OR graphs with prioritised OR alternatives, the shape
+//!   of the paper's *fault propagation graph* (§3, Definition 1).
+//!
+//! Everything is deterministic and index-stable: node and edge ids are
+//! insertion-ordered, so analyses built on top are reproducible.
+//!
+//! ```
+//! use fmperf_graph::digraph::Digraph;
+//!
+//! let mut g: Digraph<&str, ()> = Digraph::new();
+//! let a = g.add_node("a");
+//! let b = g.add_node("b");
+//! g.add_edge(a, b, ());
+//! assert!(g.reachable_from(a).contains(&b));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod andor;
+pub mod digraph;
+pub mod paths;
+
+pub use andor::{AndOrGraph, AndOrNodeId, NodeKind};
+pub use digraph::{Digraph, EdgeId, NodeId};
+pub use paths::PathEnumerator;

@@ -1,0 +1,184 @@
+//! Property-based tests for the graph substrate.
+
+use fmperf_graph::{AndOrGraph, Digraph, NodeId, PathEnumerator};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// A random digraph as an edge list over `n` nodes.
+fn digraph_strategy() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (2usize..=8).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n), 0..=n * 2);
+        (Just(n), edges)
+    })
+}
+
+fn build(n: usize, edges: &[(usize, usize)]) -> (Digraph<(), u32>, Vec<NodeId>) {
+    let mut g = Digraph::new();
+    let nodes: Vec<NodeId> = (0..n).map(|_| g.add_node(())).collect();
+    for (i, &(a, b)) in edges.iter().enumerate() {
+        g.add_edge(nodes[a], nodes[b], i as u32);
+    }
+    (g, nodes)
+}
+
+proptest! {
+    /// Every enumerated path is simple, connects the endpoints, and no
+    /// path's edge set is a subset of another's (the minpath property).
+    #[test]
+    fn paths_are_simple_and_minimal((n, edges) in digraph_strategy()) {
+        let (g, nodes) = build(n, &edges);
+        let src = nodes[0];
+        let dst = nodes[n - 1];
+        let paths = PathEnumerator::new(&g).max_paths(500).paths(src, dst);
+        let mut sets: Vec<BTreeSet<_>> = Vec::new();
+        for p in &paths {
+            // Connectivity and simplicity.
+            let mut at = src;
+            let mut visited = BTreeSet::from([src]);
+            for &e in p {
+                prop_assert_eq!(g.edge_source(e), at);
+                at = g.edge_target(e);
+                prop_assert!(visited.insert(at), "node revisited");
+            }
+            if src != dst {
+                prop_assert_eq!(at, dst);
+            }
+            sets.push(p.iter().copied().collect());
+        }
+        for (i, a) in sets.iter().enumerate() {
+            for (j, b) in sets.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!a.is_subset(b), "path {i} subsumed by {j}");
+                }
+            }
+        }
+    }
+
+    /// A topological order, when it exists, respects every edge; when it
+    /// does not exist, a cycle is reachable.
+    #[test]
+    fn topological_order_sound((n, edges) in digraph_strategy()) {
+        let (g, _) = build(n, &edges);
+        match g.topological_order() {
+            Some(order) => {
+                prop_assert_eq!(order.len(), g.node_count());
+                let pos: std::collections::HashMap<_, _> =
+                    order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+                for e in g.edge_ids() {
+                    let (a, b) = g.edge_endpoints(e);
+                    if a != b {
+                        prop_assert!(pos[&a] < pos[&b], "edge {a} -> {b} violates order");
+                    } else {
+                        // Self loop: must have been reported as a cycle.
+                        prop_assert!(false, "self loop but order produced");
+                    }
+                }
+                prop_assert!(!g.has_cycle());
+            }
+            None => prop_assert!(g.has_cycle()),
+        }
+    }
+
+    /// Reachability is transitive and contains the start node.
+    #[test]
+    fn reachability_transitive((n, edges) in digraph_strategy()) {
+        let (g, nodes) = build(n, &edges);
+        for &s in &nodes {
+            let r = g.reachable_from(s);
+            prop_assert!(r.contains(&s));
+            for &m in &r {
+                let r2 = g.reachable_from(m);
+                prop_assert!(r2.is_subset(&r), "reachability not transitive");
+            }
+        }
+    }
+
+    /// Path enumeration through the filter that admits everything equals
+    /// enumeration with no filter.
+    #[test]
+    fn trivial_filter_is_identity((n, edges) in digraph_strategy()) {
+        let (g, nodes) = build(n, &edges);
+        let a = PathEnumerator::new(&g).max_paths(300).paths(nodes[0], nodes[n - 1]);
+        let b = PathEnumerator::new(&g)
+            .edge_filter(|_, _| true)
+            .max_paths(300)
+            .paths(nodes[0], nodes[n - 1]);
+        prop_assert_eq!(a, b);
+    }
+}
+
+/// Random AND-OR trees: evaluation is monotone in the leaf states.
+fn andor_strategy() -> impl Strategy<Value = (Vec<u8>, u64, u64)> {
+    // (structure seed bytes, leaf mask A, leaf mask B with A ⊆ B)
+    (
+        proptest::collection::vec(any::<u8>(), 4..32),
+        any::<u64>(),
+        any::<u64>(),
+    )
+}
+
+fn build_andor(desc: &[u8]) -> (AndOrGraph<u32>, Vec<fmperf_graph::AndOrNodeId>) {
+    let mut g: AndOrGraph<u32> = AndOrGraph::new();
+    let mut nodes = Vec::new();
+    // First four leaves always exist.
+    for i in 0..4u32 {
+        nodes.push(g.add_leaf(i));
+    }
+    for (label, &b) in (4u32..).zip(desc.iter()) {
+        let pick = |k: u8| nodes[(k as usize) % nodes.len()];
+        let children = vec![pick(b), pick(b.wrapping_mul(7).wrapping_add(3))];
+        let node = if b % 2 == 0 {
+            g.add_and(label, children)
+        } else {
+            g.add_or(label, children)
+        };
+        nodes.push(node);
+    }
+    (g, nodes)
+}
+
+proptest! {
+    /// AND-OR evaluation is monotone: turning leaves on never turns any
+    /// node off.
+    #[test]
+    fn andor_monotone((desc, mask_a, mask_b) in andor_strategy()) {
+        let (g, _) = build_andor(&desc);
+        g.validate().unwrap();
+        let up_a = |l: &u32| (mask_a & mask_b) & (1 << (*l % 64)) != 0; // A ⊆ B
+        let up_b = |l: &u32| mask_b & (1 << (*l % 64)) != 0;
+        let va = g.evaluate(up_a);
+        let vb = g.evaluate(up_b);
+        for (x, y) in va.iter().zip(&vb) {
+            prop_assert!(!x || *y, "monotonicity violated");
+        }
+    }
+
+    /// All leaves up makes every node work; all leaves down fails every
+    /// gate.
+    #[test]
+    fn andor_extremes(desc in proptest::collection::vec(any::<u8>(), 4..32)) {
+        let (g, _) = build_andor(&desc);
+        g.validate().unwrap();
+        let all_up = g.evaluate(|_| true);
+        prop_assert!(all_up.iter().all(|&v| v));
+        let all_down = g.evaluate(|_| false);
+        prop_assert!(all_down.iter().all(|&v| !v));
+    }
+
+    /// `leaf_support` contains exactly the leaves that can influence the
+    /// node: flipping a leaf outside the support never changes the value.
+    #[test]
+    fn leaf_support_is_sound((desc, mask, flip) in (proptest::collection::vec(any::<u8>(), 4..24), any::<u64>(), 0u32..4)) {
+        let (g, nodes) = build_andor(&desc);
+        g.validate().unwrap();
+        let node = *nodes.last().unwrap();
+        let support = g.leaf_support(node);
+        let flipped_leaf = nodes[flip as usize];
+        prop_assume!(!support.contains(&flipped_leaf));
+        let base = |l: &u32| mask & (1 << (*l % 64)) != 0;
+        let v1 = g.evaluate(base)[node.index()];
+        let flipped_label = *g.label(flipped_leaf);
+        let v2 = g.evaluate(|l: &u32| if *l == flipped_label { !base(l) } else { base(l) });
+        prop_assert_eq!(v1, v2[node.index()], "outside-support leaf changed value");
+    }
+}

@@ -1,0 +1,841 @@
+//! The layered fixed-point solver.
+//!
+//! The algorithm is a Method-of-Layers variant for synchronous (blocking
+//! RPC) LQNs with optional second phases:
+//!
+//! 1. Tasks are stratified by longest-path depth from the reference tasks.
+//! 2. *Software submodels*: each server task is assigned to exactly one
+//!    submodel (keyed by the deepest layer among its callers).  In a
+//!    submodel, the calling tasks are customer classes (population = their
+//!    multiplicity / user population) and the server tasks are FCFS
+//!    stations whose per-visit service time is the called entry's current
+//!    *holding time* — host demand plus processor queueing plus nested
+//!    blocking.  Approximate MVA ([`crate::mva::schweitzer`]) yields the
+//!    queueing delay each client suffers per call.
+//! 3. *Device submodel*: every task is a customer of its processor;
+//!    processors are the stations, service = host demand per invocation.
+//!    This captures processor sharing between tasks of any layer exactly
+//!    once.
+//! 4. Entry holding times, entry/task throughputs and all waiting
+//!    estimates are swept to a fixed point with under-relaxation.
+//!
+//! The client think time in any submodel is `max(cycle − residence, 0)`
+//! where `cycle = multiplicity / throughput` is the current estimate of
+//! the time between successive invocations per server thread, and
+//! `residence` is the time per cycle spent at the submodel's own stations.
+//! For reference tasks the cycle identity `N/λ = Z + holding` makes this
+//! exactly the user think time plus out-of-submodel components.
+
+use crate::model::{EntryId, LqnModel, ModelError, Multiplicity, TaskId, TaskKind};
+use crate::mva::{self, ClassSpec, MvaError, SchweitzerOptions, StationKind};
+use crate::solution::Solution;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors from [`solve`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// The model failed validation.
+    Model(ModelError),
+    /// An inner MVA submodel failed.
+    Mva(MvaError),
+    /// The fixed point did not converge within the sweep limit.
+    NotConverged {
+        /// Number of sweeps performed.
+        sweeps: u32,
+        /// Residual (relative change) at the last sweep.
+        residual: f64,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Model(e) => write!(f, "invalid model: {e}"),
+            SolveError::Mva(e) => write!(f, "submodel failed: {e}"),
+            SolveError::NotConverged { sweeps, residual } => {
+                write!(
+                    f,
+                    "no convergence after {sweeps} sweeps (residual {residual:.2e})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SolveError::Model(e) => Some(e),
+            SolveError::Mva(e) => Some(e),
+            SolveError::NotConverged { .. } => None,
+        }
+    }
+}
+
+impl From<ModelError> for SolveError {
+    fn from(e: ModelError) -> Self {
+        SolveError::Model(e)
+    }
+}
+impl From<MvaError> for SolveError {
+    fn from(e: MvaError) -> Self {
+        SolveError::Mva(e)
+    }
+}
+
+/// Tuning knobs for the layered solver.
+#[derive(Debug, Clone, Copy)]
+pub struct SolverOptions {
+    /// Relative convergence tolerance on throughputs and waits.
+    pub tolerance: f64,
+    /// Maximum number of outer sweeps.
+    pub max_sweeps: u32,
+    /// Under-relaxation factor in `(0, 1]` applied to waiting-time
+    /// updates (1 = no damping).
+    pub relaxation: f64,
+    /// Options for the inner MVA solves.
+    pub mva: SchweitzerOptions,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions {
+            tolerance: 1e-8,
+            max_sweeps: 500,
+            relaxation: 0.5,
+            mva: SchweitzerOptions::default(),
+        }
+    }
+}
+
+impl SolverOptions {
+    /// Solves `model` with these options.
+    ///
+    /// # Errors
+    ///
+    /// See [`SolveError`].
+    pub fn solve(&self, model: &LqnModel) -> Result<Solution, SolveError> {
+        Engine::new(model, *self)?.run()
+    }
+}
+
+/// Solves `model` with default [`SolverOptions`].
+///
+/// # Errors
+///
+/// See [`SolveError`].
+pub fn solve(model: &LqnModel) -> Result<Solution, SolveError> {
+    SolverOptions::default().solve(model)
+}
+
+/// Internal iteration state.
+struct Engine<'m> {
+    model: &'m LqnModel,
+    options: SolverOptions,
+    /// Task layer by longest path from reference tasks.
+    layers: Vec<u32>,
+    /// Tasks sorted so that callees come before callers (deepest first).
+    eval_order: Vec<TaskId>,
+    /// Per-entry phase-1 (reply) time: what a caller waits per request.
+    reply: Vec<f64>,
+    /// Per-entry total holding time: how long the serving thread is
+    /// occupied per invocation (reply time + second phase).
+    holding: Vec<f64>,
+    /// Per-entry throughput.
+    entry_tput: Vec<f64>,
+    /// Per-task throughput (sum of its entries).
+    task_tput: Vec<f64>,
+    /// Queueing wait per call for each (client task, server task) pair.
+    wait_call: BTreeMap<(TaskId, TaskId), f64>,
+    /// Queueing wait per invocation at the task's own processor.
+    wait_proc: Vec<f64>,
+}
+
+impl<'m> Engine<'m> {
+    fn new(model: &'m LqnModel, options: SolverOptions) -> Result<Self, SolveError> {
+        model.validate()?;
+        let layers = model.task_layers().expect("validated model is acyclic");
+        let mut eval_order: Vec<TaskId> = model.task_ids().collect();
+        eval_order.sort_by_key(|&t| std::cmp::Reverse(layers[t.index()]));
+        let mut wait_call = BTreeMap::new();
+        for e in model.entry_ids() {
+            let client = model.entry(e).task;
+            for c in &model.entry(e).calls {
+                let server = model.entry(c.target).task;
+                wait_call.insert((client, server), 0.0);
+            }
+        }
+        Ok(Engine {
+            model,
+            options,
+            layers,
+            eval_order,
+            reply: vec![0.0; model.entry_count()],
+            holding: vec![0.0; model.entry_count()],
+            entry_tput: vec![0.0; model.entry_count()],
+            task_tput: vec![0.0; model.task_count()],
+            wait_call,
+            wait_proc: vec![0.0; model.task_count()],
+        })
+    }
+
+    /// Population of a task when acting as a customer class.
+    fn population(&self, t: TaskId) -> u32 {
+        match self.model.task(t).multiplicity {
+            Multiplicity::Finite(n) => n,
+            // An "infinite-thread" client: bounded in practice by its
+            // callers; approximate with a generous cap.
+            Multiplicity::Infinite => 1_000_000,
+        }
+    }
+
+    /// Recomputes entry reply and holding times bottom-up from current
+    /// waits.  A caller waits only for the target's *reply* time; the
+    /// target's thread is occupied for the reply time plus its second
+    /// phase.
+    fn update_holding(&mut self) {
+        for &t in &self.eval_order {
+            for e in self.model.entries_of(t) {
+                let entry = self.model.entry(e);
+                let mut ph1 = entry.host_demand + self.wait_proc[t.index()];
+                let mut ph2 = entry.second_phase_demand;
+                if entry.second_phase_demand > 0.0 {
+                    ph2 += self.wait_proc[t.index()];
+                }
+                for call in &entry.calls {
+                    let server = self.model.entry(call.target).task;
+                    let w = self.wait_call[&(t, server)];
+                    let cost = call.mean_calls * (w + self.reply[call.target.index()]);
+                    match call.phase {
+                        crate::model::Phase::One => ph1 += cost,
+                        crate::model::Phase::Two => ph2 += cost,
+                    }
+                }
+                self.reply[e.index()] = ph1;
+                self.holding[e.index()] = ph1 + ph2;
+            }
+        }
+    }
+
+    /// Recomputes entry and task throughputs from reference chains.
+    fn update_throughput(&mut self) {
+        self.entry_tput.iter_mut().for_each(|x| *x = 0.0);
+        // Walk tasks from the top (layer 0) down, pushing flow.
+        let mut order: Vec<TaskId> = self.model.task_ids().collect();
+        order.sort_by_key(|&t| self.layers[t.index()]);
+        for &t in &order {
+            let task = self.model.task(t);
+            if let TaskKind::Reference { think_time } = task.kind {
+                let e = self.model.entries_of(t).next().expect("validated");
+                let n = f64::from(self.population(t));
+                let cycle = think_time + self.holding[e.index()];
+                self.entry_tput[e.index()] = if cycle > 0.0 { n / cycle } else { 0.0 };
+            }
+            for e in self.model.entries_of(t) {
+                let flow = self.entry_tput[e.index()];
+                if flow <= 0.0 {
+                    continue;
+                }
+                for call in &self.model.entry(e).calls {
+                    self.entry_tput[call.target.index()] += flow * call.mean_calls;
+                }
+            }
+        }
+        for t in self.model.task_ids() {
+            self.task_tput[t.index()] = self
+                .model
+                .entries_of(t)
+                .map(|e| self.entry_tput[e.index()])
+                .sum();
+        }
+    }
+
+    /// Entry weights of a client task: fraction of task invocations going
+    /// through each entry (uniform if the task carries no flow yet).
+    fn entry_weights(&self, t: TaskId) -> Vec<(EntryId, f64)> {
+        let entries: Vec<EntryId> = self.model.entries_of(t).collect();
+        let total = self.task_tput[t.index()];
+        if total > 0.0 {
+            entries
+                .iter()
+                .map(|&e| (e, self.entry_tput[e.index()] / total))
+                .collect()
+        } else {
+            let w = 1.0 / entries.len() as f64;
+            entries.iter().map(|&e| (e, w)).collect()
+        }
+    }
+
+    /// Weighted host demand (both phases) of a task per invocation.
+    fn task_demand(&self, t: TaskId) -> f64 {
+        self.entry_weights(t)
+            .iter()
+            .map(|&(e, w)| {
+                let entry = self.model.entry(e);
+                w * (entry.host_demand + entry.second_phase_demand)
+            })
+            .sum()
+    }
+
+    /// Weighted holding time of a task per invocation.
+    fn task_holding(&self, t: TaskId) -> f64 {
+        self.entry_weights(t)
+            .iter()
+            .map(|&(e, w)| w * self.holding[e.index()])
+            .sum()
+    }
+
+    /// Current cycle-time estimate of a client task (time between
+    /// successive invocation starts per server thread).
+    fn task_cycle(&self, t: TaskId) -> f64 {
+        let tput = self.task_tput[t.index()];
+        if tput <= 0.0 {
+            return f64::INFINITY;
+        }
+        f64::from(self.population(t)) / tput
+    }
+
+    /// Groups server tasks into software submodels keyed by the deepest
+    /// caller layer, so each server task is analysed in exactly one
+    /// submodel together with *all* its client tasks.
+    fn software_groups(&self) -> BTreeMap<u32, Vec<TaskId>> {
+        let mut deepest_caller: BTreeMap<TaskId, u32> = BTreeMap::new();
+        for e in self.model.entry_ids() {
+            let caller = self.model.entry(e).task;
+            for c in &self.model.entry(e).calls {
+                let server = self.model.entry(c.target).task;
+                let lay = self.layers[caller.index()];
+                deepest_caller
+                    .entry(server)
+                    .and_modify(|l| *l = (*l).max(lay))
+                    .or_insert(lay);
+            }
+        }
+        let mut groups: BTreeMap<u32, Vec<TaskId>> = BTreeMap::new();
+        for (server, lay) in deepest_caller {
+            groups.entry(lay).or_default().push(server);
+        }
+        groups
+    }
+
+    /// One software submodel: `servers` are the stations; every task
+    /// calling any of them is a client class.  Returns the maximum
+    /// relative change of the waits it updated.
+    fn solve_software_submodel(&mut self, servers: &[TaskId]) -> Result<f64, SolveError> {
+        // Stations.
+        let station_of: BTreeMap<TaskId, usize> =
+            servers.iter().enumerate().map(|(j, &t)| (t, j)).collect();
+        let stations: Vec<StationKind> = servers
+            .iter()
+            .map(|&t| match self.model.task(t).multiplicity {
+                Multiplicity::Finite(m) => StationKind::Queue { servers: m },
+                Multiplicity::Infinite => StationKind::Delay,
+            })
+            .collect();
+
+        // Clients: any task with a call into one of the stations.
+        let mut clients: Vec<TaskId> = Vec::new();
+        for t in self.model.task_ids() {
+            let calls_in = self.model.entries_of(t).any(|e| {
+                self.model
+                    .entry(e)
+                    .calls
+                    .iter()
+                    .any(|c| station_of.contains_key(&self.model.entry(c.target).task))
+            });
+            if calls_in {
+                clients.push(t);
+            }
+        }
+
+        // Per-client visit counts and mean service/occupancy times per
+        // station: the client waits for the target's *reply* time, but a
+        // queued job occupies the server for reply + second phase.
+        let mut classes = Vec::with_capacity(clients.len());
+        let mut occupancies: Vec<Vec<f64>> = Vec::with_capacity(clients.len());
+        for &t in &clients {
+            let mut visits = vec![0.0f64; servers.len()];
+            let mut reply_time = vec![0.0f64; servers.len()];
+            let mut hold_time = vec![0.0f64; servers.len()];
+            for (e, w) in self.entry_weights(t) {
+                for call in &self.model.entry(e).calls {
+                    let server = self.model.entry(call.target).task;
+                    if let Some(&j) = station_of.get(&server) {
+                        visits[j] += w * call.mean_calls;
+                        reply_time[j] += w * call.mean_calls * self.reply[call.target.index()];
+                        hold_time[j] += w * call.mean_calls * self.holding[call.target.index()];
+                    }
+                }
+            }
+            let service: Vec<f64> = visits
+                .iter()
+                .zip(&reply_time)
+                .map(|(&v, &ft)| if v > 0.0 { ft / v } else { 0.0 })
+                .collect();
+            let occupancy: Vec<f64> = visits
+                .iter()
+                .zip(&hold_time)
+                .map(|(&v, &ft)| if v > 0.0 { ft / v } else { 0.0 })
+                .collect();
+            occupancies.push(occupancy);
+            // Residence estimate at these stations with current waits.
+            let mut residence = 0.0;
+            for (j, &server) in servers.iter().enumerate() {
+                if visits[j] > 0.0 {
+                    residence += visits[j] * (self.wait_call[&(t, server)] + service[j]);
+                }
+            }
+            let cycle = self.task_cycle(t);
+            let think = if cycle.is_finite() {
+                (cycle - residence).max(0.0)
+            } else {
+                // No flow through this client yet: park it with a huge
+                // think time so it exerts no load.
+                1e12
+            };
+            classes.push(ClassSpec {
+                population: self.population(t),
+                think_time: think,
+                visits,
+                service,
+            });
+        }
+
+        let result = mva::schweitzer_with_occupancy(
+            &stations,
+            &classes,
+            Some(&occupancies),
+            self.options.mva,
+        )?;
+        let mut delta: f64 = 0.0;
+        let alpha = self.options.relaxation;
+        for (c, &t) in clients.iter().enumerate() {
+            for (j, &server) in servers.iter().enumerate() {
+                if classes[c].visits[j] <= 0.0 {
+                    continue;
+                }
+                let new_w = result.wait_per_visit(&classes, c, j);
+                let slot = self.wait_call.get_mut(&(t, server)).expect("registered");
+                let old = *slot;
+                let w = old + alpha * (new_w - old);
+                *slot = w;
+                delta = delta.max(rel_change(old, w));
+            }
+        }
+        Ok(delta)
+    }
+
+    /// The device submodel: tasks contend for their processors.
+    fn solve_device_submodel(&mut self) -> Result<f64, SolveError> {
+        let stations: Vec<StationKind> = self
+            .model
+            .processor_ids()
+            .map(|p| match self.model.processor(p).multiplicity {
+                Multiplicity::Finite(m) => StationKind::Queue { servers: m },
+                Multiplicity::Infinite => StationKind::Delay,
+            })
+            .collect();
+        let mut clients: Vec<TaskId> = Vec::new();
+        let mut classes = Vec::new();
+        for t in self.model.task_ids() {
+            let demand = self.task_demand(t);
+            if demand <= 0.0 {
+                continue; // no processor use: cannot interfere
+            }
+            let p = self.model.task(t).processor.index();
+            let mut visits = vec![0.0; stations.len()];
+            let mut service = vec![0.0; stations.len()];
+            visits[p] = 1.0;
+            service[p] = demand;
+            let residence = self.wait_proc[t.index()] + demand;
+            let cycle = self.task_cycle(t);
+            let think = if cycle.is_finite() {
+                (cycle - residence).max(0.0)
+            } else {
+                1e12
+            };
+            clients.push(t);
+            classes.push(ClassSpec {
+                population: self.population(t),
+                think_time: think,
+                visits,
+                service,
+            });
+        }
+        if clients.is_empty() {
+            return Ok(0.0);
+        }
+        let result = mva::schweitzer(&stations, &classes, self.options.mva)?;
+        let mut delta: f64 = 0.0;
+        let alpha = self.options.relaxation;
+        for (c, &t) in clients.iter().enumerate() {
+            let p = self.model.task(t).processor.index();
+            let new_w = result.wait_per_visit(&classes, c, p);
+            let old = self.wait_proc[t.index()];
+            let w = old + alpha * (new_w - old);
+            self.wait_proc[t.index()] = w;
+            delta = delta.max(rel_change(old, w));
+        }
+        Ok(delta)
+    }
+
+    fn run(mut self) -> Result<Solution, SolveError> {
+        // Initial pass with zero waits.
+        self.update_holding();
+        self.update_throughput();
+
+        let groups = self.software_groups();
+        let mut residual = f64::INFINITY;
+        let mut sweeps = 0;
+        for sweep in 0..self.options.max_sweeps {
+            sweeps = sweep + 1;
+            let mut delta: f64 = 0.0;
+            let prev_tput = self.task_tput.clone();
+
+            for servers in groups.values() {
+                delta = delta.max(self.solve_software_submodel(servers)?);
+                self.update_holding();
+                self.update_throughput();
+            }
+            delta = delta.max(self.solve_device_submodel()?);
+            self.update_holding();
+            self.update_throughput();
+
+            for t in self.model.task_ids() {
+                delta = delta.max(rel_change(prev_tput[t.index()], self.task_tput[t.index()]));
+            }
+            residual = delta;
+            if delta < self.options.tolerance {
+                return Ok(self.finish(sweeps));
+            }
+        }
+        Err(SolveError::NotConverged { sweeps, residual })
+    }
+
+    fn finish(self, sweeps: u32) -> Solution {
+        let model = self.model;
+        let mut task_busy = vec![0.0; model.task_count()];
+        let mut chain_response = vec![None; model.task_count()];
+        for t in model.task_ids() {
+            let holding = self.task_holding(t);
+            task_busy[t.index()] = self.task_tput[t.index()] * holding;
+            if let TaskKind::Reference { .. } = model.task(t).kind {
+                chain_response[t.index()] = Some(holding);
+            }
+        }
+        let mut proc_utilization = vec![0.0; model.processor_count()];
+        for e in model.entry_ids() {
+            let entry = model.entry(e);
+            let p = model.task(entry.task).processor.index();
+            proc_utilization[p] += self.entry_tput[e.index()] * entry.host_demand;
+        }
+        Solution {
+            entry_throughput: self.entry_tput,
+            entry_reply: self.reply,
+            entry_holding: self.holding,
+            task_throughput: self.task_tput,
+            task_busy,
+            proc_utilization,
+            chain_response,
+            sweeps,
+        }
+    }
+}
+
+fn rel_change(old: f64, new: f64) -> f64 {
+    let scale = old.abs().max(new.abs());
+    if scale <= 1e-300 {
+        0.0
+    } else {
+        (new - old).abs() / scale.max(1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Multiplicity, Phase};
+
+    /// The paper's configuration C1: 50 UserA users -> AppA (1s) ->
+    /// Server1 (1s).  AppA holds 2s per request, so throughput saturates
+    /// at 0.5/s.
+    #[test]
+    fn paper_configuration_c1_saturates_at_half() {
+        let mut m = LqnModel::new();
+        let pa = m.add_processor("procA", Multiplicity::Infinite);
+        let p1 = m.add_processor("proc1", Multiplicity::Finite(1));
+        let p3 = m.add_processor("proc3", Multiplicity::Finite(1));
+        let users = m.add_reference_task("UserA", pa, 50, 0.0);
+        let app = m.add_task("AppA", p1, Multiplicity::Finite(1));
+        let srv = m.add_task("Server1", p3, Multiplicity::Finite(1));
+        let e_user = m.add_entry("userA", users, 0.0);
+        let e_app = m.add_entry("eA", app, 1.0);
+        let e_srv = m.add_entry("eA-1", srv, 1.0);
+        m.add_call(e_user, e_app, 1.0).unwrap();
+        m.add_call(e_app, e_srv, 1.0).unwrap();
+        let sol = solve(&m).unwrap();
+        let x = sol.task_throughput(users);
+        assert!(
+            (x - 0.5).abs() < 0.01,
+            "UserA throughput {x}, expected ~0.5"
+        );
+        // AppA is the bottleneck: fully busy.
+        assert!(sol.task_utilization(app) > 0.98);
+        // Server1 is busy half the time.
+        assert!((sol.task_utilization(srv) - 0.5).abs() < 0.05);
+    }
+
+    /// The paper's configuration C5: both user groups share Server1.
+    /// LQNS reports f_A = 0.44, f_B = 0.67; our MOL/Schweitzer combination
+    /// should land close.
+    #[test]
+    fn paper_configuration_c5_shape() {
+        let mut m = LqnModel::new();
+        let pa = m.add_processor("procA", Multiplicity::Infinite);
+        let pb = m.add_processor("procB", Multiplicity::Infinite);
+        let p1 = m.add_processor("proc1", Multiplicity::Finite(1));
+        let p2 = m.add_processor("proc2", Multiplicity::Finite(1));
+        let p3 = m.add_processor("proc3", Multiplicity::Finite(1));
+        let user_a = m.add_reference_task("UserA", pa, 50, 0.0);
+        let user_b = m.add_reference_task("UserB", pb, 100, 0.0);
+        let app_a = m.add_task("AppA", p1, Multiplicity::Finite(1));
+        let app_b = m.add_task("AppB", p2, Multiplicity::Finite(1));
+        let srv = m.add_task("Server1", p3, Multiplicity::Finite(1));
+        let e_ua = m.add_entry("userA", user_a, 0.0);
+        let e_ub = m.add_entry("userB", user_b, 0.0);
+        let e_a = m.add_entry("eA", app_a, 1.0);
+        let e_b = m.add_entry("eB", app_b, 0.5);
+        let e_a1 = m.add_entry("eA-1", srv, 1.0);
+        let e_b1 = m.add_entry("eB-1", srv, 0.5);
+        m.add_call(e_ua, e_a, 1.0).unwrap();
+        m.add_call(e_ub, e_b, 1.0).unwrap();
+        m.add_call(e_a, e_a1, 1.0).unwrap();
+        m.add_call(e_b, e_b1, 1.0).unwrap();
+        let sol = solve(&m).unwrap();
+        let fa = sol.task_throughput(user_a);
+        let fb = sol.task_throughput(user_b);
+        // Paper (LQNS): (0.44, 0.67).  Allow a band for the different
+        // approximate solver.
+        assert!((0.38..=0.50).contains(&fa), "f_A = {fa}");
+        assert!((0.55..=0.75).contains(&fb), "f_B = {fb}");
+        assert!(fb > fa, "B users are lighter and should achieve more");
+        // Server1 cannot be over-committed.
+        assert!(sol.task_utilization(srv) <= 1.0 + 1e-6);
+    }
+
+    #[test]
+    fn think_time_limits_throughput() {
+        let mut m = LqnModel::new();
+        let pc = m.add_processor("pc", Multiplicity::Infinite);
+        let ps = m.add_processor("ps", Multiplicity::Finite(1));
+        let users = m.add_reference_task("users", pc, 10, 10.0);
+        let srv = m.add_task("srv", ps, Multiplicity::Finite(1));
+        let e_u = m.add_entry("u", users, 0.0);
+        let e_s = m.add_entry("s", srv, 0.01);
+        m.add_call(e_u, e_s, 1.0).unwrap();
+        let sol = solve(&m).unwrap();
+        let x = sol.task_throughput(users);
+        // Nearly no contention: X ≈ N / (Z + D) = 10 / 10.01.
+        assert!((x - 10.0 / 10.01).abs() < 0.01, "got {x}");
+    }
+
+    #[test]
+    fn multithreaded_server_doubles_capacity() {
+        let build = |threads: u32| {
+            let mut m = LqnModel::new();
+            let pc = m.add_processor("pc", Multiplicity::Infinite);
+            let ps = m.add_processor("ps", Multiplicity::Finite(4));
+            let users = m.add_reference_task("users", pc, 40, 0.0);
+            let srv = m.add_task("srv", ps, Multiplicity::Finite(threads));
+            let e_u = m.add_entry("u", users, 0.0);
+            // Service time dominated by blocking on a slow internal disk
+            // modelled as host demand.
+            let e_s = m.add_entry("s", srv, 1.0);
+            m.add_call(e_u, e_s, 1.0).unwrap();
+            solve(&m).unwrap().task_throughput(users)
+        };
+        let x1 = build(1);
+        let x2 = build(2);
+        assert!(x2 > 1.5 * x1, "threads 1 -> {x1}, threads 2 -> {x2}");
+    }
+
+    #[test]
+    fn processor_contention_between_layers() {
+        // Two servers on one processor: each sees the other's load.
+        let mut m = LqnModel::new();
+        let pc = m.add_processor("pc", Multiplicity::Infinite);
+        let shared = m.add_processor("shared", Multiplicity::Finite(1));
+        let u1 = m.add_reference_task("u1", pc, 10, 0.0);
+        let u2 = m.add_reference_task("u2", pc, 10, 0.0);
+        let s1 = m.add_task("s1", shared, Multiplicity::Finite(10));
+        let s2 = m.add_task("s2", shared, Multiplicity::Finite(10));
+        let e_u1 = m.add_entry("eu1", u1, 0.0);
+        let e_u2 = m.add_entry("eu2", u2, 0.0);
+        let e_s1 = m.add_entry("es1", s1, 0.5);
+        let e_s2 = m.add_entry("es2", s2, 0.5);
+        m.add_call(e_u1, e_s1, 1.0).unwrap();
+        m.add_call(e_u2, e_s2, 1.0).unwrap();
+        let sol = solve(&m).unwrap();
+        // The single shared core limits combined throughput to 2/s.
+        let total = sol.task_throughput(u1) + sol.task_throughput(u2);
+        assert!(total <= 2.0 + 0.05, "total {total}");
+        assert!(sol.processor_utilization(shared) <= 1.0 + 1e-6);
+        assert!(sol.processor_utilization(shared) > 0.9);
+    }
+
+    #[test]
+    fn three_layer_chain_solves() {
+        let mut m = LqnModel::new();
+        let pc = m.add_processor("pc", Multiplicity::Infinite);
+        let p1 = m.add_processor("p1", Multiplicity::Finite(1));
+        let p2 = m.add_processor("p2", Multiplicity::Finite(1));
+        let p3 = m.add_processor("p3", Multiplicity::Finite(1));
+        let users = m.add_reference_task("users", pc, 20, 1.0);
+        let web = m.add_task("web", p1, Multiplicity::Finite(4));
+        let app = m.add_task("app", p2, Multiplicity::Finite(2));
+        let db = m.add_task("db", p3, Multiplicity::Finite(1));
+        let e_u = m.add_entry("u", users, 0.0);
+        let e_w = m.add_entry("w", web, 0.02);
+        let e_a = m.add_entry("a", app, 0.05);
+        let e_d = m.add_entry("d", db, 0.08);
+        m.add_call(e_u, e_w, 1.0).unwrap();
+        m.add_call(e_w, e_a, 1.0).unwrap();
+        m.add_call(e_a, e_d, 2.0).unwrap();
+        let sol = solve(&m).unwrap();
+        let x = sol.task_throughput(users);
+        // Bottleneck: db with 2 visits x 0.08 = 0.16s demand per cycle
+        // => X <= 6.25.
+        assert!(x <= 6.25 + 0.01, "got {x}");
+        assert!(x > 4.0, "unreasonably low {x}");
+        // Flow conservation: db entry sees twice the app flow.
+        let fa = sol.entry_throughput(e_a);
+        let fd = sol.entry_throughput(e_d);
+        assert!((fd - 2.0 * fa).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fan_out_two_servers() {
+        let mut m = LqnModel::new();
+        let pc = m.add_processor("pc", Multiplicity::Infinite);
+        let p1 = m.add_processor("p1", Multiplicity::Finite(1));
+        let p2 = m.add_processor("p2", Multiplicity::Finite(1));
+        let p3 = m.add_processor("p3", Multiplicity::Finite(1));
+        let users = m.add_reference_task("users", pc, 30, 0.5);
+        let app = m.add_task("app", p1, Multiplicity::Finite(3));
+        let s1 = m.add_task("s1", p2, Multiplicity::Finite(1));
+        let s2 = m.add_task("s2", p3, Multiplicity::Finite(1));
+        let e_u = m.add_entry("u", users, 0.0);
+        let e_app = m.add_entry("e_app", app, 0.01);
+        let e_1 = m.add_entry("e1", s1, 0.1);
+        let e_2 = m.add_entry("e2", s2, 0.05);
+        m.add_call(e_u, e_app, 1.0).unwrap();
+        m.add_call(e_app, e_1, 1.0).unwrap();
+        m.add_call(e_app, e_2, 1.0).unwrap();
+        let sol = solve(&m).unwrap();
+        let x = sol.task_throughput(users);
+        assert!(x <= 10.0 + 0.05, "s1 bound violated: {x}"); // 1/0.1
+        assert!(x > 5.0);
+        assert!(sol.sweeps() >= 1);
+    }
+
+    /// Second phases hide work from callers: with the same total demand,
+    /// moving half of it into phase 2 cuts the caller-visible response
+    /// while leaving server utilisation unchanged.
+    #[test]
+    fn second_phase_hides_latency_from_callers() {
+        let build = |ph2: bool| {
+            let mut m = LqnModel::new();
+            let pc = m.add_processor("pc", Multiplicity::Infinite);
+            let ps = m.add_processor("ps", Multiplicity::Finite(1));
+            let users = m.add_reference_task("users", pc, 3, 2.0);
+            let srv = m.add_task("srv", ps, Multiplicity::Finite(1));
+            let e_u = m.add_entry("u", users, 0.0);
+            let e_s = m.add_entry("s", srv, if ph2 { 0.2 } else { 0.4 });
+            if ph2 {
+                m.set_second_phase_demand(e_s, 0.2);
+            }
+            m.add_call(e_u, e_s, 1.0).unwrap();
+            let sol = solve(&m).unwrap();
+            (
+                sol.task_throughput(users),
+                sol.entry_reply_time(e_s),
+                sol.entry_holding_time(e_s),
+                sol.task_utilization(srv),
+            )
+        };
+        let (x1, reply1, hold1, _u1) = build(false);
+        let (x2, reply2, hold2, _u2) = build(true);
+        assert!(reply2 < reply1, "phase 2 must shorten the visible reply");
+        assert!((hold2 - hold1).abs() < 0.1, "thread occupancy comparable");
+        assert!(x2 >= x1, "hiding latency cannot reduce throughput");
+    }
+
+    #[test]
+    fn second_phase_calls_do_not_block_callers() {
+        // Server does a phase-2 write-back to a slow logger: callers never
+        // wait for the logger.
+        let mut m = LqnModel::new();
+        let pc = m.add_processor("pc", Multiplicity::Infinite);
+        let ps = m.add_processor("ps", Multiplicity::Finite(1));
+        let pl = m.add_processor("pl", Multiplicity::Finite(1));
+        let users = m.add_reference_task("users", pc, 2, 2.0);
+        let srv = m.add_task("srv", ps, Multiplicity::Finite(4));
+        let log = m.add_task("log", pl, Multiplicity::Finite(4));
+        let e_u = m.add_entry("u", users, 0.0);
+        let e_s = m.add_entry("s", srv, 0.05);
+        let e_l = m.add_entry("l", log, 0.4);
+        m.add_call(e_u, e_s, 1.0).unwrap();
+        m.add_call_in_phase(e_s, e_l, 1.0, Phase::Two).unwrap();
+        let sol = solve(&m).unwrap();
+        // Reply time ~ 0.05 (just the phase-1 demand), far below the
+        // logger's 0.4 s.
+        assert!(
+            sol.entry_reply_time(e_s) < 0.1,
+            "reply {}",
+            sol.entry_reply_time(e_s)
+        );
+        assert!(
+            sol.entry_holding_time(e_s) > 0.4,
+            "thread still pays for the logger"
+        );
+        // Flow still reaches the logger.
+        assert!((sol.entry_throughput(e_l) - sol.entry_throughput(e_s)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reference_second_phase_rejected() {
+        let mut m = LqnModel::new();
+        let pc = m.add_processor("pc", Multiplicity::Infinite);
+        let users = m.add_reference_task("users", pc, 1, 1.0);
+        let e_u = m.add_entry("u", users, 0.1);
+        m.set_second_phase_demand(e_u, 0.5);
+        assert!(matches!(
+            solve(&m),
+            Err(SolveError::Model(ModelError::ReferencePhase2 { .. }))
+        ));
+    }
+
+    #[test]
+    fn invalid_model_is_reported() {
+        let m = LqnModel::new();
+        assert!(matches!(solve(&m), Err(SolveError::Model(_))));
+    }
+
+    #[test]
+    fn utilization_law_holds() {
+        // U = X * D at the processor.
+        let mut m = LqnModel::new();
+        let pc = m.add_processor("pc", Multiplicity::Infinite);
+        let ps = m.add_processor("ps", Multiplicity::Finite(1));
+        let users = m.add_reference_task("users", pc, 5, 2.0);
+        let srv = m.add_task("srv", ps, Multiplicity::Finite(1));
+        let e_u = m.add_entry("u", users, 0.0);
+        let e_s = m.add_entry("s", srv, 0.3);
+        m.add_call(e_u, e_s, 1.0).unwrap();
+        let sol = solve(&m).unwrap();
+        let x = sol.entry_throughput(e_s);
+        let u = sol.processor_utilization(ps);
+        assert!((u - x * 0.3).abs() < 1e-9);
+    }
+}

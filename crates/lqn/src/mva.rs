@@ -1,0 +1,632 @@
+//! Mean value analysis for closed multi-class queueing networks.
+//!
+//! Two solvers live here:
+//!
+//! * [`exact_single_class`] — the classic exact MVA recursion for one
+//!   customer class over FCFS single-server and delay stations.  Used as a
+//!   ground-truth oracle in tests.
+//! * [`schweitzer`] — the Bard–Schweitzer approximate MVA for multiple
+//!   classes with class-dependent service times at FCFS stations, plus a
+//!   documented extension for multi-server stations.  This is the workhorse
+//!   invoked by the layered solver for every submodel.
+//!
+//! The approximation for a class-`c` customer arriving at a single-server
+//! FCFS station `j` is
+//!
+//! ```text
+//! R(c,j) = V(c,j) · [ s(c,j) + Σ_c' s(c',j) · Q̃(c',j) ]
+//! ```
+//!
+//! where `Q̃` is the arrival-instant queue estimate (`Q(c',j)` for other
+//! classes, `(N_c−1)/N_c · Q(c,j)` for the arriving class) — each queued
+//! customer costs *its own* mean service time.  Multi-server stations with
+//! `m` servers only queue behind the backlog exceeding `m − 1` waiting
+//! slots, scaled by `1/m`; infinite-server (delay) stations have no
+//! queueing term at all.
+
+#![allow(clippy::needless_range_loop)] // index-parallel arrays: indices are the clearer idiom
+
+use std::fmt;
+
+/// The queueing discipline/capacity of a station.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StationKind {
+    /// FCFS queue with `servers >= 1` identical servers.
+    Queue {
+        /// Number of parallel servers.
+        servers: u32,
+    },
+    /// Infinite-server (pure delay) station.
+    Delay,
+}
+
+/// One customer class of a closed network.
+#[derive(Debug, Clone)]
+pub struct ClassSpec {
+    /// Number of customers in the class (0 is allowed; the class is inert).
+    pub population: u32,
+    /// Think time per cycle spent outside all stations, in seconds.
+    pub think_time: f64,
+    /// `visits[j]` — mean visits to station `j` per customer cycle.
+    pub visits: Vec<f64>,
+    /// `service[j]` — mean service time per visit at station `j`.
+    pub service: Vec<f64>,
+}
+
+/// Result of an MVA solution.
+#[derive(Debug, Clone)]
+pub struct MvaResult {
+    /// Per-class cycle throughput (customers of the class completing
+    /// cycles per second).
+    pub throughput: Vec<f64>,
+    /// Per-class total cycle response time excluding think time.
+    pub response: Vec<f64>,
+    /// `residence[c][j]` — time a class-`c` customer spends at station `j`
+    /// per cycle (waiting + service, all visits).
+    pub residence: Vec<Vec<f64>>,
+    /// `queue[c][j]` — mean number of class-`c` customers at station `j`.
+    pub queue: Vec<Vec<f64>>,
+    /// Number of fixed-point iterations used.
+    pub iterations: u32,
+}
+
+impl MvaResult {
+    /// Mean queueing delay (excluding service) per visit of class `c` at
+    /// station `j`; zero when the class never visits the station.
+    pub fn wait_per_visit(&self, classes: &[ClassSpec], c: usize, j: usize) -> f64 {
+        let v = classes[c].visits[j];
+        if v <= 0.0 {
+            return 0.0;
+        }
+        let per_visit = self.residence[c][j] / v;
+        (per_visit - classes[c].service[j]).max(0.0)
+    }
+}
+
+/// Errors from the MVA solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MvaError {
+    /// Station/visit/service vector lengths disagree.
+    ShapeMismatch,
+    /// A visit count or service time is negative or non-finite.
+    InvalidInput(String),
+    /// Every class has zero cycle time (no demand and no think time), so
+    /// throughput is unbounded and the model is ill-posed.
+    ZeroCycle,
+}
+
+impl fmt::Display for MvaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MvaError::ShapeMismatch => write!(f, "visit/service vectors do not match stations"),
+            MvaError::InvalidInput(what) => write!(f, "invalid input: {what}"),
+            MvaError::ZeroCycle => {
+                write!(
+                    f,
+                    "a class has zero think time and zero demand; throughput is unbounded"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for MvaError {}
+
+fn check_inputs(stations: &[StationKind], classes: &[ClassSpec]) -> Result<(), MvaError> {
+    for class in classes {
+        if class.visits.len() != stations.len() || class.service.len() != stations.len() {
+            return Err(MvaError::ShapeMismatch);
+        }
+        if !class.think_time.is_finite() || class.think_time < 0.0 {
+            return Err(MvaError::InvalidInput("think time".into()));
+        }
+        for (&v, &s) in class.visits.iter().zip(&class.service) {
+            if !v.is_finite() || v < 0.0 {
+                return Err(MvaError::InvalidInput("visit count".into()));
+            }
+            if !s.is_finite() || s < 0.0 {
+                return Err(MvaError::InvalidInput("service time".into()));
+            }
+        }
+    }
+    for st in stations {
+        if let StationKind::Queue { servers: 0 } = st {
+            return Err(MvaError::InvalidInput("station with zero servers".into()));
+        }
+    }
+    Ok(())
+}
+
+/// Exact MVA for a single class over the given stations.
+///
+/// `demand[j]` is the total service demand per cycle at station `j`
+/// (visits × service).  Multi-server queues are not supported here (the
+/// exact recursion needs marginal queue-length probabilities); stations
+/// must be single-server queues or delay stations.
+///
+/// Returns `(throughput, residence-per-station)` for population `n`.
+///
+/// # Errors
+///
+/// [`MvaError::InvalidInput`] for negative demands or multi-server queue
+/// stations; [`MvaError::ZeroCycle`] if `n > 0` with all-zero demand and
+/// think time.
+pub fn exact_single_class(
+    stations: &[StationKind],
+    demand: &[f64],
+    think_time: f64,
+    n: u32,
+) -> Result<(f64, Vec<f64>), MvaError> {
+    if demand.len() != stations.len() {
+        return Err(MvaError::ShapeMismatch);
+    }
+    for st in stations {
+        match st {
+            StationKind::Queue { servers: 1 } | StationKind::Delay => {}
+            StationKind::Queue { .. } => {
+                return Err(MvaError::InvalidInput(
+                    "exact MVA supports only single-server and delay stations".into(),
+                ))
+            }
+        }
+    }
+    if demand.iter().any(|&d| d < 0.0 || !d.is_finite()) {
+        return Err(MvaError::InvalidInput("demand".into()));
+    }
+    let m = stations.len();
+    let mut q = vec![0.0f64; m];
+    let mut x = 0.0;
+    for k in 1..=n {
+        let mut r = vec![0.0f64; m];
+        let mut total = think_time;
+        for j in 0..m {
+            r[j] = match stations[j] {
+                StationKind::Delay => demand[j],
+                StationKind::Queue { .. } => demand[j] * (1.0 + q[j]),
+            };
+            total += r[j];
+        }
+        if total <= 0.0 {
+            return Err(MvaError::ZeroCycle);
+        }
+        x = f64::from(k) / total;
+        for j in 0..m {
+            q[j] = x * r[j];
+        }
+    }
+    let residence: Vec<f64> = if n == 0 {
+        vec![0.0; m]
+    } else {
+        q.iter().map(|&qj| qj / x.max(f64::MIN_POSITIVE)).collect()
+    };
+    Ok((x, residence))
+}
+
+/// Options for [`schweitzer`].
+#[derive(Debug, Clone, Copy)]
+pub struct SchweitzerOptions {
+    /// Convergence tolerance on queue lengths (absolute).
+    pub tolerance: f64,
+    /// Iteration cap.
+    pub max_iterations: u32,
+}
+
+impl Default for SchweitzerOptions {
+    fn default() -> Self {
+        SchweitzerOptions {
+            tolerance: 1e-9,
+            max_iterations: 20_000,
+        }
+    }
+}
+
+/// Bard–Schweitzer approximate MVA for multiple classes.
+///
+/// See the [module documentation](self) for the waiting-time formula.
+/// Classes with zero population contribute nothing and report zero
+/// throughput.
+///
+/// # Errors
+///
+/// Propagates input validation failures; returns [`MvaError::ZeroCycle`]
+/// if some populated class has zero think time, zero demand and visits no
+/// station (its cycle time would be zero).
+pub fn schweitzer(
+    stations: &[StationKind],
+    classes: &[ClassSpec],
+    options: SchweitzerOptions,
+) -> Result<MvaResult, MvaError> {
+    schweitzer_with_occupancy(stations, classes, None, options)
+}
+
+/// [`schweitzer`] with a distinct *occupancy* time per (class, station):
+/// the time a queued class-`c` customer holds the server, when that
+/// differs from the service time the customer itself waits for.
+///
+/// This is how LQN second phases enter the queueing model: a waiting
+/// client only waits for the phase-1 (reply) portion of its own request,
+/// but every job queued ahead holds the server for phase 1 *and* 2.
+///
+/// # Errors
+///
+/// As [`schweitzer`], plus [`MvaError::ShapeMismatch`] if the occupancy
+/// matrix has the wrong shape.
+pub fn schweitzer_with_occupancy(
+    stations: &[StationKind],
+    classes: &[ClassSpec],
+    occupancy: Option<&[Vec<f64>]>,
+    options: SchweitzerOptions,
+) -> Result<MvaResult, MvaError> {
+    check_inputs(stations, classes)?;
+    if let Some(occ) = occupancy {
+        if occ.len() != classes.len() || occ.iter().any(|row| row.len() != stations.len()) {
+            return Err(MvaError::ShapeMismatch);
+        }
+        for row in occ {
+            if row.iter().any(|&s| s < 0.0 || !s.is_finite()) {
+                return Err(MvaError::InvalidInput("occupancy".into()));
+            }
+        }
+    }
+    let occ_of = |c: usize, j: usize| -> f64 {
+        match occupancy {
+            Some(occ) => occ[c][j],
+            None => classes[c].service[j],
+        }
+    };
+    let c_n = classes.len();
+    let s_n = stations.len();
+    // Initial queue estimate: spread each population over the stations it
+    // actually visits.
+    let mut queue = vec![vec![0.0f64; s_n]; c_n];
+    for (c, class) in classes.iter().enumerate() {
+        let visited = class.visits.iter().filter(|&&v| v > 0.0).count();
+        if visited == 0 {
+            continue;
+        }
+        let share = f64::from(class.population) / visited as f64;
+        for j in 0..s_n {
+            if class.visits[j] > 0.0 {
+                queue[c][j] = share;
+            }
+        }
+    }
+
+    let mut residence = vec![vec![0.0f64; s_n]; c_n];
+    let mut throughput = vec![0.0f64; c_n];
+    let mut response = vec![0.0f64; c_n];
+    let mut iterations = 0;
+
+    for iter in 0..options.max_iterations {
+        iterations = iter + 1;
+        let mut delta: f64 = 0.0;
+        let mut new_queue = vec![vec![0.0f64; s_n]; c_n];
+
+        for (c, class) in classes.iter().enumerate() {
+            if class.population == 0 {
+                throughput[c] = 0.0;
+                response[c] = 0.0;
+                continue;
+            }
+            let pop = f64::from(class.population);
+            let mut r_total = 0.0;
+            for j in 0..s_n {
+                let v = class.visits[j];
+                if v <= 0.0 {
+                    residence[c][j] = 0.0;
+                    continue;
+                }
+                let r_j = match stations[j] {
+                    StationKind::Delay => v * class.service[j],
+                    StationKind::Queue { servers } => {
+                        // Arrival-instant queue estimate, weighted by the
+                        // queued class's own service time.
+                        let mut backlog_time = 0.0;
+                        let mut backlog_jobs = 0.0;
+                        for c2 in 0..classes.len() {
+                            let q = if c2 == c {
+                                (pop - 1.0) / pop * queue[c][j]
+                            } else {
+                                queue[c2][j]
+                            };
+                            let occ = occ_of(c2, j);
+                            let svc = classes[c2].service[j];
+                            backlog_time += q * occ;
+                            backlog_jobs += q;
+                            // Hidden phase-2 jobs: replied (so absent from
+                            // the visible queue estimate) but still
+                            // occupying a server for the post-reply
+                            // portion.  Their count is X·V·(occ − s) by
+                            // Little's law, and the exponential residual
+                            // of that portion is its full mean.
+                            let residue = occ - svc;
+                            if residue > 0.0 {
+                                let hidden = throughput[c2] * classes[c2].visits[j] * residue;
+                                backlog_time += hidden * residue;
+                                backlog_jobs += hidden;
+                            }
+                        }
+                        let m = f64::from(servers);
+                        if servers == 1 {
+                            v * (class.service[j] + backlog_time)
+                        } else {
+                            // Only the backlog beyond the m−1 other free
+                            // servers queues, and it drains m× faster.
+                            let mean_s = if backlog_jobs > 0.0 {
+                                backlog_time / backlog_jobs
+                            } else {
+                                0.0
+                            };
+                            let queued = (backlog_jobs - (m - 1.0)).max(0.0);
+                            v * (class.service[j] + mean_s * queued / m)
+                        }
+                    }
+                };
+                residence[c][j] = r_j;
+                r_total += r_j;
+            }
+            let cycle = class.think_time + r_total;
+            if cycle <= 0.0 {
+                return Err(MvaError::ZeroCycle);
+            }
+            throughput[c] = pop / cycle;
+            response[c] = r_total;
+            for j in 0..s_n {
+                new_queue[c][j] = throughput[c] * residence[c][j];
+                delta = delta.max((new_queue[c][j] - queue[c][j]).abs());
+            }
+        }
+        queue = new_queue;
+        if delta < options.tolerance {
+            break;
+        }
+    }
+
+    Ok(MvaResult {
+        throughput,
+        response,
+        residence,
+        queue,
+        iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn single_class(
+        stations: &[StationKind],
+        visits: Vec<f64>,
+        service: Vec<f64>,
+        think: f64,
+        n: u32,
+    ) -> MvaResult {
+        schweitzer(
+            stations,
+            &[ClassSpec {
+                population: n,
+                think_time: think,
+                visits,
+                service,
+            }],
+            SchweitzerOptions::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn population_one_sees_no_queueing() {
+        let stations = [StationKind::Queue { servers: 1 }, StationKind::Delay];
+        let r = single_class(&stations, vec![2.0, 1.0], vec![0.3, 0.5], 1.0, 1);
+        // R = 2*0.3 + 1*0.5 = 1.1, cycle = 2.1, X = 1/2.1.
+        assert!((r.response[0] - 1.1).abs() < 1e-9);
+        assert!((r.throughput[0] - 1.0 / 2.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matches_exact_mva_closely() {
+        // One queueing station + think time, N = 8.
+        let stations = [StationKind::Queue { servers: 1 }];
+        let approx = single_class(&stations, vec![1.0], vec![0.25], 1.0, 8);
+        let (x_exact, _) = exact_single_class(&stations, &[0.25], 1.0, 8).unwrap();
+        // Bard–Schweitzer is known to underestimate throughput by up to
+        // ~10% at mid load; hold it to that published band.
+        let rel = (approx.throughput[0] - x_exact).abs() / x_exact;
+        assert!(
+            rel < 0.10,
+            "Schweitzer {} vs exact {}",
+            approx.throughput[0],
+            x_exact
+        );
+    }
+
+    #[test]
+    fn exact_mva_machine_repairman() {
+        // N=2, one station demand 1.0, think 1.0.
+        // n=1: R=1, X=1/2, Q=0.5.
+        // n=2: R=1*(1+0.5)=1.5, X=2/2.5=0.8, Q=1.2.
+        let stations = [StationKind::Queue { servers: 1 }];
+        let (x, resid) = exact_single_class(&stations, &[1.0], 1.0, 2).unwrap();
+        assert!((x - 0.8).abs() < 1e-12);
+        assert!((resid[0] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturation_approaches_bottleneck_bound() {
+        let stations = [StationKind::Queue { servers: 1 }];
+        let r = single_class(&stations, vec![1.0], vec![0.5], 0.0, 50);
+        // Bound: X <= 1 / 0.5 = 2.
+        assert!(r.throughput[0] <= 2.0 + 1e-9);
+        assert!(
+            r.throughput[0] > 1.9,
+            "should saturate, got {}",
+            r.throughput[0]
+        );
+    }
+
+    #[test]
+    fn asymptotic_bounds_hold() {
+        let stations = [
+            StationKind::Queue { servers: 1 },
+            StationKind::Queue { servers: 1 },
+        ];
+        for n in [1u32, 2, 5, 20] {
+            let r = single_class(&stations, vec![1.0, 1.0], vec![0.4, 0.2], 2.0, n);
+            let x = r.throughput[0];
+            assert!(x <= 1.0 / 0.4 + 1e-9, "bottleneck bound violated at N={n}");
+            assert!(
+                x <= f64::from(n) / (2.0 + 0.6) + 1e-9,
+                "light-load bound violated at N={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn delay_station_never_queues() {
+        let stations = [StationKind::Delay];
+        let r = single_class(&stations, vec![1.0], vec![1.0], 0.0, 100);
+        // All customers in service simultaneously: X = N / 1.0.
+        assert!((r.throughput[0] - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn multiserver_with_enough_servers_acts_like_delay() {
+        let q = [StationKind::Queue { servers: 64 }];
+        let d = [StationKind::Delay];
+        let rq = single_class(&q, vec![1.0], vec![1.0], 0.0, 10);
+        let rd = single_class(&d, vec![1.0], vec![1.0], 0.0, 10);
+        assert!((rq.throughput[0] - rd.throughput[0]).abs() / rd.throughput[0] < 0.01);
+    }
+
+    #[test]
+    fn multiserver_beats_single_server() {
+        let s1 = [StationKind::Queue { servers: 1 }];
+        let s4 = [StationKind::Queue { servers: 4 }];
+        let r1 = single_class(&s1, vec![1.0], vec![1.0], 0.0, 16);
+        let r4 = single_class(&s4, vec![1.0], vec![1.0], 0.0, 16);
+        assert!(r4.throughput[0] > 2.0 * r1.throughput[0]);
+    }
+
+    #[test]
+    fn symmetric_classes_get_symmetric_results() {
+        let stations = [StationKind::Queue { servers: 1 }];
+        let class = ClassSpec {
+            population: 4,
+            think_time: 1.0,
+            visits: vec![1.0],
+            service: vec![0.2],
+        };
+        let r = schweitzer(
+            &stations,
+            &[class.clone(), class],
+            SchweitzerOptions::default(),
+        )
+        .unwrap();
+        assert!((r.throughput[0] - r.throughput[1]).abs() < 1e-9);
+        assert!((r.queue[0][0] - r.queue[1][0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_class_interference_slows_both() {
+        let stations = [StationKind::Queue { servers: 1 }];
+        let mk = |pop| ClassSpec {
+            population: pop,
+            think_time: 1.0,
+            visits: vec![1.0],
+            service: vec![0.3],
+        };
+        let solo = schweitzer(&stations, &[mk(3)], SchweitzerOptions::default()).unwrap();
+        let duo = schweitzer(&stations, &[mk(3), mk(3)], SchweitzerOptions::default()).unwrap();
+        assert!(duo.throughput[0] < solo.throughput[0]);
+        assert!(duo.response[0] > solo.response[0]);
+    }
+
+    #[test]
+    fn zero_population_class_is_inert() {
+        let stations = [StationKind::Queue { servers: 1 }];
+        let busy = ClassSpec {
+            population: 5,
+            think_time: 0.5,
+            visits: vec![1.0],
+            service: vec![0.2],
+        };
+        let empty = ClassSpec {
+            population: 0,
+            think_time: 0.0,
+            visits: vec![1.0],
+            service: vec![9.0],
+        };
+        let with_empty = schweitzer(
+            &stations,
+            &[busy.clone(), empty],
+            SchweitzerOptions::default(),
+        )
+        .unwrap();
+        let alone = schweitzer(&stations, &[busy], SchweitzerOptions::default()).unwrap();
+        assert!((with_empty.throughput[0] - alone.throughput[0]).abs() < 1e-9);
+        assert_eq!(with_empty.throughput[1], 0.0);
+    }
+
+    #[test]
+    fn wait_per_visit_subtracts_service() {
+        let stations = [StationKind::Queue { servers: 1 }];
+        let classes = [ClassSpec {
+            population: 10,
+            think_time: 0.0,
+            visits: vec![1.0],
+            service: vec![1.0],
+        }];
+        let r = schweitzer(&stations, &classes, SchweitzerOptions::default()).unwrap();
+        let w = r.wait_per_visit(&classes, 0, 0);
+        // With 10 customers and no think time, ~9 are queued ahead.
+        assert!(w > 5.0, "wait {w}");
+        assert!((r.residence[0][0] - (w + 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_cycle_detected() {
+        let stations = [StationKind::Queue { servers: 1 }];
+        let classes = [ClassSpec {
+            population: 2,
+            think_time: 0.0,
+            visits: vec![0.0],
+            service: vec![0.0],
+        }];
+        let err = schweitzer(&stations, &classes, SchweitzerOptions::default()).unwrap_err();
+        assert_eq!(err, MvaError::ZeroCycle);
+    }
+
+    #[test]
+    fn shape_mismatch_detected() {
+        let stations = [StationKind::Queue { servers: 1 }];
+        let classes = [ClassSpec {
+            population: 1,
+            think_time: 0.0,
+            visits: vec![1.0, 2.0],
+            service: vec![0.1, 0.1],
+        }];
+        let err = schweitzer(&stations, &classes, SchweitzerOptions::default()).unwrap_err();
+        assert_eq!(err, MvaError::ShapeMismatch);
+    }
+
+    #[test]
+    fn invalid_inputs_detected() {
+        let stations = [StationKind::Queue { servers: 1 }];
+        let classes = [ClassSpec {
+            population: 1,
+            think_time: -1.0,
+            visits: vec![1.0],
+            service: vec![0.1],
+        }];
+        assert!(matches!(
+            schweitzer(&stations, &classes, SchweitzerOptions::default()),
+            Err(MvaError::InvalidInput(_))
+        ));
+        let (st, d) = ([StationKind::Queue { servers: 2 }], [0.5]);
+        assert!(matches!(
+            exact_single_class(&st, &d, 0.0, 1),
+            Err(MvaError::InvalidInput(_))
+        ));
+    }
+}

@@ -1,0 +1,207 @@
+//! Property-based tests for the layered solver: randomly generated
+//! acyclic layered models must satisfy the classic operational laws and
+//! bounds regardless of topology.
+
+use fmperf_lqn::{solve, LqnModel, Multiplicity, TaskId};
+use proptest::prelude::*;
+
+/// Parameters of a random 2-3 layer model.
+#[derive(Debug, Clone)]
+struct P {
+    users: u32,
+    think: f64,
+    mid_tasks: usize,
+    mid_threads: u32,
+    mid_demand: Vec<f64>,
+    back_demand: f64,
+    back_threads: u32,
+    calls_mid: Vec<f64>,
+    calls_back: f64,
+    with_back: bool,
+}
+
+fn params() -> impl Strategy<Value = P> {
+    (
+        1u32..=30,
+        0.0f64..5.0,
+        1usize..=3,
+        1u32..=4,
+        proptest::collection::vec(0.001f64..0.5, 3),
+        0.001f64..0.5,
+        1u32..=2,
+        proptest::collection::vec(0.25f64..2.0, 3),
+        0.25f64..2.0,
+        any::<bool>(),
+    )
+        .prop_map(
+            |(
+                users,
+                think,
+                mid_tasks,
+                mid_threads,
+                mid_demand,
+                back_demand,
+                back_threads,
+                calls_mid,
+                calls_back,
+                with_back,
+            )| P {
+                users,
+                think,
+                mid_tasks,
+                mid_threads,
+                mid_demand,
+                back_demand,
+                back_threads,
+                calls_mid,
+                calls_back,
+                with_back,
+            },
+        )
+}
+
+fn build(p: &P) -> (LqnModel, TaskId, Vec<f64>) {
+    let mut m = LqnModel::new();
+    let pc = m.add_processor("pc", Multiplicity::Infinite);
+    let users = m.add_reference_task("users", pc, p.users, p.think);
+    let e_u = m.add_entry("u", users, 0.0);
+    // Per-cycle demand bound bookkeeping for the bottleneck law.
+    let mut demands: Vec<f64> = Vec::new();
+    let back = if p.with_back {
+        let pb = m.add_processor("pb", Multiplicity::Finite(1));
+        let t = m.add_task("back", pb, Multiplicity::Finite(p.back_threads));
+        Some(m.add_entry("b", t, p.back_demand))
+    } else {
+        None
+    };
+    let mut back_visits = 0.0;
+    for i in 0..p.mid_tasks {
+        let pp = m.add_processor(format!("pm{i}"), Multiplicity::Finite(1));
+        let t = m.add_task(format!("mid{i}"), pp, Multiplicity::Finite(p.mid_threads));
+        let e = m.add_entry(format!("m{i}"), t, p.mid_demand[i]);
+        m.add_call(e_u, e, p.calls_mid[i]).unwrap();
+        demands.push(p.calls_mid[i] * p.mid_demand[i]); // processor demand per cycle
+        if let Some(be) = back {
+            m.add_call(e, be, p.calls_back).unwrap();
+            back_visits += p.calls_mid[i] * p.calls_back;
+        }
+    }
+    if p.with_back {
+        demands.push(back_visits * p.back_demand / f64::from(p.back_threads));
+    }
+    (m, users, demands)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Throughput obeys both asymptotic bounds: the bottleneck bound
+    /// (X ≤ m_j / D_j at every station) and the light-load bound
+    /// (X ≤ N / (Z + total demand)).
+    #[test]
+    fn throughput_bounds(p in params()) {
+        let (m, users, demands) = build(&p);
+        m.validate().unwrap();
+        let sol = solve(&m).unwrap();
+        let x = sol.task_throughput(users);
+        prop_assert!(x.is_finite() && x >= 0.0);
+        // Bottleneck bound per processor-demand entry (already scaled by
+        // servers where applicable).
+        for &d in &demands {
+            if d > 1e-9 {
+                prop_assert!(x <= 1.0 / d + 1e-6, "X = {x} exceeds 1/D = {}", 1.0 / d);
+            }
+        }
+        let total: f64 = demands.iter().sum();
+        if p.think + total > 1e-9 {
+            let light = f64::from(p.users) / (p.think + total);
+            // The light-load bound holds for the *response*-based cycle;
+            // demands omit queueing so it is indeed an upper bound.
+            prop_assert!(x <= light + 1e-6, "X = {x} exceeds N/(Z+D) = {light}");
+        }
+    }
+
+    /// Flow conservation: every entry's throughput equals the sum over
+    /// callers of caller-throughput × mean calls.
+    #[test]
+    fn flow_conservation(p in params()) {
+        let (m, _, _) = build(&p);
+        let sol = solve(&m).unwrap();
+        for target in m.entry_ids() {
+            let mut inflow = 0.0;
+            let mut called = false;
+            for e in m.entry_ids() {
+                for c in &m.entry(e).calls {
+                    if c.target == target {
+                        inflow += sol.entry_throughput(e) * c.mean_calls;
+                        called = true;
+                    }
+                }
+            }
+            if called {
+                let out = sol.entry_throughput(target);
+                prop_assert!(
+                    (out - inflow).abs() <= 1e-6 * out.max(inflow).max(1.0),
+                    "entry {target}: out {out} vs in {inflow}"
+                );
+            }
+        }
+    }
+
+    /// Utilisation law at every processor: U = Σ X_e · D_e, and U never
+    /// exceeds the core count.
+    #[test]
+    fn utilization_law(p in params()) {
+        let (m, _, _) = build(&p);
+        let sol = solve(&m).unwrap();
+        for proc in m.processor_ids() {
+            let mut u = 0.0;
+            for e in m.entry_ids() {
+                if m.task(m.entry(e).task).processor == proc {
+                    u += sol.entry_throughput(e) * m.entry(e).host_demand;
+                }
+            }
+            let reported = sol.processor_utilization(proc);
+            prop_assert!((u - reported).abs() < 1e-9);
+            if let Multiplicity::Finite(cores) = m.processor(proc).multiplicity {
+                prop_assert!(reported <= f64::from(cores) + 1e-6);
+            }
+        }
+    }
+
+    /// Monotonicity in population: more users never means less
+    /// throughput.
+    #[test]
+    fn monotone_in_population(p in params()) {
+        prop_assume!(p.users < 30);
+        let (m1, u1, _) = build(&p);
+        let mut p2 = p.clone();
+        p2.users += 5;
+        let (m2, u2, _) = build(&p2);
+        let x1 = solve(&m1).unwrap().task_throughput(u1);
+        let x2 = solve(&m2).unwrap().task_throughput(u2);
+        prop_assert!(x2 >= x1 - 1e-6, "N {} -> X {x1}; N {} -> X {x2}", p.users, p2.users);
+    }
+
+    /// Task utilisation never exceeds the thread count, and holding
+    /// times are at least the host demand.
+    #[test]
+    fn task_level_sanity(p in params()) {
+        let (m, _, _) = build(&p);
+        let sol = solve(&m).unwrap();
+        for t in m.task_ids() {
+            if let Multiplicity::Finite(threads) = m.task(t).multiplicity {
+                prop_assert!(
+                    sol.task_utilization(t) <= f64::from(threads) + 1e-6,
+                    "task {t} over-utilised"
+                );
+            }
+            for e in m.entries_of(t) {
+                prop_assert!(
+                    sol.entry_holding_time(e) >= m.entry(e).host_demand - 1e-9,
+                    "holding below demand at {e}"
+                );
+            }
+        }
+    }
+}

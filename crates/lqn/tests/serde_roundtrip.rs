@@ -1,0 +1,61 @@
+//! Serde round-trips: an LQN model serialised to JSON and back must
+//! solve to identical results.
+
+use fmperf_lqn::{solve, LqnModel, Multiplicity, Phase};
+
+fn sample() -> LqnModel {
+    let mut m = LqnModel::new();
+    let pc = m.add_processor("pc", Multiplicity::Infinite);
+    let p1 = m.add_processor("p1", Multiplicity::Finite(2));
+    let p2 = m.add_processor("p2", Multiplicity::Finite(1));
+    let users = m.add_reference_task("users", pc, 12, 1.5);
+    let web = m.add_task("web", p1, Multiplicity::Finite(4));
+    let db = m.add_task("db", p2, Multiplicity::Finite(1));
+    let e_u = m.add_entry("u", users, 0.0);
+    let e_w = m.add_entry("w", web, 0.01);
+    let e_d = m.add_entry("d", db, 0.05);
+    m.set_second_phase_demand(e_w, 0.02);
+    m.add_call(e_u, e_w, 1.0).unwrap();
+    m.add_call_in_phase(e_w, e_d, 2.0, Phase::Two).unwrap();
+    m
+}
+
+#[test]
+fn json_roundtrip_preserves_solution() {
+    let m = sample();
+    let json = serde_json::to_string_pretty(&m).expect("serialises");
+    let back: LqnModel = serde_json::from_str(&json).expect("deserialises");
+    let a = solve(&m).unwrap();
+    let b = solve(&back).unwrap();
+    for t in m.task_ids() {
+        assert_eq!(a.task_throughput(t), b.task_throughput(t));
+        assert_eq!(a.task_utilization(t), b.task_utilization(t));
+    }
+    for e in m.entry_ids() {
+        assert_eq!(a.entry_holding_time(e), b.entry_holding_time(e));
+        assert_eq!(a.entry_reply_time(e), b.entry_reply_time(e));
+    }
+}
+
+#[test]
+fn json_is_stable_under_reserialisation() {
+    let m = sample();
+    let j1 = serde_json::to_string(&m).unwrap();
+    let back: LqnModel = serde_json::from_str(&j1).unwrap();
+    let j2 = serde_json::to_string(&back).unwrap();
+    assert_eq!(j1, j2);
+}
+
+#[test]
+fn json_mentions_structural_fields() {
+    let m = sample();
+    let json = serde_json::to_string(&m).unwrap();
+    for key in [
+        "host_demand",
+        "second_phase_demand",
+        "mean_calls",
+        "think_time",
+    ] {
+        assert!(json.contains(key), "missing field {key}");
+    }
+}

@@ -1,0 +1,550 @@
+//! The four fault-management architectures of the paper's §6.2, built
+//! over the Figure 1 application system.
+//!
+//! All four share the same sensing base: each managed application task
+//! `X` has a node-local agent `agX` fed by an alive-watch, and every
+//! manager learns processor health through direct alive-watch pings.
+//! Reconfiguration commands travel manager → agent → application via
+//! notify connectors.  They differ in the manager topology:
+//!
+//! * **centralized** — one manager `m1` (on `proc5`) handles everything;
+//! * **distributed** — two peer domain managers `dm1`/`dm2` (on
+//!   `proc5`/`proc6`) that exchange status via mutual notifies;
+//! * **hierarchical** — `dm1`/`dm2` report to a manager-of-managers
+//!   `mom1` (on `proc7`); domain managers do not talk to each other;
+//! * **network** — server-scoped managers `dm1`/`dm2` plus integrated
+//!   managers `im1`/`im2`, arranged in a mesh.
+//!
+//! Placement assumptions (the paper gives topologies but not every
+//! hosting choice; these reproduce the paper's reported state-space
+//! sizes of 2^14, 2^16, 2^18 and 2^16 respectively): management
+//! processors `proc5`–`proc7` are introduced where the figures show them,
+//! while the network architecture's managers ride on the existing
+//! application processors (`im1`→proc1, `im2`→proc2, `dm1`→proc3,
+//! `dm2`→proc4), which keeps its component count at 16.
+
+use crate::model::{ConnectorKind, MamaCompId, MamaModel};
+use fmperf_ftlqn::examples::DasWoodsideSystem;
+
+/// Which §6.2 architecture to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArchKind {
+    /// Architecture 1: one central manager.
+    Centralized,
+    /// Architecture 2: peer domain managers.
+    Distributed,
+    /// Architecture 3: domain managers under a manager-of-managers.
+    Hierarchical,
+    /// Architecture 4: mesh of domain and integrated managers.
+    Network,
+}
+
+impl ArchKind {
+    /// All four architectures, in the paper's order.
+    pub const ALL: [ArchKind; 4] = [
+        ArchKind::Centralized,
+        ArchKind::Distributed,
+        ArchKind::Hierarchical,
+        ArchKind::Network,
+    ];
+
+    /// The paper's name for this architecture.
+    pub fn name(self) -> &'static str {
+        match self {
+            ArchKind::Centralized => "centralized",
+            ArchKind::Distributed => "distributed",
+            ArchKind::Hierarchical => "hierarchical",
+            ArchKind::Network => "network",
+        }
+    }
+}
+
+/// Builds the given architecture with management failure probability
+/// `fail_prob` (the paper uses 0.1 for managers, agents and their
+/// processors).
+pub fn build(kind: ArchKind, sys: &DasWoodsideSystem, fail_prob: f64) -> MamaModel {
+    match kind {
+        ArchKind::Centralized => centralized(sys, fail_prob),
+        ArchKind::Distributed => distributed(sys, fail_prob),
+        ArchKind::Hierarchical => hierarchical(sys, fail_prob),
+        ArchKind::Network => network(sys, fail_prob),
+    }
+}
+
+/// Shared sensing base: app processors, app tasks and per-task agents.
+struct Base {
+    mama: MamaModel,
+    proc: [MamaCompId; 4],
+    task: [MamaCompId; 4],
+    agent: [MamaCompId; 4],
+}
+
+fn base(sys: &DasWoodsideSystem, p: f64) -> Base {
+    let mut m = MamaModel::new();
+    let proc = [
+        m.add_app_processor("proc1", sys.proc1),
+        m.add_app_processor("proc2", sys.proc2),
+        m.add_app_processor("proc3", sys.proc3),
+        m.add_app_processor("proc4", sys.proc4),
+    ];
+    let task = [
+        m.add_app_task("AppA", sys.app_a, proc[0]),
+        m.add_app_task("AppB", sys.app_b, proc[1]),
+        m.add_app_task("Server1", sys.server1, proc[2]),
+        m.add_app_task("Server2", sys.server2, proc[3]),
+    ];
+    let agent = [
+        m.add_agent("ag1", proc[0], p),
+        m.add_agent("ag2", proc[1], p),
+        m.add_agent("ag3", proc[2], p),
+        m.add_agent("ag4", proc[3], p),
+    ];
+    for i in 0..4 {
+        m.watch(
+            format!("c{}", i + 1),
+            ConnectorKind::AliveWatch,
+            task[i],
+            agent[i],
+        );
+    }
+    Base {
+        mama: m,
+        proc,
+        task,
+        agent,
+    }
+}
+
+/// Wires the notification path `manager -> agX -> application` for the
+/// subscribing applications AppA (index 0) and AppB (index 1).
+fn notify_apps(b: &mut Base, manager_of: [MamaCompId; 2], tag: &str) {
+    for (i, mgr) in manager_of.into_iter().enumerate() {
+        b.mama
+            .notify(format!("n-{tag}-m-ag{}", i + 1), mgr, b.agent[i]);
+        b.mama
+            .notify(format!("n-{tag}-ag{}-app", i + 1), b.agent[i], b.task[i]);
+    }
+}
+
+/// Architecture 1 (paper Fig. 7): a single central manager `m1` on
+/// `proc5`.
+pub fn centralized(sys: &DasWoodsideSystem, fail_prob: f64) -> MamaModel {
+    let p = fail_prob;
+    let mut b = base(sys, p);
+    let proc5 = b.mama.add_mgmt_processor("proc5", p);
+    let m1 = b.mama.add_manager("m1", proc5, p);
+    for i in 0..4 {
+        b.mama.watch(
+            format!("sw-ag{}-m1", i + 1),
+            ConnectorKind::StatusWatch,
+            b.agent[i],
+            m1,
+        );
+        b.mama.watch(
+            format!("aw-proc{}-m1", i + 1),
+            ConnectorKind::AliveWatch,
+            b.proc[i],
+            m1,
+        );
+    }
+    notify_apps(&mut b, [m1, m1], "c");
+    b.mama
+}
+
+/// The paper's Figure 4 variant of centralized management: **no
+/// agents** — every task and processor is watched directly by the
+/// central manager, which notifies the applications directly.
+///
+/// This is an ablation of the agent layer: agents exist for locality and
+/// scalability, but every extra hop multiplies another availability
+/// factor into each knowledge path.  With the same failure probabilities
+/// the agentless variant has strictly better coverage (and only 10
+/// fallible components instead of 14).
+pub fn centralized_agentless(sys: &DasWoodsideSystem, fail_prob: f64) -> MamaModel {
+    let p = fail_prob;
+    let mut m = MamaModel::new();
+    let proc = [
+        m.add_app_processor("proc1", sys.proc1),
+        m.add_app_processor("proc2", sys.proc2),
+        m.add_app_processor("proc3", sys.proc3),
+        m.add_app_processor("proc4", sys.proc4),
+    ];
+    let task = [
+        m.add_app_task("AppA", sys.app_a, proc[0]),
+        m.add_app_task("AppB", sys.app_b, proc[1]),
+        m.add_app_task("Server1", sys.server1, proc[2]),
+        m.add_app_task("Server2", sys.server2, proc[3]),
+    ];
+    let proc5 = m.add_mgmt_processor("proc5", p);
+    let m1 = m.add_manager("m1", proc5, p);
+    for i in 0..4 {
+        m.watch(
+            format!("aw-task{}-m1", i + 1),
+            ConnectorKind::AliveWatch,
+            task[i],
+            m1,
+        );
+        m.watch(
+            format!("aw-proc{}-m1", i + 1),
+            ConnectorKind::AliveWatch,
+            proc[i],
+            m1,
+        );
+    }
+    m.notify("n-m1-AppA", m1, task[0]);
+    m.notify("n-m1-AppB", m1, task[1]);
+    m
+}
+
+/// Architecture 2 (paper Fig. 8): peer domain managers `dm1` (AppA,
+/// Server1, proc1, proc3; on `proc5`) and `dm2` (AppB, Server2, proc2,
+/// proc4; on `proc6`), exchanging status via mutual notifies.
+pub fn distributed(sys: &DasWoodsideSystem, fail_prob: f64) -> MamaModel {
+    let p = fail_prob;
+    let mut b = base(sys, p);
+    let proc5 = b.mama.add_mgmt_processor("proc5", p);
+    let proc6 = b.mama.add_mgmt_processor("proc6", p);
+    let dm1 = b.mama.add_manager("dm1", proc5, p);
+    let dm2 = b.mama.add_manager("dm2", proc6, p);
+    for i in [0usize, 2] {
+        b.mama.watch(
+            format!("sw-ag{}-dm1", i + 1),
+            ConnectorKind::StatusWatch,
+            b.agent[i],
+            dm1,
+        );
+        b.mama.watch(
+            format!("aw-proc{}-dm1", i + 1),
+            ConnectorKind::AliveWatch,
+            b.proc[i],
+            dm1,
+        );
+    }
+    for i in [1usize, 3] {
+        b.mama.watch(
+            format!("sw-ag{}-dm2", i + 1),
+            ConnectorKind::StatusWatch,
+            b.agent[i],
+            dm2,
+        );
+        b.mama.watch(
+            format!("aw-proc{}-dm2", i + 1),
+            ConnectorKind::AliveWatch,
+            b.proc[i],
+            dm2,
+        );
+    }
+    b.mama.notify("n-dm1-dm2", dm1, dm2);
+    b.mama.notify("n-dm2-dm1", dm2, dm1);
+    notify_apps(&mut b, [dm1, dm2], "d");
+    b.mama
+}
+
+/// Architecture 2 as the paper's Table 2 numbers imply it was actually
+/// analysed: the same two domains, but **without** the inter-domain
+/// notify links.
+///
+/// The paper's text says the peer managers exchange status, yet its
+/// published distributed column (C1 0.082, C2 0.041, C3 0.307, C4 0.036,
+/// C5 0.349, C6 0.046, failed 0.139) is algebraically inconsistent with
+/// any topology in which cross-domain knowledge flows through fallible
+/// managers — e.g. C3 = 0.307 exceeds even the perfect-knowledge value
+/// (0.125), which requires `P(serviceB covered) = 1` exactly.  The
+/// published numbers are reproduced bit-for-bit by this builder combined
+/// with the *unmonitored components are exempt from the know test*
+/// semantics (`Analysis::with_unmonitored_known(true)` in
+/// `fmperf-core`): each application then needs knowledge only of its own
+/// domain's components (a 0.9⁴ chain), and cross-domain components are
+/// vacuously known.  See EXPERIMENTS.md for the derivation.
+pub fn distributed_as_published(sys: &DasWoodsideSystem, fail_prob: f64) -> MamaModel {
+    let p = fail_prob;
+    let mut b = base(sys, p);
+    let proc5 = b.mama.add_mgmt_processor("proc5", p);
+    let proc6 = b.mama.add_mgmt_processor("proc6", p);
+    let dm1 = b.mama.add_manager("dm1", proc5, p);
+    let dm2 = b.mama.add_manager("dm2", proc6, p);
+    for i in [0usize, 2] {
+        b.mama.watch(
+            format!("sw-ag{}-dm1", i + 1),
+            ConnectorKind::StatusWatch,
+            b.agent[i],
+            dm1,
+        );
+        b.mama.watch(
+            format!("aw-proc{}-dm1", i + 1),
+            ConnectorKind::AliveWatch,
+            b.proc[i],
+            dm1,
+        );
+    }
+    for i in [1usize, 3] {
+        b.mama.watch(
+            format!("sw-ag{}-dm2", i + 1),
+            ConnectorKind::StatusWatch,
+            b.agent[i],
+            dm2,
+        );
+        b.mama.watch(
+            format!("aw-proc{}-dm2", i + 1),
+            ConnectorKind::AliveWatch,
+            b.proc[i],
+            dm2,
+        );
+    }
+    // No dm1 <-> dm2 notify links: knowledge never crosses domains.
+    notify_apps(&mut b, [dm1, dm2], "dp");
+    b.mama
+}
+
+/// Architecture 3 (paper Fig. 9): the distributed domains, but the
+/// domain managers communicate only through a manager-of-managers `mom1`
+/// on `proc7` (status up via status-watch, coordination down via
+/// notify).
+pub fn hierarchical(sys: &DasWoodsideSystem, fail_prob: f64) -> MamaModel {
+    let p = fail_prob;
+    let mut b = base(sys, p);
+    let proc5 = b.mama.add_mgmt_processor("proc5", p);
+    let proc6 = b.mama.add_mgmt_processor("proc6", p);
+    let proc7 = b.mama.add_mgmt_processor("proc7", p);
+    let dm1 = b.mama.add_manager("dm1", proc5, p);
+    let dm2 = b.mama.add_manager("dm2", proc6, p);
+    let mom1 = b.mama.add_manager("mom1", proc7, p);
+    for i in [0usize, 2] {
+        b.mama.watch(
+            format!("sw-ag{}-dm1", i + 1),
+            ConnectorKind::StatusWatch,
+            b.agent[i],
+            dm1,
+        );
+        b.mama.watch(
+            format!("aw-proc{}-dm1", i + 1),
+            ConnectorKind::AliveWatch,
+            b.proc[i],
+            dm1,
+        );
+    }
+    for i in [1usize, 3] {
+        b.mama.watch(
+            format!("sw-ag{}-dm2", i + 1),
+            ConnectorKind::StatusWatch,
+            b.agent[i],
+            dm2,
+        );
+        b.mama.watch(
+            format!("aw-proc{}-dm2", i + 1),
+            ConnectorKind::AliveWatch,
+            b.proc[i],
+            dm2,
+        );
+    }
+    b.mama
+        .watch("sw-dm1-mom1", ConnectorKind::StatusWatch, dm1, mom1);
+    b.mama
+        .watch("sw-dm2-mom1", ConnectorKind::StatusWatch, dm2, mom1);
+    b.mama.notify("n-mom1-dm1", mom1, dm1);
+    b.mama.notify("n-mom1-dm2", mom1, dm2);
+    notify_apps(&mut b, [dm1, dm2], "h");
+    b.mama
+}
+
+/// Architecture 4 (paper Fig. 10): server-scoped managers `dm1`
+/// (Server1) and `dm2` (Server2) plus integrated managers `im1` (AppA)
+/// and `im2` (AppB); the integrated managers watch both domain managers
+/// and both server processors directly.  Managers ride on the existing
+/// application processors (see module docs).
+pub fn network(sys: &DasWoodsideSystem, fail_prob: f64) -> MamaModel {
+    let p = fail_prob;
+    let mut b = base(sys, p);
+    let dm1 = b.mama.add_manager("dm1", b.proc[2], p);
+    let dm2 = b.mama.add_manager("dm2", b.proc[3], p);
+    let im1 = b.mama.add_manager("im1", b.proc[0], p);
+    let im2 = b.mama.add_manager("im2", b.proc[1], p);
+    b.mama
+        .watch("sw-ag3-dm1", ConnectorKind::StatusWatch, b.agent[2], dm1);
+    b.mama
+        .watch("sw-ag4-dm2", ConnectorKind::StatusWatch, b.agent[3], dm2);
+    b.mama
+        .watch("sw-ag1-im1", ConnectorKind::StatusWatch, b.agent[0], im1);
+    b.mama
+        .watch("sw-ag2-im2", ConnectorKind::StatusWatch, b.agent[1], im2);
+    for (dm, tag) in [(dm1, "dm1"), (dm2, "dm2")] {
+        b.mama
+            .watch(format!("sw-{tag}-im1"), ConnectorKind::StatusWatch, dm, im1);
+        b.mama
+            .watch(format!("sw-{tag}-im2"), ConnectorKind::StatusWatch, dm, im2);
+    }
+    for (i, im) in [(0usize, im1), (1usize, im2)] {
+        b.mama.watch(
+            format!("aw-proc3-im{}", i + 1),
+            ConnectorKind::AliveWatch,
+            b.proc[2],
+            im,
+        );
+        b.mama.watch(
+            format!("aw-proc4-im{}", i + 1),
+            ConnectorKind::AliveWatch,
+            b.proc[3],
+            im,
+        );
+    }
+    notify_apps(&mut b, [im1, im2], "n");
+    b.mama
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::KnowTable;
+    use crate::space::ComponentSpace;
+    use fmperf_ftlqn::examples::das_woodside_system;
+    use fmperf_ftlqn::Component;
+
+    #[test]
+    fn all_architectures_validate() {
+        let sys = das_woodside_system();
+        for kind in ArchKind::ALL {
+            let mama = build(kind, &sys, 0.1);
+            mama.validate(&sys.model)
+                .unwrap_or_else(|e| panic!("{} invalid: {e}", kind.name()));
+        }
+    }
+
+    #[test]
+    fn fallible_component_counts_match_paper_state_spaces() {
+        // Paper §6.3: 16384, 65536, 262144, 65536 states.
+        let sys = das_woodside_system();
+        let expect = [
+            (ArchKind::Centralized, 14usize),
+            (ArchKind::Distributed, 16),
+            (ArchKind::Hierarchical, 18),
+            (ArchKind::Network, 16),
+        ];
+        for (kind, n) in expect {
+            let mama = build(kind, &sys, 0.1);
+            let space = ComponentSpace::build(&sys.model, &mama);
+            assert_eq!(
+                space.fallible_indices().len(),
+                n,
+                "{} should have {n} fallible components",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn every_architecture_covers_all_know_pairs_when_all_up() {
+        let sys = das_woodside_system();
+        let graph = sys.fault_graph().unwrap();
+        for kind in ArchKind::ALL {
+            let mama = build(kind, &sys, 0.1);
+            let space = ComponentSpace::build(&sys.model, &mama);
+            let table = KnowTable::build(&graph, &mama, &space);
+            assert_eq!(table.len(), 8, "{}", kind.name());
+            let state = space.all_up();
+            for (&(c, t), know) in table.iter() {
+                assert!(
+                    !know.is_never(),
+                    "{}: no knowledge path for {:?} -> {:?}",
+                    kind.name(),
+                    c,
+                    t
+                );
+                assert!(
+                    know.holds(&state),
+                    "{}: all-up state must provide knowledge of {:?} to {:?}",
+                    kind.name(),
+                    c,
+                    t
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn agentless_centralized_validates_and_is_leaner() {
+        let sys = das_woodside_system();
+        let mama = centralized_agentless(&sys, 0.1);
+        mama.validate(&sys.model).unwrap();
+        let space = ComponentSpace::build(&sys.model, &mama);
+        assert_eq!(space.fallible_indices().len(), 10);
+        // Coverage is complete when everything is up.
+        let graph = sys.fault_graph().unwrap();
+        let table = KnowTable::build(&graph, &mama, &space);
+        let state = space.all_up();
+        for (_, know) in table.iter() {
+            assert!(know.holds(&state));
+        }
+    }
+
+    #[test]
+    fn centralized_manager_is_single_point_of_knowledge() {
+        let sys = das_woodside_system();
+        let graph = sys.fault_graph().unwrap();
+        let mama = centralized(&sys, 0.1);
+        let space = ComponentSpace::build(&sys.model, &mama);
+        let table = KnowTable::build(&graph, &mama, &space);
+        let m1 = mama.component_by_name("m1").unwrap();
+        let mut state = space.all_up();
+        state[space.mama_index(m1)] = false;
+        for (_, know) in table.iter() {
+            assert!(!know.holds(&state), "manager down must sever all knowledge");
+        }
+    }
+
+    #[test]
+    fn distributed_survives_one_domain_manager_for_local_knowledge() {
+        let sys = das_woodside_system();
+        let graph = sys.fault_graph().unwrap();
+        let mama = distributed(&sys, 0.1);
+        let space = ComponentSpace::build(&sys.model, &mama);
+        let table = KnowTable::build(&graph, &mama, &space);
+        let dm2 = mama.component_by_name("dm2").unwrap();
+        let mut state = space.all_up();
+        state[space.mama_index(dm2)] = false;
+        // AppA still learns about Server1 (same domain, via dm1)...
+        let k = table.get(Component::Task(sys.server1), sys.app_a).unwrap();
+        assert!(k.holds(&state));
+        // ...but not about Server2 (dm2's domain).
+        let k = table.get(Component::Task(sys.server2), sys.app_a).unwrap();
+        assert!(!k.holds(&state));
+    }
+
+    #[test]
+    fn hierarchical_cross_domain_knowledge_needs_the_mom() {
+        let sys = das_woodside_system();
+        let graph = sys.fault_graph().unwrap();
+        let mama = hierarchical(&sys, 0.1);
+        let space = ComponentSpace::build(&sys.model, &mama);
+        let table = KnowTable::build(&graph, &mama, &space);
+        let mom1 = mama.component_by_name("mom1").unwrap();
+        let mut state = space.all_up();
+        state[space.mama_index(mom1)] = false;
+        // Cross-domain: AppA about Server2 — dead without mom1.
+        let k = table.get(Component::Task(sys.server2), sys.app_a).unwrap();
+        assert!(!k.holds(&state));
+        // Same-domain: AppA about Server1 — still alive (dm1 notifies
+        // ag1 directly).
+        let k = table.get(Component::Task(sys.server1), sys.app_a).unwrap();
+        assert!(k.holds(&state));
+    }
+
+    #[test]
+    fn network_tolerates_a_domain_manager_via_direct_processor_pings() {
+        let sys = das_woodside_system();
+        let graph = sys.fault_graph().unwrap();
+        let mama = network(&sys, 0.1);
+        let space = ComponentSpace::build(&sys.model, &mama);
+        let table = KnowTable::build(&graph, &mama, &space);
+        let dm1 = mama.component_by_name("dm1").unwrap();
+        let mut state = space.all_up();
+        state[space.mama_index(dm1)] = false;
+        // Server1's *task* state is lost with dm1 (only route), but
+        // proc3's state still reaches AppA through im1's direct ping.
+        let k = table
+            .get(Component::Processor(sys.proc3), sys.app_a)
+            .unwrap();
+        assert!(k.holds(&state));
+        let k = table.get(Component::Task(sys.server1), sys.app_a).unwrap();
+        assert!(!k.holds(&state));
+    }
+}

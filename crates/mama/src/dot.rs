@@ -1,0 +1,163 @@
+//! Graphviz (DOT) export of MAMA models and knowledge propagation
+//! graphs, in the spirit of the paper's Figures 4, 6–10.
+
+use crate::knowledge::{KnowledgeGraph, KpArc};
+use crate::model::{ConnectorKind, MamaComponentKind, MamaModel, MgmtRole};
+use std::fmt::Write as _;
+
+/// Renders the component/connector structure of a MAMA model.
+///
+/// Component shapes follow the paper's notation: application tasks `AT`
+/// as boxes, agents `AGT` and managers `MT` as double boxes, processors
+/// as house shapes.  Connector styles: alive-watch solid, status-watch
+/// bold, notify dashed.
+///
+/// ```
+/// use fmperf_ftlqn::examples::das_woodside_system;
+/// use fmperf_mama::{arch, dot::mama_dot};
+///
+/// let sys = das_woodside_system();
+/// let mama = arch::centralized(&sys, 0.1);
+/// let dot = mama_dot(&mama);
+/// assert!(dot.contains("m1:MT"));
+/// ```
+pub fn mama_dot(mama: &MamaModel) -> String {
+    let mut out = String::from("digraph mama {\n");
+    out.push_str("  rankdir=LR;\n  node [fontname=\"Helvetica\"];\n");
+    for id in mama.component_ids() {
+        let comp = mama.component(id);
+        let (suffix, shape) = match comp.kind {
+            MamaComponentKind::AppTask { .. } => ("AT", "box"),
+            MamaComponentKind::MgmtTask {
+                role: MgmtRole::Agent,
+                ..
+            } => ("AGT", "box, peripheries=2"),
+            MamaComponentKind::MgmtTask {
+                role: MgmtRole::Manager,
+                ..
+            } => ("MT", "box, peripheries=2, style=bold"),
+            MamaComponentKind::AppProcessor { .. } | MamaComponentKind::MgmtProcessor { .. } => {
+                ("Proc", "house")
+            }
+        };
+        let _ = writeln!(
+            out,
+            "  c{} [label=\"{}:{}\", shape={}];",
+            id.index(),
+            comp.name,
+            suffix,
+            shape
+        );
+    }
+    // Hosting relation as invisible-ish containment edges.
+    for id in mama.component_ids() {
+        if let Some(p) = mama.processor_of(id) {
+            let _ = writeln!(
+                out,
+                "  c{} -> c{} [style=invis, constraint=true];",
+                p.index(),
+                id.index()
+            );
+        }
+    }
+    for cid in mama.connector_ids() {
+        let conn = mama.connector(cid);
+        let style = match conn.kind {
+            ConnectorKind::AliveWatch => "solid",
+            ConnectorKind::StatusWatch => "bold",
+            ConnectorKind::Notify => "dashed",
+        };
+        let _ = writeln!(
+            out,
+            "  c{} -> c{} [label=\"{}:{}\", style={}];",
+            conn.source.index(),
+            conn.target.index(),
+            conn.name,
+            short_kind(conn.kind),
+            style
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn short_kind(kind: ConnectorKind) -> &'static str {
+    match kind {
+        ConnectorKind::AliveWatch => "AW",
+        ConnectorKind::StatusWatch => "SW",
+        ConnectorKind::Notify => "Ntfy",
+    }
+}
+
+/// Renders a knowledge propagation graph in the style of the paper's
+/// Figure 6: every component is an arc between its initial and terminal
+/// vertices, every connector an arc between component vertices.
+pub fn knowledge_graph_dot(mama: &MamaModel, kg: &KnowledgeGraph<'_>) -> String {
+    let g = kg.digraph();
+    let mut out = String::from("digraph knowledge_propagation {\n");
+    out.push_str("  rankdir=LR;\n  node [shape=point];\n");
+    for n in g.node_ids() {
+        let _ = writeln!(out, "  v{};", n.index());
+    }
+    for e in g.edge_ids() {
+        let (a, b) = g.edge_endpoints(e);
+        let label = match *g.edge_weight(e) {
+            KpArc::Component(c) => format!("{}; cmpt", mama.component(c).name),
+            KpArc::Connector(c, kind) => {
+                format!(
+                    "{}; {}",
+                    mama.connector(c).name,
+                    short_kind(kind).to_lowercase()
+                )
+            }
+        };
+        let style = match *g.edge_weight(e) {
+            KpArc::Component(_) => "solid",
+            KpArc::Connector(_, ConnectorKind::Notify) => "dashed",
+            KpArc::Connector(_, _) => "bold",
+        };
+        let _ = writeln!(
+            out,
+            "  v{} -> v{} [label=\"{}\", style={}];",
+            a.index(),
+            b.index(),
+            label,
+            style
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch;
+    use fmperf_ftlqn::examples::das_woodside_system;
+
+    #[test]
+    fn mama_dot_contains_all_components_and_connectors() {
+        let sys = das_woodside_system();
+        let mama = arch::centralized(&sys, 0.1);
+        let dot = mama_dot(&mama);
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+        for name in ["AppA:AT", "ag3:AGT", "m1:MT", "proc5:Proc"] {
+            assert!(dot.contains(name), "missing {name}");
+        }
+        assert!(dot.contains(":AW") && dot.contains(":SW") && dot.contains(":Ntfy"));
+        // One edge per connector at least.
+        assert!(dot.matches("->").count() >= mama.connector_count());
+    }
+
+    #[test]
+    fn knowledge_dot_has_arc_per_component_and_connector() {
+        let sys = das_woodside_system();
+        let mama = arch::hierarchical(&sys, 0.1);
+        let kg = KnowledgeGraph::build(&mama);
+        let dot = knowledge_graph_dot(&mama, &kg);
+        let arcs = dot.matches("->").count();
+        assert_eq!(arcs, mama.component_count() + mama.connector_count());
+        assert!(dot.contains("cmpt"));
+        assert!(dot.contains("mom1"));
+    }
+}

@@ -1,0 +1,62 @@
+//! # fmperf-mama
+//!
+//! MAMA — the paper's *Model for Availability Management Architectures*
+//! (DSN 2002, §2.C, §4) — and the knowledge-propagation analysis built on
+//! it.
+//!
+//! A MAMA model describes the fault-management side of a layered system:
+//!
+//! * **components** — application tasks (bound to an FTLQN model),
+//!   agent tasks, manager tasks, and the processors they run on;
+//! * **connectors** — *alive-watch* (conveys only the monitored
+//!   component's own liveness), *status-watch* (also propagates status of
+//!   other components) and *notify* (propagates received status, but not
+//!   the notifier's own), each used in the roles the paper defines.
+//!
+//! From a MAMA model the crate derives the **knowledge propagation
+//! graph** (§4): every component and connector becomes a typed arc, and
+//! `know(c, t)` — "task `t` can learn the state of component `c`" — is an
+//! OR over *augmented minpaths* from `c` to `t`: the first arc must be an
+//! alive-watch or status-watch, subsequent arcs must be components,
+//! status-watches or notifies, and every task on a path drags in its
+//! processor.
+//!
+//! The crate also provides:
+//!
+//! * [`ComponentSpace`] — a dense index over application components,
+//!   management components and connectors, shared by all engines;
+//! * [`KnowTable`] / [`MamaOracle`] — a precomputed `know` function
+//!   implementing [`fmperf_ftlqn::KnowledgeOracle`] for any global state;
+//! * [`arch`] — builders for the paper's four §6 architectures
+//!   (centralized, distributed, hierarchical, network) over the Figure 1
+//!   system.
+//!
+//! ```
+//! use fmperf_ftlqn::examples::das_woodside_system;
+//! use fmperf_mama::{arch, ComponentSpace, KnowTable};
+//!
+//! let system = das_woodside_system();
+//! let mama = arch::centralized(&system, 0.1);
+//! mama.validate(&system.model).unwrap();
+//! let space = ComponentSpace::build(&system.model, &mama);
+//! // 8 fallible app components + 4 agents + 1 manager + 1 extra
+//! // processor = 14 fallible components, 2^14 states (paper: 16384).
+//! assert_eq!(space.fallible_indices().len(), 14);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arch;
+pub mod dot;
+pub mod knowledge;
+pub mod model;
+pub mod oracle;
+pub mod space;
+pub mod synth;
+
+pub use knowledge::{KnowFunction, KnowledgeGraph};
+pub use model::{ConnId, ConnectorKind, MamaCompId, MamaError, MamaModel, MgmtRole};
+pub use oracle::{KnowTable, MamaOracle};
+pub use space::ComponentSpace;
+pub use synth::{synthesize, SynthOptions};

@@ -1,0 +1,677 @@
+//! MAMA component/connector model and validation.
+
+use fmperf_ftlqn::{FtProcId, FtTaskId, FtlqnModel};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Index of a component in a [`MamaModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MamaCompId(pub(crate) u32);
+
+/// Index of a connector in a [`MamaModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ConnId(pub(crate) u32);
+
+impl MamaCompId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+impl ConnId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Management role of a management task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MgmtRole {
+    /// Node-local agent (`AGT` in the paper's notation).
+    Agent,
+    /// Manager (`MT`): collects status, decides, issues notifications.
+    Manager,
+}
+
+/// The kind of a MAMA component.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MamaComponentKind {
+    /// An application task, bound to the FTLQN model.  Its failure
+    /// probability and processor come from there.
+    AppTask {
+        /// The bound FTLQN task.
+        task: FtTaskId,
+        /// The MAMA component representing its processor.
+        processor: MamaCompId,
+    },
+    /// An application processor, bound to the FTLQN model.
+    AppProcessor {
+        /// The bound FTLQN processor.
+        processor: FtProcId,
+    },
+    /// A management task (agent or manager) with its own failure
+    /// probability, hosted on some processor component.
+    MgmtTask {
+        /// Agent or manager.
+        role: MgmtRole,
+        /// Hosting processor component (may be an application processor).
+        processor: MamaCompId,
+        /// Steady-state failure probability.
+        fail_prob: f64,
+    },
+    /// A management-only processor.
+    MgmtProcessor {
+        /// Steady-state failure probability.
+        fail_prob: f64,
+    },
+}
+
+/// A MAMA component.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MamaComponent {
+    /// Human-readable name.
+    pub name: String,
+    /// What it is.
+    pub kind: MamaComponentKind,
+}
+
+/// Connector types (paper §2.C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConnectorKind {
+    /// Conveys only the monitored component's own crash status.
+    AliveWatch,
+    /// Conveys the monitored component's status *and* propagates status of
+    /// other components it has collected.
+    StatusWatch,
+    /// Propagates status the notifier has received (not its own status).
+    Notify,
+}
+
+impl fmt::Display for ConnectorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConnectorKind::AliveWatch => write!(f, "alive-watch"),
+            ConnectorKind::StatusWatch => write!(f, "status-watch"),
+            ConnectorKind::Notify => write!(f, "notify"),
+        }
+    }
+}
+
+/// A typed, directed connector: knowledge flows `source -> target`.
+///
+/// For watch connectors the source is the *monitored* component and the
+/// target the *monitor*; for notify connectors the source is the
+/// *notifier* and the target the *subscriber*.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Connector {
+    /// Human-readable name (e.g. `c3`).
+    pub name: String,
+    /// Type of the connector.
+    pub kind: ConnectorKind,
+    /// Monitored component / notifier.
+    pub source: MamaCompId,
+    /// Monitor / subscriber.
+    pub target: MamaCompId,
+    /// Steady-state failure probability (0 = perfect channel).
+    pub fail_prob: f64,
+}
+
+/// Validation failure for a [`MamaModel`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MamaError {
+    /// A component id is out of bounds or of the wrong kind.
+    BadReference {
+        /// Description of the offender.
+        what: String,
+    },
+    /// A probability outside `[0, 1]`.
+    BadProbability {
+        /// Description of the offender.
+        what: String,
+    },
+    /// Role rules violated (paper §2.C): e.g. a processor monitored by a
+    /// status-watch, an application task in the monitor role.
+    RoleViolation {
+        /// The offending connector.
+        connector: ConnId,
+        /// Explanation.
+        reason: String,
+    },
+    /// The same FTLQN task or processor is bound twice.
+    DuplicateBinding {
+        /// Description of the offender.
+        what: String,
+    },
+    /// An app task's declared processor component does not match the
+    /// FTLQN model.
+    ProcessorMismatch {
+        /// The offending component.
+        component: MamaCompId,
+    },
+}
+
+impl fmt::Display for MamaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MamaError::BadReference { what } => write!(f, "bad reference: {what}"),
+            MamaError::BadProbability { what } => write!(f, "probability outside [0, 1]: {what}"),
+            MamaError::RoleViolation { connector, reason } => {
+                write!(f, "role violation on connector c{}: {reason}", connector.0)
+            }
+            MamaError::DuplicateBinding { what } => write!(f, "duplicate binding: {what}"),
+            MamaError::ProcessorMismatch { component } => {
+                write!(
+                    f,
+                    "app task component {} bound to wrong processor",
+                    component.0
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for MamaError {}
+
+/// A MAMA management-architecture model, layered over an FTLQN
+/// application model.
+///
+/// Build components bottom-up (processors first), then wire connectors
+/// with [`watch`](MamaModel::watch) and [`notify`](MamaModel::notify),
+/// then [`validate`](MamaModel::validate) against the application model.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MamaModel {
+    pub(crate) components: Vec<MamaComponent>,
+    pub(crate) connectors: Vec<Connector>,
+}
+
+impl MamaModel {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an application processor component bound to the FTLQN model.
+    pub fn add_app_processor(
+        &mut self,
+        name: impl Into<String>,
+        processor: FtProcId,
+    ) -> MamaCompId {
+        self.push(name, MamaComponentKind::AppProcessor { processor })
+    }
+
+    /// Adds an application task component bound to the FTLQN model;
+    /// `processor` must be the MAMA component of its FTLQN processor.
+    pub fn add_app_task(
+        &mut self,
+        name: impl Into<String>,
+        task: FtTaskId,
+        processor: MamaCompId,
+    ) -> MamaCompId {
+        self.push(name, MamaComponentKind::AppTask { task, processor })
+    }
+
+    /// Adds a management-only processor.
+    pub fn add_mgmt_processor(&mut self, name: impl Into<String>, fail_prob: f64) -> MamaCompId {
+        self.push(name, MamaComponentKind::MgmtProcessor { fail_prob })
+    }
+
+    /// Adds an agent task on `processor`.
+    pub fn add_agent(
+        &mut self,
+        name: impl Into<String>,
+        processor: MamaCompId,
+        fail_prob: f64,
+    ) -> MamaCompId {
+        self.push(
+            name,
+            MamaComponentKind::MgmtTask {
+                role: MgmtRole::Agent,
+                processor,
+                fail_prob,
+            },
+        )
+    }
+
+    /// Adds a manager task on `processor`.
+    pub fn add_manager(
+        &mut self,
+        name: impl Into<String>,
+        processor: MamaCompId,
+        fail_prob: f64,
+    ) -> MamaCompId {
+        self.push(
+            name,
+            MamaComponentKind::MgmtTask {
+                role: MgmtRole::Manager,
+                processor,
+                fail_prob,
+            },
+        )
+    }
+
+    fn push(&mut self, name: impl Into<String>, kind: MamaComponentKind) -> MamaCompId {
+        let id = MamaCompId(self.components.len() as u32);
+        self.components.push(MamaComponent {
+            name: name.into(),
+            kind,
+        });
+        id
+    }
+
+    /// Adds a watch connector: `monitor` observes `monitored`.
+    pub fn watch(
+        &mut self,
+        name: impl Into<String>,
+        kind: ConnectorKind,
+        monitored: MamaCompId,
+        monitor: MamaCompId,
+    ) -> ConnId {
+        assert!(
+            kind != ConnectorKind::Notify,
+            "use notify() for notify connectors"
+        );
+        self.add_connector(name, kind, monitored, monitor, 0.0)
+    }
+
+    /// Adds a notify connector: `notifier` pushes status to `subscriber`.
+    pub fn notify(
+        &mut self,
+        name: impl Into<String>,
+        notifier: MamaCompId,
+        subscriber: MamaCompId,
+    ) -> ConnId {
+        self.add_connector(name, ConnectorKind::Notify, notifier, subscriber, 0.0)
+    }
+
+    /// Adds a connector with an explicit failure probability (extension:
+    /// fallible management channels).
+    pub fn add_connector(
+        &mut self,
+        name: impl Into<String>,
+        kind: ConnectorKind,
+        source: MamaCompId,
+        target: MamaCompId,
+        fail_prob: f64,
+    ) -> ConnId {
+        assert!(
+            source.index() < self.components.len(),
+            "source out of bounds"
+        );
+        assert!(
+            target.index() < self.components.len(),
+            "target out of bounds"
+        );
+        let id = ConnId(self.connectors.len() as u32);
+        self.connectors.push(Connector {
+            name: name.into(),
+            kind,
+            source,
+            target,
+            fail_prob,
+        });
+        id
+    }
+
+    /// Number of components.
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+    /// Number of connectors.
+    pub fn connector_count(&self) -> usize {
+        self.connectors.len()
+    }
+
+    /// The component with the given id.
+    pub fn component(&self, id: MamaCompId) -> &MamaComponent {
+        &self.components[id.index()]
+    }
+    /// The connector with the given id.
+    pub fn connector(&self, id: ConnId) -> &Connector {
+        &self.connectors[id.index()]
+    }
+
+    /// All component ids.
+    pub fn component_ids(&self) -> impl Iterator<Item = MamaCompId> + '_ {
+        (0..self.components.len() as u32).map(MamaCompId)
+    }
+    /// All connector ids.
+    pub fn connector_ids(&self) -> impl Iterator<Item = ConnId> + '_ {
+        (0..self.connectors.len() as u32).map(ConnId)
+    }
+
+    /// Is this component a task (application or management)?
+    pub fn is_task(&self, id: MamaCompId) -> bool {
+        matches!(
+            self.components[id.index()].kind,
+            MamaComponentKind::AppTask { .. } | MamaComponentKind::MgmtTask { .. }
+        )
+    }
+
+    /// Is this component a processor?
+    pub fn is_processor(&self, id: MamaCompId) -> bool {
+        !self.is_task(id)
+    }
+
+    /// The processor component hosting a task component (`None` for
+    /// processor components).
+    pub fn processor_of(&self, id: MamaCompId) -> Option<MamaCompId> {
+        match self.components[id.index()].kind {
+            MamaComponentKind::AppTask { processor, .. }
+            | MamaComponentKind::MgmtTask { processor, .. } => Some(processor),
+            _ => None,
+        }
+    }
+
+    /// Task components hosted on the given processor component.
+    pub fn tasks_on(&self, proc: MamaCompId) -> impl Iterator<Item = MamaCompId> + '_ {
+        self.component_ids()
+            .filter(move |&c| self.processor_of(c) == Some(proc))
+    }
+
+    /// The MAMA component bound to a given FTLQN task, if any.
+    pub fn app_task_component(&self, task: FtTaskId) -> Option<MamaCompId> {
+        self.component_ids().find(|&c| {
+            matches!(self.components[c.index()].kind,
+                MamaComponentKind::AppTask { task: t, .. } if t == task)
+        })
+    }
+
+    /// The MAMA component bound to a given FTLQN processor, if any.
+    pub fn app_processor_component(&self, proc: FtProcId) -> Option<MamaCompId> {
+        self.component_ids().find(|&c| {
+            matches!(self.components[c.index()].kind,
+                MamaComponentKind::AppProcessor { processor: p } if p == proc)
+        })
+    }
+
+    /// Finds a component by name.
+    pub fn component_by_name(&self, name: &str) -> Option<MamaCompId> {
+        self.component_ids()
+            .find(|&c| self.components[c.index()].name == name)
+    }
+
+    /// Validates the model against the FTLQN application model it
+    /// monitors.
+    ///
+    /// # Errors
+    ///
+    /// See [`MamaError`] for the rules checked.
+    pub fn validate(&self, ft: &FtlqnModel) -> Result<(), MamaError> {
+        let prob_ok = |p: f64| (0.0..=1.0).contains(&p) && p.is_finite();
+        // Bindings valid, unique, and processor-consistent.
+        let mut seen_tasks = BTreeSet::new();
+        let mut seen_procs = BTreeSet::new();
+        for id in self.component_ids() {
+            let comp = &self.components[id.index()];
+            match comp.kind {
+                MamaComponentKind::AppTask { task, processor } => {
+                    if task.index() >= ft.task_count() {
+                        return Err(MamaError::BadReference {
+                            what: format!("component {} binds unknown task", comp.name),
+                        });
+                    }
+                    if !seen_tasks.insert(task) {
+                        return Err(MamaError::DuplicateBinding {
+                            what: format!("task {}", ft.task_name(task)),
+                        });
+                    }
+                    match self.components.get(processor.index()).map(|c| &c.kind) {
+                        Some(MamaComponentKind::AppProcessor { processor: p }) => {
+                            if *p != ft.processor_of(task) {
+                                return Err(MamaError::ProcessorMismatch { component: id });
+                            }
+                        }
+                        _ => {
+                            return Err(MamaError::BadReference {
+                                what: format!(
+                                    "component {} declares a non-app processor",
+                                    comp.name
+                                ),
+                            })
+                        }
+                    }
+                }
+                MamaComponentKind::AppProcessor { processor } => {
+                    if processor.index() >= ft.processor_count() {
+                        return Err(MamaError::BadReference {
+                            what: format!("component {} binds unknown processor", comp.name),
+                        });
+                    }
+                    if !seen_procs.insert(processor) {
+                        return Err(MamaError::DuplicateBinding {
+                            what: format!("processor {}", ft.processor_name(processor)),
+                        });
+                    }
+                }
+                MamaComponentKind::MgmtTask {
+                    processor,
+                    fail_prob,
+                    ..
+                } => {
+                    if processor.index() >= self.components.len() || self.is_task(processor) {
+                        return Err(MamaError::BadReference {
+                            what: format!("component {} not hosted on a processor", comp.name),
+                        });
+                    }
+                    if !prob_ok(fail_prob) {
+                        return Err(MamaError::BadProbability {
+                            what: comp.name.clone(),
+                        });
+                    }
+                }
+                MamaComponentKind::MgmtProcessor { fail_prob } => {
+                    if !prob_ok(fail_prob) {
+                        return Err(MamaError::BadProbability {
+                            what: comp.name.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        // Connector role rules.
+        for cid in self.connector_ids() {
+            let conn = &self.connectors[cid.index()];
+            if !prob_ok(conn.fail_prob) {
+                return Err(MamaError::BadProbability {
+                    what: conn.name.clone(),
+                });
+            }
+            if conn.source == conn.target {
+                return Err(MamaError::RoleViolation {
+                    connector: cid,
+                    reason: "connector endpoints must differ".into(),
+                });
+            }
+            let src = &self.components[conn.source.index()].kind;
+            let dst = &self.components[conn.target.index()].kind;
+            let dst_is_mgmt = matches!(dst, MamaComponentKind::MgmtTask { .. });
+            let dst_role = match dst {
+                MamaComponentKind::MgmtTask { role, .. } => Some(*role),
+                _ => None,
+            };
+            match conn.kind {
+                ConnectorKind::AliveWatch => {
+                    // Anything can be monitored; the monitor must be an
+                    // agent or manager.
+                    if !dst_is_mgmt {
+                        return Err(MamaError::RoleViolation {
+                            connector: cid,
+                            reason: "alive-watch monitor must be an agent or manager".into(),
+                        });
+                    }
+                    let _ = dst_role;
+                }
+                ConnectorKind::StatusWatch => {
+                    // Processors can only be monitored by alive-watch; the
+                    // monitored side of a status-watch must be a task that
+                    // has status to propagate (agent/manager).
+                    if !matches!(src, MamaComponentKind::MgmtTask { .. }) {
+                        return Err(MamaError::RoleViolation {
+                            connector: cid,
+                            reason: "status-watch monitored component must be an agent or manager"
+                                .into(),
+                        });
+                    }
+                    if !dst_is_mgmt {
+                        return Err(MamaError::RoleViolation {
+                            connector: cid,
+                            reason: "status-watch monitor must be an agent or manager".into(),
+                        });
+                    }
+                }
+                ConnectorKind::Notify => {
+                    if !matches!(src, MamaComponentKind::MgmtTask { .. }) {
+                        return Err(MamaError::RoleViolation {
+                            connector: cid,
+                            reason: "notifier must be an agent or manager".into(),
+                        });
+                    }
+                    if matches!(dst, MamaComponentKind::AppProcessor { .. })
+                        || matches!(dst, MamaComponentKind::MgmtProcessor { .. })
+                    {
+                        return Err(MamaError::RoleViolation {
+                            connector: cid,
+                            reason: "a processor cannot subscribe to notifications".into(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmperf_ftlqn::examples::das_woodside_system;
+
+    fn tiny_mama() -> (fmperf_ftlqn::FtlqnModel, MamaModel, MamaCompId, MamaCompId) {
+        let sys = das_woodside_system();
+        let ft = sys.model.clone();
+        let mut m = MamaModel::new();
+        let p1 = m.add_app_processor("proc1", sys.proc1);
+        let app_a = m.add_app_task("AppA", sys.app_a, p1);
+        (ft, m, p1, app_a)
+    }
+
+    #[test]
+    fn minimal_binding_validates() {
+        let (ft, m, ..) = tiny_mama();
+        m.validate(&ft).unwrap();
+    }
+
+    #[test]
+    fn duplicate_task_binding_rejected() {
+        let (ft, mut m, p1, _) = tiny_mama();
+        let sys = das_woodside_system();
+        m.add_app_task("AppA-again", sys.app_a, p1);
+        assert!(matches!(
+            m.validate(&ft),
+            Err(MamaError::DuplicateBinding { .. })
+        ));
+    }
+
+    #[test]
+    fn processor_mismatch_rejected() {
+        let sys = das_woodside_system();
+        let mut m = MamaModel::new();
+        let p2 = m.add_app_processor("proc2", sys.proc2);
+        m.add_app_task("AppA", sys.app_a, p2); // AppA runs on proc1, not proc2
+        assert!(matches!(
+            m.validate(&sys.model),
+            Err(MamaError::ProcessorMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn alive_watch_to_app_task_rejected() {
+        let (ft, mut m, p1, app_a) = tiny_mama();
+        let ag = m.add_agent("ag1", p1, 0.1);
+        // Agent monitored by an app task: invalid monitor role.
+        m.watch("bad", ConnectorKind::AliveWatch, ag, app_a);
+        assert!(matches!(
+            m.validate(&ft),
+            Err(MamaError::RoleViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn status_watch_from_processor_rejected() {
+        let (ft, mut m, p1, _) = tiny_mama();
+        let ag = m.add_agent("ag1", p1, 0.1);
+        m.watch("bad", ConnectorKind::StatusWatch, p1, ag);
+        assert!(matches!(
+            m.validate(&ft),
+            Err(MamaError::RoleViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn notify_to_processor_rejected() {
+        let (ft, mut m, p1, _) = tiny_mama();
+        let mg = m.add_manager("m1", p1, 0.1);
+        m.notify("bad", mg, p1);
+        assert!(matches!(
+            m.validate(&ft),
+            Err(MamaError::RoleViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn notify_from_app_task_rejected() {
+        let (ft, mut m, _, app_a) = tiny_mama();
+        let p5 = m.add_mgmt_processor("proc5", 0.1);
+        let mg = m.add_manager("m1", p5, 0.1);
+        m.notify("bad", app_a, mg);
+        assert!(matches!(
+            m.validate(&ft),
+            Err(MamaError::RoleViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn valid_chain_accepted() {
+        let (ft, mut m, p1, app_a) = tiny_mama();
+        let ag = m.add_agent("ag1", p1, 0.1);
+        let p5 = m.add_mgmt_processor("proc5", 0.1);
+        let mg = m.add_manager("m1", p5, 0.1);
+        m.watch("c1", ConnectorKind::AliveWatch, app_a, ag);
+        m.watch("c2", ConnectorKind::StatusWatch, ag, mg);
+        m.watch("c3", ConnectorKind::AliveWatch, p1, mg);
+        m.notify("c4", mg, ag);
+        m.notify("c5", ag, app_a);
+        m.validate(&ft).unwrap();
+        assert_eq!(m.connector_count(), 5);
+    }
+
+    #[test]
+    fn tasks_on_processor() {
+        let (_, mut m, p1, app_a) = tiny_mama();
+        let ag = m.add_agent("ag1", p1, 0.1);
+        let on: Vec<_> = m.tasks_on(p1).collect();
+        assert_eq!(on, vec![app_a, ag]);
+    }
+
+    #[test]
+    fn lookup_by_binding_and_name() {
+        let sys = das_woodside_system();
+        let (_, m, p1, app_a) = tiny_mama();
+        assert_eq!(m.app_task_component(sys.app_a), Some(app_a));
+        assert_eq!(m.app_processor_component(sys.proc1), Some(p1));
+        assert_eq!(m.component_by_name("AppA"), Some(app_a));
+        assert_eq!(m.component_by_name("nope"), None);
+    }
+
+    #[test]
+    fn bad_probability_rejected() {
+        let (ft, mut m, p1, _) = tiny_mama();
+        m.add_agent("ag1", p1, 1.7);
+        assert!(matches!(
+            m.validate(&ft),
+            Err(MamaError::BadProbability { .. })
+        ));
+    }
+}

@@ -1,0 +1,206 @@
+//! Precomputed `know` tables and the state-bound knowledge oracle.
+//!
+//! The FTLQN configuration evaluator asks `know(component, task)` during
+//! service selection (paper §3, Definition 1).  For a MAMA architecture
+//! those answers come from the knowledge propagation graph; computing the
+//! minpaths once per (component, task) pair and evaluating them per state
+//! is what makes the `2^N` enumeration affordable.
+
+use crate::knowledge::{KnowFunction, KnowledgeGraph};
+use crate::model::MamaModel;
+use crate::space::ComponentSpace;
+use fmperf_ftlqn::{Component, FaultGraph, FtTaskId, KnowledgeOracle};
+use std::collections::BTreeMap;
+
+/// All `know` functions an analysis will ever query, precomputed.
+///
+/// Pairs are derived from the fault graph: for every service, the
+/// deciding task must potentially learn the state of every component in
+/// the static support of every alternative.
+#[derive(Debug, Clone)]
+pub struct KnowTable {
+    table: BTreeMap<(Component, FtTaskId), KnowFunction>,
+}
+
+impl KnowTable {
+    /// Builds the table for `graph`'s model under `mama`, indexing states
+    /// by `space`.
+    ///
+    /// Components that are not represented in the MAMA model get an empty
+    /// (never-true) know function: an unmonitored component's state cannot
+    /// be learned.
+    pub fn build(graph: &FaultGraph<'_>, mama: &MamaModel, space: &ComponentSpace) -> KnowTable {
+        let ft = graph.model();
+        let kg = KnowledgeGraph::build(mama);
+        let mut table = BTreeMap::new();
+        for s in ft.service_ids() {
+            let decider = ft.requiring_task(s).expect("validated model");
+            let Some(decider_comp) = mama.app_task_component(decider) else {
+                // The decider is not in the management architecture at
+                // all: it can learn nothing; every pair stays absent and
+                // resolves to never-known.
+                continue;
+            };
+            for (alt, _link) in ft.alternatives(s) {
+                for &c in graph.static_support(alt) {
+                    let key = (c, decider);
+                    if table.contains_key(&key) {
+                        continue;
+                    }
+                    let mama_comp = match c {
+                        Component::Task(t) => mama.app_task_component(t),
+                        Component::Processor(p) => mama.app_processor_component(p),
+                        Component::Link(_) => None,
+                    };
+                    let know = match mama_comp {
+                        Some(mc) => kg.know_function(mc, decider_comp, space),
+                        None => KnowFunction { paths: Vec::new() },
+                    };
+                    table.insert(key, know);
+                }
+            }
+        }
+        KnowTable { table }
+    }
+
+    /// The know function for a pair, if the analysis precomputed it.
+    pub fn get(&self, component: Component, task: FtTaskId) -> Option<&KnowFunction> {
+        self.table.get(&(component, task))
+    }
+
+    /// Number of precomputed pairs.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// `true` if no pairs were needed.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Iterates over all `(component, task) -> know` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&(Component, FtTaskId), &KnowFunction)> + '_ {
+        self.table.iter()
+    }
+
+    /// Binds the table to one global state, yielding an oracle for the
+    /// FTLQN configuration evaluator.
+    pub fn oracle<'a>(&'a self, state: &'a [bool]) -> MamaOracle<'a> {
+        MamaOracle {
+            table: self,
+            state,
+            default_for_missing: false,
+        }
+    }
+}
+
+/// A [`KnowledgeOracle`] answering from a [`KnowTable`] and a fixed
+/// global state vector.
+#[derive(Debug, Clone, Copy)]
+pub struct MamaOracle<'a> {
+    table: &'a KnowTable,
+    state: &'a [bool],
+    default_for_missing: bool,
+}
+
+impl<'a> MamaOracle<'a> {
+    /// Sets the answer for pairs with **no knowledge path at all** —
+    /// either absent from the table or present with zero minpaths
+    /// (default `false`: what can never be monitored cannot be known).
+    ///
+    /// Setting `true` exempts such components from the knowledge
+    /// requirement.  This is the semantics the paper's Table 2
+    /// *distributed* column implies (see `fmperf-core`'s
+    /// `Analysis::with_unmonitored_known`).
+    pub fn default_for_missing(mut self, value: bool) -> Self {
+        self.default_for_missing = value;
+        self
+    }
+}
+
+impl KnowledgeOracle for MamaOracle<'_> {
+    fn knows(&self, component: Component, task: FtTaskId) -> bool {
+        match self.table.get(component, task) {
+            Some(f) if !f.is_never() => f.holds(self.state),
+            _ => self.default_for_missing,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch;
+    use fmperf_ftlqn::examples::das_woodside_system;
+    use fmperf_ftlqn::{KnowPolicy, PerfectKnowledge};
+
+    #[test]
+    fn table_covers_all_service_support_pairs() {
+        let sys = das_woodside_system();
+        let graph = sys.fault_graph().unwrap();
+        let mama = arch::centralized(&sys, 0.1);
+        let space = ComponentSpace::build(&sys.model, &mama);
+        let table = KnowTable::build(&graph, &mama, &space);
+        // serviceA support: {Server1, proc3, Server2, proc4} for AppA;
+        // serviceB the same for AppB: 8 pairs.
+        assert_eq!(table.len(), 8);
+        assert!(table.get(Component::Task(sys.server1), sys.app_a).is_some());
+        assert!(table
+            .get(Component::Task(sys.server1), sys.user_a)
+            .is_none());
+    }
+
+    #[test]
+    fn oracle_matches_perfect_knowledge_when_all_up() {
+        let sys = das_woodside_system();
+        let graph = sys.fault_graph().unwrap();
+        let mama = arch::centralized(&sys, 0.1);
+        let space = ComponentSpace::build(&sys.model, &mama);
+        let table = KnowTable::build(&graph, &mama, &space);
+        let state = space.all_up();
+        let oracle = table.oracle(&state);
+        let cfg_mama = graph.configuration(&state, &oracle, KnowPolicy::AllFailedComponents);
+        let cfg_perfect =
+            graph.configuration(&state, &PerfectKnowledge, KnowPolicy::AllFailedComponents);
+        assert_eq!(cfg_mama, cfg_perfect);
+    }
+
+    #[test]
+    fn dead_agent_blocks_reconfiguration() {
+        // The paper's §6.1 partial-coverage story: proc3 fails while ag2
+        // (AppB's notification relay) is down -> AppB cannot learn of the
+        // failure, so serviceB fails while serviceA reconfigures to
+        // Server2: configuration C2.
+        let sys = das_woodside_system();
+        let graph = sys.fault_graph().unwrap();
+        let mama = arch::centralized(&sys, 0.1);
+        let space = ComponentSpace::build(&sys.model, &mama);
+        let table = KnowTable::build(&graph, &mama, &space);
+        let mut state = space.all_up();
+        state[sys.model.component_index(Component::Processor(sys.proc3))] = false;
+        let ag2 = mama
+            .component_by_name("ag2")
+            .expect("centralized arch has ag2");
+        state[space.mama_index(ag2)] = false;
+        let oracle = table.oracle(&state);
+        let cfg = graph.configuration(&state, &oracle, KnowPolicy::AllFailedComponents);
+        assert!(cfg.user_chains.contains(&sys.user_a), "A reconfigures");
+        assert!(!cfg.user_chains.contains(&sys.user_b), "B cannot");
+        assert_eq!(cfg.used_services[&sys.service_a], sys.e_a2);
+    }
+
+    #[test]
+    fn default_for_missing_toggles_unmonitored_pairs() {
+        let sys = das_woodside_system();
+        let graph = sys.fault_graph().unwrap();
+        // Empty management architecture: nothing is monitored.
+        let mama = MamaModel::new();
+        let space = ComponentSpace::build(&sys.model, &mama);
+        let table = KnowTable::build(&graph, &mama, &space);
+        let state = space.all_up();
+        let strict = table.oracle(&state);
+        assert!(!strict.knows(Component::Task(sys.server1), sys.app_a));
+        let lax = table.oracle(&state).default_for_missing(true);
+        assert!(lax.knows(Component::Task(sys.server1), sys.app_a));
+    }
+}

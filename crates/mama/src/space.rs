@@ -1,0 +1,214 @@
+//! A dense, shared index over every fallible element of the combined
+//! application + management model.
+//!
+//! The performability algorithm (paper §5, step 4) enumerates the joint
+//! up/down states of "the total number of processors and tasks in the
+//! MAMA model and the FTLQN model".  [`ComponentSpace`] realises that
+//! joint state vector:
+//!
+//! * indices `0..app_count` are the FTLQN components, in
+//!   [`FtlqnModel::component_index`] order;
+//! * then one index per management-only MAMA component (agents, managers,
+//!   management processors) — app-bound MAMA components alias their FTLQN
+//!   index;
+//! * then one index per connector (so fallible channels are supported;
+//!   perfect connectors simply have up-probability 1).
+
+#![allow(clippy::needless_range_loop)] // index-parallel arrays: indices are the clearer idiom
+
+use crate::model::{ConnId, MamaCompId, MamaComponentKind, MamaModel};
+use fmperf_ftlqn::{Component, FtlqnModel};
+
+/// Dense component index space shared by all analysis engines.
+#[derive(Debug, Clone)]
+pub struct ComponentSpace {
+    names: Vec<String>,
+    up_prob: Vec<f64>,
+    app_count: usize,
+    /// MamaCompId -> global index.
+    mama_to_global: Vec<usize>,
+    /// ConnId -> global index.
+    conn_to_global: Vec<usize>,
+}
+
+impl ComponentSpace {
+    /// Builds the joint space for an application model and its management
+    /// architecture.
+    pub fn build(ft: &FtlqnModel, mama: &MamaModel) -> Self {
+        let mut space = Self::app_only(ft);
+        let mut mama_to_global = Vec::with_capacity(mama.component_count());
+        for id in mama.component_ids() {
+            let comp = mama.component(id);
+            let global = match comp.kind {
+                MamaComponentKind::AppTask { task, .. } => {
+                    ft.component_index(Component::Task(task))
+                }
+                MamaComponentKind::AppProcessor { processor } => {
+                    ft.component_index(Component::Processor(processor))
+                }
+                MamaComponentKind::MgmtTask { fail_prob, .. }
+                | MamaComponentKind::MgmtProcessor { fail_prob } => {
+                    space.names.push(comp.name.clone());
+                    space.up_prob.push(1.0 - fail_prob);
+                    space.names.len() - 1
+                }
+            };
+            mama_to_global.push(global);
+        }
+        let mut conn_to_global = Vec::with_capacity(mama.connector_count());
+        for cid in mama.connector_ids() {
+            let conn = mama.connector(cid);
+            space.names.push(conn.name.clone());
+            space.up_prob.push(1.0 - conn.fail_prob);
+            conn_to_global.push(space.names.len() - 1);
+        }
+        space.mama_to_global = mama_to_global;
+        space.conn_to_global = conn_to_global;
+        space
+    }
+
+    /// A space with only the application components (perfect-knowledge
+    /// analyses need no management state).
+    pub fn app_only(ft: &FtlqnModel) -> Self {
+        let mut names = Vec::with_capacity(ft.component_count());
+        let mut up_prob = Vec::with_capacity(ft.component_count());
+        for c in ft.components() {
+            names.push(ft.component_name(c).to_string());
+            up_prob.push(1.0 - ft.fail_prob(c));
+        }
+        ComponentSpace {
+            app_count: names.len(),
+            names,
+            up_prob,
+            mama_to_global: Vec::new(),
+            conn_to_global: Vec::new(),
+        }
+    }
+
+    /// Total number of indexed elements (components + connectors).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` if the space is empty (never for a valid model).
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Number of application components (they occupy `0..app_count()`).
+    pub fn app_count(&self) -> usize {
+        self.app_count
+    }
+
+    /// Steady-state probability that element `ix` is up.
+    pub fn up_prob(&self, ix: usize) -> f64 {
+        self.up_prob[ix]
+    }
+
+    /// Name of element `ix`.
+    pub fn name(&self, ix: usize) -> &str {
+        &self.names[ix]
+    }
+
+    /// Global index of a MAMA component (app-bound components alias their
+    /// application index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the space was built without a MAMA model.
+    pub fn mama_index(&self, id: MamaCompId) -> usize {
+        self.mama_to_global[id.index()]
+    }
+
+    /// Global index of a connector.
+    pub fn connector_index(&self, id: ConnId) -> usize {
+        self.conn_to_global[id.index()]
+    }
+
+    /// Indices whose up-probability is below 1 — the components that
+    /// actually need enumerating.  The paper's state-space sizes (256,
+    /// 16384, …) are `2^fallible`.
+    pub fn fallible_indices(&self) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&ix| self.up_prob[ix] < 1.0)
+            .collect()
+    }
+
+    /// The all-up state vector.
+    pub fn all_up(&self) -> Vec<bool> {
+        vec![true; self.len()]
+    }
+
+    /// Probability of a full state vector under independent failures.
+    pub fn state_probability(&self, state: &[bool]) -> f64 {
+        debug_assert!(state.len() >= self.len());
+        let mut p = 1.0;
+        for ix in 0..self.len() {
+            p *= if state[ix] {
+                self.up_prob[ix]
+            } else {
+                1.0 - self.up_prob[ix]
+            };
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ConnectorKind;
+    use fmperf_ftlqn::examples::das_woodside_system;
+
+    #[test]
+    fn app_only_space_matches_ft_indices() {
+        let sys = das_woodside_system();
+        let space = ComponentSpace::app_only(&sys.model);
+        assert_eq!(space.len(), sys.model.component_count());
+        assert_eq!(space.app_count(), space.len());
+        // 8 fallible (4 tasks + 4 procs at 0.1), users/their procs perfect.
+        assert_eq!(space.fallible_indices().len(), 8);
+        let ix = sys.model.component_index(Component::Task(sys.app_a));
+        assert!((space.up_prob(ix) - 0.9).abs() < 1e-12);
+        assert_eq!(space.name(ix), "AppA");
+    }
+
+    #[test]
+    fn combined_space_aliases_app_components() {
+        let sys = das_woodside_system();
+        let mut mama = MamaModel::new();
+        let p1 = mama.add_app_processor("proc1", sys.proc1);
+        let a = mama.add_app_task("AppA", sys.app_a, p1);
+        let ag = mama.add_agent("ag1", p1, 0.2);
+        let c = mama.watch("c1", ConnectorKind::AliveWatch, a, ag);
+        mama.validate(&sys.model).unwrap();
+        let space = ComponentSpace::build(&sys.model, &mama);
+        // App-bound components alias; only the agent and connector add slots.
+        assert_eq!(space.len(), sys.model.component_count() + 2);
+        assert_eq!(
+            space.mama_index(a),
+            sys.model.component_index(Component::Task(sys.app_a))
+        );
+        assert_eq!(
+            space.mama_index(p1),
+            sys.model.component_index(Component::Processor(sys.proc1))
+        );
+        assert!((space.up_prob(space.mama_index(ag)) - 0.8).abs() < 1e-12);
+        // Perfect connector: up-probability 1, hence not fallible.
+        assert!((space.up_prob(space.connector_index(c)) - 1.0).abs() < 1e-12);
+        assert!(!space.fallible_indices().contains(&space.connector_index(c)));
+    }
+
+    #[test]
+    fn state_probability_multiplies_independent_terms() {
+        let sys = das_woodside_system();
+        let space = ComponentSpace::app_only(&sys.model);
+        let mut state = space.all_up();
+        let p_all_up = space.state_probability(&state);
+        assert!((p_all_up - 0.9f64.powi(8)).abs() < 1e-12);
+        let ix = sys.model.component_index(Component::Task(sys.server1));
+        state[ix] = false;
+        let p_one_down = space.state_probability(&state);
+        assert!((p_one_down - 0.9f64.powi(7) * 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,268 @@
+//! Architecture synthesis: generate a complete management architecture
+//! for *any* FTLQN application model.
+//!
+//! The §6 builders in [`crate::arch`] reproduce the paper's figures for
+//! its Figure 1 system; this module generalises the same patterns so
+//! that arbitrary applications (including generated ones used in
+//! scalability studies) can be wrapped in a centralized, distributed or
+//! hierarchical management plane with one call.
+//!
+//! Synthesis follows the paper's conventions:
+//!
+//! * every fallible server task gets a node-local agent fed by an
+//!   alive-watch; agents report to their manager by status-watch;
+//! * every fallible application processor is pinged (alive-watch) by the
+//!   manager responsible for it;
+//! * every task that *decides* a service (the `t(s)` tasks) subscribes to
+//!   reconfiguration notifications through its local agent;
+//! * perfectly reliable components (failure probability 0) are left
+//!   unmonitored — matching the paper, which omits UserA/UserB and their
+//!   processors from all MAMA diagrams.
+
+use crate::model::{ConnectorKind, MamaCompId, MamaModel};
+use fmperf_ftlqn::{Component, FtProcId, FtTaskId, FtlqnModel};
+use std::collections::BTreeMap;
+
+/// Synthesis options.
+#[derive(Debug, Clone)]
+pub struct SynthOptions {
+    /// Failure probability of agents, managers and management-only
+    /// processors.
+    pub mgmt_fail_prob: f64,
+    /// Number of management domains (1 = centralized; ≥2 = one domain
+    /// manager each).  Tasks are assigned round-robin by task index.
+    pub domains: usize,
+    /// With multiple domains: `true` adds a manager-of-managers
+    /// (hierarchical pattern), `false` fully meshes the domain managers
+    /// with mutual notifies (distributed pattern).
+    pub hierarchical: bool,
+}
+
+impl Default for SynthOptions {
+    fn default() -> Self {
+        SynthOptions {
+            mgmt_fail_prob: 0.1,
+            domains: 1,
+            hierarchical: false,
+        }
+    }
+}
+
+/// Synthesises a management architecture for `ft` (see the
+/// [module docs](self) for the conventions).
+///
+/// # Panics
+///
+/// Panics if `options.domains == 0`.
+pub fn synthesize(ft: &FtlqnModel, options: &SynthOptions) -> MamaModel {
+    assert!(
+        options.domains >= 1,
+        "at least one management domain required"
+    );
+    let p = options.mgmt_fail_prob;
+    let mut mama = MamaModel::new();
+
+    // Register every fallible task (and its processor) in the MAMA model.
+    let mut proc_comp: BTreeMap<FtProcId, MamaCompId> = BTreeMap::new();
+    let mut task_comp: BTreeMap<FtTaskId, MamaCompId> = BTreeMap::new();
+    let mut monitored_tasks: Vec<FtTaskId> = Vec::new();
+    for t in ft.task_ids() {
+        if ft.fail_prob(Component::Task(t)) <= 0.0
+            && ft.fail_prob(Component::Processor(ft.processor_of(t))) <= 0.0
+        {
+            continue; // perfectly reliable: unmonitored, like the paper's users
+        }
+        let proc = ft.processor_of(t);
+        let pc = *proc_comp
+            .entry(proc)
+            .or_insert_with(|| mama.add_app_processor(ft.processor_name(proc), proc));
+        let tc = mama.add_app_task(ft.task_name(t), t, pc);
+        task_comp.insert(t, tc);
+        monitored_tasks.push(t);
+    }
+
+    // Domain managers (each on its own management processor).
+    let mut managers = Vec::with_capacity(options.domains);
+    for d in 0..options.domains {
+        let mp = mama.add_mgmt_processor(format!("mgmt-proc-{d}"), p);
+        managers.push(mama.add_manager(format!("dm{d}"), mp, p));
+    }
+
+    // Agents and watches.
+    let mut agent_of: BTreeMap<FtTaskId, MamaCompId> = BTreeMap::new();
+    for (ix, &t) in monitored_tasks.iter().enumerate() {
+        let dm = managers[ix % options.domains];
+        let tc = task_comp[&t];
+        let pc = mama.processor_of(tc).expect("app task has a processor");
+        let ag = mama.add_agent(format!("ag-{}", ft.task_name(t)), pc, p);
+        agent_of.insert(t, ag);
+        mama.watch(
+            format!("hb-{}", ft.task_name(t)),
+            ConnectorKind::AliveWatch,
+            tc,
+            ag,
+        );
+        mama.watch(
+            format!("st-{}", ft.task_name(t)),
+            ConnectorKind::StatusWatch,
+            ag,
+            dm,
+        );
+        // One ping per (processor, manager) pair; dedupe.
+        let ping_name = format!(
+            "ping-{}-dm{}",
+            ft.processor_name(ft.processor_of(t)),
+            ix % options.domains
+        );
+        let already = mama
+            .connector_ids()
+            .any(|c| mama.connector(c).name == ping_name);
+        if !already {
+            mama.watch(ping_name, ConnectorKind::AliveWatch, pc, dm);
+        }
+    }
+
+    // Manager topology.
+    if options.domains > 1 {
+        if options.hierarchical {
+            let mp = mama.add_mgmt_processor("mom-proc", p);
+            let mom = mama.add_manager("mom", mp, p);
+            for (d, &dm) in managers.iter().enumerate() {
+                mama.watch(format!("st-dm{d}"), ConnectorKind::StatusWatch, dm, mom);
+                mama.notify(format!("ntf-mom-dm{d}"), mom, dm);
+            }
+        } else {
+            for (i, &a) in managers.iter().enumerate() {
+                for (j, &b) in managers.iter().enumerate() {
+                    if i != j {
+                        mama.notify(format!("ntf-dm{i}-dm{j}"), a, b);
+                    }
+                }
+            }
+        }
+    }
+
+    // Notification routes to every service decider.
+    let mut notified: Vec<FtTaskId> = Vec::new();
+    for s in ft.service_ids() {
+        let decider = ft.requiring_task(s).expect("validated model");
+        if notified.contains(&decider) {
+            continue;
+        }
+        notified.push(decider);
+        let Some(&tc) = task_comp.get(&decider) else {
+            continue; // perfectly reliable decider: still needs a route!
+        };
+        let ix = monitored_tasks
+            .iter()
+            .position(|&t| t == decider)
+            .expect("registered");
+        let dm = managers[ix % options.domains];
+        let ag = agent_of[&decider];
+        mama.notify(format!("cmd-dm-{}", ft.task_name(decider)), dm, ag);
+        mama.notify(format!("cmd-{}", ft.task_name(decider)), ag, tc);
+    }
+    // Deciders that are perfectly reliable (e.g. reference tasks deciding
+    // their own services) still need registration + notification.
+    for s in ft.service_ids() {
+        let decider = ft.requiring_task(s).expect("validated model");
+        if task_comp.contains_key(&decider) {
+            continue;
+        }
+        let proc = ft.processor_of(decider);
+        let pc = *proc_comp
+            .entry(proc)
+            .or_insert_with(|| mama.add_app_processor(ft.processor_name(proc), proc));
+        let tc = mama.add_app_task(ft.task_name(decider), decider, pc);
+        task_comp.insert(decider, tc);
+        let dm = managers[0];
+        let ag = mama.add_agent(format!("ag-{}", ft.task_name(decider)), pc, p);
+        mama.notify(format!("cmd-dm-{}", ft.task_name(decider)), dm, ag);
+        mama.notify(format!("cmd-{}", ft.task_name(decider)), ag, tc);
+    }
+
+    debug_assert!(
+        mama.validate(ft).is_ok(),
+        "synthesised architecture must validate"
+    );
+    mama
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::KnowTable;
+    use crate::space::ComponentSpace;
+    use fmperf_ftlqn::examples::das_woodside_system;
+    use fmperf_ftlqn::FaultGraph;
+
+    #[test]
+    fn centralized_synthesis_validates_and_covers() {
+        let sys = das_woodside_system();
+        let mama = synthesize(&sys.model, &SynthOptions::default());
+        mama.validate(&sys.model).unwrap();
+        let graph = FaultGraph::build(&sys.model).unwrap();
+        let space = ComponentSpace::build(&sys.model, &mama);
+        let table = KnowTable::build(&graph, &mama, &space);
+        assert_eq!(table.len(), 8);
+        let state = space.all_up();
+        for (_, know) in table.iter() {
+            assert!(know.holds(&state), "all-up must be fully covered");
+        }
+    }
+
+    #[test]
+    fn synthesis_matches_handwritten_centralized_component_count() {
+        // Same shape as arch::centralized: 4 agents + 1 manager + 1
+        // management processor on top of the 8 fallible app components.
+        let sys = das_woodside_system();
+        let mama = synthesize(&sys.model, &SynthOptions::default());
+        let space = ComponentSpace::build(&sys.model, &mama);
+        assert_eq!(space.fallible_indices().len(), 14);
+    }
+
+    #[test]
+    fn multi_domain_synthesis_builds_peers_or_hierarchy() {
+        let sys = das_woodside_system();
+        let flat = synthesize(
+            &sys.model,
+            &SynthOptions {
+                domains: 2,
+                hierarchical: false,
+                ..SynthOptions::default()
+            },
+        );
+        flat.validate(&sys.model).unwrap();
+        assert!(flat.component_by_name("dm1").is_some());
+        assert!(flat.component_by_name("mom").is_none());
+
+        let hier = synthesize(
+            &sys.model,
+            &SynthOptions {
+                domains: 2,
+                hierarchical: true,
+                ..SynthOptions::default()
+            },
+        );
+        hier.validate(&sys.model).unwrap();
+        assert!(hier.component_by_name("mom").is_some());
+    }
+
+    #[test]
+    fn single_manager_is_single_point_of_knowledge() {
+        let sys = das_woodside_system();
+        let mama = synthesize(&sys.model, &SynthOptions::default());
+        let graph = FaultGraph::build(&sys.model).unwrap();
+        let space = ComponentSpace::build(&sys.model, &mama);
+        let table = KnowTable::build(&graph, &mama, &space);
+        let dm0 = mama.component_by_name("dm0").unwrap();
+        let mut state = space.all_up();
+        state[space.mama_index(dm0)] = false;
+        for (_, know) in table.iter() {
+            assert!(
+                !know.holds(&state),
+                "single manager is a single point of knowledge"
+            );
+        }
+    }
+}

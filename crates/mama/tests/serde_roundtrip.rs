@@ -1,0 +1,46 @@
+//! Serde round-trips for MAMA models: the deserialised architecture must
+//! produce identical knowledge tables.
+
+use fmperf_ftlqn::examples::das_woodside_system;
+use fmperf_mama::{arch, ComponentSpace, KnowTable, MamaModel};
+
+#[test]
+fn architectures_roundtrip_through_json() {
+    let sys = das_woodside_system();
+    let graph = sys.fault_graph().unwrap();
+    for kind in arch::ArchKind::ALL {
+        let mama = arch::build(kind, &sys, 0.1);
+        let json = serde_json::to_string(&mama).expect("serialises");
+        let back: MamaModel = serde_json::from_str(&json).expect("deserialises");
+        back.validate(&sys.model).unwrap();
+        assert_eq!(
+            back.component_count(),
+            mama.component_count(),
+            "{}",
+            kind.name()
+        );
+        assert_eq!(
+            back.connector_count(),
+            mama.connector_count(),
+            "{}",
+            kind.name()
+        );
+
+        // Knowledge tables must be identical function by function.
+        let s1 = ComponentSpace::build(&sys.model, &mama);
+        let s2 = ComponentSpace::build(&sys.model, &back);
+        let t1 = KnowTable::build(&graph, &mama, &s1);
+        let t2 = KnowTable::build(&graph, &back, &s2);
+        assert_eq!(t1.len(), t2.len(), "{}", kind.name());
+        for ((k1, f1), (k2, f2)) in t1.iter().zip(t2.iter()) {
+            assert_eq!(k1, k2, "{}", kind.name());
+            assert_eq!(
+                f1,
+                f2,
+                "{}: know function differs for {:?}",
+                kind.name(),
+                k1
+            );
+        }
+    }
+}

@@ -1,0 +1,1017 @@
+//! The discrete-event simulation engine.
+//!
+//! Executes an [`LqnModel`] under blocking-RPC semantics (see the
+//! [crate-level docs](crate)).  The implementation is a classic
+//! event-scheduling simulator: a time-ordered heap of events, explicit
+//! FCFS queues for task threads and processor cores, and jobs represented
+//! as small state machines (`entry`, current call position, caller) so
+//! that arbitrarily deep synchronous call chains need no recursion or
+//! coroutines.
+
+use crate::stats::{BatchMeans, ConfidenceInterval, P2Quantile, Welford};
+use fmperf_lqn::{
+    EntryId, LqnModel, ModelError, Multiplicity, Phase, ProcessorId, TaskId, TaskKind,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::fmt;
+
+/// Sampling distribution for host demands and think times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Distribution {
+    /// Exponential with the configured mean (matches MVA assumptions).
+    Exponential,
+    /// Always exactly the mean (useful for deterministic pipelines).
+    Deterministic,
+}
+
+impl Distribution {
+    fn sample(self, mean: f64, rng: &mut StdRng) -> f64 {
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        match self {
+            Distribution::Deterministic => mean,
+            Distribution::Exponential => {
+                let u: f64 = rng.gen::<f64>();
+                -mean * (1.0 - u).ln()
+            }
+        }
+    }
+}
+
+/// Options for [`simulate`].
+#[derive(Debug, Clone, Copy)]
+pub struct SimOptions {
+    /// Total simulated time, in model seconds.
+    pub horizon: f64,
+    /// Time discarded before statistics collection starts.
+    pub warmup: f64,
+    /// RNG seed — identical seeds give identical runs.
+    pub seed: u64,
+    /// Number of batches for batch-means confidence intervals.
+    pub batches: u32,
+    /// Distribution of host demands.
+    pub service: Distribution,
+    /// Distribution of think times.
+    pub think: Distribution,
+    /// If `true`, each call spec issues exactly `round(mean_calls)` calls;
+    /// otherwise the count is geometric with the given mean.
+    pub deterministic_calls: bool,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            horizon: 20_000.0,
+            warmup: 2_000.0,
+            seed: 0x5EED_F00D,
+            batches: 10,
+            service: Distribution::Exponential,
+            think: Distribution::Exponential,
+            deterministic_calls: false,
+        }
+    }
+}
+
+/// Errors from [`simulate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The model failed validation.
+    Model(ModelError),
+    /// Bad options (warmup ≥ horizon, fewer than 2 batches, …).
+    InvalidOptions(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Model(e) => write!(f, "invalid model: {e}"),
+            SimError::InvalidOptions(what) => write!(f, "invalid options: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Model(e) => Some(e),
+            SimError::InvalidOptions(_) => None,
+        }
+    }
+}
+
+impl From<ModelError> for SimError {
+    fn from(e: ModelError) -> Self {
+        SimError::Model(e)
+    }
+}
+
+/// Simulation estimates of the LQN performance measures.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    entry_throughput: Vec<f64>,
+    task_throughput: Vec<f64>,
+    task_busy: Vec<f64>,
+    proc_utilization: Vec<f64>,
+    chain_ci: Vec<Option<ConfidenceInterval>>,
+    chain_response: Vec<Option<f64>>,
+    chain_response_p95: Vec<Option<f64>>,
+    measured_time: f64,
+}
+
+impl SimResult {
+    /// Completions per second of `entry` over the measurement window.
+    pub fn entry_throughput(&self, entry: EntryId) -> f64 {
+        self.entry_throughput[entry.index()]
+    }
+    /// Completions per second of `task` (cycles per second for reference
+    /// tasks).
+    pub fn task_throughput(&self, task: TaskId) -> f64 {
+        self.task_throughput[task.index()]
+    }
+    /// Mean number of busy threads of `task`.
+    pub fn task_utilization(&self, task: TaskId) -> f64 {
+        self.task_busy[task.index()]
+    }
+    /// Mean number of busy cores of `proc`.
+    pub fn processor_utilization(&self, proc: ProcessorId) -> f64 {
+        self.proc_utilization[proc.index()]
+    }
+    /// Batch-means 95% confidence interval of the cycle throughput of a
+    /// reference task; `None` for server tasks.
+    pub fn chain_confidence(&self, chain: TaskId) -> Option<ConfidenceInterval> {
+        self.chain_ci[chain.index()]
+    }
+    /// Mean cycle response time (excluding think) of a reference task.
+    pub fn chain_response(&self, chain: TaskId) -> Option<f64> {
+        self.chain_response[chain.index()]
+    }
+    /// 95th-percentile cycle response time of a reference task (P²
+    /// streaming estimate); `None` for server tasks or empty windows.
+    pub fn chain_response_p95(&self, chain: TaskId) -> Option<f64> {
+        self.chain_response_p95[chain.index()]
+    }
+    /// Length of the measurement window (horizon − warmup).
+    pub fn measured_time(&self) -> f64 {
+        self.measured_time
+    }
+}
+
+/// Who is waiting for a job's reply.
+#[derive(Debug, Clone, Copy)]
+enum Caller {
+    /// A reference-task customer of the given reference task.
+    Customer { chain: TaskId, cycle_start: f64 },
+    /// A parent job blocked on this reply.
+    Job(usize),
+}
+
+#[derive(Debug, Clone)]
+struct Job {
+    entry: EntryId,
+    caller: Caller,
+    /// Current phase: 1 executes before the reply, 2 after it.
+    phase: Phase,
+    /// Index into the entry's call list.
+    call_idx: usize,
+    /// Sub-calls still owed for the current call spec (`None` = not yet
+    /// sampled).
+    calls_left: Option<u64>,
+    /// Slot-reuse generation guard.
+    live: bool,
+}
+
+#[derive(Debug)]
+struct TaskState {
+    threads: u64,
+    busy: u64,
+    queue: VecDeque<usize>,
+    /// Busy-thread time integral.
+    busy_area: f64,
+    last_change: f64,
+}
+
+#[derive(Debug)]
+struct ProcState {
+    cores: u64,
+    busy: u64,
+    queue: VecDeque<(usize, f64)>,
+    busy_area: f64,
+    last_change: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EventKind {
+    /// A processor service episode finished for the given job.
+    ProcDone { proc: usize, job: usize },
+    /// A customer finished thinking and starts a new cycle.
+    ThinkDone { chain: usize },
+    /// Statistics boundary (warmup end or batch end).
+    Boundary,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    time: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+struct Engine<'m> {
+    model: &'m LqnModel,
+    options: SimOptions,
+    rng: StdRng,
+    now: f64,
+    seq: u64,
+    heap: BinaryHeap<Reverse<Event>>,
+    jobs: Vec<Job>,
+    free_jobs: Vec<usize>,
+    tasks: Vec<TaskState>,
+    procs: Vec<ProcState>,
+    /// Completion counts per entry since the last stats reset.
+    entry_completions: Vec<u64>,
+    /// Cycle counts per reference task in the current batch.
+    batch_cycles: Vec<u64>,
+    chain_batches: Vec<BatchMeans>,
+    chain_cycles_total: Vec<u64>,
+    chain_response: Vec<Welford>,
+    chain_p95: Vec<P2Quantile>,
+    measuring: bool,
+}
+
+const CALL_CAP: u64 = 1_000_000;
+
+impl<'m> Engine<'m> {
+    fn new(model: &'m LqnModel, options: SimOptions) -> Result<Self, SimError> {
+        model.validate()?;
+        if !(options.horizon.is_finite() && options.horizon > 0.0) {
+            return Err(SimError::InvalidOptions("horizon must be positive".into()));
+        }
+        if options.warmup < 0.0 || options.warmup >= options.horizon {
+            return Err(SimError::InvalidOptions(
+                "warmup must lie in [0, horizon)".into(),
+            ));
+        }
+        if options.batches < 2 {
+            return Err(SimError::InvalidOptions("need at least 2 batches".into()));
+        }
+        let mult = |m: Multiplicity| match m {
+            Multiplicity::Finite(n) => u64::from(n),
+            Multiplicity::Infinite => u64::MAX,
+        };
+        let tasks = model
+            .task_ids()
+            .map(|t| TaskState {
+                threads: mult(model.task(t).multiplicity),
+                busy: 0,
+                queue: VecDeque::new(),
+                busy_area: 0.0,
+                last_change: 0.0,
+            })
+            .collect();
+        let procs = model
+            .processor_ids()
+            .map(|p| ProcState {
+                cores: mult(model.processor(p).multiplicity),
+                busy: 0,
+                queue: VecDeque::new(),
+                busy_area: 0.0,
+                last_change: 0.0,
+            })
+            .collect();
+        Ok(Engine {
+            model,
+            options,
+            rng: StdRng::seed_from_u64(options.seed),
+            now: 0.0,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            jobs: Vec::new(),
+            free_jobs: Vec::new(),
+            tasks,
+            procs,
+            entry_completions: vec![0; model.entry_count()],
+            batch_cycles: vec![0; model.task_count()],
+            chain_batches: (0..model.task_count()).map(|_| BatchMeans::new()).collect(),
+            chain_cycles_total: vec![0; model.task_count()],
+            chain_response: (0..model.task_count()).map(|_| Welford::new()).collect(),
+            chain_p95: (0..model.task_count())
+                .map(|_| P2Quantile::new(0.95))
+                .collect(),
+            measuring: false,
+        })
+    }
+
+    fn schedule(&mut self, time: f64, kind: EventKind) {
+        self.seq += 1;
+        self.heap.push(Reverse(Event {
+            time,
+            seq: self.seq,
+            kind,
+        }));
+    }
+
+    fn alloc_job(&mut self, job: Job) -> usize {
+        if let Some(ix) = self.free_jobs.pop() {
+            self.jobs[ix] = job;
+            ix
+        } else {
+            self.jobs.push(job);
+            self.jobs.len() - 1
+        }
+    }
+
+    fn touch_task(&mut self, t: usize) {
+        let st = &mut self.tasks[t];
+        st.busy_area += st.busy as f64 * (self.now - st.last_change);
+        st.last_change = self.now;
+    }
+
+    fn touch_proc(&mut self, p: usize) {
+        let st = &mut self.procs[p];
+        st.busy_area += st.busy as f64 * (self.now - st.last_change);
+        st.last_change = self.now;
+    }
+
+    fn sample_calls(&mut self, mean: f64) -> u64 {
+        if mean <= 0.0 {
+            return 0;
+        }
+        if self.options.deterministic_calls {
+            return mean.round() as u64;
+        }
+        // Geometric on {0, 1, 2, ...} with the given mean.
+        let p_continue = mean / (1.0 + mean);
+        let mut k = 0;
+        while self.rng.gen::<f64>() < p_continue && k < CALL_CAP {
+            k += 1;
+        }
+        k
+    }
+
+    /// A new request for `entry` arrives; queue it at the owning task.
+    fn submit(&mut self, entry: EntryId, caller: Caller) {
+        let job = self.alloc_job(Job {
+            entry,
+            caller,
+            phase: Phase::One,
+            call_idx: 0,
+            calls_left: None,
+            live: true,
+        });
+        let t = self.model.entry(entry).task.index();
+        self.tasks[t].queue.push_back(job);
+        self.dispatch_task(t);
+    }
+
+    /// Hands queued requests to free threads.
+    fn dispatch_task(&mut self, t: usize) {
+        while self.tasks[t].busy < self.tasks[t].threads {
+            let Some(job) = self.tasks[t].queue.pop_front() else {
+                break;
+            };
+            self.touch_task(t);
+            self.tasks[t].busy += 1;
+            let entry = self.jobs[job].entry;
+            let demand = self
+                .options
+                .service
+                .sample(self.model.entry(entry).host_demand, &mut self.rng);
+            let p = self
+                .model
+                .task(self.model.entry(entry).task)
+                .processor
+                .index();
+            self.request_proc(p, job, demand);
+        }
+    }
+
+    fn request_proc(&mut self, p: usize, job: usize, duration: f64) {
+        if duration <= 0.0 {
+            // No host demand: skip the processor entirely.
+            self.advance_job(job);
+            return;
+        }
+        if self.procs[p].busy < self.procs[p].cores {
+            self.touch_proc(p);
+            self.procs[p].busy += 1;
+            self.schedule(self.now + duration, EventKind::ProcDone { proc: p, job });
+        } else {
+            self.procs[p].queue.push_back((job, duration));
+        }
+    }
+
+    fn on_proc_done(&mut self, p: usize, job: usize) {
+        self.touch_proc(p);
+        self.procs[p].busy -= 1;
+        if let Some((next_job, dur)) = self.procs[p].queue.pop_front() {
+            self.touch_proc(p);
+            self.procs[p].busy += 1;
+            self.schedule(
+                self.now + dur,
+                EventKind::ProcDone {
+                    proc: p,
+                    job: next_job,
+                },
+            );
+        }
+        self.advance_job(job);
+    }
+
+    /// Moves a job forward: issue the next synchronous call of its
+    /// current phase, or transition phases / complete.
+    fn advance_job(&mut self, job: usize) {
+        loop {
+            debug_assert!(self.jobs[job].live, "advancing a dead job");
+            let entry = self.jobs[job].entry;
+            let phase = self.jobs[job].phase;
+            let call_idx = self.jobs[job].call_idx;
+            let calls = &self.model.entry(entry).calls;
+            if call_idx >= calls.len() {
+                match phase {
+                    Phase::One => {
+                        self.reply(job);
+                        return;
+                    }
+                    Phase::Two => {
+                        self.finish_job(job);
+                        return;
+                    }
+                }
+            }
+            if calls[call_idx].phase != phase {
+                self.jobs[job].call_idx += 1;
+                self.jobs[job].calls_left = None;
+                continue;
+            }
+            let left = match self.jobs[job].calls_left {
+                Some(left) => left,
+                None => {
+                    let mean = calls[call_idx].mean_calls;
+                    let k = self.sample_calls(mean);
+                    self.jobs[job].calls_left = Some(k);
+                    k
+                }
+            };
+            if left == 0 {
+                self.jobs[job].call_idx += 1;
+                self.jobs[job].calls_left = None;
+                continue;
+            }
+            self.jobs[job].calls_left = Some(left - 1);
+            let target = calls[call_idx].target;
+            self.submit(target, Caller::Job(job));
+            return;
+        }
+    }
+
+    /// Phase 1 complete: deliver the reply (the caller resumes *now*),
+    /// then run the second phase — the serving thread stays busy.
+    fn reply(&mut self, job: usize) {
+        let entry = self.jobs[job].entry;
+        let caller = self.jobs[job].caller;
+        if self.measuring {
+            self.entry_completions[entry.index()] += 1;
+        }
+        match caller {
+            Caller::Customer { chain, cycle_start } => {
+                if self.measuring {
+                    self.batch_cycles[chain.index()] += 1;
+                    self.chain_cycles_total[chain.index()] += 1;
+                    self.chain_response[chain.index()].push(self.now - cycle_start);
+                    self.chain_p95[chain.index()].push(self.now - cycle_start);
+                }
+                let think_mean = match self.model.task(chain).kind {
+                    TaskKind::Reference { think_time } => think_time,
+                    TaskKind::Server => unreachable!("customers belong to reference tasks"),
+                };
+                let think = self.options.think.sample(think_mean, &mut self.rng);
+                if think <= 0.0 {
+                    self.start_cycle(chain.index());
+                } else {
+                    self.schedule(
+                        self.now + think,
+                        EventKind::ThinkDone {
+                            chain: chain.index(),
+                        },
+                    );
+                }
+            }
+            Caller::Job(parent) => {
+                self.advance_job(parent);
+            }
+        }
+        // Second phase.
+        self.jobs[job].phase = Phase::Two;
+        self.jobs[job].call_idx = 0;
+        self.jobs[job].calls_left = None;
+        let d2_mean = self.model.entry(entry).second_phase_demand;
+        let d2 = self.options.service.sample(d2_mean, &mut self.rng);
+        let p = self
+            .model
+            .task(self.model.entry(entry).task)
+            .processor
+            .index();
+        self.request_proc(p, job, d2);
+    }
+
+    /// Phase 2 complete: the serving thread finally frees up.
+    fn finish_job(&mut self, job: usize) {
+        let entry = self.jobs[job].entry;
+        let t = self.model.entry(entry).task.index();
+        self.touch_task(t);
+        self.tasks[t].busy -= 1;
+        self.jobs[job].live = false;
+        self.free_jobs.push(job);
+        self.dispatch_task(t);
+    }
+
+    fn start_cycle(&mut self, chain: usize) {
+        let chain_id = self.model.task_ids().nth(chain).expect("chain index valid");
+        let entry = self
+            .model
+            .entries_of(chain_id)
+            .next()
+            .expect("validated reference entry");
+        self.submit(
+            entry,
+            Caller::Customer {
+                chain: chain_id,
+                cycle_start: self.now,
+            },
+        );
+    }
+
+    fn reset_statistics(&mut self) {
+        self.entry_completions.iter_mut().for_each(|c| *c = 0);
+        self.batch_cycles.iter_mut().for_each(|c| *c = 0);
+        for t in 0..self.tasks.len() {
+            self.touch_task(t);
+            self.tasks[t].busy_area = 0.0;
+        }
+        for p in 0..self.procs.len() {
+            self.touch_proc(p);
+            self.procs[p].busy_area = 0.0;
+        }
+    }
+
+    fn run(mut self) -> SimResult {
+        // Seed the system: all customers start a cycle at time 0 (think
+        // first, to desynchronise them under exponential thinking).
+        for t in self.model.reference_tasks() {
+            let population = match self.model.task(t).multiplicity {
+                Multiplicity::Finite(n) => n,
+                Multiplicity::Infinite => 0,
+            };
+            let think_mean = match self.model.task(t).kind {
+                TaskKind::Reference { think_time } => think_time,
+                TaskKind::Server => unreachable!(),
+            };
+            for _ in 0..population {
+                let think = self.options.think.sample(think_mean, &mut self.rng);
+                if think <= 0.0 {
+                    self.start_cycle(t.index());
+                } else {
+                    self.schedule(think, EventKind::ThinkDone { chain: t.index() });
+                }
+            }
+        }
+        // Statistics boundaries: warmup end + batch ends.
+        let measured = self.options.horizon - self.options.warmup;
+        let batch_len = measured / f64::from(self.options.batches);
+        self.schedule(self.options.warmup, EventKind::Boundary);
+        for b in 1..=self.options.batches {
+            self.schedule(
+                self.options.warmup + f64::from(b) * batch_len,
+                EventKind::Boundary,
+            );
+        }
+
+        let mut boundaries_seen = 0u32;
+        while let Some(Reverse(ev)) = self.heap.pop() {
+            if ev.time > self.options.horizon {
+                break;
+            }
+            self.now = ev.time;
+            match ev.kind {
+                EventKind::ProcDone { proc, job } => self.on_proc_done(proc, job),
+                EventKind::ThinkDone { chain } => self.start_cycle(chain),
+                EventKind::Boundary => {
+                    if boundaries_seen == 0 {
+                        // Warmup complete: discard everything so far.
+                        self.reset_statistics();
+                        self.measuring = true;
+                    } else {
+                        for t in self.model.task_ids() {
+                            if self.model.task(t).is_reference() {
+                                let x = self.batch_cycles[t.index()] as f64 / batch_len;
+                                self.chain_batches[t.index()].push_batch(x);
+                                self.batch_cycles[t.index()] = 0;
+                            }
+                        }
+                    }
+                    boundaries_seen += 1;
+                }
+            }
+        }
+        self.now = self.options.horizon;
+        self.finish(measured)
+    }
+
+    fn finish(mut self, measured: f64) -> SimResult {
+        for t in 0..self.tasks.len() {
+            self.touch_task(t);
+        }
+        for p in 0..self.procs.len() {
+            self.touch_proc(p);
+        }
+        let entry_throughput: Vec<f64> = self
+            .entry_completions
+            .iter()
+            .map(|&c| c as f64 / measured)
+            .collect();
+        let mut task_throughput = vec![0.0; self.model.task_count()];
+        for t in self.model.task_ids() {
+            task_throughput[t.index()] = self
+                .model
+                .entries_of(t)
+                .map(|e| entry_throughput[e.index()])
+                .sum();
+        }
+        let task_busy: Vec<f64> = self
+            .tasks
+            .iter()
+            .map(|st| st.busy_area / measured)
+            .collect();
+        let proc_utilization: Vec<f64> = self
+            .procs
+            .iter()
+            .map(|st| st.busy_area / measured)
+            .collect();
+        let mut chain_ci = vec![None; self.model.task_count()];
+        let mut chain_response = vec![None; self.model.task_count()];
+        let mut chain_response_p95 = vec![None; self.model.task_count()];
+        for t in self.model.task_ids() {
+            if self.model.task(t).is_reference() {
+                chain_ci[t.index()] = Some(self.chain_batches[t.index()].confidence_interval());
+                chain_response[t.index()] = Some(self.chain_response[t.index()].mean());
+                chain_response_p95[t.index()] = self.chain_p95[t.index()].estimate();
+            }
+        }
+        SimResult {
+            entry_throughput,
+            task_throughput,
+            task_busy,
+            proc_utilization,
+            chain_ci,
+            chain_response,
+            chain_response_p95,
+            measured_time: measured,
+        }
+    }
+}
+
+/// Simulates `model` for `options.horizon` seconds of virtual time.
+///
+/// # Errors
+///
+/// Returns [`SimError::Model`] for invalid models and
+/// [`SimError::InvalidOptions`] for inconsistent options.
+pub fn simulate(model: &LqnModel, options: SimOptions) -> Result<SimResult, SimError> {
+    Ok(Engine::new(model, options)?.run())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmperf_lqn::{solve, LqnModel, Multiplicity};
+
+    fn opts(horizon: f64, seed: u64) -> SimOptions {
+        SimOptions {
+            horizon,
+            warmup: horizon * 0.1,
+            seed,
+            ..SimOptions::default()
+        }
+    }
+
+    /// Single user, single server: cycle time = Z + D exactly (no
+    /// contention), so X = 1 / (Z + D).
+    #[test]
+    fn single_user_throughput() {
+        let mut m = LqnModel::new();
+        let pc = m.add_processor("pc", Multiplicity::Infinite);
+        let ps = m.add_processor("ps", Multiplicity::Finite(1));
+        let u = m.add_reference_task("u", pc, 1, 1.0);
+        let s = m.add_task("s", ps, Multiplicity::Finite(1));
+        let eu = m.add_entry("eu", u, 0.0);
+        let es = m.add_entry("es", s, 0.5);
+        m.add_call(eu, es, 1.0).unwrap();
+        let r = simulate(&m, opts(50_000.0, 1)).unwrap();
+        let x = r.task_throughput(u);
+        assert!((x - 1.0 / 1.5).abs() < 0.02, "got {x}");
+    }
+
+    #[test]
+    fn deterministic_everything_is_exact() {
+        let mut m = LqnModel::new();
+        let pc = m.add_processor("pc", Multiplicity::Infinite);
+        let ps = m.add_processor("ps", Multiplicity::Finite(1));
+        let u = m.add_reference_task("u", pc, 1, 1.0);
+        let s = m.add_task("s", ps, Multiplicity::Finite(1));
+        let eu = m.add_entry("eu", u, 0.0);
+        let es = m.add_entry("es", s, 1.0);
+        m.add_call(eu, es, 1.0).unwrap();
+        let r = simulate(
+            &m,
+            SimOptions {
+                horizon: 10_000.0,
+                warmup: 1_000.0,
+                service: Distribution::Deterministic,
+                think: Distribution::Deterministic,
+                deterministic_calls: true,
+                ..SimOptions::default()
+            },
+        )
+        .unwrap();
+        let x = r.task_throughput(u);
+        assert!((x - 0.5).abs() < 0.01, "got {x}");
+    }
+
+    #[test]
+    fn identical_seeds_identical_results() {
+        let mut m = LqnModel::new();
+        let pc = m.add_processor("pc", Multiplicity::Infinite);
+        let ps = m.add_processor("ps", Multiplicity::Finite(1));
+        let u = m.add_reference_task("u", pc, 5, 0.5);
+        let s = m.add_task("s", ps, Multiplicity::Finite(2));
+        let eu = m.add_entry("eu", u, 0.0);
+        let es = m.add_entry("es", s, 0.2);
+        m.add_call(eu, es, 2.0).unwrap();
+        let r1 = simulate(&m, opts(5_000.0, 42)).unwrap();
+        let r2 = simulate(&m, opts(5_000.0, 42)).unwrap();
+        assert_eq!(r1.task_throughput(u), r2.task_throughput(u));
+        let r3 = simulate(&m, opts(5_000.0, 43)).unwrap();
+        assert_ne!(r1.task_throughput(u), r3.task_throughput(u));
+    }
+
+    #[test]
+    fn utilization_law_in_simulation() {
+        let mut m = LqnModel::new();
+        let pc = m.add_processor("pc", Multiplicity::Infinite);
+        let ps = m.add_processor("ps", Multiplicity::Finite(1));
+        let u = m.add_reference_task("u", pc, 3, 2.0);
+        let s = m.add_task("s", ps, Multiplicity::Finite(3));
+        let eu = m.add_entry("eu", u, 0.0);
+        let es = m.add_entry("es", s, 0.4);
+        m.add_call(eu, es, 1.0).unwrap();
+        let r = simulate(&m, opts(50_000.0, 7)).unwrap();
+        let x = r.entry_throughput(es);
+        let util = r.processor_utilization(m.processor_ids().nth(1).unwrap());
+        assert!((util - x * 0.4).abs() < 0.02, "U={util}, X*D={}", x * 0.4);
+    }
+
+    #[test]
+    fn matches_analytic_solver_on_paper_c5() {
+        // The Table 1/2 C5 configuration: cross-check DES vs MOL/MVA.
+        let mut m = LqnModel::new();
+        let pa = m.add_processor("procA", Multiplicity::Infinite);
+        let pb = m.add_processor("procB", Multiplicity::Infinite);
+        let p1 = m.add_processor("proc1", Multiplicity::Finite(1));
+        let p2 = m.add_processor("proc2", Multiplicity::Finite(1));
+        let p3 = m.add_processor("proc3", Multiplicity::Finite(1));
+        let ua = m.add_reference_task("UserA", pa, 50, 0.0);
+        let ub = m.add_reference_task("UserB", pb, 100, 0.0);
+        let aa = m.add_task("AppA", p1, Multiplicity::Finite(1));
+        let ab = m.add_task("AppB", p2, Multiplicity::Finite(1));
+        let s1 = m.add_task("Server1", p3, Multiplicity::Finite(1));
+        let e_ua = m.add_entry("userA", ua, 0.0);
+        let e_ub = m.add_entry("userB", ub, 0.0);
+        let e_a = m.add_entry("eA", aa, 1.0);
+        let e_b = m.add_entry("eB", ab, 0.5);
+        let e_a1 = m.add_entry("eA-1", s1, 1.0);
+        let e_b1 = m.add_entry("eB-1", s1, 0.5);
+        m.add_call(e_ua, e_a, 1.0).unwrap();
+        m.add_call(e_ub, e_b, 1.0).unwrap();
+        m.add_call(e_a, e_a1, 1.0).unwrap();
+        m.add_call(e_b, e_b1, 1.0).unwrap();
+
+        let sim = simulate(&m, opts(30_000.0, 11)).unwrap();
+        let ana = solve(&m).unwrap();
+        for t in [ua, ub] {
+            let xs = sim.task_throughput(t);
+            let xa = ana.task_throughput(t);
+            let rel = (xs - xa).abs() / xs;
+            assert!(rel < 0.15, "task {t:?}: sim {xs} vs analytic {xa}");
+        }
+    }
+
+    #[test]
+    fn confidence_interval_covers_point_estimate() {
+        let mut m = LqnModel::new();
+        let pc = m.add_processor("pc", Multiplicity::Infinite);
+        let ps = m.add_processor("ps", Multiplicity::Finite(1));
+        let u = m.add_reference_task("u", pc, 4, 1.0);
+        let s = m.add_task("s", ps, Multiplicity::Finite(1));
+        let eu = m.add_entry("eu", u, 0.0);
+        let es = m.add_entry("es", s, 0.1);
+        m.add_call(eu, es, 1.0).unwrap();
+        let r = simulate(&m, opts(20_000.0, 3)).unwrap();
+        let ci = r.chain_confidence(u).expect("reference task");
+        assert!(ci.contains(r.task_throughput(u)) || ci.half_width < 0.05);
+        assert!(ci.half_width.is_finite());
+        assert_eq!(r.chain_confidence(s), None);
+    }
+
+    #[test]
+    fn chain_response_positive_and_sensible() {
+        let mut m = LqnModel::new();
+        let pc = m.add_processor("pc", Multiplicity::Infinite);
+        let ps = m.add_processor("ps", Multiplicity::Finite(1));
+        let u = m.add_reference_task("u", pc, 2, 1.0);
+        let s = m.add_task("s", ps, Multiplicity::Finite(1));
+        let eu = m.add_entry("eu", u, 0.0);
+        let es = m.add_entry("es", s, 0.25);
+        m.add_call(eu, es, 1.0).unwrap();
+        let r = simulate(&m, opts(20_000.0, 5)).unwrap();
+        let resp = r.chain_response(u).unwrap();
+        assert!(resp >= 0.24, "response {resp} below bare service time");
+        assert!(resp < 1.0, "response {resp} absurdly high for 2 users");
+    }
+
+    #[test]
+    fn geometric_calls_average_out() {
+        // mean_calls = 2.0 geometric: entry flow ratio should approach 2.
+        let mut m = LqnModel::new();
+        let pc = m.add_processor("pc", Multiplicity::Infinite);
+        let ps = m.add_processor("ps", Multiplicity::Finite(4));
+        let u = m.add_reference_task("u", pc, 2, 1.0);
+        let s = m.add_task("s", ps, Multiplicity::Finite(4));
+        let eu = m.add_entry("eu", u, 0.01);
+        let es = m.add_entry("es", s, 0.01);
+        m.add_call(eu, es, 2.0).unwrap();
+        let r = simulate(&m, opts(50_000.0, 9)).unwrap();
+        let ratio = r.entry_throughput(es) / r.entry_throughput(eu);
+        assert!((ratio - 2.0).abs() < 0.1, "ratio {ratio}");
+    }
+
+    #[test]
+    fn second_phase_shortens_visible_response() {
+        // Same total demand, half in phase 2: cycle response drops, the
+        // server stays equally busy.
+        let build = |ph2: bool, seed: u64| {
+            let mut m = LqnModel::new();
+            let pc = m.add_processor("pc", Multiplicity::Infinite);
+            let ps = m.add_processor("ps", Multiplicity::Finite(1));
+            let u = m.add_reference_task("u", pc, 2, 2.0);
+            let s = m.add_task("s", ps, Multiplicity::Finite(1));
+            let eu = m.add_entry("eu", u, 0.0);
+            let es = m.add_entry("es", s, if ph2 { 0.2 } else { 0.4 });
+            if ph2 {
+                m.set_second_phase_demand(es, 0.2);
+            }
+            m.add_call(eu, es, 1.0).unwrap();
+            let r = simulate(&m, opts(40_000.0, seed)).unwrap();
+            (
+                r.chain_response(u).unwrap(),
+                r.task_utilization(s),
+                r.task_throughput(u),
+            )
+        };
+        let (resp1, util1, _x1) = build(false, 21);
+        let (resp2, util2, _x2) = build(true, 21);
+        assert!(
+            resp2 < resp1,
+            "phase 2 must hide latency: {resp2} vs {resp1}"
+        );
+        assert!(
+            (util1 - util2).abs() < 0.05,
+            "busy time comparable: {util1} vs {util2}"
+        );
+    }
+
+    #[test]
+    fn second_phase_sim_matches_analytic_solver() {
+        use fmperf_lqn::Phase;
+        let mut m = LqnModel::new();
+        let pc = m.add_processor("pc", Multiplicity::Infinite);
+        let ps = m.add_processor("ps", Multiplicity::Finite(1));
+        let pl = m.add_processor("pl", Multiplicity::Finite(1));
+        let u = m.add_reference_task("u", pc, 6, 1.0);
+        let s = m.add_task("s", ps, Multiplicity::Finite(2));
+        let log = m.add_task("log", pl, Multiplicity::Finite(2));
+        let eu = m.add_entry("eu", u, 0.0);
+        let es = m.add_entry("es", s, 0.1);
+        let el = m.add_entry("el", log, 0.15);
+        m.set_second_phase_demand(es, 0.05);
+        m.add_call(eu, es, 1.0).unwrap();
+        m.add_call_in_phase(es, el, 1.0, Phase::Two).unwrap();
+        let sim = simulate(&m, opts(40_000.0, 23)).unwrap();
+        let ana = solve(&m).unwrap();
+        let xs = sim.task_throughput(u);
+        let xa = ana.task_throughput(u);
+        assert!(
+            ((xs - xa) / xs).abs() < 0.12,
+            "second-phase model: sim {xs} vs analytic {xa}"
+        );
+        // The logger sees all the flow in both worlds.
+        assert!((sim.entry_throughput(el) - sim.entry_throughput(es)).abs() < 0.05);
+    }
+
+    #[test]
+    fn p95_response_dominates_the_mean() {
+        let mut m = LqnModel::new();
+        let pc = m.add_processor("pc", Multiplicity::Infinite);
+        let ps = m.add_processor("ps", Multiplicity::Finite(1));
+        let u = m.add_reference_task("u", pc, 6, 1.0);
+        let s = m.add_task("s", ps, Multiplicity::Finite(1));
+        let eu = m.add_entry("eu", u, 0.0);
+        let es = m.add_entry("es", s, 0.2);
+        m.add_call(eu, es, 1.0).unwrap();
+        let r = simulate(&m, opts(20_000.0, 31)).unwrap();
+        let mean = r.chain_response(u).unwrap();
+        let p95 = r.chain_response_p95(u).unwrap();
+        assert!(p95 > mean, "p95 {p95} must exceed mean {mean}");
+        // Exponential-ish tails: p95 typically 2-4x the mean here.
+        assert!(
+            p95 < 10.0 * mean,
+            "p95 {p95} implausibly heavy vs mean {mean}"
+        );
+        assert_eq!(r.chain_response_p95(s), None);
+    }
+
+    #[test]
+    fn invalid_options_rejected() {
+        let mut m = LqnModel::new();
+        let pc = m.add_processor("pc", Multiplicity::Infinite);
+        let u = m.add_reference_task("u", pc, 1, 1.0);
+        m.add_entry("eu", u, 0.1);
+        let bad = SimOptions {
+            warmup: 100.0,
+            horizon: 50.0,
+            ..SimOptions::default()
+        };
+        assert!(matches!(
+            simulate(&m, bad),
+            Err(SimError::InvalidOptions(_))
+        ));
+        let bad = SimOptions {
+            batches: 1,
+            ..SimOptions::default()
+        };
+        assert!(matches!(
+            simulate(&m, bad),
+            Err(SimError::InvalidOptions(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_model_rejected() {
+        let m = LqnModel::new();
+        assert!(matches!(
+            simulate(&m, SimOptions::default()),
+            Err(SimError::Model(_))
+        ));
+    }
+
+    #[test]
+    fn zero_think_zero_demand_reference_is_fine_if_server_has_demand() {
+        // Users hammer the server with no think time at all.
+        let mut m = LqnModel::new();
+        let pc = m.add_processor("pc", Multiplicity::Infinite);
+        let ps = m.add_processor("ps", Multiplicity::Finite(1));
+        let u = m.add_reference_task("u", pc, 10, 0.0);
+        let s = m.add_task("s", ps, Multiplicity::Finite(1));
+        let eu = m.add_entry("eu", u, 0.0);
+        let es = m.add_entry("es", s, 0.2);
+        m.add_call(eu, es, 1.0).unwrap();
+        let r = simulate(&m, opts(10_000.0, 2)).unwrap();
+        let x = r.task_throughput(u);
+        assert!(
+            (x - 5.0).abs() < 0.2,
+            "saturated server should give ~5/s, got {x}"
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! # fmperf-sim
+//!
+//! Discrete-event simulation of layered RPC client-server systems.
+//!
+//! The analytic LQN solver in `fmperf-lqn` replaces the authors' LQNS tool
+//! (DSN 2002, §5 step 5); this crate provides an *independent* estimate of
+//! the same measures by simulating the model's blocking-RPC semantics
+//! event by event:
+//!
+//! * reference-task customers cycle through think time and a synchronous
+//!   request to their entry;
+//! * a task has `m` threads; a thread that accepted a request executes the
+//!   entry's host demand as a non-preemptive FCFS service episode on the
+//!   task's processor, then issues each synchronous call in turn (blocking
+//!   until the reply), then replies to its caller;
+//! * think times and host demands are exponentially distributed by default
+//!   (matching the MVA assumptions) and call counts are geometric with the
+//!   specified mean — both distributions are configurable.
+//!
+//! Statistics are collected after a warm-up period, with batch-means
+//! confidence intervals for chain throughputs.
+//!
+//! ```
+//! use fmperf_lqn::{LqnModel, Multiplicity};
+//! use fmperf_sim::{simulate, SimOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut m = LqnModel::new();
+//! let pc = m.add_processor("clients", Multiplicity::Infinite);
+//! let ps = m.add_processor("server-cpu", Multiplicity::Finite(1));
+//! let users = m.add_reference_task("users", pc, 5, 1.0);
+//! let server = m.add_task("server", ps, Multiplicity::Finite(1));
+//! let cycle = m.add_entry("cycle", users, 0.0);
+//! let work = m.add_entry("work", server, 0.1);
+//! m.add_call(cycle, work, 1.0)?;
+//!
+//! let result = simulate(
+//!     &m,
+//!     SimOptions { horizon: 2_000.0, warmup: 200.0, ..SimOptions::default() },
+//! )?;
+//! assert!(result.task_throughput(users) > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod stats;
+
+pub use engine::{simulate, Distribution, SimError, SimOptions, SimResult};
+pub use stats::{BatchMeans, ConfidenceInterval, P2Quantile, Welford};

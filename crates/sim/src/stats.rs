@@ -1,0 +1,438 @@
+//! Online statistics: Welford accumulation, batch means and confidence
+//! intervals.
+
+/// Online mean/variance accumulator (Welford's algorithm).
+///
+/// ```
+/// use fmperf_sim::Welford;
+/// let mut w = Welford::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     w.push(x);
+/// }
+/// assert_eq!(w.mean(), 2.5);
+/// assert!((w.sample_variance() - 5.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn sample_std(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+}
+
+/// A symmetric confidence interval around a point estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate.
+    pub mean: f64,
+    /// Half-width of the interval.
+    pub half_width: f64,
+}
+
+impl ConfidenceInterval {
+    /// Lower bound.
+    pub fn low(&self) -> f64 {
+        self.mean - self.half_width
+    }
+    /// Upper bound.
+    pub fn high(&self) -> f64 {
+        self.mean + self.half_width
+    }
+    /// Does the interval contain `x`?
+    pub fn contains(&self, x: f64) -> bool {
+        (self.low()..=self.high()).contains(&x)
+    }
+}
+
+/// Two-sided 95% Student-t quantile for `df` degrees of freedom.
+///
+/// Table-driven for small `df`, converging to the normal 1.96 for large
+/// samples; adequate for simulation confidence intervals.
+pub fn t_quantile_95(df: u64) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
+    ];
+    match df {
+        0 => f64::INFINITY,
+        1..=30 => TABLE[(df - 1) as usize],
+        31..=60 => 2.01,
+        _ => 1.96,
+    }
+}
+
+/// Batch-means estimator: splits a stream of per-batch observations into a
+/// mean and a 95% confidence interval.
+///
+/// ```
+/// use fmperf_sim::BatchMeans;
+/// let mut bm = BatchMeans::new();
+/// for x in [10.0, 11.0, 9.5, 10.5, 10.2, 9.8] {
+///     bm.push_batch(x);
+/// }
+/// let ci = bm.confidence_interval();
+/// assert!(ci.contains(10.0));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BatchMeans {
+    acc: Welford,
+}
+
+impl BatchMeans {
+    /// Creates an empty estimator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one batch-level observation (e.g. the throughput measured over
+    /// one batch interval).
+    pub fn push_batch(&mut self, batch_mean: f64) {
+        self.acc.push(batch_mean);
+    }
+
+    /// Number of batches seen.
+    pub fn batches(&self) -> u64 {
+        self.acc.count()
+    }
+
+    /// Point estimate and 95% confidence half-width.
+    ///
+    /// With fewer than two batches the half-width is infinite.
+    pub fn confidence_interval(&self) -> ConfidenceInterval {
+        let n = self.acc.count();
+        if n < 2 {
+            return ConfidenceInterval {
+                mean: self.acc.mean(),
+                half_width: f64::INFINITY,
+            };
+        }
+        let se = self.acc.sample_std() / (n as f64).sqrt();
+        ConfidenceInterval {
+            mean: self.acc.mean(),
+            half_width: t_quantile_95(n - 1) * se,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_empty() {
+        let w = Welford::new();
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.sample_variance(), 0.0);
+    }
+
+    #[test]
+    fn welford_single_value() {
+        let mut w = Welford::new();
+        w.push(5.0);
+        assert_eq!(w.mean(), 5.0);
+        assert_eq!(w.sample_variance(), 0.0);
+    }
+
+    #[test]
+    fn welford_matches_direct_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let mean: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var: f64 = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((w.mean() - mean).abs() < 1e-12);
+        assert!((w.sample_variance() - var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn t_quantiles_monotone_to_normal() {
+        assert!(t_quantile_95(1) > t_quantile_95(5));
+        assert!(t_quantile_95(5) > t_quantile_95(30));
+        assert_eq!(t_quantile_95(1000), 1.96);
+        assert_eq!(t_quantile_95(0), f64::INFINITY);
+    }
+
+    #[test]
+    fn batch_means_interval_shrinks_with_batches() {
+        let mut few = BatchMeans::new();
+        let mut many = BatchMeans::new();
+        let data = [10.0, 10.4, 9.6, 10.2, 9.8];
+        for &x in &data[..3] {
+            few.push_batch(x);
+        }
+        for _ in 0..4 {
+            for &x in &data {
+                many.push_batch(x);
+            }
+        }
+        assert!(many.confidence_interval().half_width < few.confidence_interval().half_width);
+    }
+
+    #[test]
+    fn batch_means_single_batch_is_unbounded() {
+        let mut bm = BatchMeans::new();
+        bm.push_batch(1.0);
+        assert_eq!(bm.confidence_interval().half_width, f64::INFINITY);
+    }
+
+    #[test]
+    fn interval_accessors() {
+        let ci = ConfidenceInterval {
+            mean: 10.0,
+            half_width: 0.5,
+        };
+        assert_eq!(ci.low(), 9.5);
+        assert_eq!(ci.high(), 10.5);
+        assert!(ci.contains(10.4));
+        assert!(!ci.contains(10.6));
+    }
+}
+
+/// Streaming quantile estimator — the P² (piecewise-parabolic) algorithm
+/// of Jain & Chlamtac (CACM 1985).
+///
+/// Tracks one quantile in O(1) memory without storing observations;
+/// ideal for response-time percentiles in long simulations.
+///
+/// ```
+/// use fmperf_sim::P2Quantile;
+/// let mut q = P2Quantile::new(0.5);
+/// for i in 1..=1001 {
+///     q.push(f64::from(i));
+/// }
+/// let median = q.estimate().unwrap();
+/// assert!((median - 501.0).abs() < 20.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    p: f64,
+    /// Marker heights (the 5 tracked order statistics).
+    heights: [f64; 5],
+    /// Actual marker positions (1-based observation counts).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments per observation.
+    increments: [f64; 5],
+    count: usize,
+    /// First five observations, used for initialisation.
+    initial: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for the `p`-quantile (e.g. 0.95).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `(0, 1)`.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "quantile must lie in (0, 1)");
+        P2Quantile {
+            p,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            increments: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            count: 0,
+            initial: Vec::with_capacity(5),
+        }
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        if self.initial.len() < 5 {
+            self.initial.push(x);
+            if self.initial.len() == 5 {
+                self.initial.sort_by(f64::total_cmp);
+                self.heights.copy_from_slice(&self.initial);
+            }
+            return;
+        }
+        // Find the cell k containing x and update extreme markers.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            let mut k = 0;
+            for i in 0..4 {
+                if self.heights[i] <= x && x < self.heights[i + 1] {
+                    k = i;
+                    break;
+                }
+            }
+            k
+        };
+        for i in (k + 1)..5 {
+            self.positions[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.desired[i] += self.increments[i];
+        }
+        // Adjust interior markers with parabolic (or linear) moves.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right = self.positions[i + 1] - self.positions[i];
+            let left = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
+                let d = d.signum();
+                let parab = self.parabolic(i, d);
+                let new = if self.heights[i - 1] < parab && parab < self.heights[i + 1] {
+                    parab
+                } else {
+                    self.linear(i, d)
+                };
+                self.heights[i] = new;
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let q = &self.heights;
+        let n = &self.positions;
+        q[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The current quantile estimate; `None` before any observation.
+    ///
+    /// With fewer than five observations the estimate is the exact sample
+    /// quantile of what has been seen.
+    pub fn estimate(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.initial.len() < 5 {
+            let mut v = self.initial.clone();
+            v.sort_by(f64::total_cmp);
+            let ix = ((v.len() as f64 - 1.0) * self.p).round() as usize;
+            return Some(v[ix]);
+        }
+        Some(self.heights[2])
+    }
+}
+
+#[cfg(test)]
+mod p2_tests {
+    use super::*;
+
+    fn lcg(seed: &mut u64) -> f64 {
+        // Simple deterministic generator for test data.
+        *seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (*seed >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    #[test]
+    fn median_of_uniform_stream() {
+        let mut q = P2Quantile::new(0.5);
+        let mut seed = 42;
+        for _ in 0..50_000 {
+            q.push(lcg(&mut seed));
+        }
+        let m = q.estimate().unwrap();
+        assert!((m - 0.5).abs() < 0.02, "median {m}");
+    }
+
+    #[test]
+    fn p95_of_uniform_stream() {
+        let mut q = P2Quantile::new(0.95);
+        let mut seed = 7;
+        for _ in 0..50_000 {
+            q.push(lcg(&mut seed));
+        }
+        let m = q.estimate().unwrap();
+        assert!((m - 0.95).abs() < 0.02, "p95 {m}");
+    }
+
+    #[test]
+    fn exponential_tail_quantile() {
+        // For Exp(1), the 0.9-quantile is ln(10).
+        let mut q = P2Quantile::new(0.9);
+        let mut seed = 99;
+        for _ in 0..100_000 {
+            let u = lcg(&mut seed);
+            q.push(-(1.0 - u).ln());
+        }
+        let m = q.estimate().unwrap();
+        assert!((m - std::f64::consts::LN_10).abs() < 0.1, "q90 {m}");
+    }
+
+    #[test]
+    fn small_samples_are_exact() {
+        let mut q = P2Quantile::new(0.5);
+        assert_eq!(q.estimate(), None);
+        q.push(3.0);
+        assert_eq!(q.estimate(), Some(3.0));
+        q.push(1.0);
+        q.push(2.0);
+        let m = q.estimate().unwrap();
+        assert!((1.0..=3.0).contains(&m));
+        assert_eq!(q.count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must lie")]
+    fn invalid_quantile_panics() {
+        P2Quantile::new(1.0);
+    }
+}

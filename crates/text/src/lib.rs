@@ -1,0 +1,51 @@
+//! # fmperf-text
+//!
+//! A human-editable textual format for combined FTLQN + MAMA models, with
+//! a [`parse`] function and a [`write_model`] serializer.
+//!
+//! One statement per line, `#` starts a comment.  Statements:
+//!
+//! ```text
+//! processor <name> [fail <p>] [cores <n|inf>]
+//! users     <name> on <proc> [population <n>] [think <t>]
+//! task      <name> on <proc> [fail <p>] [threads <n|inf>]
+//! entry     <name> of <task> [demand <d>]
+//! link      <name> [fail <p>]
+//! service   <name> = <entry> [> <entry>]...         # priority order
+//! call      <entry> -> <entry-or-service> [x <mean>] [via <link>]
+//!
+//! mgmtproc  <name> [fail <p>]
+//! agent     <name> on <proc> [fail <p>]
+//! manager   <name> on <proc> [fail <p>]
+//! watch     alive|status <component> -> <agent-or-manager> [name <c>]
+//! notify    <agent-or-manager> -> <component> [name <c>]
+//!
+//! reward    <users> <weight>
+//! ```
+//!
+//! Application tasks and processors referenced from `watch`/`notify`
+//! statements are registered in the MAMA model automatically.
+//!
+//! ```
+//! let src = r#"
+//!     processor pc cores inf
+//!     processor p1 fail 0.1
+//!     users u on pc population 10 think 1.0
+//!     task s on p1 fail 0.1
+//!     entry eu of u
+//!     entry es of s demand 0.5
+//!     call eu -> es
+//!     reward u 1.0
+//! "#;
+//! let parsed = fmperf_text::parse(src).unwrap();
+//! assert_eq!(parsed.app.task_count(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod parser;
+mod writer;
+
+pub use parser::{parse, ParseError, ParsedModel};
+pub use writer::write_model;

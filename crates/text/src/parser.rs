@@ -1,0 +1,603 @@
+//! The line-oriented parser.  Definitions must precede uses.
+
+use fmperf_ftlqn::{FtEntryId, FtProcId, FtTaskId, FtlqnModel, LinkId, RequestTarget, ServiceId};
+use fmperf_lqn::Multiplicity;
+use fmperf_mama::model::ConnectorKind;
+use fmperf_mama::{MamaCompId, MamaModel};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed combined model.
+#[derive(Debug, Clone)]
+pub struct ParsedModel {
+    /// The application model.
+    pub app: FtlqnModel,
+    /// The management architecture (possibly empty).
+    pub mama: MamaModel,
+    /// Reward weights declared with `reward` statements.
+    pub rewards: Vec<(FtTaskId, f64)>,
+    pub(crate) tasks: BTreeMap<String, FtTaskId>,
+    pub(crate) entries: BTreeMap<String, FtEntryId>,
+    pub(crate) services: BTreeMap<String, ServiceId>,
+    pub(crate) procs: BTreeMap<String, FtProcId>,
+    pub(crate) links: BTreeMap<String, LinkId>,
+}
+
+impl ParsedModel {
+    /// Looks up a task by its name in the source text.
+    pub fn task(&self, name: &str) -> Option<FtTaskId> {
+        self.tasks.get(name).copied()
+    }
+    /// Looks up an entry by name.
+    pub fn entry(&self, name: &str) -> Option<FtEntryId> {
+        self.entries.get(name).copied()
+    }
+    /// Looks up a service by name.
+    pub fn service(&self, name: &str) -> Option<ServiceId> {
+        self.services.get(name).copied()
+    }
+    /// Looks up a processor by name.
+    pub fn processor(&self, name: &str) -> Option<FtProcId> {
+        self.procs.get(name).copied()
+    }
+}
+
+/// A parse failure, with its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Ctx {
+    model: ParsedModel,
+    /// MAMA components by name (agents, managers, mgmt processors and
+    /// auto-registered app components).
+    mama_comps: BTreeMap<String, MamaCompId>,
+    conn_counter: usize,
+}
+
+macro_rules! bail {
+    ($line:expr, $($arg:tt)*) => {
+        return Err(ParseError { line: $line, message: format!($($arg)*) })
+    };
+}
+
+/// Parses a combined model from source text.
+///
+/// # Errors
+///
+/// Returns the first syntax or reference error with its line number; the
+/// resulting models are additionally validated (`FtlqnModel::validate`,
+/// `MamaModel::validate`) before being returned.
+pub fn parse(src: &str) -> Result<ParsedModel, ParseError> {
+    let mut ctx = Ctx {
+        model: ParsedModel {
+            app: FtlqnModel::new(),
+            mama: MamaModel::new(),
+            rewards: Vec::new(),
+            tasks: BTreeMap::new(),
+            entries: BTreeMap::new(),
+            services: BTreeMap::new(),
+            procs: BTreeMap::new(),
+            links: BTreeMap::new(),
+        },
+        mama_comps: BTreeMap::new(),
+        conn_counter: 0,
+    };
+    for (ix, raw) in src.lines().enumerate() {
+        let line_no = ix + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        statement(&mut ctx, line_no, &tokens)?;
+    }
+    ctx.model.app.validate().map_err(|e| ParseError {
+        line: 0,
+        message: format!("application model invalid: {e}"),
+    })?;
+    ctx.model
+        .mama
+        .validate(&ctx.model.app)
+        .map_err(|e| ParseError {
+            line: 0,
+            message: format!("management model invalid: {e}"),
+        })?;
+    Ok(ctx.model)
+}
+
+fn statement(ctx: &mut Ctx, line: usize, t: &[&str]) -> Result<(), ParseError> {
+    match t[0] {
+        "processor" => processor(ctx, line, t),
+        "users" => users(ctx, line, t),
+        "task" => task(ctx, line, t),
+        "entry" => entry(ctx, line, t),
+        "link" => link(ctx, line, t),
+        "service" => service(ctx, line, t),
+        "call" => call(ctx, line, t),
+        "mgmtproc" => mgmtproc(ctx, line, t),
+        "agent" | "manager" => mgmt_task(ctx, line, t),
+        "watch" => watch(ctx, line, t),
+        "notify" => notify(ctx, line, t),
+        "reward" => reward(ctx, line, t),
+        other => bail!(line, "unknown statement `{other}`"),
+    }
+}
+
+/// Parses trailing `key value` option pairs.
+fn options(
+    line: usize,
+    t: &[&str],
+    allowed: &[&str],
+) -> Result<BTreeMap<String, String>, ParseError> {
+    if !t.len().is_multiple_of(2) {
+        bail!(
+            line,
+            "options must come in `key value` pairs, got `{}`",
+            t.join(" ")
+        );
+    }
+    let mut out = BTreeMap::new();
+    for pair in t.chunks(2) {
+        if !allowed.contains(&pair[0]) {
+            bail!(
+                line,
+                "unknown option `{}` (allowed: {})",
+                pair[0],
+                allowed.join(", ")
+            );
+        }
+        if out
+            .insert(pair[0].to_string(), pair[1].to_string())
+            .is_some()
+        {
+            bail!(line, "duplicate option `{}`", pair[0]);
+        }
+    }
+    Ok(out)
+}
+
+fn f64_opt(
+    line: usize,
+    opts: &BTreeMap<String, String>,
+    key: &str,
+    default: f64,
+) -> Result<f64, ParseError> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse::<f64>().map_err(|_| ParseError {
+            line,
+            message: format!("bad number for `{key}`: `{v}`"),
+        }),
+    }
+}
+
+fn u32_opt(
+    line: usize,
+    opts: &BTreeMap<String, String>,
+    key: &str,
+    default: u32,
+) -> Result<u32, ParseError> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse::<u32>().map_err(|_| ParseError {
+            line,
+            message: format!("bad integer for `{key}`: `{v}`"),
+        }),
+    }
+}
+
+fn mult_opt(
+    line: usize,
+    opts: &BTreeMap<String, String>,
+    key: &str,
+    default: Multiplicity,
+) -> Result<Multiplicity, ParseError> {
+    match opts.get(key).map(|s| s.as_str()) {
+        None => Ok(default),
+        Some("inf") => Ok(Multiplicity::Infinite),
+        Some(v) => v
+            .parse::<u32>()
+            .map(Multiplicity::Finite)
+            .map_err(|_| ParseError {
+                line,
+                message: format!("bad multiplicity for `{key}`: `{v}`"),
+            }),
+    }
+}
+
+fn fresh_name(ctx: &Ctx, line: usize, name: &str) -> Result<(), ParseError> {
+    let m = &ctx.model;
+    if m.tasks.contains_key(name)
+        || m.entries.contains_key(name)
+        || m.services.contains_key(name)
+        || m.procs.contains_key(name)
+        || m.links.contains_key(name)
+        || ctx.mama_comps.contains_key(name)
+    {
+        bail!(line, "name `{name}` already defined");
+    }
+    Ok(())
+}
+
+fn processor(ctx: &mut Ctx, line: usize, t: &[&str]) -> Result<(), ParseError> {
+    let [_, name, rest @ ..] = t else {
+        bail!(line, "usage: processor <name> [options]")
+    };
+    fresh_name(ctx, line, name)?;
+    let opts = options(line, rest, &["fail", "cores"])?;
+    let fail = f64_opt(line, &opts, "fail", 0.0)?;
+    let cores = mult_opt(line, &opts, "cores", Multiplicity::Finite(1))?;
+    let id = ctx.model.app.add_processor(*name, fail, cores);
+    ctx.model.procs.insert(name.to_string(), id);
+    Ok(())
+}
+
+fn users(ctx: &mut Ctx, line: usize, t: &[&str]) -> Result<(), ParseError> {
+    let [_, name, "on", proc, rest @ ..] = t else {
+        bail!(line, "usage: users <name> on <proc> [options]")
+    };
+    fresh_name(ctx, line, name)?;
+    let Some(&p) = ctx.model.procs.get(*proc) else {
+        bail!(line, "unknown processor `{proc}`")
+    };
+    let opts = options(line, rest, &["population", "think", "fail"])?;
+    let population = u32_opt(line, &opts, "population", 1)?;
+    let think = f64_opt(line, &opts, "think", 0.0)?;
+    let fail = f64_opt(line, &opts, "fail", 0.0)?;
+    let id = ctx
+        .model
+        .app
+        .add_reference_task(*name, p, fail, population, think);
+    ctx.model.tasks.insert(name.to_string(), id);
+    Ok(())
+}
+
+fn task(ctx: &mut Ctx, line: usize, t: &[&str]) -> Result<(), ParseError> {
+    let [_, name, "on", proc, rest @ ..] = t else {
+        bail!(line, "usage: task <name> on <proc> [options]")
+    };
+    fresh_name(ctx, line, name)?;
+    let Some(&p) = ctx.model.procs.get(*proc) else {
+        bail!(line, "unknown processor `{proc}`")
+    };
+    let opts = options(line, rest, &["fail", "threads"])?;
+    let fail = f64_opt(line, &opts, "fail", 0.0)?;
+    let threads = mult_opt(line, &opts, "threads", Multiplicity::Finite(1))?;
+    let id = ctx.model.app.add_task(*name, p, fail, threads);
+    ctx.model.tasks.insert(name.to_string(), id);
+    Ok(())
+}
+
+fn entry(ctx: &mut Ctx, line: usize, t: &[&str]) -> Result<(), ParseError> {
+    let [_, name, "of", task, rest @ ..] = t else {
+        bail!(
+            line,
+            "usage: entry <name> of <task> [demand <d>] [demand2 <d>]"
+        )
+    };
+    fresh_name(ctx, line, name)?;
+    let Some(&tk) = ctx.model.tasks.get(*task) else {
+        bail!(line, "unknown task `{task}`")
+    };
+    let opts = options(line, rest, &["demand", "demand2"])?;
+    let demand = f64_opt(line, &opts, "demand", 0.0)?;
+    let demand2 = f64_opt(line, &opts, "demand2", 0.0)?;
+    let id = ctx.model.app.add_entry(*name, tk, demand);
+    if demand2 > 0.0 {
+        ctx.model.app.set_second_phase_demand(id, demand2);
+    }
+    ctx.model.entries.insert(name.to_string(), id);
+    Ok(())
+}
+
+fn link(ctx: &mut Ctx, line: usize, t: &[&str]) -> Result<(), ParseError> {
+    let [_, name, rest @ ..] = t else {
+        bail!(line, "usage: link <name> [fail <p>]")
+    };
+    fresh_name(ctx, line, name)?;
+    let opts = options(line, rest, &["fail"])?;
+    let fail = f64_opt(line, &opts, "fail", 0.0)?;
+    let id = ctx.model.app.add_link(*name, fail);
+    ctx.model.links.insert(name.to_string(), id);
+    Ok(())
+}
+
+fn service(ctx: &mut Ctx, line: usize, t: &[&str]) -> Result<(), ParseError> {
+    let [_, name, "=", alts @ ..] = t else {
+        bail!(line, "usage: service <name> = <entry> [> <entry>]...")
+    };
+    fresh_name(ctx, line, name)?;
+    if alts.is_empty() {
+        bail!(line, "service `{name}` needs at least one alternative");
+    }
+    let id = ctx.model.app.add_service(*name);
+    for part in alts.split(|&s| s == ">") {
+        let [alt] = part else {
+            bail!(line, "alternatives must be single entries separated by `>`")
+        };
+        let Some(&e) = ctx.model.entries.get(*alt) else {
+            bail!(line, "unknown entry `{alt}`")
+        };
+        ctx.model.app.add_alternative(id, e, None);
+    }
+    ctx.model.services.insert(name.to_string(), id);
+    Ok(())
+}
+
+fn call(ctx: &mut Ctx, line: usize, t: &[&str]) -> Result<(), ParseError> {
+    let [_, from, "->", to, rest @ ..] = t else {
+        bail!(
+            line,
+            "usage: call <entry> -> <entry-or-service> [x <mean>] [via <link>]"
+        )
+    };
+    let Some(&fe) = ctx.model.entries.get(*from) else {
+        bail!(line, "unknown entry `{from}`")
+    };
+    let target = if let Some(&te) = ctx.model.entries.get(*to) {
+        RequestTarget::Entry(te)
+    } else if let Some(&s) = ctx.model.services.get(*to) {
+        RequestTarget::Service(s)
+    } else {
+        bail!(line, "unknown call target `{to}`");
+    };
+    let opts = options(line, rest, &["x", "via", "phase"])?;
+    let mean = f64_opt(line, &opts, "x", 1.0)?;
+    let via = match opts.get("via") {
+        None => None,
+        Some(l) => match ctx.model.links.get(l) {
+            Some(&l) => Some(l),
+            None => bail!(line, "unknown link `{l}`"),
+        },
+    };
+    let phase = match opts.get("phase").map(String::as_str) {
+        None | Some("1") => fmperf_lqn::Phase::One,
+        Some("2") => fmperf_lqn::Phase::Two,
+        Some(other) => bail!(line, "phase must be 1 or 2, got `{other}`"),
+    };
+    ctx.model
+        .app
+        .add_request_in_phase(fe, target, mean, via, phase);
+    Ok(())
+}
+
+fn mgmtproc(ctx: &mut Ctx, line: usize, t: &[&str]) -> Result<(), ParseError> {
+    let [_, name, rest @ ..] = t else {
+        bail!(line, "usage: mgmtproc <name> [fail <p>]")
+    };
+    fresh_name(ctx, line, name)?;
+    let opts = options(line, rest, &["fail"])?;
+    let fail = f64_opt(line, &opts, "fail", 0.0)?;
+    let id = ctx.model.mama.add_mgmt_processor(*name, fail);
+    ctx.mama_comps.insert(name.to_string(), id);
+    Ok(())
+}
+
+/// Resolves (auto-registering if needed) a name to a MAMA component.
+fn mama_comp(ctx: &mut Ctx, line: usize, name: &str) -> Result<MamaCompId, ParseError> {
+    if let Some(&c) = ctx.mama_comps.get(name) {
+        return Ok(c);
+    }
+    // App processor?
+    if let Some(&p) = ctx.model.procs.get(name) {
+        let id = ctx.model.mama.add_app_processor(name, p);
+        ctx.mama_comps.insert(name.to_string(), id);
+        return Ok(id);
+    }
+    // App task?  Its processor must be registered first.
+    if let Some(&t) = ctx.model.tasks.get(name) {
+        let p = ctx.model.app.processor_of(t);
+        let pname = ctx.model.app.processor_name(p).to_string();
+        let pc = mama_comp(ctx, line, &pname)?;
+        let id = ctx.model.mama.add_app_task(name, t, pc);
+        ctx.mama_comps.insert(name.to_string(), id);
+        return Ok(id);
+    }
+    bail!(line, "unknown component `{name}`")
+}
+
+fn mgmt_task(ctx: &mut Ctx, line: usize, t: &[&str]) -> Result<(), ParseError> {
+    let [kind, name, "on", proc, rest @ ..] = t else {
+        bail!(line, "usage: {} <name> on <proc> [fail <p>]", t[0])
+    };
+    fresh_name(ctx, line, name)?;
+    let opts = options(line, rest, &["fail"])?;
+    let fail = f64_opt(line, &opts, "fail", 0.0)?;
+    let pc = mama_comp(ctx, line, proc)?;
+    let id = if *kind == "agent" {
+        ctx.model.mama.add_agent(*name, pc, fail)
+    } else {
+        ctx.model.mama.add_manager(*name, pc, fail)
+    };
+    ctx.mama_comps.insert(name.to_string(), id);
+    Ok(())
+}
+
+fn connector_name(ctx: &mut Ctx, opts: &BTreeMap<String, String>) -> String {
+    match opts.get("name") {
+        Some(n) => n.clone(),
+        None => {
+            ctx.conn_counter += 1;
+            format!("c{}", ctx.conn_counter)
+        }
+    }
+}
+
+fn watch(ctx: &mut Ctx, line: usize, t: &[&str]) -> Result<(), ParseError> {
+    let [_, kind, src, "->", dst, rest @ ..] = t else {
+        bail!(
+            line,
+            "usage: watch alive|status <component> -> <monitor> [name <c>]"
+        )
+    };
+    let ck = match *kind {
+        "alive" => ConnectorKind::AliveWatch,
+        "status" => ConnectorKind::StatusWatch,
+        other => bail!(
+            line,
+            "watch kind must be `alive` or `status`, got `{other}`"
+        ),
+    };
+    let s = mama_comp(ctx, line, src)?;
+    let d = mama_comp(ctx, line, dst)?;
+    let opts = options(line, rest, &["name"])?;
+    let name = connector_name(ctx, &opts);
+    ctx.model.mama.watch(name, ck, s, d);
+    Ok(())
+}
+
+fn notify(ctx: &mut Ctx, line: usize, t: &[&str]) -> Result<(), ParseError> {
+    let [_, src, "->", dst, rest @ ..] = t else {
+        bail!(line, "usage: notify <notifier> -> <subscriber> [name <c>]")
+    };
+    let s = mama_comp(ctx, line, src)?;
+    let d = mama_comp(ctx, line, dst)?;
+    let opts = options(line, rest, &["name"])?;
+    let name = connector_name(ctx, &opts);
+    ctx.model.mama.notify(name, s, d);
+    Ok(())
+}
+
+fn reward(ctx: &mut Ctx, line: usize, t: &[&str]) -> Result<(), ParseError> {
+    let [_, users, weight] = t else {
+        bail!(line, "usage: reward <users> <weight>")
+    };
+    let Some(&u) = ctx.model.tasks.get(*users) else {
+        bail!(line, "unknown task `{users}`")
+    };
+    if !ctx.model.app.is_reference(u) {
+        bail!(line, "`{users}` is not a users (reference) task");
+    }
+    let w: f64 = weight.parse().map_err(|_| ParseError {
+        line,
+        message: format!("bad weight `{weight}`"),
+    })?;
+    ctx.model.rewards.push((u, w));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINIMAL: &str = r#"
+        # a primary/backup system
+        processor pc cores inf
+        processor p1 fail 0.1
+        processor p2 fail 0.1
+        users u on pc population 10 think 1.0
+        task prim on p1 fail 0.1
+        task back on p2 fail 0.1
+        entry eu of u
+        entry e1 of prim demand 0.5
+        entry e2 of back demand 0.5
+        service data = e1 > e2
+        call eu -> data x 1.0
+        reward u 1.0
+    "#;
+
+    #[test]
+    fn minimal_parses() {
+        let m = parse(MINIMAL).unwrap();
+        assert_eq!(m.app.task_count(), 3);
+        assert_eq!(m.app.service_count(), 1);
+        assert_eq!(m.rewards.len(), 1);
+        assert!(m.task("prim").is_some());
+        assert!(m.entry("e2").is_some());
+        assert!(m.service("data").is_some());
+    }
+
+    #[test]
+    fn management_section_parses_with_auto_registration() {
+        let src = format!(
+            "{MINIMAL}\n\
+             mgmtproc p5 fail 0.1\n\
+             agent ag1 on p1 fail 0.1\n\
+             manager m1 on p5 fail 0.1\n\
+             watch alive prim -> ag1\n\
+             watch status ag1 -> m1\n\
+             watch alive p1 -> m1\n\
+             notify m1 -> ag1\n"
+        );
+        let m = parse(&src).unwrap();
+        assert_eq!(m.mama.connector_count(), 4);
+        // prim and p1 were auto-registered.
+        assert!(m.mama.component_by_name("prim").is_some());
+        assert!(m.mama.component_by_name("p1").is_some());
+    }
+
+    #[test]
+    fn unknown_statement_is_reported_with_line() {
+        let err = parse("processor p\nfrobnicate x\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn undefined_reference_fails() {
+        let err = parse("task t on nowhere\n").unwrap_err();
+        assert!(err.message.contains("unknown processor"));
+    }
+
+    #[test]
+    fn duplicate_name_fails() {
+        let err = parse("processor p\nprocessor p\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("already defined"));
+    }
+
+    #[test]
+    fn bad_option_value_fails() {
+        let err = parse("processor p fail many\n").unwrap_err();
+        assert!(err.message.contains("bad number"));
+    }
+
+    #[test]
+    fn odd_option_tokens_fail() {
+        let err = parse("processor p fail\n").unwrap_err();
+        assert!(err.message.contains("pairs"));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let m = parse("# hi\n\n   # more\nprocessor p\nusers u on p\nentry e of u\n").unwrap();
+        assert_eq!(m.app.processor_count(), 1);
+    }
+
+    #[test]
+    fn invalid_final_model_reports_validation_error() {
+        // Users with two entries: invalid.
+        let err = parse("processor p\nusers u on p\nentry a of u\nentry b of u\n").unwrap_err();
+        assert!(err.message.contains("invalid"));
+    }
+
+    #[test]
+    fn call_via_link() {
+        let src = "processor pc cores inf\nprocessor p1\nusers u on pc\ntask s on p1\n\
+                   entry eu of u\nentry es of s demand 0.1\nlink net fail 0.05\n\
+                   call eu -> es via net\n";
+        let m = parse(src).unwrap();
+        assert_eq!(m.app.link_count(), 1);
+    }
+
+    #[test]
+    fn reward_requires_reference_task() {
+        let src = "processor pc cores inf\nprocessor p1\nusers u on pc\ntask s on p1\n\
+                   entry eu of u\nentry es of s demand 0.1\ncall eu -> es\nreward s 1.0\n";
+        let err = parse(src).unwrap_err();
+        assert!(err.message.contains("not a users"));
+    }
+}

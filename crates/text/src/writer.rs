@@ -1,0 +1,240 @@
+//! Canonical text serialisation of combined models.
+//!
+//! `parse(write_model(m)) == m` structurally, and `write_model` is a
+//! fixed point: writing a re-parsed model yields byte-identical text.
+
+use fmperf_ftlqn::{FtTaskId, FtlqnModel, RequestTarget};
+use fmperf_lqn::Multiplicity;
+use fmperf_mama::model::{ConnectorKind, MamaComponentKind, MgmtRole};
+use fmperf_mama::MamaModel;
+use std::fmt::Write as _;
+
+fn mult(m: Multiplicity) -> String {
+    match m {
+        Multiplicity::Finite(n) => n.to_string(),
+        Multiplicity::Infinite => "inf".to_string(),
+    }
+}
+
+fn num(x: f64) -> String {
+    // Shortest representation that round-trips through f64 parsing.
+    let s = format!("{x}");
+    debug_assert_eq!(s.parse::<f64>().ok(), Some(x));
+    s
+}
+
+/// Serialises an application model, its management architecture and
+/// reward weights into the textual format accepted by
+/// [`parse`](crate::parse).
+pub fn write_model(app: &FtlqnModel, mama: &MamaModel, rewards: &[(FtTaskId, f64)]) -> String {
+    let mut out = String::new();
+    out.push_str("# fmperf model\n");
+
+    for p in app.processor_ids() {
+        let _ = writeln!(
+            out,
+            "processor {} fail {} cores {}",
+            app.processor_name(p),
+            num(app.fail_prob(fmperf_ftlqn::Component::Processor(p))),
+            mult(app.processor_multiplicity(p)),
+        );
+    }
+    for l in app.link_ids() {
+        let _ = writeln!(
+            out,
+            "link {} fail {}",
+            app.component_name(fmperf_ftlqn::Component::Link(l)),
+            num(app.fail_prob(fmperf_ftlqn::Component::Link(l))),
+        );
+    }
+    for t in app.task_ids() {
+        let proc = app.processor_name(app.processor_of(t));
+        match app.reference_params(t) {
+            Some((population, think)) => {
+                let _ = writeln!(
+                    out,
+                    "users {} on {} population {} think {} fail {}",
+                    app.task_name(t),
+                    proc,
+                    population,
+                    num(think),
+                    num(app.fail_prob(fmperf_ftlqn::Component::Task(t))),
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "task {} on {} fail {} threads {}",
+                    app.task_name(t),
+                    proc,
+                    num(app.fail_prob(fmperf_ftlqn::Component::Task(t))),
+                    mult(app.task_multiplicity(t)),
+                );
+            }
+        }
+    }
+    for e in app.entry_ids() {
+        let mut line = format!(
+            "entry {} of {} demand {}",
+            app.entry_name(e),
+            app.task_name(app.task_of(e)),
+            num(app.entry_demand(e)),
+        );
+        if app.second_phase_demand(e) > 0.0 {
+            let _ = write!(line, " demand2 {}", num(app.second_phase_demand(e)));
+        }
+        let _ = writeln!(out, "{line}");
+    }
+    for s in app.service_ids() {
+        let alts: Vec<&str> = app
+            .alternatives(s)
+            .map(|(e, _)| app.entry_name(e))
+            .collect();
+        let _ = writeln!(
+            out,
+            "service {} = {}",
+            app.service_name(s),
+            alts.join(" > ")
+        );
+    }
+    for e in app.entry_ids() {
+        for (target, mean, link, phase) in app.requests_of(e) {
+            let tname = match target {
+                RequestTarget::Entry(te) => app.entry_name(te),
+                RequestTarget::Service(s) => app.service_name(s),
+            };
+            let mut line = format!("call {} -> {} x {}", app.entry_name(e), tname, num(mean));
+            if let Some(l) = link {
+                let _ = write!(
+                    line,
+                    " via {}",
+                    app.component_name(fmperf_ftlqn::Component::Link(l))
+                );
+            }
+            if phase == fmperf_lqn::Phase::Two {
+                let _ = write!(line, " phase 2");
+            }
+            let _ = writeln!(out, "{line}");
+        }
+    }
+
+    // Management side.  App-bound components are implicit (the parser
+    // auto-registers them on first use) but must be *ordered* before
+    // their first use; emitting mgmt processors and tasks first, then
+    // connectors, reproduces any model because connectors name app
+    // components directly.
+    for id in mama.component_ids() {
+        let comp = mama.component(id);
+        match comp.kind {
+            MamaComponentKind::MgmtProcessor { fail_prob } => {
+                let _ = writeln!(out, "mgmtproc {} fail {}", comp.name, num(fail_prob));
+            }
+            MamaComponentKind::MgmtTask {
+                role,
+                processor,
+                fail_prob,
+            } => {
+                let kw = match role {
+                    MgmtRole::Agent => "agent",
+                    MgmtRole::Manager => "manager",
+                };
+                let _ = writeln!(
+                    out,
+                    "{kw} {} on {} fail {}",
+                    comp.name,
+                    mama.component(processor).name,
+                    num(fail_prob),
+                );
+            }
+            // Implicit: recreated on demand by connector statements.
+            MamaComponentKind::AppTask { .. } | MamaComponentKind::AppProcessor { .. } => {}
+        }
+    }
+    for cid in mama.connector_ids() {
+        let conn = mama.connector(cid);
+        let src = &mama.component(conn.source).name;
+        let dst = &mama.component(conn.target).name;
+        match conn.kind {
+            ConnectorKind::AliveWatch => {
+                let _ = writeln!(out, "watch alive {src} -> {dst} name {}", conn.name);
+            }
+            ConnectorKind::StatusWatch => {
+                let _ = writeln!(out, "watch status {src} -> {dst} name {}", conn.name);
+            }
+            ConnectorKind::Notify => {
+                let _ = writeln!(out, "notify {src} -> {dst} name {}", conn.name);
+            }
+        }
+    }
+    for &(t, w) in rewards {
+        let _ = writeln!(out, "reward {} {}", app.task_name(t), num(w));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use fmperf_ftlqn::examples::das_woodside_system;
+    use fmperf_mama::arch;
+
+    #[test]
+    fn paper_system_roundtrips() {
+        let sys = das_woodside_system();
+        let mama = arch::centralized(&sys, 0.1);
+        let rewards = vec![(sys.user_a, 1.0), (sys.user_b, 1.0)];
+        let text = write_model(&sys.model, &mama, &rewards);
+        let parsed = parse(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        assert_eq!(parsed.app.task_count(), sys.model.task_count());
+        assert_eq!(parsed.app.entry_count(), sys.model.entry_count());
+        assert_eq!(parsed.app.service_count(), sys.model.service_count());
+        assert_eq!(parsed.mama.connector_count(), mama.connector_count());
+        assert_eq!(parsed.rewards.len(), 2);
+        // Fixed point: writing the reparsed model is byte-identical.
+        let text2 = write_model(&parsed.app, &parsed.mama, &parsed.rewards);
+        assert_eq!(text, text2);
+    }
+
+    #[test]
+    fn all_architectures_roundtrip() {
+        let sys = das_woodside_system();
+        for kind in arch::ArchKind::ALL {
+            let mama = arch::build(kind, &sys, 0.1);
+            let text = write_model(&sys.model, &mama, &[]);
+            let parsed = parse(&text).unwrap_or_else(|e| panic!("{}: {e}\n{text}", kind.name()));
+            assert_eq!(
+                parsed.mama.connector_count(),
+                mama.connector_count(),
+                "{}",
+                kind.name()
+            );
+            let text2 = write_model(&parsed.app, &parsed.mama, &parsed.rewards);
+            assert_eq!(text, text2, "{} not a fixed point", kind.name());
+        }
+    }
+
+    #[test]
+    fn analysis_on_reparsed_model_matches_original() {
+        use fmperf_core::Analysis;
+        use fmperf_mama::{ComponentSpace, KnowTable};
+
+        let sys = das_woodside_system();
+        let mama = arch::centralized(&sys, 0.1);
+        let text = write_model(&sys.model, &mama, &[]);
+        let parsed = parse(&text).unwrap();
+
+        let run = |app: &fmperf_ftlqn::FtlqnModel, mama: &fmperf_mama::MamaModel| {
+            let graph = fmperf_ftlqn::FaultGraph::build(app).unwrap();
+            let space = ComponentSpace::build(app, mama);
+            let table = KnowTable::build(&graph, mama, &space);
+            Analysis::new(&graph, &space)
+                .with_knowledge(&table)
+                .enumerate()
+                .failed_probability()
+        };
+        let orig = run(&sys.model, &mama);
+        let reparsed = run(&parsed.app, &parsed.mama);
+        assert!((orig - reparsed).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,79 @@
+//! Robustness properties of the parser: arbitrary input must never
+//! panic, and structured mutations of a valid model must either parse or
+//! fail with a line-numbered error.
+
+use fmperf_text::parse;
+use proptest::prelude::*;
+
+const VALID: &str = "processor pc cores inf\nprocessor p1 fail 0.1\n\
+    users u on pc population 5 think 1.0\ntask s on p1 fail 0.1\n\
+    entry eu of u\nentry es of s demand 0.2\ncall eu -> es\nreward u 1.0\n";
+
+proptest! {
+    /// Arbitrary bytes (as a string) never panic the parser.
+    #[test]
+    fn arbitrary_text_never_panics(s in "\\PC{0,400}") {
+        let _ = parse(&s);
+    }
+
+    /// Arbitrary *tokens* assembled into statement-shaped lines never
+    /// panic, and errors carry a plausible line number.
+    #[test]
+    fn token_soup_never_panics(
+        words in proptest::collection::vec("[a-z0-9.>#-]{1,8}", 0..60),
+        breaks in proptest::collection::vec(any::<bool>(), 0..60),
+    ) {
+        let mut src = String::new();
+        for (w, b) in words.iter().zip(breaks.iter().chain(std::iter::repeat(&false))) {
+            src.push_str(w);
+            src.push(if *b { '\n' } else { ' ' });
+        }
+        match parse(&src) {
+            Ok(_) => {}
+            Err(e) => {
+                let lines = src.lines().count();
+                prop_assert!(e.line <= lines + 1, "line {} of {}", e.line, lines);
+            }
+        }
+    }
+
+    /// Deleting any single line from a valid model either still parses or
+    /// fails cleanly (no panic) — simulates hand-editing mistakes.
+    #[test]
+    fn line_deletion_is_handled(ix in 0usize..8) {
+        let lines: Vec<&str> = VALID.lines().collect();
+        let mutated: String = lines
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != ix)
+            .map(|(_, l)| format!("{l}\n"))
+            .collect();
+        let _ = parse(&mutated);
+    }
+
+    /// Duplicating any single line either parses (idempotent statements
+    /// do not exist here, so in practice it errors) or reports the right
+    /// duplicate.
+    #[test]
+    fn line_duplication_is_handled(ix in 0usize..8) {
+        let lines: Vec<&str> = VALID.lines().collect();
+        let mut mutated = String::new();
+        for (i, l) in lines.iter().enumerate() {
+            mutated.push_str(l);
+            mutated.push('\n');
+            if i == ix {
+                mutated.push_str(l);
+                mutated.push('\n');
+            }
+        }
+        match parse(&mutated) {
+            Ok(_) => {}
+            Err(e) => prop_assert!(!e.message.is_empty()),
+        }
+    }
+}
+
+#[test]
+fn valid_base_model_parses() {
+    parse(VALID).unwrap();
+}

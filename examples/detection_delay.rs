@@ -1,0 +1,57 @@
+//! Detection-delay extension: how heartbeat intervals eat into the
+//! reward that coverage analysis promises.
+//!
+//! Steady-state coverage analysis treats a covered failure as instantly
+//! repaired by reconfiguration.  This example applies the first-order
+//! delay correction (paper §7 / reference [29]) for a range of heartbeat
+//! intervals and failure rates on the Figure 1 system.
+//!
+//! ```text
+//! cargo run --example detection_delay
+//! ```
+
+use fmperf::core::{expected_reward, solve_configurations, Analysis, DelayModel, RewardSpec};
+use fmperf::ftlqn::examples::das_woodside_system;
+use fmperf::mama::{arch, ComponentSpace, KnowTable};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sys = das_woodside_system();
+    let graph = sys.fault_graph()?;
+    let mama = arch::centralized(&sys, 0.1);
+    let space = ComponentSpace::build(&sys.model, &mama);
+    let table = KnowTable::build(&graph, &mama, &space);
+    let analysis = Analysis::new(&graph, &space).with_knowledge(&table);
+    let spec = RewardSpec::new()
+        .weight(sys.user_a, 1.0)
+        .weight(sys.user_b, 1.0);
+
+    let dist = analysis.enumerate();
+    let perfs = solve_configurations(&sys.model, &dist.configurations())?;
+    let r_ss = expected_reward(&dist, &perfs, &spec);
+    println!("Steady-state expected reward (instant detection): {r_ss:.3}/s\n");
+
+    println!("First-order reward penalty for finite detection + reconfiguration:");
+    println!(
+        "{:>16} {:>14} {:>12} {:>14}",
+        "MTBF per comp.", "window (s)", "penalty/s", "adjusted R"
+    );
+    for mtbf_hours in [24.0, 24.0 * 7.0] {
+        for window in [1.0, 10.0, 60.0, 300.0] {
+            let rate = 1.0 / (mtbf_hours * 3600.0);
+            let model = DelayModel::uniform(space.len(), rate, window);
+            let penalty = model.penalty(&analysis, &spec)?;
+            println!(
+                "{:>13.0} h {:>14.0} {:>12.5} {:>14.3}",
+                mtbf_hours,
+                window,
+                penalty,
+                r_ss - penalty
+            );
+        }
+    }
+    println!();
+    println!("The correction matters once detection windows reach minutes on");
+    println!("components that fail daily — exactly the regime where the paper");
+    println!("suggests extending the model with explicit delay states.");
+    Ok(())
+}

@@ -1,0 +1,33 @@
+//! Regenerates the shipped `models/*.fmp` files from the canonical
+//! in-code builders: the paper's Figure 1 system under each §6
+//! management architecture (plus both distributed variants).
+//!
+//! Run from the repository root so the files land in `models/`:
+//!
+//! ```text
+//! cargo run --example gen_models
+//! ```
+
+use fmperf::ftlqn::examples::das_woodside_system;
+use fmperf::mama::arch;
+use fmperf::text::write_model;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sys = das_woodside_system();
+    for (name, mama) in [
+        ("centralized", arch::centralized(&sys, 0.1)),
+        ("distributed-as-drawn", arch::distributed(&sys, 0.1)),
+        (
+            "distributed-as-published",
+            arch::distributed_as_published(&sys, 0.1),
+        ),
+        ("hierarchical", arch::hierarchical(&sys, 0.1)),
+        ("network", arch::network(&sys, 0.1)),
+    ] {
+        let text = write_model(&sys.model, &mama, &[(sys.user_a, 1.0), (sys.user_b, 1.0)]);
+        let path = format!("models/paper-{name}.fmp");
+        std::fs::write(&path, text)?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! Component-importance audit: which component deserves the next unit of
+//! hardening budget?
+//!
+//! Ranks every fallible component — application *and* management — by the
+//! derivative of the expected reward with respect to its availability
+//! (reward-weighted Birnbaum importance).  Management components compete
+//! on the same scale as servers: a dead manager loses reward through
+//! missed reconfigurations rather than through lost capacity.
+//!
+//! ```text
+//! cargo run --example importance_audit
+//! ```
+
+use fmperf::core::{sensitivity, Analysis, RewardSpec};
+use fmperf::ftlqn::examples::das_woodside_system;
+use fmperf::mama::{arch, ComponentSpace, KnowTable};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sys = das_woodside_system();
+    let graph = sys.fault_graph()?;
+    let mama = arch::centralized(&sys, 0.1);
+    let space = ComponentSpace::build(&sys.model, &mama);
+    let table = KnowTable::build(&graph, &mama, &space);
+    let analysis = Analysis::new(&graph, &space).with_knowledge(&table);
+    let spec = RewardSpec::new()
+        .weight(sys.user_a, 1.0)
+        .weight(sys.user_b, 1.0);
+
+    let sens = sensitivity(&analysis, &spec)?;
+    println!("Centralized management of the Figure 1 system");
+    println!("∂E[reward]/∂availability, most important first:\n");
+    println!("{:<12} {:>12}", "component", "dR/da");
+    for (ix, d) in sens.ranked() {
+        println!("{:<12} {:>12.4}", space.name(ix), d);
+    }
+    println!();
+    println!("Reading: raising a component's availability from a to a+δ buys");
+    println!("δ × (dR/da) extra reward per second.  Note where the central manager");
+    println!("and the agents land relative to the application servers.");
+    Ok(())
+}

@@ -1,0 +1,119 @@
+//! Scaling study: pushing past the paper's "one or two dozen entities".
+//!
+//! The paper notes (§7) that exhaustive `2^N` enumeration limits the
+//! approach to a couple dozen components.  This example generates a
+//! family of progressively larger enterprise systems — `d` departments,
+//! each with its own application task, sharing a pool of primary/backup
+//! server pairs — wraps each in a synthesised two-domain management
+//! architecture, and compares the engines:
+//!
+//! * exact enumeration (while it is still feasible),
+//! * the symbolic BDD engine (exact, `2^(app components)` only),
+//! * Monte Carlo (any size).
+//!
+//! ```text
+//! cargo run --release --example scaling_study
+//! ```
+
+use fmperf::core::{Analysis, MonteCarloOptions};
+use fmperf::ftlqn::{FaultGraph, FtlqnModel, RequestTarget};
+use fmperf::lqn::Multiplicity;
+use fmperf::mama::{synthesize, ComponentSpace, KnowTable, SynthOptions};
+use std::time::Instant;
+
+/// Builds a `d`-department enterprise over `k` primary/backup pairs.
+fn enterprise(d: usize, k: usize) -> FtlqnModel {
+    let mut m = FtlqnModel::new();
+    let pc = m.add_processor("terminals", 0.0, Multiplicity::Infinite);
+    let mut primaries = Vec::new();
+    let mut backups = Vec::new();
+    for i in 0..k {
+        let pp = m.add_processor(format!("srv-node-{i}"), 0.05, Multiplicity::Finite(1));
+        let pt = m.add_task(format!("srv-{i}"), pp, 0.05, Multiplicity::Finite(1));
+        let bp = m.add_processor(format!("bak-node-{i}"), 0.05, Multiplicity::Finite(1));
+        let bt = m.add_task(format!("bak-{i}"), bp, 0.05, Multiplicity::Finite(1));
+        primaries.push((pt, pp));
+        backups.push((bt, bp));
+    }
+    for dep in 0..d {
+        let ap = m.add_processor(format!("dept-node-{dep}"), 0.05, Multiplicity::Finite(1));
+        let at = m.add_task(format!("dept-app-{dep}"), ap, 0.05, Multiplicity::Finite(2));
+        let users = m.add_reference_task(format!("users-{dep}"), pc, 0.0, 20, 1.0);
+        let e_u = m.add_entry(format!("u-{dep}"), users, 0.0);
+        let e_a = m.add_entry(format!("a-{dep}"), at, 0.05);
+        m.add_request(e_u, RequestTarget::Entry(e_a), 1.0, None);
+        // Department dep prefers server dep % k, backed by its pair.
+        let sx = dep % k;
+        let e_p = m.add_entry(format!("p-{dep}"), primaries[sx].0, 0.1);
+        let e_b = m.add_entry(format!("b-{dep}"), backups[sx].0, 0.12);
+        let svc = m.add_service(format!("data-{dep}"));
+        m.add_alternative(svc, e_p, None);
+        m.add_alternative(svc, e_b, None);
+        m.add_request(e_a, RequestTarget::Service(svc), 1.0, None);
+    }
+    m.validate().expect("generated enterprise is valid");
+    m
+}
+
+fn main() {
+    println!(
+        "{:>4} {:>4} {:>9} {:>11} {:>11} {:>11} {:>12} {:>12}",
+        "dept",
+        "srv",
+        "fallible",
+        "P[f] exact",
+        "P[f] symb",
+        "P[f] mc",
+        "t(symbolic)",
+        "t(mc 100k)"
+    );
+    for (d, k) in [(1usize, 1usize), (2, 1), (2, 2), (3, 2), (4, 2)] {
+        let app = enterprise(d, k);
+        let mama = synthesize(
+            &app,
+            &SynthOptions {
+                mgmt_fail_prob: 0.05,
+                domains: 2,
+                hierarchical: false,
+            },
+        );
+        let graph = FaultGraph::build(&app).unwrap();
+        let space = ComponentSpace::build(&app, &mama);
+        let table = KnowTable::build(&graph, &mama, &space);
+        let analysis = Analysis::new(&graph, &space).with_knowledge(&table);
+        let fallible = space.fallible_indices().len();
+
+        let exact = if fallible <= 22 {
+            Some(analysis.enumerate_parallel(4).failed_probability())
+        } else {
+            None
+        };
+        let t0 = Instant::now();
+        let sym = analysis.symbolic();
+        let t_sym = t0.elapsed();
+        let t0 = Instant::now();
+        let mc = analysis.monte_carlo(MonteCarloOptions {
+            samples: 100_000,
+            seed: 17,
+        });
+        let t_mc = t0.elapsed();
+
+        println!(
+            "{d:>4} {k:>4} {fallible:>9} {:>11} {:>11.4} {:>11.4} {:>12.1?} {:>12.1?}",
+            exact.map_or("-".to_string(), |p| format!("{p:.4}")),
+            sym.failed_probability(),
+            mc.failed_probability(),
+            t_sym,
+            t_mc,
+        );
+        if let Some(e) = exact {
+            assert!(
+                (e - sym.failed_probability()).abs() < 1e-9,
+                "symbolic must stay exact"
+            );
+        }
+    }
+    println!();
+    println!("The symbolic engine stays exact while only enumerating application states;");
+    println!("Monte Carlo scales to arbitrary sizes with ~1/sqrt(n) error.");
+}

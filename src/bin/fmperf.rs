@@ -1,0 +1,275 @@
+//! The `fmperf` command-line tool: analyse textual models, render DOT
+//! diagrams, and canonicalise model files.
+//!
+//! ```text
+//! fmperf analyze <model.fmp> [--engine enumerate|parallel|symbolic|montecarlo]
+//!                            [--samples N] [--policy any|all]
+//!                            [--unmonitored-known] [--threads N]
+//! fmperf check   <model.fmp>
+//! fmperf dot     <model.fmp> fault|mama|knowledge
+//! fmperf fmt     <model.fmp>
+//! ```
+
+use fmperf::core::{solve_configurations, Analysis, MonteCarloOptions, RewardSpec, StudyReport};
+use fmperf::ftlqn::{FaultGraph, KnowPolicy};
+use fmperf::mama::{ComponentSpace, KnowTable, KnowledgeGraph};
+use fmperf::text::{parse, write_model, ParsedModel};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  fmperf analyze <model.fmp> [--engine enumerate|parallel|symbolic|montecarlo]
+                             [--samples N] [--policy any|all]
+                             [--unmonitored-known] [--threads N]
+  fmperf check   <model.fmp>
+  fmperf dot     <model.fmp> fault|mama|knowledge
+  fmperf fmt     <model.fmp>";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("fmperf: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Options of the `analyze` subcommand.
+struct AnalyzeOptions {
+    engine: String,
+    samples: u64,
+    policy: KnowPolicy,
+    unmonitored_known: bool,
+    threads: usize,
+}
+
+fn load(path: &str) -> Result<ParsedModel, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse(&src).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Dispatches a full command line; returns the text to print.
+fn run(args: &[String]) -> Result<String, String> {
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        Some("analyze") => {
+            let path = it.next().ok_or(USAGE)?;
+            let mut opts = AnalyzeOptions {
+                engine: "enumerate".into(),
+                samples: 100_000,
+                policy: KnowPolicy::AnyFailedComponent,
+                unmonitored_known: false,
+                threads: 4,
+            };
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--engine" => opts.engine = it.next().ok_or("--engine needs a value")?.into(),
+                    "--samples" => {
+                        opts.samples = it
+                            .next()
+                            .ok_or("--samples needs a value")?
+                            .parse()
+                            .map_err(|_| "bad --samples value")?;
+                    }
+                    "--policy" => {
+                        opts.policy = match it.next().ok_or("--policy needs a value")? {
+                            "any" => KnowPolicy::AnyFailedComponent,
+                            "all" => KnowPolicy::AllFailedComponents,
+                            other => return Err(format!("unknown policy `{other}`")),
+                        };
+                    }
+                    "--unmonitored-known" => opts.unmonitored_known = true,
+                    "--threads" => {
+                        opts.threads = it
+                            .next()
+                            .ok_or("--threads needs a value")?
+                            .parse()
+                            .map_err(|_| "bad --threads value")?;
+                    }
+                    other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+                }
+            }
+            analyze(&load(path)?, &opts)
+        }
+        Some("check") => {
+            let path = it.next().ok_or(USAGE)?;
+            let m = load(path)?;
+            Ok(format!(
+                "{path}: ok ({} tasks, {} entries, {} services, {} mgmt components, {} connectors)\n",
+                m.app.task_count(),
+                m.app.entry_count(),
+                m.app.service_count(),
+                m.mama.component_count(),
+                m.mama.connector_count(),
+            ))
+        }
+        Some("dot") => {
+            let path = it.next().ok_or(USAGE)?;
+            let what = it.next().ok_or(USAGE)?;
+            let m = load(path)?;
+            match what {
+                "fault" => {
+                    let graph = FaultGraph::build(&m.app).map_err(|e| e.to_string())?;
+                    Ok(fmperf::ftlqn::dot::fault_graph_dot(&graph))
+                }
+                "mama" => Ok(fmperf::mama::dot::mama_dot(&m.mama)),
+                "knowledge" => {
+                    let kg = KnowledgeGraph::build(&m.mama);
+                    Ok(fmperf::mama::dot::knowledge_graph_dot(&m.mama, &kg))
+                }
+                other => Err(format!("unknown dot target `{other}`\n{USAGE}")),
+            }
+        }
+        Some("fmt") => {
+            let path = it.next().ok_or(USAGE)?;
+            let m = load(path)?;
+            Ok(write_model(&m.app, &m.mama, &m.rewards))
+        }
+        _ => Err(USAGE.to_string()),
+    }
+}
+
+fn analyze(m: &ParsedModel, opts: &AnalyzeOptions) -> Result<String, String> {
+    let graph = FaultGraph::build(&m.app).map_err(|e| e.to_string())?;
+    let has_mama = m.mama.component_count() > 0;
+    let space = if has_mama {
+        ComponentSpace::build(&m.app, &m.mama)
+    } else {
+        ComponentSpace::app_only(&m.app)
+    };
+    let table;
+    let mut analysis = Analysis::new(&graph, &space)
+        .with_policy(opts.policy)
+        .with_unmonitored_known(opts.unmonitored_known);
+    if has_mama {
+        table = KnowTable::build(&graph, &m.mama, &space);
+        analysis = analysis.with_knowledge(&table);
+    }
+
+    let dist = match opts.engine.as_str() {
+        "enumerate" => analysis.enumerate(),
+        "parallel" => analysis.enumerate_parallel(opts.threads),
+        "symbolic" => analysis.symbolic(),
+        "montecarlo" => analysis.monte_carlo(MonteCarloOptions {
+            samples: opts.samples,
+            seed: 0xF00D,
+        }),
+        other => return Err(format!("unknown engine `{other}`")),
+    };
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "components: {} total, {} fallible; engine: {}, states: {}\n\n",
+        space.len(),
+        space.fallible_indices().len(),
+        opts.engine,
+        dist.states_explored(),
+    ));
+    out.push_str("configurations:\n");
+    out.push_str(&dist.table(&m.app));
+
+    if !m.rewards.is_empty() {
+        let configs = dist.configurations();
+        let perfs = solve_configurations(&m.app, &configs).map_err(|e| e.to_string())?;
+        let mut spec = RewardSpec::new();
+        for &(t, w) in &m.rewards {
+            spec = spec.weight(t, w);
+        }
+        let report = StudyReport::new(&m.app, &dist, &perfs, &spec);
+        out.push_str("\nreward report:\n");
+        out.push_str(&format!("{report}"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MODEL: &str = "processor pc cores inf\nprocessor p1 fail 0.1\n\
+        users u on pc population 5 think 1.0\ntask s on p1 fail 0.1\n\
+        entry eu of u\nentry es of s demand 0.2\ncall eu -> es\nreward u 1.0\n";
+
+    fn with_model<T>(f: impl FnOnce(&str) -> T) -> T {
+        let dir = std::env::temp_dir().join(format!("fmperf-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.fmp");
+        std::fs::write(&path, MODEL).unwrap();
+        let r = f(path.to_str().unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+        r
+    }
+
+    #[test]
+    fn check_reports_counts() {
+        let out = with_model(|p| run(&["check".into(), p.into()])).unwrap();
+        assert!(out.contains("ok (2 tasks, 2 entries"));
+    }
+
+    #[test]
+    fn analyze_produces_reward() {
+        let out = with_model(|p| run(&["analyze".into(), p.into()])).unwrap();
+        assert!(out.contains("expected steady-state reward rate"));
+        assert!(out.contains("configurations:"));
+    }
+
+    #[test]
+    fn engines_selectable_and_agree() {
+        let (a, b) = with_model(|p| {
+            let a = run(&[
+                "analyze".into(),
+                p.into(),
+                "--engine".into(),
+                "symbolic".into(),
+            ])
+            .unwrap();
+            let b = run(&[
+                "analyze".into(),
+                p.into(),
+                "--engine".into(),
+                "parallel".into(),
+            ])
+            .unwrap();
+            (a, b)
+        });
+        // Same configuration table (states line differs).
+        let tail = |s: &str| s.split("configurations:").nth(1).unwrap().to_string();
+        assert_eq!(tail(&a), tail(&b));
+    }
+
+    #[test]
+    fn dot_targets_render() {
+        let out = with_model(|p| run(&["dot".into(), p.into(), "fault".into()])).unwrap();
+        assert!(out.starts_with("digraph fault_propagation"));
+        let out = with_model(|p| run(&["dot".into(), p.into(), "mama".into()])).unwrap();
+        assert!(out.starts_with("digraph mama"));
+    }
+
+    #[test]
+    fn fmt_is_idempotent() {
+        let once = with_model(|p| run(&["fmt".into(), p.into()])).unwrap();
+        let dir = std::env::temp_dir().join(format!("fmperf-cli-test2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.fmp");
+        std::fs::write(&path, &once).unwrap();
+        let twice = run(&["fmt".into(), path.to_str().unwrap().into()]).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn bad_flag_is_rejected() {
+        let err = with_model(|p| run(&["analyze".into(), p.into(), "--bogus".into()])).unwrap_err();
+        assert!(err.contains("unknown flag"));
+    }
+
+    #[test]
+    fn missing_file_is_reported() {
+        let err = run(&["check".into(), "/nonexistent/x.fmp".into()]).unwrap_err();
+        assert!(err.contains("cannot read"));
+    }
+}

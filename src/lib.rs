@@ -1,0 +1,25 @@
+//! # fmperf
+//!
+//! Facade crate: coverage and performability analysis of fault-management
+//! architectures in layered distributed systems, reproducing Das & Woodside
+//! (DSN 2002).
+//!
+//! Re-exports the workspace crates under stable module names:
+//!
+//! * [`graph`] — AND-OR graphs, typed minpath enumeration.
+//! * [`bdd`] — reduced ordered binary decision diagrams.
+//! * [`lqn`] — layered queueing network analytic solver.
+//! * [`sim`] — discrete-event simulator for layered RPC systems.
+//! * [`ftlqn`] — fault-tolerant layered queueing network models.
+//! * [`mama`] — fault-management architecture models (MAMA).
+//! * [`core`] — the performability engines combining everything.
+//! * [`text`] — the textual model format (parser and writer).
+
+pub use fmperf_bdd as bdd;
+pub use fmperf_core as core;
+pub use fmperf_ftlqn as ftlqn;
+pub use fmperf_graph as graph;
+pub use fmperf_lqn as lqn;
+pub use fmperf_mama as mama;
+pub use fmperf_sim as sim;
+pub use fmperf_text as text;

@@ -1,0 +1,109 @@
+//! Validates the analytic LQN solver (which replaces the paper's LQNS
+//! tool) against the independent discrete-event simulator on every
+//! operational configuration of the Figure 1 system, and on a deeper
+//! three-tier system.
+
+use fmperf::core::Analysis;
+use fmperf::ftlqn::examples::das_woodside_system;
+use fmperf::ftlqn::lower::lower;
+use fmperf::lqn::{solve, LqnModel, Multiplicity};
+use fmperf::mama::ComponentSpace;
+use fmperf::sim::{simulate, SimOptions};
+
+fn sim_opts(seed: u64) -> SimOptions {
+    SimOptions {
+        horizon: 30_000.0,
+        warmup: 3_000.0,
+        seed,
+        ..SimOptions::default()
+    }
+}
+
+#[test]
+fn analytic_tracks_simulation_on_all_paper_configurations() {
+    let sys = das_woodside_system();
+    let graph = sys.fault_graph().unwrap();
+    let space = ComponentSpace::app_only(&sys.model);
+    let dist = Analysis::new(&graph, &space).enumerate();
+
+    for (ix, config) in dist.configurations().into_iter().enumerate() {
+        if config.is_failed() {
+            continue;
+        }
+        let lowered = lower(&sys.model, &config).unwrap();
+        let ana = solve(&lowered.model).unwrap();
+        let sim = simulate(&lowered.model, sim_opts(100 + ix as u64)).unwrap();
+        for &chain in &[sys.user_a, sys.user_b] {
+            if let Some(t) = lowered.task(chain) {
+                let fa = ana.task_throughput(t);
+                let fs = sim.task_throughput(t);
+                let rel = (fa - fs).abs() / fs.max(1e-9);
+                assert!(
+                    rel < 0.12,
+                    "config #{ix}, chain {}: analytic {fa:.3} vs sim {fs:.3}",
+                    sys.model.task_name(chain)
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn analytic_tracks_simulation_on_three_tier_chain() {
+    let mut m = LqnModel::new();
+    let pc = m.add_processor("pc", Multiplicity::Infinite);
+    let p1 = m.add_processor("p1", Multiplicity::Finite(2));
+    let p2 = m.add_processor("p2", Multiplicity::Finite(1));
+    let p3 = m.add_processor("p3", Multiplicity::Finite(1));
+    let users = m.add_reference_task("users", pc, 25, 0.5);
+    let web = m.add_task("web", p1, Multiplicity::Finite(8));
+    let app = m.add_task("app", p2, Multiplicity::Finite(4));
+    let db = m.add_task("db", p3, Multiplicity::Finite(2));
+    let e_u = m.add_entry("u", users, 0.0);
+    let e_w = m.add_entry("w", web, 0.004);
+    let e_a = m.add_entry("a", app, 0.010);
+    let e_d = m.add_entry("d", db, 0.016);
+    m.add_call(e_u, e_w, 1.0).unwrap();
+    m.add_call(e_w, e_a, 1.0).unwrap();
+    m.add_call(e_a, e_d, 2.0).unwrap();
+
+    let ana = solve(&m).unwrap();
+    let sim = simulate(&m, sim_opts(7)).unwrap();
+    let fa = ana.task_throughput(users);
+    let fs = sim.task_throughput(users);
+    let rel = (fa - fs).abs() / fs;
+    assert!(rel < 0.12, "three-tier: analytic {fa:.3} vs sim {fs:.3}");
+
+    // Utilisation comparisons at the bottleneck.
+    let ua = ana.processor_utilization(p3);
+    let us = sim.processor_utilization(p3);
+    assert!(
+        (ua - us).abs() < 0.08,
+        "db processor: analytic {ua:.3} vs sim {us:.3}"
+    );
+}
+
+#[test]
+fn simulation_confidence_interval_brackets_analytic_lightly_loaded() {
+    // At light load approximate MVA is essentially exact, so the DES
+    // confidence interval should bracket (or nearly bracket) it.
+    let mut m = LqnModel::new();
+    let pc = m.add_processor("pc", Multiplicity::Infinite);
+    let ps = m.add_processor("ps", Multiplicity::Finite(1));
+    let users = m.add_reference_task("users", pc, 4, 5.0);
+    let srv = m.add_task("srv", ps, Multiplicity::Finite(2));
+    let e_u = m.add_entry("u", users, 0.0);
+    let e_s = m.add_entry("s", srv, 0.05);
+    m.add_call(e_u, e_s, 1.0).unwrap();
+
+    let ana = solve(&m).unwrap();
+    let sim = simulate(&m, sim_opts(11)).unwrap();
+    let ci = sim.chain_confidence(users).unwrap();
+    let x = ana.task_throughput(users);
+    assert!(
+        ci.contains(x) || (x - ci.mean).abs() < 0.02,
+        "analytic {x} outside CI [{}, {}]",
+        ci.low(),
+        ci.high()
+    );
+}

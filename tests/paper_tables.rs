@@ -1,0 +1,271 @@
+//! End-to-end reproduction tests for every table and figure of the DSN
+//! 2002 paper's evaluation (§6).
+//!
+//! These are the headline guarantees of the repository: each assertion
+//! cites the paper value it reproduces.
+
+use fmperf::core::{expected_reward, solve_configurations, Analysis, RewardSpec};
+use fmperf::ftlqn::examples::{das_woodside_system, DasWoodsideSystem};
+use fmperf::ftlqn::Configuration;
+use fmperf::mama::{arch, ComponentSpace, KnowTable};
+use std::collections::BTreeMap;
+
+/// Paper-style C1..C6 / failed labels.
+fn label(sys: &DasWoodsideSystem, c: &Configuration) -> &'static str {
+    if c.is_failed() {
+        return "failed";
+    }
+    let a = c.user_chains.contains(&sys.user_a);
+    let b = c.user_chains.contains(&sys.user_b);
+    let backup = c
+        .used_services
+        .values()
+        .any(|&e| e == sys.e_a2 || e == sys.e_b2);
+    match (a, b, backup) {
+        (true, false, false) => "C1",
+        (true, false, true) => "C2",
+        (false, true, false) => "C3",
+        (false, true, true) => "C4",
+        (true, true, false) => "C5",
+        (true, true, true) => "C6",
+        _ => "other",
+    }
+}
+
+fn column(sys: &DasWoodsideSystem, case: &str) -> BTreeMap<&'static str, f64> {
+    let graph = sys.fault_graph().unwrap();
+    let dist = match case {
+        "perfect" => {
+            let space = ComponentSpace::app_only(&sys.model);
+            Analysis::new(&graph, &space).enumerate()
+        }
+        _ => {
+            let mama = match case {
+                "centralized" => arch::centralized(sys, 0.1),
+                "distributed" => arch::distributed_as_published(sys, 0.1),
+                "hierarchical" => arch::hierarchical(sys, 0.1),
+                "network" => arch::network(sys, 0.1),
+                other => panic!("unknown case {other}"),
+            };
+            let space = ComponentSpace::build(&sys.model, &mama);
+            let table = KnowTable::build(&graph, &mama, &space);
+            Analysis::new(&graph, &space)
+                .with_knowledge(&table)
+                .with_unmonitored_known(case == "distributed")
+                .enumerate()
+        }
+    };
+    let mut out = BTreeMap::new();
+    for (c, p) in dist.iter() {
+        *out.entry(label(sys, c)).or_insert(0.0) += p;
+    }
+    out
+}
+
+fn assert_column(case: &str, expect: &[(&str, f64)]) {
+    let sys = das_woodside_system();
+    let got = column(&sys, case);
+    for &(lbl, val) in expect {
+        let g = got.get(lbl).copied().unwrap_or(0.0);
+        assert!(
+            (g - val).abs() < 0.0015,
+            "{case}: {lbl} = {g:.4}, paper says {val:.3}"
+        );
+    }
+}
+
+/// Table 1 / Table 2, perfect-knowledge column.
+#[test]
+fn table2_perfect_knowledge_column() {
+    assert_column(
+        "perfect",
+        &[
+            ("C1", 0.125),
+            ("C2", 0.024),
+            ("C3", 0.125),
+            ("C4", 0.024),
+            ("C5", 0.531),
+            ("C6", 0.101),
+            ("failed", 0.071),
+        ],
+    );
+}
+
+/// Table 1 / Table 2, centralized column.
+#[test]
+fn table2_centralized_column() {
+    assert_column(
+        "centralized",
+        &[
+            ("C1", 0.117),
+            ("C2", 0.021),
+            ("C3", 0.117),
+            ("C4", 0.021),
+            ("C5", 0.314),
+            ("C6", 0.057),
+            ("failed", 0.354),
+        ],
+    );
+}
+
+/// Table 2, distributed column — as published (see EXPERIMENTS.md for
+/// the forensic reconstruction).
+#[test]
+fn table2_distributed_column() {
+    assert_column(
+        "distributed",
+        &[
+            ("C1", 0.082),
+            ("C2", 0.041),
+            ("C3", 0.307),
+            ("C4", 0.036),
+            ("C5", 0.349),
+            ("C6", 0.046),
+            ("failed", 0.139),
+        ],
+    );
+}
+
+/// Table 2, hierarchical column.
+#[test]
+fn table2_hierarchical_column() {
+    assert_column(
+        "hierarchical",
+        &[
+            ("C1", 0.225),
+            ("C2", 0.014),
+            ("C3", 0.076),
+            ("C4", 0.014),
+            ("C5", 0.206),
+            ("C6", 0.037),
+            ("failed", 0.428),
+        ],
+    );
+}
+
+/// Table 2, network column.
+#[test]
+fn table2_network_column() {
+    assert_column(
+        "network",
+        &[
+            ("C1", 0.148),
+            ("C2", 0.026),
+            ("C3", 0.148),
+            ("C4", 0.026),
+            ("C5", 0.282),
+            ("C6", 0.049),
+            ("failed", 0.321),
+        ],
+    );
+}
+
+/// §6.3 in-text state-space sizes: 256, 16384, 65536, 262144, 65536.
+#[test]
+fn statespace_sizes_match_paper() {
+    let sys = das_woodside_system();
+    let graph = sys.fault_graph().unwrap();
+    let space = ComponentSpace::app_only(&sys.model);
+    assert_eq!(Analysis::new(&graph, &space).state_space_size(), 256);
+    let expect = [
+        (arch::ArchKind::Centralized, 16384u64),
+        (arch::ArchKind::Distributed, 65536),
+        (arch::ArchKind::Hierarchical, 262144),
+        (arch::ArchKind::Network, 65536),
+    ];
+    for (kind, states) in expect {
+        let mama = arch::build(kind, &sys, 0.1);
+        let space = ComponentSpace::build(&sys.model, &mama);
+        let table = KnowTable::build(&graph, &mama, &space);
+        let analysis = Analysis::new(&graph, &space).with_knowledge(&table);
+        assert_eq!(analysis.state_space_size(), states, "{}", kind.name());
+    }
+}
+
+/// §6.2 expected rewards with equal weights: perfect ~0.85, centralized
+/// ~0.55 (our LQN differs from LQNS by a few percent on shared
+/// configurations; the paper's own C3/C4 throughput entries are
+/// inconsistent with its average-throughput rows — see EXPERIMENTS.md).
+#[test]
+fn expected_rewards_near_paper() {
+    let sys = das_woodside_system();
+    let graph = sys.fault_graph().unwrap();
+    let spec = RewardSpec::new()
+        .weight(sys.user_a, 1.0)
+        .weight(sys.user_b, 1.0);
+
+    let space = ComponentSpace::app_only(&sys.model);
+    let dist = Analysis::new(&graph, &space).enumerate();
+    let perfs = solve_configurations(&sys.model, &dist.configurations()).unwrap();
+    let r = expected_reward(&dist, &perfs, &spec);
+    assert!(
+        (0.80..=0.95).contains(&r),
+        "perfect-knowledge reward {r}, paper ~0.85"
+    );
+
+    let mama = arch::centralized(&sys, 0.1);
+    let space = ComponentSpace::build(&sys.model, &mama);
+    let table = KnowTable::build(&graph, &mama, &space);
+    let dist = Analysis::new(&graph, &space)
+        .with_knowledge(&table)
+        .enumerate();
+    let perfs = solve_configurations(&sys.model, &dist.configurations()).unwrap();
+    let r = expected_reward(&dist, &perfs, &spec);
+    assert!(
+        (0.50..=0.66).contains(&r),
+        "centralized reward {r}, paper ~0.55"
+    );
+}
+
+/// Figure 11: as the weight of UserB grows, the architectures rank
+/// distributed > network > centralized > hierarchical.
+#[test]
+fn figure11_ranking_reproduces() {
+    let sys = das_woodside_system();
+    let graph = sys.fault_graph().unwrap();
+    let spec = RewardSpec::new()
+        .weight(sys.user_a, 1.0)
+        .weight(sys.user_b, 4.0);
+
+    let mut rewards: BTreeMap<&str, f64> = BTreeMap::new();
+    for case in ["centralized", "distributed", "hierarchical", "network"] {
+        let mama = match case {
+            "centralized" => arch::centralized(&sys, 0.1),
+            "distributed" => arch::distributed_as_published(&sys, 0.1),
+            "hierarchical" => arch::hierarchical(&sys, 0.1),
+            _ => arch::network(&sys, 0.1),
+        };
+        let space = ComponentSpace::build(&sys.model, &mama);
+        let table = KnowTable::build(&graph, &mama, &space);
+        let dist = Analysis::new(&graph, &space)
+            .with_knowledge(&table)
+            .with_unmonitored_known(case == "distributed")
+            .enumerate();
+        let perfs = solve_configurations(&sys.model, &dist.configurations()).unwrap();
+        rewards.insert(case, expected_reward(&dist, &perfs, &spec));
+    }
+    assert!(rewards["distributed"] > rewards["network"]);
+    assert!(rewards["network"] > rewards["centralized"]);
+    assert!(rewards["centralized"] > rewards["hierarchical"]);
+}
+
+/// The paper's §6.2 partial-coverage narrative: proc3 fails with ag2
+/// down -> configuration C2 (A reconfigures, B does not) instead of C6.
+#[test]
+fn partial_coverage_story_reproduces() {
+    use fmperf::ftlqn::{Component, KnowPolicy};
+    let sys = das_woodside_system();
+    let graph = sys.fault_graph().unwrap();
+    let mama = arch::centralized(&sys, 0.1);
+    let space = ComponentSpace::build(&sys.model, &mama);
+    let table = KnowTable::build(&graph, &mama, &space);
+
+    let mut state = space.all_up();
+    state[sys.model.component_index(Component::Processor(sys.proc3))] = false;
+    let ag2 = mama.component_by_name("ag2").unwrap();
+    state[space.mama_index(ag2)] = false;
+
+    let oracle = table.oracle(&state);
+    let cfg = graph.configuration(&state, &oracle, KnowPolicy::AnyFailedComponent);
+    assert_eq!(label(&sys, &cfg), "C2");
+}
