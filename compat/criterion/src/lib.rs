@@ -1,0 +1,180 @@
+//! Vendored offline stand-in for the `criterion` benchmark harness.
+//!
+//! Provides the API slice used by `fmperf-bench` — `criterion_group!`,
+//! `criterion_main!`, `Criterion::bench_function`, benchmark groups
+//! with `sample_size`, `BenchmarkId`, and `Bencher::iter` — backed by a
+//! simple wall-clock timer: per benchmark it warms up once, then runs
+//! timed iterations until a small time budget or iteration cap is hit
+//! and reports mean/min time per iteration. No statistics, plotting or
+//! baselines; enough to compare relative costs offline.
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque blackbox preventing the optimiser from deleting a benchmark
+/// body. Mirrors `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group, mirroring
+/// `criterion::BenchmarkId`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id rendered as `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the payload.
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+    best: Duration,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            iters: 0,
+            total: Duration::ZERO,
+            best: Duration::MAX,
+        }
+    }
+
+    /// Time repeated runs of `f` until the harness budget is consumed.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed warm-up run.
+        black_box(f());
+        let budget = Duration::from_millis(300);
+        let start = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            black_box(f());
+            let dt = t0.elapsed();
+            self.total += dt;
+            self.best = self.best.min(dt);
+            self.iters += 1;
+            if self.iters >= 10 && start.elapsed() >= budget {
+                break;
+            }
+            if self.iters >= 1000 {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.iters == 0 {
+            println!("{label:<40} (no iterations)");
+            return;
+        }
+        let mean = self.total / self.iters as u32;
+        println!(
+            "{label:<40} mean {mean:>12.3?}   min {best:>12.3?}   ({iters} iters)",
+            best = self.best,
+            iters = self.iters,
+        );
+    }
+}
+
+/// A named set of related benchmarks, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes runs by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label);
+        let mut b = Bencher::new();
+        f(&mut b);
+        b.report(&label);
+        self
+    }
+
+    /// Finish the group (a no-op beyond matching the real API).
+    pub fn finish(self) {}
+}
+
+/// The harness entry object, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run a single free-standing benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new();
+        f(&mut b);
+        b.report(&id.label);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _parent: self,
+        }
+    }
+}
+
+/// Mirrors `criterion::criterion_group!`: bundles benchmark functions
+/// into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`: emits `main` for the bench
+/// binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,726 @@
+//! Vendored offline stand-in for the `proptest` crate.
+//!
+//! The hermetic build cannot resolve crates-io, so this shim
+//! re-implements the slice of proptest the workspace's property tests
+//! use: the `Strategy` trait with `prop_map` / `prop_flat_map` /
+//! `prop_recursive` / `boxed`, range and tuple and `any::<T>()`
+//! strategies, `collection::vec`, a small regex-subset string strategy,
+//! `Just`, `prop_oneof!`, and the `proptest!` / `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case panics with the deterministic
+//!   case number; re-running reproduces it exactly (the RNG is seeded
+//!   from the test's module path and case index).
+//! * **`prop_assume!` skips** the current case rather than resampling.
+//! * Default case count is 64 (not 256) to keep the offline test suite
+//!   quick; `ProptestConfig::with_cases` is honoured.
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Deterministic RNG + configuration for the shim harness.
+
+    /// Harness configuration; only `cases` is meaningful to the shim.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// xoshiro256++ seeded from (test path, case index) — every case is
+    /// reproducible without a persistence file.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn fnv1a(text: &str) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for b in text.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    impl TestRng {
+        /// RNG for one case of one property test.
+        pub fn for_case(test_path: &str, case: u32) -> Self {
+            let mut sm = fnv1a(test_path) ^ (u64::from(case)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            if s == [0, 0, 0, 0] {
+                s[0] = 1;
+            }
+            TestRng { s }
+        }
+
+        /// Next 64 uniformly random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform draw from `[0, n)`; panics when `n == 0`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0, "TestRng::below(0)");
+            self.next_u64() % n
+        }
+
+        /// Uniform `f64` in `[0, 1)` with 53 random mantissa bits.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    //! The `Strategy` trait and its combinators.
+
+    use crate::test_runner::TestRng;
+    use std::rc::Rc;
+
+    /// A recipe for producing random values of `Self::Value`.
+    ///
+    /// Unlike real proptest there is no value tree / shrinking: a
+    /// strategy is just a deterministic sampler over a seeded RNG.
+    pub trait Strategy {
+        /// The type of values this strategy generates.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map {
+                source: self,
+                map: f,
+            }
+        }
+
+        /// Generate a value, then generate from the strategy it selects.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap {
+                source: self,
+                map: f,
+            }
+        }
+
+        /// Recursive strategies: `self` generates leaves, `recurse`
+        /// wraps an inner strategy into one more level. `depth` bounds
+        /// the nesting; the size/branch hints of the real API are
+        /// accepted and ignored.
+        fn prop_recursive<S, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S,
+        {
+            let leaf = self.boxed();
+            let mut strat = leaf.clone();
+            for _ in 0..depth {
+                let deeper = recurse(strat).boxed();
+                strat = Union::weighted(vec![(1, leaf.clone()), (2, deeper)]).boxed();
+            }
+            strat
+        }
+
+        /// Type-erase the strategy behind a cheaply clonable handle.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            let inner = self;
+            BoxedStrategy(Rc::new(move |rng: &mut TestRng| inner.sample(rng)))
+        }
+    }
+
+    /// Type-erased, clonable strategy handle.
+    pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> std::fmt::Debug for BoxedStrategy<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("BoxedStrategy")
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Always yields a clone of one value (`proptest::strategy::Just`).
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.map)(self.source.sample(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Clone, Debug)]
+    pub struct FlatMap<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (self.map)(self.source.sample(rng)).sample(rng)
+        }
+    }
+
+    /// Weighted choice among boxed strategies (backs `prop_oneof!` and
+    /// `prop_recursive`).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T> Union<T> {
+        /// Uniform union over the given arms.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            Union::weighted(arms.into_iter().map(|a| (1, a)).collect())
+        }
+
+        /// Union with per-arm weights.
+        pub fn weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            assert!(!arms.is_empty(), "Union of zero strategies");
+            let total = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total > 0, "Union with all-zero weights");
+            Union { arms, total }
+        }
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                arms: self.arms.clone(),
+                total: self.total,
+            }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(self.total);
+            for (w, arm) in &self.arms {
+                let w = u64::from(*w);
+                if pick < w {
+                    return arm.sample(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weights summed incorrectly")
+        }
+    }
+
+    /// Types with a natural "whole domain" strategy, for [`any`].
+    pub trait Arbitrary: Sized {
+        /// Sample uniformly from the type's entire domain.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_ints {
+        ($($t:ty),+) => {
+            $(impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            })+
+        };
+    }
+    arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy over a type's whole domain (`proptest::prelude::any`).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    /// Build the [`Any`] strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Integer / float range sampling used by the `Range` strategies.
+    pub trait SampleRange: Copy + PartialOrd {
+        /// Uniform draw from `[lo, hi)`.
+        fn sample_half_open(lo: Self, hi: Self, rng: &mut TestRng) -> Self;
+        /// Uniform draw from `[lo, hi]`.
+        fn sample_inclusive(lo: Self, hi: Self, rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! sample_range_uint {
+        ($($t:ty),+) => {
+            $(impl SampleRange for $t {
+                fn sample_half_open(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+                    assert!(lo < hi, "empty range strategy");
+                    lo + (rng.below((hi - lo) as u64)) as $t
+                }
+                fn sample_inclusive(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+                    assert!(lo <= hi, "empty inclusive range strategy");
+                    let span = (hi - lo) as u64;
+                    if span == u64::MAX {
+                        rng.next_u64() as $t
+                    } else {
+                        lo + (rng.below(span + 1)) as $t
+                    }
+                }
+            })+
+        };
+    }
+    sample_range_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! sample_range_float {
+        ($($t:ty),+) => {
+            $(impl SampleRange for $t {
+                fn sample_half_open(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+                    assert!(lo < hi, "empty range strategy");
+                    let v = lo + (rng.unit_f64() as $t) * (hi - lo);
+                    if v >= hi { lo } else { v }
+                }
+                fn sample_inclusive(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+                    assert!(lo <= hi, "empty inclusive range strategy");
+                    lo + (rng.unit_f64() as $t) * (hi - lo)
+                }
+            })+
+        };
+    }
+    sample_range_float!(f32, f64);
+
+    impl<T: SampleRange> Strategy for std::ops::Range<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::sample_half_open(self.start, self.end, rng)
+        }
+    }
+
+    impl<T: SampleRange> Strategy for std::ops::RangeInclusive<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::sample_inclusive(*self.start(), *self.end(), rng)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+    tuple_strategy!(A, B, C, D, E, F, G);
+    tuple_strategy!(A, B, C, D, E, F, G, H);
+    tuple_strategy!(A, B, C, D, E, F, G, H, I);
+    tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+    tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K);
+    tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K, L);
+
+    // ---- regex-subset string strategies -------------------------------
+
+    /// Character class: inclusive codepoint ranges, first range favoured
+    /// so `\PC` stays mostly ASCII.
+    struct CharClass {
+        ranges: Vec<(u32, u32)>,
+        favour_first: bool,
+    }
+
+    impl CharClass {
+        fn sample(&self, rng: &mut TestRng) -> char {
+            let ix = if self.favour_first && self.ranges.len() > 1 {
+                // 85% from the first (ASCII) range.
+                if rng.below(100) < 85 {
+                    0
+                } else {
+                    1 + rng.below(self.ranges.len() as u64 - 1) as usize
+                }
+            } else {
+                rng.below(self.ranges.len() as u64) as usize
+            };
+            let (lo, hi) = self.ranges[ix];
+            for _ in 0..16 {
+                let cp = lo + rng.below(u64::from(hi - lo + 1)) as u32;
+                if let Some(c) = char::from_u32(cp) {
+                    return c;
+                }
+            }
+            ' '
+        }
+    }
+
+    fn parse_char_class(pat: &str) -> Option<(CharClass, &str)> {
+        if let Some(rest) = pat.strip_prefix("\\PC") {
+            // "Any printable character": ASCII printable plus a sprinkle
+            // of wider Unicode to exercise multi-byte handling.
+            return Some((
+                CharClass {
+                    ranges: vec![
+                        (0x20, 0x7E),
+                        (0xA1, 0xFF),
+                        (0x0391, 0x03C9),
+                        (0x4E00, 0x4EFF),
+                        (0x1F600, 0x1F64F),
+                    ],
+                    favour_first: true,
+                },
+                rest,
+            ));
+        }
+        let rest = pat.strip_prefix('[')?;
+        let close = rest.find(']')?;
+        let (body, rest) = (&rest[..close], &rest[close + 1..]);
+        let chars: Vec<char> = body.chars().collect();
+        let mut ranges = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            if i + 2 < chars.len() && chars[i + 1] == '-' {
+                ranges.push((chars[i] as u32, chars[i + 2] as u32));
+                i += 3;
+            } else {
+                ranges.push((chars[i] as u32, chars[i] as u32));
+                i += 1;
+            }
+        }
+        Some((
+            CharClass {
+                ranges,
+                favour_first: false,
+            },
+            rest,
+        ))
+    }
+
+    fn parse_repetition(pat: &str) -> Option<(usize, usize, &str)> {
+        let rest = pat.strip_prefix('{')?;
+        let close = rest.find('}')?;
+        let (body, rest) = (&rest[..close], &rest[close + 1..]);
+        let (lo, hi) = match body.split_once(',') {
+            Some((lo, hi)) => (lo.trim().parse().ok()?, hi.trim().parse().ok()?),
+            None => {
+                let n = body.trim().parse().ok()?;
+                (n, n)
+            }
+        };
+        Some((lo, hi, rest))
+    }
+
+    /// String literals are strategies over the regex subset
+    /// `\PC{m,n}` / `[class]{m,n}` (a trailing `{m,n}` optional);
+    /// anything else is unsupported and panics with a clear message.
+    impl Strategy for &str {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            let (class, rest) = parse_char_class(self)
+                .unwrap_or_else(|| panic!("proptest shim: unsupported string pattern {self:?}"));
+            let (lo, hi, rest) = if rest.is_empty() {
+                (1, 1, rest)
+            } else {
+                parse_repetition(rest)
+                    .unwrap_or_else(|| panic!("proptest shim: unsupported string pattern {self:?}"))
+            };
+            assert!(
+                rest.is_empty() && lo <= hi,
+                "proptest shim: unsupported string pattern {self:?}"
+            );
+            let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+            (0..n).map(|_| class.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`proptest::collection`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Inclusive length range for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy over `element` with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo + 1) as u64;
+            let n = self.size.lo + rng.below(span) as usize;
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports mirroring `proptest::prelude`.
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Property-test harness macro; see the crate docs for shim semantics.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! {
+            @cfg($crate::test_runner::ProptestConfig::default())
+            $($rest)*
+        }
+    };
+}
+
+/// Internal recursion for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                $(let $pat = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                // Immediately-invoked closure so `prop_assume!` can skip
+                // the case with `return`.
+                #[allow(clippy::redundant_closure_call)]
+                (|| $body)();
+            }
+        }
+        $crate::__proptest_cases! { @cfg($cfg) $($rest)* }
+    };
+}
+
+/// Assert within a property; panics (no shrinking) on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            panic!("prop_assert failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            panic!(
+                "prop_assert failed: {}: {}",
+                stringify!($cond),
+                format_args!($($fmt)+)
+            );
+        }
+    };
+}
+
+/// Assert equality within a property; panics on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    panic!("prop_assert_eq failed: `{:?}` != `{:?}`", __l, __r);
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    panic!(
+                        "prop_assert_eq failed: `{:?}` != `{:?}`: {}",
+                        __l,
+                        __r,
+                        format_args!($($fmt)+)
+                    );
+                }
+            }
+        }
+    };
+}
+
+/// Skip the current case when the precondition does not hold.
+///
+/// Real proptest resamples; the shim just moves to the next case.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            let _ = format_args!($($fmt)+);
+            return;
+        }
+    };
+}
+
+/// Choose among several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}

@@ -1,0 +1,65 @@
+//! Vendored offline stand-in for the `serde` crate.
+//!
+//! This workspace builds hermetically (no crates-io registry), so the
+//! real `serde` cannot be resolved. Model types only *derive*
+//! `Serialize`/`Deserialize` — nothing in the workspace implements a
+//! data format against the real serde data model — so marker traits are
+//! sufficient for every `use serde::...` site to compile unchanged.
+//! Actual JSON round-trips are reported as unsupported by the companion
+//! `serde_json` shim, and the affected tests skip themselves.
+#![forbid(unsafe_code)]
+
+/// Marker trait mirroring `serde::Serialize`.
+///
+/// Implemented by the no-op derive; carries no methods because no code
+/// in this workspace drives a serialiser through the trait.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+///
+/// The real trait is `Deserialize<'de>`; the lifetime is dropped here
+/// because no bound in the workspace names it.
+pub trait Deserialize {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_markers {
+    ($($t:ty),* $(,)?) => {
+        $(impl Serialize for $t {}
+          impl Deserialize for $t {})*
+    };
+}
+
+impl_markers!(
+    (),
+    bool,
+    char,
+    f32,
+    f64,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    String
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<T: Deserialize> Deserialize for Option<T> {}
+impl<T: Serialize + ?Sized> Serialize for &T {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {}
+impl<K: Deserialize, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {}
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {}
+impl<T: Deserialize> Deserialize for std::collections::BTreeSet<T> {}

@@ -1,0 +1,109 @@
+//! Vendored offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The build environment for this repository is fully hermetic: no
+//! crates-io registry is reachable, so the real `serde_derive` (and its
+//! `syn`/`quote` dependency tree) cannot be compiled. This shim accepts
+//! the same `#[derive(Serialize, Deserialize)]` surface and emits marker
+//! trait impls so that derived types satisfy `serde::Serialize` /
+//! `serde::Deserialize` *bounds*. It performs no actual data-format
+//! work; `serde_json` (also shimmed) reports serialisation as
+//! unsupported at runtime, and tests that need real round-trips skip
+//! themselves.
+//!
+//! Deliberately tiny: a hand-rolled item-name scanner instead of `syn`.
+#![forbid(unsafe_code)]
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the identifier that follows the `struct` / `enum` keyword,
+/// plus the generics parameter list if one is present, from the token
+/// stream of the item the derive is attached to.
+fn item_name_and_generics(item: TokenStream) -> Option<(String, Vec<String>)> {
+    let mut iter = item.into_iter();
+    // Skip until the `struct` / `enum` keyword (visibility, attributes
+    // and doc comments may precede it).
+    loop {
+        match iter.next()? {
+            TokenTree::Ident(kw) => {
+                let kw = kw.to_string();
+                if kw == "struct" || kw == "enum" || kw == "union" {
+                    break;
+                }
+            }
+            _ => continue,
+        }
+    }
+    let name = match iter.next()? {
+        TokenTree::Ident(id) => id.to_string(),
+        _ => return None,
+    };
+    // Collect simple generic parameter names from `<A, B: Bound, ...>`.
+    // Lifetimes and const generics are not needed by this workspace.
+    let mut generics = Vec::new();
+    if let Some(TokenTree::Punct(p)) = iter.clone().next() {
+        if p.as_char() == '<' {
+            iter.next();
+            let mut depth = 1usize;
+            let mut expect_param = true;
+            for tt in iter {
+                match tt {
+                    TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                        expect_param = true;
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ':' && depth == 1 => {
+                        expect_param = false;
+                    }
+                    TokenTree::Ident(id) if depth == 1 && expect_param => {
+                        generics.push(id.to_string());
+                        expect_param = false;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    Some((name, generics))
+}
+
+fn marker_impl(trait_path: &str, item: TokenStream) -> TokenStream {
+    let Some((name, generics)) = item_name_and_generics(item) else {
+        return TokenStream::new();
+    };
+    let (params, args, bounds) = if generics.is_empty() {
+        (String::new(), String::new(), String::new())
+    } else {
+        let list = generics.join(", ");
+        let bounds = generics
+            .iter()
+            .map(|g| format!("{g}: {trait_path}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        (
+            format!("<{list}>"),
+            format!("<{list}>"),
+            format!(" where {bounds}"),
+        )
+    };
+    format!("impl{params} {trait_path} for {name}{args}{bounds} {{}}")
+        .parse()
+        .unwrap_or_default()
+}
+
+/// No-op `Serialize` derive: emits only a marker impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(item: TokenStream) -> TokenStream {
+    marker_impl("::serde::Serialize", item)
+}
+
+/// No-op `Deserialize` derive: emits only a marker impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(item: TokenStream) -> TokenStream {
+    marker_impl("::serde::Deserialize", item)
+}

@@ -36,7 +36,6 @@
 //! assert!(!cfg.is_failed());
 //! assert_eq!(cfg.user_chains.len(), 2);
 //! ```
-
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -49,6 +48,6 @@ pub mod model;
 pub use faultgraph::{Configuration, FaultGraph, KnowPolicy, KnowledgeOracle, PerfectKnowledge};
 pub use lower::LoweredLqn;
 pub use model::{
-    Component, FtEntryId, FtProcId, FtTaskId, FtlqnError, FtlqnModel, LinkId, RequestTarget,
-    ServiceId,
+    Component, FtEntryId, FtProcId, FtTaskId, FtlqnError, FtlqnModel, LinkId, ModelRef,
+    RequestTarget, ServiceId,
 };

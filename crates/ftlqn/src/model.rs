@@ -136,6 +136,24 @@ pub(crate) struct FtLink {
     pub fail_prob: f64,
 }
 
+/// The model element a validation error refers to, so callers (the
+/// linter, the text parser) can map errors back to declarations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ModelRef {
+    /// A task declaration.
+    Task(FtTaskId),
+    /// An entry declaration.
+    Entry(FtEntryId),
+    /// A service declaration.
+    Service(ServiceId),
+    /// A processor declaration.
+    Processor(FtProcId),
+    /// A link declaration.
+    Link(LinkId),
+    /// The model as a whole (no single declaration is at fault).
+    Model,
+}
+
 /// Validation failure for an [`FtlqnModel`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum FtlqnError {
@@ -143,11 +161,15 @@ pub enum FtlqnError {
     BadProbability {
         /// Which element.
         what: String,
+        /// The offending declaration.
+        at: ModelRef,
     },
     /// Negative demand, call count or think time.
     NegativeValue {
         /// Which quantity.
         what: String,
+        /// The offending declaration.
+        at: ModelRef,
     },
     /// A service has no alternatives.
     EmptyService(ServiceId),
@@ -177,10 +199,10 @@ pub enum FtlqnError {
 impl fmt::Display for FtlqnError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FtlqnError::BadProbability { what } => {
+            FtlqnError::BadProbability { what, .. } => {
                 write!(f, "probability outside [0, 1]: {what}")
             }
-            FtlqnError::NegativeValue { what } => write!(f, "negative value: {what}"),
+            FtlqnError::NegativeValue { what, .. } => write!(f, "negative value: {what}"),
             FtlqnError::EmptyService(s) => write!(f, "service s{} has no alternatives", s.0),
             FtlqnError::ServiceSharedByTasks(s) => {
                 write!(f, "service s{} is required by more than one task", s.0)
@@ -201,6 +223,23 @@ impl fmt::Display for FtlqnError {
             FtlqnError::DuplicateAlternative(s) => {
                 write!(f, "service s{} lists an alternative twice", s.0)
             }
+        }
+    }
+}
+
+impl FtlqnError {
+    /// The model element the error refers to ([`ModelRef::Model`] when
+    /// no single declaration is at fault).
+    pub fn locus(&self) -> ModelRef {
+        match self {
+            FtlqnError::BadProbability { at, .. } | FtlqnError::NegativeValue { at, .. } => *at,
+            FtlqnError::EmptyService(s)
+            | FtlqnError::ServiceSharedByTasks(s)
+            | FtlqnError::UnusedService(s)
+            | FtlqnError::DuplicateAlternative(s) => ModelRef::Service(*s),
+            FtlqnError::ReferenceEntryCount { task, .. } => ModelRef::Task(*task),
+            FtlqnError::SelfRequest(e) => ModelRef::Entry(*e),
+            FtlqnError::CyclicRequests | FtlqnError::NoReferenceTask => ModelRef::Model,
         }
     }
 }
@@ -613,22 +652,39 @@ impl FtlqnModel {
     ///
     /// # Errors
     ///
-    /// Returns the first violation found; see [`FtlqnError`].
+    /// Returns the first violation found; see [`FtlqnError`].  Use
+    /// [`validate_all`](FtlqnModel::validate_all) to collect every
+    /// violation at once (the linter does).
     pub fn validate(&self) -> Result<(), FtlqnError> {
+        match self.validate_all().into_iter().next() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Checks all structural invariants, collecting *every* violation
+    /// instead of stopping at the first.  The order matches the checks
+    /// of [`validate`](FtlqnModel::validate): model-level, tasks,
+    /// processors, links, entries, services, then the cycle check.
+    pub fn validate_all(&self) -> Vec<FtlqnError> {
+        let mut errors = Vec::new();
         if self.reference_tasks().next().is_none() {
-            return Err(FtlqnError::NoReferenceTask);
+            errors.push(FtlqnError::NoReferenceTask);
         }
         let prob_ok = |p: f64| (0.0..=1.0).contains(&p) && p.is_finite();
-        for t in &self.tasks {
+        for (ix, t) in self.tasks.iter().enumerate() {
+            let tid = FtTaskId(ix as u32);
             if !prob_ok(t.fail_prob) {
-                return Err(FtlqnError::BadProbability {
+                errors.push(FtlqnError::BadProbability {
                     what: format!("task {}", t.name),
+                    at: ModelRef::Task(tid),
                 });
             }
             if let FtTaskKind::Reference { think_time, .. } = t.kind {
                 if think_time < 0.0 {
-                    return Err(FtlqnError::NegativeValue {
+                    errors.push(FtlqnError::NegativeValue {
                         what: format!("think time of {}", t.name),
+                        at: ModelRef::Task(tid),
                     });
                 }
             }
@@ -636,38 +692,43 @@ impl FtlqnModel {
         for t in self.reference_tasks() {
             let count = self.entries_of(t).count();
             if count != 1 {
-                return Err(FtlqnError::ReferenceEntryCount { task: t, count });
+                errors.push(FtlqnError::ReferenceEntryCount { task: t, count });
             }
         }
-        for p in &self.processors {
+        for (ix, p) in self.processors.iter().enumerate() {
             if !prob_ok(p.fail_prob) {
-                return Err(FtlqnError::BadProbability {
+                errors.push(FtlqnError::BadProbability {
                     what: format!("processor {}", p.name),
+                    at: ModelRef::Processor(FtProcId(ix as u32)),
                 });
             }
         }
-        for l in &self.links {
+        for (ix, l) in self.links.iter().enumerate() {
             if !prob_ok(l.fail_prob) {
-                return Err(FtlqnError::BadProbability {
+                errors.push(FtlqnError::BadProbability {
                     what: format!("link {}", l.name),
+                    at: ModelRef::Link(LinkId(ix as u32)),
                 });
             }
         }
         for (ix, e) in self.entries.iter().enumerate() {
+            let eid = FtEntryId(ix as u32);
             if e.host_demand < 0.0 {
-                return Err(FtlqnError::NegativeValue {
+                errors.push(FtlqnError::NegativeValue {
                     what: format!("host demand of {}", e.name),
+                    at: ModelRef::Entry(eid),
                 });
             }
             for r in &e.requests {
                 if r.mean_calls < 0.0 {
-                    return Err(FtlqnError::NegativeValue {
+                    errors.push(FtlqnError::NegativeValue {
                         what: format!("call count from {}", e.name),
+                        at: ModelRef::Entry(eid),
                     });
                 }
                 if let RequestTarget::Entry(te) = r.target {
                     if self.entries[te.index()].task == e.task {
-                        return Err(FtlqnError::SelfRequest(FtEntryId(ix as u32)));
+                        errors.push(FtlqnError::SelfRequest(eid));
                     }
                 }
             }
@@ -675,12 +736,13 @@ impl FtlqnModel {
         for (six, s) in self.services.iter().enumerate() {
             let sid = ServiceId(six as u32);
             if s.alternatives.is_empty() {
-                return Err(FtlqnError::EmptyService(sid));
+                errors.push(FtlqnError::EmptyService(sid));
             }
             let mut seen = BTreeSet::new();
             for a in &s.alternatives {
                 if !seen.insert(a.entry) {
-                    return Err(FtlqnError::DuplicateAlternative(sid));
+                    errors.push(FtlqnError::DuplicateAlternative(sid));
+                    break;
                 }
             }
             // Requiring tasks must be unique.
@@ -693,22 +755,25 @@ impl FtlqnModel {
                 }
             }
             match tasks.len() {
-                0 => return Err(FtlqnError::UnusedService(sid)),
+                0 => errors.push(FtlqnError::UnusedService(sid)),
                 1 => {}
-                _ => return Err(FtlqnError::ServiceSharedByTasks(sid)),
+                _ => errors.push(FtlqnError::ServiceSharedByTasks(sid)),
             }
             // Alternatives must not target the requiring task itself.
-            let owner = *tasks.iter().next().expect("non-empty");
-            for a in &s.alternatives {
-                if self.entries[a.entry.index()].task == owner {
-                    return Err(FtlqnError::SelfRequest(a.entry));
+            if let Some(&owner) = tasks.iter().next() {
+                if tasks.len() == 1 {
+                    for a in &s.alternatives {
+                        if self.entries[a.entry.index()].task == owner {
+                            errors.push(FtlqnError::SelfRequest(a.entry));
+                        }
+                    }
                 }
             }
         }
         if self.request_cycle() {
-            return Err(FtlqnError::CyclicRequests);
+            errors.push(FtlqnError::CyclicRequests);
         }
-        Ok(())
+        errors
     }
 
     /// Does the entry/service request structure contain a cycle?  The

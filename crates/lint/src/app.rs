@@ -1,0 +1,228 @@
+//! Application-model (FTLQN) lint passes: FM010–FM020.
+
+use crate::{Diagnostic, LintCode, Severity};
+use fmperf_ftlqn::{Component, FtEntryId, FtlqnModel, RequestTarget};
+use fmperf_text::ParsedModel;
+
+pub(crate) fn run(m: &ParsedModel, out: &mut Vec<Diagnostic>) {
+    unreachable_entries(m, out);
+    dead_alternatives(m, out);
+    zero_work_entries(m, out);
+    certain_failures(m, out);
+    zero_call_requests(m, out);
+}
+
+/// FM010: entries no request chain from a reference task can reach.
+fn unreachable_entries(m: &ParsedModel, out: &mut Vec<Diagnostic>) {
+    let app = &m.app;
+    if app.reference_tasks().next().is_none() {
+        // Already an FM001 error; every entry would be "unreachable".
+        return;
+    }
+    let mut reach = vec![false; app.entry_count()];
+    let mut stack: Vec<FtEntryId> = app
+        .reference_tasks()
+        .flat_map(|t| app.entries_of(t))
+        .collect();
+    for e in &stack {
+        reach[e.index()] = true;
+    }
+    while let Some(e) = stack.pop() {
+        let mut visit = |e2: FtEntryId| {
+            if !reach[e2.index()] {
+                reach[e2.index()] = true;
+                stack.push(e2);
+            }
+        };
+        for (target, _, _, _) in app.requests_of(e) {
+            match target {
+                RequestTarget::Entry(e2) => visit(e2),
+                RequestTarget::Service(s) => {
+                    for (ae, _) in app.alternatives(s) {
+                        visit(ae);
+                    }
+                }
+            }
+        }
+    }
+    for e in app.entry_ids() {
+        if !reach[e.index()] {
+            out.push(
+                Diagnostic::new(
+                    LintCode::UnreachableEntry,
+                    Severity::Warning,
+                    m.spans.entry_line(e),
+                    format!(
+                        "entry `{}` is unreachable from every user task",
+                        app.entry_name(e)
+                    ),
+                )
+                .with_help(
+                    "no request chain leads here, so the entry never contributes load \
+                     to any operational configuration",
+                ),
+            );
+        }
+    }
+}
+
+/// Fallibility of an entry's whole subtree: can anything it depends on
+/// fail?  A service fails only when *all* its alternatives fail, so an
+/// infallible alternative makes the service infallible.  Cycles (already
+/// an FM001 error) are conservatively treated as fallible.
+fn entry_fallible(app: &FtlqnModel, e: FtEntryId, memo: &mut [u8]) -> bool {
+    const VISITING: u8 = 1;
+    const NO: u8 = 2;
+    const YES: u8 = 3;
+    match memo[e.index()] {
+        VISITING | YES => return true,
+        NO => return false,
+        _ => {}
+    }
+    memo[e.index()] = VISITING;
+    let t = app.task_of(e);
+    let mut fallible = app.fail_prob(Component::Task(t)) > 0.0
+        || app.fail_prob(Component::Processor(app.processor_of(t))) > 0.0;
+    if !fallible {
+        for (target, _, link, _) in app.requests_of(e) {
+            if link.is_some_and(|l| app.fail_prob(Component::Link(l)) > 0.0) {
+                fallible = true;
+                break;
+            }
+            let target_fallible = match target {
+                RequestTarget::Entry(e2) => entry_fallible(app, e2, memo),
+                RequestTarget::Service(s) => {
+                    app.alternatives(s)
+                        .collect::<Vec<_>>()
+                        .iter()
+                        .all(|&(ae, al)| {
+                            al.is_some_and(|l| app.fail_prob(Component::Link(l)) > 0.0)
+                                || entry_fallible(app, ae, memo)
+                        })
+                }
+            };
+            if target_fallible {
+                fallible = true;
+                break;
+            }
+        }
+    }
+    memo[e.index()] = if fallible { YES } else { NO };
+    fallible
+}
+
+/// FM011: alternatives ranked below an infallible one can never be
+/// selected — the higher-priority alternative never fails.
+fn dead_alternatives(m: &ParsedModel, out: &mut Vec<Diagnostic>) {
+    let app = &m.app;
+    let mut memo = vec![0u8; app.entry_count()];
+    for s in app.service_ids() {
+        let alts: Vec<_> = app.alternatives(s).collect();
+        for (i, &(ae, al)) in alts.iter().enumerate() {
+            let fallible = al.is_some_and(|l| app.fail_prob(Component::Link(l)) > 0.0)
+                || entry_fallible(app, ae, &mut memo);
+            if !fallible {
+                for &(de, _) in &alts[i + 1..] {
+                    out.push(
+                        Diagnostic::new(
+                            LintCode::DeadAlternative,
+                            Severity::Warning,
+                            m.spans.service_line(s),
+                            format!(
+                                "alternative `{}` of service `{}` can never be selected",
+                                app.entry_name(de),
+                                app.service_name(s)
+                            ),
+                        )
+                        .with_help(format!(
+                            "higher-priority alternative `{}` depends on no fallible \
+                             component, so the service never redirects past it",
+                            app.entry_name(ae)
+                        )),
+                    );
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// FM012: server entries that do nothing at all.
+fn zero_work_entries(m: &ParsedModel, out: &mut Vec<Diagnostic>) {
+    let app = &m.app;
+    for e in app.entry_ids() {
+        if app.is_reference(app.task_of(e)) {
+            continue;
+        }
+        if app.entry_demand(e) == 0.0
+            && app.second_phase_demand(e) == 0.0
+            && app.requests_of(e).next().is_none()
+        {
+            out.push(
+                Diagnostic::new(
+                    LintCode::ZeroWorkEntry,
+                    Severity::Warning,
+                    m.spans.entry_line(e),
+                    format!(
+                        "entry `{}` has no host demand and makes no requests",
+                        app.entry_name(e)
+                    ),
+                )
+                .with_help("give it a `demand` or a `call`, or remove it"),
+            );
+        }
+    }
+}
+
+/// FM013: components that are certain to be failed.
+fn certain_failures(m: &ParsedModel, out: &mut Vec<Diagnostic>) {
+    let app = &m.app;
+    for c in app.components() {
+        if app.fail_prob(c) >= 1.0 {
+            let line = match c {
+                Component::Task(t) => m.spans.task_line(t),
+                Component::Processor(p) => m.spans.processor_line(p),
+                Component::Link(l) => m.spans.link_line(l),
+            };
+            out.push(
+                Diagnostic::new(
+                    LintCode::CertainFailure,
+                    Severity::Warning,
+                    line,
+                    format!(
+                        "component `{}` has failure probability 1",
+                        app.component_name(c)
+                    ),
+                )
+                .with_help("it is failed in every reachable state; model it as absent instead"),
+            );
+        }
+    }
+}
+
+/// FM020: requests with zero mean calls.
+fn zero_call_requests(m: &ParsedModel, out: &mut Vec<Diagnostic>) {
+    let app = &m.app;
+    for e in app.entry_ids() {
+        for (ix, (target, mean, _, _)) in app.requests_of(e).enumerate() {
+            if mean == 0.0 {
+                let tname = match target {
+                    RequestTarget::Entry(e2) => app.entry_name(e2),
+                    RequestTarget::Service(s) => app.service_name(s),
+                };
+                out.push(
+                    Diagnostic::new(
+                        LintCode::ZeroCalls,
+                        Severity::Warning,
+                        m.spans.request_line(e, ix).or(m.spans.entry_line(e)),
+                        format!(
+                            "request from `{}` to `{tname}` has zero mean calls",
+                            app.entry_name(e)
+                        ),
+                    )
+                    .with_help("the request never happens; drop it or give it `x <mean>`"),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Cost, reward and feasibility lint passes: FM201–FM212.
+
+use crate::{Diagnostic, LintCode, Severity};
+use fmperf_mama::ComponentSpace;
+use fmperf_text::ParsedModel;
+
+/// Fallible-component count from which exhaustive `2^N` enumeration is
+/// flagged as a warning rather than a note.
+const BLOWUP_BITS: usize = 20;
+
+pub(crate) fn run(m: &ParsedModel, valid: bool, out: &mut Vec<Diagnostic>) {
+    if valid {
+        state_space(m, out);
+    }
+    reward_weights(m, out);
+    saturated_users(m, out);
+    no_rewards(m, out);
+}
+
+/// FM201: exact state-space size estimate.
+fn state_space(m: &ParsedModel, out: &mut Vec<Diagnostic>) {
+    let space = ComponentSpace::build(&m.app, &m.mama);
+    let n = space.fallible_indices().len();
+    let states = if n < usize::BITS as usize {
+        format!("{}", 1usize << n)
+    } else {
+        format!("2^{n}")
+    };
+    let (severity, help) = if n >= BLOWUP_BITS {
+        (
+            Severity::Warning,
+            "exhaustive enumeration over this many states is infeasible; \
+             use the BDD engine or Monte Carlo sampling",
+        )
+    } else {
+        (
+            Severity::Note,
+            "exhaustive enumeration over all global states is feasible",
+        )
+    };
+    out.push(
+        Diagnostic::new(
+            LintCode::StateSpace,
+            severity,
+            None,
+            format!("model has {n} fallible components: {states} global states"),
+        )
+        .with_help(help),
+    );
+}
+
+/// FM210: reward weights that cannot contribute.
+fn reward_weights(m: &ParsedModel, out: &mut Vec<Diagnostic>) {
+    for (ix, &(task, weight)) in m.rewards.iter().enumerate() {
+        if weight <= 0.0 {
+            out.push(
+                Diagnostic::new(
+                    LintCode::BadRewardWeight,
+                    Severity::Warning,
+                    m.spans.reward_line(ix),
+                    format!(
+                        "reward for user group `{}` has non-positive weight {weight}",
+                        m.app.task_name(task)
+                    ),
+                )
+                .with_help("the group contributes nothing to the reward rate"),
+            );
+        }
+    }
+}
+
+/// FM211: rewards naming saturated (zero-think) user groups.
+fn saturated_users(m: &ParsedModel, out: &mut Vec<Diagnostic>) {
+    for (ix, &(task, _)) in m.rewards.iter().enumerate() {
+        let Some((_, think)) = m.app.reference_params(task) else {
+            continue;
+        };
+        if think == 0.0 {
+            out.push(
+                Diagnostic::new(
+                    LintCode::SaturatedUsers,
+                    Severity::Warning,
+                    m.spans.reward_line(ix),
+                    format!(
+                        "reward names user group `{}` with zero think time",
+                        m.app.task_name(task)
+                    ),
+                )
+                .with_help(
+                    "zero-think users are saturated: their throughput is bounded by \
+                     server capacity alone, which the paper's examples use deliberately \
+                     — check it is intended here",
+                ),
+            );
+        }
+    }
+}
+
+/// FM212: no reward statements at all.
+fn no_rewards(m: &ParsedModel, out: &mut Vec<Diagnostic>) {
+    if m.rewards.is_empty() {
+        out.push(
+            Diagnostic::new(
+                LintCode::NoReward,
+                Severity::Note,
+                None,
+                "model declares no reward weights",
+            )
+            .with_help(
+                "effectiveness analyses need `reward <users> <weight>` statements to \
+                 weight user-group throughputs",
+            ),
+        );
+    }
+}

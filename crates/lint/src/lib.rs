@@ -1,0 +1,256 @@
+//! # fmperf-lint
+//!
+//! Static analysis for combined FTLQN + MAMA models: a set of semantic
+//! lint passes that go beyond the hard structural validation in
+//! [`fmperf_ftlqn`] and [`fmperf_mama`], each reporting a [`Diagnostic`]
+//! with a stable code, a severity and (where possible) the 1-based
+//! source line of the offending declaration.
+//!
+//! Codes are grouped by the model layer they speak about:
+//!
+//! | code  | severity | meaning |
+//! |-------|----------|---------|
+//! | FM001 | error    | application model fails structural validation |
+//! | FM010 | warning  | entry unreachable from every user task |
+//! | FM011 | warning  | service alternative shadowed by an infallible higher-priority alternative |
+//! | FM012 | warning  | non-reference entry with no demand and no requests |
+//! | FM013 | warning  | component with failure probability 1 (always failed) |
+//! | FM020 | warning  | request with zero mean calls |
+//! | FM101 | error    | management model fails structural validation |
+//! | FM110 | warning  | fallible application component no deciding task can learn about |
+//! | FM111 | warning  | notify connectors form a cycle (knowledge echo loop) |
+//! | FM112 | warning  | management task attached to no connector |
+//! | FM113 | warning  | management task collects status it can never deliver |
+//! | FM201 | note/warning | state-space size estimate (warning from 2^20 states) |
+//! | FM210 | warning  | reward weight is zero or negative |
+//! | FM211 | warning  | reward names a user group with zero think time (saturated) |
+//! | FM212 | note     | model declares no reward weights |
+//!
+//! The passes that need a structurally valid model (the knowledge-graph
+//! and state-space analyses) are skipped automatically while FM001/FM101
+//! errors are present; the purely local checks always run.
+//!
+//! ```
+//! let src = "processor p fail 0.1\nusers u on p\nentry eu of u\n\
+//!            task t on p fail 1.0\nentry et of t demand 0.5\ncall eu -> et\n";
+//! let diags = fmperf_lint::lint_source(src).unwrap();
+//! assert!(diags.iter().any(|d| d.code == fmperf_lint::LintCode::CertainFailure));
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod app;
+mod cost;
+mod mgmt;
+mod render;
+
+pub use render::{render_json, render_text};
+
+use fmperf_text::{parse_lenient, LenientParse, ParseError};
+use std::fmt;
+
+/// How bad a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational; nothing is wrong.
+    Note,
+    /// Suspicious: almost certainly not what the modeller meant.
+    Warning,
+    /// The model is structurally invalid and cannot be analysed.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Note => write!(f, "note"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Stable identifier of a lint rule.
+///
+/// `FM0xx` codes speak about the application (FTLQN) model, `FM1xx`
+/// about the management (MAMA) model and `FM2xx` about cost, reward and
+/// analysis-feasibility concerns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LintCode {
+    /// FM001: the application model fails structural validation.
+    AppInvalid,
+    /// FM010: an entry is unreachable from every user (reference) task.
+    UnreachableEntry,
+    /// FM011: a service alternative is shadowed by an infallible
+    /// higher-priority alternative and can never be selected.
+    DeadAlternative,
+    /// FM012: a non-reference entry has no host demand and no requests.
+    ZeroWorkEntry,
+    /// FM013: a component has failure probability 1 — it is always
+    /// failed.
+    CertainFailure,
+    /// FM020: a request has zero mean calls and so never happens.
+    ZeroCalls,
+    /// FM101: the management model fails structural validation.
+    MamaInvalid,
+    /// FM110: a fallible application component whose state no deciding
+    /// task can ever learn (`know(c, t)` is statically empty).
+    Unmonitored,
+    /// FM111: notify connectors form a cycle.
+    NotifyCycle,
+    /// FM112: a management task is attached to no connector.
+    IdleMgmtTask,
+    /// FM113: a management task receives status but has no status-watch
+    /// or notify carrying its collected knowledge onward.
+    KnowledgeDeadEnd,
+    /// FM201: state-space size estimate for exhaustive enumeration.
+    StateSpace,
+    /// FM210: a reward weight is zero or negative.
+    BadRewardWeight,
+    /// FM211: a reward names a user group with zero think time.
+    SaturatedUsers,
+    /// FM212: the model declares no reward weights at all.
+    NoReward,
+}
+
+impl LintCode {
+    /// Every code, in numeric order.
+    pub const ALL: [LintCode; 15] = [
+        LintCode::AppInvalid,
+        LintCode::UnreachableEntry,
+        LintCode::DeadAlternative,
+        LintCode::ZeroWorkEntry,
+        LintCode::CertainFailure,
+        LintCode::ZeroCalls,
+        LintCode::MamaInvalid,
+        LintCode::Unmonitored,
+        LintCode::NotifyCycle,
+        LintCode::IdleMgmtTask,
+        LintCode::KnowledgeDeadEnd,
+        LintCode::StateSpace,
+        LintCode::BadRewardWeight,
+        LintCode::SaturatedUsers,
+        LintCode::NoReward,
+    ];
+
+    /// The stable `FMxxx` code string.
+    pub fn code(self) -> &'static str {
+        match self {
+            LintCode::AppInvalid => "FM001",
+            LintCode::UnreachableEntry => "FM010",
+            LintCode::DeadAlternative => "FM011",
+            LintCode::ZeroWorkEntry => "FM012",
+            LintCode::CertainFailure => "FM013",
+            LintCode::ZeroCalls => "FM020",
+            LintCode::MamaInvalid => "FM101",
+            LintCode::Unmonitored => "FM110",
+            LintCode::NotifyCycle => "FM111",
+            LintCode::IdleMgmtTask => "FM112",
+            LintCode::KnowledgeDeadEnd => "FM113",
+            LintCode::StateSpace => "FM201",
+            LintCode::BadRewardWeight => "FM210",
+            LintCode::SaturatedUsers => "FM211",
+            LintCode::NoReward => "FM212",
+        }
+    }
+}
+
+impl fmt::Display for LintCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+/// One finding of a lint pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Which rule fired.
+    pub code: LintCode,
+    /// How bad it is.
+    pub severity: Severity,
+    /// 1-based source line of the offending declaration, when the
+    /// finding has a single locus.
+    pub line: Option<usize>,
+    /// What is wrong.
+    pub message: String,
+    /// Optional advice on why it matters or how to fix it.
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    pub(crate) fn new(
+        code: LintCode,
+        severity: Severity,
+        line: Option<usize>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            code,
+            severity,
+            line,
+            message: message.into(),
+            help: None,
+        }
+    }
+
+    pub(crate) fn with_help(mut self, help: impl Into<String>) -> Self {
+        self.help = Some(help.into());
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.code, self.message)
+    }
+}
+
+/// Runs every lint pass over a leniently parsed model.
+///
+/// Validation errors collected by [`fmperf_text::parse_lenient`] become
+/// FM001/FM101 error diagnostics; the semantic passes that require a
+/// valid model are skipped while any are present.  Diagnostics are
+/// sorted by source line, then code.
+pub fn lint(parsed: &LenientParse) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let m = &parsed.model;
+    for e in &parsed.app_errors {
+        out.push(Diagnostic::new(
+            LintCode::AppInvalid,
+            Severity::Error,
+            m.spans.model_line(e.locus()),
+            format!("application model invalid: {e}"),
+        ));
+    }
+    for e in &parsed.mama_errors {
+        out.push(Diagnostic::new(
+            LintCode::MamaInvalid,
+            Severity::Error,
+            m.spans.mama_line(e.locus()),
+            format!("management model invalid: {e}"),
+        ));
+    }
+    let valid = parsed.app_errors.is_empty() && parsed.mama_errors.is_empty();
+    app::run(m, &mut out);
+    mgmt::run(m, valid, &mut out);
+    cost::run(m, valid, &mut out);
+    out.sort_by(|a, b| {
+        (a.line.unwrap_or(0), a.code, &a.message).cmp(&(b.line.unwrap_or(0), b.code, &b.message))
+    });
+    out
+}
+
+/// Parses source text and lints it.
+///
+/// # Errors
+///
+/// Returns the first syntax or unresolved-reference error; semantic
+/// problems are reported as diagnostics, not errors.
+pub fn lint_source(src: &str) -> Result<Vec<Diagnostic>, ParseError> {
+    Ok(lint(&parse_lenient(src)?))
+}
+
+/// Number of diagnostics at exactly the given severity.
+pub fn count(diags: &[Diagnostic], severity: Severity) -> usize {
+    diags.iter().filter(|d| d.severity == severity).count()
+}

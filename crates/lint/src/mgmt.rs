@@ -1,0 +1,272 @@
+//! Management-model (MAMA) lint passes: FM110–FM113, plus FM013 for
+//! management components and connectors.
+
+use crate::{Diagnostic, LintCode, Severity};
+use fmperf_mama::model::MamaComponentKind;
+use fmperf_mama::{ConnectorKind, KnowledgeGraph, MamaCompId};
+use fmperf_text::ParsedModel;
+use std::collections::BTreeSet;
+
+pub(crate) fn run(m: &ParsedModel, valid: bool, out: &mut Vec<Diagnostic>) {
+    certain_failures(m, out);
+    idle_mgmt_tasks(m, out);
+    knowledge_dead_ends(m, out);
+    notify_cycles(m, out);
+    if valid {
+        unmonitored_components(m, out);
+    }
+}
+
+/// FM013 (management side): components and connectors certain to fail.
+fn certain_failures(m: &ParsedModel, out: &mut Vec<Diagnostic>) {
+    let mama = &m.mama;
+    for id in mama.component_ids() {
+        let comp = mama.component(id);
+        let fail = match comp.kind {
+            MamaComponentKind::MgmtTask { fail_prob, .. }
+            | MamaComponentKind::MgmtProcessor { fail_prob } => fail_prob,
+            // App components carry their probability in the FTLQN model
+            // and are covered by the application pass.
+            MamaComponentKind::AppTask { .. } | MamaComponentKind::AppProcessor { .. } => continue,
+        };
+        if fail >= 1.0 {
+            out.push(
+                Diagnostic::new(
+                    LintCode::CertainFailure,
+                    Severity::Warning,
+                    m.spans.component_line(id),
+                    format!(
+                        "management component `{}` has failure probability 1",
+                        comp.name
+                    ),
+                )
+                .with_help("it is failed in every reachable state; model it as absent instead"),
+            );
+        }
+    }
+    for id in mama.connector_ids() {
+        let conn = mama.connector(id);
+        if conn.fail_prob >= 1.0 {
+            out.push(
+                Diagnostic::new(
+                    LintCode::CertainFailure,
+                    Severity::Warning,
+                    m.spans.connector_line(id),
+                    format!("connector `{}` has failure probability 1", conn.name),
+                )
+                .with_help("it never carries knowledge; remove it"),
+            );
+        }
+    }
+}
+
+/// FM112: agents and managers attached to no connector do nothing.
+fn idle_mgmt_tasks(m: &ParsedModel, out: &mut Vec<Diagnostic>) {
+    let mama = &m.mama;
+    for id in mama.component_ids() {
+        if !matches!(mama.component(id).kind, MamaComponentKind::MgmtTask { .. }) {
+            continue;
+        }
+        let attached = mama
+            .connector_ids()
+            .any(|c| mama.connector(c).source == id || mama.connector(c).target == id);
+        if !attached {
+            out.push(
+                Diagnostic::new(
+                    LintCode::IdleMgmtTask,
+                    Severity::Warning,
+                    m.spans.component_line(id),
+                    format!(
+                        "management task `{}` participates in no connector",
+                        mama.component(id).name
+                    ),
+                )
+                .with_help("it neither watches nor notifies anything; remove it or wire it up"),
+            );
+        }
+    }
+}
+
+/// FM113: a management task that receives status (it is the monitor of
+/// some watch or the subscriber of some notify) but is the source of no
+/// status-watch and no notify.  Knowledge it collects can never leave
+/// it: only a status-watch *of* the task or a notify *from* the task
+/// propagates collected status onward (alive-watches convey only the
+/// task's own liveness).
+fn knowledge_dead_ends(m: &ParsedModel, out: &mut Vec<Diagnostic>) {
+    let mama = &m.mama;
+    for id in mama.component_ids() {
+        if !matches!(mama.component(id).kind, MamaComponentKind::MgmtTask { .. }) {
+            continue;
+        }
+        let receives = mama.connector_ids().any(|c| mama.connector(c).target == id);
+        let delivers = mama.connector_ids().any(|c| {
+            let conn = mama.connector(c);
+            conn.source == id
+                && matches!(
+                    conn.kind,
+                    ConnectorKind::StatusWatch | ConnectorKind::Notify
+                )
+        });
+        if receives && !delivers {
+            out.push(
+                Diagnostic::new(
+                    LintCode::KnowledgeDeadEnd,
+                    Severity::Warning,
+                    m.spans.component_line(id),
+                    format!(
+                        "management task `{}` collects status it can never deliver",
+                        mama.component(id).name
+                    ),
+                )
+                .with_help(
+                    "no status-watch observes it and it notifies nothing, so the status \
+                     it receives reaches no deciding task through it",
+                ),
+            );
+        }
+    }
+}
+
+/// FM111: cycles in the notify-only subgraph that no watch feeds.
+/// Watch/notify two-cycles (a manager notifying the agent that
+/// status-watches it) are normal, and so are peer managers notifying
+/// each other of status they collect from watches.  A notify loop with
+/// no watch pointing into it, though, can only circulate knowledge that
+/// never entered it — it usually indicates reversed connector
+/// directions.
+fn notify_cycles(m: &ParsedModel, out: &mut Vec<Diagnostic>) {
+    let mama = &m.mama;
+    // Iteratively trim components without outgoing (then incoming)
+    // notify edges; whatever survives lies on a notify-only cycle.
+    let mut on_cycle: BTreeSet<MamaCompId> = mama.component_ids().collect();
+    loop {
+        let mut removed = false;
+        let survivors: Vec<MamaCompId> = on_cycle.iter().copied().collect();
+        for id in survivors {
+            let has_out = mama.connector_ids().any(|c| {
+                let conn = mama.connector(c);
+                conn.kind == ConnectorKind::Notify
+                    && conn.source == id
+                    && on_cycle.contains(&conn.target)
+            });
+            let has_in = mama.connector_ids().any(|c| {
+                let conn = mama.connector(c);
+                conn.kind == ConnectorKind::Notify
+                    && conn.target == id
+                    && on_cycle.contains(&conn.source)
+            });
+            if !has_out || !has_in {
+                on_cycle.remove(&id);
+                removed = true;
+            }
+        }
+        if !removed {
+            break;
+        }
+    }
+    if on_cycle.is_empty() {
+        return;
+    }
+    // A watch into the cycle injects fresh observations; the loop then
+    // distributes real knowledge and is fine.
+    let fed = on_cycle.iter().any(|&id| {
+        mama.connector_ids().any(|c| {
+            let conn = mama.connector(c);
+            conn.target == id && conn.kind != ConnectorKind::Notify
+        })
+    });
+    if fed {
+        return;
+    }
+    let names: Vec<&str> = on_cycle
+        .iter()
+        .map(|&id| mama.component(id).name.as_str())
+        .collect();
+    // Anchor the diagnostic at the first notify connector on the cycle.
+    let line = mama
+        .connector_ids()
+        .find(|&c| {
+            let conn = mama.connector(c);
+            conn.kind == ConnectorKind::Notify
+                && on_cycle.contains(&conn.source)
+                && on_cycle.contains(&conn.target)
+        })
+        .and_then(|c| m.spans.connector_line(c));
+    out.push(
+        Diagnostic::new(
+            LintCode::NotifyCycle,
+            Severity::Warning,
+            line,
+            format!(
+                "notify connectors form a cycle through {}",
+                names.join(", ")
+            ),
+        )
+        .with_help(
+            "no watch feeds this notify loop, so it can only circulate knowledge \
+             that never entered it; check the connector directions",
+        ),
+    );
+}
+
+/// FM110: fallible application components whose state no deciding task
+/// (a task that requires a service, and so must pick alternatives) can
+/// ever learn — `know(c, t)` has no minpaths for every such `t`.
+fn unmonitored_components(m: &ParsedModel, out: &mut Vec<Diagnostic>) {
+    use fmperf_ftlqn::Component;
+    let app = &m.app;
+    let mama = &m.mama;
+    if mama.component_count() == 0 {
+        // No management section: analyses fall back to perfect
+        // knowledge, so nothing is "unmonitored".
+        return;
+    }
+    let deciders: BTreeSet<_> = app
+        .service_ids()
+        .filter_map(|s| app.requiring_task(s))
+        .collect();
+    if deciders.is_empty() {
+        // No services, no decisions, no knowledge needed.
+        return;
+    }
+    let decider_comps: Vec<MamaCompId> = deciders
+        .iter()
+        .filter_map(|&t| mama.app_task_component(t))
+        .collect();
+    let graph = KnowledgeGraph::build(mama);
+    for c in app.components() {
+        if app.fail_prob(c) <= 0.0 {
+            continue;
+        }
+        let (comp, line) = match c {
+            Component::Task(t) => (mama.app_task_component(t), m.spans.task_line(t)),
+            Component::Processor(p) => (mama.app_processor_component(p), m.spans.processor_line(p)),
+            // Links are not MAMA components and cannot be watched.
+            Component::Link(_) => continue,
+        };
+        let monitored = comp.is_some_and(|cc| {
+            decider_comps
+                .iter()
+                .any(|&tc| !graph.minpaths(cc, tc).is_empty())
+        });
+        if !monitored {
+            out.push(
+                Diagnostic::new(
+                    LintCode::Unmonitored,
+                    Severity::Warning,
+                    line,
+                    format!(
+                        "fallible component `{}` is invisible to every deciding task",
+                        app.component_name(c)
+                    ),
+                )
+                .with_help(
+                    "know(c, t) is statically empty: no watch/notify chain carries its \
+                     state to a task that selects service alternatives, so failures here \
+                     are never reacted to",
+                ),
+            );
+        }
+    }
+}

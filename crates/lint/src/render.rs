@@ -1,0 +1,108 @@
+//! Text and JSON rendering of diagnostics.
+//!
+//! JSON is emitted by hand: the workspace's hermetic build stubs out
+//! `serde_json`, and the schema here is small and flat.
+
+use crate::{count, Diagnostic, Severity};
+use std::fmt::Write;
+
+/// Renders diagnostics the way `rustc` does, with a trailing summary
+/// line.  `path` is the file name shown in `--> path:line` spans.
+pub fn render_text(path: &str, diags: &[Diagnostic]) -> String {
+    let mut s = String::new();
+    for d in diags {
+        let _ = writeln!(s, "{}[{}]: {}", d.severity, d.code, d.message);
+        match d.line {
+            Some(l) => {
+                let _ = writeln!(s, "  --> {path}:{l}");
+            }
+            None => {
+                let _ = writeln!(s, "  --> {path}");
+            }
+        }
+        if let Some(h) = &d.help {
+            let _ = writeln!(s, "  = help: {h}");
+        }
+    }
+    let _ = writeln!(
+        s,
+        "{path}: {} error(s), {} warning(s), {} note(s)",
+        count(diags, Severity::Error),
+        count(diags, Severity::Warning),
+        count(diags, Severity::Note)
+    );
+    s
+}
+
+/// Renders diagnostics as a JSON object:
+///
+/// ```json
+/// {
+///   "file": "model.fmp",
+///   "diagnostics": [
+///     {"code": "FM110", "severity": "warning", "line": 7,
+///      "message": "...", "help": "..."}
+///   ],
+///   "errors": 0, "warnings": 1, "notes": 0
+/// }
+/// ```
+///
+/// `line` is `null` for whole-model diagnostics; `help` is omitted when
+/// absent.
+pub fn render_json(path: &str, diags: &[Diagnostic]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"file\": \"{}\",", escape(path));
+    s.push_str("  \"diagnostics\": [\n");
+    for (ix, d) in diags.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"code\": \"{}\", \"severity\": \"{}\", \"line\": ",
+            d.code, d.severity
+        );
+        match d.line {
+            Some(l) => {
+                let _ = write!(s, "{l}");
+            }
+            None => s.push_str("null"),
+        }
+        let _ = write!(s, ", \"message\": \"{}\"", escape(&d.message));
+        if let Some(h) = &d.help {
+            let _ = write!(s, ", \"help\": \"{}\"", escape(h));
+        }
+        s.push('}');
+        if ix + 1 < diags.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("  ],\n");
+    let _ = writeln!(
+        s,
+        "  \"errors\": {}, \"warnings\": {}, \"notes\": {}",
+        count(diags, Severity::Error),
+        count(diags, Severity::Warning),
+        count(diags, Severity::Note)
+    );
+    s.push_str("}\n");
+    s
+}
+
+/// Minimal JSON string escaping.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}

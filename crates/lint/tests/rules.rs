@@ -1,0 +1,295 @@
+//! One triggering model and one clean model per lint code.
+
+use fmperf_lint::{lint_source, Diagnostic, LintCode, Severity};
+
+fn diags(src: &str) -> Vec<Diagnostic> {
+    lint_source(src).expect("source parses")
+}
+
+fn find(diags: &[Diagnostic], code: LintCode) -> Vec<&Diagnostic> {
+    diags.iter().filter(|d| d.code == code).collect()
+}
+
+/// A model every rule is happy with: fallible servers, a backup
+/// service, full management coverage, weighted non-saturated users.
+const GOOD: &str = "\
+processor pc cores inf
+processor p1 fail 0.1
+processor p2 fail 0.1
+users u on pc population 5 think 1.0
+task prim on p1 fail 0.1
+task back on p2 fail 0.1
+entry eu of u
+entry e1 of prim demand 0.5
+entry e2 of back demand 0.5
+service data = e1 > e2
+call eu -> data x 1.0
+mgmtproc pm
+manager m1 on pm
+agent ag1 on p1
+agent ag2 on p2
+watch alive prim -> ag1
+watch alive back -> ag2
+watch alive p1 -> m1
+watch alive p2 -> m1
+watch status ag1 -> m1
+watch status ag2 -> m1
+notify m1 -> u
+reward u 1.0
+";
+
+#[test]
+fn good_model_yields_only_the_state_space_note() {
+    let ds = diags(GOOD);
+    assert_eq!(ds.len(), 1, "{ds:#?}");
+    assert_eq!(ds[0].code, LintCode::StateSpace);
+    assert_eq!(ds[0].severity, Severity::Note);
+}
+
+#[test]
+fn fm001_app_validation_error_with_declaration_line() {
+    let ds = diags("processor p\nusers u on p\nentry a of u\nentry b of u\n");
+    let hits = find(&ds, LintCode::AppInvalid);
+    assert!(!hits.is_empty(), "{ds:#?}");
+    assert_eq!(hits[0].severity, Severity::Error);
+    // The reference task `u` (declared on line 2) has two entries.
+    assert_eq!(hits[0].line, Some(2));
+}
+
+#[test]
+fn fm010_unreachable_entry() {
+    let src = "processor pc cores inf\nprocessor p1\nusers u on pc\ntask t on p1\n\
+               entry eu of u\nentry e1 of t demand 0.5\nentry dead of t demand 0.5\n\
+               call eu -> e1\n";
+    let hits_src = diags(src);
+    let hits = find(&hits_src, LintCode::UnreachableEntry);
+    assert_eq!(hits.len(), 1, "{hits_src:#?}");
+    assert_eq!(hits[0].line, Some(7));
+    assert!(hits[0].message.contains("dead"));
+}
+
+#[test]
+fn fm011_dead_alternative_behind_infallible_one() {
+    let src = "processor pc cores inf\nprocessor p1\nprocessor p2 fail 0.1\n\
+               users u on pc\ntask safe on p1\ntask risky on p2 fail 0.1\n\
+               entry eu of u\nentry es of safe demand 0.5\nentry er of risky demand 0.5\n\
+               service svc = es > er\ncall eu -> svc\n";
+    let ds = diags(src);
+    let hits = find(&ds, LintCode::DeadAlternative);
+    assert_eq!(hits.len(), 1, "{ds:#?}");
+    assert_eq!(hits[0].line, Some(10));
+    assert!(hits[0].message.contains("er"));
+}
+
+#[test]
+fn fm011_not_raised_when_first_alternative_is_fallible() {
+    // GOOD's `data` service has a fallible first alternative.
+    assert!(find(&diags(GOOD), LintCode::DeadAlternative).is_empty());
+}
+
+#[test]
+fn fm012_zero_work_entry() {
+    let src = "processor pc cores inf\nprocessor p1\nusers u on pc\ntask t on p1\n\
+               entry eu of u\nentry lazy of t\ncall eu -> lazy\n";
+    let ds = diags(src);
+    let hits = find(&ds, LintCode::ZeroWorkEntry);
+    assert_eq!(hits.len(), 1, "{ds:#?}");
+    assert_eq!(hits[0].line, Some(6));
+}
+
+#[test]
+fn fm013_certain_failure() {
+    let src = "processor pc cores inf\nprocessor p1\nusers u on pc\n\
+               task t on p1 fail 1.0\nentry eu of u\nentry e1 of t demand 0.5\n\
+               call eu -> e1\n";
+    let ds = diags(src);
+    let hits = find(&ds, LintCode::CertainFailure);
+    assert_eq!(hits.len(), 1, "{ds:#?}");
+    assert_eq!(hits[0].line, Some(4));
+}
+
+#[test]
+fn fm020_zero_mean_calls_points_at_the_call() {
+    let src = "processor pc cores inf\nprocessor p1\nusers u on pc\ntask t on p1\n\
+               entry eu of u\nentry e1 of t demand 0.5\ncall eu -> e1 x 0\n";
+    let ds = diags(src);
+    let hits = find(&ds, LintCode::ZeroCalls);
+    assert_eq!(hits.len(), 1, "{ds:#?}");
+    assert_eq!(hits[0].line, Some(7));
+}
+
+#[test]
+fn fm101_mama_validation_error_with_connector_line() {
+    let src = "processor pc cores inf\nprocessor p1\nusers u on pc\ntask t on p1\n\
+               entry eu of u\nentry e1 of t demand 0.5\ncall eu -> e1\n\
+               watch alive t -> u\n";
+    let ds = diags(src);
+    let hits = find(&ds, LintCode::MamaInvalid);
+    assert!(!hits.is_empty(), "{ds:#?}");
+    assert_eq!(hits[0].severity, Severity::Error);
+    assert_eq!(hits[0].line, Some(8));
+}
+
+#[test]
+fn fm110_unwatched_fallible_task_with_exact_line() {
+    let src = "processor pc cores inf\nprocessor p1\nprocessor p2\n\
+               users u on pc\ntask prim on p1 fail 0.1\ntask back on p2 fail 0.1\n\
+               entry eu of u\nentry e1 of prim demand 0.5\nentry e2 of back demand 0.5\n\
+               service data = e1 > e2\ncall eu -> data\n\
+               agent ag1 on p1\nmgmtproc pm\nmanager m1 on pm\n\
+               watch alive prim -> ag1\nwatch status ag1 -> m1\nnotify m1 -> u\n\
+               reward u 1.0\n";
+    let ds = diags(src);
+    let hits = find(&ds, LintCode::Unmonitored);
+    assert_eq!(hits.len(), 1, "{ds:#?}");
+    // `task back` is declared on line 6 and nothing watches it.
+    assert_eq!(hits[0].line, Some(6));
+    assert!(hits[0].message.contains("back"));
+}
+
+#[test]
+fn fm110_not_raised_with_full_coverage() {
+    assert!(find(&diags(GOOD), LintCode::Unmonitored).is_empty());
+}
+
+#[test]
+fn fm111_unfed_notify_cycle() {
+    let src = "processor pc cores inf\nprocessor p1\nusers u on pc\ntask t on p1\n\
+               entry eu of u\nentry e1 of t demand 0.5\ncall eu -> e1\n\
+               mgmtproc pm1\nmgmtproc pm2\nmanager m1 on pm1\nmanager m2 on pm2\n\
+               notify m1 -> m2\nnotify m2 -> m1\n";
+    let ds = diags(src);
+    let hits = find(&ds, LintCode::NotifyCycle);
+    assert_eq!(hits.len(), 1, "{ds:#?}");
+    assert!(hits[0].message.contains("m1") && hits[0].message.contains("m2"));
+}
+
+#[test]
+fn fm111_not_raised_for_watch_fed_manager_pairs() {
+    // Peer managers exchanging watched status: legitimate (this is the
+    // paper's distributed architecture).
+    let src = "processor pc cores inf\nprocessor p1\nusers u on pc\ntask t on p1\n\
+               entry eu of u\nentry e1 of t demand 0.5\ncall eu -> e1\n\
+               mgmtproc pm1\nmgmtproc pm2\nmanager m1 on pm1\nmanager m2 on pm2\n\
+               watch alive t -> m1\nnotify m1 -> m2\nnotify m2 -> m1\n";
+    assert!(find(&diags(src), LintCode::NotifyCycle).is_empty());
+}
+
+#[test]
+fn fm112_idle_management_task() {
+    let src = "processor pc cores inf\nprocessor p1\nusers u on pc\ntask t on p1\n\
+               entry eu of u\nentry e1 of t demand 0.5\ncall eu -> e1\n\
+               mgmtproc pm\nmanager m1 on pm\n";
+    let ds = diags(src);
+    let hits = find(&ds, LintCode::IdleMgmtTask);
+    assert_eq!(hits.len(), 1, "{ds:#?}");
+    assert_eq!(hits[0].line, Some(9));
+}
+
+#[test]
+fn fm113_knowledge_dead_end() {
+    let src = "processor pc cores inf\nprocessor p1\nusers u on pc\ntask t on p1\n\
+               entry eu of u\nentry e1 of t demand 0.5\ncall eu -> e1\n\
+               agent ag on p1\nwatch alive t -> ag\n";
+    let ds = diags(src);
+    let hits = find(&ds, LintCode::KnowledgeDeadEnd);
+    assert_eq!(hits.len(), 1, "{ds:#?}");
+    assert_eq!(hits[0].line, Some(8));
+}
+
+#[test]
+fn fm113_not_raised_when_status_flows_onward() {
+    assert!(find(&diags(GOOD), LintCode::KnowledgeDeadEnd).is_empty());
+}
+
+#[test]
+fn fm201_note_when_small_warning_when_large() {
+    let small = diags(GOOD);
+    let hit = &find(&small, LintCode::StateSpace)[0];
+    assert_eq!(hit.severity, Severity::Note);
+    // GOOD has 4 fallible components (p1, p2, prim, back) and none of
+    // the management parts are fallible.
+    assert!(hit.message.contains("4 fallible components"), "{hit:?}");
+    assert!(hit.message.contains("16 global states"), "{hit:?}");
+
+    let mut big = String::from(
+        "processor pc cores inf\nprocessor p1\nusers u on pc\ntask t on p1\n\
+         entry eu of u\nentry e1 of t demand 0.5\ncall eu -> e1\n",
+    );
+    for i in 0..20 {
+        big.push_str(&format!("link l{i} fail 0.1\n"));
+    }
+    let ds = diags(&big);
+    let hits = find(&ds, LintCode::StateSpace);
+    assert_eq!(hits.len(), 1, "{ds:#?}");
+    assert_eq!(hits[0].severity, Severity::Warning);
+    assert!(hits[0].message.contains("20 fallible components"));
+}
+
+#[test]
+fn fm210_non_positive_reward_weight() {
+    let src = "processor pc cores inf\nprocessor p1\nusers u on pc think 1.0\ntask t on p1\n\
+               entry eu of u\nentry e1 of t demand 0.5\ncall eu -> e1\nreward u 0\n";
+    let ds = diags(src);
+    let hits = find(&ds, LintCode::BadRewardWeight);
+    assert_eq!(hits.len(), 1, "{ds:#?}");
+    assert_eq!(hits[0].line, Some(8));
+}
+
+#[test]
+fn fm211_saturated_user_group() {
+    let src = "processor pc cores inf\nprocessor p1\nusers u on pc think 0\ntask t on p1\n\
+               entry eu of u\nentry e1 of t demand 0.5\ncall eu -> e1\nreward u 1.0\n";
+    let ds = diags(src);
+    let hits = find(&ds, LintCode::SaturatedUsers);
+    assert_eq!(hits.len(), 1, "{ds:#?}");
+    assert_eq!(hits[0].line, Some(8));
+}
+
+#[test]
+fn fm212_no_rewards_note() {
+    let src = "processor pc cores inf\nprocessor p1\nusers u on pc think 1.0\ntask t on p1\n\
+               entry eu of u\nentry e1 of t demand 0.5\ncall eu -> e1\n";
+    let ds = diags(src);
+    let hits = find(&ds, LintCode::NoReward);
+    assert_eq!(hits.len(), 1, "{ds:#?}");
+    assert_eq!(hits[0].severity, Severity::Note);
+}
+
+#[test]
+fn diagnostics_are_sorted_by_line() {
+    let src = "processor pc cores inf\nprocessor p1\nusers u on pc think 1.0\n\
+               task t on p1 fail 1.0\nentry eu of u\nentry e1 of t demand 0.5\n\
+               call eu -> e1 x 0\nreward u 0\n";
+    let ds = diags(src);
+    let lines: Vec<usize> = ds.iter().map(|d| d.line.unwrap_or(0)).collect();
+    let mut sorted = lines.clone();
+    sorted.sort_unstable();
+    assert_eq!(lines, sorted, "{ds:#?}");
+}
+
+#[test]
+fn json_rendering_is_well_formed() {
+    let ds = diags(GOOD);
+    let json = fmperf_lint::render_json("good.fmp", &ds);
+    assert!(json.contains("\"file\": \"good.fmp\""));
+    assert!(json.contains("\"code\": \"FM201\""));
+    assert!(json.contains("\"errors\": 0, \"warnings\": 0, \"notes\": 1"));
+    // Whole-model diagnostics carry a null line.
+    assert!(json.contains("\"line\": null"));
+}
+
+#[test]
+fn text_rendering_has_spans_and_summary() {
+    let src = "processor pc cores inf\nprocessor p1\nusers u on pc think 1.0\n\
+               task t on p1 fail 1.0\nentry eu of u\nentry e1 of t demand 0.5\n\
+               call eu -> e1\nreward u 1.0\n";
+    let text = fmperf_lint::render_text("m.fmp", &diags(src));
+    assert!(text.contains("warning[FM013]"), "{text}");
+    assert!(text.contains("--> m.fmp:4"), "{text}");
+    assert!(text.contains("= help:"), "{text}");
+    assert!(
+        text.contains("0 error(s), 1 warning(s), 1 note(s)"),
+        "{text}"
+    );
+}

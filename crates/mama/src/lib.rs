@@ -43,7 +43,6 @@
 //! // processor = 14 fallible components, 2^14 states (paper: 16384).
 //! assert_eq!(space.fallible_indices().len(), 14);
 //! ```
-
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -56,7 +55,7 @@ pub mod space;
 pub mod synth;
 
 pub use knowledge::{KnowFunction, KnowledgeGraph};
-pub use model::{ConnId, ConnectorKind, MamaCompId, MamaError, MamaModel, MgmtRole};
+pub use model::{ConnId, ConnectorKind, MamaCompId, MamaError, MamaModel, MamaRef, MgmtRole};
 pub use oracle::{KnowTable, MamaOracle};
 pub use space::ComponentSpace;
 pub use synth::{synthesize, SynthOptions};

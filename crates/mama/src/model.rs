@@ -118,6 +118,16 @@ pub struct Connector {
     pub fail_prob: f64,
 }
 
+/// The architecture element a validation error refers to, so callers
+/// (the linter, the text parser) can map errors back to declarations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MamaRef {
+    /// A component declaration.
+    Component(MamaCompId),
+    /// A connector declaration.
+    Connector(ConnId),
+}
+
 /// Validation failure for a [`MamaModel`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum MamaError {
@@ -125,11 +135,15 @@ pub enum MamaError {
     BadReference {
         /// Description of the offender.
         what: String,
+        /// The offending declaration.
+        at: MamaRef,
     },
     /// A probability outside `[0, 1]`.
     BadProbability {
         /// Description of the offender.
         what: String,
+        /// The offending declaration.
+        at: MamaRef,
     },
     /// Role rules violated (paper §2.C): e.g. a processor monitored by a
     /// status-watch, an application task in the monitor role.
@@ -143,6 +157,8 @@ pub enum MamaError {
     DuplicateBinding {
         /// Description of the offender.
         what: String,
+        /// The offending declaration.
+        at: MamaRef,
     },
     /// An app task's declared processor component does not match the
     /// FTLQN model.
@@ -155,12 +171,14 @@ pub enum MamaError {
 impl fmt::Display for MamaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MamaError::BadReference { what } => write!(f, "bad reference: {what}"),
-            MamaError::BadProbability { what } => write!(f, "probability outside [0, 1]: {what}"),
+            MamaError::BadReference { what, .. } => write!(f, "bad reference: {what}"),
+            MamaError::BadProbability { what, .. } => {
+                write!(f, "probability outside [0, 1]: {what}")
+            }
             MamaError::RoleViolation { connector, reason } => {
                 write!(f, "role violation on connector c{}: {reason}", connector.0)
             }
-            MamaError::DuplicateBinding { what } => write!(f, "duplicate binding: {what}"),
+            MamaError::DuplicateBinding { what, .. } => write!(f, "duplicate binding: {what}"),
             MamaError::ProcessorMismatch { component } => {
                 write!(
                     f,
@@ -168,6 +186,19 @@ impl fmt::Display for MamaError {
                     component.0
                 )
             }
+        }
+    }
+}
+
+impl MamaError {
+    /// The architecture element the error refers to.
+    pub fn locus(&self) -> MamaRef {
+        match self {
+            MamaError::BadReference { at, .. }
+            | MamaError::BadProbability { at, .. }
+            | MamaError::DuplicateBinding { at, .. } => *at,
+            MamaError::RoleViolation { connector, .. } => MamaRef::Connector(*connector),
+            MamaError::ProcessorMismatch { component } => MamaRef::Component(*component),
         }
     }
 }
@@ -397,51 +428,68 @@ impl MamaModel {
     ///
     /// # Errors
     ///
-    /// See [`MamaError`] for the rules checked.
+    /// Returns the first violation found; see [`MamaError`] for the
+    /// rules checked.  Use [`validate_all`](MamaModel::validate_all) to
+    /// collect every violation at once (the linter does).
     pub fn validate(&self, ft: &FtlqnModel) -> Result<(), MamaError> {
+        match self.validate_all(ft).into_iter().next() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Validates against the application model, collecting *every*
+    /// violation instead of stopping at the first.  The order matches
+    /// [`validate`](MamaModel::validate): component bindings first, then
+    /// connector role rules.
+    pub fn validate_all(&self, ft: &FtlqnModel) -> Vec<MamaError> {
+        let mut errors = Vec::new();
         let prob_ok = |p: f64| (0.0..=1.0).contains(&p) && p.is_finite();
         // Bindings valid, unique, and processor-consistent.
         let mut seen_tasks = BTreeSet::new();
         let mut seen_procs = BTreeSet::new();
         for id in self.component_ids() {
             let comp = &self.components[id.index()];
+            let at = MamaRef::Component(id);
             match comp.kind {
                 MamaComponentKind::AppTask { task, processor } => {
                     if task.index() >= ft.task_count() {
-                        return Err(MamaError::BadReference {
+                        errors.push(MamaError::BadReference {
                             what: format!("component {} binds unknown task", comp.name),
+                            at,
                         });
+                        continue;
                     }
                     if !seen_tasks.insert(task) {
-                        return Err(MamaError::DuplicateBinding {
+                        errors.push(MamaError::DuplicateBinding {
                             what: format!("task {}", ft.task_name(task)),
+                            at,
                         });
                     }
                     match self.components.get(processor.index()).map(|c| &c.kind) {
                         Some(MamaComponentKind::AppProcessor { processor: p }) => {
                             if *p != ft.processor_of(task) {
-                                return Err(MamaError::ProcessorMismatch { component: id });
+                                errors.push(MamaError::ProcessorMismatch { component: id });
                             }
                         }
-                        _ => {
-                            return Err(MamaError::BadReference {
-                                what: format!(
-                                    "component {} declares a non-app processor",
-                                    comp.name
-                                ),
-                            })
-                        }
+                        _ => errors.push(MamaError::BadReference {
+                            what: format!("component {} declares a non-app processor", comp.name),
+                            at,
+                        }),
                     }
                 }
                 MamaComponentKind::AppProcessor { processor } => {
                     if processor.index() >= ft.processor_count() {
-                        return Err(MamaError::BadReference {
+                        errors.push(MamaError::BadReference {
                             what: format!("component {} binds unknown processor", comp.name),
+                            at,
                         });
+                        continue;
                     }
                     if !seen_procs.insert(processor) {
-                        return Err(MamaError::DuplicateBinding {
+                        errors.push(MamaError::DuplicateBinding {
                             what: format!("processor {}", ft.processor_name(processor)),
+                            at,
                         });
                     }
                 }
@@ -451,20 +499,23 @@ impl MamaModel {
                     ..
                 } => {
                     if processor.index() >= self.components.len() || self.is_task(processor) {
-                        return Err(MamaError::BadReference {
+                        errors.push(MamaError::BadReference {
                             what: format!("component {} not hosted on a processor", comp.name),
+                            at,
                         });
                     }
                     if !prob_ok(fail_prob) {
-                        return Err(MamaError::BadProbability {
+                        errors.push(MamaError::BadProbability {
                             what: comp.name.clone(),
+                            at,
                         });
                     }
                 }
                 MamaComponentKind::MgmtProcessor { fail_prob } => {
                     if !prob_ok(fail_prob) {
-                        return Err(MamaError::BadProbability {
+                        errors.push(MamaError::BadProbability {
                             what: comp.name.clone(),
+                            at,
                         });
                     }
                 }
@@ -473,49 +524,47 @@ impl MamaModel {
         // Connector role rules.
         for cid in self.connector_ids() {
             let conn = &self.connectors[cid.index()];
+            let at = MamaRef::Connector(cid);
             if !prob_ok(conn.fail_prob) {
-                return Err(MamaError::BadProbability {
+                errors.push(MamaError::BadProbability {
                     what: conn.name.clone(),
+                    at,
                 });
             }
             if conn.source == conn.target {
-                return Err(MamaError::RoleViolation {
+                errors.push(MamaError::RoleViolation {
                     connector: cid,
                     reason: "connector endpoints must differ".into(),
                 });
+                continue;
             }
             let src = &self.components[conn.source.index()].kind;
             let dst = &self.components[conn.target.index()].kind;
             let dst_is_mgmt = matches!(dst, MamaComponentKind::MgmtTask { .. });
-            let dst_role = match dst {
-                MamaComponentKind::MgmtTask { role, .. } => Some(*role),
-                _ => None,
-            };
             match conn.kind {
                 ConnectorKind::AliveWatch => {
                     // Anything can be monitored; the monitor must be an
                     // agent or manager.
                     if !dst_is_mgmt {
-                        return Err(MamaError::RoleViolation {
+                        errors.push(MamaError::RoleViolation {
                             connector: cid,
                             reason: "alive-watch monitor must be an agent or manager".into(),
                         });
                     }
-                    let _ = dst_role;
                 }
                 ConnectorKind::StatusWatch => {
                     // Processors can only be monitored by alive-watch; the
                     // monitored side of a status-watch must be a task that
                     // has status to propagate (agent/manager).
                     if !matches!(src, MamaComponentKind::MgmtTask { .. }) {
-                        return Err(MamaError::RoleViolation {
+                        errors.push(MamaError::RoleViolation {
                             connector: cid,
                             reason: "status-watch monitored component must be an agent or manager"
                                 .into(),
                         });
                     }
                     if !dst_is_mgmt {
-                        return Err(MamaError::RoleViolation {
+                        errors.push(MamaError::RoleViolation {
                             connector: cid,
                             reason: "status-watch monitor must be an agent or manager".into(),
                         });
@@ -523,7 +572,7 @@ impl MamaModel {
                 }
                 ConnectorKind::Notify => {
                     if !matches!(src, MamaComponentKind::MgmtTask { .. }) {
-                        return Err(MamaError::RoleViolation {
+                        errors.push(MamaError::RoleViolation {
                             connector: cid,
                             reason: "notifier must be an agent or manager".into(),
                         });
@@ -531,7 +580,7 @@ impl MamaModel {
                     if matches!(dst, MamaComponentKind::AppProcessor { .. })
                         || matches!(dst, MamaComponentKind::MgmtProcessor { .. })
                     {
-                        return Err(MamaError::RoleViolation {
+                        errors.push(MamaError::RoleViolation {
                             connector: cid,
                             reason: "a processor cannot subscribe to notifications".into(),
                         });
@@ -539,7 +588,7 @@ impl MamaModel {
                 }
             }
         }
-        Ok(())
+        errors
     }
 }
 

@@ -40,12 +40,11 @@
 //! let parsed = fmperf_text::parse(src).unwrap();
 //! assert_eq!(parsed.app.task_count(), 2);
 //! ```
-
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod parser;
 mod writer;
 
-pub use parser::{parse, ParseError, ParsedModel};
+pub use parser::{parse, parse_lenient, LenientParse, ParseError, ParsedModel, SourceMap};
 pub use writer::write_model;

@@ -1,11 +1,89 @@
 //! The line-oriented parser.  Definitions must precede uses.
 
-use fmperf_ftlqn::{FtEntryId, FtProcId, FtTaskId, FtlqnModel, LinkId, RequestTarget, ServiceId};
+use fmperf_ftlqn::{
+    FtEntryId, FtProcId, FtTaskId, FtlqnError, FtlqnModel, LinkId, ModelRef, RequestTarget,
+    ServiceId,
+};
 use fmperf_lqn::Multiplicity;
 use fmperf_mama::model::ConnectorKind;
-use fmperf_mama::{MamaCompId, MamaModel};
+use fmperf_mama::{ConnId, MamaCompId, MamaError, MamaModel, MamaRef};
 use std::collections::BTreeMap;
 use std::fmt;
+
+/// Maps every declared element back to the 1-based source line of its
+/// declaration, so validation errors and lint diagnostics can point at
+/// the offending statement.
+#[derive(Debug, Clone, Default)]
+pub struct SourceMap {
+    tasks: BTreeMap<FtTaskId, usize>,
+    entries: BTreeMap<FtEntryId, usize>,
+    services: BTreeMap<ServiceId, usize>,
+    procs: BTreeMap<FtProcId, usize>,
+    links: BTreeMap<LinkId, usize>,
+    components: BTreeMap<MamaCompId, usize>,
+    connectors: BTreeMap<ConnId, usize>,
+    requests: BTreeMap<(FtEntryId, usize), usize>,
+    rewards: Vec<usize>,
+}
+
+impl SourceMap {
+    /// Line of a task declaration (`task`/`users`).
+    pub fn task_line(&self, id: FtTaskId) -> Option<usize> {
+        self.tasks.get(&id).copied()
+    }
+    /// Line of an entry declaration.
+    pub fn entry_line(&self, id: FtEntryId) -> Option<usize> {
+        self.entries.get(&id).copied()
+    }
+    /// Line of a service declaration.
+    pub fn service_line(&self, id: ServiceId) -> Option<usize> {
+        self.services.get(&id).copied()
+    }
+    /// Line of a processor declaration.
+    pub fn processor_line(&self, id: FtProcId) -> Option<usize> {
+        self.procs.get(&id).copied()
+    }
+    /// Line of a link declaration.
+    pub fn link_line(&self, id: LinkId) -> Option<usize> {
+        self.links.get(&id).copied()
+    }
+    /// Line of a MAMA component declaration (or, for auto-registered
+    /// application components, of the statement that first used them).
+    pub fn component_line(&self, id: MamaCompId) -> Option<usize> {
+        self.components.get(&id).copied()
+    }
+    /// Line of a `watch`/`notify` statement.
+    pub fn connector_line(&self, id: ConnId) -> Option<usize> {
+        self.connectors.get(&id).copied()
+    }
+    /// Line of the `call` statement that added the `ix`-th request of an
+    /// entry.
+    pub fn request_line(&self, entry: FtEntryId, ix: usize) -> Option<usize> {
+        self.requests.get(&(entry, ix)).copied()
+    }
+    /// Line of the `i`-th `reward` statement.
+    pub fn reward_line(&self, ix: usize) -> Option<usize> {
+        self.rewards.get(ix).copied()
+    }
+    /// Line for an application-model locus, if it has one.
+    pub fn model_line(&self, at: ModelRef) -> Option<usize> {
+        match at {
+            ModelRef::Task(t) => self.task_line(t),
+            ModelRef::Entry(e) => self.entry_line(e),
+            ModelRef::Service(s) => self.service_line(s),
+            ModelRef::Processor(p) => self.processor_line(p),
+            ModelRef::Link(l) => self.link_line(l),
+            ModelRef::Model => None,
+        }
+    }
+    /// Line for a management-model locus, if it has one.
+    pub fn mama_line(&self, at: MamaRef) -> Option<usize> {
+        match at {
+            MamaRef::Component(c) => self.component_line(c),
+            MamaRef::Connector(c) => self.connector_line(c),
+        }
+    }
+}
 
 /// A parsed combined model.
 #[derive(Debug, Clone)]
@@ -16,6 +94,8 @@ pub struct ParsedModel {
     pub mama: MamaModel,
     /// Reward weights declared with `reward` statements.
     pub rewards: Vec<(FtTaskId, f64)>,
+    /// Source lines of every declaration.
+    pub spans: SourceMap,
     pub(crate) tasks: BTreeMap<String, FtTaskId>,
     pub(crate) entries: BTreeMap<String, FtEntryId>,
     pub(crate) services: BTreeMap<String, ServiceId>,
@@ -45,7 +125,8 @@ impl ParsedModel {
 /// A parse failure, with its 1-based source line.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseError {
-    /// 1-based line number.
+    /// 1-based line number; `0` when the failure has no single source
+    /// line (e.g. a whole-model validation error).
     pub line: usize,
     /// Explanation.
     pub message: String,
@@ -53,7 +134,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        if self.line == 0 {
+            write!(f, "{}", self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
     }
 }
 
@@ -73,19 +158,63 @@ macro_rules! bail {
     };
 }
 
+/// A syntactically valid model together with any semantic validation
+/// errors, as produced by [`parse_lenient`].
+#[derive(Debug, Clone)]
+pub struct LenientParse {
+    /// The parsed model (well-formed references, possibly invalid
+    /// semantics).
+    pub model: ParsedModel,
+    /// All application-model validation errors, in check order.
+    pub app_errors: Vec<FtlqnError>,
+    /// All management-model validation errors, in check order.
+    pub mama_errors: Vec<MamaError>,
+}
+
 /// Parses a combined model from source text.
 ///
 /// # Errors
 ///
 /// Returns the first syntax or reference error with its line number; the
 /// resulting models are additionally validated (`FtlqnModel::validate`,
-/// `MamaModel::validate`) before being returned.
+/// `MamaModel::validate`) before being returned, and the first validation
+/// error is reported at the offending declaration's line.
 pub fn parse(src: &str) -> Result<ParsedModel, ParseError> {
+    let lenient = parse_lenient(src)?;
+    if let Some(e) = lenient.app_errors.first() {
+        let line = lenient.model.spans.model_line(e.locus()).unwrap_or(0);
+        return Err(ParseError {
+            line,
+            message: format!("application model invalid: {e}"),
+        });
+    }
+    if let Some(e) = lenient.mama_errors.first() {
+        let line = lenient.model.spans.mama_line(e.locus()).unwrap_or(0);
+        return Err(ParseError {
+            line,
+            message: format!("management model invalid: {e}"),
+        });
+    }
+    Ok(lenient.model)
+}
+
+/// Parses a combined model but *collects* semantic validation errors
+/// instead of failing on the first one.
+///
+/// Intended for tooling (the `fmperf-lint` linter) that wants to report
+/// every problem at once.  Syntax and reference errors still fail hard:
+/// without resolvable names there is no model to diagnose.
+///
+/// # Errors
+///
+/// Returns the first syntax or unresolved-reference error.
+pub fn parse_lenient(src: &str) -> Result<LenientParse, ParseError> {
     let mut ctx = Ctx {
         model: ParsedModel {
             app: FtlqnModel::new(),
             mama: MamaModel::new(),
             rewards: Vec::new(),
+            spans: SourceMap::default(),
             tasks: BTreeMap::new(),
             entries: BTreeMap::new(),
             services: BTreeMap::new(),
@@ -104,18 +233,13 @@ pub fn parse(src: &str) -> Result<ParsedModel, ParseError> {
         let tokens: Vec<&str> = line.split_whitespace().collect();
         statement(&mut ctx, line_no, &tokens)?;
     }
-    ctx.model.app.validate().map_err(|e| ParseError {
-        line: 0,
-        message: format!("application model invalid: {e}"),
-    })?;
-    ctx.model
-        .mama
-        .validate(&ctx.model.app)
-        .map_err(|e| ParseError {
-            line: 0,
-            message: format!("management model invalid: {e}"),
-        })?;
-    Ok(ctx.model)
+    let app_errors = ctx.model.app.validate_all();
+    let mama_errors = ctx.model.mama.validate_all(&ctx.model.app);
+    Ok(LenientParse {
+        model: ctx.model,
+        app_errors,
+        mama_errors,
+    })
 }
 
 fn statement(ctx: &mut Ctx, line: usize, t: &[&str]) -> Result<(), ParseError> {
@@ -242,6 +366,7 @@ fn processor(ctx: &mut Ctx, line: usize, t: &[&str]) -> Result<(), ParseError> {
     let cores = mult_opt(line, &opts, "cores", Multiplicity::Finite(1))?;
     let id = ctx.model.app.add_processor(*name, fail, cores);
     ctx.model.procs.insert(name.to_string(), id);
+    ctx.model.spans.procs.insert(id, line);
     Ok(())
 }
 
@@ -262,6 +387,7 @@ fn users(ctx: &mut Ctx, line: usize, t: &[&str]) -> Result<(), ParseError> {
         .app
         .add_reference_task(*name, p, fail, population, think);
     ctx.model.tasks.insert(name.to_string(), id);
+    ctx.model.spans.tasks.insert(id, line);
     Ok(())
 }
 
@@ -278,6 +404,7 @@ fn task(ctx: &mut Ctx, line: usize, t: &[&str]) -> Result<(), ParseError> {
     let threads = mult_opt(line, &opts, "threads", Multiplicity::Finite(1))?;
     let id = ctx.model.app.add_task(*name, p, fail, threads);
     ctx.model.tasks.insert(name.to_string(), id);
+    ctx.model.spans.tasks.insert(id, line);
     Ok(())
 }
 
@@ -300,6 +427,7 @@ fn entry(ctx: &mut Ctx, line: usize, t: &[&str]) -> Result<(), ParseError> {
         ctx.model.app.set_second_phase_demand(id, demand2);
     }
     ctx.model.entries.insert(name.to_string(), id);
+    ctx.model.spans.entries.insert(id, line);
     Ok(())
 }
 
@@ -312,6 +440,7 @@ fn link(ctx: &mut Ctx, line: usize, t: &[&str]) -> Result<(), ParseError> {
     let fail = f64_opt(line, &opts, "fail", 0.0)?;
     let id = ctx.model.app.add_link(*name, fail);
     ctx.model.links.insert(name.to_string(), id);
+    ctx.model.spans.links.insert(id, line);
     Ok(())
 }
 
@@ -334,6 +463,7 @@ fn service(ctx: &mut Ctx, line: usize, t: &[&str]) -> Result<(), ParseError> {
         ctx.model.app.add_alternative(id, e, None);
     }
     ctx.model.services.insert(name.to_string(), id);
+    ctx.model.spans.services.insert(id, line);
     Ok(())
 }
 
@@ -371,6 +501,8 @@ fn call(ctx: &mut Ctx, line: usize, t: &[&str]) -> Result<(), ParseError> {
     ctx.model
         .app
         .add_request_in_phase(fe, target, mean, via, phase);
+    let ix = ctx.model.app.requests_of(fe).count() - 1;
+    ctx.model.spans.requests.insert((fe, ix), line);
     Ok(())
 }
 
@@ -383,6 +515,7 @@ fn mgmtproc(ctx: &mut Ctx, line: usize, t: &[&str]) -> Result<(), ParseError> {
     let fail = f64_opt(line, &opts, "fail", 0.0)?;
     let id = ctx.model.mama.add_mgmt_processor(*name, fail);
     ctx.mama_comps.insert(name.to_string(), id);
+    ctx.model.spans.components.insert(id, line);
     Ok(())
 }
 
@@ -395,6 +528,9 @@ fn mama_comp(ctx: &mut Ctx, line: usize, name: &str) -> Result<MamaCompId, Parse
     if let Some(&p) = ctx.model.procs.get(name) {
         let id = ctx.model.mama.add_app_processor(name, p);
         ctx.mama_comps.insert(name.to_string(), id);
+        // Auto-registered: point at the processor's own declaration.
+        let decl = ctx.model.spans.procs.get(&p).copied().unwrap_or(line);
+        ctx.model.spans.components.insert(id, decl);
         return Ok(id);
     }
     // App task?  Its processor must be registered first.
@@ -404,6 +540,8 @@ fn mama_comp(ctx: &mut Ctx, line: usize, name: &str) -> Result<MamaCompId, Parse
         let pc = mama_comp(ctx, line, &pname)?;
         let id = ctx.model.mama.add_app_task(name, t, pc);
         ctx.mama_comps.insert(name.to_string(), id);
+        let decl = ctx.model.spans.tasks.get(&t).copied().unwrap_or(line);
+        ctx.model.spans.components.insert(id, decl);
         return Ok(id);
     }
     bail!(line, "unknown component `{name}`")
@@ -423,6 +561,7 @@ fn mgmt_task(ctx: &mut Ctx, line: usize, t: &[&str]) -> Result<(), ParseError> {
         ctx.model.mama.add_manager(*name, pc, fail)
     };
     ctx.mama_comps.insert(name.to_string(), id);
+    ctx.model.spans.components.insert(id, line);
     Ok(())
 }
 
@@ -455,7 +594,8 @@ fn watch(ctx: &mut Ctx, line: usize, t: &[&str]) -> Result<(), ParseError> {
     let d = mama_comp(ctx, line, dst)?;
     let opts = options(line, rest, &["name"])?;
     let name = connector_name(ctx, &opts);
-    ctx.model.mama.watch(name, ck, s, d);
+    let id = ctx.model.mama.watch(name, ck, s, d);
+    ctx.model.spans.connectors.insert(id, line);
     Ok(())
 }
 
@@ -467,7 +607,8 @@ fn notify(ctx: &mut Ctx, line: usize, t: &[&str]) -> Result<(), ParseError> {
     let d = mama_comp(ctx, line, dst)?;
     let opts = options(line, rest, &["name"])?;
     let name = connector_name(ctx, &opts);
-    ctx.model.mama.notify(name, s, d);
+    let id = ctx.model.mama.notify(name, s, d);
+    ctx.model.spans.connectors.insert(id, line);
     Ok(())
 }
 
@@ -486,6 +627,7 @@ fn reward(ctx: &mut Ctx, line: usize, t: &[&str]) -> Result<(), ParseError> {
         message: format!("bad weight `{weight}`"),
     })?;
     ctx.model.rewards.push((u, w));
+    ctx.model.spans.rewards.push(line);
     Ok(())
 }
 
@@ -582,6 +724,38 @@ mod tests {
         // Users with two entries: invalid.
         let err = parse("processor p\nusers u on p\nentry a of u\nentry b of u\n").unwrap_err();
         assert!(err.message.contains("invalid"));
+        // The error points at the declaration of the offending task.
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn validation_error_without_locus_has_no_line_prefix() {
+        // No reference task at all: a whole-model error with no span.
+        let err = parse("processor p\ntask t on p\nentry e of t demand 0.1\n").unwrap_err();
+        assert_eq!(err.line, 0);
+        assert!(!err.to_string().starts_with("line 0"), "{err}");
+    }
+
+    #[test]
+    fn lenient_parse_collects_all_validation_errors() {
+        // Two independent problems: users task with two entries AND a
+        // bad probability on another task.
+        let src = "processor p\nusers u on p\nentry a of u\nentry b of u\n\
+                   task t on p fail 1.5\nentry e of t demand 0.1\ncall a -> e\n";
+        let lenient = parse_lenient(src).unwrap();
+        assert!(lenient.app_errors.len() >= 2, "{:?}", lenient.app_errors);
+    }
+
+    #[test]
+    fn spans_record_declaration_lines() {
+        let m = parse(MINIMAL).unwrap();
+        let prim = m.task("prim").unwrap();
+        // MINIMAL is a raw string starting with a newline: `task prim`
+        // is on line 7.
+        assert_eq!(m.spans.task_line(prim), Some(7));
+        let data = m.service("data").unwrap();
+        assert_eq!(m.spans.service_line(data), Some(12));
+        assert_eq!(m.spans.reward_line(0), Some(14));
     }
 
     #[test]

@@ -1,26 +1,34 @@
-//! The `fmperf` command-line tool: analyse textual models, render DOT
-//! diagrams, and canonicalise model files.
+//! The `fmperf` command-line tool: analyse textual models, lint them,
+//! render DOT diagrams, and canonicalise model files.
 //!
 //! ```text
 //! fmperf analyze <model.fmp> [--engine enumerate|parallel|symbolic|montecarlo]
 //!                            [--samples N] [--policy any|all]
 //!                            [--unmonitored-known] [--threads N]
-//! fmperf check   <model.fmp>
+//! fmperf lint    <model.fmp> [--format text|json] [--deny warnings]
+//! fmperf check   <model.fmp> [--deny warnings]
 //! fmperf dot     <model.fmp> fault|mama|knowledge
 //! fmperf fmt     <model.fmp>
 //! ```
+//!
+//! `lint` and `check` exit non-zero when any error-level diagnostic is
+//! present (or any warning under `--deny warnings`); `analyze` refuses
+//! to run on a model with lint errors.  Failing lint reports go to
+//! stderr, passing ones to stdout.
 
 use fmperf::core::{solve_configurations, Analysis, MonteCarloOptions, RewardSpec, StudyReport};
 use fmperf::ftlqn::{FaultGraph, KnowPolicy};
+use fmperf::lint::Severity;
 use fmperf::mama::{ComponentSpace, KnowTable, KnowledgeGraph};
-use fmperf::text::{parse, write_model, ParsedModel};
+use fmperf::text::{parse, parse_lenient, write_model, LenientParse, ParsedModel};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
   fmperf analyze <model.fmp> [--engine enumerate|parallel|symbolic|montecarlo]
                              [--samples N] [--policy any|all]
                              [--unmonitored-known] [--threads N]
-  fmperf check   <model.fmp>
+  fmperf lint    <model.fmp> [--format text|json] [--deny warnings]
+  fmperf check   <model.fmp> [--deny warnings]
   fmperf dot     <model.fmp> fault|mama|knowledge
   fmperf fmt     <model.fmp>";
 
@@ -32,7 +40,16 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Err(msg) => {
-            eprintln!("fmperf: {msg}");
+            // Multi-line failures (lint reports) are already formatted;
+            // single-line ones get the program-name prefix.
+            if msg.contains('\n') {
+                eprint!("{msg}");
+                if !msg.ends_with('\n') {
+                    eprintln!();
+                }
+            } else {
+                eprintln!("fmperf: {msg}");
+            }
             ExitCode::FAILURE
         }
     }
@@ -50,6 +67,22 @@ struct AnalyzeOptions {
 fn load(path: &str) -> Result<ParsedModel, String> {
     let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     parse(&src).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_lenient(path: &str) -> Result<LenientParse, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_lenient(&src).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Accepts `--deny warnings`; anything else is an error.
+fn parse_deny(value: Option<&str>) -> Result<(), String> {
+    match value {
+        Some("warnings") => Ok(()),
+        Some(other) => Err(format!(
+            "unknown --deny value `{other}` (expected `warnings`)"
+        )),
+        None => Err("--deny needs a value".into()),
+    }
 }
 
 /// Dispatches a full command line; returns the text to print.
@@ -93,18 +126,85 @@ fn run(args: &[String]) -> Result<String, String> {
                     other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
                 }
             }
-            analyze(&load(path)?, &opts)
+            // Pre-flight: refuse models with lint errors, mention
+            // warnings without blocking on them.
+            let parsed = load_lenient(path)?;
+            let diags = fmperf::lint::lint(&parsed);
+            if fmperf::lint::count(&diags, Severity::Error) > 0 {
+                return Err(fmperf::lint::render_text(path, &diags));
+            }
+            let warns = fmperf::lint::count(&diags, Severity::Warning);
+            let header = if warns > 0 {
+                format!("lint: {warns} warning(s); run `fmperf lint {path}` for details\n\n")
+            } else {
+                String::new()
+            };
+            analyze(&parsed.model, &opts).map(|out| header + &out)
+        }
+        Some("lint") => {
+            let path = it.next().ok_or(USAGE)?;
+            let mut json = false;
+            let mut deny_warnings = false;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--format" => {
+                        json = match it.next().ok_or("--format needs a value")? {
+                            "text" => false,
+                            "json" => true,
+                            other => return Err(format!("unknown format `{other}`")),
+                        };
+                    }
+                    "--deny" => {
+                        parse_deny(it.next())?;
+                        deny_warnings = true;
+                    }
+                    other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+                }
+            }
+            let parsed = load_lenient(path)?;
+            let diags = fmperf::lint::lint(&parsed);
+            let report = if json {
+                fmperf::lint::render_json(path, &diags)
+            } else {
+                fmperf::lint::render_text(path, &diags)
+            };
+            let failed = fmperf::lint::count(&diags, Severity::Error) > 0
+                || (deny_warnings && fmperf::lint::count(&diags, Severity::Warning) > 0);
+            if failed {
+                Err(report)
+            } else {
+                Ok(report)
+            }
         }
         Some("check") => {
             let path = it.next().ok_or(USAGE)?;
-            let m = load(path)?;
+            let mut deny_warnings = false;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--deny" => {
+                        parse_deny(it.next())?;
+                        deny_warnings = true;
+                    }
+                    other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+                }
+            }
+            let parsed = load_lenient(path)?;
+            let diags = fmperf::lint::lint(&parsed);
+            let errors = fmperf::lint::count(&diags, Severity::Error);
+            let warns = fmperf::lint::count(&diags, Severity::Warning);
+            if errors > 0 || (deny_warnings && warns > 0) {
+                return Err(fmperf::lint::render_text(path, &diags));
+            }
+            let m = &parsed.model;
             Ok(format!(
-                "{path}: ok ({} tasks, {} entries, {} services, {} mgmt components, {} connectors)\n",
+                "{path}: ok ({} tasks, {} entries, {} services, {} mgmt components, \
+                 {} connectors); lint: {warns} warning(s), {} note(s)\n",
                 m.app.task_count(),
                 m.app.entry_count(),
                 m.app.service_count(),
                 m.mama.component_count(),
                 m.mama.connector_count(),
+                fmperf::lint::count(&diags, Severity::Note),
             ))
         }
         Some("dot") => {
@@ -259,6 +359,83 @@ mod tests {
         let twice = run(&["fmt".into(), path.to_str().unwrap().into()]).unwrap();
         let _ = std::fs::remove_dir_all(&dir);
         assert_eq!(once, twice);
+    }
+
+    /// Saturated users (think 0): parses fine, lints with a warning.
+    const WARNY: &str = "processor pc cores inf\nprocessor p1 fail 0.1\n\
+        users u on pc population 5 think 0\ntask s on p1 fail 0.1\n\
+        entry eu of u\nentry es of s demand 0.2\ncall eu -> es\nreward u 1.0\n";
+
+    /// Reference task with two entries: a lint *error*.
+    const BROKEN: &str = "processor pc cores inf\nusers u on pc\n\
+        entry a of u\nentry b of u\n";
+
+    fn with_src<T>(tag: &str, src: &str, f: impl FnOnce(&str) -> T) -> T {
+        let dir = std::env::temp_dir().join(format!("fmperf-cli-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.fmp");
+        std::fs::write(&path, src).unwrap();
+        let r = f(path.to_str().unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+        r
+    }
+
+    #[test]
+    fn lint_passes_clean_model_with_report() {
+        let out = with_model(|p| run(&["lint".into(), p.into()])).unwrap();
+        assert!(out.contains("note[FM201]"), "{out}");
+        assert!(out.contains("0 error(s)"), "{out}");
+    }
+
+    #[test]
+    fn lint_json_format() {
+        let out = with_model(|p| run(&["lint".into(), p.into(), "--format".into(), "json".into()]))
+            .unwrap();
+        assert!(out.contains("\"code\": \"FM201\""), "{out}");
+        assert!(out.contains("\"errors\": 0"), "{out}");
+    }
+
+    #[test]
+    fn lint_fails_on_errors() {
+        let err = with_src("broken", BROKEN, |p| run(&["lint".into(), p.into()])).unwrap_err();
+        assert!(err.contains("error[FM001]"), "{err}");
+    }
+
+    #[test]
+    fn lint_deny_warnings_fails_on_warnings() {
+        let ok = with_src("warny1", WARNY, |p| run(&["lint".into(), p.into()]));
+        assert!(ok.is_ok());
+        let err = with_src("warny2", WARNY, |p| {
+            run(&["lint".into(), p.into(), "--deny".into(), "warnings".into()])
+        })
+        .unwrap_err();
+        assert!(err.contains("warning[FM211]"), "{err}");
+    }
+
+    #[test]
+    fn check_fails_on_lint_errors() {
+        let err = with_src("broken2", BROKEN, |p| run(&["check".into(), p.into()])).unwrap_err();
+        assert!(err.contains("error[FM001]"), "{err}");
+    }
+
+    #[test]
+    fn check_deny_warnings() {
+        let out = with_src("warny3", WARNY, |p| run(&["check".into(), p.into()])).unwrap();
+        assert!(out.contains("ok ("), "{out}");
+        let err = with_src("warny4", WARNY, |p| {
+            run(&["check".into(), p.into(), "--deny".into(), "warnings".into()])
+        })
+        .unwrap_err();
+        assert!(err.contains("warning[FM211]"), "{err}");
+    }
+
+    #[test]
+    fn analyze_refuses_lint_errors_and_flags_warnings() {
+        let err = with_src("broken3", BROKEN, |p| run(&["analyze".into(), p.into()])).unwrap_err();
+        assert!(err.contains("error[FM001]"), "{err}");
+        let out = with_src("warny5", WARNY, |p| run(&["analyze".into(), p.into()])).unwrap();
+        assert!(out.starts_with("lint: 1 warning(s)"), "{out}");
+        assert!(out.contains("configurations:"), "{out}");
     }
 
     #[test]

@@ -14,11 +14,16 @@
 //! * [`mama`] — fault-management architecture models (MAMA).
 //! * [`core`] — the performability engines combining everything.
 //! * [`text`] — the textual model format (parser and writer).
+//! * [`lint`] — static-analysis passes over parsed models.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use fmperf_bdd as bdd;
 pub use fmperf_core as core;
 pub use fmperf_ftlqn as ftlqn;
 pub use fmperf_graph as graph;
+pub use fmperf_lint as lint;
 pub use fmperf_lqn as lqn;
 pub use fmperf_mama as mama;
 pub use fmperf_sim as sim;

@@ -1,0 +1,122 @@
+//! Golden lint results for the shipped paper models: all five must be
+//! error-free, and their warnings are pinned here so any lint or model
+//! change that alters them is noticed.
+//!
+//! The expected warnings are well-understood properties of the paper's
+//! §6 study setup:
+//!
+//! * FM211 (both user groups, every model): the paper drives the
+//!   Figure 1 system with zero-think (saturated) users on purpose, to
+//!   measure capacity under failures.
+//! * FM110 (`proc1`/`proc2` in the published-distributed and network
+//!   architectures): those architectures have no watch on the
+//!   application processors, so no deciding task can learn their state
+//!   — a genuine coverage gap between the four §6 architectures.
+
+use fmperf::lint::{lint, LintCode, Severity};
+use fmperf::text::parse_lenient;
+
+fn model_diags(name: &str) -> Vec<(LintCode, Severity)> {
+    let path = format!("{}/models/{name}.fmp", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    let parsed = parse_lenient(&src).unwrap_or_else(|e| panic!("{path}: {e}"));
+    lint(&parsed)
+        .into_iter()
+        .map(|d| (d.code, d.severity))
+        .collect()
+}
+
+fn warnings(diags: &[(LintCode, Severity)]) -> Vec<LintCode> {
+    diags
+        .iter()
+        .filter(|(_, s)| *s == Severity::Warning)
+        .map(|&(c, _)| c)
+        .collect()
+}
+
+#[test]
+fn all_paper_models_lint_without_errors() {
+    for name in [
+        "paper-centralized",
+        "paper-distributed-as-drawn",
+        "paper-distributed-as-published",
+        "paper-hierarchical",
+        "paper-network",
+    ] {
+        let diags = model_diags(name);
+        assert!(
+            !diags.iter().any(|(_, s)| *s == Severity::Error),
+            "{name}: {diags:?}"
+        );
+        // Every model gets exactly one state-space note.
+        assert_eq!(
+            diags
+                .iter()
+                .filter(|&&(c, _)| c == LintCode::StateSpace)
+                .count(),
+            1,
+            "{name}: {diags:?}"
+        );
+    }
+}
+
+#[test]
+fn expected_warnings_centralized() {
+    let w = warnings(&model_diags("paper-centralized"));
+    assert_eq!(w, vec![LintCode::SaturatedUsers, LintCode::SaturatedUsers]);
+}
+
+#[test]
+fn expected_warnings_distributed_as_drawn() {
+    // The mutual manager notification (dm1 <-> dm2) is watch-fed and
+    // must NOT trip FM111.
+    let w = warnings(&model_diags("paper-distributed-as-drawn"));
+    assert_eq!(w, vec![LintCode::SaturatedUsers, LintCode::SaturatedUsers]);
+}
+
+#[test]
+fn expected_warnings_distributed_as_published() {
+    let w = warnings(&model_diags("paper-distributed-as-published"));
+    assert_eq!(
+        w,
+        vec![
+            LintCode::Unmonitored,
+            LintCode::Unmonitored,
+            LintCode::SaturatedUsers,
+            LintCode::SaturatedUsers,
+        ]
+    );
+}
+
+#[test]
+fn expected_warnings_hierarchical() {
+    let w = warnings(&model_diags("paper-hierarchical"));
+    assert_eq!(w, vec![LintCode::SaturatedUsers, LintCode::SaturatedUsers]);
+}
+
+#[test]
+fn expected_warnings_network() {
+    let w = warnings(&model_diags("paper-network"));
+    assert_eq!(
+        w,
+        vec![
+            LintCode::Unmonitored,
+            LintCode::Unmonitored,
+            LintCode::SaturatedUsers,
+            LintCode::SaturatedUsers,
+        ]
+    );
+}
+
+#[test]
+fn json_lint_of_centralized_has_zero_errors() {
+    let path = format!(
+        "{}/models/paper-centralized.fmp",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let src = std::fs::read_to_string(&path).unwrap();
+    let parsed = parse_lenient(&src).unwrap();
+    let diags = lint(&parsed);
+    let json = fmperf::lint::render_json(&path, &diags);
+    assert!(json.contains("\"errors\": 0"), "{json}");
+}
