@@ -20,7 +20,10 @@ fn enumeration(c: &mut Criterion) {
     {
         let space = ComponentSpace::app_only(&sys.model);
         let analysis = Analysis::new(&graph, &space);
-        group.bench_function(BenchmarkId::new("case", "perfect-256"), |b| {
+        group.bench_function(BenchmarkId::new("naive", "perfect-256"), |b| {
+            b.iter(|| analysis.enumerate_naive())
+        });
+        group.bench_function(BenchmarkId::new("compiled", "perfect-256"), |b| {
             b.iter(|| analysis.enumerate())
         });
     }
@@ -30,7 +33,10 @@ fn enumeration(c: &mut Criterion) {
         let table = KnowTable::build(&graph, &mama, &space);
         let analysis = Analysis::new(&graph, &space).with_knowledge(&table);
         let label = format!("{}-{}", kind.name(), analysis.state_space_size());
-        group.bench_function(BenchmarkId::new("case", label), |b| {
+        group.bench_function(BenchmarkId::new("naive", label.clone()), |b| {
+            b.iter(|| analysis.enumerate_naive())
+        });
+        group.bench_function(BenchmarkId::new("compiled", label), |b| {
             b.iter(|| analysis.enumerate())
         });
     }

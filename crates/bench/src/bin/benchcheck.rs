@@ -1,0 +1,76 @@
+//! Compares two `statespace --json` reports and fails when the compiled
+//! kernel regressed.
+//!
+//! Usage: `benchcheck <baseline.json> <current.json> [max-ratio]`
+//!
+//! For every case present in the baseline, the current `compiled_ns`
+//! must be at most `max-ratio` (default 2.0) times the baseline's.
+//! Exit code 0 = within budget, 1 = regression, 2 = usage/parse error.
+//! Wall-clock noise on shared CI runners is expected — the 2x gate only
+//! catches order-of-magnitude slips such as losing the kernel dispatch.
+
+use fmperf_bench::parse_bench_json;
+
+fn load(path: &str) -> Vec<fmperf_bench::BenchRow> {
+    let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("benchcheck: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    parse_bench_json(&src).unwrap_or_else(|| {
+        eprintln!("benchcheck: {path} is not a bench report");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (baseline_path, current_path, max_ratio) = match args.as_slice() {
+        [b, c] => (b, c, 2.0),
+        [b, c, r] => (
+            b,
+            c,
+            r.parse().unwrap_or_else(|_| {
+                eprintln!("benchcheck: bad max-ratio {r}");
+                std::process::exit(2);
+            }),
+        ),
+        _ => {
+            eprintln!("usage: benchcheck <baseline.json> <current.json> [max-ratio]");
+            std::process::exit(2);
+        }
+    };
+    let baseline = load(baseline_path);
+    let current = load(current_path);
+
+    let mut failed = false;
+    for base in &baseline {
+        let Some(cur) = current.iter().find(|r| r.case == base.case) else {
+            eprintln!("benchcheck: case {} missing from {current_path}", base.case);
+            failed = true;
+            continue;
+        };
+        if cur.states != base.states || cur.configs != base.configs {
+            eprintln!(
+                "benchcheck: case {} changed shape: {} states/{} configs vs {} states/{} configs",
+                base.case, cur.states, cur.configs, base.states, base.configs
+            );
+            failed = true;
+        }
+        let ratio = cur.compiled_ns as f64 / base.compiled_ns.max(1) as f64;
+        let verdict = if ratio > max_ratio {
+            failed = true;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "{:<14} baseline {:>12} ns  current {:>12} ns  ratio {:>5.2}  {}",
+            base.case, base.compiled_ns, cur.compiled_ns, ratio, verdict
+        );
+    }
+    if failed {
+        eprintln!("benchcheck: FAILED (max allowed ratio {max_ratio})");
+        std::process::exit(1);
+    }
+    println!("benchcheck: all cases within {max_ratio}x of baseline");
+}

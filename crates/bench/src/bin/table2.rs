@@ -2,10 +2,31 @@
 //! configurations of the Figure 1 system, their probabilities under the
 //! five knowledge cases, the per-group throughputs, and the average
 //! user-group throughputs.
+//!
+//! `--json <path>` additionally writes the table as a machine-readable
+//! document (hand-rendered: the hermetic build stubs out `serde_json`).
 
 use fmperf_bench::{paper_system, run_all_cases, short_label};
+use std::fmt::Write as _;
 
 fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut json_path = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => {
+                json_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--json requires a path");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("unknown argument: {other} (usage: table2 [--json <path>])");
+                std::process::exit(2);
+            }
+        }
+    }
+
     let sys = paper_system();
     let cases = run_all_cases(&sys);
     let perfect = &cases[0];
@@ -61,4 +82,69 @@ fn main() {
     println!();
     println!("(paper row order: Case1=perfect, Case2=centralized, Case3=distributed,");
     println!(" Case4=hierarchical, Case5=network)");
+
+    if let Some(path) = json_path {
+        let mut s = String::new();
+        s.push_str("{\n  \"table\": \"table2\",\n  \"cases\": [");
+        for (ix, case) in cases.iter().enumerate() {
+            let _ = write!(s, "{}\"{}\"", if ix > 0 { ", " } else { "" }, case.name);
+        }
+        s.push_str("],\n  \"rows\": [\n");
+        let printable: Vec<usize> = order
+            .iter()
+            .copied()
+            .filter(|&i| !perfect.configs[i].is_failed())
+            .collect();
+        for (n, &i) in printable.iter().enumerate() {
+            let config = &perfect.configs[i];
+            let _ = write!(
+                s,
+                "    {{\"config\": \"{}\", \"probabilities\": [",
+                short_label(&sys, config)
+            );
+            for (cx, case) in cases.iter().enumerate() {
+                let _ = write!(
+                    s,
+                    "{}{:.6}",
+                    if cx > 0 { ", " } else { "" },
+                    case.dist.probability(config)
+                );
+            }
+            let _ = write!(
+                s,
+                "], \"throughput_a\": {:.4}, \"throughput_b\": {:.4}}}",
+                perfect.perfs[i].throughput(sys.user_a),
+                perfect.perfs[i].throughput(sys.user_b),
+            );
+            s.push_str(if n + 1 < printable.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  ],\n  \"failed\": [");
+        for (cx, f) in failed.iter().enumerate() {
+            let _ = write!(s, "{}{:.6}", if cx > 0 { ", " } else { "" }, f);
+        }
+        s.push_str("],\n  \"average_throughput_a\": [");
+        for (cx, case) in cases.iter().enumerate() {
+            let _ = write!(
+                s,
+                "{}{:.4}",
+                if cx > 0 { ", " } else { "" },
+                case.average_throughput(sys.user_a)
+            );
+        }
+        s.push_str("],\n  \"average_throughput_b\": [");
+        for (cx, case) in cases.iter().enumerate() {
+            let _ = write!(
+                s,
+                "{}{:.4}",
+                if cx > 0 { ", " } else { "" },
+                case.average_throughput(sys.user_b)
+            );
+        }
+        s.push_str("]\n}\n");
+        if let Err(e) = std::fs::write(&path, s) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {path}");
+    }
 }

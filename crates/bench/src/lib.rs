@@ -126,6 +126,141 @@ pub fn paper_system() -> DasWoodsideSystem {
     das_woodside_system()
 }
 
+/// One timed enumeration measurement (naive reference vs compiled
+/// kernel) for the machine-readable bench reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRow {
+    /// Case name (`perfect`, `centralized`, …).
+    pub case: String,
+    /// Number of fallible components.
+    pub fallible: usize,
+    /// State-space size (`2^fallible`).
+    pub states: u64,
+    /// Wall time of the naive reference enumerator, nanoseconds.
+    pub naive_ns: u128,
+    /// Wall time of the compiled kernel, nanoseconds.
+    pub compiled_ns: u128,
+    /// Compiled wall time per state, nanoseconds.
+    pub ns_per_state: f64,
+    /// `naive_ns / compiled_ns`.
+    pub speedup: f64,
+    /// Number of distinct configurations found.
+    pub configs: usize,
+}
+
+/// Times one case's exact enumeration, naive and compiled, checking that
+/// the two distributions are bit-identical along the way.
+///
+/// # Panics
+///
+/// Panics on an unknown case name or if the engines disagree.
+pub fn measure_enumeration(sys: &DasWoodsideSystem, case: &str) -> BenchRow {
+    use std::time::Instant;
+    let graph = sys.fault_graph().expect("canonical model");
+    let (space, table) = match case {
+        "perfect" => (ComponentSpace::app_only(&sys.model), None),
+        _ => {
+            let mama = match case {
+                "centralized" => arch::centralized(sys, 0.1),
+                "distributed" => arch::distributed_as_published(sys, 0.1),
+                "distributed-as-drawn" => arch::distributed(sys, 0.1),
+                "hierarchical" => arch::hierarchical(sys, 0.1),
+                "network" => arch::network(sys, 0.1),
+                other => panic!("unknown case {other}"),
+            };
+            let space = ComponentSpace::build(&sys.model, &mama);
+            let table = KnowTable::build(&graph, &mama, &space);
+            (space, Some(table))
+        }
+    };
+    let mut analysis = Analysis::new(&graph, &space).with_unmonitored_known(case == "distributed");
+    if let Some(table) = &table {
+        analysis = analysis.with_knowledge(table);
+    }
+    let t0 = Instant::now();
+    let naive = analysis.enumerate_naive();
+    let naive_ns = t0.elapsed().as_nanos();
+    let t0 = Instant::now();
+    let compiled = analysis.enumerate();
+    let compiled_ns = t0.elapsed().as_nanos();
+    assert_eq!(compiled, naive, "{case}: engines must be bit-identical");
+    let states = naive.states_explored();
+    BenchRow {
+        case: case.to_string(),
+        fallible: space.fallible_indices().len(),
+        states,
+        naive_ns,
+        compiled_ns,
+        ns_per_state: compiled_ns as f64 / states as f64,
+        speedup: naive_ns as f64 / compiled_ns.max(1) as f64,
+        configs: naive.len(),
+    }
+}
+
+/// Renders bench rows as the `BENCH_enumeration.json` document.
+///
+/// Emitted by hand: the workspace's hermetic build stubs out
+/// `serde_json`, and the schema is small and flat (one case object per
+/// line).
+pub fn render_bench_json(criterion: &str, rows: &[BenchRow]) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"criterion\": \"{criterion}\",");
+    s.push_str("  \"cases\": [\n");
+    for (ix, r) in rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"case\": \"{}\", \"fallible\": {}, \"states\": {}, \
+             \"naive_ns\": {}, \"compiled_ns\": {}, \"ns_per_state\": {:.3}, \
+             \"speedup\": {:.2}, \"configs\": {}}}",
+            r.case,
+            r.fallible,
+            r.states,
+            r.naive_ns,
+            r.compiled_ns,
+            r.ns_per_state,
+            r.speedup,
+            r.configs
+        );
+        s.push_str(if ix + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Parses a `render_bench_json` document back into rows.
+///
+/// A minimal hand-rolled parser matched to our own flat writer (one
+/// case object per line); returns `None` on any malformed line.
+pub fn parse_bench_json(src: &str) -> Option<Vec<BenchRow>> {
+    fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        let tag = format!("\"{key}\": ");
+        let start = line.find(&tag)? + tag.len();
+        let rest = &line[start..];
+        let end = rest.find([',', '}'])?;
+        Some(rest[..end].trim().trim_matches('"'))
+    }
+    let mut rows = Vec::new();
+    for line in src.lines() {
+        let line = line.trim();
+        if !line.starts_with("{\"case\"") {
+            continue;
+        }
+        rows.push(BenchRow {
+            case: field(line, "case")?.to_string(),
+            fallible: field(line, "fallible")?.parse().ok()?,
+            states: field(line, "states")?.parse().ok()?,
+            naive_ns: field(line, "naive_ns")?.parse().ok()?,
+            compiled_ns: field(line, "compiled_ns")?.parse().ok()?,
+            ns_per_state: field(line, "ns_per_state")?.parse().ok()?,
+            speedup: field(line, "speedup")?.parse().ok()?,
+            configs: field(line, "configs")?.parse().ok()?,
+        });
+    }
+    Some(rows)
+}
+
 /// Short, paper-style label (C1..C6 / failed) for a configuration of the
 /// paper system, based on which chains run and which server serves them.
 pub fn short_label(sys: &DasWoodsideSystem, c: &Configuration) -> String {
@@ -171,6 +306,31 @@ mod tests {
         let sys = paper_system();
         let counts: Vec<usize> = run_all_cases(&sys).iter().map(|c| c.fallible).collect();
         assert_eq!(counts, vec![8, 14, 16, 18, 16]);
+    }
+
+    #[test]
+    fn bench_json_round_trips() {
+        let sys = paper_system();
+        let rows = vec![
+            measure_enumeration(&sys, "perfect"),
+            measure_enumeration(&sys, "centralized"),
+        ];
+        assert_eq!(rows[0].states, 256);
+        assert_eq!(rows[1].states, 16384);
+        assert!(rows.iter().all(|r| r.compiled_ns > 0));
+        let json = render_bench_json("enumeration", &rows);
+        let parsed = parse_bench_json(&json).expect("own output parses");
+        assert_eq!(parsed.len(), rows.len());
+        for (p, r) in parsed.iter().zip(&rows) {
+            // The float fields are rounded by the writer; the integer
+            // fields round-trip exactly.
+            assert_eq!(p.case, r.case);
+            assert_eq!(p.fallible, r.fallible);
+            assert_eq!(p.states, r.states);
+            assert_eq!(p.naive_ns, r.naive_ns);
+            assert_eq!(p.compiled_ns, r.compiled_ns);
+            assert_eq!(p.configs, r.configs);
+        }
     }
 
     #[test]

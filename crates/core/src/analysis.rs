@@ -79,7 +79,7 @@ impl<'a> Analysis<'a> {
         1u64 << self.space.fallible_indices().len()
     }
 
-    fn configuration_of(&self, state: &[bool]) -> fmperf_ftlqn::Configuration {
+    pub(crate) fn configuration_of(&self, state: &[bool]) -> fmperf_ftlqn::Configuration {
         match self.knowledge {
             Knowledge::Perfect => self
                 .graph
@@ -97,58 +97,78 @@ impl<'a> Analysis<'a> {
     /// the fallible components and accumulate configuration
     /// probabilities.
     ///
+    /// Runs through the compiled bitmask kernel
+    /// ([`Analysis::compile`]) when the analysis is compilable (always,
+    /// for realistic models), falling back to the naive reference scan
+    /// otherwise.  Both paths return bit-identical distributions.
+    ///
     /// # Panics
     ///
     /// Panics if more than 30 components are fallible (use
     /// [`monte_carlo`](Analysis::monte_carlo) or
     /// [`symbolic`](Analysis::symbolic) instead).
     pub fn enumerate(&self) -> ConfigDistribution {
-        self.enumerate_masked(None)
+        match self.compile() {
+            Some(kernel) => kernel.enumerate(),
+            None => self.enumerate_naive(),
+        }
+    }
+
+    /// The naive reference enumerator: full per-state evaluation with
+    /// the allocating fault-graph walk, no decision memoisation.
+    ///
+    /// This is the code path the compiled kernel is differentially
+    /// tested against; it visits states in the same Gray-code order with
+    /// the same incremental probability walker, so
+    /// [`enumerate`](Analysis::enumerate) must match it bit for bit.
+    pub fn enumerate_naive(&self) -> ConfigDistribution {
+        self.enumerate_naive_masked(None)
     }
 
     /// [`enumerate`](Analysis::enumerate) with common-cause failure
     /// dependencies: each group is an extra Bernoulli event that forces
     /// all members down (see [`crate::ccf`]).
     pub fn enumerate_with_dependencies(&self, deps: &FailureDependencies) -> ConfigDistribution {
-        self.enumerate_masked(Some(deps))
+        match self.compile() {
+            Some(kernel) => kernel.enumerate_with_dependencies(deps),
+            None => self.enumerate_naive_with_dependencies(deps),
+        }
     }
 
-    fn enumerate_masked(&self, deps: Option<&FailureDependencies>) -> ConfigDistribution {
+    /// [`enumerate_naive`](Analysis::enumerate_naive) with common-cause
+    /// failure dependencies — the reference implementation for
+    /// [`enumerate_with_dependencies`](Analysis::enumerate_with_dependencies).
+    pub fn enumerate_naive_with_dependencies(
+        &self,
+        deps: &FailureDependencies,
+    ) -> ConfigDistribution {
+        self.enumerate_naive_masked(Some(deps))
+    }
+
+    fn enumerate_naive_masked(&self, deps: Option<&FailureDependencies>) -> ConfigDistribution {
         let fallible = self.space.fallible_indices();
-        assert!(
-            fallible.len() <= 30,
-            "{} fallible components: exact enumeration is infeasible",
-            fallible.len()
-        );
-        let group_count = deps.map_or(0, |d| d.group_count());
-        assert!(
-            fallible.len() + group_count <= 30,
-            "too many components + groups"
-        );
+        assert_enumerable(fallible.len(), deps);
         let n_states: u64 = 1 << fallible.len();
-        let n_group_states: u64 = 1 << group_count;
+        let n_group_states: u64 = 1 << deps.map_or(0, |d| d.group_count());
+        let up: Vec<f64> = fallible.iter().map(|&ix| self.space.up_prob(ix)).collect();
 
         let mut dist = ConfigDistribution::new();
         let mut state = self.space.all_up();
+        let mut visited_groups = 0u64;
         for gmask in 0..n_group_states {
             let gprob = deps.map_or(1.0, |d| d.mask_probability(gmask));
             if gprob == 0.0 {
-                continue;
+                continue; // zero-probability group masks are never visited
             }
+            visited_groups += 1;
             let forced: Vec<usize> = deps.map_or(Vec::new(), |d| d.forced_down(gmask));
-            for mask in 0..n_states {
-                let mut prob = gprob;
-                for (bit, &ix) in fallible.iter().enumerate() {
-                    let up = mask & (1 << bit) != 0;
-                    state[ix] = up;
-                    prob *= if up {
-                        self.space.up_prob(ix)
-                    } else {
-                        1.0 - self.space.up_prob(ix)
-                    };
-                }
+            for (word, wprob) in crate::compiled::GrayWalk::new(&up, 0, n_states) {
+                let prob = gprob * wprob;
                 if prob == 0.0 {
                     continue;
+                }
+                for (bit, &ix) in fallible.iter().enumerate() {
+                    state[ix] = word & (1 << bit) != 0;
                 }
                 // Common-cause events override the independent state.
                 for &ix in &forced {
@@ -161,64 +181,58 @@ impl<'a> Analysis<'a> {
                 }
             }
         }
-        // Reset state vector invariant (not strictly needed; state is local).
-        dist.set_states_explored(n_states * n_group_states);
+        dist.set_states_explored(n_states * visited_groups);
         dist
     }
 
     /// Multi-threaded exact enumeration: identical result to
-    /// [`enumerate`](Analysis::enumerate), mask range split across
-    /// `threads` workers.
+    /// [`enumerate`](Analysis::enumerate) up to merge rounding, mask
+    /// range split across `threads` workers (each with its own decision
+    /// memo).
     pub fn enumerate_parallel(&self, threads: usize) -> ConfigDistribution {
-        let fallible = self.space.fallible_indices();
-        assert!(
-            fallible.len() <= 30,
-            "{} fallible components: exact enumeration is infeasible",
-            fallible.len()
-        );
-        let threads = threads.max(1);
-        let n_states: u64 = 1 << fallible.len();
-        let chunk = n_states.div_ceil(threads as u64);
-        let mut dist = ConfigDistribution::new();
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for t in 0..threads {
-                let lo = chunk * t as u64;
-                let hi = (lo + chunk).min(n_states);
-                if lo >= hi {
-                    continue;
-                }
-                let fallible = &fallible;
-                let this = *self;
-                handles.push(scope.spawn(move || {
-                    let mut local = ConfigDistribution::new();
-                    let mut state = this.space.all_up();
-                    for mask in lo..hi {
-                        let mut prob = 1.0;
-                        for (bit, &ix) in fallible.iter().enumerate() {
-                            let up = mask & (1 << bit) != 0;
-                            state[ix] = up;
-                            prob *= if up {
-                                this.space.up_prob(ix)
-                            } else {
-                                1.0 - this.space.up_prob(ix)
-                            };
-                        }
-                        if prob == 0.0 {
-                            continue;
-                        }
-                        local.add(this.configuration_of(&state), prob);
-                    }
-                    local
-                }));
-            }
-            for h in handles {
-                dist.merge(h.join().expect("enumeration worker panicked"));
-            }
-        });
-        dist.set_states_explored(n_states);
-        dist
+        match self.compile() {
+            Some(kernel) => kernel.enumerate_parallel(threads, None),
+            None => self.enumerate_naive(),
+        }
     }
+
+    /// [`enumerate_parallel`](Analysis::enumerate_parallel) with the
+    /// worker count taken from
+    /// [`std::thread::available_parallelism`].
+    pub fn enumerate_parallel_auto(&self) -> ConfigDistribution {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        self.enumerate_parallel(threads)
+    }
+
+    /// Multi-threaded
+    /// [`enumerate_with_dependencies`](Analysis::enumerate_with_dependencies):
+    /// the same group-mask semantics as the sequential path, with the
+    /// state range split across `threads` workers.
+    pub fn enumerate_parallel_with_dependencies(
+        &self,
+        threads: usize,
+        deps: &FailureDependencies,
+    ) -> ConfigDistribution {
+        match self.compile() {
+            Some(kernel) => kernel.enumerate_parallel(threads, Some(deps)),
+            None => self.enumerate_naive_with_dependencies(deps),
+        }
+    }
+}
+
+/// Guards every exact engine: the `2^N` scan must stay feasible.
+///
+/// # Panics
+///
+/// Panics if more than 30 components are fallible, or components plus
+/// dependency groups exceed 30 joint bits.
+pub(crate) fn assert_enumerable(fallible: usize, deps: Option<&FailureDependencies>) {
+    assert!(
+        fallible <= 30,
+        "{fallible} fallible components: exact enumeration is infeasible"
+    );
+    let group_count = deps.map_or(0, |d| d.group_count());
+    assert!(fallible + group_count <= 30, "too many components + groups");
 }
 
 #[cfg(test)]

@@ -168,4 +168,61 @@ mod tests {
     fn bad_group_probability_panics() {
         FailureDependencies::new().add_group("bad", 1.5, vec![0]);
     }
+
+    #[test]
+    fn states_explored_counts_only_visited_group_masks() {
+        let sys = das_woodside_system();
+        let graph = sys.fault_graph().unwrap();
+        let space = ComponentSpace::app_only(&sys.model);
+        let analysis = Analysis::new(&graph, &space);
+        let n_states = 1u64 << space.fallible_indices().len();
+
+        // A certain group (p = 1) and an impossible one (p = 0): of the
+        // four group masks only fired-certain/unfired-impossible has
+        // non-zero probability, so exactly one pass over the state space
+        // is made — and reported.
+        let mut deps = FailureDependencies::new();
+        deps.add_group("always", 1.0, vec![0]);
+        deps.add_group("never", 0.0, vec![1, 2]);
+        let dist = analysis.enumerate_with_dependencies(&deps);
+        assert_eq!(dist.states_explored(), n_states);
+        let naive = analysis.enumerate_naive_with_dependencies(&deps);
+        assert_eq!(naive.states_explored(), n_states);
+
+        // A genuinely random group doubles the visited masks.
+        let mut deps = FailureDependencies::new();
+        deps.add_group("coin", 0.5, vec![0]);
+        deps.add_group("never", 0.0, vec![1]);
+        let dist = analysis.enumerate_with_dependencies(&deps);
+        assert_eq!(dist.states_explored(), 2 * n_states);
+    }
+
+    #[test]
+    fn parallel_enumeration_with_dependencies_matches_sequential() {
+        let sys = das_woodside_system();
+        let graph = sys.fault_graph().unwrap();
+        let mama = fmperf_mama::arch::centralized(&sys, 0.1);
+        let space = ComponentSpace::build(&sys.model, &mama);
+        let table = fmperf_mama::KnowTable::build(&graph, &mama, &space);
+        let analysis = Analysis::new(&graph, &space).with_knowledge(&table);
+        let mut deps = FailureDependencies::new();
+        deps.add_group(
+            "shared-rack",
+            0.2,
+            vec![
+                sys.model.component_index(Component::Processor(sys.proc3)),
+                sys.model.component_index(Component::Processor(sys.proc4)),
+            ],
+        );
+        let sequential = analysis.enumerate_with_dependencies(&deps);
+        for threads in [1, 3, 8] {
+            let parallel = analysis.enumerate_parallel_with_dependencies(threads, &deps);
+            assert!(
+                sequential.max_abs_diff(&parallel) < 1e-12,
+                "{threads} threads diverge"
+            );
+            assert_eq!(parallel.states_explored(), sequential.states_explored());
+            assert_eq!(parallel.configurations(), sequential.configurations());
+        }
+    }
 }

@@ -1,0 +1,787 @@
+//! The compiled bitmask evaluation kernel.
+//!
+//! The paper's §5 algorithm enumerates all `2^N` up/down states; its
+//! conclusion calls for "much more efficient" evaluation.  The naive
+//! enumerator re-derives every state's configuration from scratch —
+//! per-state oracle binding, `BTreeSet` allocations and a recursive walk
+//! of the fault graph — even though a `2^18` hierarchical run collapses
+//! to a handful of distinct configurations.  This kernel makes the hot
+//! path allocation-free:
+//!
+//! * **State word.**  The fallible elements of the [`ComponentSpace`]
+//!   are packed into a single `u64`: bit `b` is
+//!   `fallible_indices()[b]`, set = up (see
+//!   [`ComponentSpace::fallible_bits`]).  Perfectly reliable elements
+//!   have no bit — they are up in every state.
+//! * **Compiled `know`.**  Every `know(c, t)` function's augmented
+//!   minpaths become bitmask lists: `known ⇔ ∃ path: word & mask ==
+//!   mask` ([`fmperf_mama::CompiledKnowTable`]).  Evaluating the whole
+//!   table is a few dozen AND-compares instead of set walks.
+//! * **Gray-code enumeration.**  States are visited in reflected
+//!   Gray-code order, so each step flips exactly one bit and the state
+//!   probability is updated with one divide and one multiply instead of
+//!   `N` multiplies ([`GrayWalk`]).
+//! * **Decision memoisation.**  The configuration is a pure function of
+//!   the *decision word*: the application-component bits of the state
+//!   word plus the packed `know` answer word.  A table `decision word →
+//!   interned configuration id` means the full allocating evaluator runs
+//!   only once per distinct decision-relevant bit pattern; every other
+//!   state is a mask-and-probe.
+//!
+//! **Soundness of the memo key.**  The recursive evaluator reads only
+//! (a) the up/down state of application components — all of which have
+//! global index `< app_count()`, hence live in the application bit mask
+//! — and (b) `know` oracle answers, each of which is either a compiled
+//! pair (captured in the answer word) or a constant
+//! (`unmonitored_known`, fixed per analysis).  Two states with equal
+//! decision words therefore produce identical configurations.
+//!
+//! **Exactness.**  The kernel and the naive reference enumerator
+//! ([`Analysis::enumerate_naive`]) share the same [`GrayWalk`] and visit
+//! states in the same order, so each state's probability is the *same
+//! float* and per-configuration sums accumulate in the *same order*:
+//! the two distributions are bit-identical, not merely within epsilon.
+//!
+//! Common-cause failure dependencies are supported by building one
+//! evaluation context per group mask: forced-down fallible elements are
+//! cleared from the word, and `know` tables are recompiled with
+//! forced-down reliable elements removed
+//! ([`fmperf_mama::KnowTable::compile_with_forced`]).
+
+#![forbid(unsafe_code)]
+
+use crate::analysis::{Analysis, Knowledge};
+use crate::ccf::FailureDependencies;
+use crate::distribution::ConfigDistribution;
+use fmperf_ftlqn::Configuration;
+use fmperf_mama::{CompiledKnowTable, ComponentSpace};
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A multiplicative hasher for the decision-word memo.  The keys are
+/// two already-well-mixed bit words; SipHash's DoS resistance buys
+/// nothing here and its per-probe cost dominates the hot loop.
+#[derive(Default)]
+struct WordHasher(u64);
+
+impl Hasher for WordHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0 ^ n)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(23);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Decision-word → interned configuration id.
+type Memo = HashMap<(u64, u64), u32, BuildHasherDefault<WordHasher>>;
+
+/// Incrementally maintained packed `know` answer word.
+///
+/// Along a Gray-code walk almost every step flips a single bit, so only
+/// the pairs whose masks involve that bit can change their answer; the
+/// rest of the word carries over.  Produces exactly
+/// [`CompiledKnowTable::answers`] at every state.
+struct KnowEval {
+    /// Per pair: the surviving path masks (empty for constant pairs).
+    masks: Vec<Vec<u64>>,
+    /// Constant part of the answer word (always-pairs, and never-pairs
+    /// under a `true` unmonitored default).
+    constant: u64,
+    /// For each word bit, the dynamic pairs whose masks involve it.
+    affected: Vec<Vec<u32>>,
+    /// The current answer word.
+    answers: u64,
+}
+
+impl KnowEval {
+    fn new(table: &CompiledKnowTable, n_bits: usize, default_for_missing: bool) -> KnowEval {
+        let mut masks = Vec::with_capacity(table.len());
+        let mut constant = 0u64;
+        let mut affected = vec![Vec::new(); n_bits];
+        for (j, (_, _, know)) in table.pairs().enumerate() {
+            if know.is_always() || (know.is_never() && default_for_missing) {
+                constant |= 1u64 << j;
+            }
+            let dynamic = if know.is_always() || know.is_never() {
+                Vec::new()
+            } else {
+                know.masks().to_vec()
+            };
+            let mut union = 0u64;
+            for &m in &dynamic {
+                union |= m;
+            }
+            for (b, lst) in affected.iter_mut().enumerate() {
+                if union & (1u64 << b) != 0 {
+                    lst.push(j as u32);
+                }
+            }
+            masks.push(dynamic);
+        }
+        KnowEval {
+            masks,
+            constant,
+            affected,
+            answers: 0,
+        }
+    }
+
+    /// Evaluates pair `j`'s dynamic predicate.
+    // Not `contains`: `word & m == m` is a subset test, the lint misfires.
+    #[allow(clippy::manual_contains)]
+    #[inline]
+    fn holds(&self, j: u32, word: u64) -> bool {
+        self.masks[j as usize].iter().any(|&m| word & m == m)
+    }
+
+    /// Full evaluation (walk entry or after a context switch).
+    fn reset(&mut self, word: u64) {
+        self.answers = self.constant;
+        for j in 0..self.masks.len() as u32 {
+            if self.holds(j, word) {
+                self.answers |= 1u64 << j;
+            }
+        }
+    }
+
+    /// Re-evaluates only the pairs affected by the bits in `flipped`.
+    fn update(&mut self, word: u64, mut flipped: u64) {
+        while flipped != 0 {
+            let b = flipped.trailing_zeros() as usize;
+            flipped &= flipped - 1;
+            for &j in &self.affected[b] {
+                if self.holds(j, word) {
+                    self.answers |= 1u64 << j;
+                } else {
+                    self.answers &= !(1u64 << j);
+                }
+            }
+        }
+    }
+}
+
+/// Iterator over `(state word, state probability)` in reflected
+/// Gray-code order, maintaining the probability incrementally: each step
+/// flips one bit and performs one divide and one multiply.
+///
+/// Zero factors (elements with up-probability 0 or 1 contributing a zero
+/// term) are tracked by count rather than multiplied in, so the running
+/// product never degenerates to `0/0`.
+///
+/// Both the compiled kernel and the naive reference enumerator iterate
+/// states through this walker — that shared float trajectory is what
+/// makes their results bit-identical.
+pub(crate) struct GrayWalk {
+    /// Up-probability per bit.
+    up: Vec<f64>,
+    /// Down-probability per bit (`1 - up`).
+    down: Vec<f64>,
+    word: u64,
+    /// Product of the non-zero per-bit factors.
+    prob: f64,
+    /// Number of zero per-bit factors (state probability is 0 while > 0).
+    zeros: u32,
+    /// Next state index to emit (the walk covers `[lo, hi)`).
+    next: u64,
+    end: u64,
+    /// `false` until the first state is emitted (the first emission does
+    /// not flip a bit).
+    started: bool,
+}
+
+impl GrayWalk {
+    /// A walk over state indices `[lo, hi)` of an `up.len()`-bit space;
+    /// state index `s` maps to word `s ^ (s >> 1)`.
+    pub(crate) fn new(up: &[f64], lo: u64, hi: u64) -> GrayWalk {
+        assert!(up.len() <= 64, "state word overflow");
+        let down: Vec<f64> = up.iter().map(|p| 1.0 - p).collect();
+        let word = lo ^ (lo >> 1);
+        let mut prob = 1.0;
+        let mut zeros = 0u32;
+        for b in 0..up.len() {
+            let f = if word & (1u64 << b) != 0 {
+                up[b]
+            } else {
+                down[b]
+            };
+            if f == 0.0 {
+                zeros += 1;
+            } else {
+                prob *= f;
+            }
+        }
+        GrayWalk {
+            up: up.to_vec(),
+            down,
+            word,
+            prob,
+            zeros,
+            next: lo,
+            end: hi,
+            started: false,
+        }
+    }
+}
+
+impl Iterator for GrayWalk {
+    type Item = (u64, f64);
+
+    fn next(&mut self) -> Option<(u64, f64)> {
+        let s = self.next;
+        if s >= self.end {
+            return None;
+        }
+        if self.started {
+            // State index s differs from s-1 in Gray code by exactly
+            // bit trailing_zeros(s).
+            let b = s.trailing_zeros() as usize;
+            let now_up = self.word & (1u64 << b) == 0; // about to flip
+            let (old, new) = if now_up {
+                (self.down[b], self.up[b])
+            } else {
+                (self.up[b], self.down[b])
+            };
+            self.word ^= 1u64 << b;
+            if old == 0.0 {
+                self.zeros -= 1;
+            } else {
+                self.prob /= old;
+            }
+            if new == 0.0 {
+                self.zeros += 1;
+            } else {
+                self.prob *= new;
+            }
+        }
+        self.started = true;
+        self.next = s + 1;
+        let p = if self.zeros > 0 { 0.0 } else { self.prob };
+        Some((self.word, p))
+    }
+}
+
+/// One evaluation context: a common-cause group mask with its
+/// probability, forced-down overrides and (for MAMA knowledge) the
+/// recompiled know table.
+struct EvalContext {
+    /// Probability of this group fire/no-fire mask.
+    gprob: f64,
+    /// Global indices forced down (fallible and reliable alike).
+    forced: Vec<usize>,
+    /// Word bits of the fallible forced-down elements.
+    forced_mask: u64,
+    /// Know table recompiled for this context; `None` = use the
+    /// kernel's base table (no forced elements, or perfect knowledge).
+    know: Option<CompiledKnowTable>,
+}
+
+/// Shared accumulation state of one kernel run: interned configurations,
+/// their probability sums, and the scratch state vector for memo misses.
+struct Accumulator {
+    ids: BTreeMap<Configuration, u32>,
+    configs: Vec<Configuration>,
+    sums: Vec<f64>,
+    state: Vec<bool>,
+}
+
+impl Accumulator {
+    fn new(space: &ComponentSpace) -> Accumulator {
+        Accumulator {
+            ids: BTreeMap::new(),
+            configs: Vec::new(),
+            sums: Vec::new(),
+            state: space.all_up(),
+        }
+    }
+
+    fn into_distribution(self, states_explored: u64) -> ConfigDistribution {
+        let mut dist = ConfigDistribution::new();
+        for (config, sum) in self.configs.into_iter().zip(self.sums) {
+            dist.add(config, sum);
+        }
+        dist.set_states_explored(states_explored);
+        dist
+    }
+}
+
+/// An [`Analysis`] compiled to bitmask form: packed state word layout,
+/// compiled `know` table and the decision-memo machinery.
+///
+/// Build one with [`Analysis::compile`]; the engines
+/// ([`Analysis::enumerate`], [`Analysis::enumerate_parallel`],
+/// [`Analysis::monte_carlo`]) construct and use it automatically and
+/// fall back to the naive path when compilation is not possible.
+#[derive(Debug)]
+pub struct CompiledKernel<'a> {
+    analysis: Analysis<'a>,
+    /// Global index per word bit (the space's fallible indices).
+    fallible: Vec<usize>,
+    /// Up-probability per word bit.
+    up: Vec<f64>,
+    /// Word bits whose global index is an application component — the
+    /// part of the state the fault-graph evaluator can observe directly.
+    app_mask: u64,
+    /// Compiled know table (`None` under perfect knowledge).
+    know: Option<CompiledKnowTable>,
+}
+
+impl<'a> Analysis<'a> {
+    /// Compiles this analysis to a bitmask evaluation kernel.
+    ///
+    /// Returns `None` when compilation is impossible: more than 64
+    /// fallible elements, or a MAMA know table with more than 64
+    /// `(component, task)` pairs (the packed answer word would
+    /// overflow).  Callers fall back to the naive enumerator.
+    pub fn compile(&self) -> Option<CompiledKernel<'a>> {
+        let space = self.space;
+        let fallible = space.fallible_indices();
+        if fallible.len() > 64 {
+            return None;
+        }
+        let know = match self.knowledge {
+            Knowledge::Perfect => None,
+            Knowledge::Mama(table) => Some(table.compile(space)?),
+        };
+        let app_count = space.app_count();
+        let mut app_mask = 0u64;
+        let mut up = Vec::with_capacity(fallible.len());
+        for (b, &ix) in fallible.iter().enumerate() {
+            if ix < app_count {
+                app_mask |= 1u64 << b;
+            }
+            up.push(space.up_prob(ix));
+        }
+        Some(CompiledKernel {
+            analysis: *self,
+            fallible,
+            up,
+            app_mask,
+            know,
+        })
+    }
+}
+
+impl CompiledKernel<'_> {
+    /// Number of word bits (fallible elements).
+    pub fn bit_count(&self) -> usize {
+        self.fallible.len()
+    }
+
+    /// The compiled know table, if the analysis uses MAMA knowledge.
+    pub fn know_table(&self) -> Option<&CompiledKnowTable> {
+        self.know.as_ref()
+    }
+
+    /// Exact enumeration of all `2^N` states through the kernel;
+    /// bit-identical to [`Analysis::enumerate_naive`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 30 elements are fallible (use
+    /// [`Analysis::monte_carlo`] or [`Analysis::symbolic`]).
+    pub fn enumerate(&self) -> ConfigDistribution {
+        self.enumerate_masked(None)
+    }
+
+    /// [`enumerate`](CompiledKernel::enumerate) with common-cause
+    /// failure dependencies; bit-identical to
+    /// [`Analysis::enumerate_naive_with_dependencies`].
+    pub fn enumerate_with_dependencies(&self, deps: &FailureDependencies) -> ConfigDistribution {
+        self.enumerate_masked(Some(deps))
+    }
+
+    fn enumerate_masked(&self, deps: Option<&FailureDependencies>) -> ConfigDistribution {
+        crate::analysis::assert_enumerable(self.fallible.len(), deps);
+        let n_states = 1u64 << self.fallible.len();
+        let contexts = self.contexts(deps);
+        let mut acc = Accumulator::new(self.analysis.space);
+        let mut memo = Memo::default();
+        for ctx in &contexts {
+            memo.clear(); // forced overrides differ per context
+            self.scan_range(ctx, 0, n_states, &mut memo, &mut acc);
+        }
+        acc.into_distribution(n_states * contexts.len() as u64)
+    }
+
+    /// The hot loop: walks state indices `[lo, hi)` of one context in
+    /// Gray-code order, maintaining the state probability and the `know`
+    /// answer word incrementally, and accumulates probabilities per
+    /// interned configuration.
+    fn scan_range(
+        &self,
+        ctx: &EvalContext,
+        lo: u64,
+        hi: u64,
+        memo: &mut Memo,
+        acc: &mut Accumulator,
+    ) {
+        let know = ctx.know.as_ref().or(self.know.as_ref());
+        let mut ke =
+            know.map(|k| KnowEval::new(k, self.fallible.len(), self.analysis.unmonitored_known));
+        // `prev_eff` is the effective word of the last state whose
+        // answers were computed; zero-probability states are skipped
+        // without touching the answer word, so a later update may flip
+        // several bits at once.
+        let mut prev_eff: Option<u64> = None;
+        let mut last: Option<((u64, u64), u32)> = None;
+        for (word, wprob) in GrayWalk::new(&self.up, lo, hi) {
+            let p = ctx.gprob * wprob;
+            if p == 0.0 {
+                continue;
+            }
+            let eff = word & !ctx.forced_mask;
+            let answers = match &mut ke {
+                Some(ke) => {
+                    match prev_eff {
+                        Some(pe) if pe == eff => {}
+                        Some(pe) => ke.update(eff, pe ^ eff),
+                        None => ke.reset(eff),
+                    }
+                    ke.answers
+                }
+                None => 0,
+            };
+            prev_eff = Some(eff);
+            let key = (eff & self.app_mask, answers);
+            let id = match last {
+                // Consecutive states usually differ only in bits the
+                // decision cannot see: reuse the previous id without a
+                // table probe.
+                Some((k, id)) if k == key => id,
+                _ => {
+                    let id = self.config_id(eff, key, &ctx.forced, memo, acc);
+                    last = Some((key, id));
+                    id
+                }
+            };
+            acc.sums[id as usize] += p;
+        }
+    }
+
+    /// Multi-threaded exact enumeration through the kernel: the state
+    /// range is split across `threads` workers, each with its own memo.
+    pub fn enumerate_parallel(
+        &self,
+        threads: usize,
+        deps: Option<&FailureDependencies>,
+    ) -> ConfigDistribution {
+        crate::analysis::assert_enumerable(self.fallible.len(), deps);
+        let threads = threads.max(1);
+        let n_states = 1u64 << self.fallible.len();
+        let chunk = n_states.div_ceil(threads as u64);
+        let contexts = self.contexts(deps);
+        let mut dist = ConfigDistribution::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let lo = chunk * t as u64;
+                let hi = (lo + chunk).min(n_states);
+                if lo >= hi {
+                    continue;
+                }
+                let contexts = &contexts;
+                handles.push(scope.spawn(move || {
+                    let mut acc = Accumulator::new(self.analysis.space);
+                    let mut memo = Memo::default();
+                    for ctx in contexts {
+                        memo.clear();
+                        self.scan_range(ctx, lo, hi, &mut memo, &mut acc);
+                    }
+                    acc.into_distribution(0)
+                }));
+            }
+            for h in handles {
+                dist.merge(h.join().expect("enumeration worker panicked"));
+            }
+        });
+        dist.set_states_explored(n_states * contexts.len() as u64);
+        dist
+    }
+
+    /// Builds one evaluation context per group mask with non-zero
+    /// probability (a single unforced context without dependencies).
+    fn contexts(&self, deps: Option<&FailureDependencies>) -> Vec<EvalContext> {
+        let Some(deps) = deps else {
+            return vec![EvalContext {
+                gprob: 1.0,
+                forced: Vec::new(),
+                forced_mask: 0,
+                know: None,
+            }];
+        };
+        let n_group_states = 1u64 << deps.group_count();
+        let mut out = Vec::new();
+        for gmask in 0..n_group_states {
+            let gprob = deps.mask_probability(gmask);
+            if gprob == 0.0 {
+                continue;
+            }
+            let forced = deps.forced_down(gmask);
+            let mut forced_mask = 0u64;
+            for &ix in &forced {
+                if let Some(b) = self.fallible.iter().position(|&f| f == ix) {
+                    forced_mask |= 1u64 << b;
+                }
+            }
+            let know = if forced.is_empty() {
+                None
+            } else {
+                match self.analysis.knowledge {
+                    Knowledge::Perfect => None,
+                    Knowledge::Mama(table) => Some(
+                        table
+                            .compile_with_forced(self.analysis.space, &forced)
+                            .expect("base table compiled, forced subset must too"),
+                    ),
+                }
+            };
+            out.push(EvalContext {
+                gprob,
+                forced,
+                forced_mask,
+                know,
+            });
+        }
+        out
+    }
+
+    /// The interned configuration id for an effective state word: a
+    /// memo probe on the decision word (application bits + packed `know`
+    /// answers), falling back to the full allocating evaluator on the
+    /// first sighting of a pattern.
+    fn config_id(
+        &self,
+        word: u64,
+        key: (u64, u64),
+        forced: &[usize],
+        memo: &mut Memo,
+        acc: &mut Accumulator,
+    ) -> u32 {
+        if let Some(&id) = memo.get(&key) {
+            return id;
+        }
+        // Memo miss: reconstruct the state vector and run the reference
+        // evaluator (identical code path to the naive enumerator).
+        for (b, &ix) in self.fallible.iter().enumerate() {
+            acc.state[ix] = word & (1u64 << b) != 0;
+        }
+        for &ix in forced {
+            acc.state[ix] = false;
+        }
+        let config = self.analysis.configuration_of(&acc.state);
+        for &ix in forced {
+            acc.state[ix] = true; // restore the all-up baseline
+        }
+        let id = match acc.ids.get(&config) {
+            Some(&id) => id,
+            None => {
+                let id = acc.configs.len() as u32;
+                acc.ids.insert(config.clone(), id);
+                acc.configs.push(config);
+                acc.sums.push(0.0);
+                id
+            }
+        };
+        memo.insert(key, id);
+        id
+    }
+
+    /// Samples `samples` random states and estimates the distribution;
+    /// the RNG consumption order matches the naive Monte Carlo estimator
+    /// exactly, so identical seeds give identical estimates.
+    pub(crate) fn monte_carlo_run(
+        &self,
+        rng: &mut impl rand::Rng,
+        samples: u64,
+    ) -> ConfigDistribution {
+        let mut acc = Accumulator::new(self.analysis.space);
+        let mut memo = Memo::default();
+        let weight = 1.0 / samples as f64;
+        for _ in 0..samples {
+            let mut word = 0u64;
+            for (b, &p) in self.up.iter().enumerate() {
+                if rng.gen::<f64>() < p {
+                    word |= 1u64 << b;
+                }
+            }
+            let answers = self
+                .know
+                .as_ref()
+                .map_or(0, |k| k.answers(word, self.analysis.unmonitored_known));
+            let key = (word & self.app_mask, answers);
+            let id = self.config_id(word, key, &[], &mut memo, &mut acc);
+            acc.sums[id as usize] += weight;
+        }
+        acc.into_distribution(samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmperf_ftlqn::examples::das_woodside_system;
+    use fmperf_ftlqn::{Component, KnowPolicy};
+    use fmperf_mama::{arch, KnowTable};
+
+    #[test]
+    fn gray_walk_visits_every_word_exactly_once() {
+        let up = [0.9, 0.8, 0.7, 0.6];
+        let words: Vec<u64> = GrayWalk::new(&up, 0, 16).map(|(w, _)| w).collect();
+        let mut sorted = words.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..16).collect::<Vec<u64>>());
+        // Consecutive words differ in exactly one bit.
+        for pair in words.windows(2) {
+            assert_eq!((pair[0] ^ pair[1]).count_ones(), 1);
+        }
+    }
+
+    #[test]
+    fn gray_walk_probabilities_match_direct_products() {
+        let up = [0.9, 0.25, 0.5, 0.99];
+        let mut total = 0.0;
+        for (word, p) in GrayWalk::new(&up, 0, 16) {
+            let direct: f64 = up
+                .iter()
+                .enumerate()
+                .map(|(b, &u)| if word & (1 << b) != 0 { u } else { 1.0 - u })
+                .product();
+            assert!((p - direct).abs() < 1e-14, "word {word:b}: {p} vs {direct}");
+            total += p;
+        }
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gray_walk_handles_degenerate_probabilities() {
+        // up = 0 and up = 1 give zero factors; the walk must report 0
+        // probability for the impossible states without poisoning the
+        // running product (no 0/0 NaNs).
+        let up = [0.0, 1.0, 0.5];
+        let mut total = 0.0;
+        for (word, p) in GrayWalk::new(&up, 0, 8) {
+            assert!(p.is_finite());
+            let possible = word & 0b001 == 0 && word & 0b010 != 0;
+            assert_eq!(p > 0.0, possible, "word {word:03b} prob {p}");
+            total += p;
+        }
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gray_walk_subranges_concatenate_to_full_walk() {
+        let up = [0.9, 0.3, 0.7, 0.45, 0.2];
+        let full: Vec<(u64, f64)> = GrayWalk::new(&up, 0, 32).collect();
+        let mut split: Vec<(u64, f64)> = GrayWalk::new(&up, 0, 13).collect();
+        split.extend(GrayWalk::new(&up, 13, 32));
+        assert_eq!(full.len(), split.len());
+        for (i, (f, s)) in full.iter().zip(&split).enumerate() {
+            assert_eq!(f.0, s.0, "word at {i}");
+            assert!((f.1 - s.1).abs() < 1e-15, "prob at {i}");
+        }
+    }
+
+    #[test]
+    fn kernel_matches_naive_bit_for_bit_on_all_architectures() {
+        let sys = das_woodside_system();
+        let graph = sys.fault_graph().unwrap();
+        for kind in arch::ArchKind::ALL {
+            let mama = arch::build(kind, &sys, 0.1);
+            let space = ComponentSpace::build(&sys.model, &mama);
+            let table = KnowTable::build(&graph, &mama, &space);
+            for policy in [
+                KnowPolicy::AnyFailedComponent,
+                KnowPolicy::AllFailedComponents,
+            ] {
+                let analysis = Analysis::new(&graph, &space)
+                    .with_knowledge(&table)
+                    .with_policy(policy);
+                let kernel = analysis.compile().expect("paper models compile");
+                // `ConfigDistribution` compares probabilities with `==`:
+                // this asserts bit-identity, not epsilon closeness.
+                assert_eq!(
+                    kernel.enumerate(),
+                    analysis.enumerate_naive(),
+                    "{}/{policy:?}",
+                    kind.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_matches_naive_under_unmonitored_exemption() {
+        let sys = das_woodside_system();
+        let graph = sys.fault_graph().unwrap();
+        let mama = arch::distributed_as_published(&sys, 0.1);
+        let space = ComponentSpace::build(&sys.model, &mama);
+        let table = KnowTable::build(&graph, &mama, &space);
+        let analysis = Analysis::new(&graph, &space)
+            .with_knowledge(&table)
+            .with_unmonitored_known(true);
+        let kernel = analysis.compile().unwrap();
+        assert_eq!(kernel.enumerate(), analysis.enumerate_naive());
+    }
+
+    #[test]
+    fn kernel_matches_naive_with_dependencies() {
+        let sys = das_woodside_system();
+        let graph = sys.fault_graph().unwrap();
+        let mama = arch::centralized(&sys, 0.1);
+        let space = ComponentSpace::build(&sys.model, &mama);
+        let table = KnowTable::build(&graph, &mama, &space);
+        let mut deps = FailureDependencies::new();
+        // One group over app components, one reaching into the
+        // management plane (forces know-table recompilation).
+        deps.add_group(
+            "server-rack",
+            0.15,
+            vec![
+                sys.model.component_index(Component::Processor(sys.proc3)),
+                sys.model.component_index(Component::Processor(sys.proc4)),
+            ],
+        );
+        let manager = mama.component_by_name("m1").expect("centralized m1");
+        deps.add_group("mgmt-rack", 0.1, vec![space.mama_index(manager)]);
+        for unmonitored in [false, true] {
+            let analysis = Analysis::new(&graph, &space)
+                .with_knowledge(&table)
+                .with_unmonitored_known(unmonitored);
+            let kernel = analysis.compile().unwrap();
+            assert_eq!(
+                kernel.enumerate_with_dependencies(&deps),
+                analysis.enumerate_naive_with_dependencies(&deps),
+                "unmonitored_known = {unmonitored}"
+            );
+        }
+    }
+
+    #[test]
+    fn memo_collapses_state_space_to_few_evaluations() {
+        let sys = das_woodside_system();
+        let graph = sys.fault_graph().unwrap();
+        let mama = arch::hierarchical(&sys, 0.1);
+        let space = ComponentSpace::build(&sys.model, &mama);
+        let table = KnowTable::build(&graph, &mama, &space);
+        let analysis = Analysis::new(&graph, &space).with_knowledge(&table);
+        let kernel = analysis.compile().unwrap();
+        assert_eq!(kernel.bit_count(), 18);
+        let know = kernel.know_table().expect("MAMA knowledge compiled");
+        assert!(!know.is_empty() && know.len() <= 64);
+        let dist = kernel.enumerate();
+        assert_eq!(dist.states_explored(), 1 << 18);
+        // 2^18 states collapse onto a handful of configurations.
+        assert!(dist.configurations().len() < 64);
+        assert!((dist.total_probability() - 1.0).abs() < 1e-9);
+    }
+}

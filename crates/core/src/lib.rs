@@ -9,6 +9,10 @@
 //!   knowledge source + know policy.
 //! * [`enumerate`](Analysis::enumerate) — the paper's exact `2^N`
 //!   state-space scan (also a multi-threaded variant).
+//! * [`compiled`] — the compiled bitmask evaluation kernel behind the
+//!   exact engines: packed `u64` state words, Gray-code enumeration and
+//!   memoised service decisions (bit-identical to the naive reference
+//!   scan, an order of magnitude faster).
 //! * [`symbolic`](Analysis::symbolic) — the "non-state-space-based"
 //!   engine the paper's conclusion calls for: coverage conditions are
 //!   compiled to BDDs over the management components, making the cost
@@ -52,6 +56,7 @@
 pub mod analysis;
 pub mod availability;
 pub mod ccf;
+pub mod compiled;
 pub mod ctmc;
 pub mod delay;
 pub mod distribution;
@@ -64,6 +69,7 @@ pub mod symbolic;
 pub use analysis::{Analysis, Knowledge};
 pub use availability::{RepairModel, RepairModelError};
 pub use ccf::FailureDependencies;
+pub use compiled::CompiledKernel;
 pub use ctmc::{Ctmc, CtmcError};
 pub use delay::{ComponentDelayCycle, ComponentDelayReport, DelayModel};
 pub use distribution::ConfigDistribution;

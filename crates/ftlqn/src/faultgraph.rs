@@ -478,8 +478,10 @@ impl Evaluator<'_, '_> {
             return None;
         }
         let mut support = BTreeSet::from([t_c, p_c]);
-        let requests = model.entries[e.index()].requests.clone();
-        for r in &requests {
+        // `model` borrows the underlying `'m` model, not `self`, so the
+        // request list can be walked without cloning it out of the way
+        // of the recursive `&mut self` calls.
+        for r in &model.entries[e.index()].requests {
             if let Some(link) = r.link {
                 let l_c = Component::Link(link);
                 if !self.up(l_c) {
@@ -521,9 +523,8 @@ impl Evaluator<'_, '_> {
     ) -> Option<(FtEntryId, BTreeSet<Component>, Option<ServiceDecision>)> {
         let model = self.graph.model;
         let decider = model.requiring_task(s).expect("validated: service in use");
-        let alternatives: Vec<_> = model.alternatives(s).collect();
         let mut skipped: Vec<(FtEntryId, Vec<Component>)> = Vec::new();
-        for (rank, &(alt_entry, alt_link)) in alternatives.iter().enumerate() {
+        for (rank, (alt_entry, alt_link)) in model.alternatives(s).enumerate() {
             let link_up = alt_link.is_none_or(|l| self.up(Component::Link(l)));
             let sub = if link_up {
                 self.eval_entry(alt_entry)
@@ -595,8 +596,7 @@ fn compute_static_support(model: &FtlqnModel) -> Vec<BTreeSet<Component>> {
             Component::Task(task),
             Component::Processor(model.processor_of(task)),
         ]);
-        let requests = model.entries[e.index()].requests.clone();
-        for r in &requests {
+        for r in &model.entries[e.index()].requests {
             if let Some(l) = r.link {
                 support.insert(Component::Link(l));
             }
@@ -649,8 +649,7 @@ fn build_andor(model: &FtlqnModel) -> (AndOrGraph<FaultNode>, AndOrNodeId) {
             comp_nodes[&Component::Task(task)],
             comp_nodes[&Component::Processor(model.processor_of(task))],
         ];
-        let requests = model.entries[e.index()].requests.clone();
-        for r in &requests {
+        for r in &model.entries[e.index()].requests {
             if let Some(l) = r.link {
                 children.push(comp_nodes[&Component::Link(l)]);
             }

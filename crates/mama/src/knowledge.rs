@@ -210,6 +210,105 @@ impl KnowFunction {
     pub fn is_never(&self) -> bool {
         self.paths.is_empty()
     }
+
+    /// Compiles the predicate to bitmask form over a packed state word.
+    ///
+    /// `bit_of[ix]` gives the word bit of global index `ix`, or `None`
+    /// when the element is not fallible (always up).  Elements listed in
+    /// `forced_down` are treated as permanently failed: any minpath that
+    /// rides through one can never hold and is dropped.
+    pub fn compile(&self, bit_of: &[Option<u32>], forced_down: &BTreeSet<usize>) -> CompiledKnow {
+        let mut masks: Vec<u64> = Vec::with_capacity(self.paths.len());
+        for path in &self.paths {
+            if path.iter().any(|ix| forced_down.contains(ix)) {
+                continue; // a permanently-down element kills the path
+            }
+            let mut mask = 0u64;
+            for &ix in path {
+                if let Some(b) = bit_of[ix] {
+                    mask |= 1u64 << b;
+                }
+            }
+            if mask == 0 {
+                // Every element on the path is perfectly reliable: the
+                // predicate holds in every enumerated state.
+                return CompiledKnow {
+                    masks: Vec::new(),
+                    always: true,
+                    never: false,
+                };
+            }
+            masks.push(mask);
+        }
+        // A mask that is a superset of another adds nothing to the OR.
+        masks.sort_by_key(|m| m.count_ones());
+        masks.dedup();
+        let mut kept: Vec<u64> = Vec::with_capacity(masks.len());
+        'outer: for m in masks {
+            for &k in &kept {
+                if m & k == k {
+                    continue 'outer;
+                }
+            }
+            kept.push(m);
+        }
+        CompiledKnow {
+            masks: kept,
+            always: false,
+            // `never` tracks the *original* function, not the forced
+            // residue: a pair whose every path rides through a forced
+            // element is monitored-but-blocked and answers `false`,
+            // while a pair with no paths at all takes the caller's
+            // unmonitored default (exactly like [`crate::MamaOracle`]).
+            never: self.paths.is_empty(),
+        }
+    }
+}
+
+/// A [`KnowFunction`] compiled to bitmask form over the fallible bits of
+/// a packed state word: `holds ⇔ always ∨ ∃ mask: word & mask == mask`.
+///
+/// Bit `b` of the word corresponds to `fallible_indices()[b]` of the
+/// [`ComponentSpace`] the predicate was compiled against; a set bit means
+/// the element is up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledKnow {
+    /// One mask per surviving augmented minpath; the path holds when
+    /// every masked bit is set (all fallible support up).
+    masks: Vec<u64>,
+    /// `true` when some minpath has no fallible element at all: the
+    /// predicate holds in every enumerated state.
+    always: bool,
+    /// `true` when the *source* function had no minpaths at all (the
+    /// observer can never learn this component's state).  Distinct from
+    /// "all paths dropped by forcing", which evaluates to `false`.
+    never: bool,
+}
+
+impl CompiledKnow {
+    /// Evaluates the predicate for a packed state word.
+    // Not `contains`: `word & m == m` is a subset test, the lint misfires.
+    #[allow(clippy::manual_contains)]
+    pub fn eval(&self, word: u64) -> bool {
+        self.always || self.masks.iter().any(|&m| word & m == m)
+    }
+
+    /// `true` when the source function had no minpath at all.  Mirrors
+    /// [`KnowFunction::is_never`]; callers substitute their
+    /// unmonitored-component default, exactly like [`crate::MamaOracle`].
+    pub fn is_never(&self) -> bool {
+        self.never
+    }
+
+    /// `true` when the predicate holds in every enumerated state.
+    pub fn is_always(&self) -> bool {
+        self.always
+    }
+
+    /// The per-path bitmasks (empty when `is_always` or `is_never`).
+    pub fn masks(&self) -> &[u64] {
+        &self.masks
+    }
 }
 
 #[cfg(test)]

@@ -54,8 +54,8 @@ pub mod oracle;
 pub mod space;
 pub mod synth;
 
-pub use knowledge::{KnowFunction, KnowledgeGraph};
+pub use knowledge::{CompiledKnow, KnowFunction, KnowledgeGraph};
 pub use model::{ConnId, ConnectorKind, MamaCompId, MamaError, MamaModel, MamaRef, MgmtRole};
-pub use oracle::{KnowTable, MamaOracle};
+pub use oracle::{CompiledKnowTable, KnowTable, MamaOracle};
 pub use space::ComponentSpace;
 pub use synth::{synthesize, SynthOptions};

@@ -6,11 +6,11 @@
 //! minpaths once per (component, task) pair and evaluating them per state
 //! is what makes the `2^N` enumeration affordable.
 
-use crate::knowledge::{KnowFunction, KnowledgeGraph};
+use crate::knowledge::{CompiledKnow, KnowFunction, KnowledgeGraph};
 use crate::model::MamaModel;
 use crate::space::ComponentSpace;
 use fmperf_ftlqn::{Component, FaultGraph, FtTaskId, KnowledgeOracle};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// All `know` functions an analysis will ever query, precomputed.
 ///
@@ -91,6 +91,87 @@ impl KnowTable {
             state,
             default_for_missing: false,
         }
+    }
+
+    /// Compiles every `know` function to bitmask form over `space`'s
+    /// fallible bit layout (see [`ComponentSpace::fallible_bits`]).
+    ///
+    /// Returns `None` when the table cannot be compiled: more than 64
+    /// fallible elements (the state no longer fits one word) or more
+    /// than 64 pairs (the packed answer word overflows).
+    pub fn compile(&self, space: &ComponentSpace) -> Option<CompiledKnowTable> {
+        self.compile_with_forced(space, &[])
+    }
+
+    /// [`compile`](KnowTable::compile) with a set of global indices
+    /// treated as permanently down (common-cause failure contexts): any
+    /// minpath through a forced element is dropped.
+    pub fn compile_with_forced(
+        &self,
+        space: &ComponentSpace,
+        forced_down: &[usize],
+    ) -> Option<CompiledKnowTable> {
+        if space.fallible_indices().len() > 64 || self.table.len() > 64 {
+            return None;
+        }
+        let bit_of = space.fallible_bits();
+        let forced: BTreeSet<usize> = forced_down.iter().copied().collect();
+        let pairs = self
+            .table
+            .iter()
+            .map(|(&pair, know)| (pair, know.compile(&bit_of, &forced)))
+            .collect();
+        Some(CompiledKnowTable { pairs })
+    }
+}
+
+/// A [`KnowTable`] with every `know` function compiled to bitmask lists
+/// over a packed fallible state word (see
+/// [`ComponentSpace::fallible_bits`] for the bit layout).
+///
+/// The table also defines the *answer word* layout used by the
+/// `fmperf-core` evaluation kernel: bit `j` of
+/// [`answers`](CompiledKnowTable::answers) is pair `j` in
+/// [`pairs`](CompiledKnowTable::pairs) order.
+#[derive(Debug, Clone)]
+pub struct CompiledKnowTable {
+    pairs: Vec<((Component, FtTaskId), CompiledKnow)>,
+}
+
+impl CompiledKnowTable {
+    /// Number of compiled pairs (≤ 64 by construction).
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// `true` when no pairs were needed.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Iterates over `(component, task, compiled know)` in answer-bit
+    /// order.
+    pub fn pairs(&self) -> impl Iterator<Item = (Component, FtTaskId, &CompiledKnow)> + '_ {
+        self.pairs.iter().map(|((c, t), k)| (*c, *t, k))
+    }
+
+    /// Packed answer word for a packed state word: bit `j` is set when
+    /// pair `j` *knows* — its predicate holds, or it can never hold and
+    /// `default_for_missing` is `true` (the same substitution
+    /// [`MamaOracle`] applies to unmonitored components).
+    pub fn answers(&self, word: u64, default_for_missing: bool) -> u64 {
+        let mut out = 0u64;
+        for (j, (_, know)) in self.pairs.iter().enumerate() {
+            let knows = if know.is_never() {
+                default_for_missing
+            } else {
+                know.eval(word)
+            };
+            if knows {
+                out |= 1u64 << j;
+            }
+        }
+        out
     }
 }
 

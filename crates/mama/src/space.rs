@@ -134,6 +134,21 @@ impl ComponentSpace {
             .collect()
     }
 
+    /// Maps every global index to its bit position in a packed fallible
+    /// state word (`None` for perfectly reliable elements).  Bit `b`
+    /// corresponds to `fallible_indices()[b]`; a set bit means *up*.
+    ///
+    /// This is the shared bit layout of all compiled bitmask machinery
+    /// ([`crate::KnowTable::compile`] and the `fmperf-core` evaluation
+    /// kernel).
+    pub fn fallible_bits(&self) -> Vec<Option<u32>> {
+        let mut bit_of = vec![None; self.len()];
+        for (b, ix) in self.fallible_indices().into_iter().enumerate() {
+            bit_of[ix] = Some(b as u32);
+        }
+        bit_of
+    }
+
     /// The all-up state vector.
     pub fn all_up(&self) -> Vec<bool> {
         vec![true; self.len()]

@@ -68,6 +68,30 @@ fn hierarchical_and_network_model_files_reproduce_table2() {
 }
 
 #[test]
+fn compiled_kernel_is_bit_identical_on_every_model_file() {
+    for (name, unmonitored) in [
+        ("paper-centralized.fmp", false),
+        ("paper-distributed-as-drawn.fmp", false),
+        ("paper-distributed-as-published.fmp", true),
+        ("paper-hierarchical.fmp", false),
+        ("paper-network.fmp", false),
+    ] {
+        let m = load(name);
+        let graph = FaultGraph::build(&m.app).unwrap();
+        let space = ComponentSpace::build(&m.app, &m.mama);
+        let table = KnowTable::build(&graph, &m.mama, &space);
+        let analysis = Analysis::new(&graph, &space)
+            .with_knowledge(&table)
+            .with_unmonitored_known(unmonitored);
+        let kernel = analysis
+            .compile()
+            .unwrap_or_else(|| panic!("{name}: must compile"));
+        // `==` on distributions: exact probability equality, not epsilon.
+        assert_eq!(kernel.enumerate(), analysis.enumerate_naive(), "{name}");
+    }
+}
+
+#[test]
 fn model_files_have_reward_declarations() {
     for name in ["paper-centralized.fmp", "paper-network.fmp"] {
         let m = load(name);
