@@ -37,6 +37,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod mtbdd;
+
+pub use mtbdd::{FrozenMtbdd, MtRef, Mtbdd};
+
 use std::collections::HashMap;
 
 /// Reference to a BDD node inside a [`Bdd`] manager.

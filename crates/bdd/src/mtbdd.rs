@@ -1,0 +1,802 @@
+//! Multi-terminal binary decision diagrams (MTBDDs).
+//!
+//! An MTBDD generalises the ROBDD of the crate root: instead of the two
+//! Boolean terminals it admits arbitrarily many *data* terminals, each
+//! carrying an interned `u64` value.  The diagram then represents a total
+//! function from variable assignments to values — here, from joint
+//! component up/down states to configuration identifiers.
+//!
+//! The manager keeps the same invariants as the Boolean engine: nodes are
+//! hash-consed (two references are equal iff they denote the same
+//! function), `lo != hi` (reduction) and `var` strictly increases along
+//! every path (ordering).  Boolean diagrams embed naturally — the two
+//! Boolean terminals occupy reserved slots — so guards can be built with
+//! `and`/`or`/`not` and then used as the selector of a generalised
+//! [`ite`](Mtbdd::ite) whose branches carry data terminals.
+//!
+//! For evaluation the diagram is [frozen](Mtbdd::freeze) into a
+//! [`FrozenMtbdd`]: a contiguous, level-ordered array layout (parents
+//! before children, terminals at the end) so that a full terminal
+//! distribution for *any* per-variable probability vector is one
+//! cache-friendly linear pass with no hash lookups, and exact per-variable
+//! derivatives fall out of the lo/hi co-factors in a second pass of the
+//! same cost.
+
+use std::collections::HashMap;
+
+/// Bit marking an [`MtRef`] as a terminal slot rather than a decision node.
+const TERM_FLAG: u32 = 1 << 31;
+
+/// Sentinel variable index for terminals (sorts after every real variable).
+const TERMINAL_VAR: u32 = u32::MAX;
+
+/// Reference to an MTBDD node inside an [`Mtbdd`] manager.
+///
+/// Because the manager hash-conses both decision nodes and terminals, two
+/// `MtRef`s from the same manager are equal **iff** they denote the same
+/// function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MtRef(u32);
+
+impl MtRef {
+    /// The Boolean constant `false` (terminal slot 0).
+    pub const FALSE: MtRef = MtRef(TERM_FLAG);
+    /// The Boolean constant `true` (terminal slot 1).
+    pub const TRUE: MtRef = MtRef(TERM_FLAG | 1);
+
+    /// Is this a terminal (constant) reference?
+    pub fn is_terminal(self) -> bool {
+        self.0 & TERM_FLAG != 0
+    }
+    /// Is this the Boolean `false` terminal?
+    pub fn is_false(self) -> bool {
+        self == Self::FALSE
+    }
+    /// Is this the Boolean `true` terminal?
+    pub fn is_true(self) -> bool {
+        self == Self::TRUE
+    }
+    /// Terminal slot index, if this is a terminal.
+    fn slot(self) -> Option<usize> {
+        if self.is_terminal() {
+            Some((self.0 & !TERM_FLAG) as usize)
+        } else {
+            None
+        }
+    }
+}
+
+/// A decision node: tests `var`, follows `lo` when the variable is 0 and
+/// `hi` when it is 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct MtNode {
+    var: u32,
+    lo: MtRef,
+    hi: MtRef,
+}
+
+/// A hash-consing MTBDD manager over a fixed set of variables.
+///
+/// Construct diagrams with [`var`](Mtbdd::var) / [`constant`](Mtbdd::constant)
+/// and combine them with the Boolean connectives and the generalised
+/// [`ite`](Mtbdd::ite); then [`freeze`](Mtbdd::freeze) the final diagram for
+/// fast repeated evaluation.
+pub struct Mtbdd {
+    nodes: Vec<MtNode>,
+    unique: HashMap<MtNode, MtRef>,
+    /// Terminal slot → carried value.  Slots 0 and 1 are the Boolean
+    /// terminals (values 0 and 1); data terminals occupy slots ≥ 2, so a
+    /// data terminal carrying the value 0 is distinct from `FALSE`.
+    terminals: Vec<u64>,
+    data_unique: HashMap<u64, MtRef>,
+    ite_cache: HashMap<(MtRef, MtRef, MtRef), MtRef>,
+    var_count: u32,
+}
+
+impl Mtbdd {
+    /// Creates a manager over variables `0..var_count`.
+    pub fn new(var_count: usize) -> Mtbdd {
+        Mtbdd {
+            nodes: Vec::new(),
+            unique: HashMap::new(),
+            terminals: vec![0, 1],
+            data_unique: HashMap::new(),
+            ite_cache: HashMap::new(),
+            var_count: u32::try_from(var_count).expect("variable count exceeds u32"),
+        }
+    }
+
+    /// Number of variables the manager was created with.
+    pub fn var_count(&self) -> usize {
+        self.var_count as usize
+    }
+
+    /// Number of decision nodes allocated so far (terminals excluded).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of terminal slots (the two Boolean terminals plus every
+    /// interned data value).
+    pub fn terminal_count(&self) -> usize {
+        self.terminals.len()
+    }
+
+    /// The data terminal carrying `value` (interned: repeated calls with
+    /// the same value return the same reference).
+    ///
+    /// Data terminals are distinct from the Boolean terminals even when
+    /// `value` is 0 or 1.
+    pub fn constant(&mut self, value: u64) -> MtRef {
+        if let Some(&t) = self.data_unique.get(&value) {
+            return t;
+        }
+        let slot = u32::try_from(self.terminals.len()).expect("terminal count exceeds u32");
+        assert!(slot & TERM_FLAG == 0, "terminal table full");
+        let r = MtRef(TERM_FLAG | slot);
+        self.terminals.push(value);
+        self.data_unique.insert(value, r);
+        r
+    }
+
+    /// The value carried by a terminal (`0`/`1` for the Boolean terminals),
+    /// or `None` for a decision node.
+    pub fn value(&self, f: MtRef) -> Option<u64> {
+        f.slot().map(|s| self.terminals[s])
+    }
+
+    /// The diagram of the single variable `v` (Boolean: `TRUE` when up).
+    pub fn var(&mut self, v: usize) -> MtRef {
+        assert!(v < self.var_count(), "variable {v} out of range");
+        self.mk(v as u32, MtRef::FALSE, MtRef::TRUE)
+    }
+
+    /// The diagram of the negated variable `v`.
+    pub fn nvar(&mut self, v: usize) -> MtRef {
+        assert!(v < self.var_count(), "variable {v} out of range");
+        self.mk(v as u32, MtRef::TRUE, MtRef::FALSE)
+    }
+
+    fn var_of(&self, f: MtRef) -> u32 {
+        match f.slot() {
+            Some(_) => TERMINAL_VAR,
+            None => self.nodes[f.0 as usize].var,
+        }
+    }
+
+    fn cofactors(&self, f: MtRef, var: u32) -> (MtRef, MtRef) {
+        if self.var_of(f) == var {
+            let n = self.nodes[f.0 as usize];
+            (n.lo, n.hi)
+        } else {
+            (f, f)
+        }
+    }
+
+    /// Hash-consed node constructor; applies the `lo == hi` reduction.
+    fn mk(&mut self, var: u32, lo: MtRef, hi: MtRef) -> MtRef {
+        if lo == hi {
+            return lo;
+        }
+        debug_assert!(self.var_of(lo) > var && self.var_of(hi) > var);
+        let node = MtNode { var, lo, hi };
+        if let Some(&r) = self.unique.get(&node) {
+            return r;
+        }
+        let r = MtRef(u32::try_from(self.nodes.len()).expect("node count exceeds u32"));
+        assert!(r.0 & TERM_FLAG == 0, "node table full");
+        self.nodes.push(node);
+        self.unique.insert(node, r);
+        r
+    }
+
+    /// Generalised if-then-else: the function equal to `g` where the
+    /// Boolean selector `f` holds and to `h` elsewhere.
+    ///
+    /// `g` and `h` may carry data terminals; `f` must be Boolean (it is an
+    /// error for the selector to reach a data terminal).
+    pub fn ite(&mut self, f: MtRef, g: MtRef, h: MtRef) -> MtRef {
+        if f.is_true() {
+            return g;
+        }
+        if f.is_false() {
+            return h;
+        }
+        assert!(
+            !f.is_terminal(),
+            "ite selector must be a Boolean diagram, got a data terminal"
+        );
+        if g == h {
+            return g;
+        }
+        // Boolean shortcut: ite(f, TRUE, FALSE) = f.
+        if g.is_true() && h.is_false() {
+            return f;
+        }
+        let key = (f, g, h);
+        if let Some(&r) = self.ite_cache.get(&key) {
+            return r;
+        }
+        let var = self.var_of(f).min(self.var_of(g)).min(self.var_of(h));
+        debug_assert!(var != TERMINAL_VAR);
+        let (f0, f1) = self.cofactors(f, var);
+        let (g0, g1) = self.cofactors(g, var);
+        let (h0, h1) = self.cofactors(h, var);
+        let lo = self.ite(f0, g0, h0);
+        let hi = self.ite(f1, g1, h1);
+        let r = self.mk(var, lo, hi);
+        self.ite_cache.insert(key, r);
+        r
+    }
+
+    /// Boolean conjunction (operands must be Boolean diagrams).
+    pub fn and(&mut self, a: MtRef, b: MtRef) -> MtRef {
+        self.ite(a, b, MtRef::FALSE)
+    }
+
+    /// Boolean disjunction (operands must be Boolean diagrams).
+    pub fn or(&mut self, a: MtRef, b: MtRef) -> MtRef {
+        self.ite(a, MtRef::TRUE, b)
+    }
+
+    /// Boolean negation (operand must be a Boolean diagram).
+    pub fn not(&mut self, a: MtRef) -> MtRef {
+        self.ite(a, MtRef::FALSE, MtRef::TRUE)
+    }
+
+    /// Evaluates the diagram under a full truth assignment and returns the
+    /// reached terminal's value.
+    pub fn evaluate(&self, f: MtRef, assignment: &[bool]) -> u64 {
+        assert!(assignment.len() >= self.var_count());
+        let mut cur = f;
+        loop {
+            match cur.slot() {
+                Some(slot) => return self.terminals[slot],
+                None => {
+                    let n = self.nodes[cur.0 as usize];
+                    cur = if assignment[n.var as usize] {
+                        n.hi
+                    } else {
+                        n.lo
+                    };
+                }
+            }
+        }
+    }
+
+    /// Number of distinct decision nodes reachable from `f`.
+    pub fn size(&self, f: MtRef) -> usize {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![f];
+        let mut count = 0;
+        while let Some(r) = stack.pop() {
+            if r.is_terminal() {
+                continue;
+            }
+            let ix = r.0 as usize;
+            if seen[ix] {
+                continue;
+            }
+            seen[ix] = true;
+            count += 1;
+            stack.push(self.nodes[ix].lo);
+            stack.push(self.nodes[ix].hi);
+        }
+        count
+    }
+
+    /// Freezes the diagram rooted at `f` into a contiguous, level-ordered
+    /// array layout for fast repeated evaluation.
+    ///
+    /// Only the nodes and terminals reachable from `f` are retained; the
+    /// frozen terminal table lists reachable values in ascending order.
+    pub fn freeze(&self, f: MtRef) -> FrozenMtbdd {
+        // Collect reachable decision nodes and terminal values.
+        let mut seen = vec![false; self.nodes.len()];
+        let mut reach_nodes: Vec<u32> = Vec::new();
+        let mut term_values: Vec<u64> = Vec::new();
+        let mut stack = vec![f];
+        while let Some(r) = stack.pop() {
+            if let Some(slot) = r.slot() {
+                let v = self.terminals[slot];
+                if !term_values.contains(&v) {
+                    term_values.push(v);
+                }
+                continue;
+            }
+            let ix = r.0 as usize;
+            if seen[ix] {
+                continue;
+            }
+            seen[ix] = true;
+            reach_nodes.push(r.0);
+            stack.push(self.nodes[ix].lo);
+            stack.push(self.nodes[ix].hi);
+        }
+        term_values.sort_unstable();
+        // Level order: `var` strictly increases along every edge, so
+        // sorting by `var` puts every parent before its children.
+        reach_nodes.sort_unstable_by_key(|&ix| (self.nodes[ix as usize].var, ix));
+        let mut dense: HashMap<u32, u32> = HashMap::with_capacity(reach_nodes.len());
+        for (d, &ix) in reach_nodes.iter().enumerate() {
+            dense.insert(ix, d as u32);
+        }
+        let n = reach_nodes.len() as u32;
+        let encode = |r: MtRef| -> u32 {
+            match r.slot() {
+                Some(slot) => {
+                    let v = self.terminals[slot];
+                    let t = term_values.binary_search(&v).unwrap() as u32;
+                    n + t
+                }
+                None => dense[&r.0],
+            }
+        };
+        let mut vars = Vec::with_capacity(reach_nodes.len());
+        let mut los = Vec::with_capacity(reach_nodes.len());
+        let mut his = Vec::with_capacity(reach_nodes.len());
+        for &ix in &reach_nodes {
+            let node = self.nodes[ix as usize];
+            vars.push(node.var);
+            los.push(encode(node.lo));
+            his.push(encode(node.hi));
+        }
+        let root = encode(f);
+        FrozenMtbdd {
+            vars,
+            los,
+            his,
+            terminals: term_values,
+            root,
+            var_count: self.var_count,
+        }
+    }
+}
+
+/// A frozen, immutable MTBDD in level-ordered array form.
+///
+/// Node `i` tests `vars[i]` and branches to `los[i]` / `his[i]`; an index
+/// `>= node_count()` denotes terminal slot `index - node_count()`.  Nodes
+/// are sorted by variable, so every parent precedes its children and a
+/// single forward sweep propagates reach probabilities top-down (a single
+/// backward sweep propagates expected values bottom-up).
+#[derive(Debug, Clone)]
+pub struct FrozenMtbdd {
+    vars: Vec<u32>,
+    los: Vec<u32>,
+    his: Vec<u32>,
+    terminals: Vec<u64>,
+    root: u32,
+    var_count: u32,
+}
+
+impl FrozenMtbdd {
+    /// Number of decision nodes in the frozen diagram.
+    pub fn node_count(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// The reachable terminal values, ascending; evaluation results are
+    /// indexed by position in this slice.
+    pub fn terminal_values(&self) -> &[u64] {
+        &self.terminals
+    }
+
+    /// Number of reachable terminals.
+    pub fn terminal_count(&self) -> usize {
+        self.terminals.len()
+    }
+
+    /// Number of variables of the originating manager.
+    pub fn var_count(&self) -> usize {
+        self.var_count as usize
+    }
+
+    /// Evaluates the diagram under a full truth assignment; returns the
+    /// index (into [`terminal_values`](Self::terminal_values)) of the
+    /// reached terminal.
+    pub fn evaluate(&self, assignment: &[bool]) -> usize {
+        assert!(assignment.len() >= self.var_count());
+        let n = self.node_count() as u32;
+        let mut cur = self.root;
+        while cur < n {
+            let i = cur as usize;
+            cur = if assignment[self.vars[i] as usize] {
+                self.his[i]
+            } else {
+                self.los[i]
+            };
+        }
+        (cur - n) as usize
+    }
+
+    /// Writes into `out[t]` the probability that the diagram reaches
+    /// terminal `t` when variable `v` is independently true with
+    /// probability `p[v]`.
+    ///
+    /// `scratch` is caller-provided reach storage (resized as needed) so
+    /// repeated evaluations allocate nothing; `out` must have
+    /// [`terminal_count`](Self::terminal_count) entries and is overwritten.
+    ///
+    /// One forward pass over the level-ordered arrays: each node's reach
+    /// probability is split between its children, and variables skipped
+    /// along an edge integrate out automatically (their branch
+    /// probabilities sum to 1).
+    pub fn distribution_into(&self, p: &[f64], scratch: &mut Vec<f64>, out: &mut [f64]) {
+        assert!(p.len() >= self.var_count(), "probability vector too short");
+        assert_eq!(out.len(), self.terminal_count());
+        let n = self.node_count();
+        scratch.clear();
+        scratch.resize(n, 0.0);
+        out.fill(0.0);
+        let root = self.root as usize;
+        if root >= n {
+            // Constant diagram: all mass on the root terminal.
+            out[root - n] = 1.0;
+            return;
+        }
+        scratch[root] = 1.0;
+        for i in 0..n {
+            let r = scratch[i];
+            if r == 0.0 {
+                continue;
+            }
+            let pv = p[self.vars[i] as usize];
+            let lo = self.los[i] as usize;
+            let hi = self.his[i] as usize;
+            let lo_mass = r * (1.0 - pv);
+            let hi_mass = r * pv;
+            if lo < n {
+                scratch[lo] += lo_mass;
+            } else {
+                out[lo - n] += lo_mass;
+            }
+            if hi < n {
+                scratch[hi] += hi_mass;
+            } else {
+                out[hi - n] += hi_mass;
+            }
+        }
+    }
+
+    /// Allocating convenience wrapper around
+    /// [`distribution_into`](Self::distribution_into).
+    pub fn distribution(&self, p: &[f64]) -> Vec<f64> {
+        let mut scratch = Vec::new();
+        let mut out = vec![0.0; self.terminal_count()];
+        self.distribution_into(p, &mut scratch, &mut out);
+        out
+    }
+
+    /// Expected reward and its exact partial derivatives.
+    ///
+    /// `rewards[t]` is the value attached to terminal `t`.  Returns
+    /// `E = Σ_t Pr[reach t]·rewards[t]` and writes into `deriv[v]` the
+    /// partial derivative `∂E/∂p[v]` — which for the multilinear function
+    /// computed by an (MT)BDD equals `E[reward | v up] − E[reward | v down]`.
+    ///
+    /// Two linear passes sharing the reach probabilities of
+    /// [`distribution_into`](Self::distribution_into): a backward pass
+    /// computes each node's conditional expected value, and then
+    /// `∂E/∂p[v] = Σ_{n : var(n)=v} reach(n)·(value(hi(n)) − value(lo(n)))`.
+    /// Variables the diagram never tests get derivative 0 (the function
+    /// does not depend on them).
+    pub fn expected_and_derivatives_into(
+        &self,
+        p: &[f64],
+        rewards: &[f64],
+        reach: &mut Vec<f64>,
+        value: &mut Vec<f64>,
+        deriv: &mut [f64],
+    ) -> f64 {
+        assert!(p.len() >= self.var_count(), "probability vector too short");
+        assert_eq!(rewards.len(), self.terminal_count());
+        assert!(deriv.len() >= self.var_count());
+        let n = self.node_count();
+        deriv.fill(0.0);
+        let root = self.root as usize;
+        if root >= n {
+            return rewards[root - n];
+        }
+        // Forward pass: reach probabilities.
+        reach.clear();
+        reach.resize(n, 0.0);
+        reach[root] = 1.0;
+        for i in 0..n {
+            let r = reach[i];
+            if r == 0.0 {
+                continue;
+            }
+            let pv = p[self.vars[i] as usize];
+            let lo = self.los[i] as usize;
+            let hi = self.his[i] as usize;
+            if lo < n {
+                reach[lo] += r * (1.0 - pv);
+            }
+            if hi < n {
+                reach[hi] += r * pv;
+            }
+        }
+        // Backward pass: conditional expected values.
+        value.clear();
+        value.resize(n, 0.0);
+        let child_value = |value: &[f64], ix: usize| -> f64 {
+            if ix < n {
+                value[ix]
+            } else {
+                rewards[ix - n]
+            }
+        };
+        for i in (0..n).rev() {
+            let lo_v = child_value(value, self.los[i] as usize);
+            let hi_v = child_value(value, self.his[i] as usize);
+            let pv = p[self.vars[i] as usize];
+            value[i] = (1.0 - pv) * lo_v + pv * hi_v;
+            deriv[self.vars[i] as usize] += reach[i] * (hi_v - lo_v);
+        }
+        value[root]
+    }
+
+    /// Allocating convenience wrapper around
+    /// [`expected_and_derivatives_into`](Self::expected_and_derivatives_into).
+    pub fn expected_and_derivatives(&self, p: &[f64], rewards: &[f64]) -> (f64, Vec<f64>) {
+        let mut reach = Vec::new();
+        let mut value = Vec::new();
+        let mut deriv = vec![0.0; self.var_count()];
+        let e = self.expected_and_derivatives_into(p, rewards, &mut reach, &mut value, &mut deriv);
+        (e, deriv)
+    }
+
+    /// Evaluates the diagram for a whole matrix of probability vectors,
+    /// chunking the rows over `threads` OS threads (each worker reuses one
+    /// scratch buffer across its chunk).
+    ///
+    /// Returns one terminal distribution per input row, in order.
+    pub fn batch_distributions(&self, rows: &[Vec<f64>], threads: usize) -> Vec<Vec<f64>> {
+        if rows.is_empty() {
+            return Vec::new();
+        }
+        let workers = threads.max(1).min(rows.len());
+        let chunk_len = rows.len().div_ceil(workers);
+        let mut results: Vec<Vec<f64>> = Vec::with_capacity(rows.len());
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for chunk in rows.chunks(chunk_len) {
+                handles.push(scope.spawn(move || {
+                    let mut scratch = Vec::new();
+                    let mut outs = Vec::with_capacity(chunk.len());
+                    for row in chunk {
+                        let mut out = vec![0.0; self.terminal_count()];
+                        self.distribution_into(row, &mut scratch, &mut out);
+                        outs.push(out);
+                    }
+                    outs
+                }));
+            }
+            for h in handles {
+                results.extend(h.join().expect("batch evaluation worker panicked"));
+            }
+        });
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Map (a, b) -> 10·a + b as a two-variable MTBDD.
+    fn two_bit_counter(mt: &mut Mtbdd) -> MtRef {
+        let mut map = mt.constant(0);
+        for mask in 0..4u64 {
+            let a_up = mask & 1 != 0;
+            let b_up = mask & 2 != 0;
+            let la = if a_up { mt.var(0) } else { mt.nvar(0) };
+            let lb = if b_up { mt.var(1) } else { mt.nvar(1) };
+            let cube = mt.and(la, lb);
+            let leaf = mt.constant(10 * (a_up as u64) + (b_up as u64));
+            map = mt.ite(cube, leaf, map);
+        }
+        map
+    }
+
+    #[test]
+    fn constants_are_interned_and_distinct_from_booleans() {
+        let mut mt = Mtbdd::new(1);
+        let a = mt.constant(7);
+        let b = mt.constant(7);
+        assert_eq!(a, b);
+        let zero = mt.constant(0);
+        let one = mt.constant(1);
+        assert_ne!(zero, MtRef::FALSE);
+        assert_ne!(one, MtRef::TRUE);
+        assert_eq!(mt.value(zero), Some(0));
+        assert_eq!(mt.value(MtRef::FALSE), Some(0));
+    }
+
+    #[test]
+    fn evaluate_follows_the_assignment() {
+        let mut mt = Mtbdd::new(2);
+        let map = two_bit_counter(&mut mt);
+        assert_eq!(mt.evaluate(map, &[false, false]), 0);
+        assert_eq!(mt.evaluate(map, &[true, false]), 10);
+        assert_eq!(mt.evaluate(map, &[false, true]), 1);
+        assert_eq!(mt.evaluate(map, &[true, true]), 11);
+    }
+
+    #[test]
+    fn boolean_embedding_matches_robdd_semantics() {
+        let mut mt = Mtbdd::new(3);
+        let a = mt.var(0);
+        let b = mt.var(1);
+        let c = mt.var(2);
+        let ab = mt.and(a, b);
+        let f = mt.or(ab, c);
+        assert_eq!(mt.evaluate(f, &[true, true, false]), 1);
+        assert_eq!(mt.evaluate(f, &[true, false, false]), 0);
+        assert_eq!(mt.evaluate(f, &[false, false, true]), 1);
+        let nf = mt.not(f);
+        assert_eq!(mt.evaluate(nf, &[true, false, false]), 1);
+        // Hash-consing: rebuilding the same function yields the same ref.
+        let ab2 = mt.and(a, b);
+        let f2 = mt.or(ab2, c);
+        assert_eq!(f, f2);
+    }
+
+    #[test]
+    #[should_panic(expected = "selector must be a Boolean")]
+    fn data_terminal_selector_panics() {
+        let mut mt = Mtbdd::new(1);
+        let d = mt.constant(3);
+        mt.ite(d, MtRef::TRUE, MtRef::FALSE);
+    }
+
+    #[test]
+    fn frozen_distribution_matches_exhaustive_enumeration() {
+        let mut mt = Mtbdd::new(2);
+        let map = two_bit_counter(&mut mt);
+        let frozen = mt.freeze(map);
+        assert_eq!(frozen.terminal_values(), &[0, 1, 10, 11]);
+        let p = [0.9, 0.25];
+        let dist = frozen.distribution(&p);
+        // Exhaustive reference.
+        let mut expect = vec![0.0; 4];
+        for mask in 0..4u64 {
+            let a = mask & 1 != 0;
+            let b = mask & 2 != 0;
+            let prob = (if a { p[0] } else { 1.0 - p[0] }) * (if b { p[1] } else { 1.0 - p[1] });
+            let value = 10 * (a as u64) + (b as u64);
+            let t = frozen.terminal_values().binary_search(&value).unwrap();
+            expect[t] += prob;
+        }
+        for (got, want) in dist.iter().zip(&expect) {
+            assert!((got - want).abs() < 1e-15, "{got} vs {want}");
+        }
+        assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn frozen_constant_diagram_puts_all_mass_on_the_terminal() {
+        let mut mt = Mtbdd::new(2);
+        let c = mt.constant(42);
+        let frozen = mt.freeze(c);
+        assert_eq!(frozen.node_count(), 0);
+        assert_eq!(frozen.distribution(&[0.5, 0.5]), vec![1.0]);
+        assert_eq!(frozen.evaluate(&[true, false]), 0);
+    }
+
+    #[test]
+    fn frozen_layout_is_level_ordered() {
+        let mut mt = Mtbdd::new(4);
+        let mut map = mt.constant(0);
+        for v in (0..4).rev() {
+            let lit = mt.var(v);
+            let leaf = mt.constant(v as u64 + 1);
+            map = mt.ite(lit, leaf, map);
+        }
+        let frozen = mt.freeze(map);
+        for i in 0..frozen.node_count() {
+            let n = frozen.node_count() as u32;
+            for child in [frozen.los[i], frozen.his[i]] {
+                if child < n {
+                    assert!(
+                        frozen.vars[child as usize] > frozen.vars[i],
+                        "child variable must be deeper"
+                    );
+                    assert!(child as usize > i, "parents must precede children");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_evaluate_agrees_with_manager_evaluate() {
+        let mut mt = Mtbdd::new(3);
+        let a = mt.var(0);
+        let c = mt.var(2);
+        let sel = mt.and(a, c);
+        let t1 = mt.constant(100);
+        let t2 = mt.constant(200);
+        let map = mt.ite(sel, t1, t2);
+        let frozen = mt.freeze(map);
+        for mask in 0..8u32 {
+            let assignment: Vec<bool> = (0..3).map(|b| mask & (1 << b) != 0).collect();
+            let want = mt.evaluate(map, &assignment);
+            let got = frozen.terminal_values()[frozen.evaluate(&assignment)];
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let mut mt = Mtbdd::new(3);
+        // Reward map: value depends on all three variables asymmetrically.
+        let mut map = mt.constant(0);
+        for mask in 0..8u64 {
+            let mut cube = MtRef::TRUE;
+            for v in 0..3 {
+                let lit = if mask & (1 << v) != 0 {
+                    mt.var(v)
+                } else {
+                    mt.nvar(v)
+                };
+                cube = mt.and(cube, lit);
+            }
+            let leaf = mt.constant(mask * mask + 3);
+            map = mt.ite(cube, leaf, map);
+        }
+        let frozen = mt.freeze(map);
+        let rewards: Vec<f64> = frozen.terminal_values().iter().map(|&v| v as f64).collect();
+        let p = [0.9, 0.7, 0.85];
+        let (e, deriv) = frozen.expected_and_derivatives(&p, &rewards);
+        // Expected value cross-check via the distribution.
+        let dist = frozen.distribution(&p);
+        let e_ref: f64 = dist.iter().zip(&rewards).map(|(a, b)| a * b).sum();
+        assert!((e - e_ref).abs() < 1e-12);
+        // The function is multilinear in p, so the exact derivative equals
+        // the difference of conditionals — and the finite difference over
+        // the full [0,1] interval.
+        for v in 0..3 {
+            let mut up = p;
+            up[v] = 1.0;
+            let mut down = p;
+            down[v] = 0.0;
+            let e_up: f64 = frozen
+                .distribution(&up)
+                .iter()
+                .zip(&rewards)
+                .map(|(a, b)| a * b)
+                .sum();
+            let e_down: f64 = frozen
+                .distribution(&down)
+                .iter()
+                .zip(&rewards)
+                .map(|(a, b)| a * b)
+                .sum();
+            assert!(
+                (deriv[v] - (e_up - e_down)).abs() < 1e-12,
+                "var {v}: {} vs {}",
+                deriv[v],
+                e_up - e_down
+            );
+        }
+    }
+
+    #[test]
+    fn batch_distributions_match_single_evaluations() {
+        let mut mt = Mtbdd::new(2);
+        let map = two_bit_counter(&mut mt);
+        let frozen = mt.freeze(map);
+        let rows: Vec<Vec<f64>> = (0..17)
+            .map(|i| vec![i as f64 / 16.0, 1.0 - i as f64 / 32.0])
+            .collect();
+        for threads in [1, 3, 32] {
+            let batch = frozen.batch_distributions(&rows, threads);
+            assert_eq!(batch.len(), rows.len());
+            for (row, out) in rows.iter().zip(&batch) {
+                assert_eq!(out, &frozen.distribution(row));
+            }
+        }
+        assert!(frozen.batch_distributions(&[], 4).is_empty());
+    }
+}

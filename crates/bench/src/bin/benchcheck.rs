@@ -1,25 +1,108 @@
-//! Compares two `statespace --json` reports and fails when the compiled
-//! kernel regressed.
+//! Compares two bench reports and fails when the measured engine
+//! regressed.
 //!
 //! Usage: `benchcheck <baseline.json> <current.json> [max-ratio]`
 //!
-//! For every case present in the baseline, the current `compiled_ns`
-//! must be at most `max-ratio` (default 2.0) times the baseline's.
+//! Two report schemas are understood, distinguished by the report's
+//! `"criterion"` tag:
+//!
+//! * `enumeration` (`statespace --json`): for every case present in the
+//!   baseline, the current `compiled_ns` must be at most `max-ratio`
+//!   (default 2.0) times the baseline's.
+//! * `sweep` (`sweepbench --json`): the `compile_ns` and `eval_ns`
+//!   phases are gated **independently**, so a regression in the one-off
+//!   compile cannot hide behind a fast evaluator (or vice versa).
+//!
 //! Exit code 0 = within budget, 1 = regression, 2 = usage/parse error.
 //! Wall-clock noise on shared CI runners is expected — the 2x gate only
 //! catches order-of-magnitude slips such as losing the kernel dispatch.
 
-use fmperf_bench::parse_bench_json;
+use fmperf_bench::{parse_bench_json, parse_sweep_json, report_criterion, BenchRow, SweepRow};
 
-fn load(path: &str) -> Vec<fmperf_bench::BenchRow> {
+enum Report {
+    Enumeration(Vec<BenchRow>),
+    Sweep(Vec<SweepRow>),
+}
+
+fn load(path: &str) -> Report {
     let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("benchcheck: cannot read {path}: {e}");
         std::process::exit(2);
     });
-    parse_bench_json(&src).unwrap_or_else(|| {
+    let bail = || -> ! {
         eprintln!("benchcheck: {path} is not a bench report");
         std::process::exit(2);
-    })
+    };
+    match report_criterion(&src).as_deref() {
+        Some("sweep") => Report::Sweep(parse_sweep_json(&src).unwrap_or_else(|| bail())),
+        Some(_) => Report::Enumeration(parse_bench_json(&src).unwrap_or_else(|| bail())),
+        None => bail(),
+    }
+}
+
+/// Checks one timed phase of one case; returns `true` on regression.
+fn check_phase(case: &str, phase: &str, base_ns: u128, cur_ns: u128, max_ratio: f64) -> bool {
+    let ratio = cur_ns as f64 / base_ns.max(1) as f64;
+    let regressed = ratio > max_ratio;
+    println!(
+        "{case:<14} {phase:<8} baseline {base_ns:>12} ns  current {cur_ns:>12} ns  \
+         ratio {ratio:>5.2}  {}",
+        if regressed { "REGRESSED" } else { "ok" }
+    );
+    regressed
+}
+
+fn check_enumeration(baseline: &[BenchRow], current: &[BenchRow], max_ratio: f64) -> bool {
+    let mut failed = false;
+    for base in baseline {
+        let Some(cur) = current.iter().find(|r| r.case == base.case) else {
+            eprintln!("benchcheck: case {} missing from current report", base.case);
+            failed = true;
+            continue;
+        };
+        if cur.states != base.states || cur.configs != base.configs {
+            eprintln!(
+                "benchcheck: case {} changed shape: {} states/{} configs vs {} states/{} configs",
+                base.case, cur.states, cur.configs, base.states, base.configs
+            );
+            failed = true;
+        }
+        failed |= check_phase(
+            &base.case,
+            "compiled",
+            base.compiled_ns,
+            cur.compiled_ns,
+            max_ratio,
+        );
+    }
+    failed
+}
+
+fn check_sweep(baseline: &[SweepRow], current: &[SweepRow], max_ratio: f64) -> bool {
+    let mut failed = false;
+    for base in baseline {
+        let Some(cur) = current.iter().find(|r| r.case == base.case) else {
+            eprintln!("benchcheck: case {} missing from current report", base.case);
+            failed = true;
+            continue;
+        };
+        if cur.nodes != base.nodes || cur.configs != base.configs {
+            eprintln!(
+                "benchcheck: case {} changed shape: {} nodes/{} configs vs {} nodes/{} configs",
+                base.case, cur.nodes, cur.configs, base.nodes, base.configs
+            );
+            failed = true;
+        }
+        failed |= check_phase(
+            &base.case,
+            "compile",
+            base.compile_ns,
+            cur.compile_ns,
+            max_ratio,
+        );
+        failed |= check_phase(&base.case, "eval", base.eval_ns, cur.eval_ns, max_ratio);
+    }
+    failed
 }
 
 fn main() {
@@ -39,35 +122,17 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let baseline = load(baseline_path);
-    let current = load(current_path);
 
-    let mut failed = false;
-    for base in &baseline {
-        let Some(cur) = current.iter().find(|r| r.case == base.case) else {
-            eprintln!("benchcheck: case {} missing from {current_path}", base.case);
-            failed = true;
-            continue;
-        };
-        if cur.states != base.states || cur.configs != base.configs {
+    let failed = match (load(baseline_path), load(current_path)) {
+        (Report::Enumeration(b), Report::Enumeration(c)) => check_enumeration(&b, &c, max_ratio),
+        (Report::Sweep(b), Report::Sweep(c)) => check_sweep(&b, &c, max_ratio),
+        _ => {
             eprintln!(
-                "benchcheck: case {} changed shape: {} states/{} configs vs {} states/{} configs",
-                base.case, cur.states, cur.configs, base.states, base.configs
+                "benchcheck: {baseline_path} and {current_path} use different report schemas"
             );
-            failed = true;
+            std::process::exit(2);
         }
-        let ratio = cur.compiled_ns as f64 / base.compiled_ns.max(1) as f64;
-        let verdict = if ratio > max_ratio {
-            failed = true;
-            "REGRESSED"
-        } else {
-            "ok"
-        };
-        println!(
-            "{:<14} baseline {:>12} ns  current {:>12} ns  ratio {:>5.2}  {}",
-            base.case, base.compiled_ns, cur.compiled_ns, ratio, verdict
-        );
-    }
+    };
     if failed {
         eprintln!("benchcheck: FAILED (max allowed ratio {max_ratio})");
         std::process::exit(1);

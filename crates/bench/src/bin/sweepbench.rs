@@ -1,0 +1,95 @@
+//! Times availability sweeps: the compile-once MTBDD engine (one
+//! compile plus one linear diagram pass per availability vector) against
+//! the naive strategy of re-running the exact enumeration for every
+//! point.  A 32-point sweep over the hierarchical architecture must come
+//! out at least 10x faster than 32 enumerations — losing that bound
+//! means the compiled map stopped amortising and the binary exits 1.
+//!
+//! `--json <path>` writes the measurements as a machine-readable report
+//! (see [`fmperf_bench::render_sweep_json`]); `benchcheck` compares two
+//! such reports, gating the compile and eval phases independently.
+
+use fmperf_bench::{case_names, measure_sweep, render_sweep_json};
+
+/// Minimum required speedup of the hierarchical sweep over repeated
+/// enumeration (the acceptance bound recorded in `BENCH_sweep.json`).
+const MIN_HIERARCHICAL_SPEEDUP: f64 = 10.0;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut json_path = None;
+    let mut points = 32usize;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => {
+                json_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--json requires a path");
+                    std::process::exit(2);
+                }));
+            }
+            "--points" => {
+                points = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--points requires a positive integer");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!(
+                    "unknown argument: {other} (usage: sweepbench [--points <n>] [--json <path>])"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let sys = fmperf_bench::paper_system();
+
+    println!("Availability-sweep cost: compile-once MTBDD vs {points} exact enumerations");
+    println!(
+        "{:<14} {:>9} {:>8} {:>12} {:>12} {:>13} {:>9} {:>8}",
+        "case", "fallible", "nodes", "compile", "eval", "enumerate", "speedup", "configs"
+    );
+
+    let mut rows = Vec::new();
+    for case in case_names() {
+        let row = measure_sweep(&sys, case, points);
+        println!(
+            "{:<14} {:>9} {:>8} {:>12.2?} {:>12.2?} {:>13.2?} {:>8.1}x {:>8}",
+            row.case,
+            row.fallible,
+            row.nodes,
+            std::time::Duration::from_nanos(row.compile_ns as u64),
+            std::time::Duration::from_nanos(row.eval_ns as u64),
+            std::time::Duration::from_nanos(row.enumerate_ns as u64),
+            row.speedup,
+            row.configs,
+        );
+        rows.push(row);
+    }
+
+    if let Some(path) = &json_path {
+        let json = render_sweep_json(&rows);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {path}");
+    }
+
+    let hier = rows
+        .iter()
+        .find(|r| r.case == "hierarchical")
+        .expect("hierarchical case measured");
+    if hier.speedup < MIN_HIERARCHICAL_SPEEDUP {
+        eprintln!(
+            "sweepbench: hierarchical sweep only {:.1}x faster than repeated \
+             enumeration (need {MIN_HIERARCHICAL_SPEEDUP}x)",
+            hier.speedup
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "hierarchical sweep amortises: {:.1}x over {points} enumerations (need {MIN_HIERARCHICAL_SPEEDUP}x)",
+        hier.speedup
+    );
+}

@@ -13,12 +13,15 @@
 //!   weight of UserB, for the four architectures.
 //! * `statespace` — the in-text state-space sizes and solution times,
 //!   for both the paper's enumeration and our symbolic engine.
+//! * `sweepbench` — availability-sweep cost: compile-once MTBDD
+//!   (compile + points × linear pass) vs repeated exact enumeration.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use fmperf_core::{
-    solve_configurations, Analysis, ConfigDistribution, ConfigPerformance, RewardSpec,
+    solve_configurations, sweep, Analysis, ConfigDistribution, ConfigPerformance, RewardSpec,
+    SweepSpec,
 };
 use fmperf_ftlqn::examples::{das_woodside_system, DasWoodsideSystem};
 use fmperf_ftlqn::Configuration;
@@ -261,6 +264,176 @@ pub fn parse_bench_json(src: &str) -> Option<Vec<BenchRow>> {
     Some(rows)
 }
 
+/// One timed availability-sweep measurement (compile-once MTBDD vs
+/// repeated exact enumeration) for the machine-readable bench reports.
+///
+/// Unlike [`BenchRow`], the MTBDD cost is split into a one-off
+/// `compile_ns` and the per-sweep `eval_ns` so regressions in either
+/// phase are caught independently.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRow {
+    /// Case name (`perfect`, `centralized`, …).
+    pub case: String,
+    /// Number of fallible components.
+    pub fallible: usize,
+    /// Number of availability points swept.
+    pub points: usize,
+    /// Total frozen-diagram node count across CCF contexts.
+    pub nodes: usize,
+    /// Wall time to compile the MTBDD, nanoseconds (paid once).
+    pub compile_ns: u128,
+    /// Wall time to evaluate all `points` sweep rows, nanoseconds.
+    pub eval_ns: u128,
+    /// Wall time of `points` exact enumerations, nanoseconds.
+    pub enumerate_ns: u128,
+    /// `enumerate_ns / (compile_ns + eval_ns)`.
+    pub speedup: f64,
+    /// Number of distinct configurations in the compiled map.
+    pub configs: usize,
+}
+
+/// Times one case's availability sweep: compile the MTBDD once, sweep
+/// `points` availabilities of the first fallible component, and compare
+/// against paying `points` full exact enumerations.  Cross-checks the
+/// MTBDD distribution against the enumeration engine along the way.
+///
+/// # Panics
+///
+/// Panics on an unknown case name or if the engines disagree.
+pub fn measure_sweep(sys: &DasWoodsideSystem, case: &str, points: usize) -> SweepRow {
+    use std::time::Instant;
+    let graph = sys.fault_graph().expect("canonical model");
+    let (space, table) = match case {
+        "perfect" => (ComponentSpace::app_only(&sys.model), None),
+        _ => {
+            let mama = match case {
+                "centralized" => arch::centralized(sys, 0.1),
+                "distributed" => arch::distributed_as_published(sys, 0.1),
+                "distributed-as-drawn" => arch::distributed(sys, 0.1),
+                "hierarchical" => arch::hierarchical(sys, 0.1),
+                "network" => arch::network(sys, 0.1),
+                other => panic!("unknown case {other}"),
+            };
+            let space = ComponentSpace::build(&sys.model, &mama);
+            let table = KnowTable::build(&graph, &mama, &space);
+            (space, Some(table))
+        }
+    };
+    let mut analysis = Analysis::new(&graph, &space).with_unmonitored_known(case == "distributed");
+    if let Some(table) = &table {
+        analysis = analysis.with_knowledge(table);
+    }
+
+    let t0 = Instant::now();
+    let compiled = analysis.compile_mtbdd();
+    let compile_ns = t0.elapsed().as_nanos();
+
+    let reference = analysis.enumerate();
+    let dist = compiled.distribution();
+    assert_eq!(dist.len(), reference.len(), "{case}: config sets differ");
+    assert!(
+        dist.max_abs_diff(&reference) < 1e-12,
+        "{case}: MTBDD disagrees with enumeration"
+    );
+
+    let spec = SweepSpec {
+        component: compiled.fallible_indices()[0],
+        from: 0.5,
+        to: 1.0,
+        steps: points,
+        threads: 4,
+    };
+    let t0 = Instant::now();
+    let pts = sweep(&compiled, &spec).expect("canonical sweep spec");
+    let eval_ns = t0.elapsed().as_nanos();
+    assert_eq!(pts.len(), points);
+
+    let t0 = Instant::now();
+    for _ in 0..points {
+        std::hint::black_box(analysis.enumerate());
+    }
+    let enumerate_ns = t0.elapsed().as_nanos();
+
+    SweepRow {
+        case: case.to_string(),
+        fallible: space.fallible_indices().len(),
+        points,
+        nodes: compiled.node_count(),
+        compile_ns,
+        eval_ns,
+        enumerate_ns,
+        speedup: enumerate_ns as f64 / (compile_ns + eval_ns).max(1) as f64,
+        configs: compiled.configurations().len(),
+    }
+}
+
+/// Renders sweep rows as the `BENCH_sweep.json` document (same flat
+/// one-object-per-line scheme as [`render_bench_json`]).
+pub fn render_sweep_json(rows: &[SweepRow]) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    s.push_str("{\n  \"criterion\": \"sweep\",\n  \"cases\": [\n");
+    for (ix, r) in rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"case\": \"{}\", \"fallible\": {}, \"points\": {}, \
+             \"nodes\": {}, \"compile_ns\": {}, \"eval_ns\": {}, \
+             \"enumerate_ns\": {}, \"speedup\": {:.2}, \"configs\": {}}}",
+            r.case,
+            r.fallible,
+            r.points,
+            r.nodes,
+            r.compile_ns,
+            r.eval_ns,
+            r.enumerate_ns,
+            r.speedup,
+            r.configs
+        );
+        s.push_str(if ix + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Parses a `render_sweep_json` document back into rows.
+pub fn parse_sweep_json(src: &str) -> Option<Vec<SweepRow>> {
+    fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        let tag = format!("\"{key}\": ");
+        let start = line.find(&tag)? + tag.len();
+        let rest = &line[start..];
+        let end = rest.find([',', '}'])?;
+        Some(rest[..end].trim().trim_matches('"'))
+    }
+    let mut rows = Vec::new();
+    for line in src.lines() {
+        let line = line.trim();
+        if !line.starts_with("{\"case\"") {
+            continue;
+        }
+        rows.push(SweepRow {
+            case: field(line, "case")?.to_string(),
+            fallible: field(line, "fallible")?.parse().ok()?,
+            points: field(line, "points")?.parse().ok()?,
+            nodes: field(line, "nodes")?.parse().ok()?,
+            compile_ns: field(line, "compile_ns")?.parse().ok()?,
+            eval_ns: field(line, "eval_ns")?.parse().ok()?,
+            enumerate_ns: field(line, "enumerate_ns")?.parse().ok()?,
+            speedup: field(line, "speedup")?.parse().ok()?,
+            configs: field(line, "configs")?.parse().ok()?,
+        });
+    }
+    Some(rows)
+}
+
+/// Extracts the `"criterion"` tag of a bench report, distinguishing the
+/// enumeration and sweep schemas for `benchcheck`.
+pub fn report_criterion(src: &str) -> Option<String> {
+    let tag = "\"criterion\": \"";
+    let start = src.find(tag)? + tag.len();
+    let rest = &src[start..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
 /// Short, paper-style label (C1..C6 / failed) for a configuration of the
 /// paper system, based on which chains run and which server serves them.
 pub fn short_label(sys: &DasWoodsideSystem, c: &Configuration) -> String {
@@ -329,6 +502,29 @@ mod tests {
             assert_eq!(p.states, r.states);
             assert_eq!(p.naive_ns, r.naive_ns);
             assert_eq!(p.compiled_ns, r.compiled_ns);
+            assert_eq!(p.configs, r.configs);
+        }
+    }
+
+    #[test]
+    fn sweep_json_round_trips() {
+        let sys = paper_system();
+        let rows = vec![
+            measure_sweep(&sys, "perfect", 3),
+            measure_sweep(&sys, "centralized", 3),
+        ];
+        assert!(rows.iter().all(|r| r.nodes > 0 && r.configs > 0));
+        let json = render_sweep_json(&rows);
+        assert_eq!(report_criterion(&json).as_deref(), Some("sweep"));
+        let parsed = parse_sweep_json(&json).expect("own output parses");
+        assert_eq!(parsed.len(), rows.len());
+        for (p, r) in parsed.iter().zip(&rows) {
+            assert_eq!(p.case, r.case);
+            assert_eq!(p.points, r.points);
+            assert_eq!(p.nodes, r.nodes);
+            assert_eq!(p.compile_ns, r.compile_ns);
+            assert_eq!(p.eval_ns, r.eval_ns);
+            assert_eq!(p.enumerate_ns, r.enumerate_ns);
             assert_eq!(p.configs, r.configs);
         }
     }

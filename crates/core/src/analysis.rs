@@ -98,9 +98,10 @@ impl<'a> Analysis<'a> {
     /// probabilities.
     ///
     /// Runs through the compiled bitmask kernel
-    /// ([`Analysis::compile`]) when the analysis is compilable (always,
-    /// for realistic models), falling back to the naive reference scan
-    /// otherwise.  Both paths return bit-identical distributions.
+    /// ([`Analysis::compile`]) when compilation can amortise (see
+    /// [`prefers_compiled`](Analysis::prefers_compiled)), falling back
+    /// to the naive reference scan otherwise.  Both paths return
+    /// bit-identical distributions.
     ///
     /// # Panics
     ///
@@ -109,8 +110,25 @@ impl<'a> Analysis<'a> {
     /// [`symbolic`](Analysis::symbolic) instead).
     pub fn enumerate(&self) -> ConfigDistribution {
         match self.compile() {
-            Some(kernel) => kernel.enumerate(),
-            None => self.enumerate_naive(),
+            Some(kernel) if self.prefers_compiled() => kernel.enumerate(),
+            _ => self.enumerate_naive(),
+        }
+    }
+
+    /// Should [`enumerate`](Analysis::enumerate) run the compiled kernel
+    /// rather than the naive scan?
+    ///
+    /// The kernel's win comes from compiling the know table to mask lists
+    /// and memoising service decisions; under perfect knowledge there is
+    /// no know table to compile away, and on tiny state spaces the
+    /// compile/memoisation overhead exceeds the scan itself (the paper's
+    /// perfect case, `2^8` states, ran at 0.84× of naive).  So: any MAMA
+    /// knowledge table prefers the kernel, and perfect knowledge prefers
+    /// it only past `2^10` states.
+    pub fn prefers_compiled(&self) -> bool {
+        match self.knowledge {
+            Knowledge::Mama(_) => true,
+            Knowledge::Perfect => self.space.fallible_indices().len() > 10,
         }
     }
 
@@ -130,8 +148,8 @@ impl<'a> Analysis<'a> {
     /// all members down (see [`crate::ccf`]).
     pub fn enumerate_with_dependencies(&self, deps: &FailureDependencies) -> ConfigDistribution {
         match self.compile() {
-            Some(kernel) => kernel.enumerate_with_dependencies(deps),
-            None => self.enumerate_naive_with_dependencies(deps),
+            Some(kernel) if self.prefers_compiled() => kernel.enumerate_with_dependencies(deps),
+            _ => self.enumerate_naive_with_dependencies(deps),
         }
     }
 
@@ -350,6 +368,38 @@ mod tests {
         // The lax policy can only help coverage: failure probability must
         // not increase.
         assert!(lax.failed_probability() <= strict.failed_probability() + 1e-12);
+    }
+
+    #[test]
+    fn engine_crossover_heuristic() {
+        let sys = das_woodside_system();
+        let graph = sys.fault_graph().unwrap();
+        // Perfect knowledge over the 2^8 application space: no know table
+        // to compile away, the kernel cannot amortise — naive is chosen.
+        let app_space = ComponentSpace::app_only(&sys.model);
+        let small = Analysis::new(&graph, &app_space);
+        assert!(!small.prefers_compiled());
+        // The same perfect knowledge over the full centralized component
+        // space (2^14 states) crosses over to the kernel.
+        let mama = arch::centralized(&sys, 0.1);
+        let space = ComponentSpace::build(&sys.model, &mama);
+        let large = Analysis::new(&graph, &space);
+        assert!(large.state_space_size() > (1 << 10));
+        assert!(large.prefers_compiled());
+        // Any MAMA knowledge table always prefers the kernel.
+        let table = KnowTable::build(&graph, &mama, &space);
+        assert!(Analysis::new(&graph, &space)
+            .with_knowledge(&table)
+            .prefers_compiled());
+        // Whichever engine is picked, the result is bit-identical to the
+        // other one.
+        let via_enumerate = small.enumerate();
+        let via_kernel = small.compile().expect("compilable").enumerate();
+        assert_eq!(via_enumerate.ranked(), via_kernel.ranked());
+        assert_eq!(
+            via_enumerate.failed_probability(),
+            via_kernel.failed_probability()
+        );
     }
 
     #[test]

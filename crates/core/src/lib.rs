@@ -18,6 +18,13 @@
 //!   compiled to BDDs over the management components, making the cost
 //!   `2^(application components)` × small BDD work instead of
 //!   `2^(all components)`.
+//! * [`compile_mtbdd`](Analysis::compile_mtbdd) — the compile-once MTBDD
+//!   engine: the complete state→configuration map as one multi-terminal
+//!   BDD per common-cause context, after which *any* availability vector
+//!   costs a single pass linear in the diagram ([`sweep`] drives
+//!   paper-style availability curves over it, and
+//!   [`sensitivity_mtbdd`](sensitivity::sensitivity_mtbdd) reads exact
+//!   derivatives off the co-factors).
 //! * [`monte_carlo`](Analysis::monte_carlo) — sampling estimator for
 //!   models beyond exact reach.
 //! * [`solve_configurations`] / [`expected_reward`] — step 5/6: solve an
@@ -60,10 +67,13 @@ pub mod compiled;
 pub mod ctmc;
 pub mod delay;
 pub mod distribution;
+pub(crate) mod know_guards;
 pub mod montecarlo;
+pub mod mtbdd_engine;
 pub mod report;
 pub mod reward;
 pub mod sensitivity;
+pub mod sweep;
 pub mod symbolic;
 
 pub use analysis::{Analysis, Knowledge};
@@ -74,6 +84,8 @@ pub use ctmc::{Ctmc, CtmcError};
 pub use delay::{ComponentDelayCycle, ComponentDelayReport, DelayModel};
 pub use distribution::ConfigDistribution;
 pub use montecarlo::MonteCarloOptions;
+pub use mtbdd_engine::CompiledMtbdd;
 pub use report::{ReportRow, StudyReport};
 pub use reward::{expected_reward, solve_configurations, ConfigPerformance, RewardSpec};
-pub use sensitivity::sensitivity;
+pub use sensitivity::{sensitivity, sensitivity_mtbdd};
+pub use sweep::{availability_points, sweep, SweepError, SweepPoint, SweepSpec};

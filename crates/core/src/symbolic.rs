@@ -24,11 +24,10 @@
 //!
 //! [`ServiceDecision`]: fmperf_ftlqn::faultgraph::ServiceDecision
 
-use crate::analysis::{Analysis, Knowledge};
+use crate::analysis::Analysis;
 use crate::distribution::ConfigDistribution;
+use crate::know_guards::{GuardBuilder, KnowCache};
 use fmperf_bdd::{Bdd, NodeRef};
-use fmperf_ftlqn::{Component, FtTaskId, KnowPolicy};
-use std::collections::BTreeMap;
 
 impl Analysis<'_> {
     /// Computes the exact configuration distribution symbolically (see
@@ -55,7 +54,8 @@ impl Analysis<'_> {
         );
 
         let mut bdd = Bdd::new(space.len());
-        let mut know_cache: BTreeMap<(Component, FtTaskId), NodeRef> = BTreeMap::new();
+        let guards = GuardBuilder::new(self);
+        let mut know_cache: KnowCache<NodeRef> = KnowCache::new();
         let up_probs: Vec<f64> = (0..space.len()).map(|ix| space.up_prob(ix)).collect();
 
         let mut dist = ConfigDistribution::new();
@@ -94,37 +94,7 @@ impl Analysis<'_> {
                 let mut g = NodeRef::TRUE;
                 for (s, decision) in decisions.iter().enumerate() {
                     let Some(d) = decision else { continue };
-                    let mut guard = self.know_conjunction(
-                        &mut bdd,
-                        &mut know_cache,
-                        d.up_support.iter(),
-                        d.decider,
-                    );
-                    for (_, failed) in &d.skipped {
-                        let clause = if failed.is_empty() {
-                            // Unattributable failure: unknowable.
-                            NodeRef::FALSE
-                        } else {
-                            match self.policy {
-                                KnowPolicy::AllFailedComponents => self.know_conjunction(
-                                    &mut bdd,
-                                    &mut know_cache,
-                                    failed.iter(),
-                                    d.decider,
-                                ),
-                                KnowPolicy::AnyFailedComponent => {
-                                    let mut any = NodeRef::FALSE;
-                                    for &c in failed {
-                                        let k =
-                                            self.know_bdd(&mut bdd, &mut know_cache, c, d.decider);
-                                        any = bdd.or(any, k);
-                                    }
-                                    any
-                                }
-                            }
-                        };
-                        guard = bdd.and(guard, clause);
-                    }
+                    let guard = guards.decision_guard(&mut bdd, &mut know_cache, d);
                     let signed = if outcomes[s] { guard } else { bdd.not(guard) };
                     g = bdd.and(g, signed);
                     if g.is_false() {
@@ -148,69 +118,13 @@ impl Analysis<'_> {
         dist.set_states_explored(n_app_states);
         dist
     }
-
-    /// AND of `know(c, decider)` BDDs over a component set.
-    fn know_bdd(
-        &self,
-        bdd: &mut Bdd,
-        cache: &mut BTreeMap<(Component, FtTaskId), NodeRef>,
-        component: Component,
-        decider: FtTaskId,
-    ) -> NodeRef {
-        if let Some(&k) = cache.get(&(component, decider)) {
-            return k;
-        }
-        let unreachable_value = if self.unmonitored_known {
-            NodeRef::TRUE
-        } else {
-            NodeRef::FALSE
-        };
-        let k = match self.knowledge {
-            Knowledge::Perfect => NodeRef::TRUE,
-            Knowledge::Mama(table) => match table.get(component, decider) {
-                None => unreachable_value,
-                Some(f) if f.is_never() => unreachable_value,
-                Some(f) => {
-                    let mut or = NodeRef::FALSE;
-                    for path in &f.paths {
-                        let mut and = NodeRef::TRUE;
-                        for &ix in path {
-                            let v = bdd.var(ix);
-                            and = bdd.and(and, v);
-                        }
-                        or = bdd.or(or, and);
-                    }
-                    or
-                }
-            },
-        };
-        cache.insert((component, decider), k);
-        k
-    }
-
-    fn know_conjunction<'c>(
-        &self,
-        bdd: &mut Bdd,
-        cache: &mut BTreeMap<(Component, FtTaskId), NodeRef>,
-        components: impl Iterator<Item = &'c Component>,
-        decider: FtTaskId,
-    ) -> NodeRef {
-        let mut acc = NodeRef::TRUE;
-        for &c in components {
-            let k = self.know_bdd(bdd, cache, c, decider);
-            acc = bdd.and(acc, k);
-            if acc.is_false() {
-                break;
-            }
-        }
-        acc
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use fmperf_ftlqn::examples::das_woodside_system;
+    use fmperf_ftlqn::KnowPolicy;
     use fmperf_mama::{arch, ComponentSpace, KnowTable};
 
     #[test]

@@ -1,16 +1,22 @@
 //! Cost, reward and feasibility lint passes: FM201–FM212.
 
 use crate::{Diagnostic, LintCode, Severity};
-use fmperf_mama::ComponentSpace;
+use fmperf_ftlqn::FaultGraph;
+use fmperf_mama::{ComponentSpace, KnowTable};
 use fmperf_text::ParsedModel;
 
 /// Fallible-component count from which exhaustive `2^N` enumeration is
 /// flagged as a warning rather than a note.
 const BLOWUP_BITS: usize = 20;
 
+/// Fallible-component count from which the compile-once MTBDD engine is
+/// suggested for repeated (sweep / what-if / sensitivity) evaluation.
+const MTBDD_SUGGEST_BITS: usize = 12;
+
 pub(crate) fn run(m: &ParsedModel, valid: bool, out: &mut Vec<Diagnostic>) {
     if valid {
         state_space(m, out);
+        engine_suggestion(m, out);
     }
     reward_weights(m, out);
     saturated_users(m, out);
@@ -46,6 +52,45 @@ fn state_space(m: &ParsedModel, out: &mut Vec<Diagnostic>) {
             format!("model has {n} fallible components: {states} global states"),
         )
         .with_help(help),
+    );
+}
+
+/// FM202: MTBDD-engine suitability estimate.
+///
+/// Every exact enumeration pays its `2^N` scan again for each
+/// availability vector; from [`MTBDD_SUGGEST_BITS`] fallible components
+/// on, re-solving (sweeps, sensitivity studies, what-if analyses) is
+/// better served by compiling the state→configuration map once.  The
+/// note also reports the service-guard width — how many `(component,
+/// deciding task)` know pairs the guards span — as a rough proxy for
+/// diagram size.
+fn engine_suggestion(m: &ParsedModel, out: &mut Vec<Diagnostic>) {
+    let space = ComponentSpace::build(&m.app, &m.mama);
+    let n = space.fallible_indices().len();
+    if n < MTBDD_SUGGEST_BITS {
+        return;
+    }
+    let Ok(graph) = FaultGraph::build(&m.app) else {
+        return;
+    };
+    let pairs = KnowTable::build(&graph, &m.mama, &space).len();
+    out.push(
+        Diagnostic::new(
+            LintCode::EngineSuggestion,
+            Severity::Note,
+            None,
+            format!(
+                "model has {n} fallible components: every exact enumeration \
+                 re-visits 2^{n} states per availability vector (know guards \
+                 span {pairs} (component, task) pairs)"
+            ),
+        )
+        .with_help(
+            "for sweeps and repeated what-if evaluation, compile once with the \
+             MTBDD engine (`fmperf sweep`, `Analysis::compile_mtbdd`): each \
+             further availability vector then costs one pass linear in the \
+             diagram",
+        ),
     );
 }
 

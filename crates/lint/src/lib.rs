@@ -22,6 +22,7 @@
 //! | FM112 | warning  | management task attached to no connector |
 //! | FM113 | warning  | management task collects status it can never deliver |
 //! | FM201 | note/warning | state-space size estimate (warning from 2^20 states) |
+//! | FM202 | note     | large model: the compile-once MTBDD engine pays off for repeated evaluation |
 //! | FM210 | warning  | reward weight is zero or negative |
 //! | FM211 | warning  | reward names a user group with zero think time (saturated) |
 //! | FM212 | note     | model declares no reward weights |
@@ -105,6 +106,9 @@ pub enum LintCode {
     KnowledgeDeadEnd,
     /// FM201: state-space size estimate for exhaustive enumeration.
     StateSpace,
+    /// FM202: the model is large enough that the compile-once MTBDD
+    /// engine pays off for repeated evaluation (sweeps, sensitivities).
+    EngineSuggestion,
     /// FM210: a reward weight is zero or negative.
     BadRewardWeight,
     /// FM211: a reward names a user group with zero think time.
@@ -115,7 +119,7 @@ pub enum LintCode {
 
 impl LintCode {
     /// Every code, in numeric order.
-    pub const ALL: [LintCode; 15] = [
+    pub const ALL: [LintCode; 16] = [
         LintCode::AppInvalid,
         LintCode::UnreachableEntry,
         LintCode::DeadAlternative,
@@ -128,6 +132,7 @@ impl LintCode {
         LintCode::IdleMgmtTask,
         LintCode::KnowledgeDeadEnd,
         LintCode::StateSpace,
+        LintCode::EngineSuggestion,
         LintCode::BadRewardWeight,
         LintCode::SaturatedUsers,
         LintCode::NoReward,
@@ -148,6 +153,7 @@ impl LintCode {
             LintCode::IdleMgmtTask => "FM112",
             LintCode::KnowledgeDeadEnd => "FM113",
             LintCode::StateSpace => "FM201",
+            LintCode::EngineSuggestion => "FM202",
             LintCode::BadRewardWeight => "FM210",
             LintCode::SaturatedUsers => "FM211",
             LintCode::NoReward => "FM212",

@@ -2,21 +2,31 @@
 //! render DOT diagrams, and canonicalise model files.
 //!
 //! ```text
-//! fmperf analyze <model.fmp> [--engine enumerate|parallel|symbolic|montecarlo]
+//! fmperf analyze <model.fmp> [--engine enumerate|parallel|symbolic|mtbdd|montecarlo]
 //!                            [--samples N] [--policy any|all]
 //!                            [--unmonitored-known] [--threads N]
+//! fmperf sweep   <model.fmp> --component <name> [--from A] [--to B] [--steps N]
+//!                            [--json] [--policy any|all] [--unmonitored-known]
+//!                            [--threads N]
 //! fmperf lint    <model.fmp> [--format text|json] [--deny warnings]
 //! fmperf check   <model.fmp> [--deny warnings]
 //! fmperf dot     <model.fmp> fault|mama|knowledge
 //! fmperf fmt     <model.fmp>
 //! ```
 //!
+//! `sweep` compiles the model's state→configuration map into a
+//! multi-terminal BDD once, then evaluates the configuration
+//! distribution (and expected reward, when the model declares rewards)
+//! at every availability point with one linear pass each.
+//!
 //! `lint` and `check` exit non-zero when any error-level diagnostic is
 //! present (or any warning under `--deny warnings`); `analyze` refuses
 //! to run on a model with lint errors.  Failing lint reports go to
 //! stderr, passing ones to stdout.
 
-use fmperf::core::{solve_configurations, Analysis, MonteCarloOptions, RewardSpec, StudyReport};
+use fmperf::core::{
+    solve_configurations, Analysis, MonteCarloOptions, RewardSpec, StudyReport, SweepSpec,
+};
 use fmperf::ftlqn::{FaultGraph, KnowPolicy};
 use fmperf::lint::Severity;
 use fmperf::mama::{ComponentSpace, KnowTable, KnowledgeGraph};
@@ -24,9 +34,12 @@ use fmperf::text::{parse, parse_lenient, write_model, LenientParse, ParsedModel}
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
-  fmperf analyze <model.fmp> [--engine enumerate|parallel|symbolic|montecarlo]
+  fmperf analyze <model.fmp> [--engine enumerate|parallel|symbolic|mtbdd|montecarlo]
                              [--samples N] [--policy any|all]
                              [--unmonitored-known] [--threads N]
+  fmperf sweep   <model.fmp> --component <name> [--from A] [--to B] [--steps N]
+                             [--json] [--policy any|all] [--unmonitored-known]
+                             [--threads N]
   fmperf lint    <model.fmp> [--format text|json] [--deny warnings]
   fmperf check   <model.fmp> [--deny warnings]
   fmperf dot     <model.fmp> fault|mama|knowledge
@@ -141,6 +154,71 @@ fn run(args: &[String]) -> Result<String, String> {
             };
             analyze(&parsed.model, &opts).map(|out| header + &out)
         }
+        Some("sweep") => {
+            let path = it.next().ok_or(USAGE)?;
+            let mut opts = SweepOptions {
+                component: None,
+                from: 0.5,
+                to: 1.0,
+                steps: 11,
+                threads: 4,
+                json: false,
+                policy: KnowPolicy::AnyFailedComponent,
+                unmonitored_known: false,
+            };
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--component" => {
+                        opts.component =
+                            Some(it.next().ok_or("--component needs a value")?.to_string());
+                    }
+                    "--from" => {
+                        opts.from = it
+                            .next()
+                            .ok_or("--from needs a value")?
+                            .parse()
+                            .map_err(|_| "bad --from value")?;
+                    }
+                    "--to" => {
+                        opts.to = it
+                            .next()
+                            .ok_or("--to needs a value")?
+                            .parse()
+                            .map_err(|_| "bad --to value")?;
+                    }
+                    "--steps" => {
+                        opts.steps = it
+                            .next()
+                            .ok_or("--steps needs a value")?
+                            .parse()
+                            .map_err(|_| "bad --steps value")?;
+                    }
+                    "--threads" => {
+                        opts.threads = it
+                            .next()
+                            .ok_or("--threads needs a value")?
+                            .parse()
+                            .map_err(|_| "bad --threads value")?;
+                    }
+                    "--json" => opts.json = true,
+                    "--policy" => {
+                        opts.policy = match it.next().ok_or("--policy needs a value")? {
+                            "any" => KnowPolicy::AnyFailedComponent,
+                            "all" => KnowPolicy::AllFailedComponents,
+                            other => return Err(format!("unknown policy `{other}`")),
+                        };
+                    }
+                    "--unmonitored-known" => opts.unmonitored_known = true,
+                    other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+                }
+            }
+            let parsed = load_lenient(path)?;
+            let diags = fmperf::lint::lint(&parsed);
+            if fmperf::lint::count(&diags, Severity::Error) > 0 {
+                return Err(fmperf::lint::render_text(path, &diags));
+            }
+            sweep_cmd(&parsed.model, &opts)
+        }
         Some("lint") => {
             let path = it.next().ok_or(USAGE)?;
             let mut json = false;
@@ -196,7 +274,7 @@ fn run(args: &[String]) -> Result<String, String> {
                 return Err(fmperf::lint::render_text(path, &diags));
             }
             let m = &parsed.model;
-            Ok(format!(
+            let mut out = format!(
                 "{path}: ok ({} tasks, {} entries, {} services, {} mgmt components, \
                  {} connectors); lint: {warns} warning(s), {} note(s)\n",
                 m.app.task_count(),
@@ -205,7 +283,17 @@ fn run(args: &[String]) -> Result<String, String> {
                 m.mama.component_count(),
                 m.mama.connector_count(),
                 fmperf::lint::count(&diags, Severity::Note),
-            ))
+            );
+            // Surface the engine-suitability note (FM202) directly: on
+            // large models, `check` is the natural place to learn that
+            // sweeps should go through the compiled MTBDD engine.
+            for d in diags
+                .iter()
+                .filter(|d| d.code == fmperf::lint::LintCode::EngineSuggestion)
+            {
+                out.push_str(&format!("{d}\n"));
+            }
+            Ok(out)
         }
         Some("dot") => {
             let path = it.next().ok_or(USAGE)?;
@@ -254,6 +342,7 @@ fn analyze(m: &ParsedModel, opts: &AnalyzeOptions) -> Result<String, String> {
         "enumerate" => analysis.enumerate(),
         "parallel" => analysis.enumerate_parallel(opts.threads),
         "symbolic" => analysis.symbolic(),
+        "mtbdd" => analysis.compile_mtbdd().distribution(),
         "montecarlo" => analysis.monte_carlo(MonteCarloOptions {
             samples: opts.samples,
             seed: 0xF00D,
@@ -282,6 +371,144 @@ fn analyze(m: &ParsedModel, opts: &AnalyzeOptions) -> Result<String, String> {
         let report = StudyReport::new(&m.app, &dist, &perfs, &spec);
         out.push_str("\nreward report:\n");
         out.push_str(&format!("{report}"));
+    }
+    Ok(out)
+}
+
+/// Options of the `sweep` subcommand.
+struct SweepOptions {
+    component: Option<String>,
+    from: f64,
+    to: f64,
+    steps: usize,
+    threads: usize,
+    json: bool,
+    policy: KnowPolicy,
+    unmonitored_known: bool,
+}
+
+fn sweep_cmd(m: &ParsedModel, opts: &SweepOptions) -> Result<String, String> {
+    let name = opts
+        .component
+        .as_deref()
+        .ok_or("sweep needs --component <name>")?;
+    let graph = FaultGraph::build(&m.app).map_err(|e| e.to_string())?;
+    let has_mama = m.mama.component_count() > 0;
+    let space = if has_mama {
+        ComponentSpace::build(&m.app, &m.mama)
+    } else {
+        ComponentSpace::app_only(&m.app)
+    };
+    let table;
+    let mut analysis = Analysis::new(&graph, &space)
+        .with_policy(opts.policy)
+        .with_unmonitored_known(opts.unmonitored_known);
+    if has_mama {
+        table = KnowTable::build(&graph, &m.mama, &space);
+        analysis = analysis.with_knowledge(&table);
+    }
+    let component = (0..space.len())
+        .find(|&ix| space.name(ix) == name)
+        .ok_or_else(|| format!("unknown component `{name}`"))?;
+
+    let compiled = analysis.compile_mtbdd();
+    let spec = SweepSpec {
+        component,
+        from: opts.from,
+        to: opts.to,
+        steps: opts.steps,
+        threads: opts.threads,
+    };
+    let points = fmperf::core::sweep(&compiled, &spec).map_err(|e| e.to_string())?;
+
+    // Configurations never change across the sweep, so the per-config
+    // LQN solves happen exactly once.
+    let rewards: Option<Vec<f64>> = if m.rewards.is_empty() {
+        None
+    } else {
+        let perfs =
+            solve_configurations(&m.app, compiled.configurations()).map_err(|e| e.to_string())?;
+        let mut spec = RewardSpec::new();
+        for &(t, w) in &m.rewards {
+            spec = spec.weight(t, w);
+        }
+        Some(perfs.iter().map(|p| spec.reward(p)).collect())
+    };
+    let failed_of = |probs: &[f64]| -> f64 {
+        compiled
+            .configurations()
+            .iter()
+            .zip(probs)
+            .filter(|(c, _)| c.is_failed())
+            .map(|(_, &p)| p)
+            .sum()
+    };
+    let reward_of = |probs: &[f64]| -> Option<f64> {
+        rewards
+            .as_ref()
+            .map(|r| probs.iter().zip(r).map(|(p, w)| p * w).sum())
+    };
+
+    let mut out = String::new();
+    if opts.json {
+        out.push_str("{\n");
+        out.push_str(&format!("  \"component\": \"{name}\",\n"));
+        out.push_str(&format!(
+            "  \"from\": {}, \"to\": {}, \"steps\": {},\n",
+            opts.from, opts.to, opts.steps
+        ));
+        out.push_str(&format!(
+            "  \"nodes\": {}, \"configurations\": {},\n",
+            compiled.node_count(),
+            compiled.configurations().len()
+        ));
+        out.push_str("  \"points\": [\n");
+        for (i, pt) in points.iter().enumerate() {
+            let comma = if i + 1 < points.len() { "," } else { "" };
+            match reward_of(&pt.probabilities) {
+                Some(r) => out.push_str(&format!(
+                    "    {{\"availability\": {}, \"failed\": {}, \"reward\": {}}}{comma}\n",
+                    pt.availability,
+                    failed_of(&pt.probabilities),
+                    r
+                )),
+                None => out.push_str(&format!(
+                    "    {{\"availability\": {}, \"failed\": {}}}{comma}\n",
+                    pt.availability,
+                    failed_of(&pt.probabilities)
+                )),
+            }
+        }
+        out.push_str("  ]\n}\n");
+    } else {
+        out.push_str(&format!(
+            "sweep `{name}` availability {} → {} in {} steps \
+             (compiled MTBDD: {} nodes, {} configurations)\n\n",
+            opts.from,
+            opts.to,
+            opts.steps,
+            compiled.node_count(),
+            compiled.configurations().len()
+        ));
+        match rewards {
+            Some(_) => out.push_str("availability    P[failed]       reward\n"),
+            None => out.push_str("availability    P[failed]\n"),
+        }
+        for pt in &points {
+            match reward_of(&pt.probabilities) {
+                Some(r) => out.push_str(&format!(
+                    "{:>12.6} {:>12.6} {:>12.6}\n",
+                    pt.availability,
+                    failed_of(&pt.probabilities),
+                    r
+                )),
+                None => out.push_str(&format!(
+                    "{:>12.6} {:>12.6}\n",
+                    pt.availability,
+                    failed_of(&pt.probabilities)
+                )),
+            }
+        }
     }
     Ok(out)
 }
@@ -339,6 +566,79 @@ mod tests {
         // Same configuration table (states line differs).
         let tail = |s: &str| s.split("configurations:").nth(1).unwrap().to_string();
         assert_eq!(tail(&a), tail(&b));
+    }
+
+    #[test]
+    fn mtbdd_engine_matches_enumerate() {
+        let (a, b) = with_model(|p| {
+            let a = run(&[
+                "analyze".into(),
+                p.into(),
+                "--engine".into(),
+                "mtbdd".into(),
+            ])
+            .unwrap();
+            let b = run(&["analyze".into(), p.into()]).unwrap();
+            (a, b)
+        });
+        let tail = |s: &str| s.split("configurations:").nth(1).unwrap().to_string();
+        assert_eq!(tail(&a), tail(&b));
+    }
+
+    #[test]
+    fn sweep_text_output() {
+        let out = with_model(|p| {
+            run(&[
+                "sweep".into(),
+                p.into(),
+                "--component".into(),
+                "s".into(),
+                "--from".into(),
+                "0.5".into(),
+                "--to".into(),
+                "1".into(),
+                "--steps".into(),
+                "3".into(),
+            ])
+        })
+        .unwrap();
+        assert!(out.contains("compiled MTBDD"), "{out}");
+        assert!(out.contains("reward"), "{out}");
+        // Three data rows after the header.
+        assert_eq!(out.lines().filter(|l| l.starts_with("    ")).count(), 3);
+    }
+
+    #[test]
+    fn sweep_json_output() {
+        let out = with_model(|p| {
+            run(&[
+                "sweep".into(),
+                p.into(),
+                "--component".into(),
+                "p1".into(),
+                "--steps".into(),
+                "2".into(),
+                "--json".into(),
+            ])
+        })
+        .unwrap();
+        assert!(out.contains("\"component\": \"p1\""), "{out}");
+        assert!(out.contains("\"points\": ["), "{out}");
+        assert!(out.contains("\"reward\""), "{out}");
+    }
+
+    #[test]
+    fn sweep_rejects_unknown_component() {
+        let err = with_model(|p| {
+            run(&[
+                "sweep".into(),
+                p.into(),
+                "--component".into(),
+                "nope".into(),
+            ])
+        })
+        .unwrap_err();
+        assert!(err.contains("unknown component"), "{err}");
     }
 
     #[test]

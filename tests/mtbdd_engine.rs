@@ -1,0 +1,224 @@
+//! Differential properties of the compiled MTBDD engine: on every
+//! shipped `models/*.fmp` file its distribution and reward sensitivities
+//! must agree with the enumeration engine, and on randomly synthesised
+//! management planes its distribution must match the compiled bitmask
+//! kernel under every policy and knowledge default.
+
+use fmperf::core::{sensitivity, sensitivity_mtbdd, Analysis, RewardSpec};
+use fmperf::ftlqn::{FaultGraph, FtlqnModel, KnowPolicy, RequestTarget};
+use fmperf::lqn::Multiplicity;
+use fmperf::mama::{synthesize, ComponentSpace, KnowTable, SynthOptions};
+use fmperf::text::parse;
+use proptest::prelude::*;
+
+/// Every shipped model file with its knowledge default
+/// (`paper-distributed-as-published` uses the paper's published
+/// unmonitored-exempt semantics).
+const MODELS: [(&str, bool); 5] = [
+    ("paper-centralized.fmp", false),
+    ("paper-distributed-as-drawn.fmp", false),
+    ("paper-distributed-as-published.fmp", true),
+    ("paper-hierarchical.fmp", false),
+    ("paper-network.fmp", false),
+];
+
+fn load(name: &str) -> fmperf::text::ParsedModel {
+    let path = format!("{}/models/{name}", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    parse(&src).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+fn with_analysis<R>(
+    m: &fmperf::text::ParsedModel,
+    unmonitored: bool,
+    f: impl FnOnce(&Analysis<'_>) -> R,
+) -> R {
+    let graph = FaultGraph::build(&m.app).unwrap();
+    let space = ComponentSpace::build(&m.app, &m.mama);
+    let table = KnowTable::build(&graph, &m.mama, &space);
+    let analysis = Analysis::new(&graph, &space)
+        .with_knowledge(&table)
+        .with_unmonitored_known(unmonitored);
+    f(&analysis)
+}
+
+#[test]
+fn mtbdd_distribution_matches_enumeration_on_every_model_file() {
+    for (name, unmonitored) in MODELS {
+        let m = load(name);
+        with_analysis(&m, unmonitored, |analysis| {
+            let compiled = analysis.compile_mtbdd();
+            let dist = compiled.distribution();
+            let reference = analysis.enumerate();
+            assert_eq!(dist.len(), reference.len(), "{name}: config sets differ");
+            let diff = dist.max_abs_diff(&reference);
+            assert!(diff < 1e-12, "{name}: max abs diff {diff}");
+            assert!(
+                (dist.total_probability() - 1.0).abs() < 1e-12,
+                "{name}: does not normalise"
+            );
+        });
+    }
+}
+
+#[test]
+fn mtbdd_sensitivity_matches_enumerated_sensitivity_on_every_model_file() {
+    for (name, unmonitored) in MODELS {
+        let m = load(name);
+        let mut spec = RewardSpec::new();
+        for &(task, w) in &m.rewards {
+            spec = spec.weight(task, w);
+        }
+        assert!(!m.rewards.is_empty(), "{name}: needs reward declarations");
+        with_analysis(&m, unmonitored, |analysis| {
+            let reference = sensitivity(analysis, &spec).unwrap();
+            let symbolic = sensitivity_mtbdd(analysis, &spec).unwrap();
+            assert_eq!(
+                reference.derivatives.len(),
+                symbolic.derivatives.len(),
+                "{name}: fallible sets differ"
+            );
+            for (&(ia, da), &(ib, db)) in reference.derivatives.iter().zip(&symbolic.derivatives) {
+                assert_eq!(ia, ib, "{name}: component order differs");
+                assert!(
+                    (da - db).abs() < 1e-9,
+                    "{name}: component {ia}: {da} vs {db}"
+                );
+            }
+        });
+    }
+}
+
+/// Parameters drawn by proptest; the scenario is built deterministically
+/// from them (same shape as `tests/compiled_kernel.rs`).
+#[derive(Debug, Clone)]
+struct Params {
+    chains: usize,
+    servers: usize,
+    prefs: Vec<Vec<usize>>,
+    fail_app: Vec<f64>,
+    mgmt_fail: f64,
+    domains: usize,
+    hierarchical: bool,
+}
+
+fn params() -> impl Strategy<Value = Params> {
+    (
+        1usize..=2,
+        1usize..=2,
+        proptest::collection::vec(proptest::collection::vec(0usize..2, 2), 2),
+        proptest::collection::vec(0.0f64..0.4, 6),
+        0.0f64..0.4,
+        1usize..=3,
+        any::<bool>(),
+    )
+        .prop_map(
+            |(chains, servers, prefs, fail_app, mgmt_fail, domains, hierarchical)| Params {
+                chains,
+                servers,
+                prefs,
+                fail_app,
+                mgmt_fail,
+                domains,
+                hierarchical,
+            },
+        )
+}
+
+/// A layered application: user chains calling a priority service over a
+/// shared server pool.
+fn build_app(p: &Params) -> FtlqnModel {
+    let mut app = FtlqnModel::new();
+    let pc = app.add_processor("user-pc", 0.0, Multiplicity::Infinite);
+
+    let mut server_entries = Vec::new();
+    for s in 0..p.servers {
+        let proc = app.add_processor(
+            format!("sp{s}"),
+            p.fail_app[s % p.fail_app.len()],
+            Multiplicity::Finite(1),
+        );
+        let task = app.add_task(
+            format!("srv{s}"),
+            proc,
+            p.fail_app[(s + 1) % p.fail_app.len()],
+            Multiplicity::Finite(1),
+        );
+        server_entries.push(app.add_entry(format!("serve{s}"), task, 0.3 + 0.1 * s as f64));
+    }
+
+    for c in 0..p.chains {
+        let proc = app.add_processor(
+            format!("ap{c}"),
+            p.fail_app[(2 + c) % p.fail_app.len()],
+            Multiplicity::Finite(1),
+        );
+        let task = app.add_task(
+            format!("app{c}"),
+            proc,
+            p.fail_app[(4 + c) % p.fail_app.len()],
+            Multiplicity::Finite(1),
+        );
+        let users = app.add_reference_task(format!("users{c}"), pc, 0.0, 5, 1.0);
+        let e_u = app.add_entry(format!("u{c}"), users, 0.0);
+        let e_a = app.add_entry(format!("a{c}"), task, 0.2);
+        app.add_request(e_u, RequestTarget::Entry(e_a), 1.0, None);
+        let svc = app.add_service(format!("svc{c}"));
+        let mut used = Vec::new();
+        for &sx in &p.prefs[c] {
+            let sx = sx % p.servers;
+            if !used.contains(&sx) {
+                used.push(sx);
+                app.add_alternative(svc, server_entries[sx], None);
+            }
+        }
+        if used.is_empty() {
+            app.add_alternative(svc, server_entries[0], None);
+        }
+        app.add_request(e_a, RequestTarget::Service(svc), 1.0, None);
+    }
+    app.validate().expect("generated app model must validate");
+    app
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The MTBDD distribution equals the compiled bitmask kernel's (to
+    /// float associativity, with identical configuration sets) under
+    /// every policy and knowledge default, on every synthesised
+    /// management plane.
+    #[test]
+    fn mtbdd_distribution_equals_compiled_kernel(p in params()) {
+        let app = build_app(&p);
+        let mama = synthesize(&app, &SynthOptions {
+            mgmt_fail_prob: p.mgmt_fail,
+            domains: p.domains,
+            hierarchical: p.hierarchical,
+        });
+        mama.validate(&app).expect("synthesised plane must validate");
+        let graph = FaultGraph::build(&app).unwrap();
+        let space = ComponentSpace::build(&app, &mama);
+        let table = KnowTable::build(&graph, &mama, &space);
+        for policy in [KnowPolicy::AnyFailedComponent, KnowPolicy::AllFailedComponents] {
+            for unmonitored in [false, true] {
+                let analysis = Analysis::new(&graph, &space)
+                    .with_knowledge(&table)
+                    .with_policy(policy)
+                    .with_unmonitored_known(unmonitored);
+                let kernel = analysis.compile().expect("small models always compile");
+                let reference = kernel.enumerate();
+                let dist = analysis.compile_mtbdd().distribution();
+                prop_assert_eq!(
+                    dist.len(), reference.len(),
+                    "{:?}/unmonitored={}: config sets differ", policy, unmonitored
+                );
+                let diff = dist.max_abs_diff(&reference);
+                prop_assert!(
+                    diff < 1e-12,
+                    "{:?}/unmonitored={}: max abs diff {}", policy, unmonitored, diff
+                );
+            }
+        }
+    }
+}
