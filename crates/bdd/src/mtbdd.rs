@@ -91,6 +91,11 @@ pub struct Mtbdd {
     data_unique: HashMap<u64, MtRef>,
     ite_cache: HashMap<(MtRef, MtRef, MtRef), MtRef>,
     var_count: u32,
+    /// Decision-node allocation cap (`usize::MAX` = unlimited); see
+    /// [`set_node_limit`](Mtbdd::set_node_limit).
+    node_limit: usize,
+    /// Latches once an allocation was refused by the limit.
+    limit_hit: bool,
 }
 
 impl Mtbdd {
@@ -103,7 +108,28 @@ impl Mtbdd {
             data_unique: HashMap::new(),
             ite_cache: HashMap::new(),
             var_count: u32::try_from(var_count).expect("variable count exceeds u32"),
+            node_limit: usize::MAX,
+            limit_hit: false,
         }
+    }
+
+    /// Caps decision-node allocation for cooperative cancellation.
+    ///
+    /// Once `limit` decision nodes exist, further allocations are refused:
+    /// [`mk`](Mtbdd::mk) returns `FALSE` instead of a fresh node and
+    /// [`node_limit_hit`](Mtbdd::node_limit_hit) latches `true`.  The
+    /// truncated results are structurally valid diagrams but denote the
+    /// wrong function, so after the limit trips the manager's contents
+    /// must be discarded — the flag exists precisely so builders can poll
+    /// it between operations and abandon the compile.
+    pub fn set_node_limit(&mut self, limit: usize) {
+        self.node_limit = limit;
+    }
+
+    /// Has the node limit refused an allocation?  Once `true`, every
+    /// diagram built since is suspect and the manager should be dropped.
+    pub fn node_limit_hit(&self) -> bool {
+        self.limit_hit
     }
 
     /// Number of variables the manager was created with.
@@ -182,6 +208,14 @@ impl Mtbdd {
         let node = MtNode { var, lo, hi };
         if let Some(&r) = self.unique.get(&node) {
             return r;
+        }
+        if self.limit_hit || self.nodes.len() >= self.node_limit {
+            // Budget-exhausted: refuse the allocation and hand back a
+            // placeholder terminal (`FALSE` keeps the ordering invariant —
+            // terminals sort after every variable).  The caller observes
+            // `node_limit_hit()` and discards the manager.
+            self.limit_hit = true;
+            return MtRef::FALSE;
         }
         let r = MtRef(u32::try_from(self.nodes.len()).expect("node count exceeds u32"));
         assert!(r.0 & TERM_FLAG == 0, "node table full");
@@ -798,5 +832,31 @@ mod tests {
             }
         }
         assert!(frozen.batch_distributions(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn node_limit_latches_and_refuses_allocations() {
+        // Unlimited manager: the 2-bit counter needs 3 decision nodes.
+        let mut free = Mtbdd::new(2);
+        let _ = two_bit_counter(&mut free);
+        assert!(!free.node_limit_hit());
+        let full_nodes = free.node_count();
+        assert!(full_nodes >= 3);
+
+        // Capped below that: the build must trip the flag, stop
+        // allocating past the cap, and still return (no panic).
+        let mut capped = Mtbdd::new(2);
+        capped.set_node_limit(1);
+        let _ = two_bit_counter(&mut capped);
+        assert!(capped.node_limit_hit());
+        assert!(capped.node_count() <= 1);
+
+        // A zero limit refuses the very first allocation.
+        let mut zero = Mtbdd::new(2);
+        zero.set_node_limit(0);
+        let v = zero.var(0);
+        assert!(zero.node_limit_hit());
+        assert!(v.is_terminal());
+        assert_eq!(zero.node_count(), 0);
     }
 }

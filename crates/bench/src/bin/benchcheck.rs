@@ -12,16 +12,31 @@
 //! * `sweep` (`sweepbench --json`): the `compile_ns` and `eval_ns`
 //!   phases are gated **independently**, so a regression in the one-off
 //!   compile cannot hide behind a fast evaluator (or vice versa).
+//! * `guarded` (`guardbench --json`): the guarded wall time is gated
+//!   against the baseline like the other schemas, **and** the current
+//!   report's own `overhead` column (guarded / unguarded, measured in
+//!   the same run so runner speed cancels out) must stay within 3% on
+//!   every case with at least 2^16 states.
 //!
 //! Exit code 0 = within budget, 1 = regression, 2 = usage/parse error.
 //! Wall-clock noise on shared CI runners is expected — the 2x gate only
 //! catches order-of-magnitude slips such as losing the kernel dispatch.
 
-use fmperf_bench::{parse_bench_json, parse_sweep_json, report_criterion, BenchRow, SweepRow};
+use fmperf_bench::{
+    parse_bench_json, parse_guarded_json, parse_sweep_json, report_criterion, BenchRow, GuardedRow,
+    SweepRow,
+};
+
+/// Maximum allowed `overhead` (guarded / unguarded) in a guarded report.
+const GUARDED_MAX_OVERHEAD: f64 = 1.03;
+
+/// Guarded cases below this state count are too fast to gate at 3%.
+const GUARDED_MIN_GATED_STATES: u64 = 65_536;
 
 enum Report {
     Enumeration(Vec<BenchRow>),
     Sweep(Vec<SweepRow>),
+    Guarded(Vec<GuardedRow>),
 }
 
 fn load(path: &str) -> Report {
@@ -35,6 +50,7 @@ fn load(path: &str) -> Report {
     };
     match report_criterion(&src).as_deref() {
         Some("sweep") => Report::Sweep(parse_sweep_json(&src).unwrap_or_else(|| bail())),
+        Some("guarded") => Report::Guarded(parse_guarded_json(&src).unwrap_or_else(|| bail())),
         Some(_) => Report::Enumeration(parse_bench_json(&src).unwrap_or_else(|| bail())),
         None => bail(),
     }
@@ -105,6 +121,43 @@ fn check_sweep(baseline: &[SweepRow], current: &[SweepRow], max_ratio: f64) -> b
     failed
 }
 
+fn check_guarded(baseline: &[GuardedRow], current: &[GuardedRow], max_ratio: f64) -> bool {
+    let mut failed = false;
+    for base in baseline {
+        let Some(cur) = current.iter().find(|r| r.case == base.case) else {
+            eprintln!("benchcheck: case {} missing from current report", base.case);
+            failed = true;
+            continue;
+        };
+        if cur.states != base.states || cur.configs != base.configs {
+            eprintln!(
+                "benchcheck: case {} changed shape: {} states/{} configs vs {} states/{} configs",
+                base.case, cur.states, cur.configs, base.states, base.configs
+            );
+            failed = true;
+        }
+        failed |= check_phase(
+            &base.case,
+            "guarded",
+            base.guarded_ns,
+            cur.guarded_ns,
+            max_ratio,
+        );
+        // The overhead column compares two timings from the *same* run,
+        // so it is gated absolutely rather than against the baseline.
+        if cur.states >= GUARDED_MIN_GATED_STATES && cur.overhead > GUARDED_MAX_OVERHEAD {
+            eprintln!(
+                "benchcheck: case {} pays {:.2}% budget-check overhead (gate {:.0}%)",
+                base.case,
+                (cur.overhead - 1.0) * 100.0,
+                (GUARDED_MAX_OVERHEAD - 1.0) * 100.0
+            );
+            failed = true;
+        }
+    }
+    failed
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (baseline_path, current_path, max_ratio) = match args.as_slice() {
@@ -126,6 +179,7 @@ fn main() {
     let failed = match (load(baseline_path), load(current_path)) {
         (Report::Enumeration(b), Report::Enumeration(c)) => check_enumeration(&b, &c, max_ratio),
         (Report::Sweep(b), Report::Sweep(c)) => check_sweep(&b, &c, max_ratio),
+        (Report::Guarded(b), Report::Guarded(c)) => check_guarded(&b, &c, max_ratio),
         _ => {
             eprintln!(
                 "benchcheck: {baseline_path} and {current_path} use different report schemas"

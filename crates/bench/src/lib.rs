@@ -15,6 +15,8 @@
 //!   for both the paper's enumeration and our symbolic engine.
 //! * `sweepbench` — availability-sweep cost: compile-once MTBDD
 //!   (compile + points × linear pass) vs repeated exact enumeration.
+//! * `guardbench` — budget-guard overhead: the guarded ladder's exact
+//!   rung vs the raw enumeration engine, gated at 3% on large cases.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -425,8 +427,190 @@ pub fn parse_sweep_json(src: &str) -> Option<Vec<SweepRow>> {
     Some(rows)
 }
 
+/// One timed guarded-analysis measurement (budget-guarded ladder vs the
+/// raw enumeration engine) for the machine-readable bench reports.
+///
+/// The point of this schema is the `overhead` column: with a generous
+/// budget the guarded run must stay on the exact rung and pay only the
+/// cooperative cancellation polls, so `guarded_ns / unguarded_ns` is a
+/// direct measure of the budget-check cost on the hot enumeration path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuardedRow {
+    /// Case name (`perfect`, `centralized`, …).
+    pub case: String,
+    /// Number of fallible components.
+    pub fallible: usize,
+    /// State-space size (`2^fallible`).
+    pub states: u64,
+    /// Best-of-N wall time of the unguarded enumeration, nanoseconds.
+    pub unguarded_ns: u128,
+    /// Best-of-N wall time of the budget-guarded enumeration, nanoseconds.
+    pub guarded_ns: u128,
+    /// Minimum over the N repetitions of the *paired* per-repetition
+    /// ratio `guarded / unguarded`.  A systematic overhead multiplies
+    /// every pair, so the minimum still exposes it, while one-sided
+    /// interference spikes on a shared runner (which only inflate
+    /// individual samples) cannot fake a regression — this is the
+    /// noise-floor estimate of the true multiplicative overhead.
+    pub overhead: f64,
+    /// Number of distinct configurations found.
+    pub configs: usize,
+}
+
+/// How many repetitions [`measure_guarded`] takes the minimum over.
+pub const GUARDED_REPS: usize = 15;
+
+/// Times one case's exact enumeration with and without the budget guard,
+/// best-of-[`GUARDED_REPS`], checking that the guarded ladder stays on
+/// the exact rung and returns a bit-identical distribution.  The two
+/// variants are timed in alternation (after one untimed warmup each) so
+/// interference from a shared runner lands on both sides of the
+/// overhead ratio instead of biasing one phase; see
+/// [`GuardedRow::overhead`] for how the ratio is made noise-robust.
+///
+/// # Panics
+///
+/// Panics on an unknown case name, if the guarded run degrades off the
+/// exact rung under the default budget, or if the distributions differ.
+pub fn measure_guarded(sys: &DasWoodsideSystem, case: &str) -> GuardedRow {
+    use fmperf_core::{EngineKind, GuardedOptions};
+    use std::time::Instant;
+    let graph = sys.fault_graph().expect("canonical model");
+    let (space, table) = match case {
+        "perfect" => (ComponentSpace::app_only(&sys.model), None),
+        _ => {
+            let mama = match case {
+                "centralized" => arch::centralized(sys, 0.1),
+                "distributed" => arch::distributed_as_published(sys, 0.1),
+                "distributed-as-drawn" => arch::distributed(sys, 0.1),
+                "hierarchical" => arch::hierarchical(sys, 0.1),
+                "network" => arch::network(sys, 0.1),
+                other => panic!("unknown case {other}"),
+            };
+            let space = ComponentSpace::build(&sys.model, &mama);
+            let table = KnowTable::build(&graph, &mama, &space);
+            (space, Some(table))
+        }
+    };
+    let mut analysis = Analysis::new(&graph, &space).with_unmonitored_known(case == "distributed");
+    if let Some(table) = &table {
+        analysis = analysis.with_knowledge(table);
+    }
+    let opts = GuardedOptions::default();
+
+    let t0 = Instant::now();
+    let reference = std::hint::black_box(analysis.enumerate());
+    let single_ns = t0.elapsed().as_nanos();
+    let report = std::hint::black_box(analysis.analyze_guarded(&opts));
+    assert_eq!(
+        report.engine,
+        EngineKind::Exact,
+        "{case}: guarded run left the exact rung under the default budget"
+    );
+    assert_eq!(
+        report.distribution, reference,
+        "{case}: guarded distribution must be bit-identical"
+    );
+
+    // Batch fast cases so every timed sample is a few milliseconds —
+    // below that, scheduler noise on a shared runner swamps the signal.
+    const TARGET_SAMPLE_NS: u128 = 8_000_000;
+    let batch = (TARGET_SAMPLE_NS / single_ns.max(1)).clamp(1, 64) as usize;
+
+    let mut unguarded_ns = u128::MAX;
+    let mut guarded_ns = u128::MAX;
+    let mut ratios = Vec::with_capacity(GUARDED_REPS);
+    for _ in 0..GUARDED_REPS {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            let dist = std::hint::black_box(analysis.enumerate());
+            assert_eq!(dist, reference, "{case}: enumeration must be deterministic");
+        }
+        let u = t0.elapsed().as_nanos() / batch as u128;
+        unguarded_ns = unguarded_ns.min(u);
+
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            let report = std::hint::black_box(analysis.analyze_guarded(&opts));
+            assert_eq!(
+                report.engine,
+                EngineKind::Exact,
+                "{case}: left the exact rung"
+            );
+            assert_eq!(
+                report.distribution, reference,
+                "{case}: must be bit-identical"
+            );
+        }
+        let g = t0.elapsed().as_nanos() / batch as u128;
+        guarded_ns = guarded_ns.min(g);
+
+        ratios.push(g as f64 / u.max(1) as f64);
+    }
+    ratios.sort_by(|a, b| a.total_cmp(b));
+
+    let states = reference.states_explored();
+    GuardedRow {
+        case: case.to_string(),
+        fallible: space.fallible_indices().len(),
+        states,
+        unguarded_ns,
+        guarded_ns,
+        overhead: ratios[0],
+        configs: reference.len(),
+    }
+}
+
+/// Renders guarded rows as the `BENCH_guarded.json` document (same flat
+/// one-object-per-line scheme as [`render_bench_json`]).
+pub fn render_guarded_json(rows: &[GuardedRow]) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    s.push_str("{\n  \"criterion\": \"guarded\",\n  \"cases\": [\n");
+    for (ix, r) in rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"case\": \"{}\", \"fallible\": {}, \"states\": {}, \
+             \"unguarded_ns\": {}, \"guarded_ns\": {}, \"overhead\": {:.4}, \
+             \"configs\": {}}}",
+            r.case, r.fallible, r.states, r.unguarded_ns, r.guarded_ns, r.overhead, r.configs
+        );
+        s.push_str(if ix + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Parses a `render_guarded_json` document back into rows.
+pub fn parse_guarded_json(src: &str) -> Option<Vec<GuardedRow>> {
+    fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        let tag = format!("\"{key}\": ");
+        let start = line.find(&tag)? + tag.len();
+        let rest = &line[start..];
+        let end = rest.find([',', '}'])?;
+        Some(rest[..end].trim().trim_matches('"'))
+    }
+    let mut rows = Vec::new();
+    for line in src.lines() {
+        let line = line.trim();
+        if !line.starts_with("{\"case\"") {
+            continue;
+        }
+        rows.push(GuardedRow {
+            case: field(line, "case")?.to_string(),
+            fallible: field(line, "fallible")?.parse().ok()?,
+            states: field(line, "states")?.parse().ok()?,
+            unguarded_ns: field(line, "unguarded_ns")?.parse().ok()?,
+            guarded_ns: field(line, "guarded_ns")?.parse().ok()?,
+            overhead: field(line, "overhead")?.parse().ok()?,
+            configs: field(line, "configs")?.parse().ok()?,
+        });
+    }
+    Some(rows)
+}
+
 /// Extracts the `"criterion"` tag of a bench report, distinguishing the
-/// enumeration and sweep schemas for `benchcheck`.
+/// enumeration, sweep and guarded schemas for `benchcheck`.
 pub fn report_criterion(src: &str) -> Option<String> {
     let tag = "\"criterion\": \"";
     let start = src.find(tag)? + tag.len();
@@ -525,6 +709,28 @@ mod tests {
             assert_eq!(p.compile_ns, r.compile_ns);
             assert_eq!(p.eval_ns, r.eval_ns);
             assert_eq!(p.enumerate_ns, r.enumerate_ns);
+            assert_eq!(p.configs, r.configs);
+        }
+    }
+
+    #[test]
+    fn guarded_json_round_trips() {
+        let sys = paper_system();
+        let rows = vec![
+            measure_guarded(&sys, "perfect"),
+            measure_guarded(&sys, "centralized"),
+        ];
+        assert!(rows.iter().all(|r| r.unguarded_ns > 0 && r.guarded_ns > 0));
+        let json = render_guarded_json(&rows);
+        assert_eq!(report_criterion(&json).as_deref(), Some("guarded"));
+        let parsed = parse_guarded_json(&json).expect("own output parses");
+        assert_eq!(parsed.len(), rows.len());
+        for (p, r) in parsed.iter().zip(&rows) {
+            assert_eq!(p.case, r.case);
+            assert_eq!(p.fallible, r.fallible);
+            assert_eq!(p.states, r.states);
+            assert_eq!(p.unguarded_ns, r.unguarded_ns);
+            assert_eq!(p.guarded_ns, r.guarded_ns);
             assert_eq!(p.configs, r.configs);
         }
     }

@@ -1,5 +1,6 @@
 //! The configured study and the exact state-enumeration engines.
 
+use crate::budget::{AnalysisError, BudgetGuard, CHECK_INTERVAL};
 use crate::ccf::FailureDependencies;
 use crate::distribution::ConfigDistribution;
 use fmperf_ftlqn::{FaultGraph, KnowPolicy, PerfectKnowledge};
@@ -115,6 +116,33 @@ impl<'a> Analysis<'a> {
         }
     }
 
+    /// [`enumerate`](Analysis::enumerate) with the feasibility check
+    /// surfaced as a typed error instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::TooManyComponents`] when more than 30 components
+    /// are fallible.
+    pub fn try_enumerate(&self) -> Result<ConfigDistribution, AnalysisError> {
+        check_enumerable(self.space.fallible_indices().len(), None)?;
+        Ok(self.enumerate())
+    }
+
+    /// [`enumerate_parallel`](Analysis::enumerate_parallel) with the
+    /// feasibility check surfaced as a typed error instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::TooManyComponents`] when more than 30 components
+    /// are fallible.
+    pub fn try_enumerate_parallel(
+        &self,
+        threads: usize,
+    ) -> Result<ConfigDistribution, AnalysisError> {
+        check_enumerable(self.space.fallible_indices().len(), None)?;
+        Ok(self.enumerate_parallel(threads))
+    }
+
     /// Should [`enumerate`](Analysis::enumerate) run the compiled kernel
     /// rather than the naive scan?
     ///
@@ -164,8 +192,32 @@ impl<'a> Analysis<'a> {
     }
 
     fn enumerate_naive_masked(&self, deps: Option<&FailureDependencies>) -> ConfigDistribution {
+        assert_enumerable(self.space.fallible_indices().len(), deps);
+        self.enumerate_naive_guarded(deps, None)
+            .expect("invariant: an unguarded scan has no budget to exhaust")
+    }
+
+    /// Budget-guarded naive reference scan; a within-budget run is
+    /// bit-identical to [`enumerate_naive`](Analysis::enumerate_naive).
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::DeadlineExpired`] when the guard's deadline
+    /// passes mid-scan.
+    pub(crate) fn try_enumerate_naive_guarded(
+        &self,
+        guard: &BudgetGuard,
+    ) -> Result<ConfigDistribution, AnalysisError> {
+        check_enumerable(self.space.fallible_indices().len(), None)?;
+        self.enumerate_naive_guarded(None, Some(guard))
+    }
+
+    fn enumerate_naive_guarded(
+        &self,
+        deps: Option<&FailureDependencies>,
+        guard: Option<&BudgetGuard>,
+    ) -> Result<ConfigDistribution, AnalysisError> {
         let fallible = self.space.fallible_indices();
-        assert_enumerable(fallible.len(), deps);
         let n_states: u64 = 1 << fallible.len();
         let n_group_states: u64 = 1 << deps.map_or(0, |d| d.group_count());
         let up: Vec<f64> = fallible.iter().map(|&ix| self.space.up_prob(ix)).collect();
@@ -173,6 +225,7 @@ impl<'a> Analysis<'a> {
         let mut dist = ConfigDistribution::new();
         let mut state = self.space.all_up();
         let mut visited_groups = 0u64;
+        let mut until_check = 0u64;
         for gmask in 0..n_group_states {
             let gprob = deps.map_or(1.0, |d| d.mask_probability(gmask));
             if gprob == 0.0 {
@@ -181,6 +234,13 @@ impl<'a> Analysis<'a> {
             visited_groups += 1;
             let forced: Vec<usize> = deps.map_or(Vec::new(), |d| d.forced_down(gmask));
             for (word, wprob) in crate::compiled::GrayWalk::new(&up, 0, n_states) {
+                if let Some(g) = guard {
+                    if until_check == 0 {
+                        g.check()?;
+                        until_check = CHECK_INTERVAL;
+                    }
+                    until_check -= 1;
+                }
                 let prob = gprob * wprob;
                 if prob == 0.0 {
                     continue;
@@ -200,7 +260,7 @@ impl<'a> Analysis<'a> {
             }
         }
         dist.set_states_explored(n_states * visited_groups);
-        dist
+        Ok(dist)
     }
 
     /// Multi-threaded exact enumeration: identical result to
@@ -245,12 +305,22 @@ impl<'a> Analysis<'a> {
 /// Panics if more than 30 components are fallible, or components plus
 /// dependency groups exceed 30 joint bits.
 pub(crate) fn assert_enumerable(fallible: usize, deps: Option<&FailureDependencies>) {
-    assert!(
-        fallible <= 30,
-        "{fallible} fallible components: exact enumeration is infeasible"
-    );
-    let group_count = deps.map_or(0, |d| d.group_count());
-    assert!(fallible + group_count <= 30, "too many components + groups");
+    if let Err(e) = check_enumerable(fallible, deps) {
+        panic!("invariant: exact enumeration fits in 30 joint bits — {e}");
+    }
+}
+
+/// The fallible form of [`assert_enumerable`]: the `try_*` engines and
+/// the guarded ladder route through this instead of panicking.
+pub(crate) fn check_enumerable(
+    fallible: usize,
+    deps: Option<&FailureDependencies>,
+) -> Result<(), AnalysisError> {
+    let groups = deps.map_or(0, |d| d.group_count());
+    if fallible > 30 || fallible + groups > 30 {
+        return Err(AnalysisError::TooManyComponents { fallible, groups });
+    }
+    Ok(())
 }
 
 #[cfg(test)]

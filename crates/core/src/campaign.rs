@@ -1,0 +1,389 @@
+//! Management-plane fault-injection campaigns.
+//!
+//! A campaign asks the coverage question operationally: for every
+//! single (and optionally pairwise) management-plane fault — kill a
+//! manager, kill an agent, sever a connector, fail a management
+//! processor — what happens to the architecture's coverage and to the
+//! expected reward?
+//!
+//! Each scenario clones the MAMA model with the injected elements
+//! pinned down (see [`fmperf_mama::inject`]), rebuilds the component
+//! space and know table, and runs the budget-guarded degradation
+//! ladder ([`Analysis::analyze_guarded`]), so a campaign over a large
+//! model degrades per scenario instead of wedging.  Scenario analyses
+//! are isolated with [`std::panic::catch_unwind`]: one pathological
+//! what-if model reports its panic message instead of killing the
+//! whole campaign.
+//!
+//! **Coverage** here is the static question: with the injected
+//! elements down and everything else up, how many application
+//! components can still be *known* by some deciding task?  The
+//! difference against the baseline is each scenario's coverage loss,
+//! and the components that slipped out are reported by name.
+
+use crate::analysis::Analysis;
+use crate::budget::{Descent, EngineKind, EstimateInfo, GuardedOptions};
+use crate::reward::RewardSpec;
+use fmperf_ftlqn::{Configuration, FaultGraph, KnowPolicy};
+use fmperf_mama::inject::{pairwise_scenarios, single_scenarios};
+use fmperf_mama::{ComponentSpace, KnowTable, MamaModel};
+use std::collections::{BTreeMap, BTreeSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Options for [`run_campaign`].
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignOptions {
+    /// Budget, sampling and threading for each scenario's guarded
+    /// analysis.
+    pub guarded: GuardedOptions,
+    /// Also run every unordered pair of injections.
+    pub pairwise: bool,
+    /// Skipped-alternative knowledge policy (see
+    /// [`Analysis::with_policy`]).
+    pub policy: KnowPolicy,
+    /// Treat unmonitored components as vacuously known (see
+    /// [`Analysis::with_unmonitored_known`]); must match how the
+    /// baseline model is normally analysed for deltas to be meaningful.
+    pub unmonitored_known: bool,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> CampaignOptions {
+        CampaignOptions {
+            guarded: GuardedOptions::default(),
+            pairwise: false,
+            policy: KnowPolicy::AnyFailedComponent,
+            unmonitored_known: false,
+        }
+    }
+}
+
+/// The analysed outcome of one scenario (or of the baseline).
+#[derive(Debug, Clone)]
+pub struct ScenarioAnalysis {
+    /// Human-readable injection label (`baseline` for the baseline).
+    pub label: String,
+    /// The ladder rung that produced the distribution.
+    pub engine: EngineKind,
+    /// Ladder descents, in order, with their typed reasons.
+    pub descents: Vec<Descent>,
+    /// Monte Carlo provenance iff `engine` is the sampling rung.
+    pub estimate: Option<EstimateInfo>,
+    /// Probability that the system is failed under this scenario.
+    pub failed_probability: f64,
+    /// Application components still coverable with the injected
+    /// elements down.
+    pub covered: BTreeSet<String>,
+    /// Baseline-covered components this scenario can no longer cover.
+    pub newly_uncovered: Vec<String>,
+    /// Expected reward rate, when a [`RewardSpec`] was supplied and
+    /// every configuration's LQN solved.
+    pub reward: Option<f64>,
+    /// `reward - baseline reward`, under the same condition.
+    pub reward_delta: Option<f64>,
+}
+
+impl ScenarioAnalysis {
+    /// Number of baseline-covered components lost in this scenario.
+    pub fn coverage_loss(&self) -> usize {
+        self.newly_uncovered.len()
+    }
+}
+
+/// One campaign scenario: its label and either its analysis or the
+/// panic message of an analysis that blew up (isolation via
+/// [`catch_unwind`]).
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// Human-readable injection label.
+    pub label: String,
+    /// The analysis, or the panic/solver failure that prevented it.
+    pub result: Result<ScenarioAnalysis, String>,
+}
+
+/// A complete campaign: the baseline plus every scenario outcome, in
+/// the deterministic order of
+/// [`fmperf_mama::inject::injection_points`].
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// The uninjected model's analysis (reference point for deltas).
+    pub baseline: ScenarioAnalysis,
+    /// Every injection scenario, singles first, then pairs.
+    pub scenarios: Vec<ScenarioOutcome>,
+}
+
+impl CampaignReport {
+    /// Scenarios whose analysis completed, with the failures filtered
+    /// out.
+    pub fn analysed(&self) -> impl Iterator<Item = &ScenarioAnalysis> + '_ {
+        self.scenarios.iter().filter_map(|s| s.result.as_ref().ok())
+    }
+
+    /// Scenario labels whose analysis panicked or failed, with the
+    /// message.
+    pub fn failures(&self) -> impl Iterator<Item = (&str, &str)> + '_ {
+        self.scenarios.iter().filter_map(|s| match &s.result {
+            Err(e) => Some((s.label.as_str(), e.as_str())),
+            Ok(_) => None,
+        })
+    }
+}
+
+/// Runs a fault-injection campaign over `mama`: the baseline, every
+/// single-injection scenario, and (with
+/// [`pairwise`](CampaignOptions::pairwise)) every unordered pair.
+///
+/// Never fails as a whole: each scenario runs the guarded degradation
+/// ladder under [`catch_unwind`], so the worst a scenario can do is
+/// report an error string.  Reward deltas are computed when `reward`
+/// is given, against an LQN-solution cache shared across scenarios
+/// (distinct configurations recur heavily between scenarios).
+pub fn run_campaign(
+    graph: &FaultGraph<'_>,
+    mama: &MamaModel,
+    reward: Option<&RewardSpec>,
+    opts: &CampaignOptions,
+) -> CampaignReport {
+    let mut reward_cache: BTreeMap<Configuration, f64> = BTreeMap::new();
+    let baseline = analyze_model(
+        graph,
+        mama,
+        "baseline",
+        None,
+        reward,
+        opts,
+        &mut reward_cache,
+    )
+    .unwrap_or_else(|e| panic!("invariant: the uninjected baseline model analyses cleanly — {e}"));
+
+    let mut scenarios = single_scenarios(mama);
+    if opts.pairwise {
+        scenarios.extend(pairwise_scenarios(mama));
+    }
+
+    let outcomes = scenarios
+        .into_iter()
+        .map(|scenario| {
+            let label = scenario.label(mama);
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                let injected = scenario.apply(mama);
+                analyze_model(
+                    graph,
+                    &injected,
+                    &label,
+                    Some(&baseline),
+                    reward,
+                    opts,
+                    &mut reward_cache,
+                )
+            }));
+            let result = match result {
+                Ok(r) => r,
+                Err(panic) => Err(panic_message(panic)),
+            };
+            ScenarioOutcome {
+                label: label.clone(),
+                result,
+            }
+        })
+        .collect();
+
+    CampaignReport {
+        baseline,
+        scenarios: outcomes,
+    }
+}
+
+/// Analyses one (possibly injected) model: guarded ladder, static
+/// coverage probe, optional reward fold.
+fn analyze_model(
+    graph: &FaultGraph<'_>,
+    mama: &MamaModel,
+    label: &str,
+    baseline: Option<&ScenarioAnalysis>,
+    reward: Option<&RewardSpec>,
+    opts: &CampaignOptions,
+    reward_cache: &mut BTreeMap<Configuration, f64>,
+) -> Result<ScenarioAnalysis, String> {
+    let space = ComponentSpace::build(graph.model(), mama);
+    let table = KnowTable::build(graph, mama, &space);
+    let analysis = Analysis::new(graph, &space)
+        .with_knowledge(&table)
+        .with_policy(opts.policy)
+        .with_unmonitored_known(opts.unmonitored_known);
+    let report = analysis.analyze_guarded(&opts.guarded);
+
+    let covered = covered_components(graph, &space, &table);
+    let newly_uncovered: Vec<String> = match baseline {
+        Some(base) => base.covered.difference(&covered).cloned().collect(),
+        None => Vec::new(),
+    };
+
+    let reward_value = match reward {
+        Some(spec) => Some(expected_reward_cached(
+            graph,
+            &report.distribution,
+            spec,
+            reward_cache,
+        )?),
+        None => None,
+    };
+    let reward_delta = match (reward_value, baseline.and_then(|b| b.reward)) {
+        (Some(r), Some(b)) => Some(r - b),
+        _ => None,
+    };
+
+    Ok(ScenarioAnalysis {
+        label: label.to_string(),
+        engine: report.engine,
+        descents: report.descents,
+        estimate: report.estimate,
+        failed_probability: report.distribution.failed_probability(),
+        covered,
+        newly_uncovered,
+        reward: reward_value,
+        reward_delta,
+    })
+}
+
+/// The static coverage probe: with every deterministically-down
+/// element (up-probability 0 — exactly the injected ones) down and
+/// everything else up, which application components can some deciding
+/// task still learn about?
+fn covered_components(
+    graph: &FaultGraph<'_>,
+    space: &ComponentSpace,
+    table: &KnowTable,
+) -> BTreeSet<String> {
+    let mut probe = space.all_up();
+    for (ix, up) in probe.iter_mut().enumerate() {
+        if space.up_prob(ix) == 0.0 {
+            *up = false;
+        }
+    }
+    let mut covered = BTreeSet::new();
+    for (&(component, _decider), know) in table.iter() {
+        if know.holds(&probe) {
+            covered.insert(graph.model().component_name(component).to_string());
+        }
+    }
+    covered
+}
+
+/// `Σ p(C) · R(C)` over the distribution, solving each distinct
+/// configuration's LQN at most once across the whole campaign.
+fn expected_reward_cached(
+    graph: &FaultGraph<'_>,
+    dist: &crate::distribution::ConfigDistribution,
+    spec: &RewardSpec,
+    cache: &mut BTreeMap<Configuration, f64>,
+) -> Result<f64, String> {
+    let missing: Vec<Configuration> = dist
+        .configurations()
+        .into_iter()
+        .filter(|c| !cache.contains_key(c))
+        .collect();
+    if !missing.is_empty() {
+        let perfs = crate::reward::solve_configurations(graph.model(), &missing)
+            .map_err(|e| format!("LQN solve failed: {e}"))?;
+        for (config, perf) in missing.into_iter().zip(perfs) {
+            cache.insert(config, spec.reward(&perf));
+        }
+    }
+    Ok(dist
+        .iter()
+        .map(|(c, p)| {
+            p * cache
+                .get(c)
+                .copied()
+                .expect("invariant: every configuration was just solved into the cache")
+        })
+        .sum())
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        format!("analysis panicked: {s}")
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        format!("analysis panicked: {s}")
+    } else {
+        "analysis panicked".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmperf_ftlqn::examples::das_woodside_system;
+    use fmperf_mama::arch;
+
+    #[test]
+    fn centralized_campaign_covers_all_scenarios_exactly() {
+        let sys = das_woodside_system();
+        let graph = sys.fault_graph().unwrap();
+        let mama = arch::centralized(&sys, 0.1);
+        let report = run_campaign(&graph, &mama, None, &CampaignOptions::default());
+        // 6 component injections + every connector.
+        let expected = 6 + mama.connector_count();
+        assert_eq!(report.scenarios.len(), expected);
+        assert_eq!(report.failures().count(), 0);
+        // 2^14 (and the +1-bit injected variants) fit the default
+        // budget: every scenario stays exact.
+        assert_eq!(report.baseline.engine, EngineKind::Exact);
+        for s in report.analysed() {
+            assert!(s.engine.is_exact(), "{} degraded unexpectedly", s.label);
+            assert!(s.failed_probability >= report.baseline.failed_probability - 1e-12);
+        }
+    }
+
+    #[test]
+    fn killing_the_central_manager_uncovers_everything() {
+        let sys = das_woodside_system();
+        let graph = sys.fault_graph().unwrap();
+        let mama = arch::centralized(&sys, 0.1);
+        let report = run_campaign(&graph, &mama, None, &CampaignOptions::default());
+        let kill_m1 = report
+            .analysed()
+            .find(|s| s.label == "kill-manager(m1)")
+            .expect("the campaign includes the manager kill");
+        // The centralized architecture funnels all knowledge through
+        // m1: with it down, nothing is covered any more.
+        assert_eq!(kill_m1.covered.len(), 0);
+        assert_eq!(kill_m1.coverage_loss(), report.baseline.covered.len());
+        assert!(kill_m1.failed_probability > report.baseline.failed_probability);
+    }
+
+    #[test]
+    fn pairwise_adds_all_unordered_pairs() {
+        let sys = das_woodside_system();
+        let graph = sys.fault_graph().unwrap();
+        let mama = arch::centralized(&sys, 0.1);
+        let opts = CampaignOptions {
+            pairwise: true,
+            ..CampaignOptions::default()
+        };
+        let report = run_campaign(&graph, &mama, None, &opts);
+        let n = 6 + mama.connector_count();
+        assert_eq!(report.scenarios.len(), n + n * (n - 1) / 2);
+        assert_eq!(report.failures().count(), 0);
+    }
+
+    #[test]
+    fn reward_deltas_are_nonpositive_for_exact_scenarios() {
+        let sys = das_woodside_system();
+        let graph = sys.fault_graph().unwrap();
+        let mama = arch::centralized(&sys, 0.1);
+        let spec = RewardSpec::new()
+            .weight(sys.user_a, 1.0)
+            .weight(sys.user_b, 1.0);
+        let report = run_campaign(&graph, &mama, Some(&spec), &CampaignOptions::default());
+        let base = report.baseline.reward.expect("baseline reward solves");
+        assert!(base > 0.0);
+        for s in report.analysed() {
+            let delta = s.reward_delta.expect("exact scenario reward solves");
+            // Injections only remove knowledge: reward cannot improve.
+            assert!(delta <= 1e-9, "{} improved the reward by {delta}", s.label);
+        }
+    }
+}

@@ -51,6 +51,7 @@
 #![forbid(unsafe_code)]
 
 use crate::analysis::{Analysis, Knowledge};
+use crate::budget::{AnalysisError, BudgetGuard, CHECK_INTERVAL};
 use crate::ccf::FailureDependencies;
 use crate::distribution::ConfigDistribution;
 use fmperf_ftlqn::Configuration;
@@ -408,15 +409,113 @@ impl CompiledKernel<'_> {
         let mut memo = Memo::default();
         for ctx in &contexts {
             memo.clear(); // forced overrides differ per context
-            self.scan_range(ctx, 0, n_states, &mut memo, &mut acc);
+            self.scan_range(ctx, 0, n_states, &mut memo, &mut acc, None)
+                .expect("invariant: an unguarded scan has no budget to exhaust");
         }
         acc.into_distribution(n_states * contexts.len() as u64)
+    }
+
+    /// Budget-guarded exact enumeration; a within-budget run is
+    /// bit-identical to [`enumerate`](CompiledKernel::enumerate).
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::DeadlineExpired`] or
+    /// [`AnalysisError::MemoCapExceeded`] when the guard trips mid-scan.
+    pub fn try_enumerate_guarded(
+        &self,
+        guard: &BudgetGuard,
+    ) -> Result<ConfigDistribution, AnalysisError> {
+        crate::analysis::check_enumerable(self.fallible.len(), None)?;
+        let n_states = 1u64 << self.fallible.len();
+        let contexts = self.contexts(None);
+        let mut acc = Accumulator::new(self.analysis.space);
+        let mut memo = Memo::default();
+        for ctx in &contexts {
+            memo.clear();
+            self.scan_range(ctx, 0, n_states, &mut memo, &mut acc, Some(guard))?;
+        }
+        Ok(acc.into_distribution(n_states * contexts.len() as u64))
+    }
+
+    /// Budget-guarded multi-threaded enumeration; a within-budget run is
+    /// bit-identical to
+    /// [`enumerate_parallel`](CompiledKernel::enumerate_parallel) without
+    /// dependencies.  The first worker to exhaust the budget cancels its
+    /// siblings through the shared guard.
+    ///
+    /// # Errors
+    ///
+    /// The tripping worker's [`AnalysisError`].
+    pub fn try_enumerate_parallel_guarded(
+        &self,
+        threads: usize,
+        guard: &BudgetGuard,
+    ) -> Result<ConfigDistribution, AnalysisError> {
+        crate::analysis::check_enumerable(self.fallible.len(), None)?;
+        let threads = threads.max(1);
+        let n_states = 1u64 << self.fallible.len();
+        let chunk = n_states.div_ceil(threads as u64);
+        let contexts = self.contexts(None);
+        let mut dist = ConfigDistribution::new();
+        let mut first_err: Option<AnalysisError> = None;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let lo = chunk * t as u64;
+                let hi = (lo + chunk).min(n_states);
+                if lo >= hi {
+                    continue;
+                }
+                let contexts = &contexts;
+                handles.push(scope.spawn(move || {
+                    let mut acc = Accumulator::new(self.analysis.space);
+                    let mut memo = Memo::default();
+                    for ctx in contexts {
+                        memo.clear();
+                        if let Err(e) =
+                            self.scan_range(ctx, lo, hi, &mut memo, &mut acc, Some(guard))
+                        {
+                            guard.trip(e.clone());
+                            return Err(e);
+                        }
+                    }
+                    Ok(acc.into_distribution(0))
+                }));
+            }
+            for h in handles {
+                match h
+                    .join()
+                    .expect("invariant: enumeration worker never panics")
+                {
+                    Ok(part) => dist.merge(part),
+                    Err(e) => {
+                        if first_err.is_none() {
+                            first_err = Some(e);
+                        }
+                    }
+                }
+            }
+        });
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        dist.set_states_explored(n_states * contexts.len() as u64);
+        Ok(dist)
     }
 
     /// The hot loop: walks state indices `[lo, hi)` of one context in
     /// Gray-code order, maintaining the state probability and the `know`
     /// answer word incrementally, and accumulates probabilities per
     /// interned configuration.
+    ///
+    /// With a guard, the deadline and memo cap are polled at
+    /// [`CHECK_INTERVAL`]-state block boundaries: the Gray walk is a
+    /// single iterator whose blocks are pulled off with `take`, so the
+    /// per-state body is guard-free and emits the exact same `(word,
+    /// probability)` sequence either way — a within-budget guarded scan
+    /// is bit-identical to an unguarded one and pays only one guard poll
+    /// per block on the hot path.
     fn scan_range(
         &self,
         ctx: &EvalContext,
@@ -424,7 +523,8 @@ impl CompiledKernel<'_> {
         hi: u64,
         memo: &mut Memo,
         acc: &mut Accumulator,
-    ) {
+        guard: Option<&BudgetGuard>,
+    ) -> Result<(), AnalysisError> {
         let know = ctx.know.as_ref().or(self.know.as_ref());
         let mut ke =
             know.map(|k| KnowEval::new(k, self.fallible.len(), self.analysis.unmonitored_known));
@@ -434,38 +534,58 @@ impl CompiledKernel<'_> {
         // several bits at once.
         let mut prev_eff: Option<u64> = None;
         let mut last: Option<((u64, u64), u32)> = None;
-        for (word, wprob) in GrayWalk::new(&self.up, lo, hi) {
-            let p = ctx.gprob * wprob;
-            if p == 0.0 {
-                continue;
-            }
-            let eff = word & !ctx.forced_mask;
-            let answers = match &mut ke {
-                Some(ke) => {
-                    match prev_eff {
-                        Some(pe) if pe == eff => {}
-                        Some(pe) => ke.update(eff, pe ^ eff),
-                        None => ke.reset(eff),
+        let mut walk = GrayWalk::new(&self.up, lo, hi);
+        let mut remaining = hi - lo;
+        while remaining > 0 {
+            let block = match guard {
+                Some(g) => {
+                    g.check()?;
+                    let cap = g.budget().max_memo_entries;
+                    if memo.len() > cap {
+                        return Err(AnalysisError::MemoCapExceeded {
+                            entries: memo.len(),
+                            max_entries: cap,
+                        });
                     }
-                    ke.answers
+                    CHECK_INTERVAL.min(remaining)
                 }
-                None => 0,
+                None => remaining,
             };
-            prev_eff = Some(eff);
-            let key = (eff & self.app_mask, answers);
-            let id = match last {
-                // Consecutive states usually differ only in bits the
-                // decision cannot see: reuse the previous id without a
-                // table probe.
-                Some((k, id)) if k == key => id,
-                _ => {
-                    let id = self.config_id(eff, key, &ctx.forced, memo, acc);
-                    last = Some((key, id));
-                    id
+            for (word, wprob) in walk.by_ref().take(block as usize) {
+                let p = ctx.gprob * wprob;
+                if p == 0.0 {
+                    continue;
                 }
-            };
-            acc.sums[id as usize] += p;
+                let eff = word & !ctx.forced_mask;
+                let answers = match &mut ke {
+                    Some(ke) => {
+                        match prev_eff {
+                            Some(pe) if pe == eff => {}
+                            Some(pe) => ke.update(eff, pe ^ eff),
+                            None => ke.reset(eff),
+                        }
+                        ke.answers
+                    }
+                    None => 0,
+                };
+                prev_eff = Some(eff);
+                let key = (eff & self.app_mask, answers);
+                let id = match last {
+                    // Consecutive states usually differ only in bits the
+                    // decision cannot see: reuse the previous id without
+                    // a table probe.
+                    Some((k, id)) if k == key => id,
+                    _ => {
+                        let id = self.config_id(eff, key, &ctx.forced, memo, acc);
+                        last = Some((key, id));
+                        id
+                    }
+                };
+                acc.sums[id as usize] += p;
+            }
+            remaining -= block;
         }
+        Ok(())
     }
 
     /// Multi-threaded exact enumeration through the kernel: the state
@@ -495,13 +615,17 @@ impl CompiledKernel<'_> {
                     let mut memo = Memo::default();
                     for ctx in contexts {
                         memo.clear();
-                        self.scan_range(ctx, lo, hi, &mut memo, &mut acc);
+                        self.scan_range(ctx, lo, hi, &mut memo, &mut acc, None)
+                            .expect("invariant: an unguarded scan has no budget to exhaust");
                     }
                     acc.into_distribution(0)
                 }));
             }
             for h in handles {
-                dist.merge(h.join().expect("enumeration worker panicked"));
+                dist.merge(
+                    h.join()
+                        .expect("invariant: enumeration worker never panics"),
+                );
             }
         });
         dist.set_states_explored(n_states * contexts.len() as u64);

@@ -62,6 +62,8 @@
 
 pub mod analysis;
 pub mod availability;
+pub mod budget;
+pub mod campaign;
 pub mod ccf;
 pub mod compiled;
 pub mod ctmc;
@@ -78,14 +80,21 @@ pub mod symbolic;
 
 pub use analysis::{Analysis, Knowledge};
 pub use availability::{RepairModel, RepairModelError};
+pub use budget::{
+    AnalysisBudget, AnalysisError, AnalysisReport, BudgetGuard, Descent, EngineKind, EstimateInfo,
+    GuardedOptions,
+};
+pub use campaign::{
+    run_campaign, CampaignOptions, CampaignReport, ScenarioAnalysis, ScenarioOutcome,
+};
 pub use ccf::FailureDependencies;
 pub use compiled::CompiledKernel;
 pub use ctmc::{Ctmc, CtmcError};
 pub use delay::{ComponentDelayCycle, ComponentDelayReport, DelayModel};
 pub use distribution::ConfigDistribution;
-pub use montecarlo::MonteCarloOptions;
+pub use montecarlo::{MonteCarloEstimate, MonteCarloOptions};
 pub use mtbdd_engine::CompiledMtbdd;
 pub use report::{ReportRow, StudyReport};
 pub use reward::{expected_reward, solve_configurations, ConfigPerformance, RewardSpec};
 pub use sensitivity::{sensitivity, sensitivity_mtbdd};
-pub use sweep::{availability_points, sweep, SweepError, SweepPoint, SweepSpec};
+pub use sweep::{availability_points, sweep, sweep_guarded, SweepError, SweepPoint, SweepSpec};

@@ -7,8 +7,10 @@
 //! proportion with the usual normal-approximation confidence interval.
 
 use crate::analysis::{Analysis, Knowledge};
+use crate::budget::{AnalysisError, BudgetGuard, EstimateInfo};
 use crate::distribution::ConfigDistribution;
 use fmperf_ftlqn::PerfectKnowledge;
+use fmperf_sim::BatchMeans;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -28,6 +30,15 @@ impl Default for MonteCarloOptions {
             seed: 0xC0FFEE,
         }
     }
+}
+
+/// A pooled Monte Carlo estimate with its batch-means provenance.
+#[derive(Debug, Clone)]
+pub struct MonteCarloEstimate {
+    /// The pooled (batch-averaged) configuration distribution.
+    pub distribution: ConfigDistribution,
+    /// Samples, seed, batch count and the failure-probability CI.
+    pub info: EstimateInfo,
 }
 
 /// Normal-approximation 95% half-width for a probability estimate `p`
@@ -52,6 +63,84 @@ impl Analysis<'_> {
             return kernel.monte_carlo_run(&mut rng, options.samples);
         }
         self.monte_carlo_naive(&mut rng, options.samples)
+    }
+
+    /// [`monte_carlo`](Analysis::monte_carlo) with the degenerate input
+    /// surfaced as a typed error.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::NoSamples`] when `options.samples` is zero.
+    pub fn try_monte_carlo(
+        &self,
+        options: MonteCarloOptions,
+    ) -> Result<ConfigDistribution, AnalysisError> {
+        if options.samples == 0 {
+            return Err(AnalysisError::NoSamples);
+        }
+        Ok(self.monte_carlo(options))
+    }
+
+    /// Batched Monte Carlo estimation with a batch-means confidence
+    /// interval — the bottom rung of the degradation ladder.
+    ///
+    /// `options.samples` is split over `batches` (at least 2) equal
+    /// batches; each batch's failure-probability estimate feeds a
+    /// Student-t 95% interval.  With a guard, the deadline is polled
+    /// *between* batches once the two-batch minimum has run, so this
+    /// estimator always returns a distribution and a finite-df interval
+    /// even when the deadline has already expired.
+    pub fn monte_carlo_batched(
+        &self,
+        options: MonteCarloOptions,
+        batches: u64,
+        guard: Option<&BudgetGuard>,
+    ) -> MonteCarloEstimate {
+        let batches = batches.max(2);
+        let per_batch = (options.samples / batches).max(1);
+        let mut rng = StdRng::seed_from_u64(options.seed);
+        let kernel = self.compile();
+        let mut bm = BatchMeans::new();
+        let mut merged = ConfigDistribution::new();
+        let mut completed = 0u64;
+        for b in 0..batches {
+            // The first two batches always run: the estimator's contract
+            // is to produce a result with a finite-df interval no matter
+            // how starved the budget is.
+            if b >= 2 {
+                if let Some(g) = guard {
+                    if g.check().is_err() {
+                        break;
+                    }
+                }
+            }
+            let dist = match &kernel {
+                Some(k) => k.monte_carlo_run(&mut rng, per_batch),
+                None => self.monte_carlo_naive(&mut rng, per_batch),
+            };
+            bm.push_batch(dist.failed_probability());
+            merged.merge(dist);
+            completed += 1;
+        }
+        // Each batch distribution is normalised to its own batch; the
+        // pooled estimate is their average.
+        let mut distribution = ConfigDistribution::new();
+        for (config, p) in merged.iter() {
+            distribution.add(config.clone(), p / completed as f64);
+        }
+        let drawn = per_batch * completed;
+        distribution.set_states_explored(drawn);
+        let ci = bm.confidence_interval();
+        MonteCarloEstimate {
+            distribution,
+            info: EstimateInfo {
+                samples: drawn,
+                seed: options.seed,
+                batches: completed,
+                failed_mean: ci.mean,
+                failed_half_width: ci.half_width,
+            },
+        }
     }
 
     /// The allocating per-sample estimator — the reference path the

@@ -32,6 +32,7 @@
 //! [frozen]: fmperf_bdd::FrozenMtbdd
 
 use crate::analysis::Analysis;
+use crate::budget::{AnalysisError, BudgetGuard};
 use crate::ccf::FailureDependencies;
 use crate::distribution::ConfigDistribution;
 use crate::know_guards::{GuardBuilder, KnowCache};
@@ -87,9 +88,54 @@ impl Analysis<'_> {
         self.compile_mtbdd_masked(Some(deps))
     }
 
+    /// [`compile_mtbdd`](Analysis::compile_mtbdd) with the feasibility
+    /// check surfaced as a typed error instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::TooManyComponents`] when more than 30
+    /// *application* components are fallible.
+    pub fn try_compile_mtbdd(&self) -> Result<CompiledMtbdd, AnalysisError> {
+        self.compile_mtbdd_fallible(None, None)
+    }
+
+    /// Budget-guarded [`compile_mtbdd`](Analysis::compile_mtbdd): the
+    /// build loop polls the guard's deadline per application-state cube,
+    /// node allocation is capped at the budget's `max_mtbdd_nodes`, and
+    /// the `2^A·2^S` region count must fit the budget's `max_states`.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::TooManyComponents`],
+    /// [`AnalysisError::StateCapExceeded`],
+    /// [`AnalysisError::DeadlineExpired`] or
+    /// [`AnalysisError::NodeCapExceeded`].
+    pub fn try_compile_mtbdd_guarded(
+        &self,
+        guard: &BudgetGuard,
+    ) -> Result<CompiledMtbdd, AnalysisError> {
+        self.compile_mtbdd_fallible(None, Some(guard))
+    }
+
     fn compile_mtbdd_masked(&self, deps: Option<&FailureDependencies>) -> CompiledMtbdd {
+        match self.compile_mtbdd_fallible(deps, None) {
+            Ok(compiled) => compiled,
+            // Without a guard the only failure is the feasibility check;
+            // the unguarded API contract is to panic on it.
+            Err(e) => panic!("invariant: MTBDD compile fits in 30 application bits — {e}"),
+        }
+    }
+
+    fn compile_mtbdd_fallible(
+        &self,
+        deps: Option<&FailureDependencies>,
+        guard: Option<&BudgetGuard>,
+    ) -> Result<CompiledMtbdd, AnalysisError> {
         let space = self.space;
         let mut mt = Mtbdd::new(space.len());
+        if let Some(g) = guard {
+            mt.set_node_limit(g.budget().max_mtbdd_nodes);
+        }
         let mut ids: BTreeMap<Configuration, u32> = BTreeMap::new();
         let mut configs: Vec<Configuration> = Vec::new();
         let mut contexts = Vec::new();
@@ -103,7 +149,7 @@ impl Analysis<'_> {
                 .map_or(Vec::new(), |d| d.forced_down(gmask))
                 .into_iter()
                 .collect();
-            let root = self.build_map(&mut mt, &forced, &mut ids, &mut configs);
+            let root = self.build_map(&mut mt, &forced, &mut ids, &mut configs, guard)?;
             let frozen = mt.freeze(root);
             let config_of: Vec<u32> = frozen
                 .terminal_values()
@@ -123,13 +169,13 @@ impl Analysis<'_> {
             });
         }
         let node_count = contexts.iter().map(|c| c.frozen.node_count()).sum();
-        CompiledMtbdd {
+        Ok(CompiledMtbdd {
             configs,
             contexts,
             up_probs: (0..space.len()).map(|ix| space.up_prob(ix)).collect(),
             fallible: space.fallible_indices(),
             node_count,
-        }
+        })
     }
 
     /// Builds the state→configuration MTBDD for one common-cause context
@@ -141,7 +187,8 @@ impl Analysis<'_> {
         forced: &BTreeSet<usize>,
         ids: &mut BTreeMap<Configuration, u32>,
         configs: &mut Vec<Configuration>,
-    ) -> MtRef {
+        budget: Option<&BudgetGuard>,
+    ) -> Result<MtRef, AnalysisError> {
         let space = self.space;
         let ft = self.graph.model();
         let n_services = ft.service_count();
@@ -152,11 +199,25 @@ impl Analysis<'_> {
             .into_iter()
             .filter(|&ix| ix < space.app_count() && !forced.contains(&ix))
             .collect();
-        assert!(
-            app_fallible.len() <= 30,
-            "{} fallible application components: enumeration infeasible",
-            app_fallible.len()
-        );
+        if app_fallible.len() > 30 {
+            return Err(AnalysisError::TooManyComponents {
+                fallible: app_fallible.len(),
+                groups: 0,
+            });
+        }
+        if let Some(g) = budget {
+            // The build enumerates 2^A application cubes × 2^S service
+            // outcomes: that region count is this engine's "state" cost.
+            let bits = app_fallible.len() + n_services;
+            let regions = 1u128 << bits.min(127);
+            if bits >= 64 || regions > u128::from(g.budget().max_states) {
+                return Err(AnalysisError::StateCapExceeded {
+                    states: u64::try_from(regions.min(u128::from(u64::MAX)))
+                        .expect("invariant: value clamped to u64::MAX"),
+                    max_states: g.budget().max_states,
+                });
+            }
+        }
 
         let guards = GuardBuilder::for_context(self, forced, true);
         let mut cache: KnowCache<MtRef> = KnowCache::new();
@@ -168,6 +229,14 @@ impl Analysis<'_> {
         let n_app_states: u64 = 1 << app_fallible.len();
         let n_sigma: u64 = 1 << n_services;
         for mask in 0..n_app_states {
+            if let Some(g) = budget {
+                g.check()?;
+                if mt.node_limit_hit() {
+                    return Err(AnalysisError::NodeCapExceeded {
+                        max_nodes: g.budget().max_mtbdd_nodes,
+                    });
+                }
+            }
             for (bit, &ix) in app_fallible.iter().enumerate() {
                 state[ix] = mask & (1 << bit) != 0;
             }
@@ -214,7 +283,16 @@ impl Analysis<'_> {
                 map = mt.ite(region, leaf, map);
             }
         }
-        map
+        if let Some(g) = budget {
+            // Catch a cap trip on the final cube before freezing a
+            // truncated diagram.
+            if mt.node_limit_hit() {
+                return Err(AnalysisError::NodeCapExceeded {
+                    max_nodes: g.budget().max_mtbdd_nodes,
+                });
+            }
+        }
+        Ok(map)
     }
 }
 
@@ -246,11 +324,19 @@ impl CompiledMtbdd {
     /// [`configurations`](CompiledMtbdd::configurations)) for one
     /// availability vector: one linear pass per context diagram.
     pub fn probabilities_for(&self, up: &[f64]) -> Vec<f64> {
-        assert_eq!(
-            up.len(),
-            self.up_probs.len(),
-            "availability vector length must equal the component count"
-        );
+        self.try_probabilities_for(up)
+            .expect("invariant: availability vector length equals the component count")
+    }
+
+    /// [`probabilities_for`](CompiledMtbdd::probabilities_for) with the
+    /// length check surfaced as a typed error instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::DimensionMismatch`] when `up.len()` is not the
+    /// component count.
+    pub fn try_probabilities_for(&self, up: &[f64]) -> Result<Vec<f64>, AnalysisError> {
+        self.check_row(up)?;
         let mut sums = vec![0.0; self.configs.len()];
         let mut scratch = Vec::new();
         for ctx in &self.contexts {
@@ -260,7 +346,18 @@ impl CompiledMtbdd {
                 sums[ctx.config_of[slot] as usize] += ctx.gprob * p;
             }
         }
-        sums
+        Ok(sums)
+    }
+
+    /// Errors unless `up` has exactly one entry per component.
+    fn check_row(&self, up: &[f64]) -> Result<(), AnalysisError> {
+        if up.len() != self.up_probs.len() {
+            return Err(AnalysisError::DimensionMismatch {
+                expected: self.up_probs.len(),
+                got: up.len(),
+            });
+        }
+        Ok(())
     }
 
     /// The configuration distribution for an arbitrary availability
@@ -270,6 +367,17 @@ impl CompiledMtbdd {
     /// (the linear-pass cost), not a `2^N` state count.
     pub fn distribution_for(&self, up: &[f64]) -> ConfigDistribution {
         self.to_distribution(&self.probabilities_for(up))
+    }
+
+    /// [`distribution_for`](CompiledMtbdd::distribution_for) with the
+    /// length check surfaced as a typed error instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::DimensionMismatch`] when `up.len()` is not the
+    /// component count.
+    pub fn try_distribution_for(&self, up: &[f64]) -> Result<ConfigDistribution, AnalysisError> {
+        Ok(self.to_distribution(&self.try_probabilities_for(up)?))
     }
 
     /// The distribution at the compiled availability vector — matches
@@ -282,12 +390,24 @@ impl CompiledMtbdd {
     /// Per-configuration probabilities for a whole matrix of availability
     /// vectors, rows chunked over `threads` OS threads.
     pub fn batch_probabilities(&self, rows: &[Vec<f64>], threads: usize) -> Vec<Vec<f64>> {
+        self.try_batch_probabilities(rows, threads)
+            .expect("invariant: every availability row's length equals the component count")
+    }
+
+    /// [`batch_probabilities`](CompiledMtbdd::batch_probabilities) with
+    /// the length checks surfaced as typed errors instead of panics.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::DimensionMismatch`] for the first row whose
+    /// length is not the component count.
+    pub fn try_batch_probabilities(
+        &self,
+        rows: &[Vec<f64>],
+        threads: usize,
+    ) -> Result<Vec<Vec<f64>>, AnalysisError> {
         for row in rows {
-            assert_eq!(
-                row.len(),
-                self.up_probs.len(),
-                "availability vector length must equal the component count"
-            );
+            self.check_row(row)?;
         }
         let mut sums = vec![vec![0.0; self.configs.len()]; rows.len()];
         for ctx in &self.contexts {
@@ -298,7 +418,7 @@ impl CompiledMtbdd {
                 }
             }
         }
-        sums
+        Ok(sums)
     }
 
     /// [`distribution_for`](CompiledMtbdd::distribution_for) over a
@@ -318,12 +438,40 @@ impl CompiledMtbdd {
     /// per-configuration rewards (aligned with
     /// [`configurations`](CompiledMtbdd::configurations)).
     pub fn expected_reward_for(&self, up: &[f64], rewards: &[f64]) -> f64 {
-        assert_eq!(rewards.len(), self.configs.len());
-        self.probabilities_for(up)
+        self.try_expected_reward_for(up, rewards)
+            .expect("invariant: reward and availability vectors match the compiled dimensions")
+    }
+
+    /// [`expected_reward_for`](CompiledMtbdd::expected_reward_for) with
+    /// the length checks surfaced as typed errors instead of panics.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::DimensionMismatch`] when `up` is not one entry
+    /// per component or `rewards` is not one entry per configuration.
+    pub fn try_expected_reward_for(
+        &self,
+        up: &[f64],
+        rewards: &[f64],
+    ) -> Result<f64, AnalysisError> {
+        self.check_rewards(rewards)?;
+        Ok(self
+            .try_probabilities_for(up)?
             .iter()
             .zip(rewards)
             .map(|(p, r)| p * r)
-            .sum()
+            .sum())
+    }
+
+    /// Errors unless `rewards` has exactly one entry per configuration.
+    fn check_rewards(&self, rewards: &[f64]) -> Result<(), AnalysisError> {
+        if rewards.len() != self.configs.len() {
+            return Err(AnalysisError::DimensionMismatch {
+                expected: self.configs.len(),
+                got: rewards.len(),
+            });
+        }
+        Ok(())
     }
 
     /// Exact per-component reward sensitivities at the compiled
@@ -334,7 +482,19 @@ impl CompiledMtbdd {
     /// matches [`crate::sensitivity::sensitivity`] (which enumerates the
     /// `2^N` states) up to float associativity.
     pub fn reward_sensitivity(&self, rewards: &[f64]) -> Sensitivity {
-        assert_eq!(rewards.len(), self.configs.len());
+        self.try_reward_sensitivity(rewards)
+            .expect("invariant: one reward per compiled configuration")
+    }
+
+    /// [`reward_sensitivity`](CompiledMtbdd::reward_sensitivity) with
+    /// the length check surfaced as a typed error instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::DimensionMismatch`] when `rewards` is not one
+    /// entry per configuration.
+    pub fn try_reward_sensitivity(&self, rewards: &[f64]) -> Result<Sensitivity, AnalysisError> {
+        self.check_rewards(rewards)?;
         let mut deriv = vec![0.0; self.up_probs.len()];
         let mut ctx_deriv = vec![0.0; self.up_probs.len()];
         let mut reach = Vec::new();
@@ -356,9 +516,9 @@ impl CompiledMtbdd {
                 *d += ctx.gprob * cd;
             }
         }
-        Sensitivity {
+        Ok(Sensitivity {
             derivatives: self.fallible.iter().map(|&ix| (ix, deriv[ix])).collect(),
-        }
+        })
     }
 
     fn to_distribution(&self, sums: &[f64]) -> ConfigDistribution {

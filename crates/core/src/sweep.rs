@@ -7,6 +7,7 @@
 //! state→configuration map is compiled once and each sweep point is one
 //! pass over the frozen diagram.
 
+use crate::budget::{AnalysisError, BudgetGuard};
 use crate::mtbdd_engine::CompiledMtbdd;
 
 /// One availability sweep: vary `component`'s availability from `from`
@@ -102,6 +103,55 @@ pub fn sweep(compiled: &CompiledMtbdd, spec: &SweepSpec) -> Result<Vec<SweepPoin
             probabilities,
         })
         .collect())
+}
+
+/// Sweep points evaluated per deadline check — small enough that an
+/// expired deadline is noticed within a few linear passes.
+const SWEEP_CHUNK: usize = 16;
+
+/// Budget-guarded [`sweep`]: evaluates the points in chunks of
+/// [`SWEEP_CHUNK`], polling the guard's deadline between chunks.  A
+/// within-budget run returns exactly what [`sweep`] returns.
+///
+/// # Errors
+///
+/// [`AnalysisError::Sweep`] for a rejected spec,
+/// [`AnalysisError::DeadlineExpired`] when the guard trips mid-sweep.
+pub fn sweep_guarded(
+    compiled: &CompiledMtbdd,
+    spec: &SweepSpec,
+    guard: &BudgetGuard,
+) -> Result<Vec<SweepPoint>, AnalysisError> {
+    if spec.component >= compiled.baseline_up().len() {
+        return Err(SweepError::ComponentOutOfRange(spec.component).into());
+    }
+    if !(0.0..=1.0).contains(&spec.from) || !(0.0..=1.0).contains(&spec.to) {
+        return Err(SweepError::BoundOutOfRange.into());
+    }
+    let points = availability_points(spec.from, spec.to, spec.steps);
+    let mut out = Vec::with_capacity(points.len());
+    for chunk in points.chunks(SWEEP_CHUNK) {
+        guard.check()?;
+        let rows: Vec<Vec<f64>> = chunk
+            .iter()
+            .map(|&a| {
+                let mut up = compiled.baseline_up().to_vec();
+                up[spec.component] = a;
+                up
+            })
+            .collect();
+        let probabilities = compiled.try_batch_probabilities(&rows, spec.threads.max(1))?;
+        out.extend(
+            chunk
+                .iter()
+                .zip(probabilities)
+                .map(|(&availability, probabilities)| SweepPoint {
+                    availability,
+                    probabilities,
+                }),
+        );
+    }
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
 //! Cost, reward and feasibility lint passes: FM201–FM212.
 
 use crate::{Diagnostic, LintCode, Severity};
+use fmperf_core::AnalysisBudget;
 use fmperf_ftlqn::FaultGraph;
 use fmperf_mama::{ComponentSpace, KnowTable};
 use fmperf_text::ParsedModel;
@@ -17,6 +18,7 @@ pub(crate) fn run(m: &ParsedModel, valid: bool, out: &mut Vec<Diagnostic>) {
     if valid {
         state_space(m, out);
         engine_suggestion(m, out);
+        budget_degradation(m, out);
     }
     reward_weights(m, out);
     saturated_users(m, out);
@@ -90,6 +92,43 @@ fn engine_suggestion(m: &ParsedModel, out: &mut Vec<Diagnostic>) {
              MTBDD engine (`fmperf sweep`, `Analysis::compile_mtbdd`): each \
              further availability vector then costs one pass linear in the \
              diagram",
+        ),
+    );
+}
+
+/// FM203: the exact state space exceeds the *default* analysis budget.
+///
+/// The threshold is [`AnalysisBudget::DEFAULT_MAX_STATES`] itself, so
+/// the lint and the guarded engine can never disagree about when
+/// degradation kicks in.
+fn budget_degradation(m: &ParsedModel, out: &mut Vec<Diagnostic>) {
+    let space = ComponentSpace::build(&m.app, &m.mama);
+    let n = space.fallible_indices().len();
+    let budget_bits = AnalysisBudget::DEFAULT_MAX_STATES.trailing_zeros() as usize;
+    if n <= budget_bits {
+        return;
+    }
+    let states = if n < u64::BITS as usize {
+        format!("{}", 1u64 << n)
+    } else {
+        format!("2^{n}")
+    };
+    out.push(
+        Diagnostic::new(
+            LintCode::BudgetDegradation,
+            Severity::Warning,
+            None,
+            format!(
+                "estimated {states} global states exceed the default analysis budget \
+                 of {} states",
+                AnalysisBudget::DEFAULT_MAX_STATES
+            ),
+        )
+        .with_help(
+            "a budget-guarded run (`fmperf analyze --engine guarded`, `fmperf campaign`) \
+             will skip exact enumeration and degrade down the ladder — MTBDD, compiled \
+             bitmask, then Monte Carlo with a batch-means 95% confidence interval; raise \
+             --budget-states to force the exact engines",
         ),
     );
 }

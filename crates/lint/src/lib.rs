@@ -23,6 +23,7 @@
 //! | FM113 | warning  | management task collects status it can never deliver |
 //! | FM201 | note/warning | state-space size estimate (warning from 2^20 states) |
 //! | FM202 | note     | large model: the compile-once MTBDD engine pays off for repeated evaluation |
+//! | FM203 | warning  | state space exceeds the default analysis budget: guarded runs will degrade |
 //! | FM210 | warning  | reward weight is zero or negative |
 //! | FM211 | warning  | reward names a user group with zero think time (saturated) |
 //! | FM212 | note     | model declares no reward weights |
@@ -109,6 +110,9 @@ pub enum LintCode {
     /// FM202: the model is large enough that the compile-once MTBDD
     /// engine pays off for repeated evaluation (sweeps, sensitivities).
     EngineSuggestion,
+    /// FM203: the exact state space exceeds the *default* analysis
+    /// budget — a budget-guarded run will degrade to a cheaper engine.
+    BudgetDegradation,
     /// FM210: a reward weight is zero or negative.
     BadRewardWeight,
     /// FM211: a reward names a user group with zero think time.
@@ -119,7 +123,7 @@ pub enum LintCode {
 
 impl LintCode {
     /// Every code, in numeric order.
-    pub const ALL: [LintCode; 16] = [
+    pub const ALL: [LintCode; 17] = [
         LintCode::AppInvalid,
         LintCode::UnreachableEntry,
         LintCode::DeadAlternative,
@@ -133,6 +137,7 @@ impl LintCode {
         LintCode::KnowledgeDeadEnd,
         LintCode::StateSpace,
         LintCode::EngineSuggestion,
+        LintCode::BudgetDegradation,
         LintCode::BadRewardWeight,
         LintCode::SaturatedUsers,
         LintCode::NoReward,
@@ -154,6 +159,7 @@ impl LintCode {
             LintCode::KnowledgeDeadEnd => "FM113",
             LintCode::StateSpace => "FM201",
             LintCode::EngineSuggestion => "FM202",
+            LintCode::BudgetDegradation => "FM203",
             LintCode::BadRewardWeight => "FM210",
             LintCode::SaturatedUsers => "FM211",
             LintCode::NoReward => "FM212",

@@ -227,6 +227,32 @@ fn fm201_note_when_small_warning_when_large() {
 }
 
 #[test]
+fn fm203_warns_past_the_default_analysis_budget() {
+    let base = "processor pc cores inf\nprocessor p1\nusers u on pc\ntask t on p1\n\
+                entry eu of u\nentry e1 of t demand 0.5\ncall eu -> e1\n";
+    // 23 fallible bits: 2^23 > the default budget of 2^22 states.
+    let mut big = String::from(base);
+    for i in 0..23 {
+        big.push_str(&format!("link l{i} fail 0.1\n"));
+    }
+    let ds = diags(&big);
+    let hits = find(&ds, LintCode::BudgetDegradation);
+    assert_eq!(hits.len(), 1, "{ds:#?}");
+    assert_eq!(hits[0].severity, Severity::Warning);
+    assert!(hits[0].message.contains("8388608"), "{:?}", hits[0]);
+    assert!(hits[0].message.contains("4194304"), "{:?}", hits[0]);
+    let help = hits[0].help.as_deref().unwrap_or("");
+    assert!(help.contains("degrade"), "{help}");
+
+    // 2^22 states exactly fits the default budget: no warning.
+    let mut fits = String::from(base);
+    for i in 0..22 {
+        fits.push_str(&format!("link l{i} fail 0.1\n"));
+    }
+    assert!(find(&diags(&fits), LintCode::BudgetDegradation).is_empty());
+}
+
+#[test]
 fn fm210_non_positive_reward_weight() {
     let src = "processor pc cores inf\nprocessor p1\nusers u on pc think 1.0\ntask t on p1\n\
                entry eu of u\nentry e1 of t demand 0.5\ncall eu -> e1\nreward u 0\n";

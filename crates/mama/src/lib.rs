@@ -48,12 +48,14 @@
 
 pub mod arch;
 pub mod dot;
+pub mod inject;
 pub mod knowledge;
 pub mod model;
 pub mod oracle;
 pub mod space;
 pub mod synth;
 
+pub use inject::{injection_points, pairwise_scenarios, single_scenarios, Injection, Scenario};
 pub use knowledge::{CompiledKnow, KnowFunction, KnowledgeGraph};
 pub use model::{ConnId, ConnectorKind, MamaCompId, MamaError, MamaModel, MamaRef, MgmtRole};
 pub use oracle::{CompiledKnowTable, KnowTable, MamaOracle};

@@ -25,25 +25,40 @@
 //! stderr, passing ones to stdout.
 
 use fmperf::core::{
-    solve_configurations, Analysis, MonteCarloOptions, RewardSpec, StudyReport, SweepSpec,
+    run_campaign, solve_configurations, Analysis, AnalysisBudget, CampaignOptions, EstimateInfo,
+    GuardedOptions, MonteCarloOptions, RewardSpec, ScenarioAnalysis, StudyReport, SweepSpec,
 };
 use fmperf::ftlqn::{FaultGraph, KnowPolicy};
 use fmperf::lint::Severity;
 use fmperf::mama::{ComponentSpace, KnowTable, KnowledgeGraph};
 use fmperf::text::{parse, parse_lenient, write_model, LenientParse, ParsedModel};
 use std::process::ExitCode;
+use std::time::Duration;
 
 const USAGE: &str = "usage:
-  fmperf analyze <model.fmp> [--engine enumerate|parallel|symbolic|mtbdd|montecarlo]
-                             [--samples N] [--policy any|all]
-                             [--unmonitored-known] [--threads N]
-  fmperf sweep   <model.fmp> --component <name> [--from A] [--to B] [--steps N]
-                             [--json] [--policy any|all] [--unmonitored-known]
-                             [--threads N]
-  fmperf lint    <model.fmp> [--format text|json] [--deny warnings]
-  fmperf check   <model.fmp> [--deny warnings]
-  fmperf dot     <model.fmp> fault|mama|knowledge
-  fmperf fmt     <model.fmp>";
+  fmperf analyze  <model.fmp> [--engine enumerate|parallel|symbolic|mtbdd|montecarlo|guarded]
+                              [--samples N] [--seed N] [--json] [--policy any|all]
+                              [--unmonitored-known] [--threads N]
+                              [--budget-states N] [--budget-deadline-ms N]
+                              [--budget-nodes N] [--budget-memo N]
+  fmperf campaign <model.fmp> [--pairwise] [--json] [--samples N] [--seed N]
+                              [--policy any|all] [--unmonitored-known] [--threads N]
+                              [--budget-states N] [--budget-deadline-ms N]
+                              [--budget-nodes N] [--budget-memo N]
+  fmperf sweep    <model.fmp> --component <name> [--from A] [--to B] [--steps N]
+                              [--json] [--policy any|all] [--unmonitored-known]
+                              [--threads N]
+  fmperf lint     <model.fmp> [--format text|json] [--deny warnings]
+  fmperf check    <model.fmp> [--deny warnings]
+  fmperf dot      <model.fmp> fault|mama|knowledge
+  fmperf fmt      <model.fmp>
+
+`analyze --engine guarded` (implied by any --budget-* flag) runs the
+degradation ladder: exact enumeration, then MTBDD, then the compiled
+bitmask kernel, then Monte Carlo with a batch-means 95% CI — whichever
+first fits the budget.  `campaign` re-analyses the model under every
+single (and with --pairwise, every pairwise) management-plane fault
+injection and reports coverage loss and reward deltas per scenario.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -72,9 +87,100 @@ fn main() -> ExitCode {
 struct AnalyzeOptions {
     engine: String,
     samples: u64,
+    seed: u64,
+    json: bool,
     policy: KnowPolicy,
     unmonitored_known: bool,
     threads: usize,
+    budget: BudgetFlags,
+}
+
+/// Explicitly supplied `--budget-*` values (defaults fill the gaps).
+#[derive(Default)]
+struct BudgetFlags {
+    states: Option<u64>,
+    deadline_ms: Option<u64>,
+    nodes: Option<usize>,
+    memo: Option<usize>,
+}
+
+impl BudgetFlags {
+    /// Did any `--budget-*` flag appear?  (It then implies the guarded
+    /// engine.)
+    fn any_set(&self) -> bool {
+        self.states.is_some()
+            || self.deadline_ms.is_some()
+            || self.nodes.is_some()
+            || self.memo.is_some()
+    }
+
+    /// The defaults with the explicit flags layered on top.
+    fn to_budget(&self) -> AnalysisBudget {
+        let mut b = AnalysisBudget::default();
+        if let Some(s) = self.states {
+            b.max_states = s;
+        }
+        if let Some(ms) = self.deadline_ms {
+            b.deadline = Some(Duration::from_millis(ms));
+        }
+        if let Some(n) = self.nodes {
+            b.max_mtbdd_nodes = n;
+        }
+        if let Some(m) = self.memo {
+            b.max_memo_entries = m;
+        }
+        b
+    }
+
+    /// Consumes one `--budget-*` flag if `flag` is one; `Ok(false)`
+    /// means the flag is not budget-related.
+    fn parse_flag<'a>(
+        &mut self,
+        flag: &str,
+        it: &mut impl Iterator<Item = &'a str>,
+    ) -> Result<bool, String> {
+        let mut grab = |what: &str| -> Result<&'a str, String> {
+            it.next().ok_or_else(|| format!("{what} needs a value"))
+        };
+        match flag {
+            "--budget-states" => {
+                self.states = Some(
+                    grab("--budget-states")?
+                        .parse()
+                        .map_err(|_| "bad --budget-states value")?,
+                );
+            }
+            "--budget-deadline-ms" => {
+                self.deadline_ms = Some(
+                    grab("--budget-deadline-ms")?
+                        .parse()
+                        .map_err(|_| "bad --budget-deadline-ms value")?,
+                );
+            }
+            "--budget-nodes" => {
+                self.nodes = Some(
+                    grab("--budget-nodes")?
+                        .parse()
+                        .map_err(|_| "bad --budget-nodes value")?,
+                );
+            }
+            "--budget-memo" => {
+                self.memo = Some(
+                    grab("--budget-memo")?
+                        .parse()
+                        .map_err(|_| "bad --budget-memo value")?,
+                );
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+}
+
+/// Minimal JSON string escaping (the labels we emit contain no control
+/// characters).
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 fn load(path: &str) -> Result<ParsedModel, String> {
@@ -107,19 +213,111 @@ fn run(args: &[String]) -> Result<String, String> {
             let mut opts = AnalyzeOptions {
                 engine: "enumerate".into(),
                 samples: 100_000,
+                seed: 0xF00D,
+                json: false,
                 policy: KnowPolicy::AnyFailedComponent,
                 unmonitored_known: false,
                 threads: 4,
+                budget: BudgetFlags::default(),
             };
+            let mut engine_explicit = false;
             while let Some(flag) = it.next() {
                 match flag {
-                    "--engine" => opts.engine = it.next().ok_or("--engine needs a value")?.into(),
+                    "--engine" => {
+                        opts.engine = it.next().ok_or("--engine needs a value")?.into();
+                        engine_explicit = true;
+                    }
                     "--samples" => {
                         opts.samples = it
                             .next()
                             .ok_or("--samples needs a value")?
                             .parse()
                             .map_err(|_| "bad --samples value")?;
+                    }
+                    "--seed" => {
+                        opts.seed = it
+                            .next()
+                            .ok_or("--seed needs a value")?
+                            .parse()
+                            .map_err(|_| "bad --seed value")?;
+                    }
+                    "--json" => opts.json = true,
+                    "--policy" => {
+                        opts.policy = match it.next().ok_or("--policy needs a value")? {
+                            "any" => KnowPolicy::AnyFailedComponent,
+                            "all" => KnowPolicy::AllFailedComponents,
+                            other => return Err(format!("unknown policy `{other}`")),
+                        };
+                    }
+                    "--unmonitored-known" => opts.unmonitored_known = true,
+                    "--threads" => {
+                        opts.threads = it
+                            .next()
+                            .ok_or("--threads needs a value")?
+                            .parse()
+                            .map_err(|_| "bad --threads value")?;
+                    }
+                    other if opts.budget.parse_flag(other, &mut it)? => {}
+                    other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+                }
+            }
+            // A budget implies the guarded ladder; an explicit
+            // conflicting engine choice is an error, not a silent
+            // override.
+            if opts.budget.any_set() {
+                if engine_explicit && opts.engine != "guarded" {
+                    return Err(format!(
+                        "--budget-* flags require the guarded engine, not `{}`",
+                        opts.engine
+                    ));
+                }
+                opts.engine = "guarded".into();
+            }
+            // Pre-flight: refuse models with lint errors, mention
+            // warnings without blocking on them.
+            let parsed = load_lenient(path)?;
+            let diags = fmperf::lint::lint(&parsed);
+            if fmperf::lint::count(&diags, Severity::Error) > 0 {
+                return Err(fmperf::lint::render_text(path, &diags));
+            }
+            let warns = fmperf::lint::count(&diags, Severity::Warning);
+            // The warning banner would corrupt machine-readable output.
+            let header = if warns > 0 && !opts.json {
+                format!("lint: {warns} warning(s); run `fmperf lint {path}` for details\n\n")
+            } else {
+                String::new()
+            };
+            analyze(&parsed.model, &opts).map(|out| header + &out)
+        }
+        Some("campaign") => {
+            let path = it.next().ok_or(USAGE)?;
+            let mut opts = CampaignCliOptions {
+                pairwise: false,
+                json: false,
+                samples: 100_000,
+                seed: 0xF00D,
+                policy: KnowPolicy::AnyFailedComponent,
+                unmonitored_known: false,
+                threads: 4,
+                budget: BudgetFlags::default(),
+            };
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--pairwise" => opts.pairwise = true,
+                    "--json" => opts.json = true,
+                    "--samples" => {
+                        opts.samples = it
+                            .next()
+                            .ok_or("--samples needs a value")?
+                            .parse()
+                            .map_err(|_| "bad --samples value")?;
+                    }
+                    "--seed" => {
+                        opts.seed = it
+                            .next()
+                            .ok_or("--seed needs a value")?
+                            .parse()
+                            .map_err(|_| "bad --seed value")?;
                     }
                     "--policy" => {
                         opts.policy = match it.next().ok_or("--policy needs a value")? {
@@ -136,23 +334,16 @@ fn run(args: &[String]) -> Result<String, String> {
                             .parse()
                             .map_err(|_| "bad --threads value")?;
                     }
+                    other if opts.budget.parse_flag(other, &mut it)? => {}
                     other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
                 }
             }
-            // Pre-flight: refuse models with lint errors, mention
-            // warnings without blocking on them.
             let parsed = load_lenient(path)?;
             let diags = fmperf::lint::lint(&parsed);
             if fmperf::lint::count(&diags, Severity::Error) > 0 {
                 return Err(fmperf::lint::render_text(path, &diags));
             }
-            let warns = fmperf::lint::count(&diags, Severity::Warning);
-            let header = if warns > 0 {
-                format!("lint: {warns} warning(s); run `fmperf lint {path}` for details\n\n")
-            } else {
-                String::new()
-            };
-            analyze(&parsed.model, &opts).map(|out| header + &out)
+            campaign_cmd(&parsed.model, &opts)
         }
         Some("sweep") => {
             let path = it.next().ok_or(USAGE)?;
@@ -338,6 +529,10 @@ fn analyze(m: &ParsedModel, opts: &AnalyzeOptions) -> Result<String, String> {
         analysis = analysis.with_knowledge(&table);
     }
 
+    // Guarded provenance, filled in by the guarded engine only.
+    let mut produced: Option<&'static str> = None;
+    let mut descents: Vec<(String, String)> = Vec::new();
+    let mut estimate: Option<EstimateInfo> = None;
     let dist = match opts.engine.as_str() {
         "enumerate" => analysis.enumerate(),
         "parallel" => analysis.enumerate_parallel(opts.threads),
@@ -345,32 +540,326 @@ fn analyze(m: &ParsedModel, opts: &AnalyzeOptions) -> Result<String, String> {
         "mtbdd" => analysis.compile_mtbdd().distribution(),
         "montecarlo" => analysis.monte_carlo(MonteCarloOptions {
             samples: opts.samples,
-            seed: 0xF00D,
+            seed: opts.seed,
         }),
+        "guarded" => {
+            let report = analysis.analyze_guarded(&GuardedOptions {
+                budget: opts.budget.to_budget(),
+                samples: opts.samples,
+                seed: opts.seed,
+                threads: opts.threads,
+            });
+            produced = Some(report.engine.name());
+            descents = report
+                .descents
+                .iter()
+                .map(|d| (d.engine.name().to_string(), d.reason.to_string()))
+                .collect();
+            estimate = report.estimate;
+            report.distribution
+        }
         other => return Err(format!("unknown engine `{other}`")),
     };
+    let sampled = opts.engine == "montecarlo" || estimate.is_some();
 
-    let mut out = String::new();
-    out.push_str(&format!(
-        "components: {} total, {} fallible; engine: {}, states: {}\n\n",
-        space.len(),
-        space.fallible_indices().len(),
-        opts.engine,
-        dist.states_explored(),
-    ));
-    out.push_str("configurations:\n");
-    out.push_str(&dist.table(&m.app));
-
-    if !m.rewards.is_empty() {
-        let configs = dist.configurations();
-        let perfs = solve_configurations(&m.app, &configs).map_err(|e| e.to_string())?;
+    let reward_spec = if m.rewards.is_empty() {
+        None
+    } else {
         let mut spec = RewardSpec::new();
         for &(t, w) in &m.rewards {
             spec = spec.weight(t, w);
         }
-        let report = StudyReport::new(&m.app, &dist, &perfs, &spec);
+        Some(spec)
+    };
+
+    if opts.json {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"engine\": \"{}\",\n",
+            produced.unwrap_or(opts.engine.as_str())
+        ));
+        if produced.is_some() {
+            out.push_str("  \"requested\": \"guarded\",\n");
+        }
+        out.push_str(&format!(
+            "  \"components\": {}, \"fallible\": {}, \"states\": {},\n",
+            space.len(),
+            space.fallible_indices().len(),
+            dist.states_explored()
+        ));
+        if sampled {
+            out.push_str(&format!("  \"seed\": {},\n", opts.seed));
+        }
+        if let Some(est) = &estimate {
+            out.push_str(&format!(
+                "  \"estimate\": {{\"failed_mean\": {}, \"failed_half_width\": {}, \
+                 \"batches\": {}, \"samples\": {}}},\n",
+                est.failed_mean, est.failed_half_width, est.batches, est.samples
+            ));
+        }
+        if !descents.is_empty() {
+            out.push_str("  \"descents\": [\n");
+            for (i, (engine, reason)) in descents.iter().enumerate() {
+                let comma = if i + 1 < descents.len() { "," } else { "" };
+                out.push_str(&format!(
+                    "    {{\"engine\": \"{engine}\", \"reason\": \"{}\"}}{comma}\n",
+                    json_escape(reason)
+                ));
+            }
+            out.push_str("  ],\n");
+        }
+        out.push_str(&format!("  \"failed\": {},\n", dist.failed_probability()));
+        if let Some(spec) = &reward_spec {
+            let configs = dist.configurations();
+            let perfs = solve_configurations(&m.app, &configs).map_err(|e| e.to_string())?;
+            let reward: f64 = configs
+                .iter()
+                .zip(&perfs)
+                .map(|(c, p)| dist.probability(c) * spec.reward(p))
+                .sum();
+            out.push_str(&format!("  \"reward\": {reward},\n"));
+        }
+        out.push_str("  \"configurations\": [\n");
+        let ranked = dist.ranked();
+        for (i, (c, p)) in ranked.iter().enumerate() {
+            let comma = if i + 1 < ranked.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"label\": \"{}\", \"probability\": {p}}}{comma}\n",
+                json_escape(&c.label(&m.app))
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        return Ok(out);
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "components: {} total, {} fallible; engine: {}, states: {}\n",
+        space.len(),
+        space.fallible_indices().len(),
+        match produced {
+            Some(p) => format!("guarded -> {p}"),
+            None => opts.engine.clone(),
+        },
+        dist.states_explored(),
+    ));
+    for (engine, reason) in &descents {
+        out.push_str(&format!("descended past {engine}: {reason}\n"));
+    }
+    if let Some(est) = &estimate {
+        out.push_str(&format!(
+            "estimate: P[failed] = {:.6} ± {:.6} (95% CI, {} batches, {} samples, seed {})\n",
+            est.failed_mean, est.failed_half_width, est.batches, est.samples, est.seed
+        ));
+    }
+    out.push('\n');
+    out.push_str("configurations:\n");
+    out.push_str(&dist.table(&m.app));
+
+    if let Some(spec) = &reward_spec {
+        let configs = dist.configurations();
+        let perfs = solve_configurations(&m.app, &configs).map_err(|e| e.to_string())?;
+        let report = StudyReport::new(&m.app, &dist, &perfs, spec);
         out.push_str("\nreward report:\n");
         out.push_str(&format!("{report}"));
+    }
+    Ok(out)
+}
+
+/// Options of the `campaign` subcommand.
+struct CampaignCliOptions {
+    pairwise: bool,
+    json: bool,
+    samples: u64,
+    seed: u64,
+    policy: KnowPolicy,
+    unmonitored_known: bool,
+    threads: usize,
+    budget: BudgetFlags,
+}
+
+/// One scenario's JSON object (shared by the baseline and the scenario
+/// list).
+fn scenario_json(s: &ScenarioAnalysis, baseline_failed: f64, indent: &str) -> String {
+    let mut out = String::from("{\n");
+    let mut field = |line: String| {
+        out.push_str(indent);
+        out.push_str("  ");
+        out.push_str(&line);
+        out.push('\n');
+    };
+    field(format!("\"label\": \"{}\",", json_escape(&s.label)));
+    field("\"ok\": true,".into());
+    field(format!("\"engine\": \"{}\",", s.engine.name()));
+    if !s.descents.is_empty() {
+        let items: Vec<String> = s
+            .descents
+            .iter()
+            .map(|d| {
+                format!(
+                    "{{\"engine\": \"{}\", \"reason\": \"{}\"}}",
+                    d.engine.name(),
+                    json_escape(&d.reason.to_string())
+                )
+            })
+            .collect();
+        field(format!("\"descents\": [{}],", items.join(", ")));
+    }
+    if let Some(est) = &s.estimate {
+        field(format!(
+            "\"estimate\": {{\"failed_mean\": {}, \"failed_half_width\": {}, \
+             \"batches\": {}, \"samples\": {}, \"seed\": {}}},",
+            est.failed_mean, est.failed_half_width, est.batches, est.samples, est.seed
+        ));
+    }
+    field(format!("\"failed\": {},", s.failed_probability));
+    field(format!(
+        "\"delta_failed\": {},",
+        s.failed_probability - baseline_failed
+    ));
+    field(format!("\"coverage\": {},", s.covered.len()));
+    field(format!("\"coverage_loss\": {},", s.coverage_loss()));
+    let uncovered: Vec<String> = s
+        .newly_uncovered
+        .iter()
+        .map(|n| format!("\"{}\"", json_escape(n)))
+        .collect();
+    if let Some(r) = s.reward {
+        field(format!("\"reward\": {r},"));
+    }
+    if let Some(d) = s.reward_delta {
+        field(format!("\"reward_delta\": {d},"));
+    }
+    field(format!("\"newly_uncovered\": [{}]", uncovered.join(", ")));
+    out.push_str(indent);
+    out.push('}');
+    out
+}
+
+fn campaign_cmd(m: &ParsedModel, opts: &CampaignCliOptions) -> Result<String, String> {
+    if m.mama.component_count() == 0 {
+        return Err("campaign needs a model with a management architecture".into());
+    }
+    let graph = FaultGraph::build(&m.app).map_err(|e| e.to_string())?;
+    let reward_spec = if m.rewards.is_empty() {
+        None
+    } else {
+        let mut spec = RewardSpec::new();
+        for &(t, w) in &m.rewards {
+            spec = spec.weight(t, w);
+        }
+        Some(spec)
+    };
+    let copts = CampaignOptions {
+        guarded: GuardedOptions {
+            budget: opts.budget.to_budget(),
+            samples: opts.samples,
+            seed: opts.seed,
+            threads: opts.threads,
+        },
+        pairwise: opts.pairwise,
+        policy: opts.policy,
+        unmonitored_known: opts.unmonitored_known,
+    };
+    let report = run_campaign(&graph, &m.mama, reward_spec.as_ref(), &copts);
+    let base = &report.baseline;
+
+    if opts.json {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"pairwise\": {}, \"seed\": {}, \"scenarios_run\": {},\n",
+            opts.pairwise,
+            opts.seed,
+            report.scenarios.len()
+        ));
+        out.push_str(&format!(
+            "  \"baseline\": {},\n",
+            scenario_json(base, base.failed_probability, "  ")
+        ));
+        out.push_str("  \"scenarios\": [\n");
+        for (i, s) in report.scenarios.iter().enumerate() {
+            let comma = if i + 1 < report.scenarios.len() {
+                ","
+            } else {
+                ""
+            };
+            match &s.result {
+                Ok(a) => out.push_str(&format!(
+                    "    {}{comma}\n",
+                    scenario_json(a, base.failed_probability, "    ")
+                )),
+                Err(e) => out.push_str(&format!(
+                    "    {{\"label\": \"{}\", \"ok\": false, \"error\": \"{}\"}}{comma}\n",
+                    json_escape(&s.label),
+                    json_escape(e)
+                )),
+            }
+        }
+        out.push_str("  ]\n}\n");
+        return Ok(out);
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "campaign: {} scenario(s) ({})\n",
+        report.scenarios.len(),
+        if opts.pairwise {
+            "single + pairwise injections"
+        } else {
+            "single injections"
+        }
+    ));
+    out.push_str(&format!(
+        "baseline: engine {}, P[failed] {:.6}, coverage {} component(s){}\n\n",
+        base.engine.name(),
+        base.failed_probability,
+        base.covered.len(),
+        match base.reward {
+            Some(r) => format!(", reward {r:.6}"),
+            None => String::new(),
+        }
+    ));
+    let has_reward = base.reward.is_some();
+    out.push_str(&format!(
+        "{:<44} {:<18} {:>10} {:>10} {:>9}{}  newly uncovered\n",
+        "scenario",
+        "engine",
+        "P[failed]",
+        "dP",
+        "cov-loss",
+        if has_reward { "    dreward" } else { "" }
+    ));
+    for s in &report.scenarios {
+        match &s.result {
+            Ok(a) => {
+                let uncovered = if a.newly_uncovered.is_empty() {
+                    "-".to_string()
+                } else {
+                    a.newly_uncovered.join(", ")
+                };
+                out.push_str(&format!(
+                    "{:<44} {:<18} {:>10.6} {:>+10.6} {:>9}{}  {}\n",
+                    a.label,
+                    a.engine.name(),
+                    a.failed_probability,
+                    a.failed_probability - base.failed_probability,
+                    a.coverage_loss(),
+                    match a.reward_delta {
+                        Some(d) => format!(" {d:>+10.6}"),
+                        None if has_reward => format!(" {:>10}", "-"),
+                        None => String::new(),
+                    },
+                    uncovered
+                ));
+            }
+            Err(e) => {
+                out.push_str(&format!("{:<44} FAILED: {e}\n", s.label));
+            }
+        }
+    }
+    let failures = report.failures().count();
+    if failures > 0 {
+        out.push_str(&format!("\n{failures} scenario(s) failed to analyse\n"));
     }
     Ok(out)
 }

@@ -1,0 +1,165 @@
+//! Differential tests for the fault-injection campaign.
+//!
+//! For each of the paper's four management architectures, the campaign's
+//! per-scenario numbers are recomputed from scratch by mutating the
+//! model by hand — pinning the injected element's failure probability to
+//! 1 and re-running the exact analysis — and must agree bit-for-bit.
+//! The centralized architecture additionally gets hand-computed coverage
+//! expectations: its single manager is a single point of knowledge.
+
+use fmperf::core::{run_campaign, Analysis, CampaignOptions};
+use fmperf::ftlqn::examples::das_woodside_system;
+use fmperf::ftlqn::FaultGraph;
+use fmperf::mama::{arch, single_scenarios, ComponentSpace, KnowTable, MamaModel};
+use std::collections::BTreeSet;
+
+/// Recomputes one injected model's failure probability and covered set
+/// with the plain unguarded exact engine, mirroring the campaign's
+/// coverage probe.
+fn recompute(
+    graph: &FaultGraph<'_>,
+    mama: &MamaModel,
+    opts: &CampaignOptions,
+) -> (f64, BTreeSet<String>) {
+    let space = ComponentSpace::build(graph.model(), mama);
+    let table = KnowTable::build(graph, mama, &space);
+    let analysis = Analysis::new(graph, &space)
+        .with_knowledge(&table)
+        .with_policy(opts.policy)
+        .with_unmonitored_known(opts.unmonitored_known);
+    let dist = analysis.enumerate();
+
+    let mut probe = space.all_up();
+    for (ix, up) in probe.iter_mut().enumerate() {
+        if space.up_prob(ix) == 0.0 {
+            *up = false;
+        }
+    }
+    let mut covered = BTreeSet::new();
+    for (&(component, _decider), know) in table.iter() {
+        if know.holds(&probe) {
+            covered.insert(graph.model().component_name(component).to_string());
+        }
+    }
+    (dist.failed_probability(), covered)
+}
+
+/// Campaign results must match an independent hand-mutation of the model
+/// for every single-injection scenario of every architecture.
+#[test]
+fn campaign_matches_hand_mutated_models() {
+    let sys = das_woodside_system();
+    let graph = sys.fault_graph().unwrap();
+    let architectures: [(&str, MamaModel); 4] = [
+        ("centralized", arch::centralized(&sys, 0.1)),
+        ("distributed", arch::distributed_as_published(&sys, 0.1)),
+        ("hierarchical", arch::hierarchical(&sys, 0.1)),
+        ("network", arch::network(&sys, 0.1)),
+    ];
+    for (name, mama) in &architectures {
+        let opts = CampaignOptions {
+            unmonitored_known: *name == "distributed",
+            ..CampaignOptions::default()
+        };
+        let report = run_campaign(&graph, mama, None, &opts);
+        assert_eq!(report.failures().count(), 0, "{name}: no scenario may fail");
+
+        let scenarios = single_scenarios(mama);
+        assert_eq!(
+            report.scenarios.len(),
+            scenarios.len(),
+            "{name}: campaign must cover every single-injection scenario"
+        );
+        for (outcome, scenario) in report.scenarios.iter().zip(&scenarios) {
+            let analysed = outcome.result.as_ref().expect("no failures");
+            assert_eq!(
+                outcome.label,
+                scenario.label(mama),
+                "{name}: scenario order"
+            );
+
+            let injected = scenario.apply(mama);
+            let (failed, covered) = recompute(&graph, &injected, &opts);
+            assert_eq!(
+                analysed.failed_probability, failed,
+                "{name}/{}: failure probability differs from hand mutation",
+                outcome.label
+            );
+            assert_eq!(
+                analysed.covered, covered,
+                "{name}/{}: covered set differs from hand mutation",
+                outcome.label
+            );
+            // Injections only remove knowledge and availability.
+            assert!(
+                analysed.failed_probability >= report.baseline.failed_probability - 1e-12,
+                "{name}/{}: an injection cannot improve availability",
+                outcome.label
+            );
+            assert_eq!(
+                analysed.coverage_loss(),
+                analysed.newly_uncovered.len(),
+                "{name}/{}: coverage loss must count the newly uncovered",
+                outcome.label
+            );
+        }
+    }
+}
+
+/// Hand-computed coverage expectations for the centralized architecture:
+/// the single manager `m1` (and the processor `proc5` it runs on) is a
+/// single point of knowledge, while killing one agent only blinds the
+/// manager to what that agent watched.
+#[test]
+fn centralized_injections_match_hand_computed_coverage() {
+    let sys = das_woodside_system();
+    let graph = sys.fault_graph().unwrap();
+    let mama = arch::centralized(&sys, 0.1);
+    let report = run_campaign(&graph, &mama, None, &CampaignOptions::default());
+
+    let baseline = &report.baseline;
+    assert!(
+        !baseline.covered.is_empty(),
+        "centralized baseline must cover something"
+    );
+
+    let by_label = |label: &str| {
+        report
+            .scenarios
+            .iter()
+            .find(|s| s.label == label)
+            .unwrap_or_else(|| panic!("scenario {label} missing"))
+            .result
+            .as_ref()
+            .expect("scenario analyses cleanly")
+    };
+
+    // Killing the only manager loses every covered component.
+    let kill_mgr = by_label("kill-manager(m1)");
+    assert!(kill_mgr.covered.is_empty(), "no knowledge without m1");
+    assert_eq!(
+        kill_mgr.newly_uncovered,
+        baseline.covered.iter().cloned().collect::<Vec<_>>(),
+        "everything the baseline covered is newly uncovered"
+    );
+    assert_eq!(kill_mgr.coverage_loss(), baseline.covered.len());
+
+    // Failing the management processor strands the manager: identical
+    // knowledge outcome.
+    let fail_proc = by_label("fail-processor(proc5)");
+    assert_eq!(fail_proc.covered, kill_mgr.covered);
+    assert_eq!(fail_proc.failed_probability, kill_mgr.failed_probability);
+
+    // ag3 is the only sensing path for the Server1 task (proc3 keeps its
+    // direct alive-watch from m1): killing it uncovers exactly Server1.
+    let kill_ag3 = by_label("kill-agent(ag3)");
+    assert_eq!(kill_ag3.newly_uncovered, vec!["Server1".to_string()]);
+    assert_eq!(kill_ag3.coverage_loss(), 1);
+
+    // ag1 only carries AppA's notification hop; the servers stay covered
+    // through AppB's decider pairs, so no *component* loses coverage —
+    // but availability still suffers.
+    let kill_ag1 = by_label("kill-agent(ag1)");
+    assert_eq!(kill_ag1.coverage_loss(), 0);
+    assert!(kill_ag1.failed_probability > baseline.failed_probability + 1e-9);
+}
