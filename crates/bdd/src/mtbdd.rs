@@ -96,6 +96,8 @@ pub struct Mtbdd {
     node_limit: usize,
     /// Latches once an allocation was refused by the limit.
     limit_hit: bool,
+    /// `ite` operation-cache hits since creation (observability).
+    ite_cache_hits: u64,
 }
 
 impl Mtbdd {
@@ -110,6 +112,7 @@ impl Mtbdd {
             var_count: u32::try_from(var_count).expect("variable count exceeds u32"),
             node_limit: usize::MAX,
             limit_hit: false,
+            ite_cache_hits: 0,
         }
     }
 
@@ -146,6 +149,11 @@ impl Mtbdd {
     /// interned data value).
     pub fn terminal_count(&self) -> usize {
         self.terminals.len()
+    }
+
+    /// Number of `ite` operation-cache hits since creation.
+    pub fn ite_cache_hits(&self) -> u64 {
+        self.ite_cache_hits
     }
 
     /// The data terminal carrying `value` (interned: repeated calls with
@@ -249,6 +257,7 @@ impl Mtbdd {
         }
         let key = (f, g, h);
         if let Some(&r) = self.ite_cache.get(&key) {
+            self.ite_cache_hits += 1;
             return r;
         }
         let var = self.var_of(f).min(self.var_of(g)).min(self.var_of(h));

@@ -17,14 +17,17 @@
 //!   report's own `overhead` column (guarded / unguarded, measured in
 //!   the same run so runner speed cancels out) must stay within 3% on
 //!   every case with at least 2^16 states.
+//! * `obs` (`obsbench --json`): same scheme as `guarded`, but the
+//!   overhead column compares enumeration with a disabled recorder
+//!   attached against enumeration with no recorder at all.
 //!
 //! Exit code 0 = within budget, 1 = regression, 2 = usage/parse error.
 //! Wall-clock noise on shared CI runners is expected — the 2x gate only
 //! catches order-of-magnitude slips such as losing the kernel dispatch.
 
 use fmperf_bench::{
-    parse_bench_json, parse_guarded_json, parse_sweep_json, report_criterion, BenchRow, GuardedRow,
-    SweepRow,
+    parse_bench_json, parse_guarded_json, parse_obs_json, parse_sweep_json, report_criterion,
+    BenchRow, GuardedRow, ObsRow, SweepRow,
 };
 
 /// Maximum allowed `overhead` (guarded / unguarded) in a guarded report.
@@ -37,6 +40,7 @@ enum Report {
     Enumeration(Vec<BenchRow>),
     Sweep(Vec<SweepRow>),
     Guarded(Vec<GuardedRow>),
+    Obs(Vec<ObsRow>),
 }
 
 fn load(path: &str) -> Report {
@@ -51,6 +55,7 @@ fn load(path: &str) -> Report {
     match report_criterion(&src).as_deref() {
         Some("sweep") => Report::Sweep(parse_sweep_json(&src).unwrap_or_else(|| bail())),
         Some("guarded") => Report::Guarded(parse_guarded_json(&src).unwrap_or_else(|| bail())),
+        Some("obs") => Report::Obs(parse_obs_json(&src).unwrap_or_else(|| bail())),
         Some(_) => Report::Enumeration(parse_bench_json(&src).unwrap_or_else(|| bail())),
         None => bail(),
     }
@@ -158,6 +163,43 @@ fn check_guarded(baseline: &[GuardedRow], current: &[GuardedRow], max_ratio: f64
     failed
 }
 
+fn check_obs(baseline: &[ObsRow], current: &[ObsRow], max_ratio: f64) -> bool {
+    let mut failed = false;
+    for base in baseline {
+        let Some(cur) = current.iter().find(|r| r.case == base.case) else {
+            eprintln!("benchcheck: case {} missing from current report", base.case);
+            failed = true;
+            continue;
+        };
+        if cur.states != base.states || cur.configs != base.configs {
+            eprintln!(
+                "benchcheck: case {} changed shape: {} states/{} configs vs {} states/{} configs",
+                base.case, cur.states, cur.configs, base.states, base.configs
+            );
+            failed = true;
+        }
+        failed |= check_phase(
+            &base.case,
+            "recorded",
+            base.recorded_ns,
+            cur.recorded_ns,
+            max_ratio,
+        );
+        // Like the guarded overhead column: both timings come from the
+        // same run, so the gate is absolute, not baseline-relative.
+        if cur.states >= GUARDED_MIN_GATED_STATES && cur.overhead > GUARDED_MAX_OVERHEAD {
+            eprintln!(
+                "benchcheck: case {} pays {:.2}% disabled-instrumentation overhead (gate {:.0}%)",
+                base.case,
+                (cur.overhead - 1.0) * 100.0,
+                (GUARDED_MAX_OVERHEAD - 1.0) * 100.0
+            );
+            failed = true;
+        }
+    }
+    failed
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (baseline_path, current_path, max_ratio) = match args.as_slice() {
@@ -180,6 +222,7 @@ fn main() {
         (Report::Enumeration(b), Report::Enumeration(c)) => check_enumeration(&b, &c, max_ratio),
         (Report::Sweep(b), Report::Sweep(c)) => check_sweep(&b, &c, max_ratio),
         (Report::Guarded(b), Report::Guarded(c)) => check_guarded(&b, &c, max_ratio),
+        (Report::Obs(b), Report::Obs(c)) => check_obs(&b, &c, max_ratio),
         _ => {
             eprintln!(
                 "benchcheck: {baseline_path} and {current_path} use different report schemas"

@@ -17,6 +17,8 @@
 //!   (compile + points × linear pass) vs repeated exact enumeration.
 //! * `guardbench` — budget-guard overhead: the guarded ladder's exact
 //!   rung vs the raw enumeration engine, gated at 3% on large cases.
+//! * `obsbench` — disabled-instrumentation overhead: enumeration with a
+//!   `NullRecorder` attached vs no recorder, gated at 3% on large cases.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -609,8 +611,168 @@ pub fn parse_guarded_json(src: &str) -> Option<Vec<GuardedRow>> {
     Some(rows)
 }
 
+/// One timed instrumentation measurement (enumeration with a
+/// [`fmperf_obs::NullRecorder`] attached vs no recorder at all) for the
+/// machine-readable bench reports.
+///
+/// The `overhead` column is the whole point: a disabled recorder is an
+/// `Option::None` branch plus a few dead `add` calls, so the recorded
+/// run must be indistinguishable from the plain run on the hot
+/// enumeration path.  Anything above a few percent means the
+/// instrumentation seams stopped compiling away.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsRow {
+    /// Case name (`perfect`, `centralized`, …).
+    pub case: String,
+    /// Number of fallible components.
+    pub fallible: usize,
+    /// State-space size (`2^fallible`).
+    pub states: u64,
+    /// Best-of-N wall time without any recorder, nanoseconds.
+    pub plain_ns: u128,
+    /// Best-of-N wall time with a `NullRecorder` attached, nanoseconds.
+    pub recorded_ns: u128,
+    /// Minimum over the N repetitions of the *paired* per-repetition
+    /// ratio `recorded / plain` (same noise-floor estimate as
+    /// [`GuardedRow::overhead`]).
+    pub overhead: f64,
+    /// Number of distinct configurations found.
+    pub configs: usize,
+}
+
+/// Times one case's exact enumeration with and without a disabled
+/// recorder, best-of-[`GUARDED_REPS`], checking that the instrumented
+/// run is bit-identical.  Timed in alternation after one warmup each,
+/// like [`measure_guarded`].
+///
+/// # Panics
+///
+/// Panics on an unknown case name or if the distributions differ.
+pub fn measure_obs(sys: &DasWoodsideSystem, case: &str) -> ObsRow {
+    use fmperf_obs::NullRecorder;
+    use std::time::Instant;
+    let graph = sys.fault_graph().expect("canonical model");
+    let (space, table) = match case {
+        "perfect" => (ComponentSpace::app_only(&sys.model), None),
+        _ => {
+            let mama = match case {
+                "centralized" => arch::centralized(sys, 0.1),
+                "distributed" => arch::distributed_as_published(sys, 0.1),
+                "distributed-as-drawn" => arch::distributed(sys, 0.1),
+                "hierarchical" => arch::hierarchical(sys, 0.1),
+                "network" => arch::network(sys, 0.1),
+                other => panic!("unknown case {other}"),
+            };
+            let space = ComponentSpace::build(&sys.model, &mama);
+            let table = KnowTable::build(&graph, &mama, &space);
+            (space, Some(table))
+        }
+    };
+    let mut analysis = Analysis::new(&graph, &space).with_unmonitored_known(case == "distributed");
+    if let Some(table) = &table {
+        analysis = analysis.with_knowledge(table);
+    }
+    let null = NullRecorder;
+    let recorded_analysis = analysis.with_recorder(&null);
+
+    let t0 = Instant::now();
+    let reference = std::hint::black_box(analysis.enumerate());
+    let single_ns = t0.elapsed().as_nanos();
+    let instrumented = std::hint::black_box(recorded_analysis.enumerate());
+    assert_eq!(
+        instrumented, reference,
+        "{case}: a disabled recorder must not perturb the result"
+    );
+
+    const TARGET_SAMPLE_NS: u128 = 8_000_000;
+    let batch = (TARGET_SAMPLE_NS / single_ns.max(1)).clamp(1, 64) as usize;
+
+    let mut plain_ns = u128::MAX;
+    let mut recorded_ns = u128::MAX;
+    let mut ratios = Vec::with_capacity(GUARDED_REPS);
+    for _ in 0..GUARDED_REPS {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            let dist = std::hint::black_box(analysis.enumerate());
+            assert_eq!(dist, reference, "{case}: enumeration must be deterministic");
+        }
+        let p = t0.elapsed().as_nanos() / batch as u128;
+        plain_ns = plain_ns.min(p);
+
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            let dist = std::hint::black_box(recorded_analysis.enumerate());
+            assert_eq!(dist, reference, "{case}: must be bit-identical");
+        }
+        let r = t0.elapsed().as_nanos() / batch as u128;
+        recorded_ns = recorded_ns.min(r);
+
+        ratios.push(r as f64 / p.max(1) as f64);
+    }
+    ratios.sort_by(|a, b| a.total_cmp(b));
+
+    let states = reference.states_explored();
+    ObsRow {
+        case: case.to_string(),
+        fallible: space.fallible_indices().len(),
+        states,
+        plain_ns,
+        recorded_ns,
+        overhead: ratios[0],
+        configs: reference.len(),
+    }
+}
+
+/// Renders obs rows as the `BENCH_obs.json` document (same flat
+/// one-object-per-line scheme as [`render_bench_json`]).
+pub fn render_obs_json(rows: &[ObsRow]) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    s.push_str("{\n  \"criterion\": \"obs\",\n  \"cases\": [\n");
+    for (ix, r) in rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"case\": \"{}\", \"fallible\": {}, \"states\": {}, \
+             \"plain_ns\": {}, \"recorded_ns\": {}, \"overhead\": {:.4}, \
+             \"configs\": {}}}",
+            r.case, r.fallible, r.states, r.plain_ns, r.recorded_ns, r.overhead, r.configs
+        );
+        s.push_str(if ix + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Parses a `render_obs_json` document back into rows.
+pub fn parse_obs_json(src: &str) -> Option<Vec<ObsRow>> {
+    fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        let tag = format!("\"{key}\": ");
+        let start = line.find(&tag)? + tag.len();
+        let rest = &line[start..];
+        let end = rest.find([',', '}'])?;
+        Some(rest[..end].trim().trim_matches('"'))
+    }
+    let mut rows = Vec::new();
+    for line in src.lines() {
+        let line = line.trim();
+        if !line.starts_with("{\"case\"") {
+            continue;
+        }
+        rows.push(ObsRow {
+            case: field(line, "case")?.to_string(),
+            fallible: field(line, "fallible")?.parse().ok()?,
+            states: field(line, "states")?.parse().ok()?,
+            plain_ns: field(line, "plain_ns")?.parse().ok()?,
+            recorded_ns: field(line, "recorded_ns")?.parse().ok()?,
+            overhead: field(line, "overhead")?.parse().ok()?,
+            configs: field(line, "configs")?.parse().ok()?,
+        });
+    }
+    Some(rows)
+}
+
 /// Extracts the `"criterion"` tag of a bench report, distinguishing the
-/// enumeration, sweep and guarded schemas for `benchcheck`.
+/// enumeration, sweep, guarded and obs schemas for `benchcheck`.
 pub fn report_criterion(src: &str) -> Option<String> {
     let tag = "\"criterion\": \"";
     let start = src.find(tag)? + tag.len();
@@ -731,6 +893,28 @@ mod tests {
             assert_eq!(p.states, r.states);
             assert_eq!(p.unguarded_ns, r.unguarded_ns);
             assert_eq!(p.guarded_ns, r.guarded_ns);
+            assert_eq!(p.configs, r.configs);
+        }
+    }
+
+    #[test]
+    fn obs_json_round_trips() {
+        let sys = paper_system();
+        let rows = vec![
+            measure_obs(&sys, "perfect"),
+            measure_obs(&sys, "centralized"),
+        ];
+        assert!(rows.iter().all(|r| r.plain_ns > 0 && r.recorded_ns > 0));
+        let json = render_obs_json(&rows);
+        assert_eq!(report_criterion(&json).as_deref(), Some("obs"));
+        let parsed = parse_obs_json(&json).expect("own output parses");
+        assert_eq!(parsed.len(), rows.len());
+        for (p, r) in parsed.iter().zip(&rows) {
+            assert_eq!(p.case, r.case);
+            assert_eq!(p.fallible, r.fallible);
+            assert_eq!(p.states, r.states);
+            assert_eq!(p.plain_ns, r.plain_ns);
+            assert_eq!(p.recorded_ns, r.recorded_ns);
             assert_eq!(p.configs, r.configs);
         }
     }

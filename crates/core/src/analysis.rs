@@ -5,6 +5,7 @@ use crate::ccf::FailureDependencies;
 use crate::distribution::ConfigDistribution;
 use fmperf_ftlqn::{FaultGraph, KnowPolicy, PerfectKnowledge};
 use fmperf_mama::{ComponentSpace, KnowTable};
+use fmperf_obs::{Counter, Phase, Recorder, Span};
 
 /// Where `know` answers come from.
 #[derive(Debug, Clone, Copy)]
@@ -24,6 +25,7 @@ pub struct Analysis<'a> {
     pub(crate) knowledge: Knowledge<'a>,
     pub(crate) policy: KnowPolicy,
     pub(crate) unmonitored_known: bool,
+    pub(crate) recorder: Option<&'a dyn Recorder>,
 }
 
 impl<'a> Analysis<'a> {
@@ -42,6 +44,7 @@ impl<'a> Analysis<'a> {
             knowledge: Knowledge::Perfect,
             policy: KnowPolicy::AnyFailedComponent,
             unmonitored_known: false,
+            recorder: None,
         }
     }
 
@@ -71,6 +74,17 @@ impl<'a> Analysis<'a> {
     /// knowledge test rather than blocked by it.
     pub fn with_unmonitored_known(mut self, known: bool) -> Self {
         self.unmonitored_known = known;
+        self
+    }
+
+    /// Attaches an instrumentation recorder (see [`fmperf_obs`]): the
+    /// engines report phase spans and counters to it at flush points.
+    ///
+    /// The default is no recorder, which costs one predictable branch
+    /// per flush point — a disabled run is bit-identical to (and as
+    /// fast as) an uninstrumented one.
+    pub fn with_recorder(mut self, recorder: &'a dyn Recorder) -> Self {
+        self.recorder = Some(recorder);
         self
     }
 
@@ -217,6 +231,7 @@ impl<'a> Analysis<'a> {
         deps: Option<&FailureDependencies>,
         guard: Option<&BudgetGuard>,
     ) -> Result<ConfigDistribution, AnalysisError> {
+        let _span = Span::enter(self.recorder, Phase::StateScan);
         let fallible = self.space.fallible_indices();
         let n_states: u64 = 1 << fallible.len();
         let n_group_states: u64 = 1 << deps.map_or(0, |d| d.group_count());
@@ -226,6 +241,9 @@ impl<'a> Analysis<'a> {
         let mut state = self.space.all_up();
         let mut visited_groups = 0u64;
         let mut until_check = 0u64;
+        let mut steps = 0u64;
+        let mut visited = 0u64;
+        let mut polls = 0u64;
         for gmask in 0..n_group_states {
             let gprob = deps.map_or(1.0, |d| d.mask_probability(gmask));
             if gprob == 0.0 {
@@ -237,14 +255,17 @@ impl<'a> Analysis<'a> {
                 if let Some(g) = guard {
                     if until_check == 0 {
                         g.check()?;
+                        polls += 1;
                         until_check = CHECK_INTERVAL;
                     }
                     until_check -= 1;
                 }
+                steps += 1;
                 let prob = gprob * wprob;
                 if prob == 0.0 {
                     continue;
                 }
+                visited += 1;
                 for (bit, &ix) in fallible.iter().enumerate() {
                     state[ix] = word & (1 << bit) != 0;
                 }
@@ -260,6 +281,14 @@ impl<'a> Analysis<'a> {
             }
         }
         dist.set_states_explored(n_states * visited_groups);
+        if let Some(r) = self.recorder {
+            r.add(Counter::GrayCodeSteps, steps);
+            r.add(Counter::StatesVisited, visited);
+            r.add(Counter::BudgetPolls, polls);
+            if deps.is_some() {
+                r.add(Counter::CcfContexts, visited_groups);
+            }
+        }
         Ok(dist)
     }
 

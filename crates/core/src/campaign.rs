@@ -27,8 +27,10 @@ use crate::reward::RewardSpec;
 use fmperf_ftlqn::{Configuration, FaultGraph, KnowPolicy};
 use fmperf_mama::inject::{pairwise_scenarios, single_scenarios};
 use fmperf_mama::{ComponentSpace, KnowTable, MamaModel};
+use fmperf_obs::Recorder;
 use std::collections::{BTreeMap, BTreeSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 
 /// Options for [`run_campaign`].
 #[derive(Debug, Clone, Copy)]
@@ -144,7 +146,46 @@ pub fn run_campaign(
     reward: Option<&RewardSpec>,
     opts: &CampaignOptions,
 ) -> CampaignReport {
+    run_campaign_observed(graph, mama, reward, opts, None, None)
+}
+
+/// Progress report handed to [`run_campaign_observed`]'s callback after
+/// each scenario (and the baseline) finishes.
+#[derive(Debug)]
+pub struct ScenarioProgress<'a> {
+    /// Position in the campaign: `0` for the baseline, then `1..=total`.
+    pub index: usize,
+    /// Number of injection scenarios (the baseline is not counted).
+    pub total: usize,
+    /// The scenario's injection label (`baseline` for the baseline).
+    pub label: &'a str,
+    /// The ladder rung that produced the result, or `None` when the
+    /// scenario's analysis panicked or failed.
+    pub engine: Option<EngineKind>,
+    /// Wall-clock time the scenario's analysis took.
+    pub elapsed: Duration,
+}
+
+/// [`run_campaign`] with observability hooks: an optional [`Recorder`]
+/// threaded into every scenario's analysis, and an optional progress
+/// callback invoked after each scenario completes (the baseline first,
+/// with index 0).
+pub fn run_campaign_observed(
+    graph: &FaultGraph<'_>,
+    mama: &MamaModel,
+    reward: Option<&RewardSpec>,
+    opts: &CampaignOptions,
+    recorder: Option<&dyn Recorder>,
+    progress: Option<&dyn Fn(&ScenarioProgress<'_>)>,
+) -> CampaignReport {
     let mut reward_cache: BTreeMap<Configuration, f64> = BTreeMap::new();
+    let mut scenarios = single_scenarios(mama);
+    if opts.pairwise {
+        scenarios.extend(pairwise_scenarios(mama));
+    }
+    let total = scenarios.len();
+
+    let start = Instant::now();
     let baseline = analyze_model(
         graph,
         mama,
@@ -152,19 +193,26 @@ pub fn run_campaign(
         None,
         reward,
         opts,
+        recorder,
         &mut reward_cache,
     )
     .unwrap_or_else(|e| panic!("invariant: the uninjected baseline model analyses cleanly — {e}"));
-
-    let mut scenarios = single_scenarios(mama);
-    if opts.pairwise {
-        scenarios.extend(pairwise_scenarios(mama));
+    if let Some(report) = progress {
+        report(&ScenarioProgress {
+            index: 0,
+            total,
+            label: "baseline",
+            engine: Some(baseline.engine),
+            elapsed: start.elapsed(),
+        });
     }
 
     let outcomes = scenarios
         .into_iter()
-        .map(|scenario| {
+        .enumerate()
+        .map(|(i, scenario)| {
             let label = scenario.label(mama);
+            let start = Instant::now();
             let result = catch_unwind(AssertUnwindSafe(|| {
                 let injected = scenario.apply(mama);
                 analyze_model(
@@ -174,6 +222,7 @@ pub fn run_campaign(
                     Some(&baseline),
                     reward,
                     opts,
+                    recorder,
                     &mut reward_cache,
                 )
             }));
@@ -181,6 +230,15 @@ pub fn run_campaign(
                 Ok(r) => r,
                 Err(panic) => Err(panic_message(panic)),
             };
+            if let Some(report) = progress {
+                report(&ScenarioProgress {
+                    index: i + 1,
+                    total,
+                    label: &label,
+                    engine: result.as_ref().ok().map(|s| s.engine),
+                    elapsed: start.elapsed(),
+                });
+            }
             ScenarioOutcome {
                 label: label.clone(),
                 result,
@@ -196,6 +254,7 @@ pub fn run_campaign(
 
 /// Analyses one (possibly injected) model: guarded ladder, static
 /// coverage probe, optional reward fold.
+#[allow(clippy::too_many_arguments)]
 fn analyze_model(
     graph: &FaultGraph<'_>,
     mama: &MamaModel,
@@ -203,14 +262,18 @@ fn analyze_model(
     baseline: Option<&ScenarioAnalysis>,
     reward: Option<&RewardSpec>,
     opts: &CampaignOptions,
+    recorder: Option<&dyn Recorder>,
     reward_cache: &mut BTreeMap<Configuration, f64>,
 ) -> Result<ScenarioAnalysis, String> {
     let space = ComponentSpace::build(graph.model(), mama);
     let table = KnowTable::build(graph, mama, &space);
-    let analysis = Analysis::new(graph, &space)
+    let mut analysis = Analysis::new(graph, &space)
         .with_knowledge(&table)
         .with_policy(opts.policy)
         .with_unmonitored_known(opts.unmonitored_known);
+    if let Some(r) = recorder {
+        analysis = analysis.with_recorder(r);
+    }
     let report = analysis.analyze_guarded(&opts.guarded);
 
     let covered = covered_components(graph, &space, &table);

@@ -56,6 +56,7 @@ use crate::ccf::FailureDependencies;
 use crate::distribution::ConfigDistribution;
 use fmperf_ftlqn::Configuration;
 use fmperf_mama::{CompiledKnowTable, ComponentSpace};
+use fmperf_obs::{Counter, Phase, Recorder, Span};
 use std::collections::{BTreeMap, HashMap};
 use std::hash::{BuildHasherDefault, Hasher};
 
@@ -344,6 +345,7 @@ impl<'a> Analysis<'a> {
     /// `(component, task)` pairs (the packed answer word would
     /// overflow).  Callers fall back to the naive enumerator.
     pub fn compile(&self) -> Option<CompiledKernel<'a>> {
+        let _span = Span::enter(self.recorder, Phase::GuardBuild);
         let space = self.space;
         let fallible = space.fallible_indices();
         if fallible.len() > 64 {
@@ -369,6 +371,39 @@ impl<'a> Analysis<'a> {
             app_mask,
             know,
         })
+    }
+}
+
+/// Local per-scan counter accumulators: the hot loop bumps plain
+/// integers and the totals reach the recorder once, when the scan ends
+/// (including early exits on a tripped guard — hence the [`Drop`]).
+#[derive(Debug, Default)]
+struct ScanCounters {
+    steps: u64,
+    visited: u64,
+    memo_hits: u64,
+    memo_misses: u64,
+    know_evals: u64,
+    polls: u64,
+}
+
+/// Flushes [`ScanCounters`] to the recorder on scope exit.
+#[derive(Debug)]
+struct ScanFlush<'a> {
+    rec: Option<&'a dyn Recorder>,
+    c: ScanCounters,
+}
+
+impl Drop for ScanFlush<'_> {
+    fn drop(&mut self) {
+        if let Some(r) = self.rec {
+            r.add(Counter::GrayCodeSteps, self.c.steps);
+            r.add(Counter::StatesVisited, self.c.visited);
+            r.add(Counter::MemoHits, self.c.memo_hits);
+            r.add(Counter::MemoMisses, self.c.memo_misses);
+            r.add(Counter::KnowGuardEvals, self.c.know_evals);
+            r.add(Counter::BudgetPolls, self.c.polls);
+        }
     }
 }
 
@@ -403,6 +438,7 @@ impl CompiledKernel<'_> {
 
     fn enumerate_masked(&self, deps: Option<&FailureDependencies>) -> ConfigDistribution {
         crate::analysis::assert_enumerable(self.fallible.len(), deps);
+        let _span = Span::enter(self.analysis.recorder, Phase::StateScan);
         let n_states = 1u64 << self.fallible.len();
         let contexts = self.contexts(deps);
         let mut acc = Accumulator::new(self.analysis.space);
@@ -427,6 +463,7 @@ impl CompiledKernel<'_> {
         guard: &BudgetGuard,
     ) -> Result<ConfigDistribution, AnalysisError> {
         crate::analysis::check_enumerable(self.fallible.len(), None)?;
+        let _span = Span::enter(self.analysis.recorder, Phase::StateScan);
         let n_states = 1u64 << self.fallible.len();
         let contexts = self.contexts(None);
         let mut acc = Accumulator::new(self.analysis.space);
@@ -453,6 +490,7 @@ impl CompiledKernel<'_> {
         guard: &BudgetGuard,
     ) -> Result<ConfigDistribution, AnalysisError> {
         crate::analysis::check_enumerable(self.fallible.len(), None)?;
+        let _span = Span::enter(self.analysis.recorder, Phase::StateScan);
         let threads = threads.max(1);
         let n_states = 1u64 << self.fallible.len();
         let chunk = n_states.div_ceil(threads as u64);
@@ -525,6 +563,10 @@ impl CompiledKernel<'_> {
         acc: &mut Accumulator,
         guard: Option<&BudgetGuard>,
     ) -> Result<(), AnalysisError> {
+        let mut fc = ScanFlush {
+            rec: self.analysis.recorder,
+            c: ScanCounters::default(),
+        };
         let know = ctx.know.as_ref().or(self.know.as_ref());
         let mut ke =
             know.map(|k| KnowEval::new(k, self.fallible.len(), self.analysis.unmonitored_known));
@@ -540,6 +582,7 @@ impl CompiledKernel<'_> {
             let block = match guard {
                 Some(g) => {
                     g.check()?;
+                    fc.c.polls += 1;
                     let cap = g.budget().max_memo_entries;
                     if memo.len() > cap {
                         return Err(AnalysisError::MemoCapExceeded {
@@ -552,17 +595,25 @@ impl CompiledKernel<'_> {
                 None => remaining,
             };
             for (word, wprob) in walk.by_ref().take(block as usize) {
+                fc.c.steps += 1;
                 let p = ctx.gprob * wprob;
                 if p == 0.0 {
                     continue;
                 }
+                fc.c.visited += 1;
                 let eff = word & !ctx.forced_mask;
                 let answers = match &mut ke {
                     Some(ke) => {
                         match prev_eff {
                             Some(pe) if pe == eff => {}
-                            Some(pe) => ke.update(eff, pe ^ eff),
-                            None => ke.reset(eff),
+                            Some(pe) => {
+                                ke.update(eff, pe ^ eff);
+                                fc.c.know_evals += 1;
+                            }
+                            None => {
+                                ke.reset(eff);
+                                fc.c.know_evals += 1;
+                            }
                         }
                         ke.answers
                     }
@@ -574,9 +625,12 @@ impl CompiledKernel<'_> {
                     // Consecutive states usually differ only in bits the
                     // decision cannot see: reuse the previous id without
                     // a table probe.
-                    Some((k, id)) if k == key => id,
+                    Some((k, id)) if k == key => {
+                        fc.c.memo_hits += 1;
+                        id
+                    }
                     _ => {
-                        let id = self.config_id(eff, key, &ctx.forced, memo, acc);
+                        let id = self.config_id(eff, key, &ctx.forced, memo, acc, &mut fc.c);
                         last = Some((key, id));
                         id
                     }
@@ -596,6 +650,7 @@ impl CompiledKernel<'_> {
         deps: Option<&FailureDependencies>,
     ) -> ConfigDistribution {
         crate::analysis::assert_enumerable(self.fallible.len(), deps);
+        let _span = Span::enter(self.analysis.recorder, Phase::StateScan);
         let threads = threads.max(1);
         let n_states = 1u64 << self.fallible.len();
         let chunk = n_states.div_ceil(threads as u64);
@@ -676,6 +731,11 @@ impl CompiledKernel<'_> {
                 know,
             });
         }
+        fmperf_obs::add(
+            self.analysis.recorder,
+            Counter::CcfContexts,
+            out.len() as u64,
+        );
         out
     }
 
@@ -690,10 +750,13 @@ impl CompiledKernel<'_> {
         forced: &[usize],
         memo: &mut Memo,
         acc: &mut Accumulator,
+        counters: &mut ScanCounters,
     ) -> u32 {
         if let Some(&id) = memo.get(&key) {
+            counters.memo_hits += 1;
             return id;
         }
+        counters.memo_misses += 1;
         // Memo miss: reconstruct the state vector and run the reference
         // evaluator (identical code path to the naive enumerator).
         for (b, &ix) in self.fallible.iter().enumerate() {
@@ -728,6 +791,10 @@ impl CompiledKernel<'_> {
         rng: &mut impl rand::Rng,
         samples: u64,
     ) -> ConfigDistribution {
+        let mut fc = ScanFlush {
+            rec: self.analysis.recorder,
+            c: ScanCounters::default(),
+        };
         let mut acc = Accumulator::new(self.analysis.space);
         let mut memo = Memo::default();
         let weight = 1.0 / samples as f64;
@@ -743,9 +810,10 @@ impl CompiledKernel<'_> {
                 .as_ref()
                 .map_or(0, |k| k.answers(word, self.analysis.unmonitored_known));
             let key = (word & self.app_mask, answers);
-            let id = self.config_id(word, key, &[], &mut memo, &mut acc);
+            let id = self.config_id(word, key, &[], &mut memo, &mut acc, &mut fc.c);
             acc.sums[id as usize] += weight;
         }
+        fmperf_obs::add(self.analysis.recorder, Counter::MonteCarloSamples, samples);
         acc.into_distribution(samples)
     }
 }

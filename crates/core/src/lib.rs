@@ -85,7 +85,8 @@ pub use budget::{
     GuardedOptions,
 };
 pub use campaign::{
-    run_campaign, CampaignOptions, CampaignReport, ScenarioAnalysis, ScenarioOutcome,
+    run_campaign, run_campaign_observed, CampaignOptions, CampaignReport, ScenarioAnalysis,
+    ScenarioOutcome, ScenarioProgress,
 };
 pub use ccf::FailureDependencies;
 pub use compiled::CompiledKernel;
@@ -97,4 +98,7 @@ pub use mtbdd_engine::CompiledMtbdd;
 pub use report::{ReportRow, StudyReport};
 pub use reward::{expected_reward, solve_configurations, ConfigPerformance, RewardSpec};
 pub use sensitivity::{sensitivity, sensitivity_mtbdd};
-pub use sweep::{availability_points, sweep, sweep_guarded, SweepError, SweepPoint, SweepSpec};
+pub use sweep::{
+    availability_points, sweep, sweep_guarded, sweep_guarded_observed, SweepError, SweepPoint,
+    SweepSpec,
+};

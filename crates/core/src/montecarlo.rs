@@ -10,6 +10,7 @@ use crate::analysis::{Analysis, Knowledge};
 use crate::budget::{AnalysisError, BudgetGuard, EstimateInfo};
 use crate::distribution::ConfigDistribution;
 use fmperf_ftlqn::PerfectKnowledge;
+use fmperf_obs::{Counter, Phase, Span};
 use fmperf_sim::BatchMeans;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -58,6 +59,7 @@ impl Analysis<'_> {
     /// compilable; the kernel consumes the RNG in exactly the same
     /// order, so a given seed yields the same estimate either way.
     pub fn monte_carlo(&self, options: MonteCarloOptions) -> ConfigDistribution {
+        let _span = Span::enter(self.recorder, Phase::Sampling);
         let mut rng = StdRng::seed_from_u64(options.seed);
         if let Some(kernel) = self.compile() {
             return kernel.monte_carlo_run(&mut rng, options.samples);
@@ -96,6 +98,7 @@ impl Analysis<'_> {
         batches: u64,
         guard: Option<&BudgetGuard>,
     ) -> MonteCarloEstimate {
+        let _span = Span::enter(self.recorder, Phase::Sampling);
         let batches = batches.max(2);
         let per_batch = (options.samples / batches).max(1);
         let mut rng = StdRng::seed_from_u64(options.seed);
@@ -103,12 +106,14 @@ impl Analysis<'_> {
         let mut bm = BatchMeans::new();
         let mut merged = ConfigDistribution::new();
         let mut completed = 0u64;
+        let mut polls = 0u64;
         for b in 0..batches {
             // The first two batches always run: the estimator's contract
             // is to produce a result with a finite-df interval no matter
             // how starved the budget is.
             if b >= 2 {
                 if let Some(g) = guard {
+                    polls += 1;
                     if g.check().is_err() {
                         break;
                     }
@@ -130,6 +135,10 @@ impl Analysis<'_> {
         }
         let drawn = per_batch * completed;
         distribution.set_states_explored(drawn);
+        if let Some(r) = self.recorder {
+            r.add(Counter::MonteCarloBatches, completed);
+            r.add(Counter::BudgetPolls, polls);
+        }
         let ci = bm.confidence_interval();
         MonteCarloEstimate {
             distribution,
@@ -169,6 +178,7 @@ impl Analysis<'_> {
             dist.add(config, weight);
         }
         dist.set_states_explored(samples);
+        fmperf_obs::add(self.recorder, Counter::MonteCarloSamples, samples);
         dist
     }
 }

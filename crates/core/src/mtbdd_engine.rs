@@ -39,6 +39,7 @@ use crate::know_guards::{GuardBuilder, KnowCache};
 use crate::sensitivity::Sensitivity;
 use fmperf_bdd::{FrozenMtbdd, MtRef, Mtbdd};
 use fmperf_ftlqn::Configuration;
+use fmperf_obs::{Counter, Phase, Span};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Sentinel terminal value marking states no region claimed.  The build
@@ -131,6 +132,7 @@ impl Analysis<'_> {
         deps: Option<&FailureDependencies>,
         guard: Option<&BudgetGuard>,
     ) -> Result<CompiledMtbdd, AnalysisError> {
+        let _span = Span::enter(self.recorder, Phase::MtbddCompile);
         let space = self.space;
         let mut mt = Mtbdd::new(space.len());
         if let Some(g) = guard {
@@ -167,6 +169,11 @@ impl Analysis<'_> {
                 frozen,
                 config_of,
             });
+        }
+        if let Some(r) = self.recorder {
+            r.add(Counter::MtbddNodesCreated, mt.node_count() as u64);
+            r.add(Counter::MtbddCacheHits, mt.ite_cache_hits());
+            r.add(Counter::CcfContexts, contexts.len() as u64);
         }
         let node_count = contexts.iter().map(|c| c.frozen.node_count()).sum();
         Ok(CompiledMtbdd {
@@ -230,6 +237,7 @@ impl Analysis<'_> {
         let n_sigma: u64 = 1 << n_services;
         for mask in 0..n_app_states {
             if let Some(g) = budget {
+                fmperf_obs::add(self.recorder, Counter::BudgetPolls, 1);
                 g.check()?;
                 if mt.node_limit_hit() {
                     return Err(AnalysisError::NodeCapExceeded {

@@ -9,6 +9,7 @@
 
 use crate::budget::{AnalysisError, BudgetGuard};
 use crate::mtbdd_engine::CompiledMtbdd;
+use fmperf_obs::{Counter, Phase, Recorder, Span};
 
 /// One availability sweep: vary `component`'s availability from `from`
 /// to `to` over `steps` evenly spaced points.
@@ -122,6 +123,23 @@ pub fn sweep_guarded(
     spec: &SweepSpec,
     guard: &BudgetGuard,
 ) -> Result<Vec<SweepPoint>, AnalysisError> {
+    sweep_guarded_observed(compiled, spec, guard, None)
+}
+
+/// [`sweep_guarded`] with an optional [`Recorder`]: the evaluation is
+/// wrapped in an [`mtbdd-eval`](Phase::MtbddEval) span and each
+/// between-chunk deadline poll is counted.
+///
+/// # Errors
+///
+/// Exactly those of [`sweep_guarded`].
+pub fn sweep_guarded_observed(
+    compiled: &CompiledMtbdd,
+    spec: &SweepSpec,
+    guard: &BudgetGuard,
+    recorder: Option<&dyn Recorder>,
+) -> Result<Vec<SweepPoint>, AnalysisError> {
+    let _span = Span::enter(recorder, Phase::MtbddEval);
     if spec.component >= compiled.baseline_up().len() {
         return Err(SweepError::ComponentOutOfRange(spec.component).into());
     }
@@ -131,6 +149,7 @@ pub fn sweep_guarded(
     let points = availability_points(spec.from, spec.to, spec.steps);
     let mut out = Vec::with_capacity(points.len());
     for chunk in points.chunks(SWEEP_CHUNK) {
+        fmperf_obs::add(recorder, Counter::BudgetPolls, 1);
         guard.check()?;
         let rows: Vec<Vec<f64>> = chunk
             .iter()

@@ -14,11 +14,17 @@ const BLOWUP_BITS: usize = 20;
 /// suggested for repeated (sweep / what-if / sensitivity) evaluation.
 const MTBDD_SUGGEST_BITS: usize = 12;
 
+/// Total know-table minpath count from which guard compilation (the OR
+/// over augmented minpaths per `(component, task)` pair, re-built for
+/// every service decision) is likely the dominant phase of a run.
+const GUARD_MINPATH_THRESHOLD: usize = 512;
+
 pub(crate) fn run(m: &ParsedModel, valid: bool, out: &mut Vec<Diagnostic>) {
     if valid {
         state_space(m, out);
         engine_suggestion(m, out);
         budget_degradation(m, out);
+        guard_compilation_cost(m, out);
     }
     reward_weights(m, out);
     saturated_users(m, out);
@@ -129,6 +135,46 @@ fn budget_degradation(m: &ParsedModel, out: &mut Vec<Diagnostic>) {
              will skip exact enumeration and degrade down the ladder — MTBDD, compiled \
              bitmask, then Monte Carlo with a batch-means 95% confidence interval; raise \
              --budget-states to force the exact engines",
+        ),
+    );
+}
+
+/// FM204: the know table spans enough augmented minpaths that guard
+/// compilation is likely to dominate the run.
+///
+/// Every symbolic engine builds each `know(component, task)` guard as
+/// the OR over that pair's augmented minpaths of the AND of the path's
+/// component variables, so total guard-build work scales with the sum
+/// of minpath counts across the know table — independently of the
+/// state-space size the other FM20x passes speak about.
+fn guard_compilation_cost(m: &ParsedModel, out: &mut Vec<Diagnostic>) {
+    let Ok(graph) = FaultGraph::build(&m.app) else {
+        return;
+    };
+    let space = ComponentSpace::build(&m.app, &m.mama);
+    let table = KnowTable::build(&graph, &m.mama, &space);
+    let minpaths: usize = table.iter().map(|(_, f)| f.paths.len()).sum();
+    if minpaths <= GUARD_MINPATH_THRESHOLD {
+        return;
+    }
+    let pairs = table.len();
+    out.push(
+        Diagnostic::new(
+            LintCode::GuardCompilationCost,
+            Severity::Warning,
+            None,
+            format!(
+                "know guards span {minpaths} augmented minpaths across {pairs} \
+                 (component, task) pairs — guard compilation is likely the \
+                 dominant phase of every analysis run"
+            ),
+        )
+        .with_help(
+            "run `fmperf profile <model.fmp>` to measure the know-compile and \
+             guard-build share per engine; if it dominates, simplify the \
+             management architecture (fewer redundant watch/notify routes per \
+             component) or prefer the compile-once MTBDD engine so the cost is \
+             paid a single time",
         ),
     );
 }

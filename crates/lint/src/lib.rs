@@ -24,6 +24,7 @@
 //! | FM201 | note/warning | state-space size estimate (warning from 2^20 states) |
 //! | FM202 | note     | large model: the compile-once MTBDD engine pays off for repeated evaluation |
 //! | FM203 | warning  | state space exceeds the default analysis budget: guarded runs will degrade |
+//! | FM204 | warning  | know-guard minpath count makes guard compilation dominant: profile the run |
 //! | FM210 | warning  | reward weight is zero or negative |
 //! | FM211 | warning  | reward names a user group with zero think time (saturated) |
 //! | FM212 | note     | model declares no reward weights |
@@ -113,6 +114,9 @@ pub enum LintCode {
     /// FM203: the exact state space exceeds the *default* analysis
     /// budget — a budget-guarded run will degrade to a cheaper engine.
     BudgetDegradation,
+    /// FM204: the know table spans enough minpaths that know-guard
+    /// compilation is likely to dominate the run.
+    GuardCompilationCost,
     /// FM210: a reward weight is zero or negative.
     BadRewardWeight,
     /// FM211: a reward names a user group with zero think time.
@@ -123,7 +127,7 @@ pub enum LintCode {
 
 impl LintCode {
     /// Every code, in numeric order.
-    pub const ALL: [LintCode; 17] = [
+    pub const ALL: [LintCode; 18] = [
         LintCode::AppInvalid,
         LintCode::UnreachableEntry,
         LintCode::DeadAlternative,
@@ -138,6 +142,7 @@ impl LintCode {
         LintCode::StateSpace,
         LintCode::EngineSuggestion,
         LintCode::BudgetDegradation,
+        LintCode::GuardCompilationCost,
         LintCode::BadRewardWeight,
         LintCode::SaturatedUsers,
         LintCode::NoReward,
@@ -160,6 +165,7 @@ impl LintCode {
             LintCode::StateSpace => "FM201",
             LintCode::EngineSuggestion => "FM202",
             LintCode::BudgetDegradation => "FM203",
+            LintCode::GuardCompilationCost => "FM204",
             LintCode::BadRewardWeight => "FM210",
             LintCode::SaturatedUsers => "FM211",
             LintCode::NoReward => "FM212",

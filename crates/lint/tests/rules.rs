@@ -253,6 +253,34 @@ fn fm203_warns_past_the_default_analysis_budget() {
 }
 
 #[test]
+fn fm204_warns_when_know_minpaths_dominate() {
+    // GOOD plus hundreds of redundant agents watching `prim`, each
+    // forwarding status to m1: every agent adds one augmented minpath
+    // to know(prim, u), pushing the know table past the guard-cost
+    // threshold of 512 minpaths.
+    let mut big = String::from(GOOD);
+    for i in 0..600 {
+        big.push_str(&format!(
+            "agent xg{i} on p1\nwatch alive prim -> xg{i}\nwatch status xg{i} -> m1\n"
+        ));
+    }
+    let ds = diags(&big);
+    let hits = find(&ds, LintCode::GuardCompilationCost);
+    assert_eq!(hits.len(), 1, "{ds:#?}");
+    assert_eq!(hits[0].severity, Severity::Warning);
+    assert!(
+        hits[0].message.contains("augmented minpaths"),
+        "{:?}",
+        hits[0]
+    );
+    let help = hits[0].help.as_deref().unwrap_or("");
+    assert!(help.contains("fmperf profile"), "{help}");
+
+    // The baseline model's few paths stay far below the threshold.
+    assert!(find(&diags(GOOD), LintCode::GuardCompilationCost).is_empty());
+}
+
+#[test]
 fn fm210_non_positive_reward_weight() {
     let src = "processor pc cores inf\nprocessor p1\nusers u on pc think 1.0\ntask t on p1\n\
                entry eu of u\nentry e1 of t demand 0.5\ncall eu -> e1\nreward u 0\n";

@@ -1,0 +1,682 @@
+//! # fmperf-obs
+//!
+//! Zero-overhead-when-disabled instrumentation for the analysis
+//! engines: named counters, timed pipeline-phase spans, and recorders
+//! that aggregate them.
+//!
+//! The engines thread an `Option<&dyn Recorder>` through their hot
+//! paths.  `None` is the default and costs one predictable branch at
+//! *flush points* only (block boundaries, scan ends) — the per-state
+//! work accumulates into local integers exactly as before, so a
+//! disabled run is bit- and speed-identical to an uninstrumented one.
+//! Three recorders are provided:
+//!
+//! * [`NullRecorder`] — every call is an empty body; attach it to
+//!   measure the cost of the instrumentation seams themselves.
+//! * [`MetricsRecorder`] — lock-free sharded counter cells (one cache
+//!   line per shard, threads spread by thread-id hash) merged exactly
+//!   on read, plus per-phase wall-clock accumulators.  Worker threads
+//!   of `enumerate_parallel` never contend on a shared line.
+//! * [`TraceRecorder`] — records every span as a trace event with
+//!   monotonic timestamps and per-thread nesting depth, and exports
+//!   Chrome `chrome://tracing` trace-event JSON.
+//!
+//! [`TeeRecorder`] fans one stream out to two recorders (metrics and
+//! trace at once), and [`Span`] is the RAII guard the engines use to
+//! time a phase.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::thread::ThreadId;
+use std::time::Instant;
+
+/// A named engine counter.
+///
+/// The glossary (what one unit of each counter means) is normative —
+/// DESIGN.md §9 repeats it verbatim:
+///
+/// * `StatesVisited` — global states actually evaluated (zero
+///   probability states are skipped by the Gray walk and not counted).
+/// * `GrayCodeSteps` — raw reflected-Gray-code iterations, including
+///   skipped zero-probability states.
+/// * `MemoHits` / `MemoMisses` — decision-word memo probes in the
+///   compiled kernel (the same-key fast path counts as a hit).
+/// * `KnowGuardEvals` — incremental know-answer updates
+///   (`KnowEval::reset`/`update` calls) during a compiled scan.
+/// * `MtbddNodesCreated` — decision nodes allocated by the MTBDD
+///   manager during compilation.
+/// * `MtbddCacheHits` — `ite` operation-cache hits in the MTBDD
+///   manager.
+/// * `CcfContexts` — common-cause contexts enumerated for a
+///   dependency-aware run.
+/// * `MonteCarloBatches` — completed batch-means batches.
+/// * `MonteCarloSamples` — random states drawn by the sampling rung.
+/// * `BudgetPolls` — cooperative `BudgetGuard` deadline/cap polls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Counter {
+    /// Global states actually evaluated.
+    StatesVisited,
+    /// Reflected-Gray-code enumeration steps (incl. skipped states).
+    GrayCodeSteps,
+    /// Decision-word memo hits (incl. the same-key fast path).
+    MemoHits,
+    /// Decision-word memo misses (full evaluator runs).
+    MemoMisses,
+    /// Incremental know-answer maintenance calls.
+    KnowGuardEvals,
+    /// MTBDD decision nodes allocated.
+    MtbddNodesCreated,
+    /// MTBDD `ite` operation-cache hits.
+    MtbddCacheHits,
+    /// Common-cause contexts enumerated.
+    CcfContexts,
+    /// Completed Monte Carlo batches.
+    MonteCarloBatches,
+    /// Random states drawn by the sampling rung.
+    MonteCarloSamples,
+    /// Cooperative budget-guard polls.
+    BudgetPolls,
+}
+
+impl Counter {
+    /// Number of distinct counters.
+    pub const COUNT: usize = 11;
+
+    /// Every counter, in declaration order.
+    pub const ALL: [Counter; Counter::COUNT] = [
+        Counter::StatesVisited,
+        Counter::GrayCodeSteps,
+        Counter::MemoHits,
+        Counter::MemoMisses,
+        Counter::KnowGuardEvals,
+        Counter::MtbddNodesCreated,
+        Counter::MtbddCacheHits,
+        Counter::CcfContexts,
+        Counter::MonteCarloBatches,
+        Counter::MonteCarloSamples,
+        Counter::BudgetPolls,
+    ];
+
+    /// Stable kebab-case name (used in tables and JSON keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::StatesVisited => "states-visited",
+            Counter::GrayCodeSteps => "gray-code-steps",
+            Counter::MemoHits => "memo-hits",
+            Counter::MemoMisses => "memo-misses",
+            Counter::KnowGuardEvals => "know-guard-evals",
+            Counter::MtbddNodesCreated => "mtbdd-nodes-created",
+            Counter::MtbddCacheHits => "mtbdd-cache-hits",
+            Counter::CcfContexts => "ccf-contexts",
+            Counter::MonteCarloBatches => "monte-carlo-batches",
+            Counter::MonteCarloSamples => "monte-carlo-samples",
+            Counter::BudgetPolls => "budget-polls",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl std::fmt::Display for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// A pipeline phase, in the order the analysis pipeline runs them:
+/// parse → lint preflight → fault-graph build → know minpath
+/// compilation → guard build → state scan / MTBDD compile / eval /
+/// sampling → reward aggregation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// Source text → parsed model.
+    Parse,
+    /// Lint preflight over the parsed model.
+    LintPreflight,
+    /// FTLQN → fault graph construction.
+    FaultGraphBuild,
+    /// MAMA know minpath compilation (`KnowTable::build`).
+    KnowCompile,
+    /// Know-guard compilation (bitmask tables / decision guards).
+    GuardBuild,
+    /// Exhaustive state scan (naive or compiled kernel).
+    StateScan,
+    /// MTBDD state→configuration map compilation.
+    MtbddCompile,
+    /// MTBDD linear-pass evaluation.
+    MtbddEval,
+    /// Monte Carlo sampling.
+    Sampling,
+    /// Per-configuration LQN solves and reward folding.
+    RewardAggregation,
+}
+
+impl Phase {
+    /// Number of distinct phases.
+    pub const COUNT: usize = 10;
+
+    /// Every phase, in pipeline order.
+    pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::Parse,
+        Phase::LintPreflight,
+        Phase::FaultGraphBuild,
+        Phase::KnowCompile,
+        Phase::GuardBuild,
+        Phase::StateScan,
+        Phase::MtbddCompile,
+        Phase::MtbddEval,
+        Phase::Sampling,
+        Phase::RewardAggregation,
+    ];
+
+    /// Stable kebab-case name (used in tables, JSON keys and trace
+    /// event names).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Parse => "parse",
+            Phase::LintPreflight => "lint-preflight",
+            Phase::FaultGraphBuild => "fault-graph-build",
+            Phase::KnowCompile => "know-compile",
+            Phase::GuardBuild => "guard-build",
+            Phase::StateScan => "state-scan",
+            Phase::MtbddCompile => "mtbdd-compile",
+            Phase::MtbddEval => "mtbdd-eval",
+            Phase::Sampling => "sampling",
+            Phase::RewardAggregation => "reward-aggregation",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Sink for counters and timed spans.
+///
+/// `Sync` because `enumerate_parallel` workers share one recorder;
+/// `Debug` so `Analysis` (which carries an `Option<&dyn Recorder>`)
+/// stays derivable.
+pub trait Recorder: Sync + std::fmt::Debug {
+    /// Adds `n` to a counter.  Engines call this at flush points
+    /// (block boundaries, scan ends), not per state.
+    fn add(&self, counter: Counter, n: u64);
+
+    /// A span for `phase` opened; the returned opaque token is handed
+    /// back to [`Recorder::span_close`].
+    fn span_open(&self, phase: Phase) -> u64;
+
+    /// The span opened as `token` closed after `nanos` wall-clock
+    /// nanoseconds (measured monotonically by the caller).
+    fn span_close(&self, phase: Phase, token: u64, nanos: u64);
+}
+
+/// Adds to a counter when a recorder is attached; a single predictable
+/// branch otherwise.
+#[inline]
+pub fn add(rec: Option<&dyn Recorder>, counter: Counter, n: u64) {
+    if let Some(r) = rec {
+        r.add(counter, n);
+    }
+}
+
+/// The recorder whose calls do nothing.
+///
+/// Attach it to measure the cost of the instrumentation seams alone:
+/// a run with `NullRecorder` must stay within the same overhead gate
+/// as the budget-guard polls (see the `obsbench` binary).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    #[inline]
+    fn add(&self, _counter: Counter, _n: u64) {}
+    #[inline]
+    fn span_open(&self, _phase: Phase) -> u64 {
+        0
+    }
+    #[inline]
+    fn span_close(&self, _phase: Phase, _token: u64, _nanos: u64) {}
+}
+
+/// RAII guard timing one pipeline phase.
+///
+/// With no recorder attached, [`Span::enter`] does not even read the
+/// monotonic clock.
+#[derive(Debug)]
+pub struct Span<'a> {
+    rec: Option<&'a dyn Recorder>,
+    phase: Phase,
+    start: Option<Instant>,
+    token: u64,
+}
+
+impl<'a> Span<'a> {
+    /// Opens a span on `rec` (a no-op when `rec` is `None`).
+    pub fn enter(rec: Option<&'a dyn Recorder>, phase: Phase) -> Span<'a> {
+        match rec {
+            Some(r) => Span {
+                rec,
+                phase,
+                token: r.span_open(phase),
+                start: Some(Instant::now()),
+            },
+            None => Span {
+                rec: None,
+                phase,
+                start: None,
+                token: 0,
+            },
+        }
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let (Some(r), Some(start)) = (self.rec, self.start) {
+            r.span_close(self.phase, self.token, start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// Shards in the counter matrix.  Power of two, comfortably above the
+/// worker-thread counts the engines use.
+const SHARDS: usize = 16;
+
+/// `Counter::COUNT` rounded up to a whole 64-byte cache line of `u64`s
+/// so no two shards share a line.
+const SHARD_STRIDE: usize = Counter::COUNT.next_multiple_of(8);
+
+/// Lock-free sharded metrics aggregator.
+///
+/// Counter adds go to one of [`SHARDS`] cache-line-aligned cells
+/// selected by thread-id hash with a relaxed `fetch_add`, so parallel
+/// enumeration workers (almost) never touch the same line and *never*
+/// lose an update; reads merge the shards, which is exact because
+/// `u64` addition is associative and each add lands in exactly one
+/// cell.  Phase wall-clock totals are plain atomics (spans are opened
+/// a handful of times per run, not per state).
+#[derive(Debug, Default)]
+pub struct MetricsRecorder {
+    cells: Vec<AtomicU64>,
+    phase_nanos: Vec<AtomicU64>,
+    phase_counts: Vec<AtomicU64>,
+}
+
+impl MetricsRecorder {
+    /// A recorder with all counters and phase totals at zero.
+    pub fn new() -> MetricsRecorder {
+        MetricsRecorder {
+            cells: (0..SHARDS * SHARD_STRIDE)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            phase_nanos: (0..Phase::COUNT).map(|_| AtomicU64::new(0)).collect(),
+            phase_counts: (0..Phase::COUNT).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn shard() -> usize {
+        thread_local! {
+            static SHARD: usize = {
+                use std::hash::{Hash, Hasher};
+                let mut h = std::collections::hash_map::DefaultHasher::new();
+                std::thread::current().id().hash(&mut h);
+                h.finish() as usize % SHARDS
+            };
+        }
+        SHARD.with(|&s| s)
+    }
+
+    /// The merged total of one counter.
+    pub fn counter(&self, counter: Counter) -> u64 {
+        (0..SHARDS)
+            .map(|s| self.cells[s * SHARD_STRIDE + counter.index()].load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Every counter with its merged total, in declaration order.
+    pub fn counters(&self) -> Vec<(Counter, u64)> {
+        Counter::ALL.iter().map(|&c| (c, self.counter(c))).collect()
+    }
+
+    /// Accumulated wall-clock nanoseconds spent in a phase.
+    pub fn phase_nanos(&self, phase: Phase) -> u64 {
+        self.phase_nanos[phase.index()].load(Ordering::Relaxed)
+    }
+
+    /// Number of spans recorded for a phase.
+    pub fn phase_count(&self, phase: Phase) -> u64 {
+        self.phase_counts[phase.index()].load(Ordering::Relaxed)
+    }
+
+    /// Every phase that recorded at least one span, with its total
+    /// nanoseconds and span count, in pipeline order.
+    pub fn phases(&self) -> Vec<(Phase, u64, u64)> {
+        Phase::ALL
+            .iter()
+            .filter(|&&p| self.phase_count(p) > 0)
+            .map(|&p| (p, self.phase_nanos(p), self.phase_count(p)))
+            .collect()
+    }
+}
+
+impl Recorder for MetricsRecorder {
+    fn add(&self, counter: Counter, n: u64) {
+        self.cells[MetricsRecorder::shard() * SHARD_STRIDE + counter.index()]
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn span_open(&self, _phase: Phase) -> u64 {
+        0
+    }
+
+    fn span_close(&self, phase: Phase, _token: u64, nanos: u64) {
+        self.phase_nanos[phase.index()].fetch_add(nanos, Ordering::Relaxed);
+        self.phase_counts[phase.index()].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// One recorded span in a [`TraceRecorder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The phase this span timed.
+    pub phase: Phase,
+    /// Microseconds from recorder creation to span open.
+    pub start_us: u64,
+    /// Span duration in microseconds.
+    pub dur_us: u64,
+    /// Dense per-recorder thread number (0 = first thread seen).
+    pub tid: usize,
+    /// Nesting depth within its thread at open time.
+    pub depth: usize,
+}
+
+#[derive(Debug, Default)]
+struct TraceInner {
+    events: Vec<TraceEvent>,
+    /// thread → (dense tid, stack of open event indices).
+    threads: HashMap<ThreadId, (usize, Vec<usize>)>,
+}
+
+/// Records a span tree with monotonic timestamps and exports Chrome
+/// `chrome://tracing` trace-event JSON.
+///
+/// Spans are infrequent (per phase, per scenario — never per state),
+/// so a mutex is fine here; counters are ignored — tee with a
+/// [`MetricsRecorder`] to capture both.
+#[derive(Debug)]
+pub struct TraceRecorder {
+    epoch: Instant,
+    inner: Mutex<TraceInner>,
+}
+
+impl Default for TraceRecorder {
+    fn default() -> TraceRecorder {
+        TraceRecorder::new()
+    }
+}
+
+impl TraceRecorder {
+    /// An empty trace; timestamps are relative to this call.
+    pub fn new() -> TraceRecorder {
+        TraceRecorder {
+            epoch: Instant::now(),
+            inner: Mutex::new(TraceInner::default()),
+        }
+    }
+
+    /// Every recorded span, in open order.  Spans still open have a
+    /// zero duration.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner
+            .lock()
+            .expect("trace mutex poisoned")
+            .events
+            .clone()
+    }
+
+    /// The trace as Chrome trace-event JSON (`chrome://tracing` /
+    /// Perfetto load this directly): an object with a `traceEvents`
+    /// array of complete (`"ph": "X"`) events with microsecond
+    /// timestamps.
+    pub fn chrome_trace_json(&self) -> String {
+        let events = self.events();
+        let mut out = String::from("{\"traceEvents\": [\n");
+        for (i, e) in events.iter().enumerate() {
+            let comma = if i + 1 < events.len() { "," } else { "" };
+            out.push_str(&format!(
+                "  {{\"name\": \"{}\", \"cat\": \"fmperf\", \"ph\": \"X\", \
+                 \"ts\": {}, \"dur\": {}, \"pid\": 1, \"tid\": {}}}{comma}\n",
+                e.phase.name(),
+                e.start_us,
+                e.dur_us,
+                e.tid
+            ));
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// A human-readable span tree: one line per span, indented by
+    /// nesting depth, grouped by thread.
+    pub fn render_tree(&self) -> String {
+        let events = self.events();
+        let mut tids: Vec<usize> = events.iter().map(|e| e.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        let mut out = String::new();
+        for tid in tids {
+            out.push_str(&format!("thread {tid}:\n"));
+            for e in events.iter().filter(|e| e.tid == tid) {
+                out.push_str(&format!(
+                    "{:indent$}{:<20} {:>10.3} ms (at +{:.3} ms)\n",
+                    "",
+                    e.phase.name(),
+                    e.dur_us as f64 / 1_000.0,
+                    e.start_us as f64 / 1_000.0,
+                    indent = 2 + 2 * e.depth,
+                ));
+            }
+        }
+        out
+    }
+}
+
+impl Recorder for TraceRecorder {
+    fn add(&self, _counter: Counter, _n: u64) {}
+
+    fn span_open(&self, phase: Phase) -> u64 {
+        let start_us = self.epoch.elapsed().as_micros() as u64;
+        let mut inner = self.inner.lock().expect("trace mutex poisoned");
+        let next_tid = inner.threads.len();
+        let ix = inner.events.len();
+        let (tid, stack) = inner
+            .threads
+            .entry(std::thread::current().id())
+            .or_insert_with(|| (next_tid, Vec::new()));
+        let event = TraceEvent {
+            phase,
+            start_us,
+            dur_us: 0,
+            tid: *tid,
+            depth: stack.len(),
+        };
+        stack.push(ix);
+        inner.events.push(event);
+        ix as u64
+    }
+
+    fn span_close(&self, _phase: Phase, token: u64, nanos: u64) {
+        let mut inner = self.inner.lock().expect("trace mutex poisoned");
+        let ix = token as usize;
+        if let Some(e) = inner.events.get_mut(ix) {
+            e.dur_us = nanos / 1_000;
+        }
+        if let Some((_, stack)) = inner.threads.get_mut(&std::thread::current().id()) {
+            if let Some(pos) = stack.iter().rposition(|&open| open == ix) {
+                stack.remove(pos);
+            }
+        }
+    }
+}
+
+/// Forwards every call to two recorders (e.g. metrics + trace).
+#[derive(Debug)]
+pub struct TeeRecorder<'a> {
+    a: &'a dyn Recorder,
+    b: &'a dyn Recorder,
+    /// Open-span token pairs, indexed by our own token.
+    tokens: Mutex<Vec<(u64, u64)>>,
+}
+
+impl<'a> TeeRecorder<'a> {
+    /// A recorder forwarding to both `a` and `b`.
+    pub fn new(a: &'a dyn Recorder, b: &'a dyn Recorder) -> TeeRecorder<'a> {
+        TeeRecorder {
+            a,
+            b,
+            tokens: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl Recorder for TeeRecorder<'_> {
+    fn add(&self, counter: Counter, n: u64) {
+        self.a.add(counter, n);
+        self.b.add(counter, n);
+    }
+
+    fn span_open(&self, phase: Phase) -> u64 {
+        let pair = (self.a.span_open(phase), self.b.span_open(phase));
+        let mut tokens = self.tokens.lock().expect("tee mutex poisoned");
+        tokens.push(pair);
+        (tokens.len() - 1) as u64
+    }
+
+    fn span_close(&self, phase: Phase, token: u64, nanos: u64) {
+        let pair = {
+            let tokens = self.tokens.lock().expect("tee mutex poisoned");
+            tokens.get(token as usize).copied()
+        };
+        if let Some((ta, tb)) = pair {
+            self.a.span_close(phase, ta, nanos);
+            self.b.span_close(phase, tb, nanos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_indices_match_declaration_order() {
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+    }
+
+    #[test]
+    fn metrics_adds_are_merged_exactly_across_threads() {
+        let rec = MetricsRecorder::new();
+        let threads = 8;
+        let per_thread = 10_000u64;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    for _ in 0..per_thread {
+                        rec.add(Counter::StatesVisited, 1);
+                        rec.add(Counter::MemoHits, 3);
+                    }
+                });
+            }
+        });
+        assert_eq!(rec.counter(Counter::StatesVisited), threads * per_thread);
+        assert_eq!(rec.counter(Counter::MemoHits), 3 * threads * per_thread);
+        assert_eq!(rec.counter(Counter::MemoMisses), 0);
+    }
+
+    #[test]
+    fn metrics_phase_totals_accumulate() {
+        let rec = MetricsRecorder::new();
+        let t = rec.span_open(Phase::StateScan);
+        rec.span_close(Phase::StateScan, t, 1_000);
+        let t = rec.span_open(Phase::StateScan);
+        rec.span_close(Phase::StateScan, t, 2_000);
+        assert_eq!(rec.phase_nanos(Phase::StateScan), 3_000);
+        assert_eq!(rec.phase_count(Phase::StateScan), 2);
+        assert_eq!(rec.phases(), vec![(Phase::StateScan, 3_000, 2)]);
+    }
+
+    #[test]
+    fn span_guard_records_through_the_trait_object() {
+        let rec = MetricsRecorder::new();
+        {
+            let _span = Span::enter(Some(&rec), Phase::Parse);
+        }
+        assert_eq!(rec.phase_count(Phase::Parse), 1);
+        // Disabled: no recorder, nothing recorded anywhere.
+        {
+            let _span = Span::enter(None, Phase::Parse);
+        }
+        assert_eq!(rec.phase_count(Phase::Parse), 1);
+    }
+
+    #[test]
+    fn trace_records_nested_spans_and_exports_chrome_json() {
+        let rec = TraceRecorder::new();
+        let outer = rec.span_open(Phase::StateScan);
+        let inner = rec.span_open(Phase::GuardBuild);
+        rec.span_close(Phase::GuardBuild, inner, 5_000);
+        rec.span_close(Phase::StateScan, outer, 10_000);
+        let events = rec.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].phase, Phase::StateScan);
+        assert_eq!(events[0].depth, 0);
+        assert_eq!(events[1].phase, Phase::GuardBuild);
+        assert_eq!(events[1].depth, 1);
+        assert_eq!(events[0].dur_us, 10);
+        let json = rec.chrome_trace_json();
+        assert!(json.contains("\"traceEvents\""), "{json}");
+        assert!(json.contains("\"ph\": \"X\""), "{json}");
+        assert!(json.contains("\"name\": \"state-scan\""), "{json}");
+        let tree = rec.render_tree();
+        assert!(tree.contains("guard-build"), "{tree}");
+    }
+
+    #[test]
+    fn tee_forwards_to_both_recorders() {
+        let metrics = MetricsRecorder::new();
+        let trace = TraceRecorder::new();
+        let tee = TeeRecorder::new(&metrics, &trace);
+        tee.add(Counter::BudgetPolls, 7);
+        let t = tee.span_open(Phase::Sampling);
+        tee.span_close(Phase::Sampling, t, 4_000);
+        assert_eq!(metrics.counter(Counter::BudgetPolls), 7);
+        assert_eq!(metrics.phase_count(Phase::Sampling), 1);
+        assert_eq!(trace.events().len(), 1);
+        assert_eq!(trace.events()[0].phase, Phase::Sampling);
+    }
+
+    #[test]
+    fn null_recorder_is_inert() {
+        let rec = NullRecorder;
+        rec.add(Counter::StatesVisited, 10);
+        let t = rec.span_open(Phase::Parse);
+        rec.span_close(Phase::Parse, t, 1);
+    }
+}

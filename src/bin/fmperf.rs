@@ -25,15 +25,18 @@
 //! stderr, passing ones to stdout.
 
 use fmperf::core::{
-    run_campaign, solve_configurations, Analysis, AnalysisBudget, CampaignOptions, EstimateInfo,
-    GuardedOptions, MonteCarloOptions, RewardSpec, ScenarioAnalysis, StudyReport, SweepSpec,
+    run_campaign_observed, solve_configurations, Analysis, AnalysisBudget, CampaignOptions,
+    ConfigDistribution, EstimateInfo, GuardedOptions, MonteCarloOptions, RewardSpec,
+    ScenarioAnalysis, ScenarioProgress, StudyReport, SweepSpec,
 };
 use fmperf::ftlqn::{FaultGraph, KnowPolicy};
 use fmperf::lint::Severity;
 use fmperf::mama::{ComponentSpace, KnowTable, KnowledgeGraph};
+use fmperf::obs::{MetricsRecorder, Phase, Recorder, Span, TeeRecorder, TraceRecorder};
 use fmperf::text::{parse, parse_lenient, write_model, LenientParse, ParsedModel};
+use std::io::IsTerminal;
 use std::process::ExitCode;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const USAGE: &str = "usage:
   fmperf analyze  <model.fmp> [--engine enumerate|parallel|symbolic|mtbdd|montecarlo|guarded]
@@ -41,13 +44,19 @@ const USAGE: &str = "usage:
                               [--unmonitored-known] [--threads N]
                               [--budget-states N] [--budget-deadline-ms N]
                               [--budget-nodes N] [--budget-memo N]
+                              [--metrics] [--metrics-json PATH] [--trace-out PATH]
   fmperf campaign <model.fmp> [--pairwise] [--json] [--samples N] [--seed N]
                               [--policy any|all] [--unmonitored-known] [--threads N]
                               [--budget-states N] [--budget-deadline-ms N]
                               [--budget-nodes N] [--budget-memo N]
+                              [--metrics] [--metrics-json PATH] [--trace-out PATH]
   fmperf sweep    <model.fmp> --component <name> [--from A] [--to B] [--steps N]
                               [--json] [--policy any|all] [--unmonitored-known]
                               [--threads N]
+                              [--metrics] [--metrics-json PATH] [--trace-out PATH]
+  fmperf profile  <model.fmp> [--samples N] [--seed N] [--threads N] [--json]
+                              [--policy any|all] [--unmonitored-known]
+                              [--trace-out PATH]
   fmperf lint     <model.fmp> [--format text|json] [--deny warnings]
   fmperf check    <model.fmp> [--deny warnings]
   fmperf dot      <model.fmp> fault|mama|knowledge
@@ -58,7 +67,13 @@ degradation ladder: exact enumeration, then MTBDD, then the compiled
 bitmask kernel, then Monte Carlo with a batch-means 95% CI — whichever
 first fits the budget.  `campaign` re-analyses the model under every
 single (and with --pairwise, every pairwise) management-plane fault
-injection and reports coverage loss and reward deltas per scenario.";
+injection and reports coverage loss and reward deltas per scenario.
+
+`--metrics` prints per-phase timings and engine counters after the run
+(to stderr under --json); `--metrics-json` writes the same data as
+machine-readable JSON; `--trace-out` writes a Chrome trace-event file
+loadable in chrome://tracing.  `profile` runs every applicable engine
+on the model and prints a comparative phase/counter breakdown.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -93,6 +108,7 @@ struct AnalyzeOptions {
     unmonitored_known: bool,
     threads: usize,
     budget: BudgetFlags,
+    obs: ObsFlags,
 }
 
 /// Explicitly supplied `--budget-*` values (defaults fill the gaps).
@@ -177,6 +193,196 @@ impl BudgetFlags {
     }
 }
 
+/// Observability flags shared by `analyze`, `campaign` and `sweep`.
+#[derive(Default)]
+struct ObsFlags {
+    metrics: bool,
+    metrics_json: Option<String>,
+    trace_out: Option<String>,
+}
+
+impl ObsFlags {
+    /// Is any instrumentation requested?  (Otherwise engines run with
+    /// no recorder at all.)
+    fn enabled(&self) -> bool {
+        self.metrics || self.metrics_json.is_some() || self.trace_out.is_some()
+    }
+
+    /// Consumes one observability flag if `flag` is one; `Ok(false)`
+    /// means the flag is not observability-related.
+    fn parse_flag<'a>(
+        &mut self,
+        flag: &str,
+        it: &mut impl Iterator<Item = &'a str>,
+    ) -> Result<bool, String> {
+        match flag {
+            "--metrics" => self.metrics = true,
+            "--metrics-json" => {
+                self.metrics_json = Some(it.next().ok_or("--metrics-json needs a path")?.into());
+            }
+            "--trace-out" => {
+                self.trace_out = Some(it.next().ok_or("--trace-out needs a path")?.into());
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+}
+
+/// Engine provenance carried into the metrics report: which engine
+/// produced the result and, for the guarded ladder, which rungs refused
+/// and why.
+#[derive(Default)]
+struct Provenance {
+    engine: String,
+    requested: Option<String>,
+    descents: Vec<(String, String)>,
+}
+
+/// `12.34ms`-style rendering of a nanosecond count.
+fn human_nanos(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// The human-readable phase/counter table of one recorder (non-zero
+/// counters only).
+fn metrics_table(metrics: &MetricsRecorder) -> String {
+    let mut out = String::new();
+    let phases = metrics.phases();
+    if !phases.is_empty() {
+        out.push_str(&format!(
+            "  {:<20} {:>10} {:>7}\n",
+            "phase", "time", "spans"
+        ));
+        for (phase, nanos, count) in &phases {
+            out.push_str(&format!(
+                "  {:<20} {:>10} {:>7}\n",
+                phase.name(),
+                human_nanos(*nanos),
+                count
+            ));
+        }
+    }
+    let nonzero: Vec<_> = metrics
+        .counters()
+        .into_iter()
+        .filter(|&(_, value)| value != 0)
+        .collect();
+    if !nonzero.is_empty() {
+        out.push_str(&format!("  {:<20} {:>18}\n", "counter", "value"));
+        for (counter, value) in nonzero {
+            out.push_str(&format!("  {:<20} {:>18}\n", counter.name(), value));
+        }
+    }
+    out
+}
+
+/// Inline JSON object with every counter (zero or not — the schema is
+/// stable across runs).
+fn counters_json(metrics: &MetricsRecorder) -> String {
+    let items: Vec<String> = metrics
+        .counters()
+        .iter()
+        .map(|(c, v)| format!("\"{}\": {v}", c.name()))
+        .collect();
+    format!("{{{}}}", items.join(", "))
+}
+
+/// Inline JSON array of the non-zero phase timings.
+fn phases_json(metrics: &MetricsRecorder) -> String {
+    let items: Vec<String> = metrics
+        .phases()
+        .iter()
+        .map(|(p, nanos, spans)| {
+            format!(
+                "{{\"phase\": \"{}\", \"nanos\": {nanos}, \"spans\": {spans}}}",
+                p.name()
+            )
+        })
+        .collect();
+    format!("[{}]", items.join(", "))
+}
+
+/// The `fmperf-metrics-v1` machine-readable report.
+fn metrics_json_string(
+    command: &str,
+    model: &str,
+    prov: &Provenance,
+    metrics: &MetricsRecorder,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"fmperf-metrics-v1\",\n");
+    out.push_str(&format!("  \"command\": \"{}\",\n", json_escape(command)));
+    out.push_str(&format!("  \"model\": \"{}\",\n", json_escape(model)));
+    out.push_str(&format!(
+        "  \"engine\": \"{}\",\n",
+        json_escape(&prov.engine)
+    ));
+    if let Some(req) = &prov.requested {
+        out.push_str(&format!("  \"requested\": \"{}\",\n", json_escape(req)));
+    }
+    let descents: Vec<String> = prov
+        .descents
+        .iter()
+        .map(|(e, r)| {
+            format!(
+                "{{\"engine\": \"{}\", \"reason\": \"{}\"}}",
+                json_escape(e),
+                json_escape(r)
+            )
+        })
+        .collect();
+    out.push_str(&format!("  \"descents\": [{}],\n", descents.join(", ")));
+    out.push_str(&format!("  \"counters\": {},\n", counters_json(metrics)));
+    out.push_str(&format!("  \"phases\": {}\n}}\n", phases_json(metrics)));
+    out
+}
+
+fn write_text_file(path: &str, content: &str) -> Result<(), String> {
+    std::fs::write(path, content).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+/// Writes the requested observability outputs after a command ran and
+/// returns the text to append to stdout (the human table, unless the
+/// main output is JSON — then the table goes to stderr).
+fn emit_obs(
+    flags: &ObsFlags,
+    command: &str,
+    model: &str,
+    prov: &Provenance,
+    metrics: &MetricsRecorder,
+    trace: &TraceRecorder,
+    json_mode: bool,
+) -> Result<String, String> {
+    if let Some(path) = &flags.metrics_json {
+        write_text_file(path, &metrics_json_string(command, model, prov, metrics))?;
+    }
+    if let Some(path) = &flags.trace_out {
+        write_text_file(path, &trace.chrome_trace_json())?;
+    }
+    if flags.metrics {
+        let table = format!(
+            "\nmetrics (engine {}):\n{}",
+            prov.engine,
+            metrics_table(metrics)
+        );
+        if json_mode {
+            eprint!("{table}");
+        } else {
+            return Ok(table);
+        }
+    }
+    Ok(String::new())
+}
+
 /// Minimal JSON string escaping (the labels we emit contain no control
 /// characters).
 fn json_escape(s: &str) -> String {
@@ -219,6 +425,7 @@ fn run(args: &[String]) -> Result<String, String> {
                 unmonitored_known: false,
                 threads: 4,
                 budget: BudgetFlags::default(),
+                obs: ObsFlags::default(),
             };
             let mut engine_explicit = false;
             while let Some(flag) = it.next() {
@@ -258,6 +465,7 @@ fn run(args: &[String]) -> Result<String, String> {
                             .map_err(|_| "bad --threads value")?;
                     }
                     other if opts.budget.parse_flag(other, &mut it)? => {}
+                    other if opts.obs.parse_flag(other, &mut it)? => {}
                     other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
                 }
             }
@@ -273,10 +481,21 @@ fn run(args: &[String]) -> Result<String, String> {
                 }
                 opts.engine = "guarded".into();
             }
+            let metrics = MetricsRecorder::new();
+            let trace = TraceRecorder::new();
+            let tee = TeeRecorder::new(&metrics, &trace);
+            let recorder: Option<&dyn Recorder> =
+                if opts.obs.enabled() { Some(&tee) } else { None };
             // Pre-flight: refuse models with lint errors, mention
             // warnings without blocking on them.
-            let parsed = load_lenient(path)?;
-            let diags = fmperf::lint::lint(&parsed);
+            let parsed = {
+                let _s = Span::enter(recorder, Phase::Parse);
+                load_lenient(path)?
+            };
+            let diags = {
+                let _s = Span::enter(recorder, Phase::LintPreflight);
+                fmperf::lint::lint(&parsed)
+            };
             if fmperf::lint::count(&diags, Severity::Error) > 0 {
                 return Err(fmperf::lint::render_text(path, &diags));
             }
@@ -287,7 +506,12 @@ fn run(args: &[String]) -> Result<String, String> {
             } else {
                 String::new()
             };
-            analyze(&parsed.model, &opts).map(|out| header + &out)
+            let mut prov = Provenance::default();
+            let body = analyze(&parsed.model, &opts, recorder, &mut prov)?;
+            let extra = emit_obs(
+                &opts.obs, "analyze", path, &prov, &metrics, &trace, opts.json,
+            )?;
+            Ok(header + &body + &extra)
         }
         Some("campaign") => {
             let path = it.next().ok_or(USAGE)?;
@@ -300,6 +524,7 @@ fn run(args: &[String]) -> Result<String, String> {
                 unmonitored_known: false,
                 threads: 4,
                 budget: BudgetFlags::default(),
+                obs: ObsFlags::default(),
             };
             while let Some(flag) = it.next() {
                 match flag {
@@ -335,15 +560,32 @@ fn run(args: &[String]) -> Result<String, String> {
                             .map_err(|_| "bad --threads value")?;
                     }
                     other if opts.budget.parse_flag(other, &mut it)? => {}
+                    other if opts.obs.parse_flag(other, &mut it)? => {}
                     other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
                 }
             }
-            let parsed = load_lenient(path)?;
-            let diags = fmperf::lint::lint(&parsed);
+            let metrics = MetricsRecorder::new();
+            let trace = TraceRecorder::new();
+            let tee = TeeRecorder::new(&metrics, &trace);
+            let recorder: Option<&dyn Recorder> =
+                if opts.obs.enabled() { Some(&tee) } else { None };
+            let parsed = {
+                let _s = Span::enter(recorder, Phase::Parse);
+                load_lenient(path)?
+            };
+            let diags = {
+                let _s = Span::enter(recorder, Phase::LintPreflight);
+                fmperf::lint::lint(&parsed)
+            };
             if fmperf::lint::count(&diags, Severity::Error) > 0 {
                 return Err(fmperf::lint::render_text(path, &diags));
             }
-            campaign_cmd(&parsed.model, &opts)
+            let mut prov = Provenance::default();
+            let body = campaign_cmd(&parsed.model, &opts, recorder, &mut prov)?;
+            let extra = emit_obs(
+                &opts.obs, "campaign", path, &prov, &metrics, &trace, opts.json,
+            )?;
+            Ok(body + &extra)
         }
         Some("sweep") => {
             let path = it.next().ok_or(USAGE)?;
@@ -356,6 +598,7 @@ fn run(args: &[String]) -> Result<String, String> {
                 json: false,
                 policy: KnowPolicy::AnyFailedComponent,
                 unmonitored_known: false,
+                obs: ObsFlags::default(),
             };
             while let Some(flag) = it.next() {
                 match flag {
@@ -400,15 +643,97 @@ fn run(args: &[String]) -> Result<String, String> {
                         };
                     }
                     "--unmonitored-known" => opts.unmonitored_known = true,
+                    other if opts.obs.parse_flag(other, &mut it)? => {}
                     other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
                 }
             }
-            let parsed = load_lenient(path)?;
-            let diags = fmperf::lint::lint(&parsed);
+            let metrics = MetricsRecorder::new();
+            let trace = TraceRecorder::new();
+            let tee = TeeRecorder::new(&metrics, &trace);
+            let recorder: Option<&dyn Recorder> =
+                if opts.obs.enabled() { Some(&tee) } else { None };
+            let parsed = {
+                let _s = Span::enter(recorder, Phase::Parse);
+                load_lenient(path)?
+            };
+            let diags = {
+                let _s = Span::enter(recorder, Phase::LintPreflight);
+                fmperf::lint::lint(&parsed)
+            };
             if fmperf::lint::count(&diags, Severity::Error) > 0 {
                 return Err(fmperf::lint::render_text(path, &diags));
             }
-            sweep_cmd(&parsed.model, &opts)
+            let mut prov = Provenance::default();
+            let body = sweep_cmd(&parsed.model, &opts, recorder, &mut prov)?;
+            let extra = emit_obs(&opts.obs, "sweep", path, &prov, &metrics, &trace, opts.json)?;
+            Ok(body + &extra)
+        }
+        Some("profile") => {
+            let path = it.next().ok_or(USAGE)?;
+            let mut opts = ProfileOptions {
+                samples: 100_000,
+                seed: 0xF00D,
+                threads: 4,
+                json: false,
+                policy: KnowPolicy::AnyFailedComponent,
+                unmonitored_known: false,
+                trace_out: None,
+            };
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--samples" => {
+                        opts.samples = it
+                            .next()
+                            .ok_or("--samples needs a value")?
+                            .parse()
+                            .map_err(|_| "bad --samples value")?;
+                    }
+                    "--seed" => {
+                        opts.seed = it
+                            .next()
+                            .ok_or("--seed needs a value")?
+                            .parse()
+                            .map_err(|_| "bad --seed value")?;
+                    }
+                    "--threads" => {
+                        opts.threads = it
+                            .next()
+                            .ok_or("--threads needs a value")?
+                            .parse()
+                            .map_err(|_| "bad --threads value")?;
+                    }
+                    "--json" => opts.json = true,
+                    "--policy" => {
+                        opts.policy = match it.next().ok_or("--policy needs a value")? {
+                            "any" => KnowPolicy::AnyFailedComponent,
+                            "all" => KnowPolicy::AllFailedComponents,
+                            other => return Err(format!("unknown policy `{other}`")),
+                        };
+                    }
+                    "--unmonitored-known" => opts.unmonitored_known = true,
+                    "--trace-out" => {
+                        opts.trace_out =
+                            Some(it.next().ok_or("--trace-out needs a path")?.to_string());
+                    }
+                    other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+                }
+            }
+            let trace = TraceRecorder::new();
+            let setup = MetricsRecorder::new();
+            let setup_tee = TeeRecorder::new(&setup, &trace);
+            let setup_rec: Option<&dyn Recorder> = Some(&setup_tee);
+            let parsed = {
+                let _s = Span::enter(setup_rec, Phase::Parse);
+                load_lenient(path)?
+            };
+            let diags = {
+                let _s = Span::enter(setup_rec, Phase::LintPreflight);
+                fmperf::lint::lint(&parsed)
+            };
+            if fmperf::lint::count(&diags, Severity::Error) > 0 {
+                return Err(fmperf::lint::render_text(path, &diags));
+            }
+            profile_cmd(&parsed.model, path, &opts, setup_rec, &setup, &trace)
         }
         Some("lint") => {
             let path = it.next().ok_or(USAGE)?;
@@ -512,8 +837,16 @@ fn run(args: &[String]) -> Result<String, String> {
     }
 }
 
-fn analyze(m: &ParsedModel, opts: &AnalyzeOptions) -> Result<String, String> {
-    let graph = FaultGraph::build(&m.app).map_err(|e| e.to_string())?;
+fn analyze(
+    m: &ParsedModel,
+    opts: &AnalyzeOptions,
+    recorder: Option<&dyn Recorder>,
+    prov: &mut Provenance,
+) -> Result<String, String> {
+    let graph = {
+        let _s = Span::enter(recorder, Phase::FaultGraphBuild);
+        FaultGraph::build(&m.app).map_err(|e| e.to_string())?
+    };
     let has_mama = m.mama.component_count() > 0;
     let space = if has_mama {
         ComponentSpace::build(&m.app, &m.mama)
@@ -525,8 +858,12 @@ fn analyze(m: &ParsedModel, opts: &AnalyzeOptions) -> Result<String, String> {
         .with_policy(opts.policy)
         .with_unmonitored_known(opts.unmonitored_known);
     if has_mama {
+        let _s = Span::enter(recorder, Phase::KnowCompile);
         table = KnowTable::build(&graph, &m.mama, &space);
         analysis = analysis.with_knowledge(&table);
+    }
+    if let Some(r) = recorder {
+        analysis = analysis.with_recorder(r);
     }
 
     // Guarded provenance, filled in by the guarded engine only.
@@ -537,7 +874,11 @@ fn analyze(m: &ParsedModel, opts: &AnalyzeOptions) -> Result<String, String> {
         "enumerate" => analysis.enumerate(),
         "parallel" => analysis.enumerate_parallel(opts.threads),
         "symbolic" => analysis.symbolic(),
-        "mtbdd" => analysis.compile_mtbdd().distribution(),
+        "mtbdd" => {
+            let compiled = analysis.compile_mtbdd();
+            let _s = Span::enter(recorder, Phase::MtbddEval);
+            compiled.distribution()
+        }
         "montecarlo" => analysis.monte_carlo(MonteCarloOptions {
             samples: opts.samples,
             seed: opts.seed,
@@ -561,6 +902,9 @@ fn analyze(m: &ParsedModel, opts: &AnalyzeOptions) -> Result<String, String> {
         other => return Err(format!("unknown engine `{other}`")),
     };
     let sampled = opts.engine == "montecarlo" || estimate.is_some();
+    prov.engine = produced.unwrap_or(opts.engine.as_str()).to_string();
+    prov.requested = produced.map(|_| "guarded".to_string());
+    prov.descents = descents.clone();
 
     let reward_spec = if m.rewards.is_empty() {
         None
@@ -610,6 +954,7 @@ fn analyze(m: &ParsedModel, opts: &AnalyzeOptions) -> Result<String, String> {
         }
         out.push_str(&format!("  \"failed\": {},\n", dist.failed_probability()));
         if let Some(spec) = &reward_spec {
+            let _s = Span::enter(recorder, Phase::RewardAggregation);
             let configs = dist.configurations();
             let perfs = solve_configurations(&m.app, &configs).map_err(|e| e.to_string())?;
             let reward: f64 = configs
@@ -657,6 +1002,7 @@ fn analyze(m: &ParsedModel, opts: &AnalyzeOptions) -> Result<String, String> {
     out.push_str(&dist.table(&m.app));
 
     if let Some(spec) = &reward_spec {
+        let _s = Span::enter(recorder, Phase::RewardAggregation);
         let configs = dist.configurations();
         let perfs = solve_configurations(&m.app, &configs).map_err(|e| e.to_string())?;
         let report = StudyReport::new(&m.app, &dist, &perfs, spec);
@@ -676,6 +1022,7 @@ struct CampaignCliOptions {
     unmonitored_known: bool,
     threads: usize,
     budget: BudgetFlags,
+    obs: ObsFlags,
 }
 
 /// One scenario's JSON object (shared by the baseline and the scenario
@@ -736,11 +1083,19 @@ fn scenario_json(s: &ScenarioAnalysis, baseline_failed: f64, indent: &str) -> St
     out
 }
 
-fn campaign_cmd(m: &ParsedModel, opts: &CampaignCliOptions) -> Result<String, String> {
+fn campaign_cmd(
+    m: &ParsedModel,
+    opts: &CampaignCliOptions,
+    recorder: Option<&dyn Recorder>,
+    prov: &mut Provenance,
+) -> Result<String, String> {
     if m.mama.component_count() == 0 {
         return Err("campaign needs a model with a management architecture".into());
     }
-    let graph = FaultGraph::build(&m.app).map_err(|e| e.to_string())?;
+    let graph = {
+        let _s = Span::enter(recorder, Phase::FaultGraphBuild);
+        FaultGraph::build(&m.app).map_err(|e| e.to_string())?
+    };
     let reward_spec = if m.rewards.is_empty() {
         None
     } else {
@@ -761,8 +1116,40 @@ fn campaign_cmd(m: &ParsedModel, opts: &CampaignCliOptions) -> Result<String, St
         policy: opts.policy,
         unmonitored_known: opts.unmonitored_known,
     };
-    let report = run_campaign(&graph, &m.mama, reward_spec.as_ref(), &copts);
+    // Per-scenario progress lines go to stderr only when someone is
+    // watching (stderr is a terminal) and the main output is not being
+    // piped as JSON.
+    let show_progress = std::io::stderr().is_terminal() && !opts.json;
+    let progress_fn = |p: &ScenarioProgress<'_>| {
+        eprintln!(
+            "campaign [{}/{}] {}: {} in {}",
+            p.index,
+            p.total,
+            p.label,
+            p.engine.map_or("failed", |e| e.name()),
+            human_nanos(p.elapsed.as_nanos().min(u128::from(u64::MAX)) as u64),
+        );
+    };
+    let progress: Option<&dyn Fn(&ScenarioProgress<'_>)> = if show_progress {
+        Some(&progress_fn)
+    } else {
+        None
+    };
+    let report = run_campaign_observed(
+        &graph,
+        &m.mama,
+        reward_spec.as_ref(),
+        &copts,
+        recorder,
+        progress,
+    );
     let base = &report.baseline;
+    prov.engine = base.engine.name().to_string();
+    prov.descents = base
+        .descents
+        .iter()
+        .map(|d| (d.engine.name().to_string(), d.reason.to_string()))
+        .collect();
 
     if opts.json {
         let mut out = String::from("{\n");
@@ -874,14 +1261,23 @@ struct SweepOptions {
     json: bool,
     policy: KnowPolicy,
     unmonitored_known: bool,
+    obs: ObsFlags,
 }
 
-fn sweep_cmd(m: &ParsedModel, opts: &SweepOptions) -> Result<String, String> {
+fn sweep_cmd(
+    m: &ParsedModel,
+    opts: &SweepOptions,
+    recorder: Option<&dyn Recorder>,
+    prov: &mut Provenance,
+) -> Result<String, String> {
     let name = opts
         .component
         .as_deref()
         .ok_or("sweep needs --component <name>")?;
-    let graph = FaultGraph::build(&m.app).map_err(|e| e.to_string())?;
+    let graph = {
+        let _s = Span::enter(recorder, Phase::FaultGraphBuild);
+        FaultGraph::build(&m.app).map_err(|e| e.to_string())?
+    };
     let has_mama = m.mama.component_count() > 0;
     let space = if has_mama {
         ComponentSpace::build(&m.app, &m.mama)
@@ -893,9 +1289,14 @@ fn sweep_cmd(m: &ParsedModel, opts: &SweepOptions) -> Result<String, String> {
         .with_policy(opts.policy)
         .with_unmonitored_known(opts.unmonitored_known);
     if has_mama {
+        let _s = Span::enter(recorder, Phase::KnowCompile);
         table = KnowTable::build(&graph, &m.mama, &space);
         analysis = analysis.with_knowledge(&table);
     }
+    if let Some(r) = recorder {
+        analysis = analysis.with_recorder(r);
+    }
+    prov.engine = "mtbdd".into();
     let component = (0..space.len())
         .find(|&ix| space.name(ix) == name)
         .ok_or_else(|| format!("unknown component `{name}`"))?;
@@ -908,13 +1309,17 @@ fn sweep_cmd(m: &ParsedModel, opts: &SweepOptions) -> Result<String, String> {
         steps: opts.steps,
         threads: opts.threads,
     };
-    let points = fmperf::core::sweep(&compiled, &spec).map_err(|e| e.to_string())?;
+    let points = {
+        let _s = Span::enter(recorder, Phase::MtbddEval);
+        fmperf::core::sweep(&compiled, &spec).map_err(|e| e.to_string())?
+    };
 
     // Configurations never change across the sweep, so the per-config
     // LQN solves happen exactly once.
     let rewards: Option<Vec<f64>> = if m.rewards.is_empty() {
         None
     } else {
+        let _s = Span::enter(recorder, Phase::RewardAggregation);
         let perfs =
             solve_configurations(&m.app, compiled.configurations()).map_err(|e| e.to_string())?;
         let mut spec = RewardSpec::new();
@@ -1002,6 +1407,165 @@ fn sweep_cmd(m: &ParsedModel, opts: &SweepOptions) -> Result<String, String> {
     Ok(out)
 }
 
+/// Options of the `profile` subcommand.
+struct ProfileOptions {
+    samples: u64,
+    seed: u64,
+    threads: usize,
+    json: bool,
+    policy: KnowPolicy,
+    unmonitored_known: bool,
+    trace_out: Option<String>,
+}
+
+/// The engines `profile` attempts, in ladder order.  Each gets a fresh
+/// metrics recorder; the trace recorder is shared so `--trace-out`
+/// shows the runs back to back.
+const PROFILE_ENGINES: [&str; 4] = ["exact", "bitmask", "mtbdd", "montecarlo"];
+
+/// Runs every applicable engine on the model and renders a comparative
+/// phase/counter breakdown.  Inapplicable engines are reported with
+/// their refusal reason instead of being silently dropped.
+fn profile_cmd(
+    m: &ParsedModel,
+    path: &str,
+    opts: &ProfileOptions,
+    setup_rec: Option<&dyn Recorder>,
+    setup: &MetricsRecorder,
+    trace: &TraceRecorder,
+) -> Result<String, String> {
+    let graph = {
+        let _s = Span::enter(setup_rec, Phase::FaultGraphBuild);
+        FaultGraph::build(&m.app).map_err(|e| e.to_string())?
+    };
+    let has_mama = m.mama.component_count() > 0;
+    let space = if has_mama {
+        ComponentSpace::build(&m.app, &m.mama)
+    } else {
+        ComponentSpace::app_only(&m.app)
+    };
+    let table;
+    let mut analysis = Analysis::new(&graph, &space)
+        .with_policy(opts.policy)
+        .with_unmonitored_known(opts.unmonitored_known);
+    if has_mama {
+        let _s = Span::enter(setup_rec, Phase::KnowCompile);
+        table = KnowTable::build(&graph, &m.mama, &space);
+        analysis = analysis.with_knowledge(&table);
+    }
+
+    let metrics: Vec<MetricsRecorder> = PROFILE_ENGINES
+        .iter()
+        .map(|_| MetricsRecorder::new())
+        .collect();
+    let tees: Vec<TeeRecorder<'_>> = metrics
+        .iter()
+        .map(|rec| TeeRecorder::new(rec, trace))
+        .collect();
+    // (failed probability, states explored) per engine, or the reason
+    // the engine is inapplicable to this model.
+    type EngineRun = (Result<(f64, u64), String>, Duration);
+    let mut runs: Vec<EngineRun> = Vec::new();
+    for (i, &name) in PROFILE_ENGINES.iter().enumerate() {
+        let observed = analysis.with_recorder(&tees[i]);
+        let start = Instant::now();
+        let result: Result<ConfigDistribution, String> = match name {
+            "exact" => observed.try_enumerate().map_err(|e| e.to_string()),
+            "bitmask" => match observed.compile() {
+                Some(kernel) => Ok(kernel.enumerate()),
+                None => Err(
+                    "not kernel-compilable (over 64 fallible elements or know pairs)".to_string(),
+                ),
+            },
+            "mtbdd" => observed
+                .try_compile_mtbdd()
+                .map(|compiled| {
+                    let _s = Span::enter(Some(&tees[i] as &dyn Recorder), Phase::MtbddEval);
+                    compiled.distribution()
+                })
+                .map_err(|e| e.to_string()),
+            "montecarlo" => observed
+                .try_monte_carlo(MonteCarloOptions {
+                    samples: opts.samples,
+                    seed: opts.seed,
+                })
+                .map_err(|e| e.to_string()),
+            _ => unreachable!("PROFILE_ENGINES is exhaustive"),
+        };
+        let elapsed = start.elapsed();
+        runs.push((
+            result.map(|d| (d.failed_probability(), d.states_explored())),
+            elapsed,
+        ));
+    }
+    if let Some(out_path) = &opts.trace_out {
+        write_text_file(out_path, &trace.chrome_trace_json())?;
+    }
+
+    if opts.json {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"fmperf-profile-v1\",\n");
+        out.push_str(&format!("  \"model\": \"{}\",\n", json_escape(path)));
+        out.push_str(&format!(
+            "  \"components\": {}, \"fallible\": {},\n",
+            space.len(),
+            space.fallible_indices().len()
+        ));
+        out.push_str(&format!(
+            "  \"setup\": {{\"phases\": {}}},\n",
+            phases_json(setup)
+        ));
+        out.push_str("  \"engines\": [\n");
+        for (i, &name) in PROFILE_ENGINES.iter().enumerate() {
+            let (result, elapsed) = &runs[i];
+            let comma = if i + 1 < PROFILE_ENGINES.len() {
+                ","
+            } else {
+                ""
+            };
+            match result {
+                Ok((failed, states)) => out.push_str(&format!(
+                    "    {{\"engine\": \"{name}\", \"ok\": true, \"elapsed_ns\": {}, \
+                     \"failed\": {failed}, \"states\": {states}, \"phases\": {}, \
+                     \"counters\": {}}}{comma}\n",
+                    elapsed.as_nanos(),
+                    phases_json(&metrics[i]),
+                    counters_json(&metrics[i]),
+                )),
+                Err(reason) => out.push_str(&format!(
+                    "    {{\"engine\": \"{name}\", \"ok\": false, \"skipped\": \"{}\"}}{comma}\n",
+                    json_escape(reason)
+                )),
+            }
+        }
+        out.push_str("  ]\n}\n");
+        return Ok(out);
+    }
+
+    let mut out = format!(
+        "profile: {path} — {} components, {} fallible\nsetup:\n{}",
+        space.len(),
+        space.fallible_indices().len(),
+        metrics_table(setup)
+    );
+    for (i, &name) in PROFILE_ENGINES.iter().enumerate() {
+        let (result, elapsed) = &runs[i];
+        match result {
+            Ok((failed, states)) => {
+                out.push_str(&format!(
+                    "\nengine {name}: ok in {} — P[failed] {failed:.6}, states {states}\n{}",
+                    human_nanos(elapsed.as_nanos().min(u128::from(u64::MAX)) as u64),
+                    metrics_table(&metrics[i])
+                ));
+            }
+            Err(reason) => {
+                out.push_str(&format!("\nengine {name}: skipped — {reason}\n"));
+            }
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1031,6 +1595,39 @@ mod tests {
         let out = with_model(|p| run(&["analyze".into(), p.into()])).unwrap();
         assert!(out.contains("expected steady-state reward rate"));
         assert!(out.contains("configurations:"));
+    }
+
+    #[test]
+    fn degraded_guarded_json_reports_samples_and_ci() {
+        // Caps small enough that every exact rung refuses: the MC rung
+        // must report the samples it drew as the states explored, plus
+        // its batch-means CI.
+        let out = with_model(|p| {
+            run(&[
+                "analyze".into(),
+                p.into(),
+                "--engine".into(),
+                "guarded".into(),
+                "--budget-states".into(),
+                "1".into(),
+                "--budget-nodes".into(),
+                "1".into(),
+                "--budget-memo".into(),
+                "1".into(),
+                "--samples".into(),
+                "20000".into(),
+                "--seed".into(),
+                "3".into(),
+                "--json".into(),
+            ])
+        })
+        .unwrap();
+        assert!(out.contains("\"engine\": \"monte-carlo\""), "{out}");
+        assert!(out.contains("\"requested\": \"guarded\""), "{out}");
+        assert!(out.contains("\"states\": 20000"), "{out}");
+        assert!(out.contains("\"failed_half_width\""), "{out}");
+        assert!(out.contains("\"batches\""), "{out}");
+        assert!(out.contains("\"samples\": 20000"), "{out}");
     }
 
     #[test]
@@ -1225,6 +1822,73 @@ mod tests {
         let out = with_src("warny5", WARNY, |p| run(&["analyze".into(), p.into()])).unwrap();
         assert!(out.starts_with("lint: 1 warning(s)"), "{out}");
         assert!(out.contains("configurations:"), "{out}");
+    }
+
+    #[test]
+    fn profile_runs_every_engine() {
+        let out = with_model(|p| run(&["profile".into(), p.into()])).unwrap();
+        assert!(out.contains("engine exact: ok"), "{out}");
+        assert!(out.contains("engine bitmask: ok"), "{out}");
+        assert!(out.contains("engine mtbdd: ok"), "{out}");
+        assert!(out.contains("engine montecarlo: ok"), "{out}");
+        assert!(out.contains("state-scan"), "{out}");
+        assert!(out.contains("mtbdd-compile"), "{out}");
+        assert!(out.contains("states-visited"), "{out}");
+    }
+
+    #[test]
+    fn profile_json_has_schema_and_engines() {
+        let out = with_model(|p| run(&["profile".into(), p.into(), "--json".into()])).unwrap();
+        assert!(out.contains("\"schema\": \"fmperf-profile-v1\""), "{out}");
+        assert!(out.contains("\"engine\": \"exact\""), "{out}");
+        assert!(out.contains("\"counters\""), "{out}");
+        assert!(out.contains("\"phases\""), "{out}");
+    }
+
+    #[test]
+    fn metrics_flag_appends_table_and_preserves_result() {
+        let (plain, with_metrics) = with_model(|p| {
+            let plain = run(&["analyze".into(), p.into()]).unwrap();
+            let with_metrics = run(&["analyze".into(), p.into(), "--metrics".into()]).unwrap();
+            (plain, with_metrics)
+        });
+        // Instrumentation must not change the analysis output itself.
+        assert!(
+            with_metrics.starts_with(&plain),
+            "metrics table must append"
+        );
+        assert!(with_metrics.contains("\nmetrics (engine enumerate):\n"));
+        assert!(with_metrics.contains("states-visited"));
+    }
+
+    #[test]
+    fn metrics_json_and_trace_files_are_written() {
+        let dir = std::env::temp_dir().join(format!("fmperf-cli-obs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mpath = dir.join("metrics.json");
+        let tpath = dir.join("trace.json");
+        with_model(|p| {
+            run(&[
+                "analyze".into(),
+                p.into(),
+                "--metrics-json".into(),
+                mpath.to_str().unwrap().into(),
+                "--trace-out".into(),
+                tpath.to_str().unwrap().into(),
+            ])
+            .unwrap();
+        });
+        let metrics = std::fs::read_to_string(&mpath).unwrap();
+        assert!(
+            metrics.contains("\"schema\": \"fmperf-metrics-v1\""),
+            "{metrics}"
+        );
+        assert!(metrics.contains("\"states-visited\""), "{metrics}");
+        assert!(metrics.contains("\"descents\""), "{metrics}");
+        let trace = std::fs::read_to_string(&tpath).unwrap();
+        assert!(trace.contains("\"traceEvents\""), "{trace}");
+        assert!(trace.contains("\"ph\": \"X\""), "{trace}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

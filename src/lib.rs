@@ -13,6 +13,7 @@
 //! * [`ftlqn`] — fault-tolerant layered queueing network models.
 //! * [`mama`] — fault-management architecture models (MAMA).
 //! * [`core`] — the performability engines combining everything.
+//! * [`obs`] — engine instrumentation: counters, spans, trace export.
 //! * [`text`] — the textual model format (parser and writer).
 //! * [`lint`] — static-analysis passes over parsed models.
 
@@ -26,5 +27,6 @@ pub use fmperf_graph as graph;
 pub use fmperf_lint as lint;
 pub use fmperf_lqn as lqn;
 pub use fmperf_mama as mama;
+pub use fmperf_obs as obs;
 pub use fmperf_sim as sim;
 pub use fmperf_text as text;
