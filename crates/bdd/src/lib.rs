@@ -427,6 +427,98 @@ impl Bdd {
         let f0 = self.restrict(f, var, false);
         self.probability(f1, p) - self.probability(f0, p)
     }
+
+    /// Minimal cut sets of `condition` up to `max_order`, by prime-cut
+    /// search over the diagram.
+    ///
+    /// A *cut* is a subset `S ⊆ candidates` such that `condition`
+    /// evaluates to `true` when every variable in `S` is `false`, every
+    /// other candidate is `true`, and every non-candidate variable is
+    /// fixed to its `baseline` value.  A cut is *minimal* when no proper
+    /// subset is itself a cut.  For a structure function that is
+    /// monotone in the candidate variables these are exactly the
+    /// negative prime implicants of order ≤ `max_order`; for
+    /// non-monotone functions (know-guards can make recovery
+    /// non-monotone) the point-wise definition above is used, which is
+    /// the one fault injection can confirm dynamically.
+    ///
+    /// The search walks candidates in variable order, cofactoring the
+    /// diagram on each branch: a cofactor that collapses to the
+    /// constant `false` prunes the whole subtree, and one that
+    /// collapses to `true` closes the current set without descending
+    /// further (any additional member would be non-minimal on that
+    /// path).  Cut sets are returned sorted by order, then
+    /// lexicographically; if `condition` already holds at the baseline
+    /// the result is the single empty cut `[[]]`.
+    pub fn minimal_cuts(
+        &mut self,
+        condition: NodeRef,
+        baseline: &[bool],
+        candidates: &[usize],
+        max_order: usize,
+    ) -> Vec<Vec<usize>> {
+        let mut cands: Vec<usize> = candidates.to_vec();
+        cands.sort_unstable();
+        cands.dedup();
+        // Fix every non-candidate variable the condition depends on.
+        let mut g = condition;
+        for v in self.support(condition) {
+            if !cands.contains(&v) {
+                g = self.restrict(g, v, baseline[v]);
+            }
+        }
+        let mut found: Vec<Vec<usize>> = Vec::new();
+        let mut chosen: Vec<usize> = Vec::new();
+        self.cuts_search(g, &cands, 0, max_order, &mut chosen, &mut found);
+        // Keep only minimal sets: discard any set containing an
+        // already-kept subset (sets arrive unordered from the DFS).
+        found.sort_by(|a, b| (a.len(), a.as_slice()).cmp(&(b.len(), b.as_slice())));
+        let mut minimal: Vec<Vec<usize>> = Vec::new();
+        for s in found {
+            if !minimal
+                .iter()
+                .any(|m| m.iter().all(|v| s.binary_search(v).is_ok()))
+            {
+                minimal.push(s);
+            }
+        }
+        minimal
+    }
+
+    fn cuts_search(
+        &mut self,
+        g: NodeRef,
+        cands: &[usize],
+        i: usize,
+        max_order: usize,
+        chosen: &mut Vec<usize>,
+        found: &mut Vec<Vec<usize>>,
+    ) {
+        if g.is_false() {
+            return; // no assignment of the remaining candidates works
+        }
+        if g.is_true() {
+            // Holds regardless of the remaining candidates: taking them
+            // all as up is the minimal completion of this path.
+            found.push(chosen.clone());
+            return;
+        }
+        if i == cands.len() {
+            // Every variable of the (pre-restricted) condition has been
+            // cofactored away, so the function must be constant here.
+            debug_assert!(g.is_terminal());
+            return;
+        }
+        let v = cands[i];
+        let up = self.restrict(g, v, true);
+        self.cuts_search(up, cands, i + 1, max_order, chosen, found);
+        if chosen.len() < max_order {
+            let down = self.restrict(g, v, false);
+            chosen.push(v);
+            self.cuts_search(down, cands, i + 1, max_order, chosen, found);
+            chosen.pop();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -599,5 +691,59 @@ mod tests {
         let mut bdd = Bdd::new(1);
         let a = bdd.var(0);
         bdd.probability(a, &[1.5]);
+    }
+
+    #[test]
+    fn minimal_cuts_of_a_series_parallel_structure() {
+        // Failure condition of a system that is down when a is down, or
+        // both b and c are down: ¬a ∨ (¬b ∧ ¬c).
+        let mut bdd = Bdd::new(3);
+        let na = bdd.nvar(0);
+        let nb = bdd.nvar(1);
+        let nc = bdd.nvar(2);
+        let bc = bdd.and(nb, nc);
+        let fail = bdd.or(na, bc);
+        let cuts = bdd.minimal_cuts(fail, &[true; 3], &[0, 1, 2], 3);
+        assert_eq!(cuts, vec![vec![0], vec![1, 2]]);
+        // Order 1 only: the pair is cut off.
+        let cuts1 = bdd.minimal_cuts(fail, &[true; 3], &[0, 1, 2], 1);
+        assert_eq!(cuts1, vec![vec![0]]);
+    }
+
+    #[test]
+    fn minimal_cuts_respects_the_candidate_set_and_baseline() {
+        let mut bdd = Bdd::new(3);
+        let na = bdd.nvar(0);
+        let nb = bdd.nvar(1);
+        let nc = bdd.nvar(2);
+        let bc = bdd.and(nb, nc);
+        let fail = bdd.or(na, bc);
+        // c is not a candidate and held up: only {a} remains a cut.
+        let cuts = bdd.minimal_cuts(fail, &[true; 3], &[0, 1], 2);
+        assert_eq!(cuts, vec![vec![0]]);
+        // c is not a candidate and already down at the baseline: b alone
+        // now completes the second cut.
+        let cuts = bdd.minimal_cuts(fail, &[true, true, false], &[0, 1], 2);
+        assert_eq!(cuts, vec![vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn minimal_cuts_handles_non_monotone_conditions() {
+        // a XOR b: false at the all-up baseline, true when exactly one
+        // goes down — {a} and {b} are cuts but {a, b} is not.
+        let mut bdd = Bdd::new(2);
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let f = bdd.xor(a, b);
+        let cuts = bdd.minimal_cuts(f, &[true, true], &[0, 1], 2);
+        assert_eq!(cuts, vec![vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn minimal_cuts_reports_the_empty_cut_when_baseline_already_fails() {
+        let mut bdd = Bdd::new(2);
+        let na = bdd.nvar(0);
+        let cuts = bdd.minimal_cuts(na, &[false, true], &[1], 2);
+        assert_eq!(cuts, vec![Vec::<usize>::new()]);
     }
 }

@@ -313,7 +313,10 @@ fn analyze_model(
 /// element (up-probability 0 — exactly the injected ones) down and
 /// everything else up, which application components can some deciding
 /// task still learn about?
-fn covered_components(
+///
+/// Shared by the campaign (per-scenario coverage loss) and by the
+/// structural audit's differential replay (see [`crate::audit`]).
+pub fn covered_components(
     graph: &FaultGraph<'_>,
     space: &ComponentSpace,
     table: &KnowTable,

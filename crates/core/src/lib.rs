@@ -61,6 +61,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod audit;
 pub mod availability;
 pub mod budget;
 pub mod campaign;
@@ -79,6 +80,10 @@ pub mod sweep;
 pub mod symbolic;
 
 pub use analysis::{Analysis, Knowledge};
+pub use audit::{
+    audit, replay_app_cut, replay_mgmt_cut, AuditError, AuditOptions, AuditReport, CutConfirmation,
+    MgmtAudit, UncoveredComponent,
+};
 pub use availability::{RepairModel, RepairModelError};
 pub use budget::{
     AnalysisBudget, AnalysisError, AnalysisReport, BudgetGuard, Descent, EngineKind, EstimateInfo,

@@ -1,30 +1,20 @@
 //! Cost, reward and feasibility lint passes: FM201–FM212.
 
-use crate::{Diagnostic, LintCode, Severity};
-use fmperf_core::AnalysisBudget;
+use crate::{Diagnostic, LintCode, LintConfig, Severity};
 use fmperf_ftlqn::FaultGraph;
 use fmperf_mama::{ComponentSpace, KnowTable};
 use fmperf_text::ParsedModel;
-
-/// Fallible-component count from which exhaustive `2^N` enumeration is
-/// flagged as a warning rather than a note.
-const BLOWUP_BITS: usize = 20;
 
 /// Fallible-component count from which the compile-once MTBDD engine is
 /// suggested for repeated (sweep / what-if / sensitivity) evaluation.
 const MTBDD_SUGGEST_BITS: usize = 12;
 
-/// Total know-table minpath count from which guard compilation (the OR
-/// over augmented minpaths per `(component, task)` pair, re-built for
-/// every service decision) is likely the dominant phase of a run.
-const GUARD_MINPATH_THRESHOLD: usize = 512;
-
-pub(crate) fn run(m: &ParsedModel, valid: bool, out: &mut Vec<Diagnostic>) {
+pub(crate) fn run(m: &ParsedModel, valid: bool, config: &LintConfig, out: &mut Vec<Diagnostic>) {
     if valid {
-        state_space(m, out);
+        state_space(m, config, out);
         engine_suggestion(m, out);
-        budget_degradation(m, out);
-        guard_compilation_cost(m, out);
+        budget_degradation(m, config, out);
+        guard_compilation_cost(m, config, out);
     }
     reward_weights(m, out);
     saturated_users(m, out);
@@ -32,7 +22,10 @@ pub(crate) fn run(m: &ParsedModel, valid: bool, out: &mut Vec<Diagnostic>) {
 }
 
 /// FM201: exact state-space size estimate.
-fn state_space(m: &ParsedModel, out: &mut Vec<Diagnostic>) {
+///
+/// Warns from [`LintConfig::blowup_states`] global states on (default
+/// `2^20`); below that the estimate is a note.
+fn state_space(m: &ParsedModel, config: &LintConfig, out: &mut Vec<Diagnostic>) {
     let space = ComponentSpace::build(&m.app, &m.mama);
     let n = space.fallible_indices().len();
     let states = if n < usize::BITS as usize {
@@ -40,7 +33,8 @@ fn state_space(m: &ParsedModel, out: &mut Vec<Diagnostic>) {
     } else {
         format!("2^{n}")
     };
-    let (severity, help) = if n >= BLOWUP_BITS {
+    let blown = n >= u64::BITS as usize || (1u64 << n) >= config.blowup_states;
+    let (severity, help) = if blown {
         (
             Severity::Warning,
             "exhaustive enumeration over this many states is infeasible; \
@@ -102,16 +96,16 @@ fn engine_suggestion(m: &ParsedModel, out: &mut Vec<Diagnostic>) {
     );
 }
 
-/// FM203: the exact state space exceeds the *default* analysis budget.
+/// FM203: the exact state space exceeds the analysis budget.
 ///
-/// The threshold is [`AnalysisBudget::DEFAULT_MAX_STATES`] itself, so
-/// the lint and the guarded engine can never disagree about when
+/// The default threshold is
+/// [`fmperf_core::AnalysisBudget::DEFAULT_MAX_STATES`] itself, so the
+/// lint and the guarded engine can never disagree about when
 /// degradation kicks in.
-fn budget_degradation(m: &ParsedModel, out: &mut Vec<Diagnostic>) {
+fn budget_degradation(m: &ParsedModel, config: &LintConfig, out: &mut Vec<Diagnostic>) {
     let space = ComponentSpace::build(&m.app, &m.mama);
     let n = space.fallible_indices().len();
-    let budget_bits = AnalysisBudget::DEFAULT_MAX_STATES.trailing_zeros() as usize;
-    if n <= budget_bits {
+    if n < u64::BITS as usize && (1u64 << n) <= config.budget_states {
         return;
     }
     let states = if n < u64::BITS as usize {
@@ -125,9 +119,9 @@ fn budget_degradation(m: &ParsedModel, out: &mut Vec<Diagnostic>) {
             Severity::Warning,
             None,
             format!(
-                "estimated {states} global states exceed the default analysis budget \
+                "estimated {states} global states exceed the analysis budget \
                  of {} states",
-                AnalysisBudget::DEFAULT_MAX_STATES
+                config.budget_states
             ),
         )
         .with_help(
@@ -147,14 +141,14 @@ fn budget_degradation(m: &ParsedModel, out: &mut Vec<Diagnostic>) {
 /// component variables, so total guard-build work scales with the sum
 /// of minpath counts across the know table — independently of the
 /// state-space size the other FM20x passes speak about.
-fn guard_compilation_cost(m: &ParsedModel, out: &mut Vec<Diagnostic>) {
+fn guard_compilation_cost(m: &ParsedModel, config: &LintConfig, out: &mut Vec<Diagnostic>) {
     let Ok(graph) = FaultGraph::build(&m.app) else {
         return;
     };
     let space = ComponentSpace::build(&m.app, &m.mama);
     let table = KnowTable::build(&graph, &m.mama, &space);
     let minpaths: usize = table.iter().map(|(_, f)| f.paths.len()).sum();
-    if minpaths <= GUARD_MINPATH_THRESHOLD {
+    if minpaths <= config.guard_minpaths {
         return;
     }
     let pairs = table.len();

@@ -28,10 +28,21 @@
 //! | FM210 | warning  | reward weight is zero or negative |
 //! | FM211 | warning  | reward names a user group with zero think time (saturated) |
 //! | FM212 | note     | model declares no reward weights |
+//! | FM301 | warning  | management-plane structural SPOF: one element's failure destroys all coverage |
+//! | FM302 | warning  | decision-relevant component whose failure is provably never detected |
+//! | FM303 | note     | dead management edge: connector that can never affect any know guard |
+//! | FM304 | warning  | cut-set count at the audited order exceeds the configured threshold |
 //!
 //! The passes that need a structurally valid model (the knowledge-graph
 //! and state-space analyses) are skipped automatically while FM001/FM101
-//! errors are present; the purely local checks always run.
+//! errors are present; the purely local checks always run.  The FM3xx
+//! family runs the symbolic structural audit (`fmperf_core::audit`) and
+//! is additionally gated on model size, since it compiles the full
+//! structure function.
+//!
+//! The thresholds of FM201, FM203, FM204 and FM304 are configurable via
+//! [`LintConfig`] (`fmperf lint --lint-threshold FM201=1048576`); the
+//! defaults reproduce the historical hard-coded values.
 //!
 //! ```
 //! let src = "processor p fail 0.1\nusers u on p\nentry eu of u\n\
@@ -46,6 +57,7 @@ mod app;
 mod cost;
 mod mgmt;
 mod render;
+mod structure;
 
 pub use render::{render_json, render_text};
 
@@ -123,11 +135,27 @@ pub enum LintCode {
     SaturatedUsers,
     /// FM212: the model declares no reward weights at all.
     NoReward,
+    /// FM301: a management-plane structural SPOF — a single management
+    /// element whose failure alone destroys all coverage (an order-1
+    /// coverage cut proved by the symbolic audit).
+    ManagementSpof,
+    /// FM302: a decision-relevant component whose coverage condition is
+    /// unsatisfiable — its failure is provably never detected, under
+    /// any fault pattern.
+    ProvablyUncovered,
+    /// FM303: a dead management edge — a watch/notify connector that
+    /// appears in no know-guard's support and so can never affect
+    /// coverage.
+    DeadMgmtEdge,
+    /// FM304: the audited cut-set count exceeds the configured
+    /// threshold — the failure structure is too diffuse to review
+    /// cut-by-cut.
+    CutSetExplosion,
 }
 
 impl LintCode {
     /// Every code, in numeric order.
-    pub const ALL: [LintCode; 18] = [
+    pub const ALL: [LintCode; 22] = [
         LintCode::AppInvalid,
         LintCode::UnreachableEntry,
         LintCode::DeadAlternative,
@@ -146,6 +174,10 @@ impl LintCode {
         LintCode::BadRewardWeight,
         LintCode::SaturatedUsers,
         LintCode::NoReward,
+        LintCode::ManagementSpof,
+        LintCode::ProvablyUncovered,
+        LintCode::DeadMgmtEdge,
+        LintCode::CutSetExplosion,
     ];
 
     /// The stable `FMxxx` code string.
@@ -169,6 +201,10 @@ impl LintCode {
             LintCode::BadRewardWeight => "FM210",
             LintCode::SaturatedUsers => "FM211",
             LintCode::NoReward => "FM212",
+            LintCode::ManagementSpof => "FM301",
+            LintCode::ProvablyUncovered => "FM302",
+            LintCode::DeadMgmtEdge => "FM303",
+            LintCode::CutSetExplosion => "FM304",
         }
     }
 }
@@ -176,6 +212,74 @@ impl LintCode {
 impl fmt::Display for LintCode {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.code())
+    }
+}
+
+/// Configurable lint thresholds.
+///
+/// The defaults reproduce the values the rules were introduced with, so
+/// `lint` (which uses `LintConfig::default()`) behaves exactly as
+/// before.  [`LintConfig::apply`] parses the CLI's
+/// `--lint-threshold <RULE>=<N>` syntax.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LintConfig {
+    /// FM201: global-state count from which exhaustive enumeration is
+    /// flagged as a warning rather than a note (default `2^20`).
+    pub blowup_states: u64,
+    /// FM203: analysis-budget state count above which budget-guarded
+    /// runs degrade (default
+    /// [`fmperf_core::AnalysisBudget::DEFAULT_MAX_STATES`]).
+    pub budget_states: u64,
+    /// FM204: total know-table minpath count from which guard
+    /// compilation is flagged as the dominant phase (default 512).
+    pub guard_minpaths: usize,
+    /// FM304: audited cut-set count above which the failure structure
+    /// is flagged as too diffuse to review (default 512).
+    pub cut_sets: usize,
+}
+
+impl Default for LintConfig {
+    fn default() -> LintConfig {
+        LintConfig {
+            blowup_states: 1 << 20,
+            budget_states: fmperf_core::AnalysisBudget::DEFAULT_MAX_STATES,
+            guard_minpaths: 512,
+            cut_sets: 512,
+        }
+    }
+}
+
+impl LintConfig {
+    /// Applies one `RULE=N` threshold override (e.g. `FM201=1048576`).
+    ///
+    /// # Errors
+    ///
+    /// Malformed syntax, an unparsable number, or a rule without a
+    /// configurable threshold.
+    pub fn apply(&mut self, spec: &str) -> Result<(), String> {
+        let Some((rule, value)) = spec.split_once('=') else {
+            return Err(format!(
+                "invalid threshold `{spec}`: expected <RULE>=<N>, e.g. FM201=1048576"
+            ));
+        };
+        let number = |v: &str| -> Result<u64, String> {
+            v.trim()
+                .parse::<u64>()
+                .map_err(|_| format!("invalid threshold value `{}` for {}", v.trim(), rule.trim()))
+        };
+        match rule.trim().to_ascii_uppercase().as_str() {
+            "FM201" => self.blowup_states = number(value)?,
+            "FM203" => self.budget_states = number(value)?,
+            "FM204" => self.guard_minpaths = number(value)? as usize,
+            "FM304" => self.cut_sets = number(value)? as usize,
+            other => {
+                return Err(format!(
+                    "rule `{other}` has no configurable threshold \
+                     (configurable: FM201, FM203, FM204, FM304)"
+                ))
+            }
+        }
+        Ok(())
     }
 }
 
@@ -230,6 +334,11 @@ impl fmt::Display for Diagnostic {
 /// valid model are skipped while any are present.  Diagnostics are
 /// sorted by source line, then code.
 pub fn lint(parsed: &LenientParse) -> Vec<Diagnostic> {
+    lint_with(parsed, &LintConfig::default())
+}
+
+/// [`lint`] with explicit thresholds.
+pub fn lint_with(parsed: &LenientParse, config: &LintConfig) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     let m = &parsed.model;
     for e in &parsed.app_errors {
@@ -251,7 +360,8 @@ pub fn lint(parsed: &LenientParse) -> Vec<Diagnostic> {
     let valid = parsed.app_errors.is_empty() && parsed.mama_errors.is_empty();
     app::run(m, &mut out);
     mgmt::run(m, valid, &mut out);
-    cost::run(m, valid, &mut out);
+    cost::run(m, valid, config, &mut out);
+    structure::run(m, valid, config, &mut out);
     out.sort_by(|a, b| {
         (a.line.unwrap_or(0), a.code, &a.message).cmp(&(b.line.unwrap_or(0), b.code, &b.message))
     });

@@ -1,0 +1,181 @@
+//! Structural-audit lint passes: FM301–FM304.
+//!
+//! These rules are the lint surface of the symbolic structural audit
+//! ([`fmperf_core::audit`]): the model's Boolean structure is compiled
+//! once and order-1/order-2 cut sets, unsatisfiable coverage conditions
+//! and dead management edges are read off the diagrams.  Because the
+//! audit enumerates `2^A` application regions, the family is gated on
+//! model size and skipped (silently) beyond it — `fmperf audit` remains
+//! available for larger models with an explicit error.
+
+use crate::{Diagnostic, LintCode, LintConfig, Severity};
+use fmperf_core::audit::{audit, AuditOptions};
+use fmperf_ftlqn::{Component, FaultGraph};
+use fmperf_mama::ComponentSpace;
+use fmperf_text::ParsedModel;
+
+/// The audit compiles the full structure function and searches cut
+/// sets over every management element, so the lint surface only runs
+/// it on comfortably small models.
+const MAX_APP_FALLIBLE: usize = 10;
+const MAX_SERVICES: usize = 4;
+const MAX_MGMT_ELEMENTS: usize = 48;
+
+/// Cut-set order the lint audits to: order-1 cuts are the FM301 SPOFs,
+/// order-2 feeds the FM304 explosion count.
+const LINT_AUDIT_ORDER: usize = 2;
+
+pub(crate) fn run(m: &ParsedModel, valid: bool, config: &LintConfig, out: &mut Vec<Diagnostic>) {
+    if !valid {
+        return;
+    }
+    let space = ComponentSpace::build(&m.app, &m.mama);
+    let app_fallible = space
+        .fallible_indices()
+        .into_iter()
+        .filter(|&ix| ix < space.app_count())
+        .count();
+    let mgmt_elements = space.len() - space.app_count();
+    if app_fallible > MAX_APP_FALLIBLE
+        || m.app.service_ids().count() > MAX_SERVICES
+        || mgmt_elements > MAX_MGMT_ELEMENTS
+    {
+        return;
+    }
+    let Ok(graph) = FaultGraph::build(&m.app) else {
+        return;
+    };
+    let opts = AuditOptions {
+        max_order: LINT_AUDIT_ORDER,
+        ..AuditOptions::default()
+    };
+    let Ok(report) = audit(&graph, Some(&m.mama), &opts) else {
+        return;
+    };
+
+    let mut cut_count = report.app_cuts.len();
+    if let Some(mgmt) = &report.mgmt {
+        cut_count += mgmt.cuts.len();
+        // The audit reports structural cuts regardless of failure
+        // probability; the lint only warns where the SPOF can actually
+        // fail (an infallible manager is a modelling choice, not a bug).
+        for spof in mgmt.spofs().into_iter().filter(|s| mgmt_fallible(m, s)) {
+            out.push(
+                Diagnostic::new(
+                    LintCode::ManagementSpof,
+                    Severity::Warning,
+                    mgmt_element_line(m, spof),
+                    format!(
+                        "management element `{spof}` is a structural single point of \
+                         failure: its failure alone destroys all coverage"
+                    ),
+                )
+                .with_help(
+                    "the symbolic audit proves this order-1 coverage cut; run \
+                     `fmperf audit` for the full cut-set report, or add a redundant \
+                     manager or knowledge route",
+                ),
+            );
+        }
+        for u in &mgmt.uncovered {
+            let detail = if u.has_paths {
+                "knowledge paths exist but every one rides a certainly-failed element"
+            } else {
+                "no watch/notify chain reaches a deciding task"
+            };
+            out.push(
+                Diagnostic::new(
+                    LintCode::ProvablyUncovered,
+                    Severity::Warning,
+                    app_component_line(m, &u.name),
+                    format!(
+                        "failure of `{}` is provably never detected: {detail}",
+                        u.name
+                    ),
+                )
+                .with_help(
+                    "its coverage condition is unsatisfiable — no fault pattern makes \
+                     any deciding task learn its state, so failures here are never \
+                     reacted to",
+                ),
+            );
+        }
+        // With no decision-relevant knowledge pairs at all, every edge
+        // is trivially dead — that is FM110/FM112 territory, not a
+        // per-connector finding.
+        let knowledge_matters = !mgmt.baseline_covered.is_empty() || !mgmt.uncovered.is_empty();
+        for edge in mgmt.dead_edges.iter().filter(|_| knowledge_matters) {
+            out.push(
+                Diagnostic::new(
+                    LintCode::DeadMgmtEdge,
+                    Severity::Note,
+                    mgmt_element_line(m, edge),
+                    format!("connector `{edge}` affects no know guard"),
+                )
+                .with_help(
+                    "severing it cannot change any coverage condition; it is dead \
+                     management structure (often a redundant route already subsumed \
+                     by a shorter one)",
+                ),
+            );
+        }
+    }
+    if cut_count > config.cut_sets {
+        out.push(
+            Diagnostic::new(
+                LintCode::CutSetExplosion,
+                Severity::Warning,
+                None,
+                format!(
+                    "structural audit found {cut_count} minimal cut sets at order ≤ \
+                     {LINT_AUDIT_ORDER} (threshold {})",
+                    config.cut_sets
+                ),
+            )
+            .with_help(
+                "the failure structure is too diffuse to review cut-by-cut; rank by \
+                 Birnbaum criticality (`fmperf audit`) instead",
+            ),
+        );
+    }
+}
+
+/// Whether a management element named by an audit finding can fail.
+fn mgmt_fallible(m: &ParsedModel, name: &str) -> bool {
+    use fmperf_mama::model::MamaComponentKind;
+    if let Some(id) = m.mama.component_by_name(name) {
+        return match m.mama.component(id).kind {
+            MamaComponentKind::MgmtTask { fail_prob, .. }
+            | MamaComponentKind::MgmtProcessor { fail_prob } => fail_prob > 0.0,
+            MamaComponentKind::AppTask { .. } | MamaComponentKind::AppProcessor { .. } => false,
+        };
+    }
+    m.mama
+        .connector_ids()
+        .find(|&c| m.mama.connector(c).name == name)
+        .is_some_and(|c| m.mama.connector(c).fail_prob > 0.0)
+}
+
+/// Source line of a management element (component or connector) named
+/// by an audit finding.
+fn mgmt_element_line(m: &ParsedModel, name: &str) -> Option<usize> {
+    if let Some(id) = m.mama.component_by_name(name) {
+        return m.spans.component_line(id);
+    }
+    m.mama
+        .connector_ids()
+        .find(|&c| m.mama.connector(c).name == name)
+        .and_then(|c| m.spans.connector_line(c))
+}
+
+/// Source line of an application component named by an audit finding.
+fn app_component_line(m: &ParsedModel, name: &str) -> Option<usize> {
+    m.app
+        .components()
+        .find(|&c| m.app.component_name(c) == name)
+        .and_then(|c| match c {
+            Component::Task(t) => m.spans.task_line(t),
+            Component::Processor(p) => m.spans.processor_line(p),
+            Component::Link(_) => None,
+        })
+}

@@ -310,6 +310,138 @@ fn fm212_no_rewards_note() {
     assert_eq!(hits[0].severity, Severity::Note);
 }
 
+/// GOOD with a fallible management plane: the structural audit runs and
+/// the single manager (and its processor) are provable SPOFs.
+const GOOD_FALLIBLE_MGMT: &str = "\
+processor pc cores inf
+processor p1 fail 0.1
+processor p2 fail 0.1
+users u on pc population 5 think 1.0
+task prim on p1 fail 0.1
+task back on p2 fail 0.1
+entry eu of u
+entry e1 of prim demand 0.5
+entry e2 of back demand 0.5
+service data = e1 > e2
+call eu -> data x 1.0
+mgmtproc pm fail 0.1
+manager m1 on pm fail 0.1
+agent ag1 on p1 fail 0.1
+agent ag2 on p2 fail 0.1
+watch alive prim -> ag1
+watch alive back -> ag2
+watch alive p1 -> m1
+watch alive p2 -> m1
+watch status ag1 -> m1
+watch status ag2 -> m1
+notify m1 -> u
+reward u 1.0
+";
+
+#[test]
+fn fm301_single_manager_is_a_management_spof() {
+    let ds = diags(GOOD_FALLIBLE_MGMT);
+    let hits = find(&ds, LintCode::ManagementSpof);
+    let named: Vec<&str> = hits
+        .iter()
+        .map(|d| {
+            if d.message.contains("`m1`") {
+                "m1"
+            } else if d.message.contains("`pm`") {
+                "pm"
+            } else {
+                "?"
+            }
+        })
+        .collect();
+    assert_eq!(named, ["pm", "m1"], "{ds:#?}");
+    assert!(hits.iter().all(|d| d.severity == Severity::Warning));
+    // The manager is declared on line 13, its processor on line 12.
+    assert_eq!(hits[0].line, Some(12));
+    assert_eq!(hits[1].line, Some(13));
+}
+
+#[test]
+fn fm301_not_raised_for_infallible_managers() {
+    // GOOD's manager is structurally just as critical, but it cannot
+    // fail — a modelling choice, not a coverage bug.
+    assert!(find(&diags(GOOD), LintCode::ManagementSpof).is_empty());
+}
+
+#[test]
+fn fm302_uncovered_component_behind_a_certainly_failed_agent() {
+    // `prim`'s only knowledge route rides ag1 (fail 1.0): structurally
+    // monitored (no FM110), yet its coverage is unsatisfiable.
+    let src = GOOD.replace("agent ag1 on p1", "agent ag1 on p1 fail 1.0");
+    let ds = diags(&src);
+    let hits = find(&ds, LintCode::ProvablyUncovered);
+    assert_eq!(hits.len(), 1, "{ds:#?}");
+    assert!(hits[0].message.contains("`prim`"), "{:?}", hits[0]);
+    assert!(
+        hits[0].message.contains("certainly-failed"),
+        "{:?}",
+        hits[0]
+    );
+    assert!(find(&ds, LintCode::Unmonitored).is_empty(), "{ds:#?}");
+}
+
+#[test]
+fn fm303_dead_watch_edge_through_a_dead_end_agent() {
+    // ag3 forwards nothing, so the watch into it carries knowledge that
+    // reaches no decider: the connector is dead management structure.
+    let mut src = String::from(GOOD);
+    src.push_str("agent ag3 on p1\nwatch alive prim -> ag3 name w-dead\n");
+    let ds = diags(&src);
+    let hits = find(&ds, LintCode::DeadMgmtEdge);
+    assert_eq!(hits.len(), 1, "{ds:#?}");
+    assert_eq!(hits[0].severity, Severity::Note);
+    assert!(hits[0].message.contains("`w-dead`"), "{:?}", hits[0]);
+    assert_eq!(hits[0].line, Some(25));
+    assert!(find(&diags(GOOD), LintCode::DeadMgmtEdge).is_empty());
+}
+
+#[test]
+fn fm304_cut_set_explosion_uses_the_configured_threshold() {
+    let parsed = fmperf_text::parse_lenient(GOOD).expect("source parses");
+    let mut config = fmperf_lint::LintConfig::default();
+    assert!(find(
+        &fmperf_lint::lint_with(&parsed, &config),
+        LintCode::CutSetExplosion
+    )
+    .is_empty());
+    config.apply("FM304=0").expect("valid threshold");
+    let ds = fmperf_lint::lint_with(&parsed, &config);
+    let hits = find(&ds, LintCode::CutSetExplosion);
+    assert_eq!(hits.len(), 1, "{ds:#?}");
+    assert!(hits[0].message.contains("threshold 0"), "{:?}", hits[0]);
+}
+
+#[test]
+fn lint_config_overrides_the_fm201_threshold() {
+    // GOOD has 16 global states: a note by default, a warning once the
+    // blow-up threshold is lowered to 16.
+    let parsed = fmperf_text::parse_lenient(GOOD).expect("source parses");
+    let mut config = fmperf_lint::LintConfig::default();
+    config.apply("FM201=16").expect("valid threshold");
+    let ds = fmperf_lint::lint_with(&parsed, &config);
+    assert_eq!(
+        find(&ds, LintCode::StateSpace)[0].severity,
+        Severity::Warning
+    );
+}
+
+#[test]
+fn lint_config_rejects_malformed_threshold_specs() {
+    let mut config = fmperf_lint::LintConfig::default();
+    assert!(config.apply("FM201").unwrap_err().contains("<RULE>=<N>"));
+    assert!(config.apply("FM201=lots").unwrap_err().contains("lots"));
+    assert!(config.apply("FM999=1").unwrap_err().contains("FM999"));
+    config
+        .apply("fm203=1024")
+        .expect("rule names are case-insensitive");
+    assert_eq!(config.budget_states, 1024);
+}
+
 #[test]
 fn diagnostics_are_sorted_by_line() {
     let src = "processor pc cores inf\nprocessor p1\nusers u on pc think 1.0\n\

@@ -148,6 +148,35 @@ pub fn injection_points(model: &MamaModel) -> Vec<Injection> {
     points
 }
 
+/// Maps a management-plane element *name* (manager, agent, management
+/// processor or connector) to the injection that pins it down, or
+/// `None` when the name does not denote an injectable element
+/// (application components belong to the FTLQN model and are
+/// enumerated, not injected).
+///
+/// This is the cross-reference the static audit uses to replay a
+/// symbolically derived cut set as a concrete injection scenario.
+pub fn injection_for_element(model: &MamaModel, name: &str) -> Option<Injection> {
+    if let Some(id) = model.component_by_name(name) {
+        return match model.component(id).kind {
+            MamaComponentKind::MgmtTask {
+                role: MgmtRole::Manager,
+                ..
+            } => Some(Injection::KillManager(id)),
+            MamaComponentKind::MgmtTask {
+                role: MgmtRole::Agent,
+                ..
+            } => Some(Injection::KillAgent(id)),
+            MamaComponentKind::MgmtProcessor { .. } => Some(Injection::FailProcessor(id)),
+            MamaComponentKind::AppTask { .. } | MamaComponentKind::AppProcessor { .. } => None,
+        };
+    }
+    model
+        .connector_ids()
+        .find(|&cid| model.connector(cid).name == name)
+        .map(Injection::SeverConnector)
+}
+
 /// A composed what-if: one or more injections applied together.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Scenario {
@@ -288,6 +317,31 @@ mod tests {
             assert_eq!(s.injections.len(), 2);
             assert_ne!(s.injections[0], s.injections[1]);
         }
+    }
+
+    #[test]
+    fn element_names_resolve_to_their_injections() {
+        let sys = das_woodside_system();
+        let mama = arch::centralized(&sys, 0.1);
+        let m1 = mama.component_by_name("m1").unwrap();
+        assert_eq!(
+            injection_for_element(&mama, "m1"),
+            Some(Injection::KillManager(m1))
+        );
+        let ag1 = mama.component_by_name("ag1").unwrap();
+        assert_eq!(
+            injection_for_element(&mama, "ag1"),
+            Some(Injection::KillAgent(ag1))
+        );
+        let cid = mama.connector_ids().next().unwrap();
+        let cname = mama.connector(cid).name.clone();
+        assert_eq!(
+            injection_for_element(&mama, &cname),
+            Some(Injection::SeverConnector(cid))
+        );
+        // Application components are not injectable.
+        assert_eq!(injection_for_element(&mama, "AppA"), None);
+        assert_eq!(injection_for_element(&mama, "no-such-element"), None);
     }
 
     #[test]

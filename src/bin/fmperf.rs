@@ -8,8 +8,11 @@
 //! fmperf sweep   <model.fmp> --component <name> [--from A] [--to B] [--steps N]
 //!                            [--json] [--policy any|all] [--unmonitored-known]
 //!                            [--threads N]
-//! fmperf lint    <model.fmp> [--format text|json] [--deny warnings]
-//! fmperf check   <model.fmp> [--deny warnings]
+//! fmperf audit   <model.fmp> [--json] [--max-order N] [--verify]
+//!                            [--policy any|all] [--unmonitored-known]
+//! fmperf lint    <model.fmp> [--format text|json] [--json] [--deny warnings]
+//!                            [--lint-threshold RULE=N]
+//! fmperf check   <model.fmp> [--deny warnings] [--lint-threshold RULE=N]
 //! fmperf dot     <model.fmp> fault|mama|knowledge
 //! fmperf fmt     <model.fmp>
 //! ```
@@ -19,10 +22,20 @@
 //! distribution (and expected reward, when the model declares rewards)
 //! at every availability point with one linear pass each.
 //!
+//! `audit` runs the symbolic structural analysis: minimal cut sets of
+//! the application and management planes up to `--max-order`, proved
+//! SPOFs, provably-uncovered components, dead management edges and
+//! Birnbaum criticality — all from the compiled Boolean structure,
+//! without enumerating fault patterns.  `--verify` replays every
+//! reported cut as a dynamic injection/evaluation and fails if any
+//! static claim is unconfirmed.
+//!
 //! `lint` and `check` exit non-zero when any error-level diagnostic is
 //! present (or any warning under `--deny warnings`); `analyze` refuses
-//! to run on a model with lint errors.  Failing lint reports go to
-//! stderr, passing ones to stdout.
+//! to run on a model with lint errors.  Failing text reports go to
+//! stderr, passing ones to stdout; a JSON lint report always goes to
+//! stdout (machine consumers parse it there), with only the exit code
+//! signalling failure.
 
 use fmperf::core::{
     run_campaign_observed, solve_configurations, Analysis, AnalysisBudget, CampaignOptions,
@@ -57,8 +70,11 @@ const USAGE: &str = "usage:
   fmperf profile  <model.fmp> [--samples N] [--seed N] [--threads N] [--json]
                               [--policy any|all] [--unmonitored-known]
                               [--trace-out PATH]
-  fmperf lint     <model.fmp> [--format text|json] [--deny warnings]
-  fmperf check    <model.fmp> [--deny warnings]
+  fmperf audit    <model.fmp> [--json] [--max-order N] [--verify]
+                              [--policy any|all] [--unmonitored-known]
+  fmperf lint     <model.fmp> [--format text|json] [--json] [--deny warnings]
+                              [--lint-threshold RULE=N]
+  fmperf check    <model.fmp> [--deny warnings] [--lint-threshold RULE=N]
   fmperf dot      <model.fmp> fault|mama|knowledge
   fmperf fmt      <model.fmp>
 
@@ -68,6 +84,13 @@ bitmask kernel, then Monte Carlo with a batch-means 95% CI — whichever
 first fits the budget.  `campaign` re-analyses the model under every
 single (and with --pairwise, every pairwise) management-plane fault
 injection and reports coverage loss and reward deltas per scenario.
+
+`audit` proves minimal cut sets, SPOFs, uncovered components and dead
+management edges from the compiled Boolean structure (up to
+--max-order, default 3); `--verify` replays every reported cut
+dynamically and fails on any unconfirmed claim.  `--lint-threshold`
+overrides a configurable rule threshold (FM201, FM203, FM204, FM304),
+e.g. `--lint-threshold FM201=1048576`.
 
 `--metrics` prints per-phase timings and engine counters after the run
 (to stderr under --json); `--metrics-json` writes the same data as
@@ -83,9 +106,15 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Err(msg) => {
-            // Multi-line failures (lint reports) are already formatted;
-            // single-line ones get the program-name prefix.
-            if msg.contains('\n') {
+            if failing_report_belongs_on_stdout(&args, &msg) {
+                // A failing machine-readable lint report still goes to
+                // stdout — consumers parse it there and read the exit
+                // code for pass/fail, exactly like the passing case.
+                print!("{msg}");
+            } else if msg.contains('\n') {
+                // Multi-line failures (lint reports) are already
+                // formatted; single-line ones get the program-name
+                // prefix.
                 eprint!("{msg}");
                 if !msg.ends_with('\n') {
                     eprintln!();
@@ -96,6 +125,19 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Whether a failing `run` result is a JSON lint report that must keep
+/// going to stdout (the historical behaviour routed it to stderr, which
+/// made `lint --json --deny warnings` emit its JSON on the wrong
+/// stream).  Plain errors — unreadable files, bad flags — stay on
+/// stderr even under `--json`.
+fn failing_report_belongs_on_stdout(args: &[String], msg: &str) -> bool {
+    let json_lint = args.first().is_some_and(|c| c == "lint")
+        && args.iter().enumerate().any(|(i, a)| {
+            a == "--json" || (a == "--format" && args.get(i + 1).is_some_and(|v| v == "json"))
+        });
+    json_lint && msg.trim_start().starts_with('{')
 }
 
 /// Options of the `analyze` subcommand.
@@ -735,10 +777,40 @@ fn run(args: &[String]) -> Result<String, String> {
             }
             profile_cmd(&parsed.model, path, &opts, setup_rec, &setup, &trace)
         }
+        Some("audit") => {
+            let path = it.next().ok_or(USAGE)?;
+            let mut json = false;
+            let mut verify = false;
+            let mut opts = fmperf::core::AuditOptions::default();
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--json" => json = true,
+                    "--verify" => verify = true,
+                    "--max-order" => {
+                        opts.max_order = it
+                            .next()
+                            .ok_or("--max-order needs a value")?
+                            .parse()
+                            .map_err(|_| "bad --max-order value")?;
+                    }
+                    "--policy" => {
+                        opts.policy = match it.next().ok_or("--policy needs a value")? {
+                            "any" => KnowPolicy::AnyFailedComponent,
+                            "all" => KnowPolicy::AllFailedComponents,
+                            other => return Err(format!("unknown policy `{other}`")),
+                        };
+                    }
+                    "--unmonitored-known" => opts.unmonitored_known = true,
+                    other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+                }
+            }
+            audit_cmd(path, json, verify, &opts)
+        }
         Some("lint") => {
             let path = it.next().ok_or(USAGE)?;
             let mut json = false;
             let mut deny_warnings = false;
+            let mut config = fmperf::lint::LintConfig::default();
             while let Some(flag) = it.next() {
                 match flag {
                     "--format" => {
@@ -748,15 +820,19 @@ fn run(args: &[String]) -> Result<String, String> {
                             other => return Err(format!("unknown format `{other}`")),
                         };
                     }
+                    "--json" => json = true,
                     "--deny" => {
                         parse_deny(it.next())?;
                         deny_warnings = true;
+                    }
+                    "--lint-threshold" => {
+                        config.apply(it.next().ok_or("--lint-threshold needs RULE=N")?)?;
                     }
                     other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
                 }
             }
             let parsed = load_lenient(path)?;
-            let diags = fmperf::lint::lint(&parsed);
+            let diags = fmperf::lint::lint_with(&parsed, &config);
             let report = if json {
                 fmperf::lint::render_json(path, &diags)
             } else {
@@ -773,17 +849,21 @@ fn run(args: &[String]) -> Result<String, String> {
         Some("check") => {
             let path = it.next().ok_or(USAGE)?;
             let mut deny_warnings = false;
+            let mut config = fmperf::lint::LintConfig::default();
             while let Some(flag) = it.next() {
                 match flag {
                     "--deny" => {
                         parse_deny(it.next())?;
                         deny_warnings = true;
                     }
+                    "--lint-threshold" => {
+                        config.apply(it.next().ok_or("--lint-threshold needs RULE=N")?)?;
+                    }
                     other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
                 }
             }
             let parsed = load_lenient(path)?;
-            let diags = fmperf::lint::lint(&parsed);
+            let diags = fmperf::lint::lint_with(&parsed, &config);
             let errors = fmperf::lint::count(&diags, Severity::Error);
             let warns = fmperf::lint::count(&diags, Severity::Warning);
             if errors > 0 || (deny_warnings && warns > 0) {
@@ -835,6 +915,233 @@ fn run(args: &[String]) -> Result<String, String> {
         }
         _ => Err(USAGE.to_string()),
     }
+}
+
+/// The `audit` subcommand: run the symbolic structural audit, render it
+/// as text or JSON (`schemas/fmperf-audit-v1.schema.json`), and — with
+/// `--verify` — replay every reported cut dynamically, failing when any
+/// static claim is unconfirmed.
+fn audit_cmd(
+    path: &str,
+    json: bool,
+    verify: bool,
+    opts: &fmperf::core::AuditOptions,
+) -> Result<String, String> {
+    use fmperf::core::CutConfirmation;
+    let m = load(path)?;
+    let graph = FaultGraph::build(&m.app).map_err(|e| e.to_string())?;
+    let mama = (m.mama.component_count() > 0).then_some(&m.mama);
+    let report = fmperf::core::audit(&graph, mama, opts).map_err(|e| e.to_string())?;
+
+    let mut confirmations: Vec<(&'static str, CutConfirmation)> = Vec::new();
+    if verify {
+        if let (Some(mm), Some(mgmt)) = (mama, &report.mgmt) {
+            for cut in &mgmt.cuts {
+                confirmations.push(("mgmt", fmperf::core::replay_mgmt_cut(&graph, mm, cut)?));
+            }
+        }
+        for cut in &report.app_cuts {
+            confirmations.push((
+                "app",
+                fmperf::core::replay_app_cut(&graph, mama, cut, opts)?,
+            ));
+        }
+    }
+    let unconfirmed = confirmations.iter().filter(|(_, c)| !c.confirmed).count();
+
+    let out = if json {
+        render_audit_json(path, &report, verify.then_some(&confirmations))
+    } else {
+        render_audit_text(path, &report, verify.then_some(&confirmations))
+    };
+    if unconfirmed > 0 {
+        return Err(format!(
+            "{out}audit: {unconfirmed} static finding(s) unconfirmed by dynamic replay\n"
+        ));
+    }
+    Ok(out)
+}
+
+fn json_str_array(items: &[String]) -> String {
+    let quoted: Vec<String> = items
+        .iter()
+        .map(|s| format!("\"{}\"", json_escape(s)))
+        .collect();
+    format!("[{}]", quoted.join(", "))
+}
+
+fn json_cut_array(cuts: &[Vec<String>]) -> String {
+    let sets: Vec<String> = cuts.iter().map(|c| json_str_array(c)).collect();
+    format!("[{}]", sets.join(", "))
+}
+
+fn render_audit_json(
+    path: &str,
+    report: &fmperf::core::AuditReport,
+    confirmations: Option<&Vec<(&'static str, fmperf::core::CutConfirmation)>>,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"fmperf-audit-v1\",\n");
+    out.push_str(&format!("  \"model\": \"{}\",\n", json_escape(path)));
+    out.push_str(&format!(
+        "  \"max_order\": {}, \"components\": {}, \"fallible\": {},\n",
+        report.max_order, report.components, report.fallible
+    ));
+    out.push_str(&format!(
+        "  \"baseline_failed\": {},\n",
+        report.baseline_failed
+    ));
+    let app_spofs: Vec<String> = report.app_spofs().iter().map(|s| s.to_string()).collect();
+    out.push_str(&format!(
+        "  \"app\": {{ \"spofs\": {}, \"cuts\": {} }},\n",
+        json_str_array(&app_spofs),
+        json_cut_array(&report.app_cuts)
+    ));
+    match &report.mgmt {
+        None => out.push_str("  \"mgmt\": null,\n"),
+        Some(mgmt) => {
+            let spofs: Vec<String> = mgmt.spofs().iter().map(|s| s.to_string()).collect();
+            let uncovered: Vec<String> = mgmt
+                .uncovered
+                .iter()
+                .map(|u| {
+                    format!(
+                        "{{ \"name\": \"{}\", \"has_paths\": {} }}",
+                        json_escape(&u.name),
+                        u.has_paths
+                    )
+                })
+                .collect();
+            out.push_str(&format!(
+                "  \"mgmt\": {{\n    \"spofs\": {},\n    \"cuts\": {},\n    \
+                 \"baseline_covered\": {},\n    \"uncovered\": [{}],\n    \
+                 \"dead_edges\": {}\n  }},\n",
+                json_str_array(&spofs),
+                json_cut_array(&mgmt.cuts),
+                json_str_array(&mgmt.baseline_covered),
+                uncovered.join(", "),
+                json_str_array(&mgmt.dead_edges)
+            ));
+        }
+    }
+    let crit: Vec<String> = report
+        .criticality
+        .iter()
+        .map(|(name, b)| {
+            format!(
+                "{{ \"component\": \"{}\", \"birnbaum\": {:.6} }}",
+                json_escape(name),
+                b
+            )
+        })
+        .collect();
+    out.push_str(&format!("  \"criticality\": [{}]", crit.join(", ")));
+    if let Some(confs) = confirmations {
+        let rows: Vec<String> = confs
+            .iter()
+            .map(|(plane, c)| {
+                let loss = match c.coverage_loss {
+                    Some(n) => n.to_string(),
+                    None => "null".into(),
+                };
+                format!(
+                    "{{ \"plane\": \"{plane}\", \"elements\": {}, \"label\": \"{}\", \
+                     \"confirmed\": {}, \"coverage_loss\": {loss} }}",
+                    json_str_array(&c.elements),
+                    json_escape(&c.label),
+                    c.confirmed
+                )
+            })
+            .collect();
+        out.push_str(&format!(",\n  \"verification\": [{}]", rows.join(", ")));
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+fn render_audit_text(
+    path: &str,
+    report: &fmperf::core::AuditReport,
+    confirmations: Option<&Vec<(&'static str, fmperf::core::CutConfirmation)>>,
+) -> String {
+    let mut out = format!(
+        "{path}: structural audit (max order {})\n  components: {} ({} fallible); baseline {}\n",
+        report.max_order,
+        report.components,
+        report.fallible,
+        if report.baseline_failed {
+            "FAILED — the system is down with every component up"
+        } else {
+            "operational"
+        }
+    );
+    let render_cuts = |out: &mut String, cuts: &[Vec<String>]| {
+        if cuts.is_empty() {
+            out.push_str("  no cut sets up to the searched order\n");
+        } else {
+            out.push_str(&format!("  {} minimal cut set(s):\n", cuts.len()));
+            for cut in cuts {
+                out.push_str(&format!("    order {}: {}\n", cut.len(), cut.join(" + ")));
+            }
+        }
+    };
+    out.push_str("\napplication plane:\n");
+    for spof in report.app_spofs() {
+        out.push_str(&format!(
+            "  SPOF: {spof} — its failure alone brings the system down\n"
+        ));
+    }
+    render_cuts(&mut out, &report.app_cuts);
+    match &report.mgmt {
+        None => out.push_str("\nmanagement plane: none (no management section)\n"),
+        Some(mgmt) => {
+            out.push_str(&format!(
+                "\nmanagement plane:\n  baseline coverage: {} component(s)\n",
+                mgmt.baseline_covered.len()
+            ));
+            for spof in mgmt.spofs() {
+                out.push_str(&format!(
+                    "  SPOF: {spof} — its failure alone destroys all coverage\n"
+                ));
+            }
+            render_cuts(&mut out, &mgmt.cuts);
+            if mgmt.uncovered.is_empty() {
+                out.push_str("  provably uncovered: none\n");
+            } else {
+                for u in &mgmt.uncovered {
+                    out.push_str(&format!(
+                        "  provably uncovered: {} ({})\n",
+                        u.name,
+                        if u.has_paths {
+                            "paths exist but can never hold"
+                        } else {
+                            "no knowledge path"
+                        }
+                    ));
+                }
+            }
+            if mgmt.dead_edges.is_empty() {
+                out.push_str("  dead edges: none\n");
+            } else {
+                out.push_str(&format!("  dead edges: {}\n", mgmt.dead_edges.join(", ")));
+            }
+        }
+    }
+    out.push_str("\ncriticality (Birnbaum importance):\n");
+    for (name, b) in &report.criticality {
+        out.push_str(&format!("  {b:>9.6}  {name}\n"));
+    }
+    if let Some(confs) = confirmations {
+        let ok = confs.iter().filter(|(_, c)| c.confirmed).count();
+        out.push_str(&format!(
+            "\nverification: {ok}/{} finding(s) confirmed by dynamic replay\n",
+            confs.len()
+        ));
+        for (plane, c) in confs.iter().filter(|(_, c)| !c.confirmed) {
+            out.push_str(&format!("  UNCONFIRMED [{plane}] {}\n", c.label));
+        }
+    }
+    out
 }
 
 fn analyze(
@@ -1764,6 +2071,142 @@ mod tests {
         let r = f(path.to_str().unwrap());
         let _ = std::fs::remove_dir_all(&dir);
         r
+    }
+
+    const CENTRALIZED: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/models/paper-centralized.fmp");
+
+    #[test]
+    fn audit_text_reports_the_centralized_spofs() {
+        let out = run(&["audit".into(), CENTRALIZED.into()]).unwrap();
+        assert!(out.contains("structural audit (max order 3)"), "{out}");
+        assert!(
+            out.contains("SPOF: m1 — its failure alone destroys all coverage"),
+            "{out}"
+        );
+        assert!(out.contains("SPOF: proc5"), "{out}");
+        assert!(out.contains("order 2: AppA + AppB"), "{out}");
+        assert!(out.contains("criticality (Birnbaum importance)"), "{out}");
+    }
+
+    #[test]
+    fn audit_json_reports_schema_and_spofs() {
+        let out = run(&["audit".into(), CENTRALIZED.into(), "--json".into()]).unwrap();
+        assert!(out.contains("\"schema\": \"fmperf-audit-v1\""), "{out}");
+        assert!(out.contains("\"spofs\": [\"m1\", \"proc5\"]"), "{out}");
+        assert!(out.contains("\"dead_edges\""), "{out}");
+        assert!(out.contains("\"birnbaum\""), "{out}");
+    }
+
+    #[test]
+    fn audit_verify_confirms_every_finding() {
+        let out = run(&["audit".into(), CENTRALIZED.into(), "--verify".into()]).unwrap();
+        assert!(
+            out.contains("verification: 19/19 finding(s) confirmed by dynamic replay"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn audit_max_order_limits_the_search() {
+        let out = run(&[
+            "audit".into(),
+            CENTRALIZED.into(),
+            "--max-order".into(),
+            "1".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("max order 1"), "{out}");
+        assert!(out.contains("SPOF: m1"), "{out}");
+        assert!(!out.contains("order 2:"), "{out}");
+    }
+
+    #[test]
+    fn audit_rejects_bad_flags() {
+        let err = run(&["audit".into(), CENTRALIZED.into(), "--bogus".into()]).unwrap_err();
+        assert!(err.contains("unknown flag"), "{err}");
+        let err = run(&[
+            "audit".into(),
+            CENTRALIZED.into(),
+            "--policy".into(),
+            "sometimes".into(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("unknown policy `sometimes`"), "{err}");
+    }
+
+    #[test]
+    fn failing_lint_json_report_belongs_on_stdout() {
+        let lint_json: Vec<String> = vec!["lint".into(), "m.fmp".into(), "--json".into()];
+        let lint_fmt: Vec<String> = vec![
+            "lint".into(),
+            "m.fmp".into(),
+            "--format".into(),
+            "json".into(),
+        ];
+        let lint_text: Vec<String> = vec!["lint".into(), "m.fmp".into()];
+        let audit_json: Vec<String> = vec!["audit".into(), "m.fmp".into(), "--json".into()];
+        assert!(failing_report_belongs_on_stdout(&lint_json, "{\n}"));
+        assert!(failing_report_belongs_on_stdout(&lint_fmt, "  {\n}"));
+        // Text reports and non-JSON error strings stay on stderr…
+        assert!(!failing_report_belongs_on_stdout(&lint_text, "{\n}"));
+        assert!(!failing_report_belongs_on_stdout(
+            &lint_json,
+            "m.fmp: no such file"
+        ));
+        // …and so do other subcommands' failures.
+        assert!(!failing_report_belongs_on_stdout(&audit_json, "{\n}"));
+    }
+
+    #[test]
+    fn lint_json_flag_is_an_alias_for_format_json() {
+        let a = with_model(|p| run(&["lint".into(), p.into(), "--json".into()])).unwrap();
+        let b = with_model(|p| run(&["lint".into(), p.into(), "--format".into(), "json".into()]))
+            .unwrap();
+        assert_eq!(a, b);
+        assert!(a.contains("\"code\": \"FM201\""), "{a}");
+    }
+
+    #[test]
+    fn lint_threshold_reconfigures_a_rule() {
+        // MODEL has 2 fallible components = 4 states: the default FM201
+        // note escalates to a blow-up warning once the threshold drops
+        // to 4 states.
+        let out = with_model(|p| run(&["lint".into(), p.into()])).unwrap();
+        assert!(out.contains("note[FM201]"), "{out}");
+        let out = with_model(|p| {
+            run(&[
+                "lint".into(),
+                p.into(),
+                "--lint-threshold".into(),
+                "FM201=4".into(),
+            ])
+        })
+        .unwrap();
+        assert!(out.contains("warning[FM201]"), "{out}");
+    }
+
+    #[test]
+    fn lint_threshold_rejects_bad_specs() {
+        let err = with_model(|p| {
+            run(&[
+                "lint".into(),
+                p.into(),
+                "--lint-threshold".into(),
+                "FM999=1".into(),
+            ])
+        })
+        .unwrap_err();
+        assert!(err.contains("FM999"), "{err}");
+        let err = with_model(|p| {
+            run(&[
+                "lint".into(),
+                p.into(),
+                "--lint-threshold".into(),
+                "FM201".into(),
+            ])
+        })
+        .unwrap_err();
+        assert!(err.contains("<RULE>=<N>"), "{err}");
     }
 
     #[test]

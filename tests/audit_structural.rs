@@ -1,0 +1,320 @@
+//! Golden and differential tests for the symbolic structural audit.
+//!
+//! The golden half pins hand-derived cut sets for the shipped paper
+//! models: every architecture shares the same eight order-2 application
+//! cuts (one element per user chain, or one element per server), the
+//! centralized architecture's single manager and its host processor are
+//! order-1 management cuts, and the hierarchical architecture has no
+//! order-1 management cut but loses all coverage when both regional
+//! managers die together.
+//!
+//! The differential half closes the loop in both directions:
+//!
+//! * **soundness** — every audit-reported cut, replayed as a concrete
+//!   injection (management plane) or configuration evaluation
+//!   (application plane), really produces the claimed outcome;
+//! * **completeness** — every brute-forced injection set of order ≤ 2
+//!   that dynamically empties coverage (or fails the system) contains
+//!   some audit cut, so no dynamic finding of low order escapes the
+//!   static analysis.
+
+use fmperf::core::audit::{audit, replay_app_cut, replay_mgmt_cut, AuditOptions};
+use fmperf::core::campaign::covered_components;
+use fmperf::ftlqn::{FaultGraph, KnowPolicy};
+use fmperf::mama::inject::{injection_for_element, Scenario};
+use fmperf::mama::model::MamaComponentKind;
+use fmperf::mama::{ComponentSpace, KnowTable};
+use fmperf::text::{parse, ParsedModel};
+
+const MODELS: [&str; 5] = [
+    "paper-centralized",
+    "paper-distributed-as-drawn",
+    "paper-distributed-as-published",
+    "paper-hierarchical",
+    "paper-network",
+];
+
+fn load(name: &str) -> ParsedModel {
+    let path = format!("{}/models/{name}.fmp", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    parse(&src).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+fn cuts(names: &[&[&str]]) -> Vec<Vec<String>> {
+    names
+        .iter()
+        .map(|c| c.iter().map(|s| s.to_string()).collect())
+        .collect()
+}
+
+fn eight_application_cuts() -> Vec<Vec<String>> {
+    cuts(&[
+        &["AppA", "AppB"],
+        &["AppA", "proc2"],
+        &["AppB", "proc1"],
+        &["Server1", "Server2"],
+        &["Server1", "proc4"],
+        &["Server2", "proc3"],
+        &["proc1", "proc2"],
+        &["proc3", "proc4"],
+    ])
+}
+
+/// All five architectures manage the same Figure 1 application, whose
+/// pure structure has eight order-2 cut sets and no SPOF — and every
+/// architecture that actually monitors the primary chain preserves
+/// them.  The as-published distributed variant is the exception, pinned
+/// separately below.
+#[test]
+fn monitored_architectures_share_the_eight_application_cuts() {
+    let expected = eight_application_cuts();
+    for name in MODELS {
+        if name == "paper-distributed-as-published" {
+            continue;
+        }
+        let m = load(name);
+        let graph = FaultGraph::build(&m.app).unwrap();
+        let report = audit(&graph, Some(&m.mama), &AuditOptions::default()).unwrap();
+        assert!(!report.baseline_failed, "{name}");
+        assert!(report.app_spofs().is_empty(), "{name}");
+        assert_eq!(report.app_cuts, expected, "{name}");
+    }
+}
+
+/// The as-published distributed architecture leaves the primary chain's
+/// processors unwatched, so under strict knowledge gating (a failure
+/// nobody can learn about is never reacted to) every primary-chain
+/// element is an application SPOF: the alternative chain can never be
+/// switched to.  Exempting unmonitored components from the knowledge
+/// test — the semantics the paper's published Table 2 numbers imply —
+/// restores the eight structural cuts.
+#[test]
+fn published_distributed_has_primary_chain_spofs_under_strict_knowledge() {
+    let m = load("paper-distributed-as-published");
+    let graph = FaultGraph::build(&m.app).unwrap();
+    let report = audit(&graph, Some(&m.mama), &AuditOptions::default()).unwrap();
+    assert_eq!(report.app_spofs(), ["AppA", "Server1", "proc1", "proc3"]);
+
+    let relaxed = AuditOptions {
+        unmonitored_known: true,
+        ..AuditOptions::default()
+    };
+    let report = audit(&graph, Some(&m.mama), &relaxed).unwrap();
+    assert!(report.app_spofs().is_empty());
+    assert_eq!(report.app_cuts, eight_application_cuts());
+}
+
+/// Hand-derived: the centralized architecture concentrates all
+/// knowledge in one manager, so the manager — and the processor it runs
+/// on — is an order-1 management-plane cut.
+#[test]
+fn centralized_manager_and_its_processor_are_management_spofs() {
+    let m = load("paper-centralized");
+    let graph = FaultGraph::build(&m.app).unwrap();
+    let report = audit(&graph, Some(&m.mama), &AuditOptions::default()).unwrap();
+    assert_eq!(report.mgmt_spofs(), ["m1", "proc5"]);
+}
+
+/// Hand-derived: the hierarchical architecture has no order-1
+/// management cut (the top manager is informed by either regional
+/// manager), but both regional managers dying together severs every
+/// knowledge route.
+#[test]
+fn hierarchical_has_no_spof_but_the_regional_manager_pair_is_a_cut() {
+    let m = load("paper-hierarchical");
+    let graph = FaultGraph::build(&m.app).unwrap();
+    let report = audit(&graph, Some(&m.mama), &AuditOptions::default()).unwrap();
+    assert!(report.mgmt_spofs().is_empty());
+    let mgmt = report.mgmt.as_ref().unwrap();
+    let pair = vec!["dm1".to_string(), "dm2".to_string()];
+    assert!(mgmt.cuts.contains(&pair), "{:?}", mgmt.cuts);
+}
+
+/// The centralized model routes every agent's knowledge through direct
+/// watch edges to the manager, so its longer agent-relayed connectors
+/// appear in no know guard: provably dead management structure.
+#[test]
+fn centralized_dead_edges_are_the_agent_relayed_routes() {
+    let m = load("paper-centralized");
+    let graph = FaultGraph::build(&m.app).unwrap();
+    let report = audit(&graph, Some(&m.mama), &AuditOptions::default()).unwrap();
+    let mut dead = report.mgmt.as_ref().unwrap().dead_edges.clone();
+    dead.sort();
+    assert_eq!(
+        dead,
+        [
+            "aw-proc1-m1",
+            "aw-proc2-m1",
+            "c1",
+            "c2",
+            "sw-ag1-m1",
+            "sw-ag2-m1"
+        ]
+    );
+}
+
+/// Soundness, management plane: every reported cut, replayed as a
+/// concrete `mama::inject` scenario, empties the covered set and loses
+/// a nonzero number of baseline-covered components.
+#[test]
+fn every_management_cut_replays_to_total_coverage_loss() {
+    for name in MODELS {
+        let m = load(name);
+        let graph = FaultGraph::build(&m.app).unwrap();
+        let report = audit(&graph, Some(&m.mama), &AuditOptions::default()).unwrap();
+        let mgmt = report.mgmt.as_ref().unwrap();
+        assert!(!mgmt.cuts.is_empty(), "{name}");
+        for cut in &mgmt.cuts {
+            let c = replay_mgmt_cut(&graph, &m.mama, cut).unwrap();
+            assert!(c.confirmed, "{name}: {cut:?} not confirmed ({})", c.label);
+            assert!(
+                c.coverage_loss.unwrap() > 0,
+                "{name}: {cut:?} lost no coverage"
+            );
+        }
+    }
+}
+
+/// Soundness, application plane: every reported cut fails the system
+/// when its members go down, and recovers with any single member
+/// restored (minimality).
+#[test]
+fn every_application_cut_replays_to_system_failure() {
+    for name in MODELS {
+        let m = load(name);
+        let graph = FaultGraph::build(&m.app).unwrap();
+        let opts = AuditOptions::default();
+        let report = audit(&graph, Some(&m.mama), &opts).unwrap();
+        for cut in &report.app_cuts {
+            let c = replay_app_cut(&graph, Some(&m.mama), cut, &opts).unwrap();
+            assert!(c.confirmed, "{name}: {cut:?} not confirmed");
+        }
+    }
+}
+
+/// Injectable management element names, exactly the audit's candidate
+/// universe: managers, agents, management processors and connectors.
+fn mgmt_candidates(m: &ParsedModel) -> Vec<String> {
+    let mut names = Vec::new();
+    for id in m.mama.component_ids() {
+        match m.mama.component(id).kind {
+            MamaComponentKind::MgmtTask { .. } | MamaComponentKind::MgmtProcessor { .. } => {
+                names.push(m.mama.component(id).name.clone());
+            }
+            _ => {}
+        }
+    }
+    for cid in m.mama.connector_ids() {
+        names.push(m.mama.connector(cid).name.clone());
+    }
+    names
+}
+
+/// Dynamically probes one injection set: does pinning these elements
+/// down empty the covered set?
+fn injection_empties_coverage(m: &ParsedModel, graph: &FaultGraph<'_>, set: &[&String]) -> bool {
+    let injections = set
+        .iter()
+        .map(|name| injection_for_element(&m.mama, name).unwrap())
+        .collect();
+    let injected = Scenario { injections }.apply(&m.mama);
+    let space = ComponentSpace::build(&m.app, &injected);
+    let table = KnowTable::build(graph, &injected, &space);
+    covered_components(graph, &space, &table).is_empty()
+}
+
+/// Completeness, management plane: brute-force every single and pair
+/// injection over the audit's candidate universe; whenever the dynamic
+/// probe reports total coverage loss, the injected set must contain
+/// some audit-reported cut.  No dynamic finding of order ≤ 2 escapes
+/// the static analysis.
+#[test]
+fn no_dynamic_coverage_loss_of_low_order_escapes_the_audit() {
+    for name in MODELS {
+        let m = load(name);
+        let graph = FaultGraph::build(&m.app).unwrap();
+        let report = audit(&graph, Some(&m.mama), &AuditOptions::default()).unwrap();
+        let mgmt = report.mgmt.as_ref().unwrap();
+        let contains_cut = |set: &[&String]| {
+            mgmt.cuts
+                .iter()
+                .any(|cut| cut.iter().all(|e| set.contains(&e)))
+        };
+        let names = mgmt_candidates(&m);
+        let mut probed = 0usize;
+        for (i, a) in names.iter().enumerate() {
+            let single = [a];
+            if injection_empties_coverage(&m, &graph, &single) {
+                assert!(contains_cut(&single), "{name}: [{a}] missed by audit");
+            }
+            probed += 1;
+            for b in names.iter().skip(i + 1) {
+                let pair = [a, b];
+                if injection_empties_coverage(&m, &graph, &pair) {
+                    assert!(contains_cut(&pair), "{name}: [{a}, {b}] missed by audit");
+                }
+                probed += 1;
+            }
+        }
+        assert!(probed > names.len(), "{name}: sweep did not run");
+    }
+}
+
+/// Completeness, application plane: brute-force every single and pair
+/// of fallible application components through the configuration
+/// evaluator (management plane up, knowledge answered by the real know
+/// table); whenever the system fails, the downed set must contain some
+/// audit-reported application cut.
+#[test]
+fn no_dynamic_application_failure_of_low_order_escapes_the_audit() {
+    for name in MODELS {
+        let m = load(name);
+        let graph = FaultGraph::build(&m.app).unwrap();
+        let report = audit(&graph, Some(&m.mama), &AuditOptions::default()).unwrap();
+        let contains_cut = |down: &[usize], space: &ComponentSpace| {
+            report.app_cuts.iter().any(|cut| {
+                cut.iter()
+                    .all(|e| down.iter().any(|&ix| space.name(ix) == e))
+            })
+        };
+
+        let space = ComponentSpace::build(&m.app, &m.mama);
+        let table = KnowTable::build(&graph, &m.mama, &space);
+        let app_fallible: Vec<usize> = space
+            .fallible_indices()
+            .into_iter()
+            .filter(|&ix| ix < space.app_count())
+            .collect();
+        let baseline: Vec<bool> = (0..space.len()).map(|ix| space.up_prob(ix) > 0.0).collect();
+        let fails = |down: &[usize]| {
+            let mut state = baseline.clone();
+            for &ix in down {
+                state[ix] = false;
+            }
+            let oracle = table.oracle(&state).default_for_missing(false);
+            graph
+                .configuration(&state, &oracle, KnowPolicy::AnyFailedComponent)
+                .is_failed()
+        };
+
+        for (i, &a) in app_fallible.iter().enumerate() {
+            if fails(&[a]) {
+                assert!(
+                    contains_cut(&[a], &space),
+                    "{name}: [{}] missed by audit",
+                    space.name(a)
+                );
+            }
+            for &b in app_fallible.iter().skip(i + 1) {
+                if fails(&[a, b]) {
+                    assert!(
+                        contains_cut(&[a, b], &space),
+                        "{name}: [{}, {}] missed by audit",
+                        space.name(a),
+                        space.name(b)
+                    );
+                }
+            }
+        }
+    }
+}

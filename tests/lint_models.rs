@@ -12,6 +12,10 @@
 //!   architectures): those architectures have no watch on the
 //!   application processors, so no deciding task can learn their state
 //!   — a genuine coverage gap between the four §6 architectures.
+//! * FM301 (`m1`/`proc5` in the centralized architecture): the single
+//!   central manager — and the processor it runs on — is a structural
+//!   management-plane SPOF, which is exactly the weakness the paper's
+//!   hierarchical and distributed variants exist to remove.
 
 use fmperf::lint::{lint, LintCode, Severity};
 use fmperf::text::parse_lenient;
@@ -62,8 +66,18 @@ fn all_paper_models_lint_without_errors() {
 
 #[test]
 fn expected_warnings_centralized() {
+    // The structural audit proves the single manager (and its host
+    // processor) is an order-1 coverage cut.
     let w = warnings(&model_diags("paper-centralized"));
-    assert_eq!(w, vec![LintCode::SaturatedUsers, LintCode::SaturatedUsers]);
+    assert_eq!(
+        w,
+        vec![
+            LintCode::ManagementSpof,
+            LintCode::ManagementSpof,
+            LintCode::SaturatedUsers,
+            LintCode::SaturatedUsers,
+        ]
+    );
 }
 
 #[test]
