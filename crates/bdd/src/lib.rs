@@ -39,7 +39,7 @@
 
 pub mod mtbdd;
 
-pub use mtbdd::{FrozenMtbdd, MtRef, Mtbdd};
+pub use mtbdd::{FrozenMtbdd, MtRef, Mtbdd, BATCH_LANES};
 
 use std::collections::HashMap;
 

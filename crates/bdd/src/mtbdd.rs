@@ -396,6 +396,13 @@ impl Mtbdd {
     }
 }
 
+/// Probability rows evaluated in lockstep per lane block by
+/// [`FrozenMtbdd::batch_distributions`]: `[f64; BATCH_LANES]` cells keep
+/// the lane arithmetic in straight-line code the autovectorizer can turn
+/// into SIMD while one traversal of the node arrays serves the whole
+/// block.
+pub const BATCH_LANES: usize = 4;
+
 /// A frozen, immutable MTBDD in level-ordered array form.
 ///
 /// Node `i` tests `vars[i]` and branches to `los[i]` / `his[i]`; an index
@@ -590,11 +597,89 @@ impl FrozenMtbdd {
         (e, deriv)
     }
 
-    /// Evaluates the diagram for a whole matrix of probability vectors,
-    /// chunking the rows over `threads` OS threads (each worker reuses one
-    /// scratch buffer across its chunk).
+    /// Evaluates [`BATCH_LANES`] probability rows in lockstep through
+    /// one pass over the flat level-ordered node arrays.
     ///
-    /// Returns one terminal distribution per input row, in order.
+    /// The per-node work is the scalar [`distribution_into`] body lifted
+    /// to `[f64; BATCH_LANES]` cells (row-of-lanes layout), so each
+    /// node's `vars`/`los`/`his` entries are read once for the whole
+    /// block and the mass splits are straight-line lane arithmetic the
+    /// autovectorizer can SIMD.  Per row the additions hit the same
+    /// cells in the same order as the scalar pass, and a lane whose
+    /// reach is zero only ever adds `+0.0` — so each row's output is
+    /// bit-identical to its own [`distribution_into`] run.
+    ///
+    /// [`distribution_into`]: Self::distribution_into
+    fn distribution_block_into(
+        &self,
+        rows: [&[f64]; BATCH_LANES],
+        scratch: &mut Vec<[f64; BATCH_LANES]>,
+        out: &mut [[f64; BATCH_LANES]],
+    ) {
+        for row in rows {
+            assert!(
+                row.len() >= self.var_count(),
+                "probability vector too short"
+            );
+        }
+        assert_eq!(out.len(), self.terminal_count());
+        let n = self.node_count();
+        scratch.clear();
+        scratch.resize(n, [0.0; BATCH_LANES]);
+        for cell in out.iter_mut() {
+            *cell = [0.0; BATCH_LANES];
+        }
+        let root = self.root as usize;
+        if root >= n {
+            out[root - n] = [1.0; BATCH_LANES];
+            return;
+        }
+        scratch[root] = [1.0; BATCH_LANES];
+        for i in 0..n {
+            let r = scratch[i];
+            if r == [0.0; BATCH_LANES] {
+                continue;
+            }
+            let v = self.vars[i] as usize;
+            let lo = self.los[i] as usize;
+            let hi = self.his[i] as usize;
+            let mut lo_mass = [0.0; BATCH_LANES];
+            let mut hi_mass = [0.0; BATCH_LANES];
+            for l in 0..BATCH_LANES {
+                let pv = rows[l][v];
+                lo_mass[l] = r[l] * (1.0 - pv);
+                hi_mass[l] = r[l] * pv;
+            }
+            let lo_cell = if lo < n {
+                &mut scratch[lo]
+            } else {
+                &mut out[lo - n]
+            };
+            for l in 0..BATCH_LANES {
+                lo_cell[l] += lo_mass[l];
+            }
+            let hi_cell = if hi < n {
+                &mut scratch[hi]
+            } else {
+                &mut out[hi - n]
+            };
+            for l in 0..BATCH_LANES {
+                hi_cell[l] += hi_mass[l];
+            }
+        }
+    }
+
+    /// Evaluates the diagram for a whole matrix of probability vectors:
+    /// the rows are chunked over `threads` OS threads, and each worker
+    /// walks its chunk in [`BATCH_LANES`]-row lane blocks through one
+    /// cache-resident pass per block
+    /// ([`distribution_block_into`](Self::distribution_block_into)); a
+    /// partial trailing block pads with a repeated row whose extra
+    /// outputs are discarded.
+    ///
+    /// Returns one terminal distribution per input row, in order; each
+    /// equals (bit-identically) what
+    /// [`distribution`](Self::distribution) returns for that row alone.
     pub fn batch_distributions(&self, rows: &[Vec<f64>], threads: usize) -> Vec<Vec<f64>> {
         if rows.is_empty() {
             return Vec::new();
@@ -607,11 +692,16 @@ impl FrozenMtbdd {
             for chunk in rows.chunks(chunk_len) {
                 handles.push(scope.spawn(move || {
                     let mut scratch = Vec::new();
+                    let mut block_out = vec![[0.0; BATCH_LANES]; self.terminal_count()];
                     let mut outs = Vec::with_capacity(chunk.len());
-                    for row in chunk {
-                        let mut out = vec![0.0; self.terminal_count()];
-                        self.distribution_into(row, &mut scratch, &mut out);
-                        outs.push(out);
+                    for block in chunk.chunks(BATCH_LANES) {
+                        let pad = &block[block.len() - 1];
+                        let lanes: [&[f64]; BATCH_LANES] =
+                            std::array::from_fn(|l| block.get(l).unwrap_or(pad).as_slice());
+                        self.distribution_block_into(lanes, &mut scratch, &mut block_out);
+                        for l in 0..block.len() {
+                            outs.push(block_out.iter().map(|cell| cell[l]).collect::<Vec<f64>>());
+                        }
                     }
                     outs
                 }));
@@ -830,14 +920,21 @@ mod tests {
         let mut mt = Mtbdd::new(2);
         let map = two_bit_counter(&mut mt);
         let frozen = mt.freeze(map);
-        let rows: Vec<Vec<f64>> = (0..17)
-            .map(|i| vec![i as f64 / 16.0, 1.0 - i as f64 / 32.0])
-            .collect();
-        for threads in [1, 3, 32] {
-            let batch = frozen.batch_distributions(&rows, threads);
-            assert_eq!(batch.len(), rows.len());
-            for (row, out) in rows.iter().zip(&batch) {
-                assert_eq!(out, &frozen.distribution(row));
+        // Row counts around the lane width: the degenerate 1-row batch,
+        // partial trailing blocks (non-multiples of BATCH_LANES), exact
+        // multiples, and enough rows to shard across threads.
+        for count in [1usize, 2, BATCH_LANES - 1, BATCH_LANES, BATCH_LANES + 1, 17] {
+            let rows: Vec<Vec<f64>> = (0..count)
+                .map(|i| vec![i as f64 / 16.0, 1.0 - i as f64 / 32.0])
+                .collect();
+            for threads in [1, 3, 32] {
+                let batch = frozen.batch_distributions(&rows, threads);
+                assert_eq!(batch.len(), rows.len());
+                for (row, out) in rows.iter().zip(&batch) {
+                    // Bit-identical to the scalar evaluator, lane
+                    // padding and all.
+                    assert_eq!(out, &frozen.distribution(row), "{count} rows");
+                }
             }
         }
         assert!(frozen.batch_distributions(&[], 4).is_empty());

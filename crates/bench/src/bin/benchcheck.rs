@@ -9,6 +9,11 @@
 //! * `enumeration` (`statespace --json`): for every case present in the
 //!   baseline, the current `compiled_ns` must be at most `max-ratio`
 //!   (default 2.0) times the baseline's.
+//! * `lanes` (`lanesbench --json`): the lane wall time is gated against
+//!   the baseline like the other schemas, **and** on every case with at
+//!   least 2^16 states the current report must stay under an absolute
+//!   ns/state ceiling and above a minimum lane-vs-scalar speedup (both
+//!   measured in the same run, so runner speed cancels out).
 //! * `sweep` (`sweepbench --json`): the `compile_ns` and `eval_ns`
 //!   phases are gated **independently**, so a regression in the one-off
 //!   compile cannot hide behind a fast evaluator (or vice versa).
@@ -26,8 +31,8 @@
 //! catches order-of-magnitude slips such as losing the kernel dispatch.
 
 use fmperf_bench::{
-    parse_bench_json, parse_guarded_json, parse_obs_json, parse_sweep_json, report_criterion,
-    BenchRow, GuardedRow, ObsRow, SweepRow,
+    parse_bench_json, parse_guarded_json, parse_lanes_json, parse_obs_json, parse_sweep_json,
+    report_criterion, BenchRow, GuardedRow, LaneRow, ObsRow, SweepRow,
 };
 
 /// Maximum allowed `overhead` (guarded / unguarded) in a guarded report.
@@ -36,8 +41,24 @@ const GUARDED_MAX_OVERHEAD: f64 = 1.03;
 /// Guarded cases below this state count are too fast to gate at 3%.
 const GUARDED_MIN_GATED_STATES: u64 = 65_536;
 
+/// Absolute per-state ceiling for the lane-parallel kernel scan on
+/// cases with at least [`LANES_MIN_GATED_STATES`] states.  The scalar
+/// kernel ran these cases at ~29–77 ns/state; losing the lane path (or
+/// the blockwise Gray walk behind it) lands well above this line.
+const LANES_MAX_NS_PER_STATE: f64 = 15.0;
+
+/// Minimum lane-vs-scalar speedup on cases with at least
+/// [`LANES_MIN_GATED_STATES`] states.  Both timings come from the same
+/// run, so runner speed cancels out.
+const LANES_MIN_SPEEDUP: f64 = 1.5;
+
+/// Lane cases below this state count are dominated by per-run setup and
+/// are not gated absolutely.
+const LANES_MIN_GATED_STATES: u64 = 65_536;
+
 enum Report {
     Enumeration(Vec<BenchRow>),
+    Lanes(Vec<LaneRow>),
     Sweep(Vec<SweepRow>),
     Guarded(Vec<GuardedRow>),
     Obs(Vec<ObsRow>),
@@ -53,6 +74,7 @@ fn load(path: &str) -> Report {
         std::process::exit(2);
     };
     match report_criterion(&src).as_deref() {
+        Some("lanes") => Report::Lanes(parse_lanes_json(&src).unwrap_or_else(|| bail())),
         Some("sweep") => Report::Sweep(parse_sweep_json(&src).unwrap_or_else(|| bail())),
         Some("guarded") => Report::Guarded(parse_guarded_json(&src).unwrap_or_else(|| bail())),
         Some("obs") => Report::Obs(parse_obs_json(&src).unwrap_or_else(|| bail())),
@@ -95,6 +117,45 @@ fn check_enumeration(baseline: &[BenchRow], current: &[BenchRow], max_ratio: f64
             cur.compiled_ns,
             max_ratio,
         );
+    }
+    failed
+}
+
+fn check_lanes(baseline: &[LaneRow], current: &[LaneRow], max_ratio: f64) -> bool {
+    let mut failed = false;
+    for base in baseline {
+        let Some(cur) = current.iter().find(|r| r.case == base.case) else {
+            eprintln!("benchcheck: case {} missing from current report", base.case);
+            failed = true;
+            continue;
+        };
+        if cur.states != base.states || cur.configs != base.configs {
+            eprintln!(
+                "benchcheck: case {} changed shape: {} states/{} configs vs {} states/{} configs",
+                base.case, cur.states, cur.configs, base.states, base.configs
+            );
+            failed = true;
+        }
+        failed |= check_phase(&base.case, "lanes", base.lane_ns, cur.lane_ns, max_ratio);
+        // The absolute gates only bind on cases big enough for the scan
+        // to dominate per-run setup; both come from the current run, so
+        // they are not baseline-relative.
+        if cur.states >= LANES_MIN_GATED_STATES {
+            if cur.ns_per_state > LANES_MAX_NS_PER_STATE {
+                eprintln!(
+                    "benchcheck: case {} runs at {:.3} ns/state (ceiling {:.1})",
+                    base.case, cur.ns_per_state, LANES_MAX_NS_PER_STATE
+                );
+                failed = true;
+            }
+            if cur.speedup < LANES_MIN_SPEEDUP {
+                eprintln!(
+                    "benchcheck: case {} lane speedup {:.2}x is below the {:.1}x floor",
+                    base.case, cur.speedup, LANES_MIN_SPEEDUP
+                );
+                failed = true;
+            }
+        }
     }
     failed
 }
@@ -220,6 +281,7 @@ fn main() {
 
     let failed = match (load(baseline_path), load(current_path)) {
         (Report::Enumeration(b), Report::Enumeration(c)) => check_enumeration(&b, &c, max_ratio),
+        (Report::Lanes(b), Report::Lanes(c)) => check_lanes(&b, &c, max_ratio),
         (Report::Sweep(b), Report::Sweep(c)) => check_sweep(&b, &c, max_ratio),
         (Report::Guarded(b), Report::Guarded(c)) => check_guarded(&b, &c, max_ratio),
         (Report::Obs(b), Report::Obs(c)) => check_obs(&b, &c, max_ratio),

@@ -1,0 +1,66 @@
+//! Measures the lane-parallel kernel scan against the scalar scan of
+//! the same compiled kernel on the five paper cases, checking
+//! bit-identity along the way.
+//!
+//! Both sides pay the identical compile, memo and configuration-solve
+//! costs, so the reported speedup isolates the lane-parallel win: the
+//! SoA know-mask evaluation and the blockwise Gray probability updates.
+//! `--json <path>` writes the measurements as a machine-readable report
+//! (see [`fmperf_bench::render_lanes_json`]); `benchcheck` gates such a
+//! report on an absolute ns/state ceiling and a minimum speedup in
+//! addition to the usual baseline ratio.
+
+use fmperf_bench::{case_names, measure_lanes, render_lanes_json};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut json_path = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => {
+                json_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--json requires a path");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("unknown argument: {other} (usage: lanesbench [--json <path>])");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let sys = fmperf_bench::paper_system();
+
+    println!("Lane-parallel kernel scan vs scalar kernel scan");
+    println!(
+        "{:<14} {:>10} {:>10} {:>12} {:>12} {:>12} {:>9} {:>8}",
+        "case", "fallible", "states", "scalar", "lanes", "ns/state", "speedup", "configs"
+    );
+
+    let mut rows = Vec::new();
+    for case in case_names() {
+        let row = measure_lanes(&sys, case);
+        println!(
+            "{:<14} {:>10} {:>10} {:>10.2?} {:>10.2?} {:>12.3} {:>8.1}x {:>8}",
+            row.case,
+            row.fallible,
+            row.states,
+            std::time::Duration::from_nanos(row.scalar_ns as u64),
+            std::time::Duration::from_nanos(row.lane_ns as u64),
+            row.ns_per_state,
+            row.speedup,
+            row.configs,
+        );
+        rows.push(row);
+    }
+
+    if let Some(path) = json_path {
+        let json = render_lanes_json(&rows);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {path}");
+    }
+}

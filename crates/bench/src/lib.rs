@@ -13,6 +13,9 @@
 //!   weight of UserB, for the four architectures.
 //! * `statespace` — the in-text state-space sizes and solution times,
 //!   for both the paper's enumeration and our symbolic engine.
+//! * `lanesbench` — lane-parallel kernel cost: the SIMD-width lane scan
+//!   vs the scalar scan of the same compiled kernel, gated on an
+//!   absolute ns/state ceiling and a minimum lane speedup.
 //! * `sweepbench` — availability-sweep cost: compile-once MTBDD
 //!   (compile + points × linear pass) vs repeated exact enumeration.
 //! * `guardbench` — budget-guard overhead: the guarded ladder's exact
@@ -187,9 +190,19 @@ pub fn measure_enumeration(sys: &DasWoodsideSystem, case: &str) -> BenchRow {
     let t0 = Instant::now();
     let naive = analysis.enumerate_naive();
     let naive_ns = t0.elapsed().as_nanos();
-    let t0 = Instant::now();
-    let compiled = analysis.enumerate();
-    let compiled_ns = t0.elapsed().as_nanos();
+    // Best of five: each rep is a complete cold enumeration (the
+    // decision memo lives and dies inside the call), so the minimum is
+    // still an honest cold time — it just sheds scheduler noise, which
+    // on shared runners dwarfs the single-digit-ns/state signal.
+    let mut compiled_ns = u128::MAX;
+    let mut compiled = None;
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        let dist = analysis.enumerate();
+        compiled_ns = compiled_ns.min(t0.elapsed().as_nanos());
+        compiled = Some(dist);
+    }
+    let compiled = compiled.expect("five reps ran");
     assert_eq!(compiled, naive, "{case}: engines must be bit-identical");
     let states = naive.states_explored();
     BenchRow {
@@ -268,6 +281,185 @@ pub fn parse_bench_json(src: &str) -> Option<Vec<BenchRow>> {
     Some(rows)
 }
 
+/// One timed lane measurement (scalar compiled kernel vs the
+/// lane-parallel SIMD-width scan of the *same* kernel) for the
+/// machine-readable bench reports.
+///
+/// Unlike [`BenchRow`], both sides run the compiled kernel, so the
+/// `speedup` column isolates the lane-parallel win (SoA know masks,
+/// blockwise Gray probabilities) from the compile-vs-naive win; the
+/// `ns_per_state` column carries the absolute per-state cost the
+/// `lanes` benchcheck gate enforces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneRow {
+    /// Case name (`perfect`, `centralized`, …).
+    pub case: String,
+    /// Number of fallible components.
+    pub fallible: usize,
+    /// State-space size (`2^fallible`).
+    pub states: u64,
+    /// Best-of-N wall time of the scalar kernel scan, nanoseconds.
+    pub scalar_ns: u128,
+    /// Best-of-N wall time of the lane-parallel scan, nanoseconds.
+    pub lane_ns: u128,
+    /// Lane wall time per state, nanoseconds (`lane_ns / states`).
+    pub ns_per_state: f64,
+    /// Maximum over the N repetitions of the *paired* per-repetition
+    /// ratio `scalar / lane`.  The two sides are timed in alternation,
+    /// so a systematic lane-path slowdown deflates every pair and the
+    /// maximum still exposes it, while one-sided interference spikes on
+    /// a shared runner cannot fake a regression — the mirror image of
+    /// [`GuardedRow::overhead`]'s noise-floor estimate.
+    pub speedup: f64,
+    /// Number of distinct configurations found.
+    pub configs: usize,
+}
+
+/// Times one case's compiled kernel with the scalar scan and the
+/// lane-parallel scan, best-of-[`GUARDED_REPS`] in alternation (after
+/// one untimed warmup each), checking along the way that the two scans
+/// are bit-identical.
+///
+/// # Panics
+///
+/// Panics on an unknown case name, if the case does not kernel-compile,
+/// or if the scans disagree.
+pub fn measure_lanes(sys: &DasWoodsideSystem, case: &str) -> LaneRow {
+    use std::time::Instant;
+    let graph = sys.fault_graph().expect("canonical model");
+    let (space, table) = match case {
+        "perfect" => (ComponentSpace::app_only(&sys.model), None),
+        _ => {
+            let mama = match case {
+                "centralized" => arch::centralized(sys, 0.1),
+                "distributed" => arch::distributed_as_published(sys, 0.1),
+                "distributed-as-drawn" => arch::distributed(sys, 0.1),
+                "hierarchical" => arch::hierarchical(sys, 0.1),
+                "network" => arch::network(sys, 0.1),
+                other => panic!("unknown case {other}"),
+            };
+            let space = ComponentSpace::build(&sys.model, &mama);
+            let table = KnowTable::build(&graph, &mama, &space);
+            (space, Some(table))
+        }
+    };
+    let mut analysis = Analysis::new(&graph, &space).with_unmonitored_known(case == "distributed");
+    if let Some(table) = &table {
+        analysis = analysis.with_knowledge(table);
+    }
+    let kernel = analysis.compile().expect("paper cases kernel-compile");
+
+    let t0 = Instant::now();
+    let reference = std::hint::black_box(kernel.enumerate_scalar());
+    let single_ns = t0.elapsed().as_nanos();
+    let lane = std::hint::black_box(kernel.enumerate());
+    assert_eq!(
+        lane, reference,
+        "{case}: lane scan must be bit-identical to the scalar scan"
+    );
+
+    // Batch fast cases so every timed sample is a couple of
+    // milliseconds — below that, scheduler noise on a shared runner
+    // swamps the signal.  Samples are kept deliberately short here
+    // (the absolute ns/state gate rides on this number): a best-of
+    // estimator escapes a bursty stall only if some sample dodges it
+    // entirely, and long samples average stalls in instead.
+    const TARGET_SAMPLE_NS: u128 = 2_000_000;
+    let batch = (TARGET_SAMPLE_NS / single_ns.max(1)).clamp(1, 64) as usize;
+
+    let mut scalar_ns = u128::MAX;
+    let mut lane_ns = u128::MAX;
+    let mut ratios = Vec::with_capacity(GUARDED_REPS);
+    for _ in 0..GUARDED_REPS {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            let dist = std::hint::black_box(kernel.enumerate_scalar());
+            assert_eq!(dist, reference, "{case}: scalar scan must be deterministic");
+        }
+        let s = t0.elapsed().as_nanos() / batch as u128;
+        scalar_ns = scalar_ns.min(s);
+
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            let dist = std::hint::black_box(kernel.enumerate());
+            assert_eq!(dist, reference, "{case}: must be bit-identical");
+        }
+        let l = t0.elapsed().as_nanos() / batch as u128;
+        lane_ns = lane_ns.min(l);
+
+        ratios.push(s as f64 / l.max(1) as f64);
+    }
+    ratios.sort_by(|a, b| a.total_cmp(b));
+
+    let states = reference.states_explored();
+    LaneRow {
+        case: case.to_string(),
+        fallible: space.fallible_indices().len(),
+        states,
+        scalar_ns,
+        lane_ns,
+        ns_per_state: lane_ns as f64 / states as f64,
+        speedup: ratios[ratios.len() - 1],
+        configs: reference.len(),
+    }
+}
+
+/// Renders lane rows as the `BENCH_lanes.json` document (same flat
+/// one-object-per-line scheme as [`render_bench_json`]).
+pub fn render_lanes_json(rows: &[LaneRow]) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    s.push_str("{\n  \"criterion\": \"lanes\",\n  \"cases\": [\n");
+    for (ix, r) in rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"case\": \"{}\", \"fallible\": {}, \"states\": {}, \
+             \"scalar_ns\": {}, \"lane_ns\": {}, \"ns_per_state\": {:.3}, \
+             \"speedup\": {:.2}, \"configs\": {}}}",
+            r.case,
+            r.fallible,
+            r.states,
+            r.scalar_ns,
+            r.lane_ns,
+            r.ns_per_state,
+            r.speedup,
+            r.configs
+        );
+        s.push_str(if ix + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Parses a `render_lanes_json` document back into rows.
+pub fn parse_lanes_json(src: &str) -> Option<Vec<LaneRow>> {
+    fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        let tag = format!("\"{key}\": ");
+        let start = line.find(&tag)? + tag.len();
+        let rest = &line[start..];
+        let end = rest.find([',', '}'])?;
+        Some(rest[..end].trim().trim_matches('"'))
+    }
+    let mut rows = Vec::new();
+    for line in src.lines() {
+        let line = line.trim();
+        if !line.starts_with("{\"case\"") {
+            continue;
+        }
+        rows.push(LaneRow {
+            case: field(line, "case")?.to_string(),
+            fallible: field(line, "fallible")?.parse().ok()?,
+            states: field(line, "states")?.parse().ok()?,
+            scalar_ns: field(line, "scalar_ns")?.parse().ok()?,
+            lane_ns: field(line, "lane_ns")?.parse().ok()?,
+            ns_per_state: field(line, "ns_per_state")?.parse().ok()?,
+            speedup: field(line, "speedup")?.parse().ok()?,
+            configs: field(line, "configs")?.parse().ok()?,
+        });
+    }
+    Some(rows)
+}
+
 /// One timed availability-sweep measurement (compile-once MTBDD vs
 /// repeated exact enumeration) for the machine-readable bench reports.
 ///
@@ -328,9 +520,19 @@ pub fn measure_sweep(sys: &DasWoodsideSystem, case: &str, points: usize) -> Swee
         analysis = analysis.with_knowledge(table);
     }
 
-    let t0 = Instant::now();
-    let compiled = analysis.compile_mtbdd();
-    let compile_ns = t0.elapsed().as_nanos();
+    // Best-of-five per phase: every rep is a complete cold compile (or
+    // a complete sweep), so the minimum is an honest measurement that
+    // sheds the multi-millisecond scheduler stalls single-shot timings
+    // are exposed to — both phases gate a CI ratio.
+    let mut compile_ns = u128::MAX;
+    let mut compiled = None;
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        let c = analysis.compile_mtbdd();
+        compile_ns = compile_ns.min(t0.elapsed().as_nanos());
+        compiled = Some(c);
+    }
+    let compiled = compiled.expect("five reps ran");
 
     let reference = analysis.enumerate();
     let dist = compiled.distribution();
@@ -347,10 +549,13 @@ pub fn measure_sweep(sys: &DasWoodsideSystem, case: &str, points: usize) -> Swee
         steps: points,
         threads: 4,
     };
-    let t0 = Instant::now();
-    let pts = sweep(&compiled, &spec).expect("canonical sweep spec");
-    let eval_ns = t0.elapsed().as_nanos();
-    assert_eq!(pts.len(), points);
+    let mut eval_ns = u128::MAX;
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        let pts = sweep(&compiled, &spec).expect("canonical sweep spec");
+        eval_ns = eval_ns.min(t0.elapsed().as_nanos());
+        assert_eq!(pts.len(), points);
+    }
 
     let t0 = Instant::now();
     for _ in 0..points {
@@ -848,6 +1053,28 @@ mod tests {
             assert_eq!(p.states, r.states);
             assert_eq!(p.naive_ns, r.naive_ns);
             assert_eq!(p.compiled_ns, r.compiled_ns);
+            assert_eq!(p.configs, r.configs);
+        }
+    }
+
+    #[test]
+    fn lanes_json_round_trips() {
+        let sys = paper_system();
+        let rows = vec![
+            measure_lanes(&sys, "perfect"),
+            measure_lanes(&sys, "centralized"),
+        ];
+        assert!(rows.iter().all(|r| r.scalar_ns > 0 && r.lane_ns > 0));
+        let json = render_lanes_json(&rows);
+        assert_eq!(report_criterion(&json).as_deref(), Some("lanes"));
+        let parsed = parse_lanes_json(&json).expect("own output parses");
+        assert_eq!(parsed.len(), rows.len());
+        for (p, r) in parsed.iter().zip(&rows) {
+            assert_eq!(p.case, r.case);
+            assert_eq!(p.fallible, r.fallible);
+            assert_eq!(p.states, r.states);
+            assert_eq!(p.scalar_ns, r.scalar_ns);
+            assert_eq!(p.lane_ns, r.lane_ns);
             assert_eq!(p.configs, r.configs);
         }
     }

@@ -26,6 +26,7 @@ pub struct Analysis<'a> {
     pub(crate) policy: KnowPolicy,
     pub(crate) unmonitored_known: bool,
     pub(crate) recorder: Option<&'a dyn Recorder>,
+    pub(crate) threads: Option<usize>,
 }
 
 impl<'a> Analysis<'a> {
@@ -45,6 +46,7 @@ impl<'a> Analysis<'a> {
             policy: KnowPolicy::AnyFailedComponent,
             unmonitored_known: false,
             recorder: None,
+            threads: None,
         }
     }
 
@@ -86,6 +88,27 @@ impl<'a> Analysis<'a> {
     pub fn with_recorder(mut self, recorder: &'a dyn Recorder) -> Self {
         self.recorder = Some(recorder);
         self
+    }
+
+    /// Pins the worker count used when this analysis picks a thread
+    /// count itself (today:
+    /// [`enumerate_parallel_auto`](Analysis::enumerate_parallel_auto)).
+    ///
+    /// The default consults [`std::thread::available_parallelism`],
+    /// which varies across machines and shared CI runners; pinning the
+    /// knob makes benchmark and CI runs reproducible.  A value of 0 is
+    /// treated as 1.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// The effective auto-parallelism worker count: the
+    /// [`with_threads`](Analysis::with_threads) knob if pinned, the
+    /// machine's available parallelism otherwise.
+    pub fn effective_threads(&self) -> usize {
+        self.threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
     }
 
     /// Number of states the exact enumeration will visit
@@ -304,11 +327,11 @@ impl<'a> Analysis<'a> {
     }
 
     /// [`enumerate_parallel`](Analysis::enumerate_parallel) with the
-    /// worker count taken from
-    /// [`std::thread::available_parallelism`].
+    /// worker count taken from the
+    /// [`with_threads`](Analysis::with_threads) knob, falling back to
+    /// [`std::thread::available_parallelism`] when unpinned.
     pub fn enumerate_parallel_auto(&self) -> ConfigDistribution {
-        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-        self.enumerate_parallel(threads)
+        self.enumerate_parallel(self.effective_threads())
     }
 
     /// Multi-threaded

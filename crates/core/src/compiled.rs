@@ -18,9 +18,19 @@
 //!   mask` ([`fmperf_mama::CompiledKnowTable`]).  Evaluating the whole
 //!   table is a few dozen AND-compares instead of set walks.
 //! * **Gray-code enumeration.**  States are visited in reflected
-//!   Gray-code order, so each step flips exactly one bit and the state
-//!   probability is updated with one divide and one multiply instead of
-//!   `N` multiplies ([`GrayWalk`]).
+//!   Gray-code order, so each step flips exactly one bit.  The walker
+//!   splits the state probability into a *high* product over bits `>=
+//!   LO_BITS` — updated with one divide and one multiply, but only once
+//!   per [`LANE_WIDTH`]-state block — and a low-bit factor table
+//!   ([`GrayWalk`]): the serial floating-point dependency chain runs at
+//!   block granularity, not per state.
+//! * **Lane-parallel scan.**  The default scan pulls whole
+//!   [`LANE_WIDTH`]-state blocks off the walker and evaluates the
+//!   lanes' probabilities, effective words and packed `know` answers as
+//!   fixed-width array batches ([`LaneKnow`] lays the OR-of-AND masks
+//!   out structure-of-arrays) that the autovectorizer turns into SIMD;
+//!   only the memo/accumulate resolve pass stays sequential, which is
+//!   what keeps the result bit-identical to the scalar reference scan.
 //! * **Decision memoisation.**  The configuration is a pure function of
 //!   the *decision word*: the application-component bits of the state
 //!   word plus the packed `know` answer word.  A table `decision word →
@@ -41,6 +51,11 @@
 //! states in the same order, so each state's probability is the *same
 //! float* and per-configuration sums accumulate in the *same order*:
 //! the two distributions are bit-identical, not merely within epsilon.
+//! The lane scan preserves this: [`GrayWalk::next_block`] emits the
+//! same words and the same floats as the iterator, the batched know
+//! answers equal the incremental [`KnowEval`] word on every effective
+//! state, and lanes are resolved and accumulated sequentially in visit
+//! order — so scalar, lane and naive paths all agree bit for bit.
 //!
 //! Common-cause failure dependencies are supported by building one
 //! evaluation context per group mask: forced-down fallible elements are
@@ -84,8 +99,78 @@ impl Hasher for WordHasher {
     }
 }
 
+/// Widest direct-indexed memo the kernel will allocate: `2^20` slots
+/// (4 MiB of `u32`).  Past that the flat table stops being
+/// cache-resident and the hash map wins back.
+const FLAT_MEMO_MAX_BITS: u32 = 20;
+
 /// Decision-word → interned configuration id.
-type Memo = HashMap<(u64, u64), u32, BuildHasherDefault<WordHasher>>;
+///
+/// Two layouts behind one probe interface.  The decision key is
+/// `(application bits, packed know answers)`; when the application bits
+/// are a contiguous low mask and the combined key width fits
+/// [`FLAT_MEMO_MAX_BITS`], the memo is a flat direct-indexed table
+/// (`u32::MAX` marking empty slots) — on the Gray scan the low
+/// application bits change at almost every step, so the probe sits on
+/// the per-state hot path and a single indexed load beats a hash-map
+/// probe several times over.  Otherwise it falls back to the hash map.
+/// Both layouts populate in the same first-sighting order, so the
+/// interned configuration ids — and the accumulated sums — are
+/// identical.
+enum Memo {
+    /// Direct-indexed table: `table[app_bits | answers << shift]`.
+    Flat {
+        table: Vec<u32>,
+        /// Number of application bits (the answers' shift distance).
+        shift: u32,
+        /// Populated slots, for the budget guard's memo cap.
+        used: usize,
+    },
+    Map(HashMap<(u64, u64), u32, BuildHasherDefault<WordHasher>>),
+}
+
+impl Memo {
+    fn len(&self) -> usize {
+        match self {
+            Memo::Flat { used, .. } => *used,
+            Memo::Map(m) => m.len(),
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            Memo::Flat { table, used, .. } => {
+                table.fill(u32::MAX);
+                *used = 0;
+            }
+            Memo::Map(m) => m.clear(),
+        }
+    }
+
+    #[inline]
+    fn get(&self, key: (u64, u64)) -> Option<u32> {
+        match self {
+            Memo::Flat { table, shift, .. } => {
+                let id = table[(key.0 | (key.1 << shift)) as usize];
+                (id != u32::MAX).then_some(id)
+            }
+            Memo::Map(m) => m.get(&key).copied(),
+        }
+    }
+
+    fn insert(&mut self, key: (u64, u64), id: u32) {
+        debug_assert_ne!(id, u32::MAX, "id u32::MAX is the empty-slot sentinel");
+        match self {
+            Memo::Flat { table, shift, used } => {
+                table[(key.0 | (key.1 << *shift)) as usize] = id;
+                *used += 1;
+            }
+            Memo::Map(m) => {
+                m.insert(key, id);
+            }
+        }
+    }
+}
 
 /// Incrementally maintained packed `know` answer word.
 ///
@@ -172,27 +257,201 @@ impl KnowEval {
     }
 }
 
+/// Structure-of-arrays layout of a compiled know table for the lane
+/// scan.
+///
+/// Within a [`LANE_WIDTH`]-state block the lanes' effective words
+/// differ only in the low [`LO_BITS`] Gray bits, so the `(component,
+/// task)` pairs split two ways:
+///
+/// * **Volatile pairs** have at least one surviving path mask touching
+///   the low bits: their answers can differ between lanes, so all of
+///   the pair's masks become flat `(mask, pair-bit)` rows whose inner
+///   loop over the lanes is branch-free `[u64; W]` bit ops the
+///   autovectorizer can turn into SIMD.
+/// * **Stable pairs** involve only high bits: their answers form one
+///   word shared by every lane of a block, updated incrementally —
+///   entering a block flips exactly one high bit, so only the pairs on
+///   that bit's affected list are re-tested.
+///
+/// Path masks intersecting the context's forced-down bits are dropped
+/// up front: effective words have those bits cleared, so such a mask
+/// can never hold.  The produced answers equal
+/// [`CompiledKnowTable::answers`] (and the incremental [`KnowEval`])
+/// on every effective word, which keeps the lane scan's memo keys —
+/// and hence its result — bit-identical to the scalar scan's.
+struct LaneKnow {
+    /// Constant part of the answer word (always-pairs, and never-pairs
+    /// under a `true` unmonitored default).
+    constant: u64,
+    /// Flat volatile rows: a pair's bit is OR-ed in when any of its
+    /// rows' masks holds.
+    vol_masks: Vec<u64>,
+    vol_bits: Vec<u64>,
+    /// Per stable pair: surviving masks and the pair's answer bit.
+    stable_masks: Vec<Vec<u64>>,
+    stable_bits: Vec<u64>,
+    /// For each word bit, the stable pairs whose masks involve it.
+    stable_affected: Vec<Vec<u32>>,
+    /// Stable + constant-free part of the current block's answer word.
+    stable_word: u64,
+}
+
+impl LaneKnow {
+    fn new(
+        table: &CompiledKnowTable,
+        n_bits: usize,
+        default_for_missing: bool,
+        forced_mask: u64,
+    ) -> LaneKnow {
+        let lo_mask = (1u64 << LO_BITS.min(n_bits as u32)) - 1;
+        let mut lk = LaneKnow {
+            constant: 0,
+            vol_masks: Vec::new(),
+            vol_bits: Vec::new(),
+            stable_masks: Vec::new(),
+            stable_bits: Vec::new(),
+            stable_affected: vec![Vec::new(); n_bits],
+            stable_word: 0,
+        };
+        for (j, (_, _, know)) in table.pairs().enumerate() {
+            let bit = 1u64 << j;
+            if know.is_always() || (know.is_never() && default_for_missing) {
+                lk.constant |= bit;
+            }
+            if know.is_always() || know.is_never() {
+                continue;
+            }
+            let masks: Vec<u64> = know
+                .masks()
+                .iter()
+                .copied()
+                .filter(|m| m & forced_mask == 0)
+                .collect();
+            if masks.is_empty() {
+                continue; // no surviving path: constant-false
+            }
+            if masks.iter().any(|&m| m & lo_mask != 0) {
+                for &m in &masks {
+                    lk.vol_masks.push(m);
+                    lk.vol_bits.push(bit);
+                }
+            } else {
+                let id = lk.stable_masks.len() as u32;
+                let mut union = 0u64;
+                for &m in &masks {
+                    union |= m;
+                }
+                for (b, lst) in lk.stable_affected.iter_mut().enumerate() {
+                    if union & (1u64 << b) != 0 {
+                        lst.push(id);
+                    }
+                }
+                lk.stable_masks.push(masks);
+                lk.stable_bits.push(bit);
+            }
+        }
+        lk
+    }
+
+    /// Evaluates pair `i`'s surviving stable masks.
+    // Not `contains`: `word & m == m` is a subset test, the lint misfires.
+    #[allow(clippy::manual_contains)]
+    #[inline]
+    fn stable_holds(&self, i: usize, word: u64) -> bool {
+        self.stable_masks[i].iter().any(|&m| word & m == m)
+    }
+
+    /// Evaluates every stable pair against a block's base effective
+    /// word (walk entry).
+    fn reset_stable(&mut self, base_eff: u64) {
+        self.stable_word = 0;
+        for i in 0..self.stable_masks.len() {
+            if self.stable_holds(i, base_eff) {
+                self.stable_word |= self.stable_bits[i];
+            }
+        }
+    }
+
+    /// Re-tests only the stable pairs whose masks involve the high bit
+    /// `b` flipped at a block boundary.
+    fn update_stable(&mut self, base_eff: u64, b: usize) {
+        for k in 0..self.stable_affected[b].len() {
+            let i = self.stable_affected[b][k] as usize;
+            if self.stable_holds(i, base_eff) {
+                self.stable_word |= self.stable_bits[i];
+            } else {
+                self.stable_word &= !self.stable_bits[i];
+            }
+        }
+    }
+
+    /// Answer words for a chunk of `W` effective lanes: the constant
+    /// and block-stable bits OR-ed with each lane's volatile answers.
+    #[inline]
+    fn answers_chunk<const W: usize>(&self, eff: &[u64; W], out: &mut [u64; W]) {
+        let base = self.constant | self.stable_word;
+        *out = [base; W];
+        for (&m, &bit) in self.vol_masks.iter().zip(&self.vol_bits) {
+            for l in 0..W {
+                let holds = u64::from(eff[l] & m == m);
+                out[l] |= holds.wrapping_neg() & bit;
+            }
+        }
+    }
+}
+
+/// Number of low state-index bits whose factor products are
+/// table-driven.  The walker's running product covers only the bits `>=
+/// LO_BITS`, and along the Gray walk a high bit flips exactly once per
+/// [`LANE_WIDTH`] states (at block-aligned indices) — so the serial
+/// divide/multiply dependency chain runs per block, and the per-state
+/// probability is one independent table-lookup multiply.
+const LO_BITS: u32 = 3;
+
+/// States per Gray-scan lane block (`2^LO_BITS`).
+pub const LANE_WIDTH: usize = 1 << LO_BITS;
+
+/// Gray codes of the block-local indices `0..LANE_WIDTH` in visit
+/// order: `gray(s0 + j) == gray(s0) ^ GRAY8[j]` for any block-aligned
+/// `s0` and `j < LANE_WIDTH`, because `gray(s0)` has zero low bits
+/// except possibly bit `LO_BITS - 1` (inherited from bit `LO_BITS` of
+/// `s0`) and `gray(j)` has no high bits.
+const GRAY8: [u64; LANE_WIDTH] = [0, 1, 3, 2, 6, 7, 5, 4];
+
 /// Iterator over `(state word, state probability)` in reflected
-/// Gray-code order, maintaining the probability incrementally: each step
-/// flips one bit and performs one divide and one multiply.
+/// Gray-code order.
+///
+/// The probability is maintained as `hi_prob * lo_table[low bits]`: the
+/// high product changes by one divide and one multiply only at block
+/// boundaries (where a bit `>= LO_BITS` flips), and the low-bit factors
+/// come from an 8-entry table of precomputed ordered products.
 ///
 /// Zero factors (elements with up-probability 0 or 1 contributing a zero
-/// term) are tracked by count rather than multiplied in, so the running
-/// product never degenerates to `0/0`.
+/// term) are tracked by count in the high product rather than multiplied
+/// in, so it never degenerates to `0/0`; the low table stores its zeros
+/// directly because it is never divided.
 ///
-/// Both the compiled kernel and the naive reference enumerator iterate
-/// states through this walker — that shared float trajectory is what
-/// makes their results bit-identical.
+/// The compiled kernel (scalar and lane scans alike) and the naive
+/// reference enumerator all draw states from this walker — that shared
+/// float trajectory is what makes their results bit-identical.
 pub(crate) struct GrayWalk {
     /// Up-probability per bit.
     up: Vec<f64>,
     /// Down-probability per bit (`1 - up`).
     down: Vec<f64>,
     word: u64,
-    /// Product of the non-zero per-bit factors.
-    prob: f64,
-    /// Number of zero per-bit factors (state probability is 0 while > 0).
-    zeros: u32,
+    /// Product of the non-zero factors of bits `>= lo_bits`.
+    hi_prob: f64,
+    /// Zero factors among bits `>= lo_bits` (probability is 0 while > 0).
+    hi_zeros: u32,
+    /// `lo_table[m]`: ordered product of the low-bit factors for low
+    /// word `m`.
+    lo_table: [f64; LANE_WIDTH],
+    /// `min(LO_BITS, up.len())` — sub-block state spaces keep every bit
+    /// in the table.
+    lo_bits: u32,
+    lo_mask: u64,
     /// Next state index to emit (the walk covers `[lo, hi)`).
     next: u64,
     end: u64,
@@ -207,31 +466,115 @@ impl GrayWalk {
     pub(crate) fn new(up: &[f64], lo: u64, hi: u64) -> GrayWalk {
         assert!(up.len() <= 64, "state word overflow");
         let down: Vec<f64> = up.iter().map(|p| 1.0 - p).collect();
+        let lo_bits = LO_BITS.min(up.len() as u32);
+        let lo_mask = (1u64 << lo_bits) - 1;
+        let mut lo_table = [1.0f64; LANE_WIDTH];
+        for (m, slot) in lo_table.iter_mut().enumerate() {
+            let mut f = 1.0;
+            for b in 0..lo_bits as usize {
+                f *= if m & (1 << b) != 0 { up[b] } else { down[b] };
+            }
+            *slot = f;
+        }
         let word = lo ^ (lo >> 1);
-        let mut prob = 1.0;
-        let mut zeros = 0u32;
-        for b in 0..up.len() {
+        let mut hi_prob = 1.0;
+        let mut hi_zeros = 0u32;
+        for b in lo_bits as usize..up.len() {
             let f = if word & (1u64 << b) != 0 {
                 up[b]
             } else {
                 down[b]
             };
             if f == 0.0 {
-                zeros += 1;
+                hi_zeros += 1;
             } else {
-                prob *= f;
+                hi_prob *= f;
             }
         }
         GrayWalk {
             up: up.to_vec(),
             down,
             word,
-            prob,
-            zeros,
+            hi_prob,
+            hi_zeros,
+            lo_table,
+            lo_bits,
+            lo_mask,
             next: lo,
             end: hi,
             started: false,
         }
+    }
+
+    /// Applies the high-product update for flipping bit `b >= lo_bits`.
+    #[inline]
+    fn flip_hi(&mut self, b: usize) {
+        let bit = 1u64 << b;
+        let now_up = self.word & bit == 0; // about to flip
+        let (old, new) = if now_up {
+            (self.down[b], self.up[b])
+        } else {
+            (self.up[b], self.down[b])
+        };
+        self.word ^= bit;
+        if old == 0.0 {
+            self.hi_zeros -= 1;
+        } else {
+            self.hi_prob /= old;
+        }
+        if new == 0.0 {
+            self.hi_zeros += 1;
+        } else {
+            self.hi_prob *= new;
+        }
+    }
+
+    /// Emits the next block of up to [`LANE_WIDTH`] states into `words`
+    /// and `probs`, returning the number of lanes filled (0 once the
+    /// walk is exhausted).
+    ///
+    /// Equivalent to pulling the same states off the iterator one at a
+    /// time — identical words and identical floats, since both paths
+    /// compute `hi_prob * lo_table[low bits]` from the same operands —
+    /// but a full aligned block performs the single high-bit update and
+    /// then eight independent lookup-multiplies with no per-state
+    /// branching, which the autovectorizer can SIMD.  Unaligned
+    /// prologue/epilogue states (and sub-block state spaces) fall back
+    /// to single-state emission off the shared iterator path.
+    pub(crate) fn next_block(
+        &mut self,
+        words: &mut [u64; LANE_WIDTH],
+        probs: &mut [f64; LANE_WIDTH],
+    ) -> usize {
+        let s0 = self.next;
+        if s0 >= self.end {
+            return 0;
+        }
+        if self.lo_bits < LO_BITS
+            || s0 & (LANE_WIDTH as u64 - 1) != 0
+            || self.end - s0 < LANE_WIDTH as u64
+        {
+            let (w, p) = self.next().expect("s0 < end: the walk is not done");
+            words[0] = w;
+            probs[0] = p;
+            return 1;
+        }
+        if self.started {
+            // Entering an aligned block flips exactly one high bit:
+            // trailing_zeros(s0) >= LO_BITS because s0 is block-aligned.
+            self.flip_hi(s0.trailing_zeros() as usize);
+        }
+        self.started = true;
+        self.next = s0 + LANE_WIDTH as u64;
+        let base = self.word;
+        let lo_base = (base & self.lo_mask) as usize;
+        let hi = if self.hi_zeros > 0 { 0.0 } else { self.hi_prob };
+        for j in 0..LANE_WIDTH {
+            words[j] = base ^ GRAY8[j];
+            probs[j] = hi * self.lo_table[lo_base ^ GRAY8[j] as usize];
+        }
+        self.word = words[LANE_WIDTH - 1];
+        LANE_WIDTH
     }
 }
 
@@ -245,29 +588,22 @@ impl Iterator for GrayWalk {
         }
         if self.started {
             // State index s differs from s-1 in Gray code by exactly
-            // bit trailing_zeros(s).
-            let b = s.trailing_zeros() as usize;
-            let now_up = self.word & (1u64 << b) == 0; // about to flip
-            let (old, new) = if now_up {
-                (self.down[b], self.up[b])
+            // bit trailing_zeros(s); only flips of high bits touch the
+            // running product.
+            let b = s.trailing_zeros();
+            if b >= self.lo_bits {
+                self.flip_hi(b as usize);
             } else {
-                (self.up[b], self.down[b])
-            };
-            self.word ^= 1u64 << b;
-            if old == 0.0 {
-                self.zeros -= 1;
-            } else {
-                self.prob /= old;
-            }
-            if new == 0.0 {
-                self.zeros += 1;
-            } else {
-                self.prob *= new;
+                self.word ^= 1u64 << b;
             }
         }
         self.started = true;
         self.next = s + 1;
-        let p = if self.zeros > 0 { 0.0 } else { self.prob };
+        let p = if self.hi_zeros > 0 {
+            0.0
+        } else {
+            self.hi_prob * self.lo_table[(self.word & self.lo_mask) as usize]
+        };
         Some((self.word, p))
     }
 }
@@ -316,6 +652,103 @@ impl Accumulator {
     }
 }
 
+/// Sentinel in [`MissFast::pair_bit`]: no know pair for this
+/// (component, task) — the oracle answer is `default_for_missing`.
+const NO_PAIR: u8 = u8::MAX;
+
+/// Precomputed machinery for the memo-miss fast path: drives the
+/// allocation-light [`FaultGraph::configuration_masked`] evaluator with
+/// a bit-test gate over the packed know-answer word, instead of
+/// rebuilding a state vector and re-running the minpath oracle.
+///
+/// Only available when the application model has at most 64 components
+/// (the packed state must fit one word); misses fall back to the
+/// canonical evaluator otherwise, and always under forced-down contexts
+/// (where the answer word's `is_never` handling can diverge from the
+/// state-bound oracle).
+#[derive(Debug)]
+struct MissFast {
+    /// `(word-bit, component-bit)` per fallible application component:
+    /// translates the app bits of an effective word into the packed
+    /// component state mask.
+    app_bits: Vec<(u64, u64)>,
+    /// All `component_count` bits set: the all-up packed state.
+    all_up: u64,
+    /// `pair_bit[task * component_count + component]` = answer-bit index
+    /// of the know pair, [`NO_PAIR`] when the pair was never compiled.
+    pair_bit: Vec<u8>,
+    component_count: usize,
+}
+
+/// [`MaskServiceGate`] answering from a packed know-answer word: pair
+/// `j`'s answer is bit `j`, exactly as the kernel's scan computed it.
+struct AnswerGate<'k> {
+    fast: &'k MissFast,
+    answers: u64,
+    default_for_missing: bool,
+    policy: fmperf_ftlqn::KnowPolicy,
+}
+
+impl AnswerGate<'_> {
+    #[inline]
+    fn knows(&self, component: u32, task: fmperf_ftlqn::FtTaskId) -> bool {
+        let b = self.fast.pair_bit[task.index() * self.fast.component_count + component as usize];
+        if b == NO_PAIR {
+            self.default_for_missing
+        } else {
+            self.answers >> b & 1 == 1
+        }
+    }
+}
+
+impl fmperf_ftlqn::MaskServiceGate for AnswerGate<'_> {
+    fn pass(
+        &mut self,
+        decider: fmperf_ftlqn::FtTaskId,
+        support_mask: u64,
+        skipped: &[(fmperf_ftlqn::FtEntryId, u64)],
+    ) -> bool {
+        let mut support = support_mask;
+        while support != 0 {
+            let ix = support.trailing_zeros();
+            support &= support - 1;
+            if !self.knows(ix, decider) {
+                return false;
+            }
+        }
+        for &(_, failed_mask) in skipped {
+            let mut failed = failed_mask;
+            let ok = failed != 0
+                && match self.policy {
+                    fmperf_ftlqn::KnowPolicy::AllFailedComponents => loop {
+                        if failed == 0 {
+                            break true;
+                        }
+                        let ix = failed.trailing_zeros();
+                        failed &= failed - 1;
+                        if !self.knows(ix, decider) {
+                            break false;
+                        }
+                    },
+                    fmperf_ftlqn::KnowPolicy::AnyFailedComponent => loop {
+                        if failed == 0 {
+                            break false;
+                        }
+                        let ix = failed.trailing_zeros();
+                        failed &= failed - 1;
+                        if self.knows(ix, decider) {
+                            break true;
+                        }
+                    },
+                };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
 /// An [`Analysis`] compiled to bitmask form: packed state word layout,
 /// compiled `know` table and the decision-memo machinery.
 ///
@@ -335,6 +768,9 @@ pub struct CompiledKernel<'a> {
     app_mask: u64,
     /// Compiled know table (`None` under perfect knowledge).
     know: Option<CompiledKnowTable>,
+    /// Memo-miss fast path (`None` when the model exceeds 64
+    /// components).
+    miss_fast: Option<MissFast>,
 }
 
 impl<'a> Analysis<'a> {
@@ -364,12 +800,38 @@ impl<'a> Analysis<'a> {
             }
             up.push(space.up_prob(ix));
         }
+        let model = self.graph.model();
+        let cc = model.component_count();
+        // Application-component global indices equal the model's
+        // component indices (the space lays application components out
+        // first, in `component_index` order) — the precondition for
+        // translating word bits straight into packed component bits.
+        let miss_fast = (cc <= 64 && app_count == cc).then(|| {
+            let mut pair_bit = vec![NO_PAIR; model.task_count() * cc];
+            if let Some(k) = &know {
+                for (j, (c, t, _)) in k.pairs().enumerate() {
+                    pair_bit[t.index() * cc + model.component_index(c)] = j as u8;
+                }
+            }
+            MissFast {
+                app_bits: fallible
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &ix)| ix < app_count)
+                    .map(|(b, &ix)| (1u64 << b, 1u64 << ix))
+                    .collect(),
+                all_up: if cc == 64 { u64::MAX } else { (1u64 << cc) - 1 },
+                pair_bit,
+                component_count: cc,
+            }
+        });
         Some(CompiledKernel {
             analysis: *self,
             fallible,
             up,
             app_mask,
             know,
+            miss_fast,
         })
     }
 }
@@ -407,10 +869,41 @@ impl Drop for ScanFlush<'_> {
     }
 }
 
+/// How a kernel scan walks the state space.
+#[derive(Clone, Copy, Debug)]
+enum ScanMode {
+    /// One state at a time off the shared Gray iterator — the
+    /// reference path the lane scan is differenced against.
+    Scalar,
+    /// Block scan with `W`-lane batched probability and know-answer
+    /// evaluation (`W` in `{1, 2, 4, 8}`).
+    Lanes(usize),
+}
+
 impl CompiledKernel<'_> {
     /// Number of word bits (fallible elements).
     pub fn bit_count(&self) -> usize {
         self.fallible.len()
+    }
+
+    /// A fresh decision memo in the best layout this kernel supports:
+    /// direct-indexed when the application bits are a contiguous low
+    /// mask (the [`ComponentSpace`] orders application components
+    /// first, so this is the common case) and the key fits
+    /// [`FLAT_MEMO_MAX_BITS`], hash map otherwise.
+    fn new_memo(&self) -> Memo {
+        let app_bits = self.app_mask.count_ones();
+        let pairs = self.know.as_ref().map_or(0, |t| t.len() as u32);
+        let contiguous = self.app_mask & self.app_mask.wrapping_add(1) == 0;
+        if contiguous && app_bits + pairs <= FLAT_MEMO_MAX_BITS {
+            Memo::Flat {
+                table: vec![u32::MAX; 1usize << (app_bits + pairs)],
+                shift: app_bits,
+                used: 0,
+            }
+        } else {
+            Memo::Map(HashMap::default())
+        }
     }
 
     /// The compiled know table, if the analysis uses MAMA knowledge.
@@ -418,37 +911,96 @@ impl CompiledKernel<'_> {
         self.know.as_ref()
     }
 
-    /// Exact enumeration of all `2^N` states through the kernel;
-    /// bit-identical to [`Analysis::enumerate_naive`].
+    /// Exact enumeration of all `2^N` states through the kernel using
+    /// the [`LANE_WIDTH`]-lane scan; bit-identical to both
+    /// [`enumerate_scalar`](CompiledKernel::enumerate_scalar) and
+    /// [`Analysis::enumerate_naive`].
     ///
     /// # Panics
     ///
     /// Panics if more than 30 elements are fallible (use
     /// [`Analysis::monte_carlo`] or [`Analysis::symbolic`]).
     pub fn enumerate(&self) -> ConfigDistribution {
-        self.enumerate_masked(None)
+        self.enumerate_masked(None, ScanMode::Lanes(LANE_WIDTH))
+    }
+
+    /// Exact enumeration through the scalar (one state per step)
+    /// reference scan.  Kept as the differential baseline for the lane
+    /// scan: results are bit-identical, the lane path is just faster.
+    pub fn enumerate_scalar(&self) -> ConfigDistribution {
+        self.enumerate_masked(None, ScanMode::Scalar)
+    }
+
+    /// [`enumerate`](CompiledKernel::enumerate) with an explicit lane
+    /// width (1, 2, 4 or 8); every width produces the same bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unsupported width.
+    pub fn enumerate_with_lane_width(&self, width: usize) -> ConfigDistribution {
+        assert!(
+            matches!(width, 1 | 2 | 4 | 8),
+            "lane width must be 1, 2, 4 or 8, got {width}"
+        );
+        self.enumerate_masked(None, ScanMode::Lanes(width))
     }
 
     /// [`enumerate`](CompiledKernel::enumerate) with common-cause
     /// failure dependencies; bit-identical to
     /// [`Analysis::enumerate_naive_with_dependencies`].
     pub fn enumerate_with_dependencies(&self, deps: &FailureDependencies) -> ConfigDistribution {
-        self.enumerate_masked(Some(deps))
+        self.enumerate_masked(Some(deps), ScanMode::Lanes(LANE_WIDTH))
     }
 
-    fn enumerate_masked(&self, deps: Option<&FailureDependencies>) -> ConfigDistribution {
+    /// [`enumerate_scalar`](CompiledKernel::enumerate_scalar) with
+    /// common-cause failure dependencies.
+    pub fn enumerate_scalar_with_dependencies(
+        &self,
+        deps: &FailureDependencies,
+    ) -> ConfigDistribution {
+        self.enumerate_masked(Some(deps), ScanMode::Scalar)
+    }
+
+    fn enumerate_masked(
+        &self,
+        deps: Option<&FailureDependencies>,
+        mode: ScanMode,
+    ) -> ConfigDistribution {
         crate::analysis::assert_enumerable(self.fallible.len(), deps);
         let _span = Span::enter(self.analysis.recorder, Phase::StateScan);
         let n_states = 1u64 << self.fallible.len();
         let contexts = self.contexts(deps);
         let mut acc = Accumulator::new(self.analysis.space);
-        let mut memo = Memo::default();
+        let mut memo = self.new_memo();
         for ctx in &contexts {
             memo.clear(); // forced overrides differ per context
-            self.scan_range(ctx, 0, n_states, &mut memo, &mut acc, None)
+            self.scan_dispatch(mode, ctx, 0, n_states, &mut memo, &mut acc, None)
                 .expect("invariant: an unguarded scan has no budget to exhaust");
         }
         acc.into_distribution(n_states * contexts.len() as u64)
+    }
+
+    /// Monomorphization shim: routes a scan to the scalar loop or to
+    /// the lane loop instantiated at the requested width.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_dispatch(
+        &self,
+        mode: ScanMode,
+        ctx: &EvalContext,
+        lo: u64,
+        hi: u64,
+        memo: &mut Memo,
+        acc: &mut Accumulator,
+        guard: Option<&BudgetGuard>,
+    ) -> Result<(), AnalysisError> {
+        match mode {
+            ScanMode::Scalar => self.scan_range(ctx, lo, hi, memo, acc, guard),
+            ScanMode::Lanes(1) => self.scan_range_lanes::<1>(ctx, lo, hi, memo, acc, guard),
+            ScanMode::Lanes(2) => self.scan_range_lanes::<2>(ctx, lo, hi, memo, acc, guard),
+            ScanMode::Lanes(4) => self.scan_range_lanes::<4>(ctx, lo, hi, memo, acc, guard),
+            ScanMode::Lanes(8) => self.scan_range_lanes::<8>(ctx, lo, hi, memo, acc, guard),
+            ScanMode::Lanes(w) => unreachable!("lane width {w} rejected at the API boundary"),
+        }
     }
 
     /// Budget-guarded exact enumeration; a within-budget run is
@@ -467,10 +1019,18 @@ impl CompiledKernel<'_> {
         let n_states = 1u64 << self.fallible.len();
         let contexts = self.contexts(None);
         let mut acc = Accumulator::new(self.analysis.space);
-        let mut memo = Memo::default();
+        let mut memo = self.new_memo();
         for ctx in &contexts {
             memo.clear();
-            self.scan_range(ctx, 0, n_states, &mut memo, &mut acc, Some(guard))?;
+            self.scan_dispatch(
+                ScanMode::Lanes(LANE_WIDTH),
+                ctx,
+                0,
+                n_states,
+                &mut memo,
+                &mut acc,
+                Some(guard),
+            )?;
         }
         Ok(acc.into_distribution(n_states * contexts.len() as u64))
     }
@@ -508,12 +1068,18 @@ impl CompiledKernel<'_> {
                 let contexts = &contexts;
                 handles.push(scope.spawn(move || {
                     let mut acc = Accumulator::new(self.analysis.space);
-                    let mut memo = Memo::default();
+                    let mut memo = self.new_memo();
                     for ctx in contexts {
                         memo.clear();
-                        if let Err(e) =
-                            self.scan_range(ctx, lo, hi, &mut memo, &mut acc, Some(guard))
-                        {
+                        if let Err(e) = self.scan_dispatch(
+                            ScanMode::Lanes(LANE_WIDTH),
+                            ctx,
+                            lo,
+                            hi,
+                            &mut memo,
+                            &mut acc,
+                            Some(guard),
+                        ) {
                             guard.trip(e.clone());
                             return Err(e);
                         }
@@ -642,6 +1208,201 @@ impl CompiledKernel<'_> {
         Ok(())
     }
 
+    /// The lane-parallel hot loop: same visit order, memo keys and
+    /// accumulation order as [`scan_range`](CompiledKernel::scan_range)
+    /// — and therefore the same bits — but states come off the walk in
+    /// [`LANE_WIDTH`]-state blocks whose probabilities, effective words
+    /// and know answers are computed as `W`-lane array batches the
+    /// autovectorizer can SIMD.  Only the resolve pass (memo probe +
+    /// accumulate) stays sequential; every float it touches was
+    /// computed from the same operands as the scalar scan's.
+    ///
+    /// The subrange Gray-walk machinery doubles as the lane splitter:
+    /// unaligned thread-chunk bounds produce single-state
+    /// prologue/epilogue emissions off the shared iterator path.
+    fn scan_range_lanes<const W: usize>(
+        &self,
+        ctx: &EvalContext,
+        lo: u64,
+        hi: u64,
+        memo: &mut Memo,
+        acc: &mut Accumulator,
+        guard: Option<&BudgetGuard>,
+    ) -> Result<(), AnalysisError> {
+        debug_assert!(
+            W > 0 && LANE_WIDTH.is_multiple_of(W),
+            "lane width must divide 8"
+        );
+        let mut fc = ScanFlush {
+            rec: self.analysis.recorder,
+            c: ScanCounters::default(),
+        };
+        let know = ctx.know.as_ref().or(self.know.as_ref());
+        let mut lk = know.map(|k| {
+            LaneKnow::new(
+                k,
+                self.fallible.len(),
+                self.analysis.unmonitored_known,
+                ctx.forced_mask,
+            )
+        });
+        // `prev_eff` mirrors the scalar scan's lazy-update bookkeeping:
+        // a know evaluation is charged per visited state whose effective
+        // word differs from the previous visited state's, keeping the
+        // counter partition-invariant and equal across scan modes.
+        let mut prev_eff: Option<u64> = None;
+        let mut last: Option<((u64, u64), u32)> = None;
+        let mut walk = GrayWalk::new(&self.up, lo, hi);
+        let mut words = [0u64; LANE_WIDTH];
+        let mut wprobs = [0.0f64; LANE_WIDTH];
+        let mut eff = [0u64; LANE_WIDTH];
+        let mut pp = [0.0f64; LANE_WIDTH];
+        let mut ans = [0u64; LANE_WIDTH];
+        let mut stable_ready = false;
+        let mut pos = lo;
+        let mut until_check = 0u64;
+        while pos < hi {
+            if let Some(g) = guard {
+                if until_check == 0 {
+                    g.check()?;
+                    fc.c.polls += 1;
+                    let cap = g.budget().max_memo_entries;
+                    if memo.len() > cap {
+                        return Err(AnalysisError::MemoCapExceeded {
+                            entries: memo.len(),
+                            max_entries: cap,
+                        });
+                    }
+                    until_check = CHECK_INTERVAL;
+                }
+            }
+            let n = walk.next_block(&mut words, &mut wprobs);
+            debug_assert!(n > 0, "pos < hi: the walk is not done");
+            if let Some(lk) = &mut lk {
+                // High bits only change entering a block-aligned index
+                // (trailing_zeros >= LO_BITS there), so the stable part
+                // of the answer word is maintained per block, not per
+                // state.  Stable masks ignore the low bits: any lane
+                // serves as the block's base word.
+                let base_eff = words[0] & !ctx.forced_mask;
+                if !stable_ready {
+                    lk.reset_stable(base_eff);
+                    stable_ready = true;
+                } else if pos & (LANE_WIDTH as u64 - 1) == 0 {
+                    lk.update_stable(base_eff, pos.trailing_zeros() as usize);
+                }
+            }
+            if n == LANE_WIDTH {
+                let nf = !ctx.forced_mask;
+                for (e, &w) in eff.iter_mut().zip(&words) {
+                    *e = w & nf;
+                }
+                for (p, &q) in pp.iter_mut().zip(&wprobs) {
+                    *p = ctx.gprob * q;
+                }
+                if let Some(lk) = &lk {
+                    let mut c = 0;
+                    while c < LANE_WIDTH {
+                        let mut e = [0u64; W];
+                        e.copy_from_slice(&eff[c..c + W]);
+                        let mut a = [0u64; W];
+                        lk.answers_chunk(&e, &mut a);
+                        ans[c..c + W].copy_from_slice(&a);
+                        c += W;
+                    }
+                }
+            } else {
+                eff[0] = words[0] & !ctx.forced_mask;
+                pp[0] = ctx.gprob * wprobs[0];
+                if let Some(lk) = &lk {
+                    let e = [eff[0]];
+                    let mut a = [0u64; 1];
+                    lk.answers_chunk(&e, &mut a);
+                    ans[0] = a[0];
+                }
+            }
+            // Resolve pass.  A flat memo probe is one indexed load, so
+            // it is specialised inline and skips the `last`-key fast
+            // path (a compare would cost as much as the probe; both
+            // count as memo hits, keeping the counters scan-invariant).
+            // The hash-map arm keeps the `last` shortcut — there the
+            // probe is the expensive part.
+            match memo {
+                Memo::Flat { table, shift, used } => {
+                    for j in 0..n {
+                        fc.c.steps += 1;
+                        let p = pp[j];
+                        if p == 0.0 {
+                            continue;
+                        }
+                        fc.c.visited += 1;
+                        let e = eff[j];
+                        let answers = if lk.is_some() {
+                            if prev_eff != Some(e) {
+                                fc.c.know_evals += 1;
+                            }
+                            ans[j]
+                        } else {
+                            0
+                        };
+                        prev_eff = Some(e);
+                        let idx = ((e & self.app_mask) | (answers << *shift)) as usize;
+                        let mut id = table[idx];
+                        if id != u32::MAX {
+                            fc.c.memo_hits += 1;
+                        } else {
+                            id = self.config_miss(e, answers, &ctx.forced, acc, &mut fc.c);
+                            debug_assert_ne!(
+                                id,
+                                u32::MAX,
+                                "id u32::MAX is the empty-slot sentinel"
+                            );
+                            table[idx] = id;
+                            *used += 1;
+                        }
+                        acc.sums[id as usize] += p;
+                    }
+                }
+                Memo::Map(_) => {
+                    for j in 0..n {
+                        fc.c.steps += 1;
+                        let p = pp[j];
+                        if p == 0.0 {
+                            continue;
+                        }
+                        fc.c.visited += 1;
+                        let e = eff[j];
+                        let answers = if lk.is_some() {
+                            if prev_eff != Some(e) {
+                                fc.c.know_evals += 1;
+                            }
+                            ans[j]
+                        } else {
+                            0
+                        };
+                        prev_eff = Some(e);
+                        let key = (e & self.app_mask, answers);
+                        let id = match last {
+                            Some((k, id)) if k == key => {
+                                fc.c.memo_hits += 1;
+                                id
+                            }
+                            _ => {
+                                let id = self.config_id(e, key, &ctx.forced, memo, acc, &mut fc.c);
+                                last = Some((key, id));
+                                id
+                            }
+                        };
+                        acc.sums[id as usize] += p;
+                    }
+                }
+            }
+            pos += n as u64;
+            until_check = until_check.saturating_sub(n as u64);
+        }
+        Ok(())
+    }
+
     /// Multi-threaded exact enumeration through the kernel: the state
     /// range is split across `threads` workers, each with its own memo.
     pub fn enumerate_parallel(
@@ -667,11 +1428,19 @@ impl CompiledKernel<'_> {
                 let contexts = &contexts;
                 handles.push(scope.spawn(move || {
                     let mut acc = Accumulator::new(self.analysis.space);
-                    let mut memo = Memo::default();
+                    let mut memo = self.new_memo();
                     for ctx in contexts {
                         memo.clear();
-                        self.scan_range(ctx, lo, hi, &mut memo, &mut acc, None)
-                            .expect("invariant: an unguarded scan has no budget to exhaust");
+                        self.scan_dispatch(
+                            ScanMode::Lanes(LANE_WIDTH),
+                            ctx,
+                            lo,
+                            hi,
+                            &mut memo,
+                            &mut acc,
+                            None,
+                        )
+                        .expect("invariant: an unguarded scan has no budget to exhaust");
                     }
                     acc.into_distribution(0)
                 }));
@@ -752,24 +1521,77 @@ impl CompiledKernel<'_> {
         acc: &mut Accumulator,
         counters: &mut ScanCounters,
     ) -> u32 {
-        if let Some(&id) = memo.get(&key) {
+        if let Some(id) = memo.get(key) {
             counters.memo_hits += 1;
             return id;
         }
+        let id = self.config_miss(word, key.1, forced, acc, counters);
+        memo.insert(key, id);
+        id
+    }
+
+    /// The memo-miss cold path: solve the configuration behind `word`
+    /// and intern it.
+    ///
+    /// Without forced-down components the masked evaluator
+    /// ([`FaultGraph::configuration_masked`]) does the solve
+    /// allocation-light, answering every `know` query with a bit test
+    /// on the packed answer word the scan already computed.  Forced
+    /// contexts keep the canonical state-vector path: their know tables
+    /// are recompiled with forced elements removed, which can change
+    /// which pairs answer at all.
+    #[inline(never)]
+    fn config_miss(
+        &self,
+        word: u64,
+        answers: u64,
+        forced: &[usize],
+        acc: &mut Accumulator,
+        counters: &mut ScanCounters,
+    ) -> u32 {
         counters.memo_misses += 1;
-        // Memo miss: reconstruct the state vector and run the reference
-        // evaluator (identical code path to the naive enumerator).
-        for (b, &ix) in self.fallible.iter().enumerate() {
-            acc.state[ix] = word & (1u64 << b) != 0;
-        }
-        for &ix in forced {
-            acc.state[ix] = false;
-        }
-        let config = self.analysis.configuration_of(&acc.state);
-        for &ix in forced {
-            acc.state[ix] = true; // restore the all-up baseline
-        }
-        let id = match acc.ids.get(&config) {
+        let config = match &self.miss_fast {
+            Some(fast) if forced.is_empty() => {
+                let mut mask = fast.all_up;
+                for &(wbit, cbit) in &fast.app_bits {
+                    if word & wbit == 0 {
+                        mask &= !cbit;
+                    }
+                }
+                let mut gate = AnswerGate {
+                    fast,
+                    answers,
+                    // Perfect knowledge is the empty pair table with
+                    // every query defaulting to "knows".
+                    default_for_missing: match self.analysis.knowledge {
+                        Knowledge::Perfect => true,
+                        Knowledge::Mama(_) => self.analysis.unmonitored_known,
+                    },
+                    policy: self.analysis.policy,
+                };
+                self.analysis
+                    .graph
+                    .configuration_masked(mask, &mut gate)
+                    .expect("invariant: miss_fast is built only when the model fits 64 components")
+            }
+            _ => {
+                // Reconstruct the state vector and run the reference
+                // evaluator (identical code path to the naive
+                // enumerator).
+                for (b, &ix) in self.fallible.iter().enumerate() {
+                    acc.state[ix] = word & (1u64 << b) != 0;
+                }
+                for &ix in forced {
+                    acc.state[ix] = false;
+                }
+                let config = self.analysis.configuration_of(&acc.state);
+                for &ix in forced {
+                    acc.state[ix] = true; // restore the all-up baseline
+                }
+                config
+            }
+        };
+        match acc.ids.get(&config) {
             Some(&id) => id,
             None => {
                 let id = acc.configs.len() as u32;
@@ -778,9 +1600,7 @@ impl CompiledKernel<'_> {
                 acc.sums.push(0.0);
                 id
             }
-        };
-        memo.insert(key, id);
-        id
+        }
     }
 
     /// Samples `samples` random states and estimates the distribution;
@@ -796,7 +1616,7 @@ impl CompiledKernel<'_> {
             c: ScanCounters::default(),
         };
         let mut acc = Accumulator::new(self.analysis.space);
-        let mut memo = Memo::default();
+        let mut memo = self.new_memo();
         let weight = 1.0 / samples as f64;
         for _ in 0..samples {
             let mut word = 0u64;
@@ -883,6 +1703,57 @@ mod tests {
         }
     }
 
+    /// Drains a walk through `next_block`, flattening the lanes.
+    fn collect_blocks(mut walk: GrayWalk) -> Vec<(u64, f64)> {
+        let mut words = [0u64; LANE_WIDTH];
+        let mut probs = [0.0f64; LANE_WIDTH];
+        let mut out = Vec::new();
+        loop {
+            let n = walk.next_block(&mut words, &mut probs);
+            if n == 0 {
+                return out;
+            }
+            out.extend(words[..n].iter().copied().zip(probs[..n].iter().copied()));
+        }
+    }
+
+    #[test]
+    fn lane_blocks_match_iterator_bit_for_bit() {
+        // Including degenerate factors in both the table-driven low
+        // bits and the incrementally maintained high bits.
+        for up in [
+            vec![0.9, 0.25, 0.5, 0.99, 0.4, 0.81],
+            vec![0.0, 1.0, 0.5, 0.3, 1.0, 0.7],
+            vec![0.6, 0.4], // sub-block state space: scalar fallback
+            vec![0.5],
+            vec![],
+        ] {
+            let n = 1u64 << up.len();
+            let seq: Vec<(u64, f64)> = GrayWalk::new(&up, 0, n).collect();
+            let blocked = collect_blocks(GrayWalk::new(&up, 0, n));
+            assert_eq!(seq, blocked, "{} bits", up.len());
+        }
+    }
+
+    #[test]
+    fn lane_block_subranges_concatenate_to_full_walk() {
+        // Mirror of `gray_walk_subranges_concatenate_to_full_walk` for
+        // the block emitter: unaligned splits force single-state
+        // prologue/epilogue emissions that must line up with the full
+        // walk's lanes.
+        let up = [0.9, 0.3, 0.7, 0.45, 0.2, 0.65];
+        let full = collect_blocks(GrayWalk::new(&up, 0, 64));
+        for cut in [1u64, 7, 8, 13, 21, 32, 57, 63] {
+            let mut split = collect_blocks(GrayWalk::new(&up, 0, cut));
+            split.extend(collect_blocks(GrayWalk::new(&up, cut, 64)));
+            assert_eq!(full.len(), split.len());
+            for (i, (f, s)) in full.iter().zip(&split).enumerate() {
+                assert_eq!(f.0, s.0, "cut {cut}: word at {i}");
+                assert!((f.1 - s.1).abs() < 1e-15, "cut {cut}: prob at {i}");
+            }
+        }
+    }
+
     #[test]
     fn kernel_matches_naive_bit_for_bit_on_all_architectures() {
         let sys = das_woodside_system();
@@ -900,11 +1771,18 @@ mod tests {
                     .with_policy(policy);
                 let kernel = analysis.compile().expect("paper models compile");
                 // `ConfigDistribution` compares probabilities with `==`:
-                // this asserts bit-identity, not epsilon closeness.
+                // these assert bit-identity, not epsilon closeness.
+                let lanes = kernel.enumerate();
                 assert_eq!(
-                    kernel.enumerate(),
+                    lanes,
                     analysis.enumerate_naive(),
                     "{}/{policy:?}",
+                    kind.name()
+                );
+                assert_eq!(
+                    lanes,
+                    kernel.enumerate_scalar(),
+                    "lane vs scalar: {}/{policy:?}",
                     kind.name()
                 );
             }
@@ -950,11 +1828,69 @@ mod tests {
                 .with_knowledge(&table)
                 .with_unmonitored_known(unmonitored);
             let kernel = analysis.compile().unwrap();
+            let lanes = kernel.enumerate_with_dependencies(&deps);
             assert_eq!(
-                kernel.enumerate_with_dependencies(&deps),
+                lanes,
                 analysis.enumerate_naive_with_dependencies(&deps),
                 "unmonitored_known = {unmonitored}"
             );
+            assert_eq!(
+                lanes,
+                kernel.enumerate_scalar_with_dependencies(&deps),
+                "lane vs scalar with deps: unmonitored_known = {unmonitored}"
+            );
+        }
+    }
+
+    #[test]
+    fn lane_scan_matches_scalar_scan_on_unaligned_subranges() {
+        // Thread chunking hands the lane scan arbitrary `[lo, hi)`
+        // subranges; every lane width must reproduce the scalar scan's
+        // bits on odd and even remainders alike, prologue and epilogue
+        // included.
+        let sys = das_woodside_system();
+        let graph = sys.fault_graph().unwrap();
+        let mama = arch::hierarchical(&sys, 0.1);
+        let space = ComponentSpace::build(&sys.model, &mama);
+        let table = KnowTable::build(&graph, &mama, &space);
+        let analysis = Analysis::new(&graph, &space).with_knowledge(&table);
+        let kernel = analysis.compile().unwrap();
+        let contexts = kernel.contexts(None);
+        let ctx = &contexts[0];
+        for (lo, hi) in [
+            (0u64, 1u64),
+            (0, 7),
+            (3, 29),
+            (5, 13),
+            (13, 4099),
+            (8, 4096),
+        ] {
+            let mut scalar_acc = Accumulator::new(&space);
+            let mut memo = kernel.new_memo();
+            kernel
+                .scan_range(ctx, lo, hi, &mut memo, &mut scalar_acc, None)
+                .unwrap();
+            let reference = scalar_acc.into_distribution(hi - lo);
+            for width in [1usize, 2, 4, 8] {
+                let mut acc = Accumulator::new(&space);
+                let mut memo = kernel.new_memo();
+                kernel
+                    .scan_dispatch(
+                        ScanMode::Lanes(width),
+                        ctx,
+                        lo,
+                        hi,
+                        &mut memo,
+                        &mut acc,
+                        None,
+                    )
+                    .unwrap();
+                assert_eq!(
+                    acc.into_distribution(hi - lo),
+                    reference,
+                    "[{lo}, {hi}) at width {width}"
+                );
+            }
         }
     }
 

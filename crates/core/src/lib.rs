@@ -94,7 +94,7 @@ pub use campaign::{
     ScenarioOutcome, ScenarioProgress,
 };
 pub use ccf::FailureDependencies;
-pub use compiled::CompiledKernel;
+pub use compiled::{CompiledKernel, LANE_WIDTH};
 pub use ctmc::{Ctmc, CtmcError};
 pub use delay::{ComponentDelayCycle, ComponentDelayReport, DelayModel};
 pub use distribution::ConfigDistribution;

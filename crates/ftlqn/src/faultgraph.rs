@@ -204,6 +204,10 @@ pub struct FaultGraph<'m> {
     /// Static leaf support `L(n)` per entry (includes all alternatives of
     /// nested services and any links on the paths).
     static_support: Vec<BTreeSet<Component>>,
+    /// `static_support` packed as component-index bit masks; `None` when
+    /// the model has more than 64 components (the masked evaluator is
+    /// unavailable then, see [`FaultGraph::configuration_masked`]).
+    static_support_mask: Option<Vec<u64>>,
     /// Plain Definition-1 AND-OR graph (no know gating) for cross-checks
     /// and inspection.
     andor: AndOrGraph<FaultNode>,
@@ -232,10 +236,20 @@ impl<'m> FaultGraph<'m> {
     pub fn build(model: &'m FtlqnModel) -> Result<Self, FtlqnError> {
         model.validate()?;
         let static_support = compute_static_support(model);
+        let static_support_mask = (model.component_count() <= 64).then(|| {
+            static_support
+                .iter()
+                .map(|s| {
+                    s.iter()
+                        .fold(0u64, |m, &c| m | 1u64 << model.component_index(c))
+                })
+                .collect()
+        });
         let (andor, root) = build_andor(model);
         Ok(FaultGraph {
             model,
             static_support,
+            static_support_mask,
             andor,
             root,
         })
@@ -320,6 +334,87 @@ impl<'m> FaultGraph<'m> {
         };
         let config = self.configuration_inner(state, &mut gate);
         (config, gate.decisions)
+    }
+
+    /// Allocation-light variant of [`configuration`](FaultGraph::configuration)
+    /// over a packed component state: bit `i` of `state_mask` is the
+    /// up/down state of the component at dense index `i` (see
+    /// [`FtlqnModel::component_index`]).
+    ///
+    /// Support sets are carried as `u64` bit masks instead of allocated
+    /// `BTreeSet`s, which makes one evaluation several times cheaper —
+    /// this is the memo-miss path of the compiled enumeration kernel.
+    /// The gate receives the same decision information as
+    /// [`ServiceGate`], mask-encoded; traversal order, short-circuiting
+    /// and the returned [`Configuration`] are identical to the canonical
+    /// evaluator's, so for equivalent gates the two paths agree exactly.
+    ///
+    /// Returns `None` when the model has more than 64 components (the
+    /// packed state does not fit one word); callers fall back to
+    /// [`configuration`](FaultGraph::configuration).
+    pub fn configuration_masked(
+        &self,
+        state_mask: u64,
+        gate: &mut dyn MaskServiceGate,
+    ) -> Option<Configuration> {
+        let support_masks = self.static_support_mask.as_deref()?;
+        let mut eval = MaskEvaluator {
+            model: self.model,
+            support_masks,
+            state_mask,
+            gate,
+            entry_memo: vec![None; self.model.entry_count()],
+            service_memo: vec![None; self.model.service_count()],
+        };
+        let mut chains: Vec<(FtTaskId, bool)> = Vec::new();
+        for t in self.model.reference_tasks() {
+            let entry = self.model.entries_of(t).next().expect("validated");
+            let up = eval.eval_entry(entry).is_some();
+            chains.push((t, up));
+        }
+        let mut config = Configuration::default();
+        let service_memo = eval.service_memo;
+        let entry_memo = eval.entry_memo;
+        for (t, up) in chains {
+            if !up {
+                continue;
+            }
+            config.user_chains.insert(t);
+            let entry = self.model.entries_of(t).next().expect("validated");
+            self.mark_in_use_masked(entry, &entry_memo, &service_memo, &mut config);
+        }
+        Some(config)
+    }
+
+    /// [`mark_in_use`](FaultGraph::mark_in_use) over the masked
+    /// evaluator's memo tables; the marking logic is identical.
+    fn mark_in_use_masked(
+        &self,
+        entry: FtEntryId,
+        entry_memo: &[Option<Option<u64>>],
+        service_memo: &[Option<Option<(FtEntryId, u64)>>],
+        config: &mut Configuration,
+    ) {
+        if !config.used_entries.insert(entry) {
+            return;
+        }
+        debug_assert!(
+            matches!(entry_memo[entry.index()], Some(Some(_))),
+            "in-use entry must have evaluated operational"
+        );
+        for r in &self.model.entries[entry.index()].requests {
+            match r.target {
+                RequestTarget::Entry(te) => {
+                    self.mark_in_use_masked(te, entry_memo, service_memo, config);
+                }
+                RequestTarget::Service(s) => {
+                    if let Some(Some((chosen, _))) = &service_memo[s.index()] {
+                        config.used_services.insert(s, *chosen);
+                        self.mark_in_use_masked(*chosen, entry_memo, service_memo, config);
+                    }
+                }
+            }
+        }
     }
 
     /// Shared recursive evaluation.
@@ -424,6 +519,192 @@ impl ServiceGate for OracleGate<'_> {
             }
         }
         true
+    }
+}
+
+/// [`ServiceGate`] over packed component masks, consulted by
+/// [`FaultGraph::configuration_masked`]: support sets arrive as
+/// component-index bit masks (bit `i` = component at dense index `i`)
+/// instead of allocated [`ServiceDecision`]s.
+pub trait MaskServiceGate {
+    /// Does the know-guard of this decision pass?  `support_mask` holds
+    /// the components currently making the candidate operational (the
+    /// decider must know all of them), `skipped` one `(entry,
+    /// failed-components mask)` pair per skipped higher-priority
+    /// alternative.
+    fn pass(&mut self, decider: FtTaskId, support_mask: u64, skipped: &[(FtEntryId, u64)]) -> bool;
+}
+
+/// Adapts a [`KnowledgeOracle`] to [`MaskServiceGate`] — the same clause
+/// logic as the canonical [`OracleGate`], with components recovered from
+/// mask bits via [`FtlqnModel::component_at`].
+pub struct MaskOracleGate<'a> {
+    model: &'a FtlqnModel,
+    oracle: &'a dyn KnowledgeOracle,
+    policy: KnowPolicy,
+}
+
+impl<'a> MaskOracleGate<'a> {
+    /// Wraps `oracle` for mask-based evaluation of `model`'s states.
+    pub fn new(model: &'a FtlqnModel, oracle: &'a dyn KnowledgeOracle, policy: KnowPolicy) -> Self {
+        MaskOracleGate {
+            model,
+            oracle,
+            policy,
+        }
+    }
+
+    fn knows(&self, ix: u32, t: FtTaskId) -> bool {
+        self.oracle.knows(self.model.component_at(ix as usize), t)
+    }
+}
+
+impl MaskServiceGate for MaskOracleGate<'_> {
+    fn pass(&mut self, decider: FtTaskId, support_mask: u64, skipped: &[(FtEntryId, u64)]) -> bool {
+        let mut support = support_mask;
+        while support != 0 {
+            let ix = support.trailing_zeros();
+            support &= support - 1;
+            if !self.knows(ix, decider) {
+                return false;
+            }
+        }
+        for &(_, failed_mask) in skipped {
+            let mut failed = failed_mask;
+            let ok = failed != 0
+                && match self.policy {
+                    KnowPolicy::AllFailedComponents => loop {
+                        if failed == 0 {
+                            break true;
+                        }
+                        let ix = failed.trailing_zeros();
+                        failed &= failed - 1;
+                        if !self.knows(ix, decider) {
+                            break false;
+                        }
+                    },
+                    KnowPolicy::AnyFailedComponent => loop {
+                        if failed == 0 {
+                            break false;
+                        }
+                        let ix = failed.trailing_zeros();
+                        failed &= failed - 1;
+                        if self.knows(ix, decider) {
+                            break true;
+                        }
+                    },
+                };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// The masked twin of [`Evaluator`]: identical recursion and
+/// short-circuit order, with `u64` bit masks where the canonical
+/// evaluator allocates [`BTreeSet`]s.
+struct MaskEvaluator<'a> {
+    model: &'a FtlqnModel,
+    support_masks: &'a [u64],
+    state_mask: u64,
+    gate: &'a mut dyn MaskServiceGate,
+    /// `None` = unevaluated; `Some(None)` = failed; `Some(Some(mask))` =
+    /// operational with the given up-support mask.
+    entry_memo: Vec<Option<Option<u64>>>,
+    /// Per service: unevaluated / failed / chosen `(entry, support mask)`.
+    service_memo: Vec<Option<Option<(FtEntryId, u64)>>>,
+}
+
+impl MaskEvaluator<'_> {
+    fn bit(&self, c: Component) -> u64 {
+        1u64 << self.model.component_index(c)
+    }
+
+    fn eval_entry(&mut self, e: FtEntryId) -> Option<u64> {
+        if let Some(v) = self.entry_memo[e.index()] {
+            return v;
+        }
+        let result = self.eval_entry_uncached(e);
+        self.entry_memo[e.index()] = Some(result);
+        result
+    }
+
+    fn eval_entry_uncached(&mut self, e: FtEntryId) -> Option<u64> {
+        let model = self.model;
+        let task = model.task_of(e);
+        let t_bit = self.bit(Component::Task(task));
+        let p_bit = self.bit(Component::Processor(model.processor_of(task)));
+        let mut support = t_bit | p_bit;
+        if self.state_mask & support != support {
+            return None;
+        }
+        for r in &model.entries[e.index()].requests {
+            if let Some(link) = r.link {
+                let l_bit = self.bit(Component::Link(link));
+                if self.state_mask & l_bit == 0 {
+                    return None;
+                }
+                support |= l_bit;
+            }
+            match r.target {
+                RequestTarget::Entry(te) => {
+                    support |= self.eval_entry(te)?;
+                }
+                RequestTarget::Service(s) => {
+                    let (_, child_support) = self.eval_service(s)?;
+                    support |= child_support;
+                }
+            }
+        }
+        Some(support)
+    }
+
+    fn eval_service(&mut self, s: ServiceId) -> Option<(FtEntryId, u64)> {
+        if let Some(v) = self.service_memo[s.index()] {
+            return v;
+        }
+        let result = self.eval_service_uncached(s);
+        self.service_memo[s.index()] = Some(result);
+        result
+    }
+
+    fn eval_service_uncached(&mut self, s: ServiceId) -> Option<(FtEntryId, u64)> {
+        let model = self.model;
+        let decider = model.requiring_task(s).expect("validated: service in use");
+        let mut skipped: Vec<(FtEntryId, u64)> = Vec::new();
+        for (alt_entry, alt_link) in model.alternatives(s) {
+            let link_up =
+                alt_link.is_none_or(|l| self.state_mask & self.bit(Component::Link(l)) != 0);
+            let sub = if link_up {
+                self.eval_entry(alt_entry)
+            } else {
+                None
+            };
+            match sub {
+                Some(mut support) => {
+                    if let Some(l) = alt_link {
+                        support |= self.bit(Component::Link(l));
+                    }
+                    if self.gate.pass(decider, support, &skipped) {
+                        return Some((alt_entry, support));
+                    }
+                    // Mirrors the canonical evaluator: an unknowable
+                    // candidate means the service is uncovered — no
+                    // further fallback is attempted.
+                    return None;
+                }
+                None => {
+                    let mut failed = self.support_masks[alt_entry.index()] & !self.state_mask;
+                    if let Some(l) = alt_link {
+                        failed |= self.bit(Component::Link(l)) & !self.state_mask;
+                    }
+                    skipped.push((alt_entry, failed));
+                }
+            }
+        }
+        None
     }
 }
 
@@ -761,6 +1042,65 @@ mod tests {
 
     fn down(model: &FtlqnModel, state: &mut [bool], c: Component) {
         state[model.component_index(c)] = false;
+    }
+
+    /// A deterministic, state-independent oracle with scattered answers:
+    /// stresses the gate clauses far more than all-true/all-false.
+    struct HashOracle {
+        salt: u64,
+    }
+
+    impl KnowledgeOracle for HashOracle {
+        fn knows(&self, component: Component, task: FtTaskId) -> bool {
+            let (kind, ix) = match component {
+                Component::Task(t) => (0u64, t.index() as u64),
+                Component::Processor(p) => (1, p.index() as u64),
+                Component::Link(l) => (2, l.index() as u64),
+            };
+            let mut x = self
+                .salt
+                .wrapping_add(kind << 40 | ix << 20 | task.index() as u64);
+            x ^= x >> 33;
+            x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+            x ^= x >> 33;
+            x & 3 != 0
+        }
+    }
+
+    /// The masked evaluator must agree with the canonical one on every
+    /// state, for every oracle and both know policies — it is the
+    /// memo-miss fast path of the compiled kernel, so any divergence is
+    /// a wrong distribution.
+    #[test]
+    fn masked_evaluation_matches_canonical_exhaustively() {
+        let f = fixture();
+        let g = FaultGraph::build(&f.model).unwrap();
+        let n = f.model.component_count();
+        assert!(n <= 64);
+        let oracles: Vec<Box<dyn KnowledgeOracle>> = vec![
+            Box::new(PerfectKnowledge),
+            Box::new(HashOracle { salt: 1 }),
+            Box::new(HashOracle { salt: 99 }),
+        ];
+        for mask in 0u64..1 << n {
+            let state: Vec<bool> = (0..n).map(|i| mask >> i & 1 == 1).collect();
+            for oracle in &oracles {
+                for policy in [
+                    KnowPolicy::AllFailedComponents,
+                    KnowPolicy::AnyFailedComponent,
+                ] {
+                    let canonical = g.configuration(&state, oracle.as_ref(), policy);
+                    let mut gate = MaskOracleGate::new(&f.model, oracle.as_ref(), policy);
+                    let masked = g
+                        .configuration_masked(mask, &mut gate)
+                        .expect("<= 64 components");
+                    assert_eq!(
+                        masked, canonical,
+                        "state {mask:b} policy {policy:?} must agree"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -45,7 +45,10 @@ pub mod faultgraph;
 pub mod lower;
 pub mod model;
 
-pub use faultgraph::{Configuration, FaultGraph, KnowPolicy, KnowledgeOracle, PerfectKnowledge};
+pub use faultgraph::{
+    Configuration, FaultGraph, KnowPolicy, KnowledgeOracle, MaskOracleGate, MaskServiceGate,
+    PerfectKnowledge,
+};
 pub use lower::LoweredLqn;
 pub use model::{
     Component, FtEntryId, FtProcId, FtTaskId, FtlqnError, FtlqnModel, LinkId, ModelRef,

@@ -1163,7 +1163,8 @@ fn analyze(
     let table;
     let mut analysis = Analysis::new(&graph, &space)
         .with_policy(opts.policy)
-        .with_unmonitored_known(opts.unmonitored_known);
+        .with_unmonitored_known(opts.unmonitored_known)
+        .with_threads(opts.threads);
     if has_mama {
         let _s = Span::enter(recorder, Phase::KnowCompile);
         table = KnowTable::build(&graph, &m.mama, &space);
@@ -1594,7 +1595,8 @@ fn sweep_cmd(
     let table;
     let mut analysis = Analysis::new(&graph, &space)
         .with_policy(opts.policy)
-        .with_unmonitored_known(opts.unmonitored_known);
+        .with_unmonitored_known(opts.unmonitored_known)
+        .with_threads(opts.threads);
     if has_mama {
         let _s = Span::enter(recorder, Phase::KnowCompile);
         table = KnowTable::build(&graph, &m.mama, &space);
@@ -1754,7 +1756,8 @@ fn profile_cmd(
     let table;
     let mut analysis = Analysis::new(&graph, &space)
         .with_policy(opts.policy)
-        .with_unmonitored_known(opts.unmonitored_known);
+        .with_unmonitored_known(opts.unmonitored_known)
+        .with_threads(opts.threads);
     if has_mama {
         let _s = Span::enter(setup_rec, Phase::KnowCompile);
         table = KnowTable::build(&graph, &m.mama, &space);
@@ -1770,11 +1773,29 @@ fn profile_cmd(
         .map(|rec| TeeRecorder::new(rec, trace))
         .collect();
     // (failed probability, states explored) per engine, or the reason
-    // the engine is inapplicable to this model.
-    type EngineRun = (Result<(f64, u64), String>, Duration);
+    // the engine is inapplicable to this model — plus the effective
+    // thread and lane widths that run used.
+    type EngineRun = (Result<(f64, u64), String>, Duration, usize, usize);
     let mut runs: Vec<EngineRun> = Vec::new();
     for (i, &name) in PROFILE_ENGINES.iter().enumerate() {
         let observed = analysis.with_recorder(&tees[i]);
+        // Every profiled engine is a single-threaded run today (so the
+        // per-engine breakdown stays comparable); the lane width is the
+        // data-parallel factor inside that one thread.
+        let (threads, lanes) = match name {
+            "exact" => (
+                1,
+                if observed.prefers_compiled() && observed.compile().is_some() {
+                    fmperf::core::LANE_WIDTH
+                } else {
+                    1
+                },
+            ),
+            "bitmask" => (1, fmperf::core::LANE_WIDTH),
+            "mtbdd" => (1, fmperf::bdd::BATCH_LANES),
+            "montecarlo" => (1, 1),
+            _ => unreachable!("PROFILE_ENGINES is exhaustive"),
+        };
         let start = Instant::now();
         let result: Result<ConfigDistribution, String> = match name {
             "exact" => observed.try_enumerate().map_err(|e| e.to_string()),
@@ -1803,6 +1824,8 @@ fn profile_cmd(
         runs.push((
             result.map(|d| (d.failed_probability(), d.states_explored())),
             elapsed,
+            threads,
+            lanes,
         ));
     }
     if let Some(out_path) = &opts.trace_out {
@@ -1824,7 +1847,7 @@ fn profile_cmd(
         ));
         out.push_str("  \"engines\": [\n");
         for (i, &name) in PROFILE_ENGINES.iter().enumerate() {
-            let (result, elapsed) = &runs[i];
+            let (result, elapsed, threads, lanes) = &runs[i];
             let comma = if i + 1 < PROFILE_ENGINES.len() {
                 ","
             } else {
@@ -1833,14 +1856,16 @@ fn profile_cmd(
             match result {
                 Ok((failed, states)) => out.push_str(&format!(
                     "    {{\"engine\": \"{name}\", \"ok\": true, \"elapsed_ns\": {}, \
+                     \"ns_per_state\": {}, \"threads\": {threads}, \"lanes\": {lanes}, \
                      \"failed\": {failed}, \"states\": {states}, \"phases\": {}, \
                      \"counters\": {}}}{comma}\n",
                     elapsed.as_nanos(),
+                    elapsed.as_nanos() as f64 / (*states).max(1) as f64,
                     phases_json(&metrics[i]),
                     counters_json(&metrics[i]),
                 )),
                 Err(reason) => out.push_str(&format!(
-                    "    {{\"engine\": \"{name}\", \"ok\": false, \"skipped\": \"{}\"}}{comma}\n",
+                    "    {{\"engine\": \"{name}\", \"ok\": false, \"error\": \"{}\"}}{comma}\n",
                     json_escape(reason)
                 )),
             }
@@ -1856,12 +1881,16 @@ fn profile_cmd(
         metrics_table(setup)
     );
     for (i, &name) in PROFILE_ENGINES.iter().enumerate() {
-        let (result, elapsed) = &runs[i];
+        let (result, elapsed, threads, lanes) = &runs[i];
         match result {
             Ok((failed, states)) => {
                 out.push_str(&format!(
-                    "\nengine {name}: ok in {} — P[failed] {failed:.6}, states {states}\n{}",
+                    "\nengine {name}: ok in {} — P[failed] {failed:.6}, states {states} \
+                     ({:.1} ns/state, {threads} thread{}, {lanes} lane{})\n{}",
                     human_nanos(elapsed.as_nanos().min(u128::from(u64::MAX)) as u64),
+                    elapsed.as_nanos() as f64 / (*states).max(1) as f64,
+                    if *threads == 1 { "" } else { "s" },
+                    if *lanes == 1 { "" } else { "s" },
                     metrics_table(&metrics[i])
                 ));
             }

@@ -139,6 +139,43 @@ proptest! {
         }
     }
 
+    /// Every supported lane width of the lane-parallel scan reproduces
+    /// the scalar kernel bit for bit, on every synthesised management
+    /// plane.  The synthesised planes cover state spaces both smaller
+    /// than a lane block and with odd/even remainders modulo the lane
+    /// width, so the single-state fallback path is exercised alongside
+    /// the aligned block path.
+    #[test]
+    fn lane_scan_equals_scalar_scan(p in params()) {
+        let app = build_app(&p);
+        let mama = synthesize(&app, &SynthOptions {
+            mgmt_fail_prob: p.mgmt_fail,
+            domains: p.domains,
+            hierarchical: p.hierarchical,
+        });
+        mama.validate(&app).expect("synthesised plane must validate");
+        let graph = FaultGraph::build(&app).unwrap();
+        let space = ComponentSpace::build(&app, &mama);
+        let table = KnowTable::build(&graph, &mama, &space);
+        for policy in [KnowPolicy::AnyFailedComponent, KnowPolicy::AllFailedComponents] {
+            for unmonitored in [false, true] {
+                let analysis = Analysis::new(&graph, &space)
+                    .with_knowledge(&table)
+                    .with_policy(policy)
+                    .with_unmonitored_known(unmonitored);
+                let kernel = analysis.compile().expect("small models always compile");
+                let scalar = kernel.enumerate_scalar();
+                for width in [1usize, 2, 4, 8] {
+                    prop_assert_eq!(
+                        kernel.enumerate_with_lane_width(width),
+                        scalar.clone(),
+                        "{:?}/unmonitored={}/width={}", policy, unmonitored, width
+                    );
+                }
+            }
+        }
+    }
+
     /// Every compiled `know` bitmask answers exactly like the
     /// interpreted oracle, state by state, under both unmonitored
     /// defaults.

@@ -61,6 +61,44 @@ fn mtbdd_distribution_matches_enumeration_on_every_model_file() {
     }
 }
 
+/// The lane-level batch evaluator must reproduce the scalar evaluator
+/// bit for bit on every shipped model — for row counts that are not a
+/// multiple of the lane width (exercising the padded trailing block)
+/// and for the degenerate 1-row batch.
+#[test]
+fn mtbdd_batch_lanes_match_single_evaluations_on_every_model_file() {
+    for (name, unmonitored) in MODELS {
+        let m = load(name);
+        with_analysis(&m, unmonitored, |analysis| {
+            let compiled = analysis.compile_mtbdd();
+            let target = compiled.fallible_indices()[0];
+            for count in [1usize, 3, 4, 7, 8, 13] {
+                let rows: Vec<Vec<f64>> = (0..count)
+                    .map(|i| {
+                        let mut up = compiled.baseline_up().to_vec();
+                        up[target] = i as f64 / 16.0;
+                        up
+                    })
+                    .collect();
+                for threads in [1, 4] {
+                    let batch = compiled.batch_probabilities(&rows, threads);
+                    assert_eq!(batch.len(), rows.len(), "{name}: {count} rows");
+                    for (row, probs) in rows.iter().zip(&batch) {
+                        // `==`, not a tolerance: the lane pass adds the
+                        // same masses to the same cells in the same
+                        // order as the scalar pass.
+                        assert_eq!(
+                            probs,
+                            &compiled.probabilities_for(row),
+                            "{name}: {count} rows x {threads} threads"
+                        );
+                    }
+                }
+            }
+        });
+    }
+}
+
 #[test]
 fn mtbdd_sensitivity_matches_enumerated_sensitivity_on_every_model_file() {
     for (name, unmonitored) in MODELS {

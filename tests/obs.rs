@@ -8,17 +8,18 @@ use fmperf::mama::{ComponentSpace, KnowTable};
 use fmperf::obs::{Counter, MetricsRecorder, NullRecorder};
 use fmperf::text::parse_lenient;
 
-/// Every checked-in paper model with its exact P[failed], computed by
-/// the pre-instrumentation enumeration engines (golden values).
+/// Every checked-in paper model with its exact P[failed] under the
+/// blockwise Gray walker (golden values: any engine change that
+/// perturbs a single bit of the trajectory trips these).
 const MODELS: [(&str, f64); 5] = [
-    ("models/paper-centralized.fmp", 0.3538467639622857),
-    ("models/paper-distributed-as-drawn.fmp", 0.39482710890963457),
+    ("models/paper-centralized.fmp", 0.3538467639622855),
+    ("models/paper-distributed-as-drawn.fmp", 0.39482710890963413),
     (
         "models/paper-distributed-as-published.fmp",
-        0.5695327899999296,
+        0.5695327899999291,
     ),
-    ("models/paper-hierarchical.fmp", 0.42802118831659813),
-    ("models/paper-network.fmp", 0.32147162212073926),
+    ("models/paper-hierarchical.fmp", 0.4280211883165981),
+    ("models/paper-network.fmp", 0.3214716221207389),
 ];
 
 fn with_analysis<T>(path: &str, f: impl FnOnce(Analysis<'_>) -> T) -> T {
