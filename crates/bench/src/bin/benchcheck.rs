@@ -25,14 +25,20 @@
 //! * `obs` (`obsbench --json`): same scheme as `guarded`, but the
 //!   overhead column compares enumeration with a disabled recorder
 //!   attached against enumeration with no recorder at all.
+//! * `scale` (`scalebench --json`): the importance-sampling wall time
+//!   and the extrapolated time-to-target-CI are gated against the
+//!   baseline like the other schemas, **and** the current report's own
+//!   `variance_reduction` column (importance sampling vs plain Monte
+//!   Carlo at the same budget, measured in the same run so runner speed
+//!   cancels out) must stay at or above 10x on deep-hierarchy planes.
 //!
 //! Exit code 0 = within budget, 1 = regression, 2 = usage/parse error.
 //! Wall-clock noise on shared CI runners is expected — the 2x gate only
 //! catches order-of-magnitude slips such as losing the kernel dispatch.
 
 use fmperf_bench::{
-    parse_bench_json, parse_guarded_json, parse_lanes_json, parse_obs_json, parse_sweep_json,
-    report_criterion, BenchRow, GuardedRow, LaneRow, ObsRow, SweepRow,
+    parse_bench_json, parse_guarded_json, parse_lanes_json, parse_obs_json, parse_scale_json,
+    parse_sweep_json, report_criterion, BenchRow, GuardedRow, LaneRow, ObsRow, ScaleRow, SweepRow,
 };
 
 /// Maximum allowed `overhead` (guarded / unguarded) in a guarded report.
@@ -56,12 +62,17 @@ const LANES_MIN_SPEEDUP: f64 = 1.5;
 /// are not gated absolutely.
 const LANES_MIN_GATED_STATES: u64 = 65_536;
 
+/// Minimum variance reduction over plain Monte Carlo in a scale report,
+/// applied to deep-hierarchy planes (same floor as `scalebench`).
+const SCALE_MIN_VARIANCE_REDUCTION: f64 = 10.0;
+
 enum Report {
     Enumeration(Vec<BenchRow>),
     Lanes(Vec<LaneRow>),
     Sweep(Vec<SweepRow>),
     Guarded(Vec<GuardedRow>),
     Obs(Vec<ObsRow>),
+    Scale(Vec<ScaleRow>),
 }
 
 fn load(path: &str) -> Report {
@@ -78,6 +89,7 @@ fn load(path: &str) -> Report {
         Some("sweep") => Report::Sweep(parse_sweep_json(&src).unwrap_or_else(|| bail())),
         Some("guarded") => Report::Guarded(parse_guarded_json(&src).unwrap_or_else(|| bail())),
         Some("obs") => Report::Obs(parse_obs_json(&src).unwrap_or_else(|| bail())),
+        Some("scale") => Report::Scale(parse_scale_json(&src).unwrap_or_else(|| bail())),
         Some(_) => Report::Enumeration(parse_bench_json(&src).unwrap_or_else(|| bail())),
         None => bail(),
     }
@@ -261,6 +273,42 @@ fn check_obs(baseline: &[ObsRow], current: &[ObsRow], max_ratio: f64) -> bool {
     failed
 }
 
+fn check_scale(baseline: &[ScaleRow], current: &[ScaleRow], max_ratio: f64) -> bool {
+    let mut failed = false;
+    for base in baseline {
+        let key = |r: &ScaleRow| format!("{}@{}", r.topology, r.target);
+        let name = key(base);
+        let Some(cur) = current.iter().find(|r| key(r) == name) else {
+            eprintln!("benchcheck: case {name} missing from current report");
+            failed = true;
+            continue;
+        };
+        if cur.chains != base.chains || cur.fallible != base.fallible || cur.samples != base.samples
+        {
+            eprintln!(
+                "benchcheck: case {name} changed shape: {} chains/{} fallible/{} samples \
+                 vs {} chains/{} fallible/{} samples",
+                cur.chains, cur.fallible, cur.samples, base.chains, base.fallible, base.samples
+            );
+            failed = true;
+        }
+        failed |= check_phase(&name, "is", base.is_ns, cur.is_ns, max_ratio);
+        failed |= check_phase(&name, "target", base.target_ns, cur.target_ns, max_ratio);
+        // The variance-reduction column compares two estimators inside
+        // the *same* run, so it is gated absolutely rather than against
+        // the baseline.
+        if cur.topology == "deep-hierarchy" && cur.variance_reduction < SCALE_MIN_VARIANCE_REDUCTION
+        {
+            eprintln!(
+                "benchcheck: case {name} variance reduction {:.1}x is below the {:.0}x floor",
+                cur.variance_reduction, SCALE_MIN_VARIANCE_REDUCTION
+            );
+            failed = true;
+        }
+    }
+    failed
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (baseline_path, current_path, max_ratio) = match args.as_slice() {
@@ -285,6 +333,7 @@ fn main() {
         (Report::Sweep(b), Report::Sweep(c)) => check_sweep(&b, &c, max_ratio),
         (Report::Guarded(b), Report::Guarded(c)) => check_guarded(&b, &c, max_ratio),
         (Report::Obs(b), Report::Obs(c)) => check_obs(&b, &c, max_ratio),
+        (Report::Scale(b), Report::Scale(c)) => check_scale(&b, &c, max_ratio),
         _ => {
             eprintln!(
                 "benchcheck: {baseline_path} and {current_path} use different report schemas"

@@ -1,0 +1,111 @@
+//! Measures rare-event importance sampling over synthesized 50–500
+//! fallible-component planes — the regime where every exact engine is
+//! shut out by `2^N` and plain Monte Carlo is shut out by the event
+//! rate.
+//!
+//! Two numbers matter per plane, both from the same run so runner speed
+//! cancels out of the gate:
+//!
+//! * `target` — extrapolated wall time to a
+//!   [`fmperf_bench::SCALE_TARGET_REL_HW`] relative 99% confidence
+//!   interval (time scales with the square of the width ratio).
+//! * `var-red` — estimator variance reduction over plain Monte Carlo at
+//!   the same sample budget.  On trunk-dominated deep-hierarchy planes
+//!   this must stay above [`MIN_VARIANCE_REDUCTION`]; exit 1 otherwise.
+//!
+//! `--json <path>` writes the measurements as a machine-readable report
+//! (see [`fmperf_bench::render_scale_json`]); `benchcheck` compares two
+//! such reports and re-applies the same variance-reduction gate.
+
+use fmperf_bench::{measure_scale, render_scale_json, SCALE_TARGET_REL_HW};
+use fmperf_mama::PlaneTopology;
+
+/// Minimum variance reduction over plain Monte Carlo on deep-hierarchy
+/// planes (the management trunk concentrates the failure probability,
+/// which is exactly what failure biasing exploits; fleet planes spread
+/// it across wardens and win less).
+const MIN_VARIANCE_REDUCTION: f64 = 10.0;
+
+/// Importance-sampling budget per timed run.
+const SAMPLES: u64 = 6_000;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut json_path = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => {
+                json_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--json requires a path");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("unknown argument: {other} (usage: scalebench [--json <path>])");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let cases = [
+        (50, PlaneTopology::DeepHierarchy),
+        (200, PlaneTopology::DeepHierarchy),
+        (200, PlaneTopology::RegionalTree),
+        (500, PlaneTopology::FleetOfAgents),
+    ];
+
+    println!(
+        "Rare-event scaling: importance sampling over synthesized planes \
+         ({SAMPLES} samples, best of 3; target = time to {:.1}% relative 99% CI)",
+        SCALE_TARGET_REL_HW * 100.0
+    );
+    println!(
+        "{:<22} {:>8} {:>8} {:>12} {:>11} {:>8} {:>12} {:>8} {:>8}",
+        "plane", "chains", "fallible", "is", "P[failed]", "rel-hw", "target", "ess", "var-red"
+    );
+
+    let mut rows = Vec::new();
+    for (target, topology) in cases {
+        let row = measure_scale(target, topology, SAMPLES);
+        println!(
+            "{:<22} {:>8} {:>8} {:>12.2?} {:>11.3e} {:>8.3} {:>12.2?} {:>8.0} {:>7.1}x",
+            format!("{}@{}", row.topology, row.target),
+            row.chains,
+            row.fallible,
+            std::time::Duration::from_nanos(row.is_ns as u64),
+            row.failed_mean,
+            row.rel_half_width,
+            std::time::Duration::from_nanos(row.target_ns as u64),
+            row.ess,
+            row.variance_reduction,
+        );
+        rows.push(row);
+    }
+
+    if let Some(path) = &json_path {
+        let json = render_scale_json(&rows);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {path}");
+    }
+
+    let mut failed = false;
+    for row in rows.iter().filter(|r| r.topology == "deep-hierarchy") {
+        if row.variance_reduction < MIN_VARIANCE_REDUCTION {
+            eprintln!(
+                "scalebench: {}@{} variance reduction {:.1}x is below the {:.0}x floor",
+                row.topology, row.target, row.variance_reduction, MIN_VARIANCE_REDUCTION
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "importance sampling beats plain Monte Carlo by >= {MIN_VARIANCE_REDUCTION}x \
+         variance on every deep-hierarchy plane"
+    );
+}

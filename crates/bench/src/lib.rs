@@ -22,6 +22,11 @@
 //!   rung vs the raw enumeration engine, gated at 3% on large cases.
 //! * `obsbench` — disabled-instrumentation overhead: enumeration with a
 //!   `NullRecorder` attached vs no recorder, gated at 3% on large cases.
+//! * `scalebench` — rare-event scaling: importance sampling over
+//!   synthesized 50–500-component planes, reporting the extrapolated
+//!   time to a target relative confidence interval and the variance
+//!   reduction over plain Monte Carlo at the same sample budget, gated
+//!   on a minimum variance reduction for trunk-dominated planes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -976,8 +981,186 @@ pub fn parse_obs_json(src: &str) -> Option<Vec<ObsRow>> {
     Some(rows)
 }
 
+/// One rare-event scaling measurement (importance sampling over one
+/// synthesized plane) for the machine-readable bench reports.
+///
+/// Unlike the wall-time-only schemas, the interesting columns here are
+/// statistical: `target_ns` folds the measured wall time together with
+/// the measured relative confidence width into "time to a publishable
+/// estimate", and `variance_reduction` compares the estimator's
+/// variance against what plain Monte Carlo would pay for the same
+/// sample budget — both computed from the same run, so runner speed
+/// cancels out of the `variance_reduction` gate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleRow {
+    /// Plane topology name (`deep-hierarchy`, `regional-tree`,
+    /// `fleet-of-agents`).
+    pub topology: String,
+    /// Requested fallible-component target the plane was sized for.
+    pub target: usize,
+    /// Service chains in the synthesized plane.
+    pub chains: usize,
+    /// Fallible components actually realised (within ±8 of `target`).
+    pub fallible: usize,
+    /// Importance-sampling budget of the timed run.
+    pub samples: u64,
+    /// Best-of-N wall time of one importance-sampling run, nanoseconds.
+    pub is_ns: u128,
+    /// Estimated failure probability.
+    pub failed_mean: f64,
+    /// Relative 99% half-width of the run (`half_width / failed_mean`).
+    pub rel_half_width: f64,
+    /// Extrapolated wall time to reach [`SCALE_TARGET_REL_HW`] relative
+    /// half-width: `is_ns * (rel_half_width / target)^2` — Monte Carlo
+    /// error shrinks as `1/sqrt(n)`, so time scales with the square.
+    pub target_ns: u128,
+    /// Effective sample size of the weighted run.
+    pub ess: f64,
+    /// Variance reduction over plain Monte Carlo at the same budget:
+    /// `t^2 p(1-p)/n` (the naive estimator's squared 99% half-width)
+    /// over the measured squared half-width.
+    pub variance_reduction: f64,
+}
+
+/// The relative 99% half-width [`ScaleRow::target_ns`] extrapolates to
+/// (a publishable 0.1% relative interval).
+pub const SCALE_TARGET_REL_HW: f64 = 1e-3;
+
+/// Times importance sampling over one synthesized plane, best-of-3
+/// after one untimed warmup, checking determinism along the way.
+///
+/// # Panics
+///
+/// Panics if the plane fails to build or the estimator is
+/// non-deterministic under its fixed seed.
+pub fn measure_scale(
+    target: usize,
+    topology: fmperf_mama::PlaneTopology,
+    samples: u64,
+) -> ScaleRow {
+    use fmperf_core::ImportanceOptions;
+    use fmperf_mama::{synth_plane, PlaneSpec};
+    use std::time::Instant;
+
+    let spec = PlaneSpec::sized(target, topology);
+    let plane = synth_plane(&spec);
+    let graph = fmperf_ftlqn::FaultGraph::build(&plane.model).expect("synthesized planes build");
+    let space = ComponentSpace::build(&plane.model, &plane.mama);
+    let table = KnowTable::build(&graph, &plane.mama, &space);
+    let analysis = Analysis::new(&graph, &space).with_knowledge(&table);
+
+    let options = ImportanceOptions {
+        samples,
+        seed: 0x5CA1E,
+        ..ImportanceOptions::default()
+    };
+    let reference = std::hint::black_box(analysis.importance(options));
+    let mut is_ns = u128::MAX;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let est = std::hint::black_box(analysis.importance(options));
+        is_ns = is_ns.min(t0.elapsed().as_nanos());
+        assert_eq!(
+            est.info, reference.info,
+            "importance sampling must be deterministic under a fixed seed"
+        );
+    }
+
+    let p = reference.info.failed_mean;
+    let hw = reference.failed_half_width_99;
+    let rel = hw / p;
+    // Plain Monte Carlo over the same budget estimates a Bernoulli
+    // proportion: its 99% half-width is t * sqrt(p(1-p)/n) at the same
+    // batch count, so the t-quantile cancels out of nothing and the
+    // ratio of squared half-widths is the per-sample variance ratio.
+    let df = reference.info.batches.saturating_sub(1);
+    let naive_hw = fmperf_sim::t_quantile_99(df) * (p * (1.0 - p) / samples as f64).sqrt();
+    ScaleRow {
+        topology: topology.name().to_string(),
+        target,
+        chains: spec.chains,
+        fallible: spec.fallible_components(),
+        samples,
+        is_ns,
+        failed_mean: p,
+        rel_half_width: rel,
+        target_ns: (is_ns as f64 * (rel / SCALE_TARGET_REL_HW).powi(2)) as u128,
+        ess: reference
+            .info
+            .is
+            .expect("importance runs carry IS info")
+            .ess,
+        variance_reduction: (naive_hw / hw).powi(2),
+    }
+}
+
+/// Renders scale rows as the `BENCH_scale.json` document (same flat
+/// one-object-per-line scheme as [`render_bench_json`]).
+pub fn render_scale_json(rows: &[ScaleRow]) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    s.push_str("{\n  \"criterion\": \"scale\",\n  \"cases\": [\n");
+    for (ix, r) in rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"case\": \"{}@{}\", \"topology\": \"{}\", \"target\": {}, \
+             \"chains\": {}, \"fallible\": {}, \"samples\": {}, \"is_ns\": {}, \
+             \"failed_mean\": {:e}, \"rel_half_width\": {:.4}, \"target_ns\": {}, \
+             \"ess\": {:.1}, \"variance_reduction\": {:.2}}}",
+            r.topology,
+            r.target,
+            r.topology,
+            r.target,
+            r.chains,
+            r.fallible,
+            r.samples,
+            r.is_ns,
+            r.failed_mean,
+            r.rel_half_width,
+            r.target_ns,
+            r.ess,
+            r.variance_reduction
+        );
+        s.push_str(if ix + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Parses a `render_scale_json` document back into rows.
+pub fn parse_scale_json(src: &str) -> Option<Vec<ScaleRow>> {
+    fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        let tag = format!("\"{key}\": ");
+        let start = line.find(&tag)? + tag.len();
+        let rest = &line[start..];
+        let end = rest.find([',', '}'])?;
+        Some(rest[..end].trim().trim_matches('"'))
+    }
+    let mut rows = Vec::new();
+    for line in src.lines() {
+        let line = line.trim();
+        if !line.starts_with("{\"case\"") {
+            continue;
+        }
+        rows.push(ScaleRow {
+            topology: field(line, "topology")?.to_string(),
+            target: field(line, "target")?.parse().ok()?,
+            chains: field(line, "chains")?.parse().ok()?,
+            fallible: field(line, "fallible")?.parse().ok()?,
+            samples: field(line, "samples")?.parse().ok()?,
+            is_ns: field(line, "is_ns")?.parse().ok()?,
+            failed_mean: field(line, "failed_mean")?.parse().ok()?,
+            rel_half_width: field(line, "rel_half_width")?.parse().ok()?,
+            target_ns: field(line, "target_ns")?.parse().ok()?,
+            ess: field(line, "ess")?.parse().ok()?,
+            variance_reduction: field(line, "variance_reduction")?.parse().ok()?,
+        });
+    }
+    Some(rows)
+}
+
 /// Extracts the `"criterion"` tag of a bench report, distinguishing the
-/// enumeration, sweep, guarded and obs schemas for `benchcheck`.
+/// enumeration, sweep, guarded, obs and scale schemas for `benchcheck`.
 pub fn report_criterion(src: &str) -> Option<String> {
     let tag = "\"criterion\": \"";
     let start = src.find(tag)? + tag.len();
@@ -1143,6 +1326,32 @@ mod tests {
             assert_eq!(p.plain_ns, r.plain_ns);
             assert_eq!(p.recorded_ns, r.recorded_ns);
             assert_eq!(p.configs, r.configs);
+        }
+    }
+
+    #[test]
+    fn scale_json_round_trips() {
+        let rows = vec![
+            measure_scale(50, fmperf_mama::PlaneTopology::DeepHierarchy, 2_000),
+            measure_scale(50, fmperf_mama::PlaneTopology::FleetOfAgents, 2_000),
+        ];
+        for r in &rows {
+            assert!(r.is_ns > 0 && r.fallible >= 42 && r.fallible <= 58);
+            assert!(r.failed_mean > 0.0, "the biased sampler must see failures");
+            assert!(r.variance_reduction > 1.0, "{}: IS must win", r.topology);
+        }
+        let json = render_scale_json(&rows);
+        assert_eq!(report_criterion(&json).as_deref(), Some("scale"));
+        let parsed = parse_scale_json(&json).expect("own output parses");
+        assert_eq!(parsed.len(), rows.len());
+        for (p, r) in parsed.iter().zip(&rows) {
+            assert_eq!(p.topology, r.topology);
+            assert_eq!(p.target, r.target);
+            assert_eq!(p.chains, r.chains);
+            assert_eq!(p.fallible, r.fallible);
+            assert_eq!(p.samples, r.samples);
+            assert_eq!(p.is_ns, r.is_ns);
+            assert_eq!(p.target_ns, r.target_ns);
         }
     }
 

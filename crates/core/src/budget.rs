@@ -60,6 +60,14 @@ pub const CHECK_INTERVAL: u64 = 4096;
 /// the confidence interval; at least two always run).
 const MC_BATCHES: u64 = 20;
 
+/// The sampling rung switches from plain Monte Carlo to importance
+/// sampling when the model's smallest non-zero component failure
+/// probability is below this: below `1e-3`, a naive sampler visits the
+/// states where that component is down so rarely that its estimate is
+/// effectively unconditioned on them (the FM205 lint flags the same
+/// regime).
+pub const RARE_EVENT_FAIL_PROB: f64 = 1e-3;
+
 /// Resource bounds for one guarded analysis.
 ///
 /// `Default` is deliberately generous — all five paper models pass the
@@ -308,6 +316,9 @@ pub enum EngineKind {
     Bitmask,
     /// Monte Carlo sampling with batch-means confidence intervals.
     MonteCarlo,
+    /// Rare-event importance sampling (failure-biased proposal with
+    /// likelihood-ratio reweighting; see [`crate::importance`]).
+    Importance,
 }
 
 impl EngineKind {
@@ -318,12 +329,13 @@ impl EngineKind {
             EngineKind::Mtbdd => "mtbdd",
             EngineKind::Bitmask => "compiled-bitmask",
             EngineKind::MonteCarlo => "monte-carlo",
+            EngineKind::Importance => "importance-sampling",
         }
     }
 
     /// Is the produced distribution exact (as opposed to estimated)?
     pub fn is_exact(self) -> bool {
-        !matches!(self, EngineKind::MonteCarlo)
+        !matches!(self, EngineKind::MonteCarlo | EngineKind::Importance)
     }
 }
 
@@ -337,7 +349,31 @@ pub struct Descent {
     pub reason: AnalysisError,
 }
 
-/// Estimator provenance when the ladder bottomed out in Monte Carlo.
+/// Importance-sampling diagnostics attached to an [`EstimateInfo`] when
+/// the estimate came from the rare-event engine (see
+/// [`crate::importance`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IsInfo {
+    /// Effective sample size `(Σw)² / Σw²`: how many *unweighted*
+    /// samples the weighted estimate is worth.  Equals the sample count
+    /// when every weight is 1 (plain Monte Carlo) and collapses toward 1
+    /// when a few huge weights dominate.
+    pub ess: f64,
+    /// Coefficient of variation of the likelihood-ratio weights —
+    /// `0` for plain Monte Carlo, bounded because the defensive mixture
+    /// bounds every weight.
+    pub weight_cv: f64,
+    /// Mean likelihood-ratio weight.  Its expectation is exactly 1, so a
+    /// value far from 1 is a self-consistency red flag (the proposal
+    /// missed important mass or the weights are wrong).
+    pub mean_weight: f64,
+    /// The failure-biasing strength the proposal was built with.
+    pub bias: f64,
+    /// The defensive-mixture weight of the nominal measure.
+    pub mixture: f64,
+}
+
+/// Estimator provenance when the ladder bottomed out in a sampling rung.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EstimateInfo {
     /// Total samples drawn.
@@ -350,6 +386,8 @@ pub struct EstimateInfo {
     pub failed_mean: f64,
     /// Student-t 95% half-width on `failed_mean`.
     pub failed_half_width: f64,
+    /// Importance-sampling diagnostics; `None` for plain Monte Carlo.
+    pub is: Option<IsInfo>,
 }
 
 /// The outcome of a guarded analysis: the distribution, which engine
@@ -364,7 +402,9 @@ pub struct AnalysisReport {
     pub engine: EngineKind,
     /// Rungs that were tried and abandoned, in ladder order.
     pub descents: Vec<Descent>,
-    /// Present iff `engine == EngineKind::MonteCarlo`.
+    /// Present iff the result is sampled rather than exact
+    /// (`engine` is [`EngineKind::MonteCarlo`] or
+    /// [`EngineKind::Importance`]).
     pub estimate: Option<EstimateInfo>,
 }
 
@@ -373,13 +413,19 @@ pub struct AnalysisReport {
 pub struct GuardedOptions {
     /// Resource bounds.
     pub budget: AnalysisBudget,
-    /// Samples for the Monte Carlo rung.
+    /// Samples for the sampling rung.
     pub samples: u64,
-    /// RNG seed for the Monte Carlo rung.
+    /// RNG seed for the sampling rung.
     pub seed: u64,
     /// Worker threads for the exact rungs (1 = sequential, matching
     /// [`Analysis::enumerate`] bit for bit).
     pub threads: usize,
+    /// Failure-biasing strength if the sampling rung selects importance
+    /// sampling (see [`crate::importance::DEFAULT_BIAS`]).
+    pub is_bias: f64,
+    /// Defensive-mixture weight if the sampling rung selects importance
+    /// sampling (see [`crate::importance::DEFAULT_MIXTURE`]).
+    pub is_mixture: f64,
 }
 
 impl Default for GuardedOptions {
@@ -389,6 +435,8 @@ impl Default for GuardedOptions {
             samples: 100_000,
             seed: 0xC0FFEE,
             threads: 1,
+            is_bias: crate::importance::DEFAULT_BIAS,
+            is_mixture: crate::importance::DEFAULT_MIXTURE,
         }
     }
 }
@@ -449,10 +497,33 @@ impl Analysis<'_> {
 
         // Bottom rung: never fails.  At least two batches run even with
         // an expired deadline so a distribution and a finite-df CI always
-        // come back.
+        // come back.  The rung itself picks its sampler: a model with a
+        // rare-event component (smallest non-zero failure probability
+        // below [`RARE_EVENT_FAIL_PROB`]) gets the importance-sampled
+        // estimator, everything else plain Monte Carlo — and the choice
+        // is engine provenance in the report.
+        let samples = opts.samples.max(MC_BATCHES);
+        if self.has_rare_event_components() {
+            let is = self.importance_batched(
+                crate::importance::ImportanceOptions {
+                    samples,
+                    seed: opts.seed,
+                    bias: opts.is_bias,
+                    mixture: opts.is_mixture,
+                },
+                MC_BATCHES,
+                Some(&guard),
+            );
+            return AnalysisReport {
+                estimate: Some(is.info),
+                distribution: is.distribution,
+                engine: EngineKind::Importance,
+                descents,
+            };
+        }
         let mc = self.monte_carlo_batched(
             MonteCarloOptions {
-                samples: opts.samples.max(MC_BATCHES),
+                samples,
                 seed: opts.seed,
             },
             MC_BATCHES,
@@ -464,6 +535,16 @@ impl Analysis<'_> {
             engine: EngineKind::MonteCarlo,
             descents,
         }
+    }
+
+    /// Does the model contain a component whose non-zero failure
+    /// probability is below [`RARE_EVENT_FAIL_PROB`] — i.e. would naive
+    /// Monte Carlo be sample-starved on the states that matter?
+    pub fn has_rare_event_components(&self) -> bool {
+        self.space.fallible_indices().iter().any(|&ix| {
+            let fail = 1.0 - self.space.up_prob(ix);
+            fail > 0.0 && fail < RARE_EVENT_FAIL_PROB
+        })
     }
 
     /// First rung: the [`Analysis::enumerate`] /

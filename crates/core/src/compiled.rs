@@ -1636,6 +1636,69 @@ impl CompiledKernel<'_> {
         fmperf_obs::add(self.analysis.recorder, Counter::MonteCarloSamples, samples);
         acc.into_distribution(samples)
     }
+
+    /// Importance-sampled twin of
+    /// [`monte_carlo_run`](CompiledKernel::monte_carlo_run): draws states
+    /// from the defensive mixture `λ·p + (1−λ)·q` of the nominal per-bit
+    /// up probabilities `p` (`self.up`) and the biased proposal `q`
+    /// (`proposal_up`, same bit order), and accumulates each sample under
+    /// its exact likelihood-ratio weight `p(x)/q_mix(x)`.
+    ///
+    /// The RNG consumption order — one mixture-branch draw, then one draw
+    /// per bit of `self.up` — matches
+    /// [`Analysis::importance_naive`](crate::importance) exactly, so a
+    /// given seed yields bit-identical weighted estimates on either path.
+    pub(crate) fn importance_run(
+        &self,
+        rng: &mut impl rand::Rng,
+        samples: u64,
+        proposal_up: &[f64],
+        mixture: f64,
+    ) -> crate::importance::WeightedRun {
+        debug_assert_eq!(proposal_up.len(), self.up.len());
+        let mut fc = ScanFlush {
+            rec: self.analysis.recorder,
+            c: ScanCounters::default(),
+        };
+        let mut acc = Accumulator::new(self.analysis.space);
+        let mut memo = self.new_memo();
+        let inv = 1.0 / samples as f64;
+        let mut weight_sum = 0.0;
+        let mut weight_sq_sum = 0.0;
+        for _ in 0..samples {
+            let nominal = rng.gen::<f64>() < mixture;
+            let mut word = 0u64;
+            let mut log_p = 0.0;
+            let mut log_q = 0.0;
+            for (b, (&p, &q)) in self.up.iter().zip(proposal_up).enumerate() {
+                let draw = if nominal { p } else { q };
+                if rng.gen::<f64>() < draw {
+                    word |= 1u64 << b;
+                    log_p += p.ln();
+                    log_q += q.ln();
+                } else {
+                    log_p += (1.0 - p).ln();
+                    log_q += (1.0 - q).ln();
+                }
+            }
+            let w = crate::importance::likelihood_ratio(log_p, log_q, mixture);
+            let answers = self
+                .know
+                .as_ref()
+                .map_or(0, |k| k.answers(word, self.analysis.unmonitored_known));
+            let key = (word & self.app_mask, answers);
+            let id = self.config_id(word, key, &[], &mut memo, &mut acc, &mut fc.c);
+            acc.sums[id as usize] += w * inv;
+            weight_sum += w;
+            weight_sq_sum += w * w;
+        }
+        fmperf_obs::add(self.analysis.recorder, Counter::MonteCarloSamples, samples);
+        crate::importance::WeightedRun {
+            distribution: acc.into_distribution(samples),
+            weight_sum,
+            weight_sq_sum,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -70,6 +70,7 @@ pub mod compiled;
 pub mod ctmc;
 pub mod delay;
 pub mod distribution;
+pub mod importance;
 pub(crate) mod know_guards;
 pub mod montecarlo;
 pub mod mtbdd_engine;
@@ -87,7 +88,7 @@ pub use audit::{
 pub use availability::{RepairModel, RepairModelError};
 pub use budget::{
     AnalysisBudget, AnalysisError, AnalysisReport, BudgetGuard, Descent, EngineKind, EstimateInfo,
-    GuardedOptions,
+    GuardedOptions, IsInfo, RARE_EVENT_FAIL_PROB,
 };
 pub use campaign::{
     run_campaign, run_campaign_observed, CampaignOptions, CampaignReport, ScenarioAnalysis,
@@ -98,6 +99,7 @@ pub use compiled::{CompiledKernel, LANE_WIDTH};
 pub use ctmc::{Ctmc, CtmcError};
 pub use delay::{ComponentDelayCycle, ComponentDelayReport, DelayModel};
 pub use distribution::ConfigDistribution;
+pub use importance::{ImportanceEstimate, ImportanceOptions};
 pub use montecarlo::{MonteCarloEstimate, MonteCarloOptions};
 pub use mtbdd_engine::CompiledMtbdd;
 pub use report::{ReportRow, StudyReport};

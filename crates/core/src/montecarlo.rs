@@ -148,6 +148,7 @@ impl Analysis<'_> {
                 batches: completed,
                 failed_mean: ci.mean,
                 failed_half_width: ci.half_width,
+                is: None,
             },
         }
     }

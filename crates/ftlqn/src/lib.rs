@@ -54,3 +54,6 @@ pub use model::{
     Component, FtEntryId, FtProcId, FtTaskId, FtlqnError, FtlqnModel, LinkId, ModelRef,
     RequestTarget, ServiceId,
 };
+// The builder API takes multiplicities; re-exported so downstream model
+// generators need not depend on `fmperf-lqn` directly.
+pub use fmperf_lqn::Multiplicity;

@@ -15,6 +15,7 @@ pub(crate) fn run(m: &ParsedModel, valid: bool, config: &LintConfig, out: &mut V
         engine_suggestion(m, out);
         budget_degradation(m, config, out);
         guard_compilation_cost(m, config, out);
+        sample_starvation(m, config, out);
     }
     reward_weights(m, out);
     saturated_users(m, out);
@@ -127,8 +128,9 @@ fn budget_degradation(m: &ParsedModel, config: &LintConfig, out: &mut Vec<Diagno
         .with_help(
             "a budget-guarded run (`fmperf analyze --engine guarded`, `fmperf campaign`) \
              will skip exact enumeration and degrade down the ladder — MTBDD, compiled \
-             bitmask, then Monte Carlo with a batch-means 95% confidence interval; raise \
-             --budget-states to force the exact engines",
+             bitmask, then sampling with a batch-means 95% confidence interval; raise \
+             --budget-states to force the exact engines, or use `--engine importance` \
+             directly when component failures are rare (see FM205)",
         ),
     );
 }
@@ -169,6 +171,49 @@ fn guard_compilation_cost(m: &ParsedModel, config: &LintConfig, out: &mut Vec<Di
              management architecture (fewer redundant watch/notify routes per \
              component) or prefer the compile-once MTBDD engine so the cost is \
              paid a single time",
+        ),
+    );
+}
+
+/// FM205: sample-starved model — the rarest fallible component fails so
+/// seldom that plain Monte Carlo almost never visits the failure states
+/// that determine coverage.
+///
+/// The metric is the expected number of times the *rarest* component is
+/// observed down per million samples; below
+/// [`LintConfig::starved_events`] (default 100, i.e. failure probability
+/// under `1e-4`) the estimator's output is dominated by zero-event noise
+/// and the importance-sampling engine is the right tool.
+fn sample_starvation(m: &ParsedModel, config: &LintConfig, out: &mut Vec<Diagnostic>) {
+    let space = ComponentSpace::build(&m.app, &m.mama);
+    let p_min = space
+        .fallible_indices()
+        .iter()
+        .map(|&ix| 1.0 - space.up_prob(ix))
+        .filter(|&p| p > 0.0)
+        .fold(f64::INFINITY, f64::min);
+    if !p_min.is_finite() {
+        return; // nothing fallible at all
+    }
+    let expected = 1e6 * p_min;
+    if expected >= config.starved_events as f64 {
+        return;
+    }
+    out.push(
+        Diagnostic::new(
+            LintCode::SampleStarved,
+            Severity::Warning,
+            None,
+            format!(
+                "rarest component fails with probability {p_min:.2e}: plain Monte Carlo \
+                 would observe it down about {expected:.1} times per million samples"
+            ),
+        )
+        .with_help(
+            "use `fmperf analyze --engine importance` (failure-biased sampling with \
+             exact likelihood-ratio weights) — the guarded ladder's sampling rung \
+             auto-selects it for rare-event models; check the reported ESS and \
+             mean weight before trusting the estimate",
         ),
     );
 }

@@ -25,6 +25,7 @@
 //! | FM202 | note     | large model: the compile-once MTBDD engine pays off for repeated evaluation |
 //! | FM203 | warning  | state space exceeds the default analysis budget: guarded runs will degrade |
 //! | FM204 | warning  | know-guard minpath count makes guard compilation dominant: profile the run |
+//! | FM205 | warning  | sample-starved model: failures too rare for plain Monte Carlo — use importance sampling |
 //! | FM210 | warning  | reward weight is zero or negative |
 //! | FM211 | warning  | reward names a user group with zero think time (saturated) |
 //! | FM212 | note     | model declares no reward weights |
@@ -40,7 +41,7 @@
 //! is additionally gated on model size, since it compiles the full
 //! structure function.
 //!
-//! The thresholds of FM201, FM203, FM204 and FM304 are configurable via
+//! The thresholds of FM201, FM203, FM204, FM205 and FM304 are configurable via
 //! [`LintConfig`] (`fmperf lint --lint-threshold FM201=1048576`); the
 //! defaults reproduce the historical hard-coded values.
 //!
@@ -129,6 +130,10 @@ pub enum LintCode {
     /// FM204: the know table spans enough minpaths that know-guard
     /// compilation is likely to dominate the run.
     GuardCompilationCost,
+    /// FM205: the model is sample-starved — its rarest fallible
+    /// component fails so seldom that plain Monte Carlo sampling almost
+    /// never visits the failure states that determine coverage.
+    SampleStarved,
     /// FM210: a reward weight is zero or negative.
     BadRewardWeight,
     /// FM211: a reward names a user group with zero think time.
@@ -155,7 +160,7 @@ pub enum LintCode {
 
 impl LintCode {
     /// Every code, in numeric order.
-    pub const ALL: [LintCode; 22] = [
+    pub const ALL: [LintCode; 23] = [
         LintCode::AppInvalid,
         LintCode::UnreachableEntry,
         LintCode::DeadAlternative,
@@ -171,6 +176,7 @@ impl LintCode {
         LintCode::EngineSuggestion,
         LintCode::BudgetDegradation,
         LintCode::GuardCompilationCost,
+        LintCode::SampleStarved,
         LintCode::BadRewardWeight,
         LintCode::SaturatedUsers,
         LintCode::NoReward,
@@ -198,6 +204,7 @@ impl LintCode {
             LintCode::EngineSuggestion => "FM202",
             LintCode::BudgetDegradation => "FM203",
             LintCode::GuardCompilationCost => "FM204",
+            LintCode::SampleStarved => "FM205",
             LintCode::BadRewardWeight => "FM210",
             LintCode::SaturatedUsers => "FM211",
             LintCode::NoReward => "FM212",
@@ -233,6 +240,11 @@ pub struct LintConfig {
     /// FM204: total know-table minpath count from which guard
     /// compilation is flagged as the dominant phase (default 512).
     pub guard_minpaths: usize,
+    /// FM205: expected failure observations of the *rarest* fallible
+    /// component per million Monte Carlo samples, below which the model
+    /// is flagged as sample-starved (default 100, i.e. components
+    /// failing with probability under `1e-4`).
+    pub starved_events: u64,
     /// FM304: audited cut-set count above which the failure structure
     /// is flagged as too diffuse to review (default 512).
     pub cut_sets: usize,
@@ -244,6 +256,7 @@ impl Default for LintConfig {
             blowup_states: 1 << 20,
             budget_states: fmperf_core::AnalysisBudget::DEFAULT_MAX_STATES,
             guard_minpaths: 512,
+            starved_events: 100,
             cut_sets: 512,
         }
     }
@@ -271,11 +284,12 @@ impl LintConfig {
             "FM201" => self.blowup_states = number(value)?,
             "FM203" => self.budget_states = number(value)?,
             "FM204" => self.guard_minpaths = number(value)? as usize,
+            "FM205" => self.starved_events = number(value)?,
             "FM304" => self.cut_sets = number(value)? as usize,
             other => {
                 return Err(format!(
                     "rule `{other}` has no configurable threshold \
-                     (configurable: FM201, FM203, FM204, FM304)"
+                     (configurable: FM201, FM203, FM204, FM205, FM304)"
                 ))
             }
         }

@@ -281,6 +281,34 @@ fn fm204_warns_when_know_minpaths_dominate() {
 }
 
 #[test]
+fn fm205_sample_starved_rare_event_model() {
+    // A 1e-5 failure probability means ~10 observed failures per million
+    // Monte Carlo samples: far below the 100-event default threshold.
+    let src = GOOD.replace("task prim on p1 fail 0.1", "task prim on p1 fail 0.00001");
+    let ds = diags(&src);
+    let hits = find(&ds, LintCode::SampleStarved);
+    assert_eq!(hits.len(), 1, "{ds:#?}");
+    assert_eq!(hits[0].severity, Severity::Warning);
+    assert!(hits[0].message.contains("1.00e-5"), "{:?}", hits[0]);
+    let help = hits[0].help.as_deref().unwrap_or("");
+    assert!(help.contains("--engine importance"), "{help}");
+
+    // Everyday 10% components are nowhere near starved.
+    assert!(find(&diags(GOOD), LintCode::SampleStarved).is_empty());
+}
+
+#[test]
+fn fm205_threshold_is_configurable() {
+    // GOOD's rarest component fails with probability 0.1 — 100k events
+    // per million samples — so it only trips a raised threshold.
+    let parsed = fmperf_text::parse_lenient(GOOD).expect("source parses");
+    let mut config = fmperf_lint::LintConfig::default();
+    config.apply("FM205=200000").expect("valid threshold");
+    let ds = fmperf_lint::lint_with(&parsed, &config);
+    assert_eq!(find(&ds, LintCode::SampleStarved).len(), 1, "{ds:#?}");
+}
+
+#[test]
 fn fm210_non_positive_reward_weight() {
     let src = "processor pc cores inf\nprocessor p1\nusers u on pc think 1.0\ntask t on p1\n\
                entry eu of u\nentry e1 of t demand 0.5\ncall eu -> e1\nreward u 0\n";

@@ -60,4 +60,7 @@ pub use knowledge::{CompiledKnow, KnowFunction, KnowledgeGraph};
 pub use model::{ConnId, ConnectorKind, MamaCompId, MamaError, MamaModel, MamaRef, MgmtRole};
 pub use oracle::{CompiledKnowTable, KnowTable, MamaOracle};
 pub use space::ComponentSpace;
-pub use synth::{synthesize, SynthOptions};
+pub use synth::{
+    synth_plane, synthesize, PlaneSpec, PlaneTopology, SynthOptions, SynthPlane, PLANE_MGMT_FAIL,
+    PLANE_SERVER_FAIL,
+};

@@ -20,7 +20,7 @@
 //!   processors from all MAMA diagrams.
 
 use crate::model::{ConnectorKind, MamaCompId, MamaModel};
-use fmperf_ftlqn::{Component, FtProcId, FtTaskId, FtlqnModel};
+use fmperf_ftlqn::{Component, FtProcId, FtTaskId, FtlqnModel, Multiplicity, RequestTarget};
 use std::collections::BTreeMap;
 
 /// Synthesis options.
@@ -188,6 +188,300 @@ pub fn synthesize(ft: &FtlqnModel, options: &SynthOptions) -> MamaModel {
     mama
 }
 
+/// Default per-component failure probability of the application servers
+/// in a synthesised plane.  Deliberately deep in the rare-event regime
+/// (well under `fmperf-core`'s `RARE_EVENT_FAIL_PROB`): at these rates
+/// plain Monte Carlo almost never sees a failure, which is exactly the
+/// scenario the importance-sampling engine exists for.
+pub const PLANE_SERVER_FAIL: f64 = 5e-5;
+
+/// Default failure probability of agents, managers and management
+/// processors in a synthesised plane.
+pub const PLANE_MGMT_FAIL: f64 = 5e-5;
+
+/// Management topology of a synthesised large-scale plane.
+///
+/// The three shapes span the design space the paper's §6 compares at toy
+/// scale — and at 50–500 components they make its point quantitatively:
+/// the *fault-management architecture itself* becomes the availability
+/// bottleneck, and flattening it shrinks the dominant cut sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlaneTopology {
+    /// A chain of managers `m0 → m1 → … → m(D-1)`: every chain reports
+    /// to `m0`, status ripples up the chain, and only the top manager
+    /// commands reconfiguration.  Every knowledge path rides the whole
+    /// trunk, so the trunk is the dominant cut set.
+    DeepHierarchy,
+    /// Regional managers (one per four chains) under a single root that
+    /// commands reconfiguration: two management levels per knowledge
+    /// path instead of `D`.
+    RegionalTree,
+    /// A flat fleet of wardens (one per eight chains), each commanding
+    /// reconfiguration for its own chains: no shared management trunk at
+    /// all.
+    FleetOfAgents,
+}
+
+impl PlaneTopology {
+    /// All three topologies, for sweep-style studies.
+    pub const ALL: [PlaneTopology; 3] = [
+        PlaneTopology::DeepHierarchy,
+        PlaneTopology::RegionalTree,
+        PlaneTopology::FleetOfAgents,
+    ];
+
+    /// Short stable name (used in component names and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            PlaneTopology::DeepHierarchy => "deep-hierarchy",
+            PlaneTopology::RegionalTree => "regional-tree",
+            PlaneTopology::FleetOfAgents => "fleet-of-agents",
+        }
+    }
+
+    /// Number of managers the topology deploys for `chains` service
+    /// chains (each manager runs on its own management processor).
+    pub fn managers(self, chains: usize) -> usize {
+        match self {
+            PlaneTopology::DeepHierarchy => (chains / 6).clamp(2, 8),
+            PlaneTopology::RegionalTree => chains.div_ceil(4) + 1,
+            PlaneTopology::FleetOfAgents => chains.div_ceil(8),
+        }
+    }
+}
+
+/// Specification of a synthesised large-scale plane: `chains`
+/// primary/backup service chains under one of three management
+/// topologies.
+#[derive(Debug, Clone, Copy)]
+pub struct PlaneSpec {
+    /// Number of primary/backup service chains (≥ 1).
+    pub chains: usize,
+    /// Shape of the management plane.
+    pub topology: PlaneTopology,
+    /// Failure probability of application processors and server tasks.
+    pub server_fail: f64,
+    /// Failure probability of agents, managers and management
+    /// processors.
+    pub mgmt_fail: f64,
+}
+
+impl Default for PlaneSpec {
+    fn default() -> Self {
+        PlaneSpec {
+            chains: 9,
+            topology: PlaneTopology::DeepHierarchy,
+            server_fail: PLANE_SERVER_FAIL,
+            mgmt_fail: PLANE_MGMT_FAIL,
+        }
+    }
+}
+
+impl PlaneSpec {
+    /// The spec whose fallible component count lands closest to
+    /// `target` (50–500 in the scalability studies) under `topology`,
+    /// at the default failure probabilities.
+    pub fn sized(target: usize, topology: PlaneTopology) -> PlaneSpec {
+        let mut best = PlaneSpec {
+            chains: 1,
+            topology,
+            ..PlaneSpec::default()
+        };
+        let mut best_diff = best.fallible_components().abs_diff(target);
+        for chains in 2..=512 {
+            let spec = PlaneSpec {
+                chains,
+                topology,
+                ..PlaneSpec::default()
+            };
+            let diff = spec.fallible_components().abs_diff(target);
+            if diff < best_diff {
+                best = spec;
+                best_diff = diff;
+            }
+            if spec.fallible_components() > target + 16 {
+                break;
+            }
+        }
+        best
+    }
+
+    /// Number of fallible components the synthesised plane will have:
+    /// four application components and two agents per chain, plus a
+    /// manager and its processor per management node.  (Users, their
+    /// processor and their notification agent are perfectly reliable,
+    /// like the paper's user tasks.)
+    pub fn fallible_components(&self) -> usize {
+        6 * self.chains + 2 * self.topology.managers(self.chains)
+    }
+}
+
+/// A synthesised large-scale application plus its management plane.
+#[derive(Debug, Clone)]
+pub struct SynthPlane {
+    /// The application model: `users → svc{c} → prim{c} | back{c}`.
+    pub model: FtlqnModel,
+    /// The management architecture wrapped around it.
+    pub mama: MamaModel,
+    /// The reference task deciding every service.
+    pub users: FtTaskId,
+}
+
+/// Synthesises a large realistic plane from a [`PlaneSpec`].
+///
+/// The application is `chains` independent primary/backup service
+/// chains, all called by one perfectly-reliable user population.  Each
+/// chain's primary and backup run on their own fallible processors; a
+/// chain degrades to its backup when the primary fails *and the users
+/// learn of it* — coverage flows through the management plane:
+///
+/// * each server task is alive-watched by the agent on its own node
+///   **and** by the peer agent on the chain's other node (losing one
+///   agent does not blind the chain);
+/// * each application processor is pinged directly by the chain's
+///   manager (its resident tasks cannot report its death);
+/// * agents report by status-watch to the chain's manager; managers
+///   forward per the [`PlaneTopology`]; the commanding manager(s)
+///   notify the users through their (perfect) agent.
+///
+/// With per-component failure probabilities around
+/// [`PLANE_SERVER_FAIL`], system failure is a rare event dominated by
+/// *management* cut sets — the regime where enumeration is impossible
+/// (2^N states) and plain Monte Carlo sees nothing.
+///
+/// # Panics
+///
+/// Panics if `spec.chains == 0`.
+pub fn synth_plane(spec: &PlaneSpec) -> SynthPlane {
+    assert!(spec.chains >= 1, "a plane needs at least one chain");
+    let mut ft = FtlqnModel::new();
+
+    // Application: one user population over `chains` primary/backup
+    // service chains.
+    let user_pc = ft.add_processor("user-pc", 0.0, Multiplicity::Infinite);
+    let users = ft.add_reference_task("users", user_pc, 0.0, spec.chains as u32, 1.0);
+    let e_u = ft.add_entry("u", users, 0.0);
+    let mut app_parts = Vec::with_capacity(spec.chains);
+    for c in 0..spec.chains {
+        let pp = ft.add_processor(format!("pp{c}"), spec.server_fail, Multiplicity::Finite(1));
+        let prim = ft.add_task(
+            format!("prim{c}"),
+            pp,
+            spec.server_fail,
+            Multiplicity::Finite(1),
+        );
+        let pe = ft.add_entry(format!("pe{c}"), prim, 1.0);
+        let pb = ft.add_processor(format!("pb{c}"), spec.server_fail, Multiplicity::Finite(1));
+        let back = ft.add_task(
+            format!("back{c}"),
+            pb,
+            spec.server_fail,
+            Multiplicity::Finite(1),
+        );
+        let be = ft.add_entry(format!("be{c}"), back, 1.0);
+        let svc = ft.add_service(format!("svc{c}"));
+        ft.add_alternative(svc, pe, None);
+        ft.add_alternative(svc, be, None);
+        ft.add_request(e_u, RequestTarget::Service(svc), 1.0, None);
+        app_parts.push((pp, prim, pb, back));
+    }
+    ft.validate().expect("synthesised plane app must validate");
+
+    // Management plane: managers per topology, each on its own
+    // processor.
+    let mut mama = MamaModel::new();
+    let u_pc = mama.add_app_processor("user-pc", user_pc);
+    let u_tc = mama.add_app_task("users", users, u_pc);
+    let ag_u = mama.add_agent("ag-users", u_pc, 0.0);
+
+    let count = spec.topology.managers(spec.chains);
+    let tag = match spec.topology {
+        PlaneTopology::DeepHierarchy => "dh",
+        PlaneTopology::RegionalTree => "rt",
+        PlaneTopology::FleetOfAgents => "fl",
+    };
+    let mut managers = Vec::with_capacity(count);
+    for i in 0..count {
+        let mp = mama.add_mgmt_processor(format!("{tag}-mp{i}"), spec.mgmt_fail);
+        managers.push(mama.add_manager(format!("{tag}-m{i}"), mp, spec.mgmt_fail));
+    }
+    // Chain → manager attachment and the inter-manager wiring.
+    let attach: Box<dyn Fn(usize) -> usize> = match spec.topology {
+        // Every chain reports to m0; status ripples up the trunk.
+        PlaneTopology::DeepHierarchy => Box::new(|_| 0),
+        // Four chains per regional manager; the last manager is the root.
+        PlaneTopology::RegionalTree => Box::new(|c| c / 4),
+        // Eight chains per warden.
+        PlaneTopology::FleetOfAgents => Box::new(|c| c / 8),
+    };
+    let tops: Vec<MamaCompId> = match spec.topology {
+        PlaneTopology::DeepHierarchy => {
+            for i in 0..count - 1 {
+                mama.watch(
+                    format!("st-{tag}-m{i}"),
+                    ConnectorKind::StatusWatch,
+                    managers[i],
+                    managers[i + 1],
+                );
+            }
+            vec![managers[count - 1]]
+        }
+        PlaneTopology::RegionalTree => {
+            let root = managers[count - 1];
+            for (i, &r) in managers[..count - 1].iter().enumerate() {
+                mama.watch(
+                    format!("st-{tag}-m{i}"),
+                    ConnectorKind::StatusWatch,
+                    r,
+                    root,
+                );
+            }
+            vec![root]
+        }
+        PlaneTopology::FleetOfAgents => managers.clone(),
+    };
+
+    // Per-chain monitoring.
+    for (c, &(pp, prim, pb, back)) in app_parts.iter().enumerate() {
+        let pc_p = mama.add_app_processor(ft.processor_name(pp), pp);
+        let tc_p = mama.add_app_task(ft.task_name(prim), prim, pc_p);
+        let pc_b = mama.add_app_processor(ft.processor_name(pb), pb);
+        let tc_b = mama.add_app_task(ft.task_name(back), back, pc_b);
+        let agp = mama.add_agent(format!("agp{c}"), pc_p, spec.mgmt_fail);
+        let agb = mama.add_agent(format!("agb{c}"), pc_b, spec.mgmt_fail);
+        // Node-local heartbeats plus cross-node redundancy: either agent
+        // alone keeps the chain observable.
+        mama.watch(format!("hb-p{c}"), ConnectorKind::AliveWatch, tc_p, agp);
+        mama.watch(format!("hb-b{c}"), ConnectorKind::AliveWatch, tc_b, agb);
+        mama.watch(format!("xhb-p{c}"), ConnectorKind::AliveWatch, tc_p, agb);
+        mama.watch(format!("xhb-b{c}"), ConnectorKind::AliveWatch, tc_b, agp);
+        let dm = managers[attach(c).min(count - 1)];
+        mama.watch(format!("st-agp{c}"), ConnectorKind::StatusWatch, agp, dm);
+        mama.watch(format!("st-agb{c}"), ConnectorKind::StatusWatch, agb, dm);
+        // Direct processor pings: a processor's resident tasks cannot
+        // report its death.
+        mama.watch(format!("ping-pp{c}"), ConnectorKind::AliveWatch, pc_p, dm);
+        mama.watch(format!("ping-pb{c}"), ConnectorKind::AliveWatch, pc_b, dm);
+    }
+
+    // Command route: the commanding manager(s) reach the users through
+    // their notification agent.
+    for (i, &top) in tops.iter().enumerate() {
+        mama.notify(format!("cmd-{tag}-{i}"), top, ag_u);
+    }
+    mama.notify("cmd-users", ag_u, u_tc);
+
+    debug_assert!(
+        mama.validate(&ft).is_ok(),
+        "synthesised plane must validate"
+    );
+    SynthPlane {
+        model: ft,
+        mama,
+        users,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,6 +556,125 @@ mod tests {
             assert!(
                 !know.holds(&state),
                 "single manager is a single point of knowledge"
+            );
+        }
+    }
+
+    /// Builds the coverage machinery for a plane spec.
+    fn plane_table(spec: &PlaneSpec) -> (SynthPlane, ComponentSpace, KnowTable) {
+        let plane = synth_plane(spec);
+        plane.mama.validate(&plane.model).unwrap();
+        let graph = FaultGraph::build(&plane.model).unwrap();
+        let space = ComponentSpace::build(&plane.model, &plane.mama);
+        let table = KnowTable::build(&graph, &plane.mama, &space);
+        (plane, space, table)
+    }
+
+    #[test]
+    fn planes_validate_and_count_fallible_components() {
+        for topology in PlaneTopology::ALL {
+            for chains in [1, 5, 17] {
+                let spec = PlaneSpec {
+                    chains,
+                    topology,
+                    ..PlaneSpec::default()
+                };
+                let (plane, space, table) = plane_table(&spec);
+                assert_eq!(
+                    space.fallible_indices().len(),
+                    spec.fallible_components(),
+                    "{} with {chains} chains",
+                    topology.name()
+                );
+                // Four monitored app components per chain, all decided by
+                // the users task.
+                assert_eq!(table.len(), 4 * chains);
+                // All-up must be fully covered in every topology.
+                let state = space.all_up();
+                for (pair, know) in table.iter() {
+                    assert!(
+                        know.holds(&state),
+                        "{}: pair {pair:?} uncovered at all-up",
+                        topology.name()
+                    );
+                }
+                assert_eq!(plane.model.service_ids().count(), chains);
+            }
+        }
+    }
+
+    #[test]
+    fn sized_planes_land_near_the_target() {
+        for topology in PlaneTopology::ALL {
+            for target in [50, 200, 500] {
+                let spec = PlaneSpec::sized(target, topology);
+                let got = spec.fallible_components();
+                assert!(
+                    got.abs_diff(target) <= 8,
+                    "{}: wanted ~{target} fallible, got {got}",
+                    topology.name()
+                );
+                assert_eq!(spec.topology, topology);
+            }
+        }
+    }
+
+    #[test]
+    fn deep_hierarchy_trunk_is_a_single_point_of_knowledge() {
+        let spec = PlaneSpec {
+            chains: 12,
+            topology: PlaneTopology::DeepHierarchy,
+            ..PlaneSpec::default()
+        };
+        let (plane, space, table) = plane_table(&spec);
+        // Killing ANY trunk manager blinds every chain: all knowledge
+        // paths ride the whole chain of managers.
+        for i in 0..spec.topology.managers(spec.chains) {
+            let m = plane
+                .mama
+                .component_by_name(&format!("dh-m{i}"))
+                .expect("trunk manager exists");
+            let mut state = space.all_up();
+            state[space.mama_index(m)] = false;
+            for (pair, know) in table.iter() {
+                assert!(!know.holds(&state), "dh-m{i} down must blind pair {pair:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_warden_blinds_only_its_own_chains() {
+        let spec = PlaneSpec {
+            chains: 16,
+            topology: PlaneTopology::FleetOfAgents,
+            ..PlaneSpec::default()
+        };
+        let (plane, space, table) = plane_table(&spec);
+        let w0 = plane.mama.component_by_name("fl-m0").unwrap();
+        let mut state = space.all_up();
+        state[space.mama_index(w0)] = false;
+        // Chains 0–7 report to warden 0; chains 8–15 to warden 1.
+        let blinded = table.iter().filter(|(_, k)| !k.holds(&state)).count();
+        assert_eq!(blinded, 4 * 8, "exactly warden 0's chains go dark");
+    }
+
+    #[test]
+    fn losing_one_agent_keeps_the_chain_observable() {
+        let spec = PlaneSpec {
+            chains: 2,
+            topology: PlaneTopology::RegionalTree,
+            ..PlaneSpec::default()
+        };
+        let (plane, space, table) = plane_table(&spec);
+        let agp0 = plane.mama.component_by_name("agp0").unwrap();
+        let mut state = space.all_up();
+        state[space.mama_index(agp0)] = false;
+        // The cross-node watch keeps both tasks of chain 0 observable;
+        // only the *processor* pings never rode through agents anyway.
+        for (pair, know) in table.iter() {
+            assert!(
+                know.holds(&state),
+                "losing agp0 must not blind pair {pair:?}"
             );
         }
     }

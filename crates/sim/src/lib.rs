@@ -50,4 +50,6 @@ pub mod engine;
 pub mod stats;
 
 pub use engine::{simulate, Distribution, SimError, SimOptions, SimResult};
-pub use stats::{BatchMeans, ConfidenceInterval, P2Quantile, Welford};
+pub use stats::{
+    t_quantile_95, t_quantile_99, BatchMeans, ConfidenceInterval, P2Quantile, Welford,
+};

@@ -100,6 +100,25 @@ pub fn t_quantile_95(df: u64) -> f64 {
     }
 }
 
+/// Two-sided 99% Student-t quantile for `df` degrees of freedom.
+///
+/// Companion to [`t_quantile_95`] for the stricter intervals used by
+/// rare-event estimators, whose validation contract brackets exact
+/// results at the 99% level.
+pub fn t_quantile_99(df: u64) -> f64 {
+    const TABLE: [f64; 30] = [
+        63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250, 3.169, 3.106, 3.055, 3.012,
+        2.977, 2.947, 2.921, 2.898, 2.878, 2.861, 2.845, 2.831, 2.819, 2.807, 2.797, 2.787, 2.779,
+        2.771, 2.763, 2.756, 2.750,
+    ];
+    match df {
+        0 => f64::INFINITY,
+        1..=30 => TABLE[(df - 1) as usize],
+        31..=60 => 2.66,
+        _ => 2.576,
+    }
+}
+
 /// Batch-means estimator: splits a stream of per-batch observations into a
 /// mean and a 95% confidence interval.
 ///
@@ -151,6 +170,24 @@ impl BatchMeans {
             half_width: t_quantile_95(n - 1) * se,
         }
     }
+
+    /// Point estimate and 99% confidence half-width.
+    ///
+    /// With fewer than two batches the half-width is infinite.
+    pub fn confidence_interval_99(&self) -> ConfidenceInterval {
+        let n = self.acc.count();
+        if n < 2 {
+            return ConfidenceInterval {
+                mean: self.acc.mean(),
+                half_width: f64::INFINITY,
+            };
+        }
+        let se = self.acc.sample_std() / (n as f64).sqrt();
+        ConfidenceInterval {
+            mean: self.acc.mean(),
+            half_width: t_quantile_99(n - 1) * se,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -192,6 +229,30 @@ mod tests {
         assert!(t_quantile_95(5) > t_quantile_95(30));
         assert_eq!(t_quantile_95(1000), 1.96);
         assert_eq!(t_quantile_95(0), f64::INFINITY);
+    }
+
+    #[test]
+    fn t99_quantiles_dominate_t95() {
+        for df in [0u64, 1, 5, 19, 30, 45, 1000] {
+            assert!(
+                t_quantile_99(df) >= t_quantile_95(df),
+                "df {df}: 99% quantile must be at least the 95% one"
+            );
+        }
+        assert_eq!(t_quantile_99(1000), 2.576);
+        assert_eq!(t_quantile_99(0), f64::INFINITY);
+    }
+
+    #[test]
+    fn ninety_nine_interval_is_wider() {
+        let mut bm = BatchMeans::new();
+        for x in [10.0, 11.0, 9.5, 10.5, 10.2, 9.8] {
+            bm.push_batch(x);
+        }
+        let ci95 = bm.confidence_interval();
+        let ci99 = bm.confidence_interval_99();
+        assert_eq!(ci95.mean, ci99.mean);
+        assert!(ci99.half_width > ci95.half_width);
     }
 
     #[test]

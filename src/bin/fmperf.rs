@@ -39,8 +39,8 @@
 
 use fmperf::core::{
     run_campaign_observed, solve_configurations, Analysis, AnalysisBudget, CampaignOptions,
-    ConfigDistribution, EstimateInfo, GuardedOptions, MonteCarloOptions, RewardSpec,
-    ScenarioAnalysis, ScenarioProgress, StudyReport, SweepSpec,
+    ConfigDistribution, EstimateInfo, GuardedOptions, ImportanceOptions, MonteCarloOptions,
+    RewardSpec, ScenarioAnalysis, ScenarioProgress, StudyReport, SweepSpec,
 };
 use fmperf::ftlqn::{FaultGraph, KnowPolicy};
 use fmperf::lint::Severity;
@@ -52,8 +52,9 @@ use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
 const USAGE: &str = "usage:
-  fmperf analyze  <model.fmp> [--engine enumerate|parallel|symbolic|mtbdd|montecarlo|guarded]
+  fmperf analyze  <model.fmp> [--engine enumerate|parallel|symbolic|mtbdd|montecarlo|importance|guarded]
                               [--samples N] [--seed N] [--json] [--policy any|all]
+                              [--is-bias X] [--is-mixture X]
                               [--unmonitored-known] [--threads N]
                               [--budget-states N] [--budget-deadline-ms N]
                               [--budget-nodes N] [--budget-memo N]
@@ -80,16 +81,22 @@ const USAGE: &str = "usage:
 
 `analyze --engine guarded` (implied by any --budget-* flag) runs the
 degradation ladder: exact enumeration, then MTBDD, then the compiled
-bitmask kernel, then Monte Carlo with a batch-means 95% CI — whichever
-first fits the budget.  `campaign` re-analyses the model under every
-single (and with --pairwise, every pairwise) management-plane fault
-injection and reports coverage loss and reward deltas per scenario.
+bitmask kernel, then sampling with a batch-means 95% CI — whichever
+first fits the budget.  The sampling rung picks importance sampling
+automatically when the model's smallest failure probability is below
+1e-3.  `--engine importance` forces rare-event importance sampling
+directly (failure-biased proposal, likelihood-ratio reweighting):
+`--is-bias` sets the expected biased failures per draw (default 1.0)
+and `--is-mixture` the defensive nominal-measure weight (default 0.2).
+`campaign` re-analyses the model under every single (and with
+--pairwise, every pairwise) management-plane fault injection and
+reports coverage loss and reward deltas per scenario.
 
 `audit` proves minimal cut sets, SPOFs, uncovered components and dead
 management edges from the compiled Boolean structure (up to
 --max-order, default 3); `--verify` replays every reported cut
 dynamically and fails on any unconfirmed claim.  `--lint-threshold`
-overrides a configurable rule threshold (FM201, FM203, FM204, FM304),
+overrides a configurable rule threshold (FM201, FM203, FM204, FM205, FM304),
 e.g. `--lint-threshold FM201=1048576`.
 
 `--metrics` prints per-phase timings and engine counters after the run
@@ -149,6 +156,8 @@ struct AnalyzeOptions {
     policy: KnowPolicy,
     unmonitored_known: bool,
     threads: usize,
+    is_bias: f64,
+    is_mixture: f64,
     budget: BudgetFlags,
     obs: ObsFlags,
 }
@@ -431,6 +440,17 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// The importance-sampling fields of an estimate object (leading comma
+/// included), or the empty string for a plain Monte Carlo estimate.
+fn is_json_fields(est: &EstimateInfo) -> String {
+    est.is.map_or(String::new(), |is| {
+        format!(
+            ", \"ess\": {}, \"weight_cv\": {}, \"mean_weight\": {}, \"bias\": {}, \"mixture\": {}",
+            is.ess, is.weight_cv, is.mean_weight, is.bias, is.mixture
+        )
+    })
+}
+
 fn load(path: &str) -> Result<ParsedModel, String> {
     let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     parse(&src).map_err(|e| format!("{path}: {e}"))
@@ -466,6 +486,8 @@ fn run(args: &[String]) -> Result<String, String> {
                 policy: KnowPolicy::AnyFailedComponent,
                 unmonitored_known: false,
                 threads: 4,
+                is_bias: fmperf::core::importance::DEFAULT_BIAS,
+                is_mixture: fmperf::core::importance::DEFAULT_MIXTURE,
                 budget: BudgetFlags::default(),
                 obs: ObsFlags::default(),
             };
@@ -505,6 +527,20 @@ fn run(args: &[String]) -> Result<String, String> {
                             .ok_or("--threads needs a value")?
                             .parse()
                             .map_err(|_| "bad --threads value")?;
+                    }
+                    "--is-bias" => {
+                        opts.is_bias = it
+                            .next()
+                            .ok_or("--is-bias needs a value")?
+                            .parse()
+                            .map_err(|_| "bad --is-bias value")?;
+                    }
+                    "--is-mixture" => {
+                        opts.is_mixture = it
+                            .next()
+                            .ok_or("--is-mixture needs a value")?
+                            .parse()
+                            .map_err(|_| "bad --is-mixture value")?;
                     }
                     other if opts.budget.parse_flag(other, &mut it)? => {}
                     other if opts.obs.parse_flag(other, &mut it)? => {}
@@ -1191,12 +1227,26 @@ fn analyze(
             samples: opts.samples,
             seed: opts.seed,
         }),
+        "importance" => {
+            let est = analysis
+                .try_importance(ImportanceOptions {
+                    samples: opts.samples,
+                    seed: opts.seed,
+                    bias: opts.is_bias,
+                    mixture: opts.is_mixture,
+                })
+                .map_err(|e| e.to_string())?;
+            estimate = Some(est.info);
+            est.distribution
+        }
         "guarded" => {
             let report = analysis.analyze_guarded(&GuardedOptions {
                 budget: opts.budget.to_budget(),
                 samples: opts.samples,
                 seed: opts.seed,
                 threads: opts.threads,
+                is_bias: opts.is_bias,
+                is_mixture: opts.is_mixture,
             });
             produced = Some(report.engine.name());
             descents = report
@@ -1209,7 +1259,7 @@ fn analyze(
         }
         other => return Err(format!("unknown engine `{other}`")),
     };
-    let sampled = opts.engine == "montecarlo" || estimate.is_some();
+    let sampled = opts.engine == "montecarlo" || opts.engine == "importance" || estimate.is_some();
     prov.engine = produced.unwrap_or(opts.engine.as_str()).to_string();
     prov.requested = produced.map(|_| "guarded".to_string());
     prov.descents = descents.clone();
@@ -1226,6 +1276,7 @@ fn analyze(
 
     if opts.json {
         let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"fmperf-analysis-v1\",\n");
         out.push_str(&format!(
             "  \"engine\": \"{}\",\n",
             produced.unwrap_or(opts.engine.as_str())
@@ -1245,8 +1296,12 @@ fn analyze(
         if let Some(est) = &estimate {
             out.push_str(&format!(
                 "  \"estimate\": {{\"failed_mean\": {}, \"failed_half_width\": {}, \
-                 \"batches\": {}, \"samples\": {}}},\n",
-                est.failed_mean, est.failed_half_width, est.batches, est.samples
+                 \"batches\": {}, \"samples\": {}{}}},\n",
+                est.failed_mean,
+                est.failed_half_width,
+                est.batches,
+                est.samples,
+                is_json_fields(est)
             ));
         }
         if !descents.is_empty() {
@@ -1304,6 +1359,12 @@ fn analyze(
             "estimate: P[failed] = {:.6} ± {:.6} (95% CI, {} batches, {} samples, seed {})\n",
             est.failed_mean, est.failed_half_width, est.batches, est.samples, est.seed
         ));
+        if let Some(is) = &est.is {
+            out.push_str(&format!(
+                "importance sampling: ess {:.1}, weight cv {:.4}, mean weight {:.4}, bias {}, mixture {}\n",
+                is.ess, is.weight_cv, is.mean_weight, is.bias, is.mixture
+            ));
+        }
     }
     out.push('\n');
     out.push_str("configurations:\n");
@@ -1363,8 +1424,13 @@ fn scenario_json(s: &ScenarioAnalysis, baseline_failed: f64, indent: &str) -> St
     if let Some(est) = &s.estimate {
         field(format!(
             "\"estimate\": {{\"failed_mean\": {}, \"failed_half_width\": {}, \
-             \"batches\": {}, \"samples\": {}, \"seed\": {}}},",
-            est.failed_mean, est.failed_half_width, est.batches, est.samples, est.seed
+             \"batches\": {}, \"samples\": {}, \"seed\": {}{}}},",
+            est.failed_mean,
+            est.failed_half_width,
+            est.batches,
+            est.samples,
+            est.seed,
+            is_json_fields(est)
         ));
     }
     field(format!("\"failed\": {},", s.failed_probability));
@@ -1419,6 +1485,7 @@ fn campaign_cmd(
             samples: opts.samples,
             seed: opts.seed,
             threads: opts.threads,
+            ..GuardedOptions::default()
         },
         pairwise: opts.pairwise,
         policy: opts.policy,
@@ -1730,7 +1797,7 @@ struct ProfileOptions {
 /// The engines `profile` attempts, in ladder order.  Each gets a fresh
 /// metrics recorder; the trace recorder is shared so `--trace-out`
 /// shows the runs back to back.
-const PROFILE_ENGINES: [&str; 4] = ["exact", "bitmask", "mtbdd", "montecarlo"];
+const PROFILE_ENGINES: [&str; 5] = ["exact", "bitmask", "mtbdd", "montecarlo", "importance"];
 
 /// Runs every applicable engine on the model and renders a comparative
 /// phase/counter breakdown.  Inapplicable engines are reported with
@@ -1793,7 +1860,7 @@ fn profile_cmd(
             ),
             "bitmask" => (1, fmperf::core::LANE_WIDTH),
             "mtbdd" => (1, fmperf::bdd::BATCH_LANES),
-            "montecarlo" => (1, 1),
+            "montecarlo" | "importance" => (1, 1),
             _ => unreachable!("PROFILE_ENGINES is exhaustive"),
         };
         let start = Instant::now();
@@ -1817,6 +1884,14 @@ fn profile_cmd(
                     samples: opts.samples,
                     seed: opts.seed,
                 })
+                .map_err(|e| e.to_string()),
+            "importance" => observed
+                .try_importance(ImportanceOptions {
+                    samples: opts.samples,
+                    seed: opts.seed,
+                    ..ImportanceOptions::default()
+                })
+                .map(|est| est.distribution)
                 .map_err(|e| e.to_string()),
             _ => unreachable!("PROFILE_ENGINES is exhaustive"),
         };
@@ -1964,6 +2039,88 @@ mod tests {
         assert!(out.contains("\"failed_half_width\""), "{out}");
         assert!(out.contains("\"batches\""), "{out}");
         assert!(out.contains("\"samples\": 20000"), "{out}");
+    }
+
+    #[test]
+    fn importance_engine_json_reports_is_diagnostics() {
+        let out = with_model(|p| {
+            run(&[
+                "analyze".into(),
+                p.into(),
+                "--engine".into(),
+                "importance".into(),
+                "--samples".into(),
+                "20000".into(),
+                "--seed".into(),
+                "7".into(),
+                "--json".into(),
+            ])
+        })
+        .unwrap();
+        assert!(out.contains("\"schema\": \"fmperf-analysis-v1\""), "{out}");
+        assert!(out.contains("\"engine\": \"importance\""), "{out}");
+        assert!(out.contains("\"seed\": 7"), "{out}");
+        assert!(out.contains("\"samples\": 20000"), "{out}");
+        for field in ["ess", "weight_cv", "mean_weight", "bias", "mixture"] {
+            assert!(
+                out.contains(&format!("\"{field}\": ")),
+                "missing {field}: {out}"
+            );
+        }
+    }
+
+    #[test]
+    fn importance_engine_text_reports_is_line() {
+        let out = with_model(|p| {
+            run(&[
+                "analyze".into(),
+                p.into(),
+                "--engine".into(),
+                "importance".into(),
+                "--samples".into(),
+                "20000".into(),
+            ])
+        })
+        .unwrap();
+        assert!(out.contains("engine: importance"), "{out}");
+        assert!(out.contains("estimate: P[failed]"), "{out}");
+        assert!(out.contains("importance sampling: ess "), "{out}");
+        assert!(out.contains("mean weight"), "{out}");
+        assert!(out.contains("configurations:"), "{out}");
+    }
+
+    /// Same shape as MODEL but with rare component failures: the guarded
+    /// ladder's sampling rung must auto-select importance sampling.
+    const RARE: &str = "processor pc cores inf\nprocessor p1 fail 0.00001\n\
+        users u on pc population 5 think 1.0\ntask s on p1 fail 0.00001\n\
+        entry eu of u\nentry es of s demand 0.2\ncall eu -> es\nreward u 1.0\n";
+
+    #[test]
+    fn degraded_guarded_auto_selects_importance_on_rare_models() {
+        let out = with_src("rare1", RARE, |p| {
+            run(&[
+                "analyze".into(),
+                p.into(),
+                "--engine".into(),
+                "guarded".into(),
+                "--budget-states".into(),
+                "1".into(),
+                "--budget-nodes".into(),
+                "1".into(),
+                "--budget-memo".into(),
+                "1".into(),
+                "--samples".into(),
+                "20000".into(),
+                "--seed".into(),
+                "3".into(),
+                "--json".into(),
+            ])
+        })
+        .unwrap();
+        assert!(out.contains("\"engine\": \"importance-sampling\""), "{out}");
+        assert!(out.contains("\"requested\": \"guarded\""), "{out}");
+        assert!(out.contains("\"ess\": "), "{out}");
+        assert!(out.contains("\"mean_weight\": "), "{out}");
     }
 
     #[test]
@@ -2303,6 +2460,7 @@ mod tests {
         assert!(out.contains("engine bitmask: ok"), "{out}");
         assert!(out.contains("engine mtbdd: ok"), "{out}");
         assert!(out.contains("engine montecarlo: ok"), "{out}");
+        assert!(out.contains("engine importance: ok"), "{out}");
         assert!(out.contains("state-scan"), "{out}");
         assert!(out.contains("mtbdd-compile"), "{out}");
         assert!(out.contains("states-visited"), "{out}");

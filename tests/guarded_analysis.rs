@@ -156,6 +156,7 @@ proptest! {
             samples: 4_000,
             seed,
             threads,
+            ..GuardedOptions::default()
         });
 
         prop_assert!(
@@ -165,7 +166,7 @@ proptest! {
         );
         prop_assert_eq!(
             report.estimate.is_some(),
-            report.engine == EngineKind::MonteCarlo,
+            !report.engine.is_exact(),
             "a CI comes back exactly when sampling ran"
         );
         match report.engine {
@@ -183,11 +184,23 @@ proptest! {
             EngineKind::Mtbdd => {
                 prop_assert!(report.distribution.max_abs_diff(&analysis.enumerate()) < 1e-9);
             }
-            EngineKind::MonteCarlo => {
+            EngineKind::MonteCarlo | EngineKind::Importance => {
                 let est = report.estimate.as_ref().unwrap();
                 prop_assert!(est.batches >= 2, "CI needs at least two batches");
                 prop_assert!(est.failed_half_width.is_finite());
                 prop_assert_eq!(est.seed, seed);
+                // The sampling rung's auto-selection is part of the
+                // contract: importance sampling fires exactly when a
+                // rare-event component exists, and its diagnostics ride
+                // along in the estimate.
+                prop_assert_eq!(
+                    report.engine == EngineKind::Importance,
+                    analysis.has_rare_event_components()
+                );
+                prop_assert_eq!(
+                    est.is.is_some(),
+                    report.engine == EngineKind::Importance
+                );
             }
         }
         // Every rung that was given up on is accounted for.
@@ -214,8 +227,13 @@ proptest! {
             samples: 4_000,
             seed,
             threads: 1,
+            ..GuardedOptions::default()
         });
-        prop_assert_eq!(report.engine, EngineKind::MonteCarlo);
+        prop_assert!(
+            !report.engine.is_exact(),
+            "expired deadline must land on a sampling rung, got {:?}",
+            report.engine
+        );
         prop_assert_eq!(report.descents.len(), 3, "all three exact rungs must decline");
         let est = report.estimate.expect("sampling reports an estimate");
         prop_assert!(est.batches >= 2);
@@ -243,6 +261,7 @@ fn tiny_state_cap_degrades_to_sampling() {
         samples: 60_000,
         seed: 7,
         threads: 1,
+        ..GuardedOptions::default()
     });
     assert_eq!(report.engine, EngineKind::MonteCarlo);
     assert_eq!(report.descents.len(), 3);

@@ -124,6 +124,7 @@ fn degraded_monte_carlo_reports_samples_and_ci() {
             samples: 40_000,
             seed: 7,
             threads: 2,
+            ..GuardedOptions::default()
         };
         let report = analysis.analyze_guarded(&opts);
         assert_eq!(
