@@ -31,6 +31,11 @@
 //!   `variance_reduction` column (importance sampling vs plain Monte
 //!   Carlo at the same budget, measured in the same run so runner speed
 //!   cancels out) must stay at or above 10x on deep-hierarchy planes.
+//! * `serve` (`servebench --json`): the cold-compile and cache-hit
+//!   request paths are gated independently against the baseline, **and**
+//!   the current report's own `speedup` column (cold / hit, measured in
+//!   the same run so runner speed cancels out) must stay at or above
+//!   10x on every case with at least 64 compiled nodes.
 //!
 //! Exit code 0 = within budget, 1 = regression, 2 = usage/parse error.
 //! Wall-clock noise on shared CI runners is expected — the 2x gate only
@@ -38,7 +43,8 @@
 
 use fmperf_bench::{
     parse_bench_json, parse_guarded_json, parse_lanes_json, parse_obs_json, parse_scale_json,
-    parse_sweep_json, report_criterion, BenchRow, GuardedRow, LaneRow, ObsRow, ScaleRow, SweepRow,
+    parse_serve_json, parse_sweep_json, report_criterion, BenchRow, GuardedRow, LaneRow, ObsRow,
+    ScaleRow, ServeRow, SweepRow,
 };
 
 /// Maximum allowed `overhead` (guarded / unguarded) in a guarded report.
@@ -66,6 +72,15 @@ const LANES_MIN_GATED_STATES: u64 = 65_536;
 /// applied to deep-hierarchy planes (same floor as `scalebench`).
 const SCALE_MIN_VARIANCE_REDUCTION: f64 = 10.0;
 
+/// Minimum cold/hit speedup in a serve report (same floor as
+/// `servebench`): a cache hit must beat a cold compile by at least
+/// this factor on every case heavy enough to gate.
+const SERVE_MIN_SPEEDUP: f64 = 10.0;
+
+/// Serve cases with fewer compiled nodes are dominated by per-request
+/// setup and are not gated (same floor as `servebench`).
+const SERVE_MIN_GATED_NODES: usize = 64;
+
 enum Report {
     Enumeration(Vec<BenchRow>),
     Lanes(Vec<LaneRow>),
@@ -73,6 +88,7 @@ enum Report {
     Guarded(Vec<GuardedRow>),
     Obs(Vec<ObsRow>),
     Scale(Vec<ScaleRow>),
+    Serve(Vec<ServeRow>),
 }
 
 fn load(path: &str) -> Report {
@@ -90,6 +106,7 @@ fn load(path: &str) -> Report {
         Some("guarded") => Report::Guarded(parse_guarded_json(&src).unwrap_or_else(|| bail())),
         Some("obs") => Report::Obs(parse_obs_json(&src).unwrap_or_else(|| bail())),
         Some("scale") => Report::Scale(parse_scale_json(&src).unwrap_or_else(|| bail())),
+        Some("serve") => Report::Serve(parse_serve_json(&src).unwrap_or_else(|| bail())),
         Some(_) => Report::Enumeration(parse_bench_json(&src).unwrap_or_else(|| bail())),
         None => bail(),
     }
@@ -309,6 +326,39 @@ fn check_scale(baseline: &[ScaleRow], current: &[ScaleRow], max_ratio: f64) -> b
     failed
 }
 
+fn check_serve(baseline: &[ServeRow], current: &[ServeRow], max_ratio: f64) -> bool {
+    let mut failed = false;
+    for base in baseline {
+        let Some(cur) = current.iter().find(|r| r.case == base.case) else {
+            eprintln!("benchcheck: case {} missing from current report", base.case);
+            failed = true;
+            continue;
+        };
+        if cur.nodes != base.nodes || cur.configs != base.configs {
+            eprintln!(
+                "benchcheck: case {} changed shape: {} nodes/{} configs vs {} nodes/{} configs",
+                base.case, cur.nodes, cur.configs, base.nodes, base.configs
+            );
+            failed = true;
+        }
+        // Both request paths gated independently: a regression in the
+        // cold compile cannot hide behind a fast hit path (or vice
+        // versa).
+        failed |= check_phase(&base.case, "cold", base.cold_ns, cur.cold_ns, max_ratio);
+        failed |= check_phase(&base.case, "hit", base.hit_ns, cur.hit_ns, max_ratio);
+        // The speedup column compares two timings from the *same* run,
+        // so it is gated absolutely rather than against the baseline.
+        if cur.nodes >= SERVE_MIN_GATED_NODES && cur.speedup < SERVE_MIN_SPEEDUP {
+            eprintln!(
+                "benchcheck: case {} cache-hit speedup {:.1}x is below the {:.0}x floor",
+                base.case, cur.speedup, SERVE_MIN_SPEEDUP
+            );
+            failed = true;
+        }
+    }
+    failed
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (baseline_path, current_path, max_ratio) = match args.as_slice() {
@@ -334,6 +384,7 @@ fn main() {
         (Report::Guarded(b), Report::Guarded(c)) => check_guarded(&b, &c, max_ratio),
         (Report::Obs(b), Report::Obs(c)) => check_obs(&b, &c, max_ratio),
         (Report::Scale(b), Report::Scale(c)) => check_scale(&b, &c, max_ratio),
+        (Report::Serve(b), Report::Serve(c)) => check_serve(&b, &c, max_ratio),
         _ => {
             eprintln!(
                 "benchcheck: {baseline_path} and {current_path} use different report schemas"

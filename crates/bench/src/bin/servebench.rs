@@ -1,0 +1,98 @@
+//! Measures the daemon's compiled-model cache: the cold request path
+//! (guarded MTBDD compile + evaluation, exactly what `fmperf serve`
+//! runs on a cache miss) against the cache-hit path (evaluating the
+//! already-compiled artifact) on every canonical case.
+//!
+//! The interesting column is `speedup` (`cold / hit`, both timed in
+//! the same run so runner speed cancels out): the cache must buy at
+//! least [`MIN_SPEEDUP`] on every case whose compile is heavy enough
+//! to gate (≥ [`MIN_GATED_NODES`] decision nodes).  A slip below that
+//! means either the compile got suspiciously cheap (shape change) or
+//! the hit path stopped being a single linear evaluation.
+//!
+//! `--json <path>` writes the measurements as a machine-readable report
+//! (see [`fmperf_bench::render_serve_json`]); `benchcheck` compares two
+//! such reports and re-applies the same speedup gate.
+
+use fmperf_bench::{case_names, measure_serve, render_serve_json};
+
+/// Minimum cold/hit speedup on gated cases.
+const MIN_SPEEDUP: f64 = 10.0;
+
+/// Cases with fewer compiled nodes than this are dominated by
+/// per-request setup and are reported but not gated.
+const MIN_GATED_NODES: usize = 64;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut json_path = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => {
+                json_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--json requires a path");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("unknown argument: {other} (usage: servebench [--json <path>])");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let sys = fmperf_bench::paper_system();
+
+    println!(
+        "Compiled-model cache: cold request (compile + evaluate) vs cache hit \
+         (evaluate only), best of {} reps",
+        fmperf_bench::GUARDED_REPS
+    );
+    println!(
+        "{:<20} {:>9} {:>7} {:>12} {:>12} {:>9}",
+        "case", "fallible", "nodes", "cold", "hit", "speedup"
+    );
+
+    let mut rows = Vec::new();
+    for case in case_names() {
+        let row = measure_serve(&sys, case);
+        println!(
+            "{:<20} {:>9} {:>7} {:>12.2?} {:>12.2?} {:>8.1}x",
+            row.case,
+            row.fallible,
+            row.nodes,
+            std::time::Duration::from_nanos(row.cold_ns as u64),
+            std::time::Duration::from_nanos(row.hit_ns as u64),
+            row.speedup,
+        );
+        rows.push(row);
+    }
+
+    if let Some(path) = &json_path {
+        let json = render_serve_json(&rows);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {path}");
+    }
+
+    let mut failed = false;
+    for row in rows.iter().filter(|r| r.nodes >= MIN_GATED_NODES) {
+        if row.speedup < MIN_SPEEDUP {
+            eprintln!(
+                "servebench: {} cache hit is only {:.1}x faster than a cold \
+                 compile (floor {MIN_SPEEDUP:.0}x)",
+                row.case, row.speedup
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "cache hits stay at least {MIN_SPEEDUP:.0}x faster than cold compiles \
+         on every case with >= {MIN_GATED_NODES} nodes"
+    );
+}

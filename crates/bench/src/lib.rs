@@ -1159,8 +1159,154 @@ pub fn parse_scale_json(src: &str) -> Option<Vec<ScaleRow>> {
     Some(rows)
 }
 
+/// One daemon cache measurement: the cold request path (guarded MTBDD
+/// compile + evaluation, exactly what `fmperf serve` runs on a cache
+/// miss) against the cache-hit path (evaluating the already-compiled
+/// artifact) for the machine-readable bench reports.
+///
+/// Both timings come from the same run over the same model, so runner
+/// speed cancels out of the `speedup` gate — the column measures the
+/// value of the compiled-model cache itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeRow {
+    /// Case name (`perfect`, `centralized`, …).
+    pub case: String,
+    /// Number of fallible components.
+    pub fallible: usize,
+    /// Compiled-diagram decision nodes.
+    pub nodes: usize,
+    /// Number of distinct configurations found.
+    pub configs: usize,
+    /// Best-of-N cold request wall time (compile + evaluate), ns.
+    pub cold_ns: u128,
+    /// Best-of-N cache-hit request wall time (evaluate only), ns.
+    pub hit_ns: u128,
+    /// `cold_ns / hit_ns` — the cache's latency advantage.
+    pub speedup: f64,
+}
+
+/// Times one case's daemon request path cold (MTBDD compile under the
+/// default budget, then evaluate) and hot (evaluate the cached
+/// artifact), best-of-[`GUARDED_REPS`], through the same
+/// [`fmperf_serve::analyze_model`] driver the daemon itself runs.
+///
+/// # Panics
+///
+/// Panics on an unknown case name, if the cold path fails to compile,
+/// or if the hit path disagrees with the cold result.
+pub fn measure_serve(sys: &DasWoodsideSystem, case: &str) -> ServeRow {
+    use fmperf_serve::{analyze_model, AnalyzeParams};
+    use std::time::Instant;
+    let mama = match case {
+        "perfect" => fmperf_mama::MamaModel::new(),
+        "centralized" => arch::centralized(sys, 0.1),
+        "distributed" => arch::distributed_as_published(sys, 0.1),
+        "distributed-as-drawn" => arch::distributed(sys, 0.1),
+        "hierarchical" => arch::hierarchical(sys, 0.1),
+        "network" => arch::network(sys, 0.1),
+        other => panic!("unknown case {other}"),
+    };
+    // Round-trip through the canonical text format: the daemon's
+    // requests arrive as source text, and the serializer is what the
+    // content hash is computed over.
+    let src = fmperf_text::write_model(&sys.model, &mama, &[]);
+    let m = fmperf_text::parse(&src).expect("canonical serialization re-parses");
+    let params = AnalyzeParams {
+        unmonitored_known: case == "distributed",
+        ..AnalyzeParams::default()
+    };
+
+    let reference = analyze_model(&m, &params, None, None).expect("cold analyze");
+    assert_eq!(reference.engine, "mtbdd", "{case}: cold path must compile");
+    let artifact = reference
+        .compiled
+        .clone()
+        .expect("cold path yields artifact");
+
+    let mut cold_ns = u128::MAX;
+    let mut hit_ns = u128::MAX;
+    for _ in 0..GUARDED_REPS {
+        let t0 = Instant::now();
+        let cold = std::hint::black_box(analyze_model(&m, &params, None, None)).expect("cold");
+        cold_ns = cold_ns.min(t0.elapsed().as_nanos());
+        assert_eq!(
+            cold.failed, reference.failed,
+            "{case}: cold must be deterministic"
+        );
+
+        let t0 = Instant::now();
+        let hit = std::hint::black_box(analyze_model(
+            &m,
+            &params,
+            Some(std::sync::Arc::clone(&artifact)),
+            None,
+        ))
+        .expect("hit");
+        hit_ns = hit_ns.min(t0.elapsed().as_nanos());
+        assert_eq!(hit.failed, reference.failed, "{case}: hit must match cold");
+    }
+
+    ServeRow {
+        case: case.to_string(),
+        fallible: reference.fallible,
+        nodes: artifact.node_count(),
+        configs: reference.configurations.len(),
+        cold_ns,
+        hit_ns,
+        speedup: cold_ns as f64 / hit_ns.max(1) as f64,
+    }
+}
+
+/// Renders serve rows as the `BENCH_serve.json` document (same flat
+/// one-object-per-line scheme as [`render_bench_json`]).
+pub fn render_serve_json(rows: &[ServeRow]) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    s.push_str("{\n  \"criterion\": \"serve\",\n  \"cases\": [\n");
+    for (ix, r) in rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"case\": \"{}\", \"fallible\": {}, \"nodes\": {}, \"configs\": {}, \
+             \"cold_ns\": {}, \"hit_ns\": {}, \"speedup\": {:.2}}}",
+            r.case, r.fallible, r.nodes, r.configs, r.cold_ns, r.hit_ns, r.speedup
+        );
+        s.push_str(if ix + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Parses a `render_serve_json` document back into rows.
+pub fn parse_serve_json(src: &str) -> Option<Vec<ServeRow>> {
+    fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        let tag = format!("\"{key}\": ");
+        let start = line.find(&tag)? + tag.len();
+        let rest = &line[start..];
+        let end = rest.find([',', '}'])?;
+        Some(rest[..end].trim().trim_matches('"'))
+    }
+    let mut rows = Vec::new();
+    for line in src.lines() {
+        let line = line.trim();
+        if !line.starts_with("{\"case\"") {
+            continue;
+        }
+        rows.push(ServeRow {
+            case: field(line, "case")?.to_string(),
+            fallible: field(line, "fallible")?.parse().ok()?,
+            nodes: field(line, "nodes")?.parse().ok()?,
+            configs: field(line, "configs")?.parse().ok()?,
+            cold_ns: field(line, "cold_ns")?.parse().ok()?,
+            hit_ns: field(line, "hit_ns")?.parse().ok()?,
+            speedup: field(line, "speedup")?.parse().ok()?,
+        });
+    }
+    Some(rows)
+}
+
 /// Extracts the `"criterion"` tag of a bench report, distinguishing the
-/// enumeration, sweep, guarded, obs and scale schemas for `benchcheck`.
+/// enumeration, sweep, guarded, obs, scale and serve schemas for
+/// `benchcheck`.
 pub fn report_criterion(src: &str) -> Option<String> {
     let tag = "\"criterion\": \"";
     let start = src.find(tag)? + tag.len();

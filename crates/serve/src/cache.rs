@@ -1,0 +1,249 @@
+//! The content-hash-keyed LRU cache of compiled MTBDD artifacts.
+//!
+//! [`CompiledMtbdd`] is fully owned (no lifetimes), so artifacts are
+//! shared as `Arc`s across worker threads; the per-request fault graph
+//! and knowledge table are rebuilt cheaply instead.  Capacity is
+//! byte-approximate: a diagram's cost is dominated by its decision
+//! nodes and configuration table, both of which the artifact reports.
+
+use fmperf_core::CompiledMtbdd;
+use fmperf_ftlqn::KnowPolicy;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// A cache key: the model's content hash plus every knob that changes
+/// the compiled diagram.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Stable model content hash (`sha256:…`).
+    pub hash: String,
+    /// Knowledge policy the diagram was compiled under.
+    pub policy_any: bool,
+    /// Unmonitored-known semantics the diagram was compiled under.
+    pub unmonitored_known: bool,
+}
+
+impl CacheKey {
+    /// Builds a key from the request's knobs.
+    pub fn new(hash: &str, policy: KnowPolicy, unmonitored_known: bool) -> CacheKey {
+        CacheKey {
+            hash: hash.to_string(),
+            policy_any: matches!(policy, KnowPolicy::AnyFailedComponent),
+            unmonitored_known,
+        }
+    }
+}
+
+/// Approximate resident size of a compiled artifact, in bytes: decision
+/// nodes (two branch indices + a variable), the configuration table and
+/// the availability vector.
+pub fn approx_artifact_bytes(compiled: &CompiledMtbdd) -> usize {
+    compiled.node_count() * 32
+        + compiled.configurations().len() * 64
+        + compiled.baseline_up().len() * 8
+}
+
+struct Entry {
+    artifact: Arc<CompiledMtbdd>,
+    bytes: usize,
+    last_used: u64,
+}
+
+struct CacheState {
+    map: HashMap<CacheKey, Entry>,
+    bytes: usize,
+    tick: u64,
+}
+
+/// A byte-bounded LRU of compiled artifacts, safe to share across
+/// worker threads.  A panicking worker can never poison it: the inner
+/// lock is recovered on poison (the state is a plain map plus counters,
+/// valid at every suspension point).
+pub struct ArtifactCache {
+    state: Mutex<CacheState>,
+    capacity_bytes: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ArtifactCache {
+    /// A cache bounded at `capacity_bytes`; zero disables caching.
+    pub fn new(capacity_bytes: usize) -> ArtifactCache {
+        ArtifactCache {
+            state: Mutex::new(CacheState {
+                map: HashMap::new(),
+                bytes: 0,
+                tick: 0,
+            }),
+            capacity_bytes,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, CacheState> {
+        // Poison-proof: a panic between operations leaves the map
+        // consistent, so recovery is always safe.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Looks an artifact up, counting a hit or miss and refreshing its
+    /// LRU position.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<CompiledMtbdd>> {
+        if self.capacity_bytes == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut state = self.lock();
+        state.tick += 1;
+        let tick = state.tick;
+        match state.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&entry.artifact))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts an artifact, evicting least-recently-used entries until
+    /// the cache fits its capacity.  An artifact larger than the whole
+    /// cache is simply not retained.
+    pub fn insert(&self, key: CacheKey, artifact: Arc<CompiledMtbdd>) {
+        let bytes = approx_artifact_bytes(&artifact);
+        if bytes > self.capacity_bytes {
+            return;
+        }
+        let mut state = self.lock();
+        state.tick += 1;
+        let tick = state.tick;
+        if let Some(old) = state.map.remove(&key) {
+            state.bytes -= old.bytes;
+        }
+        while state.bytes + bytes > self.capacity_bytes {
+            let Some(lru_key) = state
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            if let Some(evicted) = state.map.remove(&lru_key) {
+                state.bytes -= evicted.bytes;
+            }
+        }
+        state.bytes += bytes;
+        state.map.insert(
+            key,
+            Entry {
+                artifact,
+                bytes,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Number of cached artifacts.
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate resident bytes.
+    pub fn bytes(&self) -> usize {
+        self.lock().bytes
+    }
+
+    /// Lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that missed (or found caching disabled).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmperf_core::Analysis;
+    use fmperf_mama::ComponentSpace;
+    use fmperf_text::parse;
+
+    fn artifact() -> Arc<CompiledMtbdd> {
+        let m = parse(
+            "processor pc cores inf\nprocessor p1 fail 0.1\nusers u on pc\n\
+             task s on p1 fail 0.1\nentry eu of u\nentry es of s demand 0.2\ncall eu -> es\n",
+        )
+        .unwrap();
+        let graph = fmperf_ftlqn::FaultGraph::build(&m.app).unwrap();
+        let space = ComponentSpace::app_only(&m.app);
+        let compiled = Analysis::new(&graph, &space).compile_mtbdd();
+        Arc::new(compiled)
+    }
+
+    fn key(n: u32) -> CacheKey {
+        CacheKey::new(
+            &format!("sha256:{n:064}"),
+            KnowPolicy::AnyFailedComponent,
+            false,
+        )
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let cache = ArtifactCache::new(1 << 20);
+        let a = artifact();
+        cache.insert(key(1), Arc::clone(&a));
+        assert!(cache.get(&key(1)).is_some());
+        assert!(cache.get(&key(2)).is_none());
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let a = artifact();
+        let one = approx_artifact_bytes(&a);
+        // Room for exactly two artifacts.
+        let cache = ArtifactCache::new(one * 2 + 1);
+        cache.insert(key(1), Arc::clone(&a));
+        cache.insert(key(2), Arc::clone(&a));
+        // Touch 1 so 2 is the LRU.
+        assert!(cache.get(&key(1)).is_some());
+        cache.insert(key(3), Arc::clone(&a));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&key(1)).is_some());
+        assert!(cache.get(&key(2)).is_none(), "LRU entry evicted");
+        assert!(cache.get(&key(3)).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let cache = ArtifactCache::new(0);
+        cache.insert(key(1), artifact());
+        assert!(cache.get(&key(1)).is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn distinct_policies_are_distinct_keys() {
+        let a = CacheKey::new("sha256:x", KnowPolicy::AnyFailedComponent, false);
+        let b = CacheKey::new("sha256:x", KnowPolicy::AllFailedComponents, false);
+        let c = CacheKey::new("sha256:x", KnowPolicy::AnyFailedComponent, true);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

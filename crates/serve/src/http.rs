@@ -1,0 +1,402 @@
+//! A minimal, defensive HTTP/1.1 layer over `std::io` streams.
+//!
+//! The workspace is hermetic, so this is hand-rolled — and deliberately
+//! small: one request per connection (`Connection: close`), a hard cap
+//! on the request head, a configurable cap on the body, and no chunked
+//! encoding.  Every limit violation maps to a definite status code so
+//! a hostile peer gets a bounded answer, never unbounded memory.
+
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+
+/// Hard cap on the request line + headers (bytes).
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// Limits applied while reading one request.
+#[derive(Debug, Clone, Copy)]
+pub struct HttpLimits {
+    /// Maximum accepted `Content-Length` (bytes); larger bodies are
+    /// rejected with 413 before any body byte is read.
+    pub max_body_bytes: usize,
+}
+
+impl Default for HttpLimits {
+    fn default() -> HttpLimits {
+        HttpLimits {
+            max_body_bytes: 1 << 20,
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, …).
+    pub method: String,
+    /// Decoded path, query string stripped (`/v1/analyze`).
+    pub path: String,
+    /// Percent-decoded query parameters, last occurrence wins.
+    pub query: BTreeMap<String, String>,
+    /// Lowercased header names → values.
+    pub headers: BTreeMap<String, String>,
+    /// The request body (at most `max_body_bytes`).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be read; each variant maps to a status.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed request line or headers → 400.
+    Malformed(String),
+    /// Request head exceeded [`MAX_HEAD_BYTES`] → 431.
+    HeadTooLarge,
+    /// Declared body exceeds the limit → 413.
+    BodyTooLarge {
+        /// The declared `Content-Length`.
+        declared: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+    /// The peer vanished or timed out mid-request.
+    Io(io::Error),
+}
+
+impl HttpError {
+    /// The status code this error maps to (`Io` has none — the peer is
+    /// gone, nothing can be written).
+    pub fn status(&self) -> Option<(u16, &'static str)> {
+        match self {
+            HttpError::Malformed(_) => Some((400, "Bad Request")),
+            HttpError::HeadTooLarge => Some((431, "Request Header Fields Too Large")),
+            HttpError::BodyTooLarge { .. } => Some((413, "Payload Too Large")),
+            HttpError::Io(_) => None,
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::HeadTooLarge => write!(f, "request head over {MAX_HEAD_BYTES} bytes"),
+            HttpError::BodyTooLarge { declared, limit } => {
+                write!(f, "body of {declared} bytes over the {limit}-byte limit")
+            }
+            HttpError::Io(e) => write!(f, "i/o: {e}"),
+        }
+    }
+}
+
+/// Decodes `%XX` escapes and `+` in a query component; bad escapes pass
+/// through literally (this is a diagnostics-friendly parser, not a
+/// validator).
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 2 < bytes.len() => {
+                let hex = &s[i + 1..i + 3];
+                match u8::from_str_radix(hex, 16) {
+                    Ok(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    Err(_) => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Splits `a=1&b=two` into a decoded map.
+fn parse_query(q: &str) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    for pair in q.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        out.insert(percent_decode(k), percent_decode(v));
+    }
+    out
+}
+
+/// Reads the head (request line + headers) up to [`MAX_HEAD_BYTES`],
+/// returning the head text and any body bytes read past the blank line.
+fn read_head(stream: &mut impl Read) -> Result<(String, Vec<u8>), HttpError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    loop {
+        if let Some(pos) = find_head_end(&buf) {
+            let head = String::from_utf8_lossy(&buf[..pos]).into_owned();
+            let rest = buf[pos + 4..].to_vec();
+            return Ok((head, rest));
+        }
+        if buf.len() >= MAX_HEAD_BYTES {
+            return Err(HttpError::HeadTooLarge);
+        }
+        let n = stream.read(&mut chunk).map_err(HttpError::Io)?;
+        if n == 0 {
+            return Err(HttpError::Malformed("connection closed mid-head".into()));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Reads one full request from `stream` under `limits`.
+///
+/// # Errors
+///
+/// See [`HttpError`]; every variant except `Io` maps to a response
+/// status via [`HttpError::status`].
+pub fn read_request(stream: &mut impl Read, limits: &HttpLimits) -> Result<Request, HttpError> {
+    let (head, mut body) = read_head(stream)?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty head".into()))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing method".into()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing request target".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing HTTP version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!("unsupported {version}")));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (percent_decode(p), parse_query(q)),
+        None => (percent_decode(target), BTreeMap::new()),
+    };
+    let mut headers = BTreeMap::new();
+    for line in lines.filter(|l| !l.is_empty()) {
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("bad header line `{line}`")))?;
+        headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+    }
+    if headers.contains_key("transfer-encoding") {
+        return Err(HttpError::Malformed(
+            "chunked transfer encoding is not supported".into(),
+        ));
+    }
+    let declared: usize = match headers.get("content-length") {
+        None => 0,
+        Some(v) => v
+            .parse()
+            .map_err(|_| HttpError::Malformed(format!("bad content-length `{v}`")))?,
+    };
+    if declared > limits.max_body_bytes {
+        return Err(HttpError::BodyTooLarge {
+            declared,
+            limit: limits.max_body_bytes,
+        });
+    }
+    // Body bytes already pulled in with the head count toward the
+    // declared length; anything extra is ignored.
+    body.truncate(declared.min(body.len()));
+    while body.len() < declared {
+        let mut chunk = vec![0u8; (declared - body.len()).min(64 * 1024)];
+        let n = stream.read(&mut chunk).map_err(HttpError::Io)?;
+        if n == 0 {
+            return Err(HttpError::Malformed("connection closed mid-body".into()));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+/// One response, written with `Connection: close`.
+#[derive(Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Reason phrase.
+    pub reason: &'static str,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Extra headers (name, value), e.g. `Retry-After`.
+    pub extra_headers: Vec<(&'static str, String)>,
+    /// The body.
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, reason: &'static str, body: String) -> Response {
+        Response {
+            status,
+            reason,
+            content_type: "application/json",
+            extra_headers: Vec::new(),
+            body,
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, reason: &'static str, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            reason,
+            content_type: "text/plain; charset=utf-8",
+            extra_headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Response {
+        self.extra_headers.push((name, value.into()));
+        self
+    }
+
+    /// Serializes and writes the response; errors are swallowed (the
+    /// peer may already be gone — nothing useful can be done).
+    pub fn write_to(&self, stream: &mut impl Write) {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
+            self.status,
+            self.reason,
+            self.content_type,
+            self.body.len()
+        );
+        for (name, value) in &self.extra_headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str("\r\n");
+        let _ = stream.write_all(head.as_bytes());
+        let _ = stream.write_all(self.body.as_bytes());
+        let _ = stream.flush();
+    }
+}
+
+/// Minimal JSON string escaping for response bodies.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        read_request(&mut Cursor::new(raw.as_bytes()), &HttpLimits::default())
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let r =
+            parse("GET /v1/analyze?budget_ms=50&policy=any HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/v1/analyze");
+        assert_eq!(r.query.get("budget_ms").unwrap(), "50");
+        assert_eq!(r.query.get("policy").unwrap(), "any");
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let r = parse("POST /v1/analyze HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello").unwrap();
+        assert_eq!(r.body, b"hello");
+        assert_eq!(r.headers.get("content-length").unwrap(), "5");
+    }
+
+    #[test]
+    fn percent_decoding() {
+        let r = parse("GET /x?name=a%20b+c&pct=100%25 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(r.query.get("name").unwrap(), "a b c");
+        assert_eq!(r.query.get("pct").unwrap(), "100%");
+    }
+
+    #[test]
+    fn oversized_body_is_413() {
+        let limits = HttpLimits { max_body_bytes: 4 };
+        let err = read_request(
+            &mut Cursor::new(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\n0123456789" as &[u8]),
+            &limits,
+        )
+        .unwrap_err();
+        assert_eq!(err.status().unwrap().0, 413);
+    }
+
+    #[test]
+    fn oversized_head_is_431() {
+        let mut raw = String::from("GET /x HTTP/1.1\r\n");
+        for i in 0..1000 {
+            raw.push_str(&format!("x-h{i}: {}\r\n", "v".repeat(64)));
+        }
+        raw.push_str("\r\n");
+        let err = parse(&raw).unwrap_err();
+        assert_eq!(err.status().unwrap().0, 431);
+    }
+
+    #[test]
+    fn garbage_is_400() {
+        let err = parse("NOT A REQUEST\r\n\r\n").unwrap_err();
+        assert_eq!(err.status().unwrap().0, 400);
+    }
+
+    #[test]
+    fn chunked_is_rejected() {
+        let err = parse("POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").unwrap_err();
+        assert_eq!(err.status().unwrap().0, 400);
+    }
+
+    #[test]
+    fn response_serializes() {
+        let mut out = Vec::new();
+        Response::json(503, "Service Unavailable", "{}".into())
+            .with_header("retry-after", "1")
+            .write_to(&mut out);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("retry-after: 1\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn json_escape_controls() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

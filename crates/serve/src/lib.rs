@@ -1,0 +1,45 @@
+//! # fmperf-serve
+//!
+//! A crash-tolerant analysis daemon over the fmperf engines, built
+//! entirely on `std::net` (the workspace is hermetic — no external
+//! HTTP stack).  `fmperf serve` exposes the analyze / sweep / campaign
+//! pipelines as HTTP endpoints with three robustness guarantees:
+//!
+//! 1. **Bounded admission** — a fixed worker pool behind a bounded
+//!    queue ([`BoundedQueue`]); saturation answers `503 Retry-After`
+//!    at the acceptor instead of queuing unboundedly.
+//! 2. **Bounded answers** — every request carries an analysis budget
+//!    and routes through the guarded degradation ladder, so an
+//!    overloaded or starved request returns a degraded sampled answer
+//!    with a confidence interval and full engine provenance, never a
+//!    hang.
+//! 3. **Panic isolation** — request handlers run under `catch_unwind`
+//!    and all shared state (the [`ArtifactCache`], the queue) recovers
+//!    poisoned locks, so one crashing request cannot wedge the daemon.
+//!
+//! The expensive artifact — a compiled, fully-owned
+//! [`CompiledMtbdd`](fmperf_core::CompiledMtbdd) — is cached in a
+//! byte-bounded LRU keyed by the model's *content hash* (SHA-256 over
+//! the canonical serialization), shared with the CLI through
+//! [`ModelSession`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod hash;
+pub mod http;
+pub mod queue;
+pub mod server;
+pub mod session;
+pub mod work;
+
+pub use cache::{approx_artifact_bytes, ArtifactCache, CacheKey};
+pub use hash::{sha256, sha256_hex};
+pub use queue::BoundedQueue;
+pub use server::{DrainReport, ServeConfig, Server, ServerHandle, SCHEMA};
+pub use session::{model_content_hash, ModelSession, SessionError};
+pub use work::{
+    analyze_model, campaign_model, sweep_model, AnalyzeOutcome, AnalyzeParams, CacheStatus,
+    CampaignOutcome, CampaignParams, CampaignScenario, SweepOutcome, SweepParams,
+};

@@ -1,0 +1,871 @@
+//! The daemon: acceptor, bounded admission queue, worker pool, routes.
+//!
+//! The crash-tolerance contract, in one place:
+//!
+//! * **Admission control** — the acceptor never queues unboundedly.
+//!   When the bounded queue is full the connection is answered `503`
+//!   with `Retry-After` right on the acceptor thread and dropped.
+//! * **Per-request deadlines** — every analysis request carries an
+//!   [`AnalysisBudget`]; overload degrades through the guarded ladder
+//!   to a sampled answer with a confidence interval instead of hanging.
+//! * **Panic isolation** — each request runs under `catch_unwind`; a
+//!   panicking handler answers `500` and the worker loops on.  Both the
+//!   artifact cache and the queue recover poisoned locks, so one bad
+//!   request can never wedge the pool.
+//! * **Drain** — `POST /quitquitquit` (the std-only stand-in for
+//!   SIGTERM, which cannot be caught without unsafe code) stops
+//!   admission; already-admitted requests complete before workers exit.
+
+use crate::cache::{ArtifactCache, CacheKey};
+use crate::http::{json_escape, read_request, HttpLimits, Request, Response};
+use crate::queue::BoundedQueue;
+use crate::session::{ModelSession, SessionError};
+use crate::work::{
+    analyze_model, campaign_model, sweep_model, AnalyzeParams, CacheStatus, CampaignParams,
+    SweepParams,
+};
+use fmperf_core::EstimateInfo;
+use fmperf_ftlqn::KnowPolicy;
+use fmperf_obs::MetricsRecorder;
+use fmperf_text::ParseLimits;
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The response schema identifier, first field of every JSON body.
+pub const SCHEMA: &str = "fmperf-serve-v1";
+
+/// Daemon configuration (the `fmperf serve` flags).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:8787` (port 0 for ephemeral).
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub threads: usize,
+    /// Compiled-artifact cache capacity in MiB (0 disables).
+    pub cache_mb: usize,
+    /// Default per-request analysis deadline in milliseconds, used when
+    /// a request carries no `budget_ms`.
+    pub default_budget_ms: u64,
+    /// Bounded admission queue depth; connections beyond it are shed
+    /// with `503`.
+    pub queue_depth: usize,
+    /// Request body cap in bytes (larger bodies answer `413`).
+    pub max_body_bytes: usize,
+    /// Enable the `/v1/test/*` fault-injection routes (tests only).
+    pub test_routes: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:8787".into(),
+            threads: 4,
+            cache_mb: 64,
+            default_budget_ms: 2_000,
+            queue_depth: 64,
+            max_body_bytes: 1 << 20,
+            test_routes: false,
+        }
+    }
+}
+
+/// Monotonic request counters, exposed on `/metrics` and summarized in
+/// the [`DrainReport`].
+#[derive(Debug, Default)]
+struct Stats {
+    requests: AtomicU64,
+    shed: AtomicU64,
+    panics: AtomicU64,
+    client_errors: AtomicU64,
+    server_errors: AtomicU64,
+    degraded: AtomicU64,
+}
+
+/// State shared by the acceptor and every worker.
+struct Shared {
+    config: ServeConfig,
+    queue: BoundedQueue<TcpStream>,
+    cache: ArtifactCache,
+    metrics: MetricsRecorder,
+    stats: Stats,
+    shutdown: AtomicBool,
+}
+
+/// What the daemon did over its lifetime, returned by
+/// [`ServerHandle::shutdown`] / [`ServerHandle::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct DrainReport {
+    /// Requests fully handled (any status).
+    pub served: u64,
+    /// Connections shed with `503` by admission control.
+    pub shed: u64,
+    /// Request handlers that panicked (each answered `500`).
+    pub panics_caught: u64,
+    /// Worker threads that died *outside* the per-request isolation
+    /// boundary — always zero unless the isolation itself is broken.
+    pub worker_panics: usize,
+}
+
+/// A running daemon; dropping the handle without calling
+/// [`shutdown`](ServerHandle::shutdown) or [`wait`](ServerHandle::wait)
+/// detaches the threads.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    local_addr: std::net::SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// The daemon entry point.
+pub struct Server;
+
+impl Server {
+    /// Binds `config.addr` and starts the acceptor and worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind / configuration I/O errors; everything after a
+    /// successful bind is handled internally.
+    pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let threads = config.threads.max(1);
+        let queue_depth = config.queue_depth.max(1);
+        let shared = Arc::new(Shared {
+            cache: ArtifactCache::new(config.cache_mb.saturating_mul(1 << 20)),
+            queue: BoundedQueue::new(queue_depth),
+            metrics: MetricsRecorder::new(),
+            stats: Stats::default(),
+            shutdown: AtomicBool::new(false),
+            config,
+        });
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("fmperf-acceptor".into())
+                .spawn(move || accept_loop(&listener, &shared))?
+        };
+        let mut workers = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let shared = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("fmperf-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))?,
+            );
+        }
+        Ok(ServerHandle {
+            shared,
+            local_addr,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// Shared metrics recorder (scraped by `/metrics`).
+    pub fn metrics(&self) -> &MetricsRecorder {
+        &self.shared.metrics
+    }
+
+    /// Initiates drain (as `/quitquitquit` would) and waits for every
+    /// in-flight request to finish.
+    pub fn shutdown(mut self) -> DrainReport {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue.close();
+        self.join()
+    }
+
+    /// Waits for the daemon to drain on its own (after a
+    /// `/quitquitquit` from a client).
+    pub fn wait(mut self) -> DrainReport {
+        self.join()
+    }
+
+    fn join(&mut self) -> DrainReport {
+        let mut worker_panics = 0;
+        if let Some(acceptor) = self.acceptor.take() {
+            if acceptor.join().is_err() {
+                worker_panics += 1;
+            }
+        }
+        for worker in self.workers.drain(..) {
+            if worker.join().is_err() {
+                worker_panics += 1;
+            }
+        }
+        let stats = &self.shared.stats;
+        DrainReport {
+            served: stats.requests.load(Ordering::Relaxed),
+            shed: stats.shed.load(Ordering::Relaxed),
+            panics_caught: stats.panics.load(Ordering::Relaxed),
+            worker_panics,
+        }
+    }
+}
+
+/// Polls the nonblocking listener, admitting connections into the
+/// bounded queue and shedding with `503` when it is full.
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nonblocking(false);
+                // Slowloris guard: a peer that stalls mid-request gets
+                // a read error, not a parked worker.
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+                let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+                if let Err(stream) = shared.queue.try_push(stream) {
+                    shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+                    shed_connection(stream);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    // Stop admission; workers drain what was already accepted.
+    shared.queue.close();
+}
+
+/// Answers a shed connection `503 + Retry-After` on the acceptor
+/// thread.  The pending request bytes are drained (briefly, best
+/// effort) first: closing a socket with unread input makes the kernel
+/// RST the connection, which would destroy the very response that tells
+/// the client to back off.
+fn shed_connection(mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut scratch = [0u8; 8 * 1024];
+    let _ = io::Read::read(&mut stream, &mut scratch);
+    Response::json(
+        503,
+        "Service Unavailable",
+        format!("{{\"schema\": \"{SCHEMA}\", \"error\": \"saturated: admission queue is full\"}}"),
+    )
+    .with_header("retry-after", "1")
+    .write_to(&mut stream);
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+}
+
+/// One worker: pop, handle under `catch_unwind`, answer, repeat until
+/// the queue closes and drains.
+fn worker_loop(shared: &Shared) {
+    while let Some(mut stream) = shared.queue.pop() {
+        shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let outcome = catch_unwind(AssertUnwindSafe(|| handle_connection(&mut stream, shared)));
+        if outcome.is_err() {
+            shared.stats.panics.fetch_add(1, Ordering::Relaxed);
+            shared.stats.server_errors.fetch_add(1, Ordering::Relaxed);
+            Response::json(
+                500,
+                "Internal Server Error",
+                format!(
+                    "{{\"schema\": \"{SCHEMA}\", \"error\": \"request handler panicked; \
+                     the worker pool is unaffected\"}}"
+                ),
+            )
+            .write_to(&mut stream);
+        }
+    }
+}
+
+/// Reads one request and routes it; every path writes exactly one
+/// response.
+fn handle_connection(stream: &mut TcpStream, shared: &Shared) {
+    let limits = HttpLimits {
+        max_body_bytes: shared.config.max_body_bytes,
+    };
+    let request = match read_request(stream, &limits) {
+        Ok(r) => r,
+        Err(e) => {
+            if let Some((status, reason)) = e.status() {
+                shared.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+                error_response(status, reason, "http", &e.to_string(), &[]).write_to(stream);
+            }
+            return;
+        }
+    };
+    let response = route(&request, shared);
+    if response.status >= 500 {
+        shared.stats.server_errors.fetch_add(1, Ordering::Relaxed);
+    } else if response.status >= 400 {
+        shared.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+    }
+    response.write_to(stream);
+}
+
+/// An error body: `{schema, endpoint, error, diagnostics: [...]}`.
+fn error_response(
+    status: u16,
+    reason: &'static str,
+    endpoint: &str,
+    error: &str,
+    diagnostics: &[(usize, String)],
+) -> Response {
+    let diags: Vec<String> = diagnostics
+        .iter()
+        .map(|(line, msg)| {
+            format!(
+                "{{\"line\": {line}, \"message\": \"{}\"}}",
+                json_escape(msg)
+            )
+        })
+        .collect();
+    Response::json(
+        status,
+        reason,
+        format!(
+            "{{\"schema\": \"{SCHEMA}\", \"endpoint\": \"{}\", \"error\": \"{}\", \
+             \"diagnostics\": [{}]}}",
+            json_escape(endpoint),
+            json_escape(error),
+            diags.join(", ")
+        ),
+    )
+}
+
+/// Dispatches one parsed request to its endpoint.
+fn route(request: &Request, shared: &Shared) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => Response::text(200, "OK", "ok\n"),
+        ("GET", "/readyz") => readyz(shared),
+        ("GET", "/metrics") => Response::text(200, "OK", render_metrics(shared)),
+        ("POST" | "GET", "/quitquitquit") => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            shared.queue.close();
+            Response::text(200, "OK", "draining\n")
+        }
+        ("POST", "/v1/analyze") => analyze_endpoint(request, shared),
+        ("POST", "/v1/sweep") => sweep_endpoint(request, shared),
+        ("POST", "/v1/campaign") => campaign_endpoint(request, shared),
+        ("POST" | "GET", "/v1/test/panic") if shared.config.test_routes => {
+            panic!("fault injection: /v1/test/panic")
+        }
+        ("POST" | "GET", "/v1/test/sleep") if shared.config.test_routes => {
+            let ms: u64 = request
+                .query
+                .get("ms")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(100);
+            std::thread::sleep(Duration::from_millis(ms.min(10_000)));
+            Response::text(200, "OK", "slept\n")
+        }
+        (_, "/healthz" | "/readyz" | "/metrics")
+        | ("GET", "/v1/analyze" | "/v1/sweep" | "/v1/campaign") => {
+            error_response(405, "Method Not Allowed", "http", "method not allowed", &[])
+        }
+        _ => error_response(404, "Not Found", "http", "no such endpoint", &[]),
+    }
+}
+
+/// `/readyz`: `503` while draining or when the admission queue is
+/// nearly full (load shedding signal for balancers).
+fn readyz(shared: &Shared) -> Response {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return Response::text(503, "Service Unavailable", "draining\n")
+            .with_header("retry-after", "1");
+    }
+    let depth = shared.config.queue_depth.max(1);
+    if shared.queue.len() * 4 >= depth * 3 {
+        return Response::text(503, "Service Unavailable", "saturated\n")
+            .with_header("retry-after", "1");
+    }
+    Response::text(200, "OK", "ready\n")
+}
+
+/// Renders `/metrics` in Prometheus text exposition format: server
+/// counters, cache state, and the engine recorder's counters/phases.
+fn render_metrics(shared: &Shared) -> String {
+    let stats = &shared.stats;
+    let mut out = String::new();
+    let mut gauge = |name: &str, value: u64| {
+        out.push_str(&format!("fmperf_{name} {value}\n"));
+    };
+    gauge("requests_total", stats.requests.load(Ordering::Relaxed));
+    gauge("shed_total", stats.shed.load(Ordering::Relaxed));
+    gauge("panics_caught_total", stats.panics.load(Ordering::Relaxed));
+    gauge(
+        "client_errors_total",
+        stats.client_errors.load(Ordering::Relaxed),
+    );
+    gauge(
+        "server_errors_total",
+        stats.server_errors.load(Ordering::Relaxed),
+    );
+    gauge("degraded_total", stats.degraded.load(Ordering::Relaxed));
+    gauge("queue_depth", shared.queue.len() as u64);
+    gauge("cache_hits_total", shared.cache.hits());
+    gauge("cache_misses_total", shared.cache.misses());
+    gauge("cache_entries", shared.cache.len() as u64);
+    gauge("cache_bytes", shared.cache.bytes() as u64);
+    for (counter, value) in shared.metrics.counters() {
+        out.push_str(&format!(
+            "fmperf_engine_counter{{name=\"{}\"}} {value}\n",
+            counter.name()
+        ));
+    }
+    for (phase, nanos, spans) in shared.metrics.phases() {
+        out.push_str(&format!(
+            "fmperf_phase_nanos{{phase=\"{}\"}} {nanos}\n",
+            phase.name()
+        ));
+        out.push_str(&format!(
+            "fmperf_phase_spans{{phase=\"{}\"}} {spans}\n",
+            phase.name()
+        ));
+    }
+    out
+}
+
+/// Opens the request body as a model session (bounded parse + lint
+/// preflight), mapping failures to a `400`.
+fn open_session(
+    request: &Request,
+    endpoint: &str,
+    shared: &Shared,
+) -> Result<ModelSession, Response> {
+    let src = std::str::from_utf8(&request.body).map_err(|_| {
+        error_response(400, "Bad Request", endpoint, "body is not valid UTF-8", &[])
+    })?;
+    let limits = ParseLimits {
+        max_bytes: shared.config.max_body_bytes,
+        ..ParseLimits::default()
+    };
+    ModelSession::open_untrusted(src, &limits, Some(&shared.metrics)).map_err(|e| {
+        let what = match &e {
+            SessionError::Syntax(_) => "model failed to parse",
+            SessionError::Lint(_) => "model failed lint preflight",
+        };
+        error_response(400, "Bad Request", endpoint, what, &e.diagnostics())
+    })
+}
+
+/// Parses the shared analysis knobs from the query string.
+fn analyze_params(
+    request: &Request,
+    endpoint: &str,
+    shared: &Shared,
+) -> Result<AnalyzeParams, Response> {
+    let mut params = AnalyzeParams::default();
+    let bad = |name: &str, value: &str| {
+        error_response(
+            400,
+            "Bad Request",
+            endpoint,
+            &format!("bad query parameter {name}={value}"),
+            &[],
+        )
+    };
+    params.budget.deadline = Some(Duration::from_millis(shared.config.default_budget_ms));
+    for (key, value) in &request.query {
+        match key.as_str() {
+            "budget_ms" => {
+                let ms: u64 = value.parse().map_err(|_| bad(key, value))?;
+                params.budget.deadline = Some(Duration::from_millis(ms));
+            }
+            "budget_states" => {
+                params.budget.max_states = value.parse().map_err(|_| bad(key, value))?;
+            }
+            "budget_nodes" => {
+                params.budget.max_mtbdd_nodes = value.parse().map_err(|_| bad(key, value))?;
+            }
+            "budget_memo" => {
+                params.budget.max_memo_entries = value.parse().map_err(|_| bad(key, value))?;
+            }
+            "samples" => params.samples = value.parse().map_err(|_| bad(key, value))?,
+            "seed" => params.seed = value.parse().map_err(|_| bad(key, value))?,
+            "threads" => {
+                let t: usize = value.parse().map_err(|_| bad(key, value))?;
+                params.threads = t.clamp(1, 16);
+            }
+            "policy" => {
+                params.policy = match value.as_str() {
+                    "any" => KnowPolicy::AnyFailedComponent,
+                    "all" => KnowPolicy::AllFailedComponents,
+                    _ => return Err(bad(key, value)),
+                };
+            }
+            "unmonitored_known" => {
+                params.unmonitored_known = match value.as_str() {
+                    "true" | "1" => true,
+                    "false" | "0" => false,
+                    _ => return Err(bad(key, value)),
+                };
+            }
+            // Endpoint-specific keys are parsed by their endpoint.
+            _ => {}
+        }
+    }
+    Ok(params)
+}
+
+/// The `estimate` JSON object for a sampled result.
+fn estimate_json(est: &EstimateInfo) -> String {
+    let is = est.is.map_or(String::new(), |is| {
+        format!(
+            ", \"ess\": {}, \"weight_cv\": {}, \"mean_weight\": {}, \"bias\": {}, \"mixture\": {}",
+            is.ess, is.weight_cv, is.mean_weight, is.bias, is.mixture
+        )
+    });
+    format!(
+        "{{\"failed_mean\": {}, \"failed_half_width\": {}, \"batches\": {}, \
+         \"samples\": {}, \"seed\": {}{is}}}",
+        est.failed_mean, est.failed_half_width, est.batches, est.samples, est.seed
+    )
+}
+
+/// The `descents` JSON array shared by analyze responses.
+fn descents_json(descents: &[(String, String)]) -> String {
+    let rows: Vec<String> = descents
+        .iter()
+        .map(|(engine, reason)| {
+            format!(
+                "{{\"engine\": \"{}\", \"reason\": \"{}\"}}",
+                json_escape(engine),
+                json_escape(reason)
+            )
+        })
+        .collect();
+    format!("[{}]", rows.join(", "))
+}
+
+/// `POST /v1/analyze`.
+fn analyze_endpoint(request: &Request, shared: &Shared) -> Response {
+    let start = Instant::now();
+    let session = match open_session(request, "analyze", shared) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    let params = match analyze_params(request, "analyze", shared) {
+        Ok(p) => p,
+        Err(r) => return r,
+    };
+    let key = CacheKey::new(session.hash(), params.policy, params.unmonitored_known);
+    let cached = shared.cache.get(&key);
+    let outcome = match analyze_model(session.model(), &params, cached, Some(&shared.metrics)) {
+        Ok(o) => o,
+        Err(e) => return error_response(422, "Unprocessable Entity", "analyze", &e, &[]),
+    };
+    if let Some(compiled) = &outcome.compiled {
+        shared.cache.insert(key, Arc::clone(compiled));
+    }
+    if outcome.estimate.is_some() {
+        shared.stats.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+    let configurations: Vec<String> = outcome
+        .configurations
+        .iter()
+        .map(|(label, p)| {
+            format!(
+                "{{\"label\": \"{}\", \"probability\": {p}}}",
+                json_escape(label)
+            )
+        })
+        .collect();
+    let mut body = format!(
+        "{{\"schema\": \"{SCHEMA}\", \"endpoint\": \"analyze\", \"model_hash\": \"{}\", \
+         \"cache\": \"{}\", \"engine\": \"{}\", \"descents\": {}, \"failed\": {}, \
+         \"states\": {}, \"components\": {}, \"fallible\": {}, \"warnings\": {}",
+        session.hash(),
+        outcome.cache.name(),
+        json_escape(&outcome.engine),
+        descents_json(&outcome.descents),
+        outcome.failed,
+        outcome.states,
+        outcome.components,
+        outcome.fallible,
+        session.warnings(),
+    );
+    if let Some(est) = &outcome.estimate {
+        body.push_str(&format!(", \"estimate\": {}", estimate_json(est)));
+    }
+    if let Some(reward) = outcome.reward {
+        body.push_str(&format!(", \"reward\": {reward}"));
+    }
+    if let Some(err) = &outcome.reward_error {
+        body.push_str(&format!(", \"reward_error\": \"{}\"", json_escape(err)));
+    }
+    body.push_str(&format!(
+        ", \"configurations\": [{}], \"elapsed_ms\": {}}}",
+        configurations.join(", "),
+        start.elapsed().as_millis()
+    ));
+    Response::json(200, "OK", body)
+}
+
+/// `POST /v1/sweep`.
+fn sweep_endpoint(request: &Request, shared: &Shared) -> Response {
+    let start = Instant::now();
+    let session = match open_session(request, "sweep", shared) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    let analyze = match analyze_params(request, "sweep", shared) {
+        Ok(p) => p,
+        Err(r) => return r,
+    };
+    let Some(component) = request.query.get("component").cloned() else {
+        return error_response(
+            400,
+            "Bad Request",
+            "sweep",
+            "missing required query parameter `component`",
+            &[],
+        );
+    };
+    let get_f64 = |name: &str, default: f64| -> Result<f64, Response> {
+        match request.query.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| {
+                error_response(
+                    400,
+                    "Bad Request",
+                    "sweep",
+                    &format!("bad query parameter {name}={v}"),
+                    &[],
+                )
+            }),
+        }
+    };
+    let from = match get_f64("from", 0.5) {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    let to = match get_f64("to", 1.0) {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    let steps: usize = match request.query.get("steps") {
+        None => 11,
+        Some(v) => match v.parse::<usize>() {
+            Ok(s) => s.clamp(2, 10_000),
+            Err(_) => {
+                return error_response(
+                    400,
+                    "Bad Request",
+                    "sweep",
+                    &format!("bad query parameter steps={v}"),
+                    &[],
+                )
+            }
+        },
+    };
+    let params = SweepParams {
+        component,
+        from,
+        to,
+        steps,
+        analyze,
+    };
+    let key = CacheKey::new(session.hash(), analyze.policy, analyze.unmonitored_known);
+    let cached = shared.cache.get(&key);
+    let outcome = match sweep_model(session.model(), &params, cached, Some(&shared.metrics)) {
+        Ok(o) => o,
+        Err(e) => return error_response(422, "Unprocessable Entity", "sweep", &e, &[]),
+    };
+    if let Some(compiled) = &outcome.compiled {
+        shared.cache.insert(key, Arc::clone(compiled));
+    }
+    let points: Vec<String> = outcome
+        .points
+        .iter()
+        .map(|(a, f)| format!("{{\"availability\": {a}, \"failed\": {f}}}"))
+        .collect();
+    Response::json(
+        200,
+        "OK",
+        format!(
+            "{{\"schema\": \"{SCHEMA}\", \"endpoint\": \"sweep\", \"model_hash\": \"{}\", \
+             \"cache\": \"{}\", \"component\": \"{}\", \"nodes\": {}, \"points\": [{}], \
+             \"elapsed_ms\": {}}}",
+            session.hash(),
+            outcome.cache.name(),
+            json_escape(&params.component),
+            outcome.nodes,
+            points.join(", "),
+            start.elapsed().as_millis()
+        ),
+    )
+}
+
+/// `POST /v1/campaign`.
+fn campaign_endpoint(request: &Request, shared: &Shared) -> Response {
+    let start = Instant::now();
+    let session = match open_session(request, "campaign", shared) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    let analyze = match analyze_params(request, "campaign", shared) {
+        Ok(p) => p,
+        Err(r) => return r,
+    };
+    let pairwise = matches!(
+        request.query.get("pairwise").map(String::as_str),
+        Some("true" | "1")
+    );
+    let params = CampaignParams { pairwise, analyze };
+    let outcome = match campaign_model(session.model(), &params, Some(&shared.metrics)) {
+        Ok(o) => o,
+        Err(e) => return error_response(422, "Unprocessable Entity", "campaign", &e, &[]),
+    };
+    let scenarios: Vec<String> = outcome
+        .scenarios
+        .iter()
+        .map(|s| match &s.result {
+            Ok((engine, failed, coverage_loss)) => format!(
+                "{{\"label\": \"{}\", \"ok\": true, \"engine\": \"{}\", \"failed\": {failed}, \
+                 \"coverage_loss\": {coverage_loss}}}",
+                json_escape(&s.label),
+                json_escape(engine)
+            ),
+            Err(e) => format!(
+                "{{\"label\": \"{}\", \"ok\": false, \"error\": \"{}\"}}",
+                json_escape(&s.label),
+                json_escape(e)
+            ),
+        })
+        .collect();
+    Response::json(
+        200,
+        "OK",
+        format!(
+            "{{\"schema\": \"{SCHEMA}\", \"endpoint\": \"campaign\", \"model_hash\": \"{}\", \
+             \"cache\": \"{}\", \"baseline\": {{\"engine\": \"{}\", \"failed\": {}}}, \
+             \"scenarios\": [{}], \"elapsed_ms\": {}}}",
+            session.hash(),
+            CacheStatus::Bypass.name(),
+            json_escape(&outcome.baseline_engine),
+            outcome.baseline_failed,
+            scenarios.join(", "),
+            start.elapsed().as_millis()
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+
+    const MODEL: &str = "processor pc cores inf\nprocessor p1 fail 0.1\n\
+        users u on pc population 5 think 1.0\ntask s on p1 fail 0.1\n\
+        entry eu of u\nentry es of s demand 0.2\ncall eu -> es\nreward u 1.0\n";
+
+    fn start_test_server(threads: usize, queue_depth: usize) -> ServerHandle {
+        Server::start(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            threads,
+            queue_depth,
+            test_routes: true,
+            ..ServeConfig::default()
+        })
+        .expect("bind")
+    }
+
+    fn send(addr: std::net::SocketAddr, raw: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(raw.as_bytes()).expect("write");
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("read");
+        out
+    }
+
+    fn post(addr: std::net::SocketAddr, target: &str, body: &str) -> String {
+        send(
+            addr,
+            &format!(
+                "POST {target} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            ),
+        )
+    }
+
+    #[test]
+    fn healthz_and_analyze_roundtrip() {
+        let server = start_test_server(2, 8);
+        let addr = server.local_addr();
+        let health = send(addr, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(health.starts_with("HTTP/1.1 200"), "{health}");
+        let reply = post(addr, "/v1/analyze", MODEL);
+        assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+        assert!(reply.contains("\"model_hash\": \"sha256:"), "{reply}");
+        assert!(reply.contains("\"cache\": \"miss\""), "{reply}");
+        // Second request with the same model is a cache hit.
+        let again = post(addr, "/v1/analyze", MODEL);
+        assert!(again.contains("\"cache\": \"hit\""), "{again}");
+        let report = server.shutdown();
+        assert_eq!(report.worker_panics, 0);
+        assert!(report.served >= 3);
+    }
+
+    #[test]
+    fn bad_model_is_400_with_diagnostics() {
+        let server = start_test_server(1, 8);
+        let reply = post(server.local_addr(), "/v1/analyze", "bogus line\nanother\n");
+        assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+        assert!(reply.contains("\"diagnostics\""), "{reply}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn panic_route_answers_500_and_pool_survives() {
+        let server = start_test_server(1, 8);
+        let addr = server.local_addr();
+        let reply = send(addr, "GET /v1/test/panic HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 500"), "{reply}");
+        // The single worker survived and still answers.
+        let health = send(addr, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(health.starts_with("HTTP/1.1 200"), "{health}");
+        let report = server.shutdown();
+        assert_eq!(report.panics_caught, 1);
+        assert_eq!(report.worker_panics, 0);
+    }
+
+    #[test]
+    fn metrics_exposes_counters() {
+        let server = start_test_server(1, 8);
+        let addr = server.local_addr();
+        post(addr, "/v1/analyze", MODEL);
+        let metrics = send(addr, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(metrics.contains("fmperf_requests_total"), "{metrics}");
+        assert!(metrics.contains("fmperf_cache_misses_total"), "{metrics}");
+        assert!(
+            metrics.contains("fmperf_phase_nanos{phase=\"parse\"}"),
+            "{metrics}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn quitquitquit_drains() {
+        let server = start_test_server(2, 8);
+        let addr = server.local_addr();
+        let reply = send(addr, "POST /quitquitquit HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+        let report = server.wait();
+        assert_eq!(report.worker_panics, 0);
+    }
+
+    #[test]
+    fn unknown_endpoint_is_404() {
+        let server = start_test_server(1, 4);
+        let reply = send(server.local_addr(), "GET /nope HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 404"), "{reply}");
+        server.shutdown();
+    }
+}

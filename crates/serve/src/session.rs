@@ -1,0 +1,238 @@
+//! The shared model session: one parsed, linted, content-addressed
+//! model — the pipeline stage the CLI and the daemon have in common.
+//!
+//! A session is source text taken through parse → lint preflight, plus
+//! the model's stable content hash.  The hash is computed over the
+//! *canonical* serialization ([`fmperf_text::write_model`]), so two
+//! sources differing only in whitespace, comments or option order map
+//! to the same cache key and the same `model_hash` in reports.
+
+use crate::hash::sha256_hex;
+use fmperf_ftlqn::{FtTaskId, FtlqnModel};
+use fmperf_lint::{Diagnostic, Severity};
+use fmperf_mama::MamaModel;
+use fmperf_obs::{Phase, Recorder, Span};
+use fmperf_text::{
+    parse_bounded, parse_lenient, write_model, ParseError, ParseLimits, ParsedModel,
+};
+
+/// The stable content hash of a model: `sha256:` over the canonical
+/// [`write_model`] serialization (whitespace- and comment-insensitive).
+pub fn model_content_hash(
+    app: &FtlqnModel,
+    mama: &MamaModel,
+    rewards: &[(FtTaskId, f64)],
+) -> String {
+    format!(
+        "sha256:{}",
+        sha256_hex(write_model(app, mama, rewards).as_bytes())
+    )
+}
+
+/// Why a source text failed to become a [`ModelSession`].
+#[derive(Debug)]
+pub enum SessionError {
+    /// Syntax or unresolved-reference errors (possibly several, from
+    /// the bounded parser's error budget).
+    Syntax(Vec<ParseError>),
+    /// The model parsed but lint preflight found error-level
+    /// diagnostics; all diagnostics (any severity) are included.
+    Lint(Vec<Diagnostic>),
+}
+
+impl SessionError {
+    /// Every problem as a `(line, message)` pair, for rendering.
+    pub fn diagnostics(&self) -> Vec<(usize, String)> {
+        match self {
+            SessionError::Syntax(errs) => {
+                errs.iter().map(|e| (e.line, e.message.clone())).collect()
+            }
+            SessionError::Lint(diags) => diags
+                .iter()
+                .filter(|d| d.severity == Severity::Error)
+                .map(|d| (d.line.unwrap_or(0), format!("{}: {}", d.code, d.message)))
+                .collect(),
+        }
+    }
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, (line, msg)) in self.diagnostics().iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            if *line == 0 {
+                write!(f, "{msg}")?;
+            } else {
+                write!(f, "line {line}: {msg}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// A parsed, lint-checked, content-addressed model ready for analysis.
+#[derive(Debug, Clone)]
+pub struct ModelSession {
+    model: ParsedModel,
+    hash: String,
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl ModelSession {
+    /// Opens a session from trusted source text (CLI path): plain
+    /// [`parse_lenient`], failing hard on the first syntax error.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Syntax`] on a parse failure,
+    /// [`SessionError::Lint`] when preflight finds error-level
+    /// diagnostics.
+    pub fn open(src: &str) -> Result<ModelSession, SessionError> {
+        Self::open_observed(src, None)
+    }
+
+    /// [`open`](ModelSession::open) with parse / lint-preflight phases
+    /// recorded on `recorder`.
+    ///
+    /// # Errors
+    ///
+    /// See [`open`](ModelSession::open).
+    pub fn open_observed(
+        src: &str,
+        recorder: Option<&dyn Recorder>,
+    ) -> Result<ModelSession, SessionError> {
+        let lenient = {
+            let _s = Span::enter(recorder, Phase::Parse);
+            parse_lenient(src).map_err(|e| SessionError::Syntax(vec![e]))?
+        };
+        Self::finish(lenient, recorder)
+    }
+
+    /// Opens a session from *untrusted* source text (network path):
+    /// size caps and an error budget via
+    /// [`parse_bounded`], so a hostile body yields a bounded diagnostic
+    /// list instead of unbounded memory or a panic.
+    ///
+    /// # Errors
+    ///
+    /// See [`open`](ModelSession::open); `Syntax` may carry several
+    /// collected errors.
+    pub fn open_untrusted(
+        src: &str,
+        limits: &ParseLimits,
+        recorder: Option<&dyn Recorder>,
+    ) -> Result<ModelSession, SessionError> {
+        let lenient = {
+            let _s = Span::enter(recorder, Phase::Parse);
+            parse_bounded(src, limits).map_err(SessionError::Syntax)?
+        };
+        Self::finish(lenient, recorder)
+    }
+
+    fn finish(
+        lenient: fmperf_text::LenientParse,
+        recorder: Option<&dyn Recorder>,
+    ) -> Result<ModelSession, SessionError> {
+        let diagnostics = {
+            let _s = Span::enter(recorder, Phase::LintPreflight);
+            fmperf_lint::lint(&lenient)
+        };
+        if fmperf_lint::count(&diagnostics, Severity::Error) > 0 {
+            return Err(SessionError::Lint(diagnostics));
+        }
+        let model = lenient.model;
+        let hash = model_content_hash(&model.app, &model.mama, &model.rewards);
+        Ok(ModelSession {
+            model,
+            hash,
+            diagnostics,
+        })
+    }
+
+    /// The parsed model.
+    pub fn model(&self) -> &ParsedModel {
+        &self.model
+    }
+
+    /// The stable content hash (`sha256:<hex>` over the canonical
+    /// serialization) — the cache key and the `model_hash` report
+    /// field.
+    pub fn hash(&self) -> &str {
+        &self.hash
+    }
+
+    /// Every lint diagnostic from preflight (warnings and notes; a
+    /// session with error-level diagnostics never opens).
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Number of warning-level preflight diagnostics.
+    pub fn warnings(&self) -> usize {
+        fmperf_lint::count(&self.diagnostics, Severity::Warning)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MODEL: &str = "processor pc cores inf\nprocessor p1 fail 0.1\n\
+        users u on pc population 5 think 1.0\ntask s on p1 fail 0.1\n\
+        entry eu of u\nentry es of s demand 0.2\ncall eu -> es\nreward u 1.0\n";
+
+    #[test]
+    fn open_produces_stable_hash() {
+        let a = ModelSession::open(MODEL).unwrap();
+        // Same model, different whitespace and comments.
+        let noisy = format!("# a comment\n\n{}", MODEL.replace(' ', "  "));
+        let b = ModelSession::open(&noisy).unwrap();
+        assert_eq!(a.hash(), b.hash());
+        assert!(a.hash().starts_with("sha256:"), "{}", a.hash());
+        assert_eq!(a.hash().len(), "sha256:".len() + 64);
+    }
+
+    #[test]
+    fn different_models_hash_differently() {
+        let a = ModelSession::open(MODEL).unwrap();
+        let b = ModelSession::open(&MODEL.replace("fail 0.1", "fail 0.2")).unwrap();
+        assert_ne!(a.hash(), b.hash());
+    }
+
+    #[test]
+    fn syntax_error_reported() {
+        let err = ModelSession::open("frobnicate\n").unwrap_err();
+        match err {
+            SessionError::Syntax(errs) => assert_eq!(errs.len(), 1),
+            other => panic!("expected syntax error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn untrusted_collects_errors() {
+        let err = ModelSession::open_untrusted(
+            "processor p\nbogus a\nbogus b\n",
+            &ParseLimits::default(),
+            None,
+        )
+        .unwrap_err();
+        match err {
+            SessionError::Syntax(errs) => assert_eq!(errs.len(), 2),
+            other => panic!("expected syntax errors, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn untrusted_rejects_oversized() {
+        let limits = ParseLimits {
+            max_bytes: 8,
+            ..ParseLimits::default()
+        };
+        let err = ModelSession::open_untrusted(MODEL, &limits, None).unwrap_err();
+        assert!(err.to_string().contains("too large"), "{err}");
+    }
+}

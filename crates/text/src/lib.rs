@@ -46,5 +46,8 @@
 mod parser;
 mod writer;
 
-pub use parser::{parse, parse_lenient, LenientParse, ParseError, ParsedModel, SourceMap};
+pub use parser::{
+    parse, parse_bounded, parse_lenient, LenientParse, ParseError, ParseLimits, ParsedModel,
+    SourceMap,
+};
 pub use writer::write_model;

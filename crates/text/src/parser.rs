@@ -242,6 +242,116 @@ pub fn parse_lenient(src: &str) -> Result<LenientParse, ParseError> {
     })
 }
 
+/// Resource bounds for parsing untrusted input (see [`parse_bounded`]).
+///
+/// The defaults are sized for network request bodies: a model source
+/// over a megabyte or 65 536 lines is rejected outright, and syntax
+/// errors are collected up to a budget of 32 before the parser gives
+/// up — enough to report every mistake in a hand-edited model without
+/// letting a hostile input make the error list itself unbounded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Maximum accepted source length in bytes.
+    pub max_bytes: usize,
+    /// Maximum accepted number of source lines.
+    pub max_lines: usize,
+    /// Maximum syntax errors collected before parsing stops.
+    pub max_errors: usize,
+}
+
+impl Default for ParseLimits {
+    fn default() -> ParseLimits {
+        ParseLimits {
+            max_bytes: 1 << 20,
+            max_lines: 1 << 16,
+            max_errors: 32,
+        }
+    }
+}
+
+/// [`parse_lenient`] hardened for untrusted input: enforces
+/// [`ParseLimits`] and *collects* syntax errors (skipping the offending
+/// line and continuing) instead of failing on the first one.
+///
+/// Statements after a bad line may report cascading
+/// unresolved-reference errors (a failed `processor` line makes every
+/// task on it unknown); the error budget bounds the fallout.  Because a
+/// line with a syntax error contributes nothing to the model, a
+/// non-empty error list means the model is incomplete and the `Ok`
+/// variant is withheld.
+///
+/// # Errors
+///
+/// Returns every collected syntax/reference error (at most
+/// `max_errors + 1`: the budget plus a final note that it was
+/// exhausted), or a single size-limit error for oversized input.
+pub fn parse_bounded(src: &str, limits: &ParseLimits) -> Result<LenientParse, Vec<ParseError>> {
+    if src.len() > limits.max_bytes {
+        return Err(vec![ParseError {
+            line: 0,
+            message: format!(
+                "input too large: {} bytes (limit {})",
+                src.len(),
+                limits.max_bytes
+            ),
+        }]);
+    }
+    let mut ctx = Ctx {
+        model: ParsedModel {
+            app: FtlqnModel::new(),
+            mama: MamaModel::new(),
+            rewards: Vec::new(),
+            spans: SourceMap::default(),
+            tasks: BTreeMap::new(),
+            entries: BTreeMap::new(),
+            services: BTreeMap::new(),
+            procs: BTreeMap::new(),
+            links: BTreeMap::new(),
+        },
+        mama_comps: BTreeMap::new(),
+        conn_counter: 0,
+    };
+    let mut errors: Vec<ParseError> = Vec::new();
+    for (ix, raw) in src.lines().enumerate() {
+        let line_no = ix + 1;
+        if line_no > limits.max_lines {
+            errors.push(ParseError {
+                line: line_no,
+                message: format!("too many lines (limit {})", limits.max_lines),
+            });
+            break;
+        }
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        if let Err(e) = statement(&mut ctx, line_no, &tokens) {
+            errors.push(e);
+            if errors.len() >= limits.max_errors {
+                errors.push(ParseError {
+                    line: line_no,
+                    message: format!(
+                        "error budget exhausted after {} error(s); giving up",
+                        limits.max_errors
+                    ),
+                });
+                break;
+            }
+        }
+    }
+    if !errors.is_empty() {
+        return Err(errors);
+    }
+    let app_errors = ctx.model.app.validate_all();
+    let mama_errors = ctx.model.mama.validate_all(&ctx.model.app);
+    Ok(LenientParse {
+        model: ctx.model,
+        app_errors,
+        mama_errors,
+    })
+}
+
 fn statement(ctx: &mut Ctx, line: usize, t: &[&str]) -> Result<(), ParseError> {
     match t[0] {
         "processor" => processor(ctx, line, t),
@@ -765,6 +875,61 @@ mod tests {
                    call eu -> es via net\n";
         let m = parse(src).unwrap();
         assert_eq!(m.app.link_count(), 1);
+    }
+
+    #[test]
+    fn bounded_rejects_oversized_input() {
+        let limits = ParseLimits {
+            max_bytes: 16,
+            ..ParseLimits::default()
+        };
+        let errs = parse_bounded("processor p\nprocessor q\n", &limits).unwrap_err();
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].message.contains("too large"), "{errs:?}");
+    }
+
+    #[test]
+    fn bounded_rejects_too_many_lines() {
+        let limits = ParseLimits {
+            max_lines: 2,
+            ..ParseLimits::default()
+        };
+        let errs = parse_bounded("processor a\nprocessor b\nprocessor c\n", &limits).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("too many lines")));
+    }
+
+    #[test]
+    fn bounded_collects_multiple_syntax_errors() {
+        let src = "processor p\nfrobnicate x\nusers u on p\nwibble y\nentry e of u\n";
+        let errs = parse_bounded(src, &ParseLimits::default()).unwrap_err();
+        assert_eq!(errs.len(), 2, "{errs:?}");
+        assert_eq!(errs[0].line, 2);
+        assert_eq!(errs[1].line, 4);
+    }
+
+    #[test]
+    fn bounded_error_budget_stops_collection() {
+        let hostile: String = (0..100).map(|i| format!("bogus{i}\n")).collect();
+        let limits = ParseLimits {
+            max_errors: 5,
+            ..ParseLimits::default()
+        };
+        let errs = parse_bounded(&hostile, &limits).unwrap_err();
+        // Budget of 5 plus the final exhaustion note.
+        assert_eq!(errs.len(), 6, "{errs:?}");
+        assert!(errs.last().unwrap().message.contains("budget exhausted"));
+    }
+
+    #[test]
+    fn bounded_matches_lenient_on_clean_input() {
+        let bounded = parse_bounded(MINIMAL, &ParseLimits::default()).unwrap();
+        let lenient = parse_lenient(MINIMAL).unwrap();
+        assert_eq!(
+            bounded.model.app.task_count(),
+            lenient.model.app.task_count()
+        );
+        assert!(bounded.app_errors.is_empty());
+        assert!(bounded.mama_errors.is_empty());
     }
 
     #[test]

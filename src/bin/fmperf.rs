@@ -46,6 +46,7 @@ use fmperf::ftlqn::{FaultGraph, KnowPolicy};
 use fmperf::lint::Severity;
 use fmperf::mama::{ComponentSpace, KnowTable, KnowledgeGraph};
 use fmperf::obs::{MetricsRecorder, Phase, Recorder, Span, TeeRecorder, TraceRecorder};
+use fmperf::serve::{ModelSession, ServeConfig, Server, SessionError};
 use fmperf::text::{parse, parse_lenient, write_model, LenientParse, ParsedModel};
 use std::io::IsTerminal;
 use std::process::ExitCode;
@@ -71,6 +72,9 @@ const USAGE: &str = "usage:
   fmperf profile  <model.fmp> [--samples N] [--seed N] [--threads N] [--json]
                               [--policy any|all] [--unmonitored-known]
                               [--trace-out PATH]
+  fmperf serve    [--addr HOST:PORT] [--threads N] [--cache-mb N]
+                              [--default-budget-ms N] [--queue-depth N]
+                              [--max-body-bytes N]
   fmperf audit    <model.fmp> [--json] [--max-order N] [--verify]
                               [--policy any|all] [--unmonitored-known]
   fmperf lint     <model.fmp> [--format text|json] [--json] [--deny warnings]
@@ -98,6 +102,13 @@ management edges from the compiled Boolean structure (up to
 dynamically and fails on any unconfirmed claim.  `--lint-threshold`
 overrides a configurable rule threshold (FM201, FM203, FM204, FM205, FM304),
 e.g. `--lint-threshold FM201=1048576`.
+
+`serve` runs the analysis pipelines as a crash-tolerant HTTP daemon:
+POST a model body to /v1/analyze, /v1/sweep?component=NAME or
+/v1/campaign (budget/sampling knobs as query parameters), scrape
+/metrics, probe /healthz and /readyz, and POST /quitquitquit to drain.
+Saturation answers 503 with Retry-After; per-request deadlines degrade
+through the guarded ladder instead of hanging.
 
 `--metrics` prints per-phase timings and engine counters after the run
 (to stderr under --json); `--metrics-json` writes the same data as
@@ -461,6 +472,22 @@ fn load_lenient(path: &str) -> Result<LenientParse, String> {
     parse_lenient(&src).map_err(|e| format!("{path}: {e}"))
 }
 
+/// Opens the shared CLI/daemon model session for `path`: read, parse
+/// and lint-preflight in one step (the same pipeline `fmperf serve`
+/// runs per request), yielding the parsed model, its preflight
+/// diagnostics and its stable content hash.
+fn open_session(path: &str, recorder: Option<&dyn Recorder>) -> Result<ModelSession, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    ModelSession::open_observed(&src, recorder).map_err(|e| match e {
+        SessionError::Syntax(errs) => errs
+            .iter()
+            .map(|pe| format!("{path}: {pe}"))
+            .collect::<Vec<_>>()
+            .join("\n"),
+        SessionError::Lint(diags) => fmperf::lint::render_text(path, &diags),
+    })
+}
+
 /// Accepts `--deny warnings`; anything else is an error.
 fn parse_deny(value: Option<&str>) -> Result<(), String> {
     match value {
@@ -566,18 +593,8 @@ fn run(args: &[String]) -> Result<String, String> {
                 if opts.obs.enabled() { Some(&tee) } else { None };
             // Pre-flight: refuse models with lint errors, mention
             // warnings without blocking on them.
-            let parsed = {
-                let _s = Span::enter(recorder, Phase::Parse);
-                load_lenient(path)?
-            };
-            let diags = {
-                let _s = Span::enter(recorder, Phase::LintPreflight);
-                fmperf::lint::lint(&parsed)
-            };
-            if fmperf::lint::count(&diags, Severity::Error) > 0 {
-                return Err(fmperf::lint::render_text(path, &diags));
-            }
-            let warns = fmperf::lint::count(&diags, Severity::Warning);
+            let session = open_session(path, recorder)?;
+            let warns = session.warnings();
             // The warning banner would corrupt machine-readable output.
             let header = if warns > 0 && !opts.json {
                 format!("lint: {warns} warning(s); run `fmperf lint {path}` for details\n\n")
@@ -585,7 +602,7 @@ fn run(args: &[String]) -> Result<String, String> {
                 String::new()
             };
             let mut prov = Provenance::default();
-            let body = analyze(&parsed.model, &opts, recorder, &mut prov)?;
+            let body = analyze(session.model(), session.hash(), &opts, recorder, &mut prov)?;
             let extra = emit_obs(
                 &opts.obs, "analyze", path, &prov, &metrics, &trace, opts.json,
             )?;
@@ -647,19 +664,9 @@ fn run(args: &[String]) -> Result<String, String> {
             let tee = TeeRecorder::new(&metrics, &trace);
             let recorder: Option<&dyn Recorder> =
                 if opts.obs.enabled() { Some(&tee) } else { None };
-            let parsed = {
-                let _s = Span::enter(recorder, Phase::Parse);
-                load_lenient(path)?
-            };
-            let diags = {
-                let _s = Span::enter(recorder, Phase::LintPreflight);
-                fmperf::lint::lint(&parsed)
-            };
-            if fmperf::lint::count(&diags, Severity::Error) > 0 {
-                return Err(fmperf::lint::render_text(path, &diags));
-            }
+            let session = open_session(path, recorder)?;
             let mut prov = Provenance::default();
-            let body = campaign_cmd(&parsed.model, &opts, recorder, &mut prov)?;
+            let body = campaign_cmd(session.model(), &opts, recorder, &mut prov)?;
             let extra = emit_obs(
                 &opts.obs, "campaign", path, &prov, &metrics, &trace, opts.json,
             )?;
@@ -730,19 +737,9 @@ fn run(args: &[String]) -> Result<String, String> {
             let tee = TeeRecorder::new(&metrics, &trace);
             let recorder: Option<&dyn Recorder> =
                 if opts.obs.enabled() { Some(&tee) } else { None };
-            let parsed = {
-                let _s = Span::enter(recorder, Phase::Parse);
-                load_lenient(path)?
-            };
-            let diags = {
-                let _s = Span::enter(recorder, Phase::LintPreflight);
-                fmperf::lint::lint(&parsed)
-            };
-            if fmperf::lint::count(&diags, Severity::Error) > 0 {
-                return Err(fmperf::lint::render_text(path, &diags));
-            }
+            let session = open_session(path, recorder)?;
             let mut prov = Provenance::default();
-            let body = sweep_cmd(&parsed.model, &opts, recorder, &mut prov)?;
+            let body = sweep_cmd(session.model(), &opts, recorder, &mut prov)?;
             let extra = emit_obs(&opts.obs, "sweep", path, &prov, &metrics, &trace, opts.json)?;
             Ok(body + &extra)
         }
@@ -800,18 +797,67 @@ fn run(args: &[String]) -> Result<String, String> {
             let setup = MetricsRecorder::new();
             let setup_tee = TeeRecorder::new(&setup, &trace);
             let setup_rec: Option<&dyn Recorder> = Some(&setup_tee);
-            let parsed = {
-                let _s = Span::enter(setup_rec, Phase::Parse);
-                load_lenient(path)?
-            };
-            let diags = {
-                let _s = Span::enter(setup_rec, Phase::LintPreflight);
-                fmperf::lint::lint(&parsed)
-            };
-            if fmperf::lint::count(&diags, Severity::Error) > 0 {
-                return Err(fmperf::lint::render_text(path, &diags));
+            let session = open_session(path, setup_rec)?;
+            profile_cmd(session.model(), path, &opts, setup_rec, &setup, &trace)
+        }
+        Some("serve") => {
+            let mut config = ServeConfig::default();
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--addr" => {
+                        config.addr = it.next().ok_or("--addr needs a value")?.into();
+                    }
+                    "--threads" => {
+                        config.threads = it
+                            .next()
+                            .ok_or("--threads needs a value")?
+                            .parse()
+                            .map_err(|_| "bad --threads value")?;
+                    }
+                    "--cache-mb" => {
+                        config.cache_mb = it
+                            .next()
+                            .ok_or("--cache-mb needs a value")?
+                            .parse()
+                            .map_err(|_| "bad --cache-mb value")?;
+                    }
+                    "--default-budget-ms" => {
+                        config.default_budget_ms = it
+                            .next()
+                            .ok_or("--default-budget-ms needs a value")?
+                            .parse()
+                            .map_err(|_| "bad --default-budget-ms value")?;
+                    }
+                    "--queue-depth" => {
+                        config.queue_depth = it
+                            .next()
+                            .ok_or("--queue-depth needs a value")?
+                            .parse()
+                            .map_err(|_| "bad --queue-depth value")?;
+                    }
+                    "--max-body-bytes" => {
+                        config.max_body_bytes = it
+                            .next()
+                            .ok_or("--max-body-bytes needs a value")?
+                            .parse()
+                            .map_err(|_| "bad --max-body-bytes value")?;
+                    }
+                    "--test-routes" => config.test_routes = true,
+                    other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+                }
             }
-            profile_cmd(&parsed.model, path, &opts, setup_rec, &setup, &trace)
+            let (threads, cache_mb) = (config.threads, config.cache_mb);
+            let handle = Server::start(config).map_err(|e| format!("cannot start server: {e}"))?;
+            eprintln!(
+                "fmperf serve: listening on {} ({threads} worker(s), {cache_mb} MiB cache); \
+                 POST /quitquitquit to drain",
+                handle.local_addr()
+            );
+            let report = handle.wait();
+            Ok(format!(
+                "drained: {} request(s) served, {} shed, {} panic(s) caught\n",
+                report.served, report.shed, report.panics_caught
+            ))
         }
         Some("audit") => {
             let path = it.next().ok_or(USAGE)?;
@@ -1182,6 +1228,7 @@ fn render_audit_text(
 
 fn analyze(
     m: &ParsedModel,
+    model_hash: &str,
     opts: &AnalyzeOptions,
     recorder: Option<&dyn Recorder>,
     prov: &mut Provenance,
@@ -1277,6 +1324,7 @@ fn analyze(
     if opts.json {
         let mut out = String::from("{\n");
         out.push_str("  \"schema\": \"fmperf-analysis-v1\",\n");
+        out.push_str(&format!("  \"model_hash\": \"{model_hash}\",\n"));
         out.push_str(&format!(
             "  \"engine\": \"{}\",\n",
             produced.unwrap_or(opts.engine.as_str())
@@ -2006,6 +2054,15 @@ mod tests {
         let out = with_model(|p| run(&["analyze".into(), p.into()])).unwrap();
         assert!(out.contains("expected steady-state reward rate"));
         assert!(out.contains("configurations:"));
+    }
+
+    #[test]
+    fn analyze_json_reports_model_hash() {
+        let out = with_model(|p| run(&["analyze".into(), p.into(), "--json".into()])).unwrap();
+        assert!(out.contains("\"model_hash\": \"sha256:"), "{out}");
+        // The hash matches what the serve cache would key on.
+        let expected = fmperf::serve::ModelSession::open(MODEL).unwrap();
+        assert!(out.contains(expected.hash()), "{out}");
     }
 
     #[test]

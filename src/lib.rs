@@ -16,6 +16,7 @@
 //! * [`obs`] — engine instrumentation: counters, spans, trace export.
 //! * [`text`] — the textual model format (parser and writer).
 //! * [`lint`] — static-analysis passes over parsed models.
+//! * [`serve`] — the crash-tolerant analysis daemon (`fmperf serve`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,5 +29,6 @@ pub use fmperf_lint as lint;
 pub use fmperf_lqn as lqn;
 pub use fmperf_mama as mama;
 pub use fmperf_obs as obs;
+pub use fmperf_serve as serve;
 pub use fmperf_sim as sim;
 pub use fmperf_text as text;

@@ -1,0 +1,226 @@
+//! Concurrent soak test for the `fmperf serve` daemon.
+//!
+//! Eight client threads hammer one live server with a mix of valid,
+//! invalid and deadline-starved requests (plus fault injections via the
+//! test routes) and assert the crash-tolerance contract end to end:
+//!
+//! * every connection is answered — none dropped, none hung;
+//! * deliberately panicking requests answer `500` and the pool keeps
+//!   serving (zero poisoned workers at drain);
+//! * every deadline-starved request degrades to a sampling engine and
+//!   reports a confidence interval;
+//! * repeated analyses of the same model hit the compiled-model cache;
+//! * a saturated single-worker server sheds with `503 Retry-After`.
+
+use fmperf::serve::{ServeConfig, Server, ServerHandle};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const MODEL: &str = "processor pc cores inf\nprocessor p1 fail 0.1\n\
+    users u on pc population 5 think 1.0\ntask s on p1 fail 0.1\n\
+    entry eu of u\nentry es of s demand 0.2\ncall eu -> es\n\
+    mgmtproc pm fail 0.05\nmanager mgr on pm fail 0.05\n\
+    watch alive s -> mgr\nwatch alive p1 -> mgr\nreward u 1.0\n";
+
+fn start(threads: usize, queue_depth: usize) -> ServerHandle {
+    Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        threads,
+        queue_depth,
+        test_routes: true,
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral port")
+}
+
+/// One raw HTTP exchange; panics (failing the test) if the connection
+/// is refused or closed without a complete response.
+fn send(addr: SocketAddr, raw: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream.write_all(raw.as_bytes()).expect("write request");
+    let mut out = String::new();
+    stream.read_to_string(&mut out).expect("read response");
+    assert!(out.starts_with("HTTP/1.1 "), "incomplete response: {out:?}");
+    out
+}
+
+fn post(addr: SocketAddr, target: &str, body: &str) -> String {
+    send(
+        addr,
+        &format!(
+            "POST {target} HTTP/1.1\r\nHost: soak\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+fn status_of(response: &str) -> u16 {
+    response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line")
+}
+
+#[test]
+fn mixed_load_soak() {
+    let server = start(4, 32);
+    let addr = server.local_addr();
+    let answered = Arc::new(AtomicU64::new(0));
+
+    const CLIENTS: usize = 8;
+    const ROUNDS: usize = 6;
+    let mut handles = Vec::new();
+    for client in 0..CLIENTS {
+        let answered = Arc::clone(&answered);
+        handles.push(std::thread::spawn(move || {
+            for round in 0..ROUNDS {
+                match (client + round) % 4 {
+                    // Valid analysis; after the very first compile every
+                    // one of these is a cache hit.
+                    0 => {
+                        let reply = post(addr, "/v1/analyze", MODEL);
+                        assert_eq!(status_of(&reply), 200, "{reply}");
+                        assert!(reply.contains("\"model_hash\": \"sha256:"), "{reply}");
+                        assert!(
+                            reply.contains("\"cache\": \"hit\"")
+                                || reply.contains("\"cache\": \"miss\""),
+                            "{reply}"
+                        );
+                    }
+                    // Hostile garbage: bounded diagnostics, never a 5xx.
+                    1 => {
+                        let reply = post(addr, "/v1/analyze", "bogus\nnonsense line\n");
+                        assert_eq!(status_of(&reply), 400, "{reply}");
+                        assert!(reply.contains("\"diagnostics\""), "{reply}");
+                    }
+                    // Deadline-starved: every exact rung refused via the
+                    // caps, so the answer must be a sampled engine with
+                    // a finite confidence interval.  `policy=all` keys
+                    // these apart from the healthy requests' cache
+                    // entry (a cache hit would rightly beat degrading).
+                    2 => {
+                        let reply = post(
+                            addr,
+                            "/v1/analyze?budget_ms=40&budget_states=1&budget_nodes=1\
+                             &budget_memo=1&samples=2000&policy=all",
+                            MODEL,
+                        );
+                        assert_eq!(status_of(&reply), 200, "{reply}");
+                        assert!(
+                            reply.contains("\"engine\": \"monte-carlo\"")
+                                || reply.contains("\"engine\": \"importance-sampling\""),
+                            "starved request must degrade: {reply}"
+                        );
+                        assert!(reply.contains("\"estimate\""), "{reply}");
+                        assert!(reply.contains("\"failed_half_width\""), "{reply}");
+                        assert!(reply.contains("\"descents\""), "{reply}");
+                    }
+                    // Fault injection: the handler panics, the request
+                    // answers 500, and the pool survives.
+                    _ => {
+                        let reply =
+                            send(addr, "POST /v1/test/panic HTTP/1.1\r\nHost: soak\r\n\r\n");
+                        assert_eq!(status_of(&reply), 500, "{reply}");
+                    }
+                }
+                answered.fetch_add(1, Ordering::Relaxed);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    assert_eq!(
+        answered.load(Ordering::Relaxed),
+        (CLIENTS * ROUNDS) as u64,
+        "every request answered"
+    );
+
+    // The pool still serves after a dozen injected panics.
+    let health = send(addr, "GET /healthz HTTP/1.1\r\nHost: soak\r\n\r\n");
+    assert_eq!(status_of(&health), 200);
+    let reply = post(addr, "/v1/analyze", MODEL);
+    assert!(reply.contains("\"cache\": \"hit\""), "{reply}");
+
+    let report = server.shutdown();
+    assert_eq!(report.worker_panics, 0, "no worker escaped isolation");
+    assert!(report.panics_caught >= (CLIENTS * ROUNDS / 4) as u64);
+    assert!(report.served >= (CLIENTS * ROUNDS) as u64);
+}
+
+#[test]
+fn saturation_sheds_with_retry_after() {
+    // One worker, a one-slot queue, and a request that parks the worker:
+    // concurrent clients must see 503 + Retry-After, not hangs.
+    let server = start(1, 1);
+    let addr = server.local_addr();
+
+    let sleeper = std::thread::spawn(move || {
+        send(
+            addr,
+            "GET /v1/test/sleep?ms=1500 HTTP/1.1\r\nHost: soak\r\n\r\n",
+        )
+    });
+    // Let the sleeper occupy the worker before flooding.
+    std::thread::sleep(Duration::from_millis(300));
+
+    let mut sheds = 0;
+    let mut answered = 0;
+    let mut flooders = Vec::new();
+    for _ in 0..8 {
+        flooders.push(std::thread::spawn(move || {
+            send(addr, "GET /healthz HTTP/1.1\r\nHost: soak\r\n\r\n")
+        }));
+    }
+    for f in flooders {
+        let reply = f.join().expect("flooder thread");
+        answered += 1;
+        if status_of(&reply) == 503 {
+            assert!(
+                reply.to_ascii_lowercase().contains("retry-after: 1"),
+                "shed response carries Retry-After: {reply}"
+            );
+            sheds += 1;
+        }
+    }
+    assert_eq!(answered, 8, "every flooded connection answered");
+    assert!(sheds >= 1, "saturation must shed at least one request");
+
+    assert_eq!(status_of(&sleeper.join().unwrap()), 200);
+    let report = server.shutdown();
+    assert_eq!(report.worker_panics, 0);
+    assert!(report.shed >= sheds as u64);
+}
+
+#[test]
+fn drain_completes_inflight_work() {
+    let server = start(2, 8);
+    let addr = server.local_addr();
+
+    // Park a request, then ask the daemon to drain while it is still
+    // in flight; the sleeper must complete, not be dropped.
+    let sleeper = std::thread::spawn(move || {
+        send(
+            addr,
+            "GET /v1/test/sleep?ms=800 HTTP/1.1\r\nHost: soak\r\n\r\n",
+        )
+    });
+    std::thread::sleep(Duration::from_millis(200));
+    let quit = send(addr, "POST /quitquitquit HTTP/1.1\r\nHost: soak\r\n\r\n");
+    assert_eq!(status_of(&quit), 200, "{quit}");
+
+    assert_eq!(
+        status_of(&sleeper.join().unwrap()),
+        200,
+        "in-flight request drained"
+    );
+    let report = server.wait();
+    assert_eq!(report.worker_panics, 0);
+}
