@@ -1,0 +1,337 @@
+//! A lock-light log-scale histogram for request-level latency and size
+//! distributions.
+//!
+//! The serving plane needs distributions, not just totals: p50/p99
+//! request latency, queue-wait under saturation, body sizes.  This
+//! histogram uses fixed log2 buckets (bucket *i* ≥ 1 covers
+//! `[2^(i-1), 2^i - 1]`; bucket 0 is exactly zero; the last bucket is
+//! open-ended), so recording is one `leading_zeros` plus two relaxed
+//! `fetch_add`s on a thread-sharded cell — the same sharding discipline
+//! as [`MetricsRecorder`](crate::MetricsRecorder), so concurrent
+//! workers (almost) never contend on a cache line and *never* lose an
+//! update.  Reads merge the shards exactly (`u64` addition is
+//! associative and every record lands in exactly one cell).
+//!
+//! Quantiles come from the merged snapshot as the upper bound of the
+//! bucket holding the target rank — a ≤2× overestimate by
+//! construction, which is the right fidelity for an operator dashboard
+//! and costs nothing on the hot path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log2 buckets; covers `u64` exhaustively (the final bucket
+/// is open-ended).
+pub const HIST_BUCKETS: usize = 64;
+
+/// Shards in the cell matrix; matches the counter recorder's shard
+/// count so the same thread spread applies.
+const SHARDS: usize = 16;
+
+/// One shard holds every bucket plus a sum cell, rounded up to whole
+/// 64-byte cache lines of `u64`s so no two shards share a line.
+const SHARD_STRIDE: usize = (HIST_BUCKETS + 1).next_multiple_of(8);
+
+/// The bucket a value lands in: 0 for 0, else `64 - leading_zeros`,
+/// clamped into the final open-ended bucket.
+#[inline]
+fn bucket_of(value: u64) -> usize {
+    ((64 - value.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `i`, or `None` for the open-ended
+/// final bucket.
+#[inline]
+fn bucket_bound(i: usize) -> Option<u64> {
+    if i + 1 >= HIST_BUCKETS {
+        None
+    } else if i == 0 {
+        Some(0)
+    } else {
+        Some((1u64 << i) - 1)
+    }
+}
+
+/// A lock-free sharded log2 histogram; see the module docs.
+#[derive(Debug)]
+pub struct Histogram {
+    cells: Vec<AtomicU64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            cells: (0..SHARDS * SHARD_STRIDE)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+        }
+    }
+
+    fn shard() -> usize {
+        thread_local! {
+            static SHARD: usize = {
+                use std::hash::{Hash, Hasher};
+                let mut h = std::collections::hash_map::DefaultHasher::new();
+                std::thread::current().id().hash(&mut h);
+                h.finish() as usize % SHARDS
+            };
+        }
+        SHARD.with(|&s| s)
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let base = Histogram::shard() * SHARD_STRIDE;
+        self.cells[base + bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.cells[base + HIST_BUCKETS].fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// An exact merged snapshot of every shard.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HIST_BUCKETS];
+        let mut sum = 0u64;
+        for s in 0..SHARDS {
+            let base = s * SHARD_STRIDE;
+            for (i, b) in buckets.iter_mut().enumerate() {
+                *b += self.cells[base + i].load(Ordering::Relaxed);
+            }
+            sum += self.cells[base + HIST_BUCKETS].load(Ordering::Relaxed);
+        }
+        HistogramSnapshot { buckets, sum }
+    }
+
+    /// Total observations recorded (merged).
+    pub fn count(&self) -> u64 {
+        self.snapshot().count()
+    }
+
+    /// Sum of every recorded value (merged).
+    pub fn sum(&self) -> u64 {
+        self.snapshot().sum
+    }
+}
+
+/// A merged, immutable view of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (not cumulative).
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Sum of every recorded value.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile observation
+    /// (`0.0 ≤ q ≤ 1.0`), a ≤2× overestimate of the true quantile.
+    /// Zero when the histogram is empty; `u64::MAX` when the rank falls
+    /// in the open-ended bucket.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            cumulative += b;
+            if cumulative >= rank {
+                return bucket_bound(i).unwrap_or(u64::MAX);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Upper bound of the highest occupied bucket (the max observation
+    /// rounded up to its bucket boundary); zero when empty.
+    pub fn max_bound(&self) -> u64 {
+        self.buckets
+            .iter()
+            .rposition(|&b| b > 0)
+            .map(|i| bucket_bound(i).unwrap_or(u64::MAX))
+            .unwrap_or(0)
+    }
+}
+
+/// Escapes a Prometheus label *value* per the text exposition format:
+/// backslash, double quote and newline must be escaped; everything else
+/// passes through.
+pub fn escape_prometheus_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders one histogram series in Prometheus exposition format:
+/// cumulative `_bucket` lines with `le` labels (sparse — only buckets
+/// that change the cumulative count, plus the mandatory `+Inf`), then
+/// `_sum` and `_count`.  `labels` is a pre-escaped `name="value"` list
+/// without braces (may be empty); `# HELP`/`# TYPE` lines are the
+/// caller's responsibility (they are per-family, not per-series).
+pub fn render_prometheus_histogram(
+    out: &mut String,
+    name: &str,
+    labels: &str,
+    snap: &HistogramSnapshot,
+) {
+    let sep = if labels.is_empty() { "" } else { "," };
+    let mut cumulative = 0u64;
+    for (i, &b) in snap.buckets.iter().enumerate() {
+        if b == 0 {
+            continue;
+        }
+        cumulative += b;
+        // The open-ended final bucket has no finite bound; it is
+        // covered by the mandatory `+Inf` series below.
+        if let Some(bound) = bucket_bound(i) {
+            out.push_str(&format!(
+                "{name}_bucket{{{labels}{sep}le=\"{bound}\"}} {cumulative}\n"
+            ));
+        }
+    }
+    let count = snap.count();
+    out.push_str(&format!(
+        "{name}_bucket{{{labels}{sep}le=\"+Inf\"}} {count}\n"
+    ));
+    out.push_str(&format!("{name}_sum{{{labels}}} {}\n", snap.sum));
+    out.push_str(&format!("{name}_count{{{labels}}} {count}\n"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), HIST_BUCKETS - 1);
+        assert_eq!(bucket_bound(0), Some(0));
+        assert_eq!(bucket_bound(1), Some(1));
+        assert_eq!(bucket_bound(10), Some(1023));
+        assert_eq!(bucket_bound(HIST_BUCKETS - 1), None);
+    }
+
+    #[test]
+    fn records_merge_exactly_across_threads() {
+        let h = Histogram::new();
+        let threads = 8;
+        let per_thread = 10_000u64;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let h = &h;
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        h.record(t * per_thread + i);
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), threads * per_thread);
+        let n = threads * per_thread;
+        assert_eq!(snap.sum, n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn quantiles_land_on_bucket_bounds() {
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.record(10); // bucket 4, bound 15
+        }
+        for _ in 0..10 {
+            h.record(1000); // bucket 10, bound 1023
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile(0.5), 15);
+        assert_eq!(snap.quantile(0.9), 15);
+        assert_eq!(snap.quantile(0.99), 1023);
+        assert_eq!(snap.quantile(1.0), 1023);
+        assert_eq!(snap.max_bound(), 1023);
+        let empty = Histogram::new().snapshot();
+        assert_eq!(empty.quantile(0.5), 0);
+        assert_eq!(empty.max_bound(), 0);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_cumulative_with_le_labels() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(3);
+        h.record(100);
+        let mut out = String::new();
+        render_prometheus_histogram(&mut out, "x_ns", "endpoint=\"analyze\"", &h.snapshot());
+        assert!(
+            out.contains("x_ns_bucket{endpoint=\"analyze\",le=\"0\"} 1\n"),
+            "{out}"
+        );
+        assert!(
+            out.contains("x_ns_bucket{endpoint=\"analyze\",le=\"1\"} 2\n"),
+            "{out}"
+        );
+        assert!(
+            out.contains("x_ns_bucket{endpoint=\"analyze\",le=\"3\"} 3\n"),
+            "{out}"
+        );
+        assert!(
+            out.contains("x_ns_bucket{endpoint=\"analyze\",le=\"127\"} 4\n"),
+            "{out}"
+        );
+        assert!(
+            out.contains("x_ns_bucket{endpoint=\"analyze\",le=\"+Inf\"} 4\n"),
+            "{out}"
+        );
+        assert!(
+            out.contains("x_ns_sum{endpoint=\"analyze\"} 104\n"),
+            "{out}"
+        );
+        assert!(
+            out.contains("x_ns_count{endpoint=\"analyze\"} 4\n"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn open_ended_bucket_appears_only_as_inf() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        let mut out = String::new();
+        render_prometheus_histogram(&mut out, "x", "", &h.snapshot());
+        assert!(out.contains("x_bucket{le=\"+Inf\"} 1\n"), "{out}");
+        assert!(out.contains("x_sum{} "), "{out}");
+        assert_eq!(out.matches("_bucket").count(), 1, "{out}");
+    }
+
+    #[test]
+    fn label_escaping_follows_prometheus_rules() {
+        assert_eq!(
+            escape_prometheus_label("evil\"phase\\with\nnewline"),
+            "evil\\\"phase\\\\with\\nnewline"
+        );
+        assert_eq!(escape_prometheus_label("plain-name"), "plain-name");
+    }
+}

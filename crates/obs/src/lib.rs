@@ -24,9 +24,21 @@
 //! [`TeeRecorder`] fans one stream out to two recorders (metrics and
 //! trace at once), and [`Span`] is the RAII guard the engines use to
 //! time a phase.
+//!
+//! For request-level serving-plane distributions (latency, queue wait,
+//! body sizes) the [`hist`] module adds a lock-light log2-bucketed
+//! [`Histogram`] with the same sharded-atomic discipline, exact merge,
+//! quantile extraction and Prometheus histogram exposition rendering.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod hist;
+
+pub use hist::{
+    escape_prometheus_label, render_prometheus_histogram, Histogram, HistogramSnapshot,
+    HIST_BUCKETS,
+};
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};

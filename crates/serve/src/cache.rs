@@ -11,6 +11,7 @@ use fmperf_ftlqn::KnowPolicy;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
 
 /// A cache key: the model's content hash plus every knob that changes
 /// the compiled diagram.
@@ -48,6 +49,21 @@ struct Entry {
     artifact: Arc<CompiledMtbdd>,
     bytes: usize,
     last_used: u64,
+    inserted: Instant,
+}
+
+/// One cached artifact as seen by the observability endpoints
+/// (`/debug/cache` and the per-entry age gauges on `/metrics`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheEntryInfo {
+    /// The entry's cache key.
+    pub key: CacheKey,
+    /// Approximate resident bytes.
+    pub bytes: usize,
+    /// Seconds since the artifact was (re)inserted.
+    pub age_seconds: u64,
+    /// LRU tick of the last lookup or insert that touched the entry.
+    pub last_used: u64,
 }
 
 struct CacheState {
@@ -65,6 +81,7 @@ pub struct ArtifactCache {
     capacity_bytes: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl ArtifactCache {
@@ -79,6 +96,7 @@ impl ArtifactCache {
             capacity_bytes,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -136,6 +154,7 @@ impl ArtifactCache {
             };
             if let Some(evicted) = state.map.remove(&lru_key) {
                 state.bytes -= evicted.bytes;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
         state.bytes += bytes;
@@ -145,6 +164,7 @@ impl ArtifactCache {
                 artifact,
                 bytes,
                 last_used: tick,
+                inserted: Instant::now(),
             },
         );
     }
@@ -172,6 +192,34 @@ impl ArtifactCache {
     /// Lookups that missed (or found caching disabled).
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted to make room (capacity pressure, not
+    /// replacement of the same key).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// The configured capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// A snapshot of every cached entry, most recently used first.
+    pub fn entries(&self) -> Vec<CacheEntryInfo> {
+        let state = self.lock();
+        let mut out: Vec<CacheEntryInfo> = state
+            .map
+            .iter()
+            .map(|(key, e)| CacheEntryInfo {
+                key: key.clone(),
+                bytes: e.bytes,
+                age_seconds: e.inserted.elapsed().as_secs(),
+                last_used: e.last_used,
+            })
+            .collect();
+        out.sort_by_key(|e| std::cmp::Reverse(e.last_used));
+        out
     }
 }
 
@@ -236,6 +284,30 @@ mod tests {
         cache.insert(key(1), artifact());
         assert!(cache.get(&key(1)).is_none());
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn evictions_are_counted_and_entries_are_observable() {
+        let a = artifact();
+        let one = approx_artifact_bytes(&a);
+        let cache = ArtifactCache::new(one * 2 + 1);
+        cache.insert(key(1), Arc::clone(&a));
+        cache.insert(key(2), Arc::clone(&a));
+        assert_eq!(cache.evictions(), 0);
+        cache.insert(key(3), Arc::clone(&a));
+        assert_eq!(cache.evictions(), 1, "capacity pressure evicted one");
+        // Replacing an existing key is not an eviction.
+        cache.insert(key(3), Arc::clone(&a));
+        assert_eq!(cache.evictions(), 1);
+        let entries = cache.entries();
+        assert_eq!(entries.len(), 2);
+        assert!(entries[0].last_used >= entries[1].last_used, "MRU first");
+        for e in &entries {
+            assert_eq!(e.bytes, one);
+            assert!(e.age_seconds < 60, "fresh entries have small ages");
+            assert!(e.key.hash.starts_with("sha256:"));
+        }
+        assert_eq!(cache.capacity_bytes(), one * 2 + 1);
     }
 
     #[test]

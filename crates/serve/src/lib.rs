@@ -22,6 +22,13 @@
 //! byte-bounded LRU keyed by the model's *content hash* (SHA-256 over
 //! the canonical serialization), shared with the CLI through
 //! [`ModelSession`].
+//!
+//! Every request is also *observable* ([`obs`]): a monotonic request
+//! id echoed in the `x-fmperf-request-id` header and JSON bodies, a
+//! per-request `timings` attribution (queue wait / parse / compile /
+//! eval), per-endpoint latency histograms on `/metrics`, a structured
+//! JSON-lines access log, and the N slowest requests with full span
+//! trees at `GET /debug/slow`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,15 +36,17 @@
 pub mod cache;
 pub mod hash;
 pub mod http;
+pub mod obs;
 pub mod queue;
 pub mod server;
 pub mod session;
 pub mod work;
 
-pub use cache::{approx_artifact_bytes, ArtifactCache, CacheKey};
+pub use cache::{approx_artifact_bytes, ArtifactCache, CacheEntryInfo, CacheKey};
 pub use hash::{sha256, sha256_hex};
+pub use obs::{Endpoint, RequestObs, RequestRecord, SlowEntry, Timings};
 pub use queue::BoundedQueue;
-pub use server::{DrainReport, ServeConfig, Server, ServerHandle, SCHEMA};
+pub use server::{DrainReport, ServeConfig, Server, ServerHandle, DEBUG_SCHEMA, SCHEMA};
 pub use session::{model_content_hash, ModelSession, SessionError};
 pub use work::{
     analyze_model, campaign_model, sweep_model, AnalyzeOutcome, AnalyzeParams, CacheStatus,

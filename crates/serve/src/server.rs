@@ -15,9 +15,18 @@
 //! * **Drain** — `POST /quitquitquit` (the std-only stand-in for
 //!   SIGTERM, which cannot be caught without unsafe code) stops
 //!   admission; already-admitted requests complete before workers exit.
+//!
+//! And the observability contract (see [`crate::obs`]): every request —
+//! served, shed, drained or panicked — gets a monotonic id echoed in
+//! the `x-fmperf-request-id` header and in JSON bodies, one structured
+//! access-log line, and a slot in the per-endpoint latency / queue-wait
+//! / body-size histograms scraped from `/metrics`.  `GET /debug/slow`
+//! dumps the N slowest requests with their full span trees;
+//! `GET /debug/cache` dumps the artifact cache entry by entry.
 
 use crate::cache::{ArtifactCache, CacheKey};
 use crate::http::{json_escape, read_request, HttpLimits, Request, Response};
+use crate::obs::{Endpoint, RequestObs, RequestRecord};
 use crate::queue::BoundedQueue;
 use crate::session::{ModelSession, SessionError};
 use crate::work::{
@@ -26,7 +35,10 @@ use crate::work::{
 };
 use fmperf_core::EstimateInfo;
 use fmperf_ftlqn::KnowPolicy;
-use fmperf_obs::MetricsRecorder;
+use fmperf_obs::{
+    escape_prometheus_label, render_prometheus_histogram, MetricsRecorder, Recorder, TeeRecorder,
+    TraceEvent, TraceRecorder,
+};
 use fmperf_text::ParseLimits;
 use std::io;
 use std::net::{TcpListener, TcpStream};
@@ -38,6 +50,9 @@ use std::time::{Duration, Instant};
 
 /// The response schema identifier, first field of every JSON body.
 pub const SCHEMA: &str = "fmperf-serve-v1";
+
+/// The schema identifier of the `/debug/*` JSON bodies.
+pub const DEBUG_SCHEMA: &str = "fmperf-debug-v1";
 
 /// Daemon configuration (the `fmperf serve` flags).
 #[derive(Debug, Clone)]
@@ -56,6 +71,12 @@ pub struct ServeConfig {
     pub queue_depth: usize,
     /// Request body cap in bytes (larger bodies answer `413`).
     pub max_body_bytes: usize,
+    /// JSON-lines access log destination: `None` disables, `"-"` is
+    /// stdout, anything else is a file path opened for append.
+    pub access_log: Option<String>,
+    /// How many slowest requests (with span trees) to retain for
+    /// `GET /debug/slow`.
+    pub slow_keep: usize,
     /// Enable the `/v1/test/*` fault-injection routes (tests only).
     pub test_routes: bool,
 }
@@ -69,6 +90,8 @@ impl Default for ServeConfig {
             default_budget_ms: 2_000,
             queue_depth: 64,
             max_body_bytes: 1 << 20,
+            access_log: None,
+            slow_keep: 8,
             test_routes: false,
         }
     }
@@ -89,9 +112,10 @@ struct Stats {
 /// State shared by the acceptor and every worker.
 struct Shared {
     config: ServeConfig,
-    queue: BoundedQueue<TcpStream>,
+    queue: BoundedQueue<(TcpStream, Instant)>,
     cache: ArtifactCache,
     metrics: MetricsRecorder,
+    obs: RequestObs,
     stats: Stats,
     shutdown: AtomicBool,
 }
@@ -106,6 +130,8 @@ pub struct DrainReport {
     pub shed: u64,
     /// Request handlers that panicked (each answered `500`).
     pub panics_caught: u64,
+    /// Access-log lines written (served + shed when logging is on).
+    pub access_lines: u64,
     /// Worker threads that died *outside* the per-request isolation
     /// boundary — always zero unless the isolation itself is broken.
     pub worker_panics: usize,
@@ -129,18 +155,21 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Propagates bind / configuration I/O errors; everything after a
-    /// successful bind is handled internally.
+    /// Propagates bind / configuration I/O errors (including a
+    /// non-openable `access_log` path); everything after a successful
+    /// bind is handled internally.
     pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let threads = config.threads.max(1);
         let queue_depth = config.queue_depth.max(1);
+        let obs = RequestObs::new(config.access_log.as_deref(), config.slow_keep)?;
         let shared = Arc::new(Shared {
             cache: ArtifactCache::new(config.cache_mb.saturating_mul(1 << 20)),
             queue: BoundedQueue::new(queue_depth),
             metrics: MetricsRecorder::new(),
+            obs,
             stats: Stats::default(),
             shutdown: AtomicBool::new(false),
             config,
@@ -212,13 +241,15 @@ impl ServerHandle {
             served: stats.requests.load(Ordering::Relaxed),
             shed: stats.shed.load(Ordering::Relaxed),
             panics_caught: stats.panics.load(Ordering::Relaxed),
+            access_lines: self.shared.obs.lines_logged(),
             worker_panics,
         }
     }
 }
 
 /// Polls the nonblocking listener, admitting connections into the
-/// bounded queue and shedding with `503` when it is full.
+/// bounded queue and shedding with `503` when it is full.  Admission
+/// timestamps the connection so the worker can attribute queue wait.
 fn accept_loop(listener: &TcpListener, shared: &Shared) {
     while !shared.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
@@ -228,9 +259,14 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
                 // a read error, not a parked worker.
                 let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
                 let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
-                if let Err(stream) = shared.queue.try_push(stream) {
+                if let Err((stream, _)) = shared.queue.try_push((stream, Instant::now())) {
                     shared.stats.shed.fetch_add(1, Ordering::Relaxed);
-                    shed_connection(stream);
+                    let id = shared.obs.next_id();
+                    shed_connection(stream, id);
+                    let mut record = RequestRecord::new(id, 0);
+                    record.status = 503;
+                    record.disposition = "shed";
+                    shared.obs.observe(&record, Vec::new());
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -248,45 +284,74 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
 /// effort) first: closing a socket with unread input makes the kernel
 /// RST the connection, which would destroy the very response that tells
 /// the client to back off.
-fn shed_connection(mut stream: TcpStream) {
+fn shed_connection(mut stream: TcpStream, id: u64) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
     let mut scratch = [0u8; 8 * 1024];
     let _ = io::Read::read(&mut stream, &mut scratch);
     Response::json(
         503,
         "Service Unavailable",
-        format!("{{\"schema\": \"{SCHEMA}\", \"error\": \"saturated: admission queue is full\"}}"),
+        format!(
+            "{{\"schema\": \"{SCHEMA}\", \"request_id\": {id}, \
+             \"error\": \"saturated: admission queue is full\"}}"
+        ),
     )
     .with_header("retry-after", "1")
+    .with_header("x-fmperf-request-id", id.to_string())
     .write_to(&mut stream);
     let _ = stream.shutdown(std::net::Shutdown::Write);
 }
 
-/// One worker: pop, handle under `catch_unwind`, answer, repeat until
-/// the queue closes and drains.
+/// One worker: pop, handle under `catch_unwind`, answer, observe,
+/// repeat until the queue closes and drains.  Observation happens here
+/// — outside the isolation boundary — so even a panicking handler gets
+/// its access-log line and histogram slot.
 fn worker_loop(shared: &Shared) {
-    while let Some(mut stream) = shared.queue.pop() {
+    while let Some((mut stream, enqueued)) = shared.queue.pop() {
         shared.stats.requests.fetch_add(1, Ordering::Relaxed);
-        let outcome = catch_unwind(AssertUnwindSafe(|| handle_connection(&mut stream, shared)));
+        let queue_wait_ns = enqueued.elapsed().as_nanos() as u64;
+        let id = shared.obs.next_id();
+        let start = Instant::now();
+        let mut record = RequestRecord::new(id, queue_wait_ns);
+        let mut spans: Vec<TraceEvent> = Vec::new();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            handle_connection(&mut stream, shared, &mut record, &mut spans)
+        }));
         if outcome.is_err() {
             shared.stats.panics.fetch_add(1, Ordering::Relaxed);
             shared.stats.server_errors.fetch_add(1, Ordering::Relaxed);
+            record.status = 500;
+            record.disposition = "panic";
             Response::json(
                 500,
                 "Internal Server Error",
                 format!(
-                    "{{\"schema\": \"{SCHEMA}\", \"error\": \"request handler panicked; \
+                    "{{\"schema\": \"{SCHEMA}\", \"request_id\": {id}, \
+                     \"error\": \"request handler panicked; \
                      the worker pool is unaffected\"}}"
                 ),
             )
+            .with_header("x-fmperf-request-id", id.to_string())
             .write_to(&mut stream);
         }
+        if record.disposition == "ok" && shared.shutdown.load(Ordering::SeqCst) {
+            record.disposition = "drain";
+        }
+        record.timings.total_ns = queue_wait_ns + start.elapsed().as_nanos() as u64;
+        shared.obs.observe(&record, std::mem::take(&mut spans));
     }
 }
 
 /// Reads one request and routes it; every path writes exactly one
-/// response.
-fn handle_connection(stream: &mut TcpStream, shared: &Shared) {
+/// response carrying the `x-fmperf-request-id` header.  Fills `record`
+/// as it learns about the request and leaves the handler's span tree in
+/// `spans`.
+fn handle_connection(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    record: &mut RequestRecord,
+    spans: &mut Vec<TraceEvent>,
+) {
     let limits = HttpLimits {
         max_body_bytes: shared.config.max_body_bytes,
     };
@@ -295,27 +360,43 @@ fn handle_connection(stream: &mut TcpStream, shared: &Shared) {
         Err(e) => {
             if let Some((status, reason)) = e.status() {
                 shared.stats.client_errors.fetch_add(1, Ordering::Relaxed);
-                error_response(status, reason, "http", &e.to_string(), &[]).write_to(stream);
+                record.status = status;
+                error_response(status, reason, "http", &e.to_string(), &[], record.id)
+                    .with_header("x-fmperf-request-id", record.id.to_string())
+                    .write_to(stream);
             }
             return;
         }
     };
-    let response = route(&request, shared);
+    record.method = request.method.clone();
+    record.path = request.path.clone();
+    record.endpoint = Endpoint::classify(&request.path);
+    record.body_bytes = request.body.len() as u64;
+    // Per-request trace teed into the shared metrics: the engine spans
+    // land in both the global phase totals and this request's tree.
+    let trace = TraceRecorder::new();
+    let tee = TeeRecorder::new(&shared.metrics, &trace);
+    let response = route(&request, shared, record, &tee);
+    record.status = response.status;
     if response.status >= 500 {
         shared.stats.server_errors.fetch_add(1, Ordering::Relaxed);
     } else if response.status >= 400 {
         shared.stats.client_errors.fetch_add(1, Ordering::Relaxed);
     }
-    response.write_to(stream);
+    response
+        .with_header("x-fmperf-request-id", record.id.to_string())
+        .write_to(stream);
+    *spans = trace.events();
 }
 
-/// An error body: `{schema, endpoint, error, diagnostics: [...]}`.
+/// An error body: `{schema, request_id, endpoint, error, diagnostics}`.
 fn error_response(
     status: u16,
     reason: &'static str,
     endpoint: &str,
     error: &str,
     diagnostics: &[(usize, String)],
+    id: u64,
 ) -> Response {
     let diags: Vec<String> = diagnostics
         .iter()
@@ -330,8 +411,8 @@ fn error_response(
         status,
         reason,
         format!(
-            "{{\"schema\": \"{SCHEMA}\", \"endpoint\": \"{}\", \"error\": \"{}\", \
-             \"diagnostics\": [{}]}}",
+            "{{\"schema\": \"{SCHEMA}\", \"request_id\": {id}, \"endpoint\": \"{}\", \
+             \"error\": \"{}\", \"diagnostics\": [{}]}}",
             json_escape(endpoint),
             json_escape(error),
             diags.join(", ")
@@ -340,19 +421,26 @@ fn error_response(
 }
 
 /// Dispatches one parsed request to its endpoint.
-fn route(request: &Request, shared: &Shared) -> Response {
+fn route(
+    request: &Request,
+    shared: &Shared,
+    rec: &mut RequestRecord,
+    recorder: &dyn Recorder,
+) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => Response::text(200, "OK", "ok\n"),
         ("GET", "/readyz") => readyz(shared),
         ("GET", "/metrics") => Response::text(200, "OK", render_metrics(shared)),
+        ("GET", "/debug/slow") => debug_slow(shared, rec.id),
+        ("GET", "/debug/cache") => debug_cache(shared, rec.id),
         ("POST" | "GET", "/quitquitquit") => {
             shared.shutdown.store(true, Ordering::SeqCst);
             shared.queue.close();
             Response::text(200, "OK", "draining\n")
         }
-        ("POST", "/v1/analyze") => analyze_endpoint(request, shared),
-        ("POST", "/v1/sweep") => sweep_endpoint(request, shared),
-        ("POST", "/v1/campaign") => campaign_endpoint(request, shared),
+        ("POST", "/v1/analyze") => analyze_endpoint(request, shared, rec, recorder),
+        ("POST", "/v1/sweep") => sweep_endpoint(request, shared, rec, recorder),
+        ("POST", "/v1/campaign") => campaign_endpoint(request, shared, rec, recorder),
         ("POST" | "GET", "/v1/test/panic") if shared.config.test_routes => {
             panic!("fault injection: /v1/test/panic")
         }
@@ -365,11 +453,16 @@ fn route(request: &Request, shared: &Shared) -> Response {
             std::thread::sleep(Duration::from_millis(ms.min(10_000)));
             Response::text(200, "OK", "slept\n")
         }
-        (_, "/healthz" | "/readyz" | "/metrics")
-        | ("GET", "/v1/analyze" | "/v1/sweep" | "/v1/campaign") => {
-            error_response(405, "Method Not Allowed", "http", "method not allowed", &[])
-        }
-        _ => error_response(404, "Not Found", "http", "no such endpoint", &[]),
+        (_, "/healthz" | "/readyz" | "/metrics" | "/debug/slow" | "/debug/cache")
+        | ("GET", "/v1/analyze" | "/v1/sweep" | "/v1/campaign") => error_response(
+            405,
+            "Method Not Allowed",
+            "http",
+            "method not allowed",
+            &[],
+            rec.id,
+        ),
+        _ => error_response(404, "Not Found", "http", "no such endpoint", &[], rec.id),
     }
 }
 
@@ -388,48 +481,371 @@ fn readyz(shared: &Shared) -> Response {
     Response::text(200, "OK", "ready\n")
 }
 
+/// Appends one family's `# HELP` / `# TYPE` preamble.
+fn push_family(out: &mut String, name: &str, kind: &str, help: &str) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+}
+
+/// Appends a whole single-sample family: preamble plus the one line.
+fn push_scalar(out: &mut String, name: &str, kind: &str, help: &str, value: u64) {
+    push_family(out, name, kind, help);
+    out.push_str(&format!("{name} {value}\n"));
+}
+
 /// Renders `/metrics` in Prometheus text exposition format: server
-/// counters, cache state, and the engine recorder's counters/phases.
+/// counters, cache state (including per-entry gauges), the engine
+/// recorder's counters/phases, and the request histograms.  Every
+/// label *value* passes through [`escape_prometheus_label`]; families
+/// carry `# HELP`/`# TYPE` preambles and stay contiguous as the format
+/// requires.
 fn render_metrics(shared: &Shared) -> String {
     let stats = &shared.stats;
     let mut out = String::new();
-    let mut gauge = |name: &str, value: u64| {
-        out.push_str(&format!("fmperf_{name} {value}\n"));
-    };
-    gauge("requests_total", stats.requests.load(Ordering::Relaxed));
-    gauge("shed_total", stats.shed.load(Ordering::Relaxed));
-    gauge("panics_caught_total", stats.panics.load(Ordering::Relaxed));
-    gauge(
-        "client_errors_total",
+    push_family(
+        &mut out,
+        "fmperf_build_info",
+        "gauge",
+        "Daemon build information (always 1; the version rides the label).",
+    );
+    out.push_str(&format!(
+        "fmperf_build_info{{version=\"{}\"}} 1\n",
+        escape_prometheus_label(env!("CARGO_PKG_VERSION"))
+    ));
+    push_scalar(
+        &mut out,
+        "fmperf_requests_total",
+        "counter",
+        "Requests admitted to the worker pool.",
+        stats.requests.load(Ordering::Relaxed),
+    );
+    push_scalar(
+        &mut out,
+        "fmperf_shed_total",
+        "counter",
+        "Connections shed with 503 by admission control.",
+        stats.shed.load(Ordering::Relaxed),
+    );
+    push_scalar(
+        &mut out,
+        "fmperf_panics_caught_total",
+        "counter",
+        "Request handlers that panicked (each answered 500).",
+        stats.panics.load(Ordering::Relaxed),
+    );
+    push_scalar(
+        &mut out,
+        "fmperf_client_errors_total",
+        "counter",
+        "Responses with a 4xx status.",
         stats.client_errors.load(Ordering::Relaxed),
     );
-    gauge(
-        "server_errors_total",
+    push_scalar(
+        &mut out,
+        "fmperf_server_errors_total",
+        "counter",
+        "Responses with a 5xx status.",
         stats.server_errors.load(Ordering::Relaxed),
     );
-    gauge("degraded_total", stats.degraded.load(Ordering::Relaxed));
-    gauge("queue_depth", shared.queue.len() as u64);
-    gauge("cache_hits_total", shared.cache.hits());
-    gauge("cache_misses_total", shared.cache.misses());
-    gauge("cache_entries", shared.cache.len() as u64);
-    gauge("cache_bytes", shared.cache.bytes() as u64);
+    push_scalar(
+        &mut out,
+        "fmperf_degraded_total",
+        "counter",
+        "Requests answered by a degraded (sampled) engine.",
+        stats.degraded.load(Ordering::Relaxed),
+    );
+    push_scalar(
+        &mut out,
+        "fmperf_queue_depth",
+        "gauge",
+        "Connections waiting in the admission queue.",
+        shared.queue.len() as u64,
+    );
+    push_scalar(
+        &mut out,
+        "fmperf_access_log_lines_total",
+        "counter",
+        "Access-log lines written (zero when logging is disabled).",
+        shared.obs.lines_logged(),
+    );
+    push_scalar(
+        &mut out,
+        "fmperf_cache_hits_total",
+        "counter",
+        "Artifact cache lookups answered from the cache.",
+        shared.cache.hits(),
+    );
+    push_scalar(
+        &mut out,
+        "fmperf_cache_misses_total",
+        "counter",
+        "Artifact cache lookups that missed.",
+        shared.cache.misses(),
+    );
+    push_scalar(
+        &mut out,
+        "fmperf_cache_evictions_total",
+        "counter",
+        "Artifact cache entries evicted under capacity pressure.",
+        shared.cache.evictions(),
+    );
+    push_scalar(
+        &mut out,
+        "fmperf_cache_entries",
+        "gauge",
+        "Artifacts resident in the cache.",
+        shared.cache.len() as u64,
+    );
+    push_scalar(
+        &mut out,
+        "fmperf_cache_bytes",
+        "gauge",
+        "Approximate resident bytes of cached artifacts.",
+        shared.cache.bytes() as u64,
+    );
+    push_scalar(
+        &mut out,
+        "fmperf_cache_capacity_bytes",
+        "gauge",
+        "Configured artifact cache capacity in bytes.",
+        shared.cache.capacity_bytes() as u64,
+    );
+    let entries = shared.cache.entries();
+    let entry_labels = |e: &crate::cache::CacheEntryInfo| {
+        format!(
+            "hash=\"{}\",policy=\"{}\",unmonitored_known=\"{}\"",
+            escape_prometheus_label(&e.key.hash),
+            if e.key.policy_any { "any" } else { "all" },
+            e.key.unmonitored_known
+        )
+    };
+    push_family(
+        &mut out,
+        "fmperf_cache_entry_age_seconds",
+        "gauge",
+        "Seconds since each cached artifact was (re)inserted.",
+    );
+    for e in &entries {
+        out.push_str(&format!(
+            "fmperf_cache_entry_age_seconds{{{}}} {}\n",
+            entry_labels(e),
+            e.age_seconds
+        ));
+    }
+    push_family(
+        &mut out,
+        "fmperf_cache_entry_bytes",
+        "gauge",
+        "Approximate resident bytes of each cached artifact.",
+    );
+    for e in &entries {
+        out.push_str(&format!(
+            "fmperf_cache_entry_bytes{{{}}} {}\n",
+            entry_labels(e),
+            e.bytes
+        ));
+    }
+    push_family(
+        &mut out,
+        "fmperf_engine_counter",
+        "counter",
+        "Engine work counters (states, nodes, samples, ...).",
+    );
     for (counter, value) in shared.metrics.counters() {
         out.push_str(&format!(
             "fmperf_engine_counter{{name=\"{}\"}} {value}\n",
-            counter.name()
+            escape_prometheus_label(counter.name())
         ));
     }
-    for (phase, nanos, spans) in shared.metrics.phases() {
+    let phases = shared.metrics.phases();
+    push_family(
+        &mut out,
+        "fmperf_phase_nanos",
+        "counter",
+        "Cumulative nanoseconds spent in each engine phase.",
+    );
+    for (phase, nanos, _) in &phases {
         out.push_str(&format!(
             "fmperf_phase_nanos{{phase=\"{}\"}} {nanos}\n",
-            phase.name()
-        ));
-        out.push_str(&format!(
-            "fmperf_phase_spans{{phase=\"{}\"}} {spans}\n",
-            phase.name()
+            escape_prometheus_label(phase.name())
         ));
     }
+    push_family(
+        &mut out,
+        "fmperf_phase_spans",
+        "counter",
+        "Spans recorded for each engine phase.",
+    );
+    for (phase, _, span_count) in &phases {
+        out.push_str(&format!(
+            "fmperf_phase_spans{{phase=\"{}\"}} {span_count}\n",
+            escape_prometheus_label(phase.name())
+        ));
+    }
+    let snaps = shared.obs.endpoint_snapshots();
+    push_family(
+        &mut out,
+        "fmperf_request_duration_ns",
+        "histogram",
+        "End-to-end request latency including queue wait, by endpoint, nanoseconds.",
+    );
+    for (endpoint, latency, _, _) in &snaps {
+        render_prometheus_histogram(
+            &mut out,
+            "fmperf_request_duration_ns",
+            &format!("endpoint=\"{}\"", endpoint.name()),
+            latency,
+        );
+    }
+    push_family(
+        &mut out,
+        "fmperf_request_queue_wait_ns",
+        "histogram",
+        "Admission-queue wait before a worker picked the request up, by endpoint, nanoseconds.",
+    );
+    for (endpoint, _, queue_wait, _) in &snaps {
+        render_prometheus_histogram(
+            &mut out,
+            "fmperf_request_queue_wait_ns",
+            &format!("endpoint=\"{}\"", endpoint.name()),
+            queue_wait,
+        );
+    }
+    push_family(
+        &mut out,
+        "fmperf_request_body_bytes",
+        "histogram",
+        "Request body sizes by endpoint, bytes.",
+    );
+    for (endpoint, _, _, body) in &snaps {
+        render_prometheus_histogram(
+            &mut out,
+            "fmperf_request_body_bytes",
+            &format!("endpoint=\"{}\"", endpoint.name()),
+            body,
+        );
+    }
+    push_family(
+        &mut out,
+        "fmperf_compile_ns",
+        "histogram",
+        "MTBDD compile time on cold requests (successful or refused), nanoseconds.",
+    );
+    render_prometheus_histogram(
+        &mut out,
+        "fmperf_compile_ns",
+        "",
+        &shared.obs.compile_snapshot(),
+    );
+    push_family(
+        &mut out,
+        "fmperf_eval_ns",
+        "histogram",
+        "Evaluation time split by artifact-cache disposition, nanoseconds.",
+    );
+    render_prometheus_histogram(
+        &mut out,
+        "fmperf_eval_ns",
+        "cache=\"hit\"",
+        &shared.obs.eval_snapshot(true),
+    );
+    render_prometheus_histogram(
+        &mut out,
+        "fmperf_eval_ns",
+        "cache=\"miss\"",
+        &shared.obs.eval_snapshot(false),
+    );
     out
+}
+
+/// `GET /debug/slow`: the N slowest requests, each with its span tree.
+fn debug_slow(shared: &Shared, id: u64) -> Response {
+    let rows: Vec<String> = shared
+        .obs
+        .slowest()
+        .iter()
+        .map(|entry| {
+            let rec = &entry.record;
+            let spans: Vec<String> = entry
+                .spans
+                .iter()
+                .map(|s| {
+                    format!(
+                        "{{\"phase\": \"{}\", \"start_us\": {}, \"dur_us\": {}, \
+                         \"tid\": {}, \"depth\": {}}}",
+                        s.phase.name(),
+                        s.start_us,
+                        s.dur_us,
+                        s.tid,
+                        s.depth
+                    )
+                })
+                .collect();
+            let engine = rec
+                .engine
+                .as_deref()
+                .map_or("null".to_string(), |e| format!("\"{}\"", json_escape(e)));
+            let cache = rec.cache.map_or("null".to_string(), |c| format!("\"{c}\""));
+            format!(
+                "{{\"id\": {}, \"method\": \"{}\", \"path\": \"{}\", \"endpoint\": \"{}\", \
+                 \"status\": {}, \"disposition\": \"{}\", \"engine\": {engine}, \
+                 \"cache\": {cache}, \"timings\": {}, \"spans\": [{}]}}",
+                rec.id,
+                json_escape(&rec.method),
+                json_escape(&rec.path),
+                rec.endpoint.name(),
+                rec.status,
+                rec.disposition,
+                rec.timings.json(),
+                spans.join(", ")
+            )
+        })
+        .collect();
+    Response::json(
+        200,
+        "OK",
+        format!(
+            "{{\"schema\": \"{DEBUG_SCHEMA}\", \"endpoint\": \"debug-slow\", \
+             \"request_id\": {id}, \"keep\": {}, \"slowest\": [{}]}}",
+            shared.config.slow_keep,
+            rows.join(", ")
+        ),
+    )
+}
+
+/// `GET /debug/cache`: the artifact cache, entry by entry.
+fn debug_cache(shared: &Shared, id: u64) -> Response {
+    let rows: Vec<String> = shared
+        .cache
+        .entries()
+        .iter()
+        .map(|e| {
+            format!(
+                "{{\"hash\": \"{}\", \"policy\": \"{}\", \"unmonitored_known\": {}, \
+                 \"bytes\": {}, \"age_seconds\": {}, \"last_used\": {}}}",
+                json_escape(&e.key.hash),
+                if e.key.policy_any { "any" } else { "all" },
+                e.key.unmonitored_known,
+                e.bytes,
+                e.age_seconds,
+                e.last_used
+            )
+        })
+        .collect();
+    Response::json(
+        200,
+        "OK",
+        format!(
+            "{{\"schema\": \"{DEBUG_SCHEMA}\", \"endpoint\": \"debug-cache\", \
+             \"request_id\": {id}, \"capacity_bytes\": {}, \"resident_bytes\": {}, \
+             \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"entries\": [{}]}}",
+            shared.cache.capacity_bytes(),
+            shared.cache.bytes(),
+            shared.cache.hits(),
+            shared.cache.misses(),
+            shared.cache.evictions(),
+            rows.join(", ")
+        ),
+    )
 }
 
 /// Opens the request body as a model session (bounded parse + lint
@@ -438,20 +854,29 @@ fn open_session(
     request: &Request,
     endpoint: &str,
     shared: &Shared,
+    recorder: &dyn Recorder,
+    id: u64,
 ) -> Result<ModelSession, Response> {
     let src = std::str::from_utf8(&request.body).map_err(|_| {
-        error_response(400, "Bad Request", endpoint, "body is not valid UTF-8", &[])
+        error_response(
+            400,
+            "Bad Request",
+            endpoint,
+            "body is not valid UTF-8",
+            &[],
+            id,
+        )
     })?;
     let limits = ParseLimits {
         max_bytes: shared.config.max_body_bytes,
         ..ParseLimits::default()
     };
-    ModelSession::open_untrusted(src, &limits, Some(&shared.metrics)).map_err(|e| {
+    ModelSession::open_untrusted(src, &limits, Some(recorder)).map_err(|e| {
         let what = match &e {
             SessionError::Syntax(_) => "model failed to parse",
             SessionError::Lint(_) => "model failed lint preflight",
         };
-        error_response(400, "Bad Request", endpoint, what, &e.diagnostics())
+        error_response(400, "Bad Request", endpoint, what, &e.diagnostics(), id)
     })
 }
 
@@ -460,6 +885,7 @@ fn analyze_params(
     request: &Request,
     endpoint: &str,
     shared: &Shared,
+    id: u64,
 ) -> Result<AnalyzeParams, Response> {
     let mut params = AnalyzeParams::default();
     let bad = |name: &str, value: &str| {
@@ -469,6 +895,7 @@ fn analyze_params(
             endpoint,
             &format!("bad query parameter {name}={value}"),
             &[],
+            id,
         )
     };
     params.budget.deadline = Some(Duration::from_millis(shared.config.default_budget_ms));
@@ -545,21 +972,28 @@ fn descents_json(descents: &[(String, String)]) -> String {
 }
 
 /// `POST /v1/analyze`.
-fn analyze_endpoint(request: &Request, shared: &Shared) -> Response {
+fn analyze_endpoint(
+    request: &Request,
+    shared: &Shared,
+    rec: &mut RequestRecord,
+    recorder: &dyn Recorder,
+) -> Response {
     let start = Instant::now();
-    let session = match open_session(request, "analyze", shared) {
+    let session = match open_session(request, "analyze", shared, recorder, rec.id) {
         Ok(s) => s,
         Err(r) => return r,
     };
-    let params = match analyze_params(request, "analyze", shared) {
+    rec.timings.parse_ns = start.elapsed().as_nanos() as u64;
+    rec.model_hash = Some(session.hash().to_string());
+    let params = match analyze_params(request, "analyze", shared, rec.id) {
         Ok(p) => p,
         Err(r) => return r,
     };
     let key = CacheKey::new(session.hash(), params.policy, params.unmonitored_known);
     let cached = shared.cache.get(&key);
-    let outcome = match analyze_model(session.model(), &params, cached, Some(&shared.metrics)) {
+    let outcome = match analyze_model(session.model(), &params, cached, Some(recorder)) {
         Ok(o) => o,
-        Err(e) => return error_response(422, "Unprocessable Entity", "analyze", &e, &[]),
+        Err(e) => return error_response(422, "Unprocessable Entity", "analyze", &e, &[], rec.id),
     };
     if let Some(compiled) = &outcome.compiled {
         shared.cache.insert(key, Arc::clone(compiled));
@@ -567,6 +1001,12 @@ fn analyze_endpoint(request: &Request, shared: &Shared) -> Response {
     if outcome.estimate.is_some() {
         shared.stats.degraded.fetch_add(1, Ordering::Relaxed);
     }
+    rec.engine = Some(outcome.engine.clone());
+    rec.cache = Some(outcome.cache.name());
+    rec.descents = outcome.descents.len() as u64;
+    rec.timings.compile_ns = outcome.compile_ns;
+    rec.timings.eval_ns = outcome.eval_ns;
+    rec.timings.total_ns = rec.timings.queue_wait_ns + start.elapsed().as_nanos() as u64;
     let configurations: Vec<String> = outcome
         .configurations
         .iter()
@@ -578,9 +1018,10 @@ fn analyze_endpoint(request: &Request, shared: &Shared) -> Response {
         })
         .collect();
     let mut body = format!(
-        "{{\"schema\": \"{SCHEMA}\", \"endpoint\": \"analyze\", \"model_hash\": \"{}\", \
-         \"cache\": \"{}\", \"engine\": \"{}\", \"descents\": {}, \"failed\": {}, \
-         \"states\": {}, \"components\": {}, \"fallible\": {}, \"warnings\": {}",
+        "{{\"schema\": \"{SCHEMA}\", \"endpoint\": \"analyze\", \"request_id\": {}, \
+         \"model_hash\": \"{}\", \"cache\": \"{}\", \"engine\": \"{}\", \"descents\": {}, \
+         \"failed\": {}, \"states\": {}, \"components\": {}, \"fallible\": {}, \"warnings\": {}",
+        rec.id,
         session.hash(),
         outcome.cache.name(),
         json_escape(&outcome.engine),
@@ -601,21 +1042,29 @@ fn analyze_endpoint(request: &Request, shared: &Shared) -> Response {
         body.push_str(&format!(", \"reward_error\": \"{}\"", json_escape(err)));
     }
     body.push_str(&format!(
-        ", \"configurations\": [{}], \"elapsed_ms\": {}}}",
+        ", \"configurations\": [{}], \"timings\": {}, \"elapsed_ms\": {}}}",
         configurations.join(", "),
+        rec.timings.json(),
         start.elapsed().as_millis()
     ));
     Response::json(200, "OK", body)
 }
 
 /// `POST /v1/sweep`.
-fn sweep_endpoint(request: &Request, shared: &Shared) -> Response {
+fn sweep_endpoint(
+    request: &Request,
+    shared: &Shared,
+    rec: &mut RequestRecord,
+    recorder: &dyn Recorder,
+) -> Response {
     let start = Instant::now();
-    let session = match open_session(request, "sweep", shared) {
+    let session = match open_session(request, "sweep", shared, recorder, rec.id) {
         Ok(s) => s,
         Err(r) => return r,
     };
-    let analyze = match analyze_params(request, "sweep", shared) {
+    rec.timings.parse_ns = start.elapsed().as_nanos() as u64;
+    rec.model_hash = Some(session.hash().to_string());
+    let analyze = match analyze_params(request, "sweep", shared, rec.id) {
         Ok(p) => p,
         Err(r) => return r,
     };
@@ -626,6 +1075,7 @@ fn sweep_endpoint(request: &Request, shared: &Shared) -> Response {
             "sweep",
             "missing required query parameter `component`",
             &[],
+            rec.id,
         );
     };
     let get_f64 = |name: &str, default: f64| -> Result<f64, Response> {
@@ -638,6 +1088,7 @@ fn sweep_endpoint(request: &Request, shared: &Shared) -> Response {
                     "sweep",
                     &format!("bad query parameter {name}={v}"),
                     &[],
+                    rec.id,
                 )
             }),
         }
@@ -661,6 +1112,7 @@ fn sweep_endpoint(request: &Request, shared: &Shared) -> Response {
                     "sweep",
                     &format!("bad query parameter steps={v}"),
                     &[],
+                    rec.id,
                 )
             }
         },
@@ -674,13 +1126,18 @@ fn sweep_endpoint(request: &Request, shared: &Shared) -> Response {
     };
     let key = CacheKey::new(session.hash(), analyze.policy, analyze.unmonitored_known);
     let cached = shared.cache.get(&key);
-    let outcome = match sweep_model(session.model(), &params, cached, Some(&shared.metrics)) {
+    let outcome = match sweep_model(session.model(), &params, cached, Some(recorder)) {
         Ok(o) => o,
-        Err(e) => return error_response(422, "Unprocessable Entity", "sweep", &e, &[]),
+        Err(e) => return error_response(422, "Unprocessable Entity", "sweep", &e, &[], rec.id),
     };
     if let Some(compiled) = &outcome.compiled {
         shared.cache.insert(key, Arc::clone(compiled));
     }
+    rec.engine = Some("mtbdd".into());
+    rec.cache = Some(outcome.cache.name());
+    rec.timings.compile_ns = outcome.compile_ns;
+    rec.timings.eval_ns = outcome.eval_ns;
+    rec.timings.total_ns = rec.timings.queue_wait_ns + start.elapsed().as_nanos() as u64;
     let points: Vec<String> = outcome
         .points
         .iter()
@@ -690,27 +1147,36 @@ fn sweep_endpoint(request: &Request, shared: &Shared) -> Response {
         200,
         "OK",
         format!(
-            "{{\"schema\": \"{SCHEMA}\", \"endpoint\": \"sweep\", \"model_hash\": \"{}\", \
-             \"cache\": \"{}\", \"component\": \"{}\", \"nodes\": {}, \"points\": [{}], \
-             \"elapsed_ms\": {}}}",
+            "{{\"schema\": \"{SCHEMA}\", \"endpoint\": \"sweep\", \"request_id\": {}, \
+             \"model_hash\": \"{}\", \"cache\": \"{}\", \"component\": \"{}\", \"nodes\": {}, \
+             \"points\": [{}], \"timings\": {}, \"elapsed_ms\": {}}}",
+            rec.id,
             session.hash(),
             outcome.cache.name(),
             json_escape(&params.component),
             outcome.nodes,
             points.join(", "),
+            rec.timings.json(),
             start.elapsed().as_millis()
         ),
     )
 }
 
 /// `POST /v1/campaign`.
-fn campaign_endpoint(request: &Request, shared: &Shared) -> Response {
+fn campaign_endpoint(
+    request: &Request,
+    shared: &Shared,
+    rec: &mut RequestRecord,
+    recorder: &dyn Recorder,
+) -> Response {
     let start = Instant::now();
-    let session = match open_session(request, "campaign", shared) {
+    let session = match open_session(request, "campaign", shared, recorder, rec.id) {
         Ok(s) => s,
         Err(r) => return r,
     };
-    let analyze = match analyze_params(request, "campaign", shared) {
+    rec.timings.parse_ns = start.elapsed().as_nanos() as u64;
+    rec.model_hash = Some(session.hash().to_string());
+    let analyze = match analyze_params(request, "campaign", shared, rec.id) {
         Ok(p) => p,
         Err(r) => return r,
     };
@@ -719,10 +1185,14 @@ fn campaign_endpoint(request: &Request, shared: &Shared) -> Response {
         Some("true" | "1")
     );
     let params = CampaignParams { pairwise, analyze };
-    let outcome = match campaign_model(session.model(), &params, Some(&shared.metrics)) {
+    let outcome = match campaign_model(session.model(), &params, Some(recorder)) {
         Ok(o) => o,
-        Err(e) => return error_response(422, "Unprocessable Entity", "campaign", &e, &[]),
+        Err(e) => return error_response(422, "Unprocessable Entity", "campaign", &e, &[], rec.id),
     };
+    rec.engine = Some(outcome.baseline_engine.clone());
+    rec.cache = Some(CacheStatus::Bypass.name());
+    rec.timings.eval_ns = outcome.eval_ns;
+    rec.timings.total_ns = rec.timings.queue_wait_ns + start.elapsed().as_nanos() as u64;
     let scenarios: Vec<String> = outcome
         .scenarios
         .iter()
@@ -744,14 +1214,16 @@ fn campaign_endpoint(request: &Request, shared: &Shared) -> Response {
         200,
         "OK",
         format!(
-            "{{\"schema\": \"{SCHEMA}\", \"endpoint\": \"campaign\", \"model_hash\": \"{}\", \
-             \"cache\": \"{}\", \"baseline\": {{\"engine\": \"{}\", \"failed\": {}}}, \
-             \"scenarios\": [{}], \"elapsed_ms\": {}}}",
+            "{{\"schema\": \"{SCHEMA}\", \"endpoint\": \"campaign\", \"request_id\": {}, \
+             \"model_hash\": \"{}\", \"cache\": \"{}\", \"baseline\": {{\"engine\": \"{}\", \
+             \"failed\": {}}}, \"scenarios\": [{}], \"timings\": {}, \"elapsed_ms\": {}}}",
+            rec.id,
             session.hash(),
             CacheStatus::Bypass.name(),
             json_escape(&outcome.baseline_engine),
             outcome.baseline_failed,
             scenarios.join(", "),
+            rec.timings.json(),
             start.elapsed().as_millis()
         ),
     )
@@ -795,6 +1267,14 @@ mod tests {
         )
     }
 
+    /// The `x-fmperf-request-id` header value of a raw response.
+    fn header_id(response: &str) -> Option<u64> {
+        response
+            .lines()
+            .find_map(|l| l.strip_prefix("x-fmperf-request-id: "))
+            .and_then(|v| v.trim().parse().ok())
+    }
+
     #[test]
     fn healthz_and_analyze_roundtrip() {
         let server = start_test_server(2, 8);
@@ -814,6 +1294,32 @@ mod tests {
     }
 
     #[test]
+    fn responses_carry_request_id_and_timings() {
+        let server = start_test_server(1, 8);
+        let addr = server.local_addr();
+        let reply = post(addr, "/v1/analyze", MODEL);
+        let id = header_id(&reply).expect("request id header");
+        assert!(
+            reply.contains(&format!("\"request_id\": {id}")),
+            "header id {id} must match the body: {reply}"
+        );
+        assert!(
+            reply.contains("\"timings\": {\"queue_wait_ns\": "),
+            "{reply}"
+        );
+        assert!(reply.contains("\"parse_ns\": "), "{reply}");
+        assert!(reply.contains("\"compile_ns\": "), "{reply}");
+        assert!(reply.contains("\"eval_ns\": "), "{reply}");
+        assert!(reply.contains("\"total_ns\": "), "{reply}");
+        // Errors carry ids too, and ids are monotonic.
+        let err = post(addr, "/v1/analyze", "bogus\n");
+        let err_id = header_id(&err).expect("error id header");
+        assert!(err_id > id, "monotonic: {err_id} > {id}");
+        assert!(err.contains(&format!("\"request_id\": {err_id}")), "{err}");
+        server.shutdown();
+    }
+
+    #[test]
     fn bad_model_is_400_with_diagnostics() {
         let server = start_test_server(1, 8);
         let reply = post(server.local_addr(), "/v1/analyze", "bogus line\nanother\n");
@@ -828,6 +1334,10 @@ mod tests {
         let addr = server.local_addr();
         let reply = send(addr, "GET /v1/test/panic HTTP/1.1\r\nHost: t\r\n\r\n");
         assert!(reply.starts_with("HTTP/1.1 500"), "{reply}");
+        assert!(
+            header_id(&reply).is_some(),
+            "panic answers carry ids: {reply}"
+        );
         // The single worker survived and still answers.
         let health = send(addr, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
         assert!(health.starts_with("HTTP/1.1 200"), "{health}");
@@ -848,6 +1358,119 @@ mod tests {
             metrics.contains("fmperf_phase_nanos{phase=\"parse\"}"),
             "{metrics}"
         );
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_exposes_histograms_help_type_and_build_info() {
+        let server = start_test_server(1, 8);
+        let addr = server.local_addr();
+        post(addr, "/v1/analyze", MODEL);
+        let metrics = send(addr, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(
+            metrics.contains(&format!(
+                "fmperf_build_info{{version=\"{}\"}} 1",
+                env!("CARGO_PKG_VERSION")
+            )),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("# HELP fmperf_requests_total "),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("# TYPE fmperf_request_duration_ns histogram"),
+            "{metrics}"
+        );
+        assert!(
+            metrics
+                .contains("fmperf_request_duration_ns_bucket{endpoint=\"analyze\",le=\"+Inf\"} 1"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("fmperf_request_duration_ns_count{endpoint=\"analyze\"} 1"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("fmperf_eval_ns_bucket{cache=\"miss\""),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("fmperf_cache_entry_age_seconds{hash=\"sha256:"),
+            "{metrics}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn hostile_cache_label_values_are_escaped() {
+        // A hostile hash with quote, backslash and newline must not be
+        // able to break out of its label value in the exposition text.
+        let shared = Shared {
+            cache: ArtifactCache::new(1 << 20),
+            queue: BoundedQueue::new(1),
+            metrics: MetricsRecorder::new(),
+            obs: RequestObs::new(None, 4).expect("obs"),
+            stats: Stats::default(),
+            shutdown: AtomicBool::new(false),
+            config: ServeConfig::default(),
+        };
+        let m = fmperf_text::parse(
+            "processor pc cores inf\nprocessor p1 fail 0.1\nusers u on pc\n\
+             task s on p1 fail 0.1\nentry eu of u\nentry es of s demand 0.2\ncall eu -> es\n",
+        )
+        .unwrap();
+        let graph = fmperf_ftlqn::FaultGraph::build(&m.app).unwrap();
+        let space = fmperf_mama::ComponentSpace::app_only(&m.app);
+        let compiled = fmperf_core::Analysis::new(&graph, &space).compile_mtbdd();
+        shared.cache.insert(
+            CacheKey::new(
+                "evil\"hash\\with\nnewline",
+                KnowPolicy::AnyFailedComponent,
+                false,
+            ),
+            Arc::new(compiled),
+        );
+        let metrics = render_metrics(&shared);
+        assert!(
+            metrics.contains("hash=\"evil\\\"hash\\\\with\\nnewline\""),
+            "{metrics}"
+        );
+        assert!(
+            !metrics.contains("evil\"hash"),
+            "raw quote must not appear: {metrics}"
+        );
+    }
+
+    #[test]
+    fn debug_slow_returns_span_trees() {
+        let server = start_test_server(1, 8);
+        let addr = server.local_addr();
+        post(addr, "/v1/analyze", MODEL);
+        let reply = send(addr, "GET /debug/slow HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+        assert!(reply.contains("\"schema\": \"fmperf-debug-v1\""), "{reply}");
+        assert!(reply.contains("\"endpoint\": \"debug-slow\""), "{reply}");
+        assert!(reply.contains("\"path\": \"/v1/analyze\""), "{reply}");
+        assert!(reply.contains("\"phase\": \"parse\""), "{reply}");
+        assert!(
+            reply.contains("\"timings\": {\"queue_wait_ns\": "),
+            "{reply}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn debug_cache_reports_entries() {
+        let server = start_test_server(1, 8);
+        let addr = server.local_addr();
+        post(addr, "/v1/analyze", MODEL);
+        let reply = send(addr, "GET /debug/cache HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+        assert!(reply.contains("\"endpoint\": \"debug-cache\""), "{reply}");
+        assert!(reply.contains("\"hash\": \"sha256:"), "{reply}");
+        assert!(reply.contains("\"capacity_bytes\": "), "{reply}");
+        assert!(reply.contains("\"evictions\": 0"), "{reply}");
         server.shutdown();
     }
 

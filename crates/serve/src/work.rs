@@ -106,6 +106,13 @@ pub struct AnalyzeOutcome {
     /// A freshly compiled artifact for the cache (set on a cold request
     /// whose MTBDD compile fit the budget).
     pub compiled: Option<Arc<CompiledMtbdd>>,
+    /// Wall-clock nanoseconds spent compiling (successful *or* refused
+    /// — a refused compile still charged the request deadline); zero on
+    /// a cache hit.
+    pub compile_ns: u64,
+    /// Wall-clock nanoseconds spent evaluating: diagram pass or ladder
+    /// descent, configuration ranking and the reward solve.
+    pub eval_ns: u64,
 }
 
 impl std::fmt::Debug for AnalyzeOutcome {
@@ -180,21 +187,28 @@ pub fn analyze_model(
         let mut estimate = None;
         let mut cache = CacheStatus::Miss;
         let mut compiled_out: Option<Arc<CompiledMtbdd>> = None;
+        let mut compile_ns = 0u64;
+        let eval_start;
 
         let (dist, engine) = if let Some(compiled) = cached {
             cache = CacheStatus::Hit;
+            eval_start = Instant::now();
             (compiled.distribution(), "mtbdd".to_string())
         } else {
             let start = Instant::now();
             let guard = BudgetGuard::new(&params.budget);
             match analysis.try_compile_mtbdd_guarded(&guard) {
                 Ok(compiled) => {
+                    compile_ns = start.elapsed().as_nanos() as u64;
+                    eval_start = Instant::now();
                     let compiled = Arc::new(compiled);
                     let dist = compiled.distribution();
                     compiled_out = Some(compiled);
                     (dist, "mtbdd".to_string())
                 }
                 Err(reason) => {
+                    compile_ns = start.elapsed().as_nanos() as u64;
+                    eval_start = Instant::now();
                     descents.push(("mtbdd".to_string(), reason.to_string()));
                     // Charge the failed compile against the request
                     // deadline before entering the ladder, so the two
@@ -261,6 +275,8 @@ pub fn analyze_model(
             reward_error,
             cache,
             compiled: compiled_out,
+            compile_ns,
+            eval_ns: eval_start.elapsed().as_nanos() as u64,
         }
     })
 }
@@ -291,6 +307,10 @@ pub struct SweepOutcome {
     pub cache: CacheStatus,
     /// A freshly compiled artifact for the cache.
     pub compiled: Option<Arc<CompiledMtbdd>>,
+    /// Wall-clock nanoseconds spent compiling; zero on a cache hit.
+    pub compile_ns: u64,
+    /// Wall-clock nanoseconds spent evaluating the sweep points.
+    pub eval_ns: u64,
 }
 
 impl std::fmt::Debug for SweepOutcome {
@@ -321,6 +341,7 @@ pub fn sweep_model(
         let component = (0..space.len())
             .find(|&ix| space.name(ix) == params.component)
             .ok_or_else(|| format!("unknown component `{}`", params.component))?;
+        let compile_start = Instant::now();
         let (compiled, cache, fresh) = match cached {
             Some(c) => (c, CacheStatus::Hit, None),
             None => {
@@ -333,6 +354,11 @@ pub fn sweep_model(
                 (Arc::clone(&c), CacheStatus::Miss, Some(c))
             }
         };
+        let compile_ns = match cache {
+            CacheStatus::Hit => 0,
+            _ => compile_start.elapsed().as_nanos() as u64,
+        };
+        let eval_start = Instant::now();
         let spec = SweepSpec {
             component,
             from: params.from,
@@ -358,6 +384,8 @@ pub fn sweep_model(
                 .collect(),
             cache,
             compiled: fresh,
+            compile_ns,
+            eval_ns: eval_start.elapsed().as_nanos() as u64,
         })
     })?
 }
@@ -390,6 +418,10 @@ pub struct CampaignOutcome {
     pub baseline_failed: f64,
     /// Every injection scenario.
     pub scenarios: Vec<CampaignScenario>,
+    /// Wall-clock nanoseconds running baseline + every scenario
+    /// (campaigns bypass the cache, so there is no compile to split
+    /// out).
+    pub eval_ns: u64,
 }
 
 /// Runs one campaign request (cache bypassed: injections change the
@@ -420,6 +452,7 @@ pub fn campaign_model(
         policy: params.analyze.policy,
         unmonitored_known: params.analyze.unmonitored_known,
     };
+    let eval_start = Instant::now();
     let report = run_campaign_observed(
         &graph,
         &m.mama,
@@ -429,6 +462,7 @@ pub fn campaign_model(
         None,
     );
     Ok(CampaignOutcome {
+        eval_ns: eval_start.elapsed().as_nanos() as u64,
         baseline_engine: report.baseline.engine.name().to_string(),
         baseline_failed: report.baseline.failed_probability,
         scenarios: report
@@ -473,6 +507,8 @@ mod tests {
         assert!(out.compiled.is_some());
         assert!(out.reward.is_some());
         assert!((0.0..=1.0).contains(&out.failed));
+        assert!(out.compile_ns > 0, "cold request attributes compile time");
+        assert!(out.eval_ns > 0, "evaluation time is attributed");
     }
 
     #[test]
@@ -485,6 +521,8 @@ mod tests {
         assert!(hit.compiled.is_none());
         assert!((hit.failed - cold.failed).abs() < 1e-12);
         assert_eq!(hit.configurations.len(), cold.configurations.len());
+        assert_eq!(hit.compile_ns, 0, "a cache hit spends nothing compiling");
+        assert!(hit.eval_ns > 0);
     }
 
     #[test]
@@ -508,6 +546,11 @@ mod tests {
         assert!(est.failed_half_width.is_finite());
         assert!(!out.descents.is_empty());
         assert!(out.compiled.is_none(), "degraded results are not cached");
+        assert!(
+            out.compile_ns > 0,
+            "a refused compile still charged the deadline and is attributed"
+        );
+        assert!(out.eval_ns > 0, "the ladder descent counts as evaluation");
     }
 
     #[test]

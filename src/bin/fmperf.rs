@@ -74,7 +74,8 @@ const USAGE: &str = "usage:
                               [--trace-out PATH]
   fmperf serve    [--addr HOST:PORT] [--threads N] [--cache-mb N]
                               [--default-budget-ms N] [--queue-depth N]
-                              [--max-body-bytes N]
+                              [--max-body-bytes N] [--access-log PATH|-]
+                              [--slow-keep N]
   fmperf audit    <model.fmp> [--json] [--max-order N] [--verify]
                               [--policy any|all] [--unmonitored-known]
   fmperf lint     <model.fmp> [--format text|json] [--json] [--deny warnings]
@@ -841,6 +842,17 @@ fn run(args: &[String]) -> Result<String, String> {
                             .ok_or("--max-body-bytes needs a value")?
                             .parse()
                             .map_err(|_| "bad --max-body-bytes value")?;
+                    }
+                    "--access-log" => {
+                        config.access_log =
+                            Some(it.next().ok_or("--access-log needs a value")?.into());
+                    }
+                    "--slow-keep" => {
+                        config.slow_keep = it
+                            .next()
+                            .ok_or("--slow-keep needs a value")?
+                            .parse()
+                            .map_err(|_| "bad --slow-keep value")?;
                     }
                     "--test-routes" => config.test_routes = true,
                     other => return Err(format!("unknown flag `{other}`\n{USAGE}")),

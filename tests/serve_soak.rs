@@ -10,7 +10,12 @@
 //! * every deadline-starved request degrades to a sampling engine and
 //!   reports a confidence interval;
 //! * repeated analyses of the same model hit the compiled-model cache;
-//! * a saturated single-worker server sheds with `503 Retry-After`.
+//! * a saturated single-worker server sheds with `503 Retry-After`;
+//! * and the observability contract holds under load: every response
+//!   carries a request id matching an access-log line, the per-endpoint
+//!   histograms count exactly the requests served, queue-wait shows up
+//!   under saturation, shed 503s carry ids, and `/debug/slow` returns
+//!   the span tree of a deliberately starved request.
 
 use fmperf::serve::{ServeConfig, Server, ServerHandle};
 use std::io::{Read, Write};
@@ -34,6 +39,45 @@ fn start(threads: usize, queue_depth: usize) -> ServerHandle {
         ..ServeConfig::default()
     })
     .expect("bind ephemeral port")
+}
+
+/// Like [`start`], but with a JSON-lines access log at `log_path`.
+fn start_logged(threads: usize, queue_depth: usize, log_path: &std::path::Path) -> ServerHandle {
+    Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        threads,
+        queue_depth,
+        access_log: Some(log_path.to_str().expect("utf-8 path").into()),
+        test_routes: true,
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral port")
+}
+
+/// A fresh per-test temp path (tests run in one process; the name keys
+/// them apart).
+fn temp_log(name: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("fmperf-soak-{}-{name}.log", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// The `x-fmperf-request-id` header value of a raw response.
+fn header_id(response: &str) -> u64 {
+    response
+        .lines()
+        .find_map(|l| l.strip_prefix("x-fmperf-request-id: "))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or_else(|| panic!("response must carry a request id: {response}"))
+}
+
+/// The first sample value of the `/metrics` line starting with `prefix`.
+fn metric_value(metrics: &str, prefix: &str) -> u64 {
+    metrics
+        .lines()
+        .find_map(|l| l.strip_prefix(prefix))
+        .and_then(|rest| rest.trim().parse().ok())
+        .unwrap_or_else(|| panic!("metric {prefix} missing: {metrics}"))
 }
 
 /// One raw HTTP exchange; panics (failing the test) if the connection
@@ -187,6 +231,11 @@ fn saturation_sheds_with_retry_after() {
                 reply.to_ascii_lowercase().contains("retry-after: 1"),
                 "shed response carries Retry-After: {reply}"
             );
+            assert!(
+                reply.contains("\"request_id\": "),
+                "shed 503 carries a request id in its body: {reply}"
+            );
+            header_id(&reply);
             sheds += 1;
         }
     }
@@ -194,6 +243,19 @@ fn saturation_sheds_with_retry_after() {
     assert!(sheds >= 1, "saturation must shed at least one request");
 
     assert_eq!(status_of(&sleeper.join().unwrap()), 200);
+
+    // The admitted flooders sat in the queue behind the sleeper, so the
+    // saturated queue must show up in the queue-wait histogram.
+    let metrics = send(addr, "GET /metrics HTTP/1.1\r\nHost: soak\r\n\r\n");
+    let ops_wait_sum = metric_value(
+        &metrics,
+        "fmperf_request_queue_wait_ns_sum{endpoint=\"ops\"} ",
+    );
+    assert!(
+        ops_wait_sum > 0,
+        "queue-wait histogram non-zero under saturation: {metrics}"
+    );
+
     let report = server.shutdown();
     assert_eq!(report.worker_panics, 0);
     assert!(report.shed >= sheds as u64);
@@ -201,7 +263,8 @@ fn saturation_sheds_with_retry_after() {
 
 #[test]
 fn drain_completes_inflight_work() {
-    let server = start(2, 8);
+    let log_path = temp_log("drain");
+    let server = start_logged(2, 8, &log_path);
     let addr = server.local_addr();
 
     // Park a request, then ask the daemon to drain while it is still
@@ -223,4 +286,137 @@ fn drain_completes_inflight_work() {
     );
     let report = server.wait();
     assert_eq!(report.worker_panics, 0);
+
+    // Drain leaves zero unlogged in-flight requests: every admitted
+    // request (the sleeper included) has its access-log line.
+    let log = std::fs::read_to_string(&log_path).expect("access log");
+    let lines: Vec<&str> = log.lines().collect();
+    assert_eq!(
+        lines.len() as u64,
+        report.access_lines,
+        "every written line accounted for"
+    );
+    let non_shed = lines
+        .iter()
+        .filter(|l| !l.contains("\"disposition\": \"shed\""))
+        .count() as u64;
+    assert_eq!(non_shed, report.served, "no served request went unlogged");
+    assert!(
+        log.contains("/v1/test/sleep"),
+        "the drained in-flight request is logged: {log}"
+    );
+    assert!(
+        log.contains("\"disposition\": \"drain\"") || log.contains("\"disposition\": \"ok\""),
+        "{log}"
+    );
+    let _ = std::fs::remove_file(&log_path);
+}
+
+#[test]
+fn observability_end_to_end() {
+    let log_path = temp_log("obs");
+    let server = start_logged(2, 16, &log_path);
+    let addr = server.local_addr();
+
+    // A handful of healthy analyses (first compiles, the rest hit the
+    // cache) plus one deliberately starved request that descends the
+    // ladder — the slowest request the daemon will see.
+    let mut ids = Vec::new();
+    for _ in 0..4 {
+        let reply = post(addr, "/v1/analyze", MODEL);
+        assert_eq!(status_of(&reply), 200, "{reply}");
+        let id = header_id(&reply);
+        assert!(
+            reply.contains(&format!("\"request_id\": {id}")),
+            "header id matches body: {reply}"
+        );
+        assert!(
+            reply.contains("\"timings\": {\"queue_wait_ns\": "),
+            "{reply}"
+        );
+        ids.push(id);
+    }
+    let starved = post(
+        addr,
+        "/v1/analyze?budget_ms=40&budget_states=1&budget_nodes=1\
+         &budget_memo=1&samples=2000&policy=all",
+        MODEL,
+    );
+    assert_eq!(status_of(&starved), 200, "{starved}");
+    let starved_id = header_id(&starved);
+    ids.push(starved_id);
+
+    // The analyze latency histogram counts exactly the analyze
+    // requests served so far.
+    let metrics = send(addr, "GET /metrics HTTP/1.1\r\nHost: soak\r\n\r\n");
+    assert_eq!(
+        metric_value(
+            &metrics,
+            "fmperf_request_duration_ns_count{endpoint=\"analyze\"} ",
+        ),
+        5,
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("fmperf_request_duration_ns_bucket{endpoint=\"analyze\",le=\"+Inf\"} 5"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("# TYPE fmperf_request_duration_ns histogram"));
+    assert!(
+        metrics.contains("fmperf_build_info{version=\""),
+        "{metrics}"
+    );
+    assert!(
+        metric_value(&metrics, "fmperf_access_log_lines_total ") >= 5,
+        "{metrics}"
+    );
+
+    // The starved request is in the slow ring with a non-empty span
+    // tree (parse at minimum; the ladder descent adds more).
+    let slow = send(addr, "GET /debug/slow HTTP/1.1\r\nHost: soak\r\n\r\n");
+    assert_eq!(status_of(&slow), 200, "{slow}");
+    assert!(
+        slow.contains(&format!("\"id\": {starved_id}")),
+        "the starved request is retained: {slow}"
+    );
+    assert!(slow.contains("\"phase\": \"parse\""), "{slow}");
+    assert!(
+        slow.contains("\"spans\": [{"),
+        "non-empty span tree: {slow}"
+    );
+
+    let ids_from_responses = ids.clone();
+    let report = server.shutdown();
+    assert_eq!(report.worker_panics, 0);
+
+    // Every response id has its access-log line, every line is a flat
+    // JSON object, and nothing served went unlogged.
+    let log = std::fs::read_to_string(&log_path).expect("access log");
+    let lines: Vec<&str> = log.lines().collect();
+    for line in &lines {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "JSONL line: {line}"
+        );
+        assert!(line.contains("\"id\": "), "{line}");
+        assert!(line.contains("\"total_ns\": "), "{line}");
+    }
+    for id in ids_from_responses {
+        assert!(
+            lines.iter().any(|l| l.contains(&format!("\"id\": {id},"))),
+            "response id {id} must appear in the access log: {log}"
+        );
+    }
+    let non_shed = lines
+        .iter()
+        .filter(|l| !l.contains("\"disposition\": \"shed\""))
+        .count() as u64;
+    assert_eq!(non_shed, report.served, "zero unlogged requests");
+    assert!(
+        log.contains("\"engine\": \"monte-carlo\"")
+            || log.contains("\"engine\": \"importance-sampling\""),
+        "the starved request logs its degraded engine: {log}"
+    );
+    assert!(log.contains("\"cache\": \"hit\""), "{log}");
+    let _ = std::fs::remove_file(&log_path);
 }
